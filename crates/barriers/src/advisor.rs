@@ -1,0 +1,363 @@
+//! Table 3 as an executable decision procedure.
+//!
+//! Given which program-order-earlier access(es) must be ordered before which
+//! later access(es), [`recommend`] returns the paper's suggestion: the
+//! preferred approach (dependencies where constructible, else the cheapest
+//! adequate barrier), alternatives, and the caveats the table footnotes
+//! carry (STLR needs a measurement against DMB full; LDAR/DMB ld when
+//! dependencies are hard to construct; RCpc as a future option).
+
+use core::fmt;
+
+use crate::kind::{AccessType, Barrier};
+use crate::strength::cost_rank;
+
+/// How many later accesses need ordering — Table 3 distinguishes `Load`
+/// from `Loads` (one vs. many) because a single pair can use a finer
+/// dependency than a fan-out can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Multiplicity {
+    /// A single access.
+    One,
+    /// Several accesses (e.g. all later loads in a critical section).
+    Many,
+}
+
+/// An ordering requirement: "make `from` observable before `to`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OrderReq {
+    /// The earlier side. `None` means "any access" (the table's `Any` row).
+    pub from: Option<AccessType>,
+    /// The later side. `None` means "any access" (the table's `Any` column).
+    pub to: Option<AccessType>,
+    /// Whether the later side is one access or many.
+    pub to_multiplicity: Multiplicity,
+    /// Whether the caller can realistically construct a bogus dependency
+    /// (needs the earlier access to be a load whose value is in hand).
+    pub deps_feasible: bool,
+}
+
+impl OrderReq {
+    /// Requirement between two single accesses, dependencies feasible.
+    #[must_use]
+    pub fn pair(from: AccessType, to: AccessType) -> Self {
+        OrderReq {
+            from: Some(from),
+            to: Some(to),
+            to_multiplicity: Multiplicity::One,
+            deps_feasible: true,
+        }
+    }
+}
+
+/// A concrete order-preserving approach the advisor can suggest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// Use the given barrier/idiom.
+    Use(Barrier),
+    /// Use the given barrier, but only after measuring it against the
+    /// fallback (the STLR footnote: compare against DMB full first).
+    MeasureAgainst {
+        /// The candidate (e.g. STLR).
+        candidate: Barrier,
+        /// The safe fallback (e.g. DMB full).
+        fallback: Barrier,
+    },
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Approach::Use(b) => write!(f, "{b}"),
+            Approach::MeasureAgainst { candidate, fallback } => {
+                write!(f, "{candidate} (measure against {fallback} first)")
+            }
+        }
+    }
+}
+
+/// The advisor's output for one [`OrderReq`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recommendation {
+    /// Best choice, cheapest first.
+    pub preferred: Vec<Approach>,
+    /// Correct but costlier alternatives, cheapest first.
+    pub alternatives: Vec<Approach>,
+    /// Human-readable rationale referencing the paper's observations.
+    pub rationale: &'static str,
+}
+
+impl Recommendation {
+    /// The single best approach.
+    #[must_use]
+    pub fn best(&self) -> Approach {
+        self.preferred[0]
+    }
+
+    /// Every barrier mentioned anywhere in the recommendation.
+    #[must_use]
+    pub fn mentioned(&self) -> Vec<Barrier> {
+        self.preferred
+            .iter()
+            .chain(&self.alternatives)
+            .map(|a| match a {
+                Approach::Use(b) | Approach::MeasureAgainst { candidate: b, .. } => *b,
+            })
+            .collect()
+    }
+}
+
+/// Which dependency idioms can order `from` before `to` for the given
+/// multiplicity. (Data/control dependencies feed exactly one store; an
+/// address dependency can cover many accesses through a common base.)
+fn feasible_deps(from: AccessType, to: AccessType, m: Multiplicity) -> Vec<Barrier> {
+    let mut v = Vec::new();
+    if from != AccessType::Load {
+        return v;
+    }
+    // Address dependencies order load->load and load->store, one or many.
+    v.push(Barrier::AddrDep);
+    if to == AccessType::Store && m == Multiplicity::One {
+        v.push(Barrier::DataDep);
+        v.push(Barrier::Ctrl);
+    }
+    if to == AccessType::Load {
+        v.push(Barrier::CtrlIsb);
+    }
+    v
+}
+
+/// Table 3: recommend order-preserving approaches for a requirement.
+///
+/// The decision procedure follows the paper's implications:
+///
+/// * earlier side is a **load** → prefer dependencies (Observation 6), then
+///   `LDAR`/`DMB ld`; never pay for the bus.
+/// * **store → store** → `DMB st` (the cheapest adequate barrier).
+/// * anything involving **store → load**, or an unknown earlier side →
+///   `DMB full`; `STLR` may replace it when the later side is a single store,
+///   but only after measurement (Observation 3).
+/// * `DSB` is never recommended: it is semantically stronger than any
+///   ordering requirement needs and always costs the most (Observation 1).
+#[must_use]
+pub fn recommend(req: OrderReq) -> Recommendation {
+    use AccessType::{Load, Store};
+
+    // The "Any" row/column must satisfy the worst case of its members.
+    let froms: &[AccessType] = match req.from {
+        Some(Load) => &[Load],
+        Some(Store) => &[Store],
+        None => &AccessType::ALL,
+    };
+    let tos: &[AccessType] = match req.to {
+        Some(Load) => &[Load],
+        Some(Store) => &[Store],
+        None => &AccessType::ALL,
+    };
+
+    let covers = |b: Barrier| froms.iter().all(|&e| tos.iter().all(|&l| b.orders(e, l)));
+
+    // Load-rooted orderings never need the bus.
+    if req.from == Some(Load) {
+        let mut preferred: Vec<Approach> = Vec::new();
+        if req.deps_feasible {
+            let mut deps: Vec<Barrier> = tos
+                .iter()
+                .flat_map(|&t| feasible_deps(Load, t, req.to_multiplicity))
+                .filter(|&b| covers(b))
+                .collect();
+            deps.sort_by_key(|b| cost_rank(*b));
+            deps.dedup();
+            preferred.extend(deps.into_iter().map(Approach::Use));
+        }
+        // LDAR then DMB ld, per the table's two option columns.
+        preferred.push(Approach::Use(Barrier::Ldar));
+        preferred.push(Approach::Use(Barrier::DmbLd));
+        let alternatives = vec![Approach::Use(Barrier::DmbFull)];
+        let rationale = if req.deps_feasible {
+            "Load-rooted ordering: bogus dependencies cost nothing and send \
+             nothing to the bus (Observation 6); LDAR/DMB ld are the fallback \
+             when dependencies are hard to construct."
+        } else {
+            "Load-rooted ordering without a constructible dependency: LDAR and \
+             DMB ld are typically resolved in-core, without a bus transaction \
+             (Observation 6)."
+        };
+        return Recommendation { preferred, alternatives, rationale };
+    }
+
+    // Store -> Store(s): DMB st.
+    if req.from == Some(Store) && req.to == Some(Store) {
+        return Recommendation {
+            preferred: vec![Approach::Use(Barrier::DmbSt)],
+            alternatives: vec![Approach::Use(Barrier::DmbFull)],
+            rationale: "Store-to-store ordering: DMB st is the cheapest adequate \
+                        barrier; it never blocks non-store instructions, though it \
+                        still stalls later stores after an RMR (Observation 2).",
+        };
+    }
+
+    // Everything else needs a full barrier; STLR is a measured-only candidate
+    // when the later side is a single store.
+    let stlr_applies = req.to == Some(Store)
+        && req.to_multiplicity == Multiplicity::One
+        && froms.iter().all(|&e| Barrier::Stlr.orders(e, Store));
+    let mut preferred = vec![Approach::Use(Barrier::DmbFull)];
+    if stlr_applies {
+        preferred.push(Approach::MeasureAgainst {
+            candidate: Barrier::Stlr,
+            fallback: Barrier::DmbFull,
+        });
+    }
+    debug_assert!(covers(Barrier::DmbFull));
+    Recommendation {
+        preferred,
+        alternatives: vec![Approach::Use(Barrier::DsbFull)],
+        rationale: "Orderings rooted at a store (or unknown) toward a load need a \
+                    full barrier; keep it away from RMRs (Observation 2). STLR is \
+                    weaker on paper but unstable in practice — measure against \
+                    DMB full before adopting it (Observation 3).",
+    }
+}
+
+/// Render the full Table 3 grid as rows of `(from, to, best approach)`.
+#[must_use]
+pub fn table3() -> Vec<(String, String, Recommendation)> {
+    use AccessType::{Load, Store};
+    let rows: [(Option<AccessType>, Multiplicity, &str); 3] =
+        [(Some(Load), Multiplicity::One, "Load"), (Some(Store), Multiplicity::One, "Store"), (None, Multiplicity::One, "Any")];
+    let cols: [(Option<AccessType>, Multiplicity, &str); 4] = [
+        (Some(Load), Multiplicity::One, "Load"),
+        (Some(Load), Multiplicity::Many, "Loads"),
+        (Some(Store), Multiplicity::One, "Store"),
+        (Some(Store), Multiplicity::Many, "Stores"),
+    ];
+    let mut out = Vec::new();
+    for (from, _, fname) in rows {
+        for (to, mult, tname) in cols {
+            let rec = recommend(OrderReq { from, to, to_multiplicity: mult, deps_feasible: true });
+            out.push((fname.to_string(), tname.to_string(), rec));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessType::{Load, Store};
+
+    fn best_barrier(req: OrderReq) -> Barrier {
+        match recommend(req).best() {
+            Approach::Use(b) => b,
+            Approach::MeasureAgainst { candidate, .. } => candidate,
+        }
+    }
+
+    #[test]
+    fn load_rooted_prefers_dependencies() {
+        let rec = recommend(OrderReq::pair(Load, Store));
+        assert!(matches!(rec.best(), Approach::Use(b) if b.is_dependency()));
+    }
+
+    #[test]
+    fn load_to_load_prefers_addr_dep_then_ldar() {
+        let rec = recommend(OrderReq::pair(Load, Load));
+        assert_eq!(rec.best(), Approach::Use(Barrier::AddrDep));
+        assert!(rec.preferred.contains(&Approach::Use(Barrier::Ldar)));
+        assert!(rec.preferred.contains(&Approach::Use(Barrier::DmbLd)));
+    }
+
+    #[test]
+    fn load_rooted_without_deps_prefers_ldar() {
+        let rec = recommend(OrderReq { deps_feasible: false, ..OrderReq::pair(Load, Store) });
+        assert_eq!(rec.best(), Approach::Use(Barrier::Ldar));
+    }
+
+    #[test]
+    fn store_store_gets_dmb_st() {
+        assert_eq!(best_barrier(OrderReq::pair(Store, Store)), Barrier::DmbSt);
+    }
+
+    #[test]
+    fn store_load_gets_dmb_full() {
+        assert_eq!(best_barrier(OrderReq::pair(Store, Load)), Barrier::DmbFull);
+    }
+
+    #[test]
+    fn any_to_store_offers_stlr_with_measurement_caveat() {
+        let rec = recommend(OrderReq {
+            from: None,
+            to: Some(Store),
+            to_multiplicity: Multiplicity::One,
+            deps_feasible: false,
+        });
+        assert_eq!(rec.best(), Approach::Use(Barrier::DmbFull));
+        assert!(rec.preferred.iter().any(|a| matches!(
+            a,
+            Approach::MeasureAgainst { candidate: Barrier::Stlr, fallback: Barrier::DmbFull }
+        )));
+    }
+
+    #[test]
+    fn dsb_is_never_preferred() {
+        for (_, _, rec) in table3() {
+            for a in &rec.preferred {
+                let b = match a {
+                    Approach::Use(b) | Approach::MeasureAgainst { candidate: b, .. } => *b,
+                };
+                assert!(
+                    !matches!(b, Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd),
+                    "DSB recommended as preferred"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_recommendation_is_semantically_sufficient() {
+        // Any preferred approach must actually order the requested pair
+        // (MeasureAgainst candidates too, by construction of the table).
+        for from in [Some(Load), Some(Store), None] {
+            for to in [Some(Load), Some(Store), None] {
+                for m in [Multiplicity::One, Multiplicity::Many] {
+                    for deps in [true, false] {
+                        let req =
+                            OrderReq { from, to, to_multiplicity: m, deps_feasible: deps };
+                        let rec = recommend(req);
+                        assert!(!rec.preferred.is_empty());
+                        let froms: &[AccessType] = match from {
+                            Some(Load) => &[Load],
+                            Some(Store) => &[Store],
+                            None => &AccessType::ALL,
+                        };
+                        let tos: &[AccessType] = match to {
+                            Some(Load) => &[Load],
+                            Some(Store) => &[Store],
+                            None => &AccessType::ALL,
+                        };
+                        for a in &rec.preferred {
+                            let b = match a {
+                                Approach::Use(b) => *b,
+                                Approach::MeasureAgainst { candidate, .. } => *candidate,
+                            };
+                            for &e in froms {
+                                for &l in tos {
+                                    assert!(
+                                        b.orders(e, l),
+                                        "{b} recommended for {e}->{l} but does not order it"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table3_has_twelve_cells() {
+        assert_eq!(table3().len(), 12);
+    }
+}

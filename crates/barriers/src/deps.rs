@@ -1,0 +1,139 @@
+//! Bogus-dependency constructors (§2.2, "DATA Dep" / "ADDR Dep" / "CTRL").
+//!
+//! On ARM, a syntactic register dependency from a load to a later access
+//! preserves their order even when the dependency is semantically vacuous
+//! (`x ^ x == 0`). These helpers build such dependencies in a way the
+//! optimizer cannot delete: the xor-with-self goes through
+//! [`core::hint::black_box`], which keeps the data flow opaque while
+//! compiling to (at most) a couple of ALU instructions — exactly the idiom
+//! the paper describes.
+//!
+//! On non-ARM hosts the same functions are correct no-ops cost-wise: the
+//! ordering they exist to enforce already holds under TSO, and the arithmetic
+//! is still performed so cross-platform behaviour is identical.
+
+use core::hint::black_box;
+
+/// Zero derived from `loaded` in a way the compiler must treat as data flow.
+///
+/// This is the kernel of every bogus dependency: `dep_zero(x)` is always `0`,
+/// but its value *depends on* `x` as far as the instruction stream is
+/// concerned.
+#[inline(always)]
+#[must_use]
+pub fn dep_zero(loaded: u64) -> u64 {
+    black_box(loaded) ^ loaded
+}
+
+/// Build a **data dependency**: returns `to_store`, made dependent on
+/// `loaded`. Storing the result orders the feeding load before the store.
+#[inline(always)]
+#[must_use]
+pub fn data_dep(loaded: u64, to_store: u64) -> u64 {
+    to_store.wrapping_add(dep_zero(loaded))
+}
+
+/// Build an **address dependency**: returns `addr`, made dependent on
+/// `loaded`. Accessing through the result orders the feeding load before the
+/// access (load *or* store).
+///
+/// The pointer value is unchanged; only its provenance-in-the-pipeline is.
+#[inline(always)]
+#[must_use]
+pub fn addr_dep<T>(loaded: u64, addr: *mut T) -> *mut T {
+    addr.wrapping_byte_add(dep_zero(loaded) as usize)
+}
+
+/// `addr_dep` for shared references.
+#[inline(always)]
+#[must_use]
+pub fn addr_dep_ref<T>(loaded: u64, r: &T) -> &T {
+    // SAFETY: the offset is always zero, so the pointer is unchanged and the
+    // original borrow's validity carries over.
+    unsafe { &*(r as *const T).wrapping_byte_add(dep_zero(loaded) as usize) }
+}
+
+/// Build a **control dependency**: runs `then` only when `cond(loaded)`
+/// holds, through a branch the compiler cannot convert into straight-line
+/// code. Orders the feeding load before *stores* inside `then`.
+///
+/// Returns whether the branch was taken.
+#[inline(always)]
+pub fn ctrl_dep<F: FnOnce()>(loaded: u64, expected: u64, then: F) -> bool {
+    if black_box(loaded) == expected {
+        then();
+        true
+    } else {
+        false
+    }
+}
+
+/// Control dependency plus `ISB`: additionally orders the feeding load before
+/// later *loads* (the flush kills load speculation past the branch).
+#[inline(always)]
+pub fn ctrl_isb_dep<F: FnOnce()>(loaded: u64, expected: u64, then: F) -> bool {
+    if black_box(loaded) == expected {
+        crate::native::isb();
+        then();
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dep_zero_is_always_zero() {
+        for v in [0, 1, u64::MAX, 0x5555_5555_5555_5555, 23] {
+            assert_eq!(dep_zero(v), 0);
+        }
+    }
+
+    #[test]
+    fn data_dep_preserves_value() {
+        assert_eq!(data_dep(0xABCD, 42), 42);
+        assert_eq!(data_dep(u64::MAX, u64::MAX), u64::MAX);
+        assert_eq!(data_dep(7, 0), 0);
+    }
+
+    #[test]
+    fn addr_dep_preserves_pointer() {
+        let mut x = 5u32;
+        let p = &mut x as *mut u32;
+        let q = addr_dep(0xFFFF_0000, p);
+        assert_eq!(p, q);
+        // SAFETY: q == p, which points at live `x`.
+        unsafe {
+            *q = 9;
+        }
+        assert_eq!(x, 9);
+    }
+
+    #[test]
+    fn addr_dep_ref_preserves_reference() {
+        let x = [1u64, 2, 3];
+        let r = addr_dep_ref(999, &x[1]);
+        assert_eq!(*r, 2);
+    }
+
+    #[test]
+    fn ctrl_dep_branches_correctly() {
+        let mut hit = false;
+        assert!(ctrl_dep(1, 1, || hit = true));
+        assert!(hit);
+        let mut hit2 = false;
+        assert!(!ctrl_dep(1, 2, || hit2 = true));
+        assert!(!hit2);
+    }
+
+    #[test]
+    fn ctrl_isb_dep_branches_correctly() {
+        let mut n = 0u32;
+        assert!(ctrl_isb_dep(23, 23, || n += 1));
+        assert!(!ctrl_isb_dep(23, 24, || n += 10));
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Host-hardware runner for Algorithm 1 — the path that regenerates the
+//! paper's figures on a *real* ARM machine.
+//!
+//! [`run_hw_model`] executes the abstracted model with genuine loads,
+//! stores, nops, and (on aarch64) the genuine barrier instructions, over a
+//! buffer whose cache lines were last written by a peer thread — the
+//! paper's construction for making every access a remote memory reference.
+//! Two threads alternate over the shared arena in strict phases so each
+//! phase's accesses hit lines owned by the other core.
+//!
+//! On non-ARM hosts this still runs (with the portable barrier mapping) and
+//! is used by tests for *functional* coverage; the numbers only mean
+//! something on aarch64.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::kind::Barrier;
+use crate::{deps, native};
+
+/// Which memory operations Algorithm 1's lines 4 and 8 perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwOps {
+    /// No memory operations (Figure 2's intrinsic-overhead shape).
+    None,
+    /// Two stores to different lines (Figure 3).
+    StoreStore,
+    /// A load then a store (Figure 5).
+    LoadStore,
+}
+
+/// One hardware-model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwSpec {
+    /// The memory-operation shape.
+    pub ops: HwOps,
+    /// The order-preserving approach under test.
+    pub barrier: Barrier,
+    /// Place the barrier strictly after the first access (`X-1`) rather
+    /// than after the nops (`X-2`).
+    pub after_first: bool,
+    /// Nops between the two accesses.
+    pub nops: u32,
+}
+
+/// Result of a hardware run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwResult {
+    /// Loop iterations executed (per thread phase).
+    pub iterations: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Loops per second.
+    pub loops_per_sec: f64,
+}
+
+#[inline(always)]
+fn nop_block(n: u32) {
+    for _ in 0..n {
+        // A dependency-free single-cycle op the optimizer must keep.
+        core::hint::spin_loop();
+    }
+}
+
+/// Execute the barrier/idiom at its location inside the loop body.
+///
+/// `loaded` is the value of the first access when it was a load (for the
+/// dependency idioms); returns an address offset (always zero) the caller
+/// folds into the second access, realizing ADDR/DATA deps.
+#[inline(always)]
+fn run_approach(b: Barrier, loaded: u64) -> u64 {
+    match b {
+        Barrier::None | Barrier::Ldar | Barrier::Stlr => 0,
+        Barrier::DataDep | Barrier::AddrDep => deps::dep_zero(loaded),
+        Barrier::Ctrl => {
+            // A branch the compiler cannot elide; taken path is empty.
+            if core::hint::black_box(loaded) == u64::MAX {
+                core::hint::black_box(0u64);
+            }
+            0
+        }
+        Barrier::CtrlIsb => {
+            if core::hint::black_box(loaded) != u64::MAX {
+                native::isb();
+            }
+            0
+        }
+        f => {
+            native::execute(f);
+            0
+        }
+    }
+}
+
+/// Run the abstracted model on real threads: two threads take strict turns
+/// over a shared arena of `lines` cache lines, each turn running
+/// `iterations / turns` loop iterations. Returns the measuring thread's
+/// aggregate rate.
+///
+/// # Panics
+///
+/// Panics if `iterations == 0`.
+#[must_use]
+pub fn run_hw_model(spec: HwSpec, iterations: u64) -> HwResult {
+    assert!(iterations > 0);
+    const LINES: usize = 4096; // 256 KiB arena: beyond L1, fits L2
+    const TURNS: u64 = 8;
+    let arena: Vec<AtomicU64> = (0..LINES * 8).map(|_| AtomicU64::new(0)).collect();
+    // Strict alternation token: whose turn it is (0 or 1).
+    let turn = AtomicUsize::new(0);
+    let per_turn = (iterations / TURNS).max(1);
+
+    let body = |me: usize, measure: bool| -> f64 {
+        let mut idx = 0usize;
+        let mut spent = 0.0f64;
+        for _round in 0..TURNS {
+            // Wait for our turn (the other thread just dirtied the arena).
+            while turn.load(Ordering::Acquire) % 2 != me {
+                std::hint::spin_loop();
+            }
+            let start = Instant::now();
+            for i in 0..per_turn {
+                // Two distinct lines per iteration (8 u64s = 1 line).
+                let a1 = idx % (LINES * 8 / 2);
+                let a2 = LINES * 8 / 2 + a1;
+                idx += 8;
+                let mut loaded = 0u64;
+                match spec.ops {
+                    HwOps::None => {}
+                    HwOps::StoreStore => {
+                        arena[a1].store(i, Ordering::Relaxed);
+                    }
+                    HwOps::LoadStore => {
+                        loaded = if spec.barrier == Barrier::Ldar {
+                            // SAFETY: arena cell is a live aligned AtomicU64.
+                            unsafe {
+                                native::load_acquire_u64(arena[a1].as_ptr().cast_const())
+                            }
+                        } else {
+                            arena[a1].load(Ordering::Relaxed)
+                        };
+                    }
+                }
+                let off = if spec.after_first { run_approach(spec.barrier, loaded) } else { 0 };
+                nop_block(spec.nops);
+                let off2 =
+                    if spec.after_first { 0 } else { run_approach(spec.barrier, loaded) };
+                let slot = a2 + (off + off2) as usize;
+                match spec.ops {
+                    HwOps::None => {}
+                    HwOps::StoreStore | HwOps::LoadStore => {
+                        if spec.barrier == Barrier::Stlr {
+                            // SAFETY: as above.
+                            unsafe { native::store_release_u64(arena[slot].as_ptr(), i) }
+                        } else {
+                            arena[slot].store(i, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            if measure {
+                spent += start.elapsed().as_secs_f64();
+            }
+            turn.fetch_add(1, Ordering::AcqRel);
+        }
+        spent
+    };
+
+    let mut seconds = 0.0;
+    std::thread::scope(|s| {
+        let h = s.spawn(|| body(0, true));
+        s.spawn(|| body(1, false));
+        seconds = h.join().expect("measuring thread");
+    });
+    let iters = per_turn * TURNS;
+    HwResult {
+        iterations: iters,
+        seconds,
+        loops_per_sec: iters as f64 / seconds.max(1e-12),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(spec: HwSpec) -> HwResult {
+        run_hw_model(spec, 4_000)
+    }
+
+    #[test]
+    fn all_shapes_and_barriers_run_to_completion() {
+        for ops in [HwOps::None, HwOps::StoreStore, HwOps::LoadStore] {
+            for barrier in [
+                Barrier::None,
+                Barrier::DmbFull,
+                Barrier::DmbSt,
+                Barrier::DmbLd,
+                Barrier::DsbFull,
+                Barrier::Isb,
+                Barrier::Stlr,
+                Barrier::Ldar,
+                Barrier::DataDep,
+                Barrier::AddrDep,
+                Barrier::Ctrl,
+                Barrier::CtrlIsb,
+            ] {
+                let r = quick(HwSpec { ops, barrier, after_first: true, nops: 5 });
+                assert!(r.iterations > 0, "{ops:?}/{barrier}");
+                assert!(r.loops_per_sec > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn results_scale_with_iterations() {
+        let spec =
+            HwSpec { ops: HwOps::StoreStore, barrier: Barrier::None, after_first: false, nops: 3 };
+        let small = run_hw_model(spec, 2_000);
+        let large = run_hw_model(spec, 16_000);
+        assert!(large.iterations > small.iterations);
+    }
+}

@@ -1,0 +1,382 @@
+//! The taxonomy of ARM order-preserving approaches.
+//!
+//! Each variant of [`Barrier`] is one of the options §2.2 of the paper lists.
+//! The predicates on `Barrier` encode two distinct things:
+//!
+//! 1. **Architectural semantics** ([`Barrier::orders_before`] /
+//!    [`Barrier::orders_after`]): which program-order-earlier accesses must be
+//!    observable before which program-order-later accesses. These are what the
+//!    exhaustive weak-memory explorer enforces.
+//! 2. **Typical implementation behaviour** ([`Barrier::bus_transaction`],
+//!    [`Barrier::blocks_issue_of_non_memory`], …): how a real core is likely
+//!    to realize the semantics (§2.3). These drive the timing simulator and
+//!    are *not* mandated by the architecture — the paper stresses that the
+//!    ISA defines correctness only, and performance is vendor-defined.
+
+use core::fmt;
+
+/// The class of a memory access, used to describe what a barrier orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessType {
+    /// A load (read) access.
+    Load,
+    /// A store (write) access.
+    Store,
+}
+
+impl AccessType {
+    /// All access types, convenient for exhaustive iteration in tests.
+    pub const ALL: [AccessType; 2] = [AccessType::Load, AccessType::Store];
+}
+
+impl fmt::Display for AccessType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessType::Load => write!(f, "load"),
+            AccessType::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// The kind of ACE transaction a barrier's typical implementation sends.
+///
+/// §2.3: DMB normally translates to a *memory barrier transaction* and DSB to
+/// a *synchronization barrier transaction*. The difference that matters for
+/// performance (Observation 5) is how far the transaction must travel before
+/// the interconnect may respond: a memory barrier transaction only needs to
+/// reach the **inner bi-section boundary** when all snooping stays inside one
+/// subset of masters (e.g. one NUMA node), while a synchronization barrier
+/// transaction always reaches the **inner domain boundary**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusTransaction {
+    /// No transaction: the core resolves the barrier locally (DMB ld, LDAR,
+    /// dependencies). Observation 6: these significantly outperform the rest.
+    None,
+    /// ACE memory barrier transaction (DMB full / DMB st). May be answered at
+    /// the bi-section boundary when no cross-node snooping is required.
+    MemoryBarrier,
+    /// ACE synchronization barrier transaction (DSB *, and — empirically — the
+    /// conservative STLR implementations the paper measured). Must reach the
+    /// domain boundary, so it never benefits from NUMA locality.
+    SyncBarrier,
+}
+
+/// Every order-preserving approach the paper studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Barrier {
+    /// No ordering at all; the WMM baseline.
+    None,
+    /// `DMB ISH` — orders any earlier access against any later access.
+    DmbFull,
+    /// `DMB ISHST` — orders earlier stores against later stores.
+    DmbSt,
+    /// `DMB ISHLD` — orders earlier loads against later loads and stores.
+    DmbLd,
+    /// `DSB ISH` — DMB full ordering, plus blocks *all* later instructions
+    /// until earlier accesses complete in the domain.
+    DsbFull,
+    /// `DSB ISHST` — store-to-store DSB.
+    DsbSt,
+    /// `DSB ISHLD` — load-to-any DSB.
+    DsbLd,
+    /// `ISB` — flushes the pipeline; orders nothing by itself but guarantees
+    /// later instructions re-fetch after earlier context-changing effects.
+    Isb,
+    /// `LDAR` — load-acquire: the annotated load is ordered before every
+    /// later access (one-way barrier).
+    Ldar,
+    /// `STLR` — store-release: every earlier access is ordered before the
+    /// annotated store (one-way barrier).
+    Stlr,
+    /// A bogus **data dependency**: the stored value is computed from the
+    /// loaded value (`x ^ x` trick), ordering that load before that store.
+    DataDep,
+    /// A bogus **address dependency**: a later access's address is computed
+    /// from the loaded value, ordering the load before loads *and* stores.
+    AddrDep,
+    /// A bogus **control dependency**: a branch on the loaded value orders
+    /// the load before later *stores* only (loads may still speculate).
+    Ctrl,
+    /// Control dependency followed by `ISB`, which also orders later loads
+    /// (the pipeline flush kills the speculation).
+    CtrlIsb,
+}
+
+impl Barrier {
+    /// Every variant, for exhaustive sweeps in experiments and tests.
+    pub const ALL: [Barrier; 14] = [
+        Barrier::None,
+        Barrier::DmbFull,
+        Barrier::DmbSt,
+        Barrier::DmbLd,
+        Barrier::DsbFull,
+        Barrier::DsbSt,
+        Barrier::DsbLd,
+        Barrier::Isb,
+        Barrier::Ldar,
+        Barrier::Stlr,
+        Barrier::DataDep,
+        Barrier::AddrDep,
+        Barrier::Ctrl,
+        Barrier::CtrlIsb,
+    ];
+
+    /// The standalone barrier *instructions* (excludes `None`, the one-way
+    /// access-attached LDAR/STLR, and the dependency idioms). These are the
+    /// legal fillers for `BARRIER_LOC_1/2` in Algorithm 1.
+    pub const INSTRUCTIONS: [Barrier; 7] = [
+        Barrier::DmbFull,
+        Barrier::DmbSt,
+        Barrier::DmbLd,
+        Barrier::DsbFull,
+        Barrier::DsbSt,
+        Barrier::DsbLd,
+        Barrier::Isb,
+    ];
+
+    /// Does this approach order a program-order-earlier access of type
+    /// `earlier` before a program-order-later access of type `later`?
+    ///
+    /// For the access-attached options (LDAR/STLR/dependencies), "earlier" or
+    /// "later" is interpreted as the attached access itself:
+    /// * `Ldar` — `earlier` must be `Load` (the acquiring load).
+    /// * `Stlr` — `later` must be `Store` (the releasing store).
+    /// * `DataDep` — orders the feeding `Load` before the fed `Store`.
+    /// * `AddrDep` — orders the feeding `Load` before any fed access.
+    /// * `Ctrl` — orders the tested `Load` before dependent `Store`s only.
+    /// * `CtrlIsb` — orders the tested `Load` before any later access.
+    #[must_use]
+    pub fn orders(self, earlier: AccessType, later: AccessType) -> bool {
+        use AccessType::{Load, Store};
+        match self {
+            Barrier::None | Barrier::Isb => false,
+            Barrier::DmbFull | Barrier::DsbFull => true,
+            Barrier::DmbSt | Barrier::DsbSt => earlier == Store && later == Store,
+            Barrier::DmbLd | Barrier::DsbLd => earlier == Load,
+            Barrier::Ldar => earlier == Load,
+            Barrier::Stlr => later == Store,
+            Barrier::DataDep => earlier == Load && later == Store,
+            Barrier::AddrDep => earlier == Load,
+            Barrier::Ctrl => earlier == Load && later == Store,
+            Barrier::CtrlIsb => earlier == Load,
+        }
+    }
+
+    /// The ACE transaction this approach's *typical* implementation sends
+    /// (§2.3 and footnote 6; Observations 3, 5, 6).
+    #[must_use]
+    pub fn bus_transaction(self) -> BusTransaction {
+        match self {
+            Barrier::DmbFull | Barrier::DmbSt => BusTransaction::MemoryBarrier,
+            Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd | Barrier::Stlr => {
+                BusTransaction::SyncBarrier
+            }
+            _ => BusTransaction::None,
+        }
+    }
+
+    /// Whether the typical implementation blocks the *issue* of all
+    /// subsequent instructions (memory or not) until it completes.
+    ///
+    /// Only DSB does this architecturally; ISB does it transiently via the
+    /// pipeline flush. DMB "does not block any non-memory access operations"
+    /// (§2.2), although Observation 2 shows it can still throttle them
+    /// indirectly through re-order-buffer pressure — that indirect effect is
+    /// modelled separately by the simulator.
+    #[must_use]
+    pub fn blocks_issue_of_non_memory(self) -> bool {
+        matches!(
+            self,
+            Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd | Barrier::Isb | Barrier::CtrlIsb
+        )
+    }
+
+    /// Whether the typical implementation holds its re-order-buffer slot
+    /// until the bus responds, creating back-pressure on later instructions.
+    ///
+    /// The paper's explanation of Figure 4: DMB full "may cause some
+    /// performance bottlenecks in the pipeline (e.g., saturating the reorder
+    /// buffer)". DMB st is observed *not* to have the property ("a more
+    /// radical implementation"), which is why it never halves nop throughput.
+    #[must_use]
+    pub fn occupies_rob_until_response(self) -> bool {
+        matches!(self, Barrier::DmbFull | Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd)
+    }
+
+    /// Whether this approach flushes the pipeline (fixed refill cost).
+    #[must_use]
+    pub fn flushes_pipeline(self) -> bool {
+        matches!(self, Barrier::Isb | Barrier::CtrlIsb)
+    }
+
+    /// Whether the approach is a dependency idiom rather than an instruction.
+    #[must_use]
+    pub fn is_dependency(self) -> bool {
+        matches!(
+            self,
+            Barrier::DataDep | Barrier::AddrDep | Barrier::Ctrl | Barrier::CtrlIsb
+        )
+    }
+
+    /// Whether the approach is attached to a specific access rather than
+    /// standing alone in the instruction stream (LDAR, STLR, dependencies).
+    #[must_use]
+    pub fn is_access_attached(self) -> bool {
+        matches!(self, Barrier::Ldar | Barrier::Stlr) || self.is_dependency()
+    }
+
+    /// The mnemonic used in the paper's figures (e.g. `DMB full`, `LDAR`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Barrier::None => "No Barrier",
+            Barrier::DmbFull => "DMB full",
+            Barrier::DmbSt => "DMB st",
+            Barrier::DmbLd => "DMB ld",
+            Barrier::DsbFull => "DSB full",
+            Barrier::DsbSt => "DSB st",
+            Barrier::DsbLd => "DSB ld",
+            Barrier::Isb => "ISB",
+            Barrier::Ldar => "LDAR",
+            Barrier::Stlr => "STLR",
+            Barrier::DataDep => "DATA DEP",
+            Barrier::AddrDep => "ADDR DEP",
+            Barrier::Ctrl => "CTRL",
+            Barrier::CtrlIsb => "CTRL+ISB",
+        }
+    }
+}
+
+impl fmt::Display for Barrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessType::{Load, Store};
+
+    #[test]
+    fn full_barriers_order_everything() {
+        for b in [Barrier::DmbFull, Barrier::DsbFull] {
+            for e in AccessType::ALL {
+                for l in AccessType::ALL {
+                    assert!(b.orders(e, l), "{b} must order {e}->{l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_barriers_order_only_store_store() {
+        for b in [Barrier::DmbSt, Barrier::DsbSt] {
+            assert!(b.orders(Store, Store));
+            assert!(!b.orders(Store, Load));
+            assert!(!b.orders(Load, Store));
+            assert!(!b.orders(Load, Load));
+        }
+    }
+
+    #[test]
+    fn load_barriers_order_load_to_anything() {
+        for b in [Barrier::DmbLd, Barrier::DsbLd, Barrier::Ldar, Barrier::CtrlIsb] {
+            assert!(b.orders(Load, Load));
+            assert!(b.orders(Load, Store));
+            assert!(!b.orders(Store, Store));
+            assert!(!b.orders(Store, Load));
+        }
+    }
+
+    #[test]
+    fn stlr_orders_anything_to_store() {
+        assert!(Barrier::Stlr.orders(Load, Store));
+        assert!(Barrier::Stlr.orders(Store, Store));
+        assert!(!Barrier::Stlr.orders(Load, Load));
+        assert!(!Barrier::Stlr.orders(Store, Load));
+    }
+
+    #[test]
+    fn ctrl_and_data_dep_do_not_order_load_load() {
+        for b in [Barrier::Ctrl, Barrier::DataDep] {
+            assert!(b.orders(Load, Store));
+            assert!(!b.orders(Load, Load), "{b} cannot order load->load");
+        }
+    }
+
+    #[test]
+    fn addr_dep_orders_load_to_any() {
+        assert!(Barrier::AddrDep.orders(Load, Load));
+        assert!(Barrier::AddrDep.orders(Load, Store));
+        assert!(!Barrier::AddrDep.orders(Store, Store));
+    }
+
+    #[test]
+    fn none_and_isb_order_nothing() {
+        for b in [Barrier::None, Barrier::Isb] {
+            for e in AccessType::ALL {
+                for l in AccessType::ALL {
+                    assert!(!b.orders(e, l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bus_involvement_matches_observation_6() {
+        // Order-preserving approaches without involving the bus.
+        for b in [
+            Barrier::DmbLd,
+            Barrier::Ldar,
+            Barrier::DataDep,
+            Barrier::AddrDep,
+            Barrier::Ctrl,
+            Barrier::CtrlIsb,
+            Barrier::None,
+            Barrier::Isb,
+        ] {
+            assert_eq!(b.bus_transaction(), BusTransaction::None, "{b}");
+        }
+        assert_eq!(Barrier::DmbFull.bus_transaction(), BusTransaction::MemoryBarrier);
+        assert_eq!(Barrier::DmbSt.bus_transaction(), BusTransaction::MemoryBarrier);
+        for b in [Barrier::DsbFull, Barrier::DsbSt, Barrier::DsbLd, Barrier::Stlr] {
+            assert_eq!(b.bus_transaction(), BusTransaction::SyncBarrier, "{b}");
+        }
+    }
+
+    #[test]
+    fn dsb_blocks_everything_dmb_does_not() {
+        assert!(Barrier::DsbFull.blocks_issue_of_non_memory());
+        assert!(Barrier::DsbSt.blocks_issue_of_non_memory());
+        assert!(!Barrier::DmbFull.blocks_issue_of_non_memory());
+        assert!(!Barrier::DmbSt.blocks_issue_of_non_memory());
+        assert!(!Barrier::Stlr.blocks_issue_of_non_memory());
+    }
+
+    #[test]
+    fn stronger_semantics_implies_superset_of_ordered_pairs() {
+        // DSB full ⊇ DMB full ⊇ DMB st, DMB ld as semantic subsets.
+        for e in AccessType::ALL {
+            for l in AccessType::ALL {
+                if Barrier::DmbSt.orders(e, l) {
+                    assert!(Barrier::DmbFull.orders(e, l));
+                }
+                if Barrier::DmbLd.orders(e, l) {
+                    assert!(Barrier::DmbFull.orders(e, l));
+                }
+                if Barrier::DmbFull.orders(e, l) {
+                    assert!(Barrier::DsbFull.orders(e, l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for b in Barrier::ALL {
+            assert!(seen.insert(b.mnemonic()), "duplicate mnemonic {}", b.mnemonic());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The empirical overhead ranking of order-preserving approaches.
+//!
+//! The paper's headline list (§1):
+//!
+//! ```text
+//! DSB > DMB full > DMB st > DMB ld ≈ LDAR ≥ Dep
+//! ```
+//!
+//! with two riders: all DSB options perform alike, and **STLR is unstable** —
+//! its measured overhead lies between DSB and DMB st and it sometimes loses
+//! to the semantically *stronger* DMB full (Observation 3). [`CostRank`]
+//! encodes that ranking so callers can reason about expected cost, and
+//! [`cost_rank`] places every [`Barrier`] on it.
+
+use crate::kind::{AccessType, Barrier};
+
+/// Expected-overhead band of an order-preserving approach, cheapest first.
+///
+/// Ranks compare with `<` = cheaper. STLR gets its own band between
+/// [`CostRank::StoreBarrier`] and [`CostRank::SyncBarrier`] because its
+/// measured cost floats across that whole range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CostRank {
+    /// Free (no ordering): `No Barrier`.
+    Free,
+    /// Bogus dependencies: no bus traffic, no pipeline penalty.
+    Dependency,
+    /// Local load-ordering: `DMB ld`, `LDAR` (no bus traffic).
+    LoadBarrier,
+    /// Pipeline flush: `ISB`, `CTRL+ISB`.
+    PipelineFlush,
+    /// Store-ordering memory-barrier transaction: `DMB st`.
+    StoreBarrier,
+    /// Full memory-barrier transaction: `DMB full`.
+    FullBarrier,
+    /// Unstable: `STLR` — between `DMB st` and DSB, sometimes above
+    /// `DMB full`.
+    StoreRelease,
+    /// Synchronization barrier transaction: all `DSB` options.
+    SyncBarrier,
+}
+
+/// Place a barrier on the empirical cost ranking.
+#[must_use]
+pub fn cost_rank(b: Barrier) -> CostRank {
+    match b {
+        Barrier::None => CostRank::Free,
+        Barrier::DataDep | Barrier::AddrDep | Barrier::Ctrl => CostRank::Dependency,
+        Barrier::DmbLd | Barrier::Ldar => CostRank::LoadBarrier,
+        Barrier::Isb | Barrier::CtrlIsb => CostRank::PipelineFlush,
+        Barrier::DmbSt => CostRank::StoreBarrier,
+        Barrier::DmbFull => CostRank::FullBarrier,
+        Barrier::Stlr => CostRank::StoreRelease,
+        Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd => CostRank::SyncBarrier,
+    }
+}
+
+/// Convenience re-export of [`Barrier::orders`] as a free function, so the
+/// explorer and the advisor share one source of truth for semantics.
+#[must_use]
+pub fn orders(b: Barrier, earlier: AccessType, later: AccessType) -> bool {
+    b.orders(earlier, later)
+}
+
+/// Whether `b`'s expected cost is *stable* across platforms and placements.
+///
+/// Only STLR is flagged unstable: "Performance comparison with DMB full is
+/// needed before using STLR" (Observation 3).
+#[must_use]
+pub fn is_stable(b: Barrier) -> bool {
+    !matches!(b, Barrier::Stlr)
+}
+
+/// The cheapest approach (by [`cost_rank`]) among `candidates` that still
+/// orders `earlier` before `later`. Ties break toward the earlier candidate.
+#[must_use]
+pub fn cheapest_ordering(
+    candidates: &[Barrier],
+    earlier: AccessType,
+    later: AccessType,
+) -> Option<Barrier> {
+    candidates
+        .iter()
+        .copied()
+        .filter(|b| b.orders(earlier, later))
+        .min_by_key(|b| cost_rank(*b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessType::{Load, Store};
+
+    #[test]
+    fn headline_ranking_holds() {
+        // DSB > DMB full > DMB st > DMB ld ≈ LDAR ≥ Dep
+        assert!(cost_rank(Barrier::DsbFull) > cost_rank(Barrier::DmbFull));
+        assert!(cost_rank(Barrier::DmbFull) > cost_rank(Barrier::DmbSt));
+        assert!(cost_rank(Barrier::DmbSt) > cost_rank(Barrier::DmbLd));
+        assert_eq!(cost_rank(Barrier::DmbLd), cost_rank(Barrier::Ldar));
+        assert!(cost_rank(Barrier::DmbLd) >= cost_rank(Barrier::DataDep));
+    }
+
+    #[test]
+    fn dsb_options_rank_alike() {
+        assert_eq!(cost_rank(Barrier::DsbFull), cost_rank(Barrier::DsbSt));
+        assert_eq!(cost_rank(Barrier::DsbFull), cost_rank(Barrier::DsbLd));
+    }
+
+    #[test]
+    fn stlr_is_between_dmb_st_and_dsb_and_unstable() {
+        assert!(cost_rank(Barrier::Stlr) > cost_rank(Barrier::DmbSt));
+        assert!(cost_rank(Barrier::Stlr) < cost_rank(Barrier::DsbFull));
+        assert!(!is_stable(Barrier::Stlr));
+        assert!(is_stable(Barrier::DmbFull));
+    }
+
+    #[test]
+    fn cheapest_ordering_picks_dependency_for_load_store() {
+        let got = cheapest_ordering(&Barrier::ALL, Load, Store).unwrap();
+        assert_eq!(cost_rank(got), CostRank::Dependency);
+    }
+
+    #[test]
+    fn cheapest_ordering_for_store_store_is_dmb_st() {
+        assert_eq!(cheapest_ordering(&Barrier::ALL, Store, Store), Some(Barrier::DmbSt));
+    }
+
+    #[test]
+    fn cheapest_ordering_for_store_load_is_dmb_full() {
+        // Only full barriers order store->load.
+        assert_eq!(cheapest_ordering(&Barrier::ALL, Store, Load), Some(Barrier::DmbFull));
+    }
+
+    #[test]
+    fn cheapest_ordering_none_when_no_candidate_orders() {
+        assert_eq!(cheapest_ordering(&[Barrier::DmbSt], Load, Load), None);
+    }
+}

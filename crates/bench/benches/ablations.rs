@@ -1,0 +1,91 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out: each
+//! group runs the same workload with one mechanism toggled, so the bench
+//! report shows how much of the paper's shape that mechanism carries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use armbar_barriers::Barrier;
+use armbar_pilot::{pilot_ring, HashPool};
+use armbar_sim::Platform;
+use armbar_simapps::abstract_model::{run_model_on, BarrierLoc, ModelSpec};
+
+const ITERS: u64 = 200;
+
+/// Cross-node abstract-model run on an explicitly tweaked platform.
+fn run_tweaked(platform: &Platform, spec: ModelSpec) -> f64 {
+    run_model_on(platform, 0, 32, spec, black_box(ITERS)).loops_per_sec
+}
+
+/// Ablation 1: DMB full with and without ROB back-pressure. Without it,
+/// Figure 4's "DMB full-1 ≈ half of full-2" collapses (nops flow freely).
+fn ablation_rob(c: &mut Criterion) {
+    let spec = ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::AfterOp1, 700);
+    let mut g = c.benchmark_group("ablation_rob");
+    let on = Platform::kunpeng916();
+    let mut off = Platform::kunpeng916();
+    off.latency.dmb_holds_rob = false;
+    g.bench_function("holds_rob", |b| b.iter(|| run_tweaked(&on, spec)));
+    g.bench_function("free_rob", |b| b.iter(|| run_tweaked(&off, spec)));
+    g.finish();
+}
+
+/// Ablation 2: STLR routed to the domain boundary (real) vs priced like a
+/// bi-section membar — the "stability" the paper wishes STLR had.
+fn ablation_stlr(c: &mut Criterion) {
+    let spec = ModelSpec::store_store(Barrier::Stlr, BarrierLoc::BeforeOp2, 150);
+    let mut g = c.benchmark_group("ablation_stlr");
+    let domain = Platform::kunpeng916();
+    let mut bisection = Platform::kunpeng916();
+    bisection.latency.t_stlr = bisection.latency.t_membar_bisection;
+    g.bench_function("domain_scope", |b| b.iter(|| run_tweaked(&domain, spec)));
+    g.bench_function("bisection_scope", |b| b.iter(|| run_tweaked(&bisection, spec)));
+    g.finish();
+}
+
+/// Ablation 3: non-FIFO vs FIFO store buffer under No Barrier — FIFO
+/// serializes independent drains, which is the cost x86 pays for never
+/// needing a DMB st.
+fn ablation_storebuf(c: &mut Criterion) {
+    let spec = ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, 10);
+    let mut g = c.benchmark_group("ablation_storebuf");
+    let weak = Platform::kunpeng916();
+    let mut fifo = Platform::kunpeng916();
+    fifo.latency.fifo_store_buffer = true;
+    g.bench_function("non_fifo", |b| b.iter(|| run_tweaked(&weak, spec)));
+    g.bench_function("fifo", |b| b.iter(|| run_tweaked(&fifo, spec)));
+    g.finish();
+}
+
+/// Ablation 4: Pilot's hash-pool shuffle on vs effectively off (a 1-seed
+/// pool makes consecutive equal payloads collide every round, forcing the
+/// flag fallback path).
+fn ablation_pilot_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pilot_hash");
+    g.bench_function("shuffled_pool", |b| {
+        b.iter(|| {
+            let pool = HashPool::default_pool();
+            let (mut tx, mut rx) = pilot_ring(8, &pool, Barrier::None);
+            for _ in 0..black_box(500u32) {
+                tx.send(7);
+                assert_eq!(rx.recv(), 7);
+            }
+            tx.fallbacks
+        });
+    });
+    g.bench_function("single_seed_pool", |b| {
+        b.iter(|| {
+            let pool = HashPool::new(42, 1);
+            let (mut tx, mut rx) = pilot_ring(8, &pool, Barrier::None);
+            for _ in 0..black_box(500u32) {
+                tx.send(7);
+                assert_eq!(rx.recv(), 7);
+            }
+            tx.fallbacks
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ablation_rob, ablation_stlr, ablation_storebuf, ablation_pilot_hash);
+criterion_main!(benches);

@@ -1,0 +1,262 @@
+//! One Criterion group per paper table/figure. Each bench measures the
+//! *simulated* experiment (deterministic work, so Criterion tracks harness
+//! regressions, not ARM hardware), scaled down to keep a full `cargo bench`
+//! run in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use armbar_barriers::Barrier;
+use armbar_sim::Platform;
+use armbar_simapps::abstract_model::{run_model, tipping_point, BarrierLoc, ModelSpec};
+use armbar_simapps::bind::BindConfig;
+use armbar_simapps::delegation_sim::{
+    run_delegation, CsProfile, DelegationBarriers, DelegationConfig, DelegationKind, RespMode,
+};
+use armbar_simapps::prodcons::{run_prodcons, PcBarriers, PcVariant};
+use armbar_simapps::ticket_sim::{run_ticket, TicketConfig};
+use armbar_wmm::litmus::{load_buffering, message_passing, store_buffering};
+use armbar_wmm::model::MemoryModel;
+
+const ITERS: u64 = 150;
+
+fn bench_litmus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_litmus");
+    g.bench_function("MP/wmm", |b| {
+        b.iter(|| {
+            let t = message_passing(Barrier::None, Barrier::None);
+            black_box(t.allowed(MemoryModel::ArmWmm))
+        });
+    });
+    g.bench_function("SB/all_models", |b| {
+        b.iter(|| {
+            let t = store_buffering(Barrier::DmbFull);
+            MemoryModel::ALL.map(|m| black_box(t.allowed(m)))
+        });
+    });
+    g.bench_function("LB/deps", |b| {
+        b.iter(|| black_box(load_buffering(Barrier::DataDep).allowed(MemoryModel::ArmWmm)));
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_intrinsic");
+    for barrier in [Barrier::None, Barrier::DmbFull, Barrier::Isb, Barrier::DsbFull] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(barrier.mnemonic()),
+            &barrier,
+            |b, &barrier| {
+                b.iter(|| {
+                    run_model(
+                        BindConfig::KunpengSameNode,
+                        ModelSpec::no_mem(barrier, 30),
+                        black_box(ITERS),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_store_store");
+    for (name, barrier, loc) in [
+        ("no_barrier", Barrier::None, BarrierLoc::BeforeOp2),
+        ("dmb_full_1", Barrier::DmbFull, BarrierLoc::AfterOp1),
+        ("dmb_full_2", Barrier::DmbFull, BarrierLoc::BeforeOp2),
+        ("dmb_st_1", Barrier::DmbSt, BarrierLoc::AfterOp1),
+        ("dsb_full_1", Barrier::DsbFull, BarrierLoc::AfterOp1),
+        ("stlr", Barrier::Stlr, BarrierLoc::BeforeOp2),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_model(
+                    BindConfig::KunpengCrossNodes,
+                    ModelSpec::store_store(barrier, loc, 150),
+                    black_box(ITERS),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_tipping_point", |b| {
+        b.iter(|| tipping_point(BindConfig::KunpengSameNode, &[100, 150, 300], black_box(0.9)));
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_load_store");
+    for (name, barrier, loc) in [
+        ("data_dep", Barrier::DataDep, BarrierLoc::BeforeOp2),
+        ("ldar", Barrier::Ldar, BarrierLoc::AfterOp1),
+        ("dmb_ld_1", Barrier::DmbLd, BarrierLoc::AfterOp1),
+        ("dmb_full_1", Barrier::DmbFull, BarrierLoc::AfterOp1),
+        ("ctrl_isb", Barrier::CtrlIsb, BarrierLoc::AfterOp1),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_model(
+                    BindConfig::KunpengCrossNodes,
+                    ModelSpec::load_store(barrier, loc, 300),
+                    black_box(ITERS),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_prodcons");
+    g.sample_size(10);
+    for (name, variant) in [
+        (
+            "baseline_ld_st",
+            PcVariant::Baseline(PcBarriers { avail: Barrier::DmbLd, publish: Barrier::DmbSt }),
+        ),
+        (
+            "baseline_full_full",
+            PcVariant::Baseline(PcBarriers { avail: Barrier::DmbFull, publish: Barrier::DmbFull }),
+        ),
+        ("pilot", PcVariant::Pilot { avail: Barrier::DmbLd }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_prodcons(BindConfig::KunpengCrossNodes, variant, black_box(200), 1, 40)
+            });
+        });
+    }
+    g.bench_function("fig6c_batched_pilot", |b| {
+        b.iter(|| {
+            run_prodcons(
+                BindConfig::KunpengCrossNodes,
+                PcVariant::Pilot { avail: Barrier::DmbLd },
+                black_box(200),
+                4,
+                10,
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig6d(c: &mut Criterion) {
+    use armbar_dedup::{generate_input, run_pipeline, QueueKind, WorkloadSize};
+    let input = generate_input(WorkloadSize::Tiny, 40, 7);
+    let mut g = c.benchmark_group("fig6d_dedup");
+    g.sample_size(10);
+    for kind in QueueKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| run_pipeline(black_box(&input), kind));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let platform = Platform::kunpeng916();
+    let mut g = c.benchmark_group("fig7_locks");
+    g.sample_size(10);
+    g.bench_function("fig7a_ticket_unlock_dmb_st", |b| {
+        b.iter(|| {
+            run_ticket(
+                &platform,
+                TicketConfig {
+                    threads: 8,
+                    global_lines: 2,
+                    release_barrier: Barrier::DmbSt,
+                    per_thread: black_box(20),
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    let best = DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt };
+    for (name, kind, mode) in [
+        ("fig7b_ffwd_flag", DelegationKind::Ffwd, RespMode::Flag),
+        ("fig7c_ffwd_pilot", DelegationKind::Ffwd, RespMode::Pilot),
+        ("fig7c_dsynch_flag", DelegationKind::DSynch, RespMode::Flag),
+        ("fig7c_dsynch_pilot", DelegationKind::DSynch, RespMode::Pilot),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_delegation(
+                    &platform,
+                    DelegationConfig {
+                        kind,
+                        clients: 8,
+                        barriers: best,
+                        mode,
+                        profile: CsProfile::counter(),
+                        per_client: black_box(20),
+                        interval_nops: 0,
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let platform = Platform::kunpeng916();
+    let best = DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt };
+    let mut g = c.benchmark_group("fig8_datastructs");
+    g.sample_size(10);
+    for (name, profile) in [
+        ("queue_stack", CsProfile::queue_or_stack()),
+        ("list_50", CsProfile::sorted_list(50)),
+        ("list_500", CsProfile::sorted_list(500)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, &profile| {
+            b.iter(|| {
+                run_delegation(
+                    &platform,
+                    DelegationConfig {
+                        kind: DelegationKind::DSynch,
+                        clients: 8,
+                        barriers: best,
+                        mode: RespMode::Pilot,
+                        profile,
+                        per_client: black_box(15),
+                        interval_nops: 0,
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8d(c: &mut Criterion) {
+    use armbar_floorplan::{bots_input, solve_sequential};
+    let mut g = c.benchmark_group("fig8d_floorplan");
+    g.sample_size(10);
+    for n in [5usize, 15] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = bots_input(n);
+            b.iter(|| solve_sequential(black_box(&p)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_litmus,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig6d,
+    bench_fig7,
+    bench_fig8,
+    bench_fig8d
+);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Bench-only crate: the library surface is empty; every target lives in
+//! `benches/` (one Criterion group per paper table/figure, plus the
+//! ablation benches DESIGN.md §6 calls out).

@@ -1,0 +1,153 @@
+//! Hash table of per-bucket sorted lists, one lock per bucket
+//! (Figure 8(c)).
+//!
+//! Each bucket owns a [`SortedList`] behind its own
+//! [`Executor`](armbar_locks::Executor); a key hashes to a bucket and the
+//! operation is delegated to that bucket's lock. More buckets → fewer
+//! threads per lock → less combining opportunity, which is exactly the
+//! trend Figure 8(c) sweeps.
+
+use armbar_locks::{Executor, OpTable};
+
+use crate::list::{ListOps, SortedList};
+use crate::NOT_FOUND;
+
+/// A hash table whose buckets are `E`-protected sorted lists.
+pub struct LockedHashTable<E> {
+    buckets: Vec<E>,
+    ops: ListOps,
+}
+
+impl<E: Executor<SortedList>> LockedHashTable<E> {
+    /// Build a table of `bucket_count` buckets. `make_bucket` receives the
+    /// bucket index, a preloaded list, and the bucket's op table, and wraps
+    /// them in the chosen lock. `preload` members are spread uniformly over
+    /// the buckets (the paper preloads 512).
+    pub fn new(
+        bucket_count: usize,
+        preload: usize,
+        make_bucket: impl Fn(usize, SortedList, OpTable<SortedList>) -> E,
+    ) -> LockedHashTable<E> {
+        assert!(bucket_count > 0);
+        let mut proto_table = OpTable::new();
+        let ops = ListOps::register(&mut proto_table);
+        drop(proto_table);
+        let buckets = (0..bucket_count)
+            .map(|b| {
+                let mut table = OpTable::new();
+                let _ops = ListOps::register(&mut table);
+                let mut list = SortedList::new();
+                // Key k lands in bucket (k % bucket_count); preload keys
+                // 0..preload land uniformly.
+                let mut k = b as u64;
+                while (k as usize) < preload {
+                    let _ = list.insert(k);
+                    k += bucket_count as u64;
+                }
+                make_bucket(b, list, table)
+            })
+            .collect();
+        LockedHashTable { buckets, ops }
+    }
+
+    fn bucket_of(&self, key: u64) -> usize {
+        (key % self.buckets.len() as u64) as usize
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Insert `key`; `true` if newly inserted.
+    pub fn insert(&self, handle: usize, key: u64) -> bool {
+        let b = self.bucket_of(key);
+        self.buckets[b].execute(handle, self.ops.insert, key) == 1
+    }
+
+    /// Remove `key`; `true` if it was present.
+    pub fn remove(&self, handle: usize, key: u64) -> bool {
+        let b = self.bucket_of(key);
+        self.buckets[b].execute(handle, self.ops.remove, key) != NOT_FOUND
+    }
+
+    /// Membership query.
+    pub fn contains(&self, handle: usize, key: u64) -> bool {
+        let b = self.bucket_of(key);
+        self.buckets[b].execute(handle, self.ops.contains, key) == 1
+    }
+
+    /// Total members across buckets.
+    pub fn len(&self, handle: usize) -> u64 {
+        self.buckets.iter().map(|b| b.execute(handle, self.ops.len, 0)).sum()
+    }
+
+    /// Whether every bucket is empty.
+    pub fn is_empty(&self, handle: usize) -> bool {
+        self.len(handle) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_locks::TicketLock;
+
+    fn ticket_table(buckets: usize, preload: usize) -> LockedHashTable<TicketLock<SortedList>> {
+        LockedHashTable::new(buckets, preload, |_b, list, table| TicketLock::new(list, table))
+    }
+
+    #[test]
+    fn preload_spreads_uniformly() {
+        let t = ticket_table(8, 512);
+        assert_eq!(t.len(0), 512);
+        for k in 0..512 {
+            assert!(t.contains(0, k), "preloaded key {k} missing");
+        }
+        assert!(!t.contains(0, 513));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let t = ticket_table(4, 0);
+        assert!(t.insert(0, 77));
+        assert!(!t.insert(0, 77));
+        assert!(t.contains(0, 77));
+        assert!(t.remove(0, 77));
+        assert!(!t.remove(0, 77));
+        assert!(t.is_empty(0));
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_preserves_size() {
+        let t = ticket_table(16, 512);
+        const THREADS: usize = 4;
+        std::thread::scope(|s| {
+            for h in 0..THREADS {
+                let t = &t;
+                s.spawn(move || {
+                    // Private keys above the preload range.
+                    let my = |i: u64| 1000 + h as u64 + THREADS as u64 * i;
+                    for i in 0..500u64 {
+                        for q in 0..10 {
+                            t.contains(h, (i + q) % 512);
+                        }
+                        assert!(t.insert(h, my(i)));
+                        assert!(t.remove(h, my(i)));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(0), 512);
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_global_lock() {
+        let t = ticket_table(1, 10);
+        assert_eq!(t.bucket_count(), 1);
+        assert_eq!(t.len(0), 10);
+        assert!(t.insert(0, 1000));
+        assert_eq!(t.len(0), 11);
+    }
+}

@@ -1,0 +1,32 @@
+//! Lock-protected workload data structures (paper §5.4, Figure 8).
+//!
+//! The paper evaluates delegation locks on four structures: a queue and a
+//! stack under a global lock, a Synchrobench-style sorted linked list, and
+//! a hash table of per-bucket lists each with its own lock. The structures
+//! themselves are *sequential* — mutual exclusion comes from whichever
+//! [`Executor`](armbar_locks::Executor) wraps them (ticket, MCS, FFWD,
+//! DSynch, with or without Pilot) — so swapping lock families never touches
+//! workload code.
+//!
+//! Every structure ships with a `register` helper that installs its
+//! critical sections into an [`OpTable`](armbar_locks::OpTable), returning
+//! the op ids the drivers use.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hashtable;
+pub mod list;
+pub mod queue;
+pub mod stack;
+pub mod workload;
+
+pub use hashtable::LockedHashTable;
+pub use list::{ListOps, SortedList};
+pub use queue::{QueueOps, SeqQueue};
+pub use stack::{SeqStack, StackOps};
+pub use workload::MixedWorkload;
+
+/// Sentinel returned by remove/dequeue/pop when the structure was empty or
+/// the key was absent (critical sections return `u64`).
+pub const NOT_FOUND: u64 = u64::MAX;

@@ -1,0 +1,114 @@
+//! FIFO queue under a global lock (Figure 8(a)).
+//!
+//! "Threads insert and then remove a member" — the critical sections are
+//! short, constant-time, and size-independent, which is why Pilot's benefit
+//! is stable on this workload.
+
+use std::collections::VecDeque;
+
+use armbar_locks::{OpId, OpTable};
+
+use crate::NOT_FOUND;
+
+/// The sequential queue the lock protects.
+#[derive(Debug, Default)]
+pub struct SeqQueue {
+    items: VecDeque<u64>,
+    /// Total enqueues, for invariant checks.
+    pub enqueued: u64,
+    /// Total successful dequeues.
+    pub dequeued: u64,
+}
+
+impl SeqQueue {
+    /// Empty queue.
+    #[must_use]
+    pub fn new() -> SeqQueue {
+        SeqQueue::default()
+    }
+
+    /// Current length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Registered op ids for [`SeqQueue`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueueOps {
+    /// `enqueue(v) -> new length`.
+    pub enqueue: OpId,
+    /// `dequeue() -> value` (or [`NOT_FOUND`]).
+    pub dequeue: OpId,
+    /// `len() -> current length`.
+    pub len: OpId,
+}
+
+impl QueueOps {
+    /// Install the queue's critical sections into `table`.
+    pub fn register(table: &mut OpTable<SeqQueue>) -> QueueOps {
+        QueueOps {
+            enqueue: table.register(|q, v| {
+                q.items.push_back(v);
+                q.enqueued += 1;
+                q.items.len() as u64
+            }),
+            dequeue: table.register(|q, _| match q.items.pop_front() {
+                Some(v) => {
+                    q.dequeued += 1;
+                    v
+                }
+                None => NOT_FOUND,
+            }),
+            len: table.register(|q, _| q.items.len() as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_locks::{Executor, TicketLock};
+
+    #[test]
+    fn fifo_order_through_ops() {
+        let mut table = OpTable::new();
+        let ops = QueueOps::register(&mut table);
+        let mut q = SeqQueue::new();
+        assert_eq!(table.get(ops.enqueue)(&mut q, 10), 1);
+        assert_eq!(table.get(ops.enqueue)(&mut q, 20), 2);
+        assert_eq!(table.get(ops.dequeue)(&mut q, 0), 10);
+        assert_eq!(table.get(ops.dequeue)(&mut q, 0), 20);
+        assert_eq!(table.get(ops.dequeue)(&mut q, 0), NOT_FOUND);
+    }
+
+    #[test]
+    fn concurrent_insert_remove_pairs_leave_empty() {
+        let mut table = OpTable::new();
+        let ops = QueueOps::register(&mut table);
+        let lock = TicketLock::new(SeqQueue::new(), table);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = &lock;
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        lock.execute(0, ops.enqueue, i);
+                        assert_ne!(lock.execute(0, ops.dequeue, 0), NOT_FOUND);
+                    }
+                });
+            }
+        });
+        assert_eq!(lock.execute(0, ops.len, 0), 0);
+        lock.with(|q| {
+            assert_eq!(q.enqueued, 8_000);
+            assert_eq!(q.dequeued, 8_000);
+        });
+    }
+}

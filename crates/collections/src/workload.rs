@@ -1,0 +1,130 @@
+//! The paper's benchmark mix as a reusable driver.
+//!
+//! §5.4: "threads insert 1 member then remove 1 member from the list after
+//! every 10 queries". [`MixedWorkload`] generates that access sequence
+//! deterministically per thread so host and simulator runs agree on the
+//! workload.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One step of the mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Membership query for the key.
+    Query(u64),
+    /// Insert the key.
+    Insert(u64),
+    /// Remove the key.
+    Remove(u64),
+}
+
+/// Deterministic per-thread generator of the 10-query/1-insert/1-remove mix.
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    rng: SmallRng,
+    key_space: u64,
+    /// Thread-private key offset so insert/remove pairs never collide
+    /// across threads.
+    private_base: u64,
+    round: u64,
+    phase: u8,
+}
+
+impl MixedWorkload {
+    /// A workload for thread `thread` of `threads`, querying keys in
+    /// `0..key_space` and inserting/removing private keys above it.
+    #[must_use]
+    pub fn new(thread: usize, _threads: usize, key_space: u64, seed: u64) -> MixedWorkload {
+        MixedWorkload {
+            rng: SmallRng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0x9E37)),
+            key_space: key_space.max(1),
+            private_base: key_space + 1 + thread as u64,
+            round: 0,
+            phase: 0,
+        }
+    }
+
+    fn private_key(&self) -> u64 {
+        // Stride keeps each thread's keys disjoint.
+        self.private_base + 64 * self.round
+    }
+
+    /// Next step of the sequence (10 queries, then insert, then remove).
+    pub fn next_step(&mut self) -> Step {
+        let step = match self.phase {
+            0..=9 => Step::Query(self.rng.gen_range(0..self.key_space)),
+            10 => Step::Insert(self.private_key()),
+            _ => Step::Remove(self.private_key()),
+        };
+        self.phase += 1;
+        if self.phase == 12 {
+            self.phase = 0;
+            self.round += 1;
+        }
+        step
+    }
+
+    /// Completed insert/remove rounds.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_shape_is_10_1_1() {
+        let mut w = MixedWorkload::new(0, 4, 100, 42);
+        let steps: Vec<Step> = (0..24).map(|_| w.next_step()).collect();
+        for chunk in steps.chunks(12) {
+            assert!(chunk[..10].iter().all(|s| matches!(s, Step::Query(_))));
+            assert!(matches!(chunk[10], Step::Insert(_)));
+            assert!(matches!(chunk[11], Step::Remove(_)));
+            // The insert and remove target the same key.
+            if let (Step::Insert(a), Step::Remove(b)) = (chunk[10], chunk[11]) {
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(w.rounds(), 2);
+    }
+
+    #[test]
+    fn queries_stay_in_key_space() {
+        let mut w = MixedWorkload::new(1, 4, 50, 7);
+        for _ in 0..600 {
+            if let Step::Query(k) = w.next_step() {
+                assert!(k < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn private_keys_are_disjoint_across_threads() {
+        let mut keys_a = std::collections::HashSet::new();
+        let mut keys_b = std::collections::HashSet::new();
+        let mut a = MixedWorkload::new(0, 2, 100, 1);
+        let mut b = MixedWorkload::new(1, 2, 100, 1);
+        for _ in 0..120 {
+            if let Step::Insert(k) = a.next_step() {
+                keys_a.insert(k);
+            }
+            if let Step::Insert(k) = b.next_step() {
+                keys_b.insert(k);
+            }
+        }
+        assert!(keys_a.is_disjoint(&keys_b));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = MixedWorkload::new(2, 4, 100, 9);
+        let mut b = MixedWorkload::new(2, 4, 100, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_step(), b.next_step());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Model-based property tests: every structure must behave exactly like
+//! its obvious std reference model under arbitrary operation sequences,
+//! both sequentially and through a lock executor.
+
+use proptest::prelude::*;
+use std::collections::{BTreeSet, VecDeque};
+
+use armbar_collections::{
+    hashtable::LockedHashTable, ListOps, QueueOps, SeqQueue, SeqStack, SortedList, StackOps,
+    NOT_FOUND,
+};
+use armbar_locks::{Executor, OpTable, TicketLock};
+
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn gen_set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        (0u64..50).prop_map(SetOp::Insert),
+        (0u64..50).prop_map(SetOp::Remove),
+        (0u64..50).prop_map(SetOp::Contains),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sorted_list_matches_btreeset(ops in prop::collection::vec(gen_set_op(), 0..200)) {
+        let mut list = SortedList::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(k) => prop_assert_eq!(list.insert(k), model.insert(k)),
+                SetOp::Remove(k) => prop_assert_eq!(list.remove(k), model.remove(&k)),
+                SetOp::Contains(k) => prop_assert_eq!(list.contains(k), model.contains(&k)),
+            }
+            prop_assert_eq!(list.len(), model.len());
+        }
+        let keys = list.keys();
+        prop_assert_eq!(keys, model.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_matches_vecdeque(ops in prop::collection::vec(any::<Option<u64>>(), 0..200)) {
+        // Some(v) = enqueue v, None = dequeue.
+        let mut table = OpTable::new();
+        let qops = QueueOps::register(&mut table);
+        let mut q = SeqQueue::new();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let len = table.get(qops.enqueue)(&mut q, v);
+                    model.push_back(v);
+                    prop_assert_eq!(len as usize, model.len());
+                }
+                None => {
+                    let got = table.get(qops.dequeue)(&mut q, 0);
+                    match model.pop_front() {
+                        Some(v) => prop_assert_eq!(got, v),
+                        None => prop_assert_eq!(got, NOT_FOUND),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(q.len(), model.len());
+    }
+
+    #[test]
+    fn stack_matches_vec(ops in prop::collection::vec(any::<Option<u64>>(), 0..200)) {
+        let mut table = OpTable::new();
+        let sops = StackOps::register(&mut table);
+        let mut st = SeqStack::new();
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    table.get(sops.push)(&mut st, v);
+                    model.push(v);
+                }
+                None => {
+                    let got = table.get(sops.pop)(&mut st, 0);
+                    match model.pop() {
+                        Some(v) => prop_assert_eq!(got, v),
+                        None => prop_assert_eq!(got, NOT_FOUND),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(st.len(), model.len());
+    }
+
+    #[test]
+    fn hash_table_matches_btreeset_through_a_lock(
+        ops in prop::collection::vec(gen_set_op(), 0..150),
+        buckets in 1usize..10,
+    ) {
+        let table: LockedHashTable<TicketLock<SortedList>> =
+            LockedHashTable::new(buckets, 0, |_b, list, t| TicketLock::new(list, t));
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(k) => prop_assert_eq!(table.insert(0, k), model.insert(k)),
+                SetOp::Remove(k) => prop_assert_eq!(table.remove(0, k), model.remove(&k)),
+                SetOp::Contains(k) => prop_assert_eq!(table.contains(0, k), model.contains(&k)),
+            }
+        }
+        prop_assert_eq!(table.len(0), model.len() as u64);
+    }
+
+    /// The same op sequence executed through a delegation-style OpTable
+    /// yields the same answers as calling the structure directly.
+    #[test]
+    fn optable_dispatch_is_transparent(ops in prop::collection::vec(gen_set_op(), 0..100)) {
+        let mut table = OpTable::new();
+        let lops = ListOps::register(&mut table);
+        let mut direct = SortedList::new();
+        let lock = TicketLock::new(SortedList::new(), table);
+        for op in ops {
+            match op {
+                SetOp::Insert(k) => {
+                    let via = lock.execute(0, lops.insert, k);
+                    prop_assert_eq!(via == 1, direct.insert(k));
+                }
+                SetOp::Remove(k) => {
+                    let via = lock.execute(0, lops.remove, k);
+                    prop_assert_eq!(via != NOT_FOUND, direct.remove(k));
+                }
+                SetOp::Contains(k) => {
+                    let via = lock.execute(0, lops.contains, k);
+                    prop_assert_eq!(via == 1, direct.contains(k));
+                }
+            }
+        }
+    }
+}

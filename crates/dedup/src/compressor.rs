@@ -1,0 +1,166 @@
+//! A small self-contained per-chunk compressor (LZ-style with a hash-chain
+//! matcher) plus its decompressor, so the pipeline's output is verifiable
+//! end-to-end.
+//!
+//! Format per chunk: a sequence of tokens.
+//! * `0x00, len_lo, len_hi, bytes…` — literal run (`len` bytes).
+//! * `0x01, dist_lo, dist_hi, len_lo, len_hi` — copy `len` bytes from
+//!   `dist` bytes back in the decoded output.
+
+const MIN_MATCH: usize = 4;
+const MAX_RUN: usize = u16::MAX as usize;
+const HASH_BITS: u32 = 13;
+
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress one chunk.
+#[must_use]
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 8);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, data: &[u8], from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            let n = (to - s).min(MAX_RUN);
+            out.push(0x00);
+            out.extend_from_slice(&(n as u16).to_le_bytes());
+            out.extend_from_slice(&data[s..s + n]);
+            s += n;
+        }
+    };
+
+    while i + MIN_MATCH <= data.len() {
+        let h = hash4(data, i);
+        let cand = head[h];
+        head[h] = i;
+        if cand != usize::MAX && i - cand <= MAX_RUN {
+            // Verify and extend the match.
+            let mut len = 0usize;
+            let max = (data.len() - i).min(MAX_RUN);
+            while len < max && data[cand + len] == data[i + len] {
+                len += 1;
+            }
+            if len >= MIN_MATCH {
+                flush_literals(&mut out, data, lit_start, i);
+                out.push(0x01);
+                out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
+                out.extend_from_slice(&(len as u16).to_le_bytes());
+                i += len;
+                lit_start = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    flush_literals(&mut out, data, lit_start, data.len());
+    out
+}
+
+/// Decompress one chunk produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns `Err` with a description on malformed input.
+pub fn decompress(mut src: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(src.len() * 2);
+    while !src.is_empty() {
+        match src[0] {
+            0x00 => {
+                if src.len() < 3 {
+                    return Err("truncated literal header".into());
+                }
+                let n = u16::from_le_bytes([src[1], src[2]]) as usize;
+                if src.len() < 3 + n {
+                    return Err("truncated literal run".into());
+                }
+                out.extend_from_slice(&src[3..3 + n]);
+                src = &src[3 + n..];
+            }
+            0x01 => {
+                if src.len() < 5 {
+                    return Err("truncated match token".into());
+                }
+                let dist = u16::from_le_bytes([src[1], src[2]]) as usize;
+                let len = u16::from_le_bytes([src[3], src[4]]) as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(format!("bad distance {dist} at output {}", out.len()));
+                }
+                // Overlapping copy, byte by byte (RLE-style matches overlap).
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+                src = &src[5..];
+            }
+            t => return Err(format!("bad token {t:#x}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn roundtrips_basic_shapes() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcabcabcabcabcabc");
+        roundtrip(&[0u8; 10_000]);
+        roundtrip(b"the quick brown fox jumps over the lazy dog");
+    }
+
+    #[test]
+    fn roundtrips_random_data() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in [1usize, 100, 4096, 70_000] {
+            let data: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn roundtrips_mixed_redundancy() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let block: Vec<u8> = (0..512).map(|_| rng.gen()).collect();
+        let mut data = Vec::new();
+        for _ in 0..50 {
+            if rng.gen_bool(0.5) {
+                data.extend_from_slice(&block);
+            } else {
+                data.extend((0..rng.gen_range(1..300)).map(|_| rng.gen::<u8>()));
+            }
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn repetitive_data_actually_compresses() {
+        let data = vec![7u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 10, "RLE-ish input must shrink a lot");
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(&[0xFF]).is_err());
+        assert!(decompress(&[0x00, 10, 0, 1]).is_err()); // truncated literals
+        assert!(decompress(&[0x01, 1, 0, 4, 0]).is_err()); // distance into nothing
+    }
+}

@@ -1,0 +1,128 @@
+//! In-memory workload generation (the paper's Small / Middle / Large
+//! inputs, scaled down so a test run stays tractable).
+//!
+//! Real dedup inputs mix fresh data with repeated blocks; the generator
+//! controls the redundancy ratio so the dedup stage has real work to do.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which of the paper's three workloads to approximate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSize {
+    /// "Small" (paper: 672 MB) — scaled: 2 MiB.
+    Small,
+    /// "Middle" (paper: 1.1 GB) — scaled: 6 MiB.
+    Middle,
+    /// "Large" (paper: 3.5 GB) — scaled: 16 MiB.
+    Large,
+    /// Tiny input for unit tests.
+    Tiny,
+}
+
+impl WorkloadSize {
+    /// All benchmark sizes, in the paper's order.
+    pub const BENCH: [WorkloadSize; 3] =
+        [WorkloadSize::Small, WorkloadSize::Middle, WorkloadSize::Large];
+
+    /// Bytes generated.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        match self {
+            WorkloadSize::Tiny => 64 << 10,
+            WorkloadSize::Small => 2 << 20,
+            WorkloadSize::Middle => 6 << 20,
+            WorkloadSize::Large => 16 << 20,
+        }
+    }
+
+    /// Display label matching Figure 6(d).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadSize::Tiny => "Tiny",
+            WorkloadSize::Small => "Small",
+            WorkloadSize::Middle => "Middle",
+            WorkloadSize::Large => "Large",
+        }
+    }
+}
+
+/// Generate a deterministic input with roughly `redundancy_pct`% of its
+/// bytes coming from repeated blocks (duplicate chunks for the dedup stage).
+#[must_use]
+pub fn generate_input(size: WorkloadSize, redundancy_pct: u8, seed: u64) -> Vec<u8> {
+    let total = size.bytes();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(total);
+    // A small library of reusable blocks.
+    let library: Vec<Vec<u8>> = (0..16)
+        .map(|_| {
+            let len = rng.gen_range(2048..8192);
+            (0..len).map(|_| rng.gen()).collect()
+        })
+        .collect();
+    while out.len() < total {
+        if rng.gen_range(0..100) < u32::from(redundancy_pct) {
+            let block = &library[rng.gen_range(0..library.len())];
+            out.extend_from_slice(block);
+        } else {
+            let len = rng.gen_range(1024..4096);
+            for _ in 0..len {
+                out.push(rng.gen());
+            }
+        }
+    }
+    out.truncate(total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_ordered() {
+        assert!(WorkloadSize::Tiny.bytes() < WorkloadSize::Small.bytes());
+        assert!(WorkloadSize::Small.bytes() < WorkloadSize::Middle.bytes());
+        assert!(WorkloadSize::Middle.bytes() < WorkloadSize::Large.bytes());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = generate_input(WorkloadSize::Tiny, 50, 1);
+        let b = generate_input(WorkloadSize::Tiny, 50, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), WorkloadSize::Tiny.bytes());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_input(WorkloadSize::Tiny, 50, 1);
+        let b = generate_input(WorkloadSize::Tiny, 50, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn redundancy_increases_duplicate_chunks() {
+        // Measured the way the pipeline will: content-defined chunks with
+        // duplicate fingerprints.
+        fn duplicate_ratio(data: &[u8]) -> f64 {
+            use crate::chunker::{chunk_boundaries, fingerprint};
+            let chunks = chunk_boundaries(data);
+            let distinct: std::collections::HashSet<u64> = chunks
+                .iter()
+                .map(|&(o, l)| fingerprint(&data[o..o + l]))
+                .collect();
+            1.0 - distinct.len() as f64 / chunks.len() as f64
+        }
+        let low = generate_input(WorkloadSize::Tiny, 5, 3);
+        let high = generate_input(WorkloadSize::Tiny, 90, 3);
+        assert!(
+            duplicate_ratio(&high) > duplicate_ratio(&low) + 0.1,
+            "high-redundancy input must dedup much better ({:.2} vs {:.2})",
+            duplicate_ratio(&high),
+            duplicate_ratio(&low)
+        );
+    }
+}

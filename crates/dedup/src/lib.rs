@@ -1,0 +1,36 @@
+//! PARSEC-dedup-like pipeline-parallel compressor (Figure 6(d)).
+//!
+//! The paper uses PARSEC `dedup` as its macro-benchmark for barriers in
+//! memory-based communication: a pipeline of stages connected by queues,
+//! compressing a stream by content-defined chunking + duplicate elimination
+//! + per-chunk compression. Since file I/O is dedup's usual bottleneck, the
+//! paper removes it and gathers output in memory — this crate does the
+//! same: inputs are generated in memory ([`input`]) and output is collected
+//! in memory.
+//!
+//! The pipeline (one thread per stage):
+//!
+//! ```text
+//! fragment → chunk (rolling hash) → dedup (fingerprint table) → compress → reorder
+//! ```
+//!
+//! Inter-stage queues are pluggable ([`queue::PipeQueue`]):
+//!
+//! * **Q** — the original lock-based queue (mutex + condvar semantics);
+//! * **RB** — a lock-free ring buffer (barrier pair `DMB ld`/`DMB st`);
+//! * **RB-P** — the ring buffer with Pilot applied.
+//!
+//! Correctness is checked end-to-end: the archive decompresses back to the
+//! original input bit-for-bit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chunker;
+pub mod compressor;
+pub mod input;
+pub mod pipeline;
+pub mod queue;
+
+pub use input::{generate_input, WorkloadSize};
+pub use pipeline::{run_pipeline, Archive, PipelineStats, QueueKind};

@@ -1,0 +1,8 @@
+//! Regenerate every table and figure, in paper order.
+
+fn main() {
+    for id in armbar_experiments::ALL_EXPERIMENTS {
+        println!("\n########## {id} ##########");
+        assert!(armbar_experiments::run_experiment(id));
+    }
+}

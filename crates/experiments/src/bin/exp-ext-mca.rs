@@ -1,0 +1,5 @@
+//! Regenerate the MCA future-work projection (DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    assert!(armbar_experiments::run_experiment("ext-mca"));
+}

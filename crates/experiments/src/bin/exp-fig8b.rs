@@ -1,0 +1,5 @@
+//! Regenerate the paper's `fig8b` artifact (see DESIGN.md §4).
+
+fn main() {
+    assert!(armbar_experiments::run_experiment("fig8b"));
+}

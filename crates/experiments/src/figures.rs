@@ -1,0 +1,739 @@
+//! One function per paper artifact, producing [`Table`]s.
+//!
+//! Simulator-backed experiments are deterministic; the two host-threaded
+//! macro-benchmarks (`fig6d` dedup, `fig8d` floorplan) measure wall-clock
+//! time and therefore vary run to run (and mostly reflect single-core
+//! compute on a 1-CPU host — see `EXPERIMENTS.md`).
+
+use armbar_barriers::{AccessType, Barrier};
+use armbar_sim::{Platform, PlatformKind};
+use armbar_simapps::abstract_model::{self, BarrierLoc, ModelSpec};
+use armbar_simapps::bind::BindConfig;
+use armbar_simapps::delegation_sim::{
+    fig7c_point, run_delegation, CsProfile, DelegationBarriers, DelegationConfig, DelegationKind,
+    RespMode, FIG7B_COMBOS,
+};
+use armbar_simapps::prodcons::{run_prodcons, PcBarriers, PcVariant, FIG6A_COMBOS};
+use armbar_simapps::ticket_sim::{run_ticket, TicketConfig};
+use armbar_wmm::litmus::{message_passing, pilot_message_passing, table3_cell};
+use armbar_wmm::model::MemoryModel;
+
+use crate::report::Table;
+
+/// Iterations used by the abstract-model sweeps.
+const MODEL_ITERS: u64 = 500;
+/// Messages per producer-consumer run.
+const PC_MSGS: u64 = 400;
+
+fn bool_num(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+// ------------------------------------------------------------------ tables
+
+/// Table 1: MP behaviour under TSO and WMM (1 = outcome reachable).
+#[must_use]
+pub fn table1() -> Vec<Table> {
+    let mut t = Table::new(
+        "table1",
+        "Different behaviors in TSO and WMM (Table 1): reachability of local != 23",
+        "model",
+        vec!["SC".into(), "x86-TSO".into(), "ARM WMM".into()],
+        "1 = allowed, 0 = forbidden",
+    );
+    let mp = message_passing(Barrier::None, Barrier::None);
+    t.push_row(
+        "MP, no barriers",
+        vec![
+            bool_num(mp.allowed(MemoryModel::Sc)),
+            bool_num(mp.allowed(MemoryModel::X86Tso)),
+            bool_num(mp.allowed(MemoryModel::ArmWmm)),
+        ],
+    );
+    let fixed = message_passing(Barrier::DmbSt, Barrier::DmbLd);
+    t.push_row(
+        "MP, DMB st + DMB ld",
+        vec![
+            bool_num(fixed.allowed(MemoryModel::Sc)),
+            bool_num(fixed.allowed(MemoryModel::X86Tso)),
+            bool_num(fixed.allowed(MemoryModel::ArmWmm)),
+        ],
+    );
+    let pilot = pilot_message_passing();
+    t.push_row(
+        "MP via Pilot, no barriers",
+        vec![
+            bool_num(pilot.allowed(MemoryModel::Sc)),
+            bool_num(pilot.allowed(MemoryModel::X86Tso)),
+            bool_num(pilot.allowed(MemoryModel::ArmWmm)),
+        ],
+    );
+    vec![t]
+}
+
+/// Table 2: the platform profiles.
+#[must_use]
+pub fn table2() -> Vec<Table> {
+    let mut t = Table::new(
+        "table2",
+        "Target platforms (simulated profiles)",
+        "platform",
+        vec![
+            "cores".into(),
+            "nodes".into(),
+            "clock MHz".into(),
+            "t_cross_node".into(),
+            "t_membar_dom".into(),
+            "t_syncbar".into(),
+        ],
+        "cycles unless noted",
+    );
+    for kind in PlatformKind::ALL {
+        let p = Platform::of(kind);
+        t.push_row(
+            kind.name(),
+            vec![
+                p.topology.core_count() as f64,
+                p.topology.node_count() as f64,
+                p.latency.clock_mhz as f64,
+                p.latency.t_cross_node as f64,
+                p.latency.t_membar_domain as f64,
+                p.latency.t_syncbar as f64,
+            ],
+        );
+    }
+    vec![t]
+}
+
+/// Table 3: the advisor's recommendations, with explorer verdicts that each
+/// preferred approach forbids the relaxed outcome.
+#[must_use]
+pub fn table3() -> Vec<Table> {
+    use armbar_barriers::advisor::{recommend, Approach, OrderReq};
+    let mut t = Table::new(
+        "table3",
+        "Suggested order-preserving approaches; explorer verdict per cell",
+        "from -> to",
+        vec!["verdict (1=proved)".into()],
+        "see stdout for the suggestions",
+    );
+    for earlier in [AccessType::Load, AccessType::Store] {
+        for later in [AccessType::Load, AccessType::Store] {
+            let rec = recommend(OrderReq::pair(earlier, later));
+            let mut all_ok = true;
+            let mut names = Vec::new();
+            for a in &rec.preferred {
+                let b = match a {
+                    Approach::Use(b) => *b,
+                    Approach::MeasureAgainst { candidate, .. } => *candidate,
+                };
+                // Skip shapes the approach cannot weave into.
+                if (matches!(b, Barrier::Ctrl | Barrier::DataDep)
+                    && !(earlier == AccessType::Load && later == AccessType::Store))
+                    || (b == Barrier::Ldar && earlier != AccessType::Load)
+                    || (b == Barrier::Stlr && later != AccessType::Store)
+                {
+                    continue;
+                }
+                let cell = table3_cell(earlier, later, b);
+                let ok = !cell.allowed(MemoryModel::ArmWmm);
+                all_ok &= ok;
+                names.push(format!("{a}"));
+            }
+            println!("  {earlier} -> {later}: {}", names.join(", "));
+            t.push_row(&format!("{earlier} -> {later}"), vec![bool_num(all_ok)]);
+        }
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------- figure 2
+
+/// Figure 2: intrinsic overhead of barriers (no memory operations).
+#[must_use]
+pub fn fig2() -> Vec<Table> {
+    let nop_counts = [10u32, 30, 60];
+    let barriers = [
+        Barrier::None,
+        Barrier::DmbFull,
+        Barrier::DmbLd,
+        Barrier::DmbSt,
+        Barrier::DsbFull,
+        Barrier::DsbLd,
+        Barrier::DsbSt,
+        Barrier::Isb,
+    ];
+    let binds = [
+        ("fig2a", BindConfig::KunpengSameNode, "Kunpeng916"),
+        ("fig2b", BindConfig::Kirin960, "Kirin960"),
+        ("fig2c", BindConfig::Kirin970, "Kirin970"),
+        ("fig2d", BindConfig::RaspberryPi4, "Raspberry Pi 4"),
+    ];
+    binds
+        .iter()
+        .map(|(id, bind, name)| {
+            let mut t = Table::new(
+                id,
+                &format!("Intrinsic barrier overhead, {name} (Figure 2)"),
+                "barrier",
+                nop_counts.iter().map(|n| n.to_string()).collect(),
+                "loops/s",
+            );
+            for b in barriers {
+                let vals = nop_counts
+                    .iter()
+                    .map(|&n| {
+                        abstract_model::run_model(*bind, ModelSpec::no_mem(b, n), MODEL_ITERS)
+                            .loops_per_sec
+                    })
+                    .collect();
+                t.push_row(b.mnemonic(), vals);
+            }
+            t
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- figure 3
+
+/// The store→store series of Figure 3 for one placement.
+fn fig3_table(id: &str, bind: BindConfig, name: &str, nops: &[u32]) -> Table {
+    let mut t = Table::new(
+        id,
+        &format!("Store->store abstracted model, {name} (Figure 3)"),
+        "series",
+        nops.iter().map(|n| n.to_string()).collect(),
+        "loops/s",
+    );
+    let mut run = |label: &str, barrier, loc| {
+        let vals = nops
+            .iter()
+            .map(|&n| {
+                abstract_model::run_model(bind, ModelSpec::store_store(barrier, loc, n), MODEL_ITERS)
+                    .loops_per_sec
+            })
+            .collect();
+        t.push_row(label, vals);
+    };
+    run("No Barrier", Barrier::None, BarrierLoc::BeforeOp2);
+    for b in [Barrier::DmbFull, Barrier::DmbSt, Barrier::DsbFull, Barrier::DsbSt] {
+        run(&format!("{}-1", b.mnemonic()), b, BarrierLoc::AfterOp1);
+        run(&format!("{}-2", b.mnemonic()), b, BarrierLoc::BeforeOp2);
+    }
+    run("STLR", Barrier::Stlr, BarrierLoc::BeforeOp2);
+    t
+}
+
+/// Figure 3(a–e): the store→store model under all five placements.
+#[must_use]
+pub fn fig3() -> Vec<Table> {
+    vec![
+        fig3_table("fig3a", BindConfig::KunpengSameNode, "Kunpeng916 same node", &[10, 150, 700]),
+        fig3_table(
+            "fig3b",
+            BindConfig::KunpengCrossNodes,
+            "Kunpeng916 cross nodes",
+            &[10, 150, 700],
+        ),
+        fig3_table("fig3c", BindConfig::Kirin960, "Kirin960 big cluster", &[10, 30, 60]),
+        fig3_table("fig3d", BindConfig::Kirin970, "Kirin970 big cluster", &[10, 30, 60]),
+        fig3_table("fig3e", BindConfig::RaspberryPi4, "Raspberry Pi 4", &[10, 30, 60]),
+    ]
+}
+
+// ----------------------------------------------------------------- figure 4
+
+/// Figure 4: the tipping point where nops hide DMB full-2 entirely, and the
+/// full-1 : full-2 throughput ratio there (paper: ≈ 1/2).
+#[must_use]
+pub fn fig4() -> Vec<Table> {
+    let mut t = Table::new(
+        "fig4",
+        "Tipping point: nops that hide DMB full-2; ratio full-1/full-2 there (Figure 4)",
+        "placement",
+        vec!["tipping nops".into(), "full1/full2 ratio".into()],
+        "nops / ratio",
+    );
+    for (bind, name) in [
+        (BindConfig::KunpengSameNode, "Kunpeng916 same node"),
+        (BindConfig::KunpengCrossNodes, "Kunpeng916 cross nodes"),
+    ] {
+        let found = abstract_model::tipping_point(
+            bind,
+            &[50, 100, 150, 200, 300, 500, 700, 1000, 1500],
+            0.9,
+        );
+        match found {
+            Some((nops, ratio)) => t.push_row(name, vec![f64::from(nops), ratio]),
+            None => t.push_row(name, vec![f64::NAN, f64::NAN]),
+        }
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------- figure 5
+
+/// Figure 5: load→store model, threads across NUMA nodes on Kunpeng916.
+#[must_use]
+pub fn fig5() -> Vec<Table> {
+    let nops = [300u32, 500];
+    let bind = BindConfig::KunpengCrossNodes;
+    let mut t = Table::new(
+        "fig5",
+        "Load->store abstracted model, Kunpeng916 cross nodes (Figure 5)",
+        "series",
+        nops.iter().map(|n| n.to_string()).collect(),
+        "loops/s",
+    );
+    let mut run = |label: &str, barrier, loc| {
+        let vals = nops
+            .iter()
+            .map(|&n| {
+                abstract_model::run_model(bind, ModelSpec::load_store(barrier, loc, n), MODEL_ITERS)
+                    .loops_per_sec
+            })
+            .collect();
+        t.push_row(label, vals);
+    };
+    run("No Barrier", Barrier::None, BarrierLoc::BeforeOp2);
+    for b in [Barrier::DmbFull, Barrier::DmbLd, Barrier::DsbFull, Barrier::DsbLd] {
+        run(&format!("{}-1", b.mnemonic()), b, BarrierLoc::AfterOp1);
+        run(&format!("{}-2", b.mnemonic()), b, BarrierLoc::BeforeOp2);
+    }
+    run("LDAR", Barrier::Ldar, BarrierLoc::AfterOp1);
+    run("STLR", Barrier::Stlr, BarrierLoc::BeforeOp2);
+    run("CTRL", Barrier::Ctrl, BarrierLoc::BeforeOp2);
+    run("CTRL+ISB", Barrier::CtrlIsb, BarrierLoc::AfterOp1);
+    run("DATA DEP", Barrier::DataDep, BarrierLoc::BeforeOp2);
+    run("ADDR DEP", Barrier::AddrDep, BarrierLoc::BeforeOp2);
+    vec![t]
+}
+
+// ----------------------------------------------------------------- figure 6
+
+/// Figure 6(a): producer-consumer throughput, normalized to the
+/// conservative DMB full - DMB full combination.
+#[must_use]
+pub fn fig6a() -> Vec<Table> {
+    let mut t = Table::new(
+        "fig6a",
+        "Producer-consumer barrier combinations, normalized to DMB full - DMB full (Figure 6a)",
+        "combination",
+        BindConfig::ALL.iter().map(|b| b.label().to_string()).collect(),
+        "normalized throughput",
+    );
+    let mut results: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, combo) in FIG6A_COMBOS {
+        let vals: Vec<f64> = BindConfig::ALL
+            .iter()
+            .map(|&bind| {
+                run_prodcons(bind, PcVariant::Baseline(combo), PC_MSGS, 1, 40).msgs_per_sec
+            })
+            .collect();
+        results.push((name, vals));
+    }
+    let base = results[0].1.clone();
+    for (name, vals) in results {
+        t.push_row(
+            name,
+            vals.iter().zip(&base).map(|(v, b)| v / b).collect(),
+        );
+    }
+    vec![t]
+}
+
+/// Figure 6(b): Pilot vs the best baseline vs Theoretical vs Ideal.
+#[must_use]
+pub fn fig6b() -> Vec<Table> {
+    let mut t = Table::new(
+        "fig6b",
+        "Producer-consumer after applying Pilot (Figure 6b)",
+        "variant",
+        BindConfig::ALL.iter().map(|b| b.label().to_string()).collect(),
+        "messages/s",
+    );
+    let rows: [(&str, PcVariant); 4] = [
+        (
+            "DMB ld - DMB st",
+            PcVariant::Baseline(PcBarriers { avail: Barrier::DmbLd, publish: Barrier::DmbSt }),
+        ),
+        (
+            "Theoretical",
+            PcVariant::Baseline(PcBarriers { avail: Barrier::DmbLd, publish: Barrier::None }),
+        ),
+        ("Pilot", PcVariant::Pilot { avail: Barrier::DmbLd }),
+        (
+            "Ideal",
+            PcVariant::Baseline(PcBarriers { avail: Barrier::None, publish: Barrier::None }),
+        ),
+    ];
+    for (name, v) in rows {
+        let vals = BindConfig::ALL
+            .iter()
+            .map(|&bind| run_prodcons(bind, v, PC_MSGS, 1, 40).msgs_per_sec)
+            .collect();
+        t.push_row(name, vals);
+    }
+    vec![t]
+}
+
+/// Figure 6(c): Pilot speedup over the best baseline as messages batch.
+#[must_use]
+pub fn fig6c() -> Vec<Table> {
+    let batches = [1u64, 2, 4];
+    let mut t = Table::new(
+        "fig6c",
+        "Pilot speedup vs batched message size (Figure 6c; batch capped by the sim ring)",
+        "placement",
+        batches.iter().map(|b| format!("{b}x8B")).collect(),
+        "speedup (Pilot / DMB ld-DMB st)",
+    );
+    for bind in BindConfig::ALL {
+        let vals = batches
+            .iter()
+            .map(|&batch| {
+                let p = run_prodcons(bind, PcVariant::Pilot { avail: Barrier::DmbLd }, PC_MSGS,
+                                     batch, 10)
+                    .msgs_per_sec;
+                let b = run_prodcons(
+                    bind,
+                    PcVariant::Baseline(PcBarriers {
+                        avail: Barrier::DmbLd,
+                        publish: Barrier::DmbSt,
+                    }),
+                    PC_MSGS,
+                    batch,
+                    10,
+                )
+                .msgs_per_sec;
+                p / b
+            })
+            .collect();
+        t.push_row(bind.label(), vals);
+    }
+    vec![t]
+}
+
+/// Figure 6(d): dedup compress speed, Q vs RB vs RB-P (host threads;
+/// wall-clock — noisy on a 1-CPU host, see EXPERIMENTS.md).
+#[must_use]
+pub fn fig6d() -> Vec<Table> {
+    use armbar_dedup::{generate_input, run_pipeline, QueueKind, WorkloadSize};
+    let mut t = Table::new(
+        "fig6d",
+        "PARSEC-dedup-like pipeline compress speed, normalized to the lock-based queue (Figure 6d)",
+        "queue",
+        WorkloadSize::BENCH.iter().map(|s| s.label().to_string()).collect(),
+        "normalized MB/s (host wall-clock)",
+    );
+    let mut speeds: Vec<(QueueKind, Vec<f64>)> = Vec::new();
+    for kind in QueueKind::ALL {
+        let vals = WorkloadSize::BENCH
+            .iter()
+            .map(|&size| {
+                let input = generate_input(size, 40, 0xDED0);
+                let (archive, stats) = run_pipeline(&input, kind);
+                assert_eq!(archive.unpack().expect("archive intact"), input);
+                stats.mb_per_s
+            })
+            .collect();
+        speeds.push((kind, vals));
+    }
+    let base = speeds[0].1.clone();
+    for (kind, vals) in speeds {
+        t.push_row(kind.label(), vals.iter().zip(&base).map(|(v, b)| v / b).collect());
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------- figure 7
+
+/// Figure 7(a): ticket lock, unlock-barrier overhead vs global lines in the
+/// critical section, normalized per platform to the "Normal" barrier.
+#[must_use]
+pub fn fig7a() -> Vec<Table> {
+    let lines = [0u32, 1, 2];
+    let platforms: [(&str, Platform, usize); 4] = [
+        ("Kunpeng916", Platform::kunpeng916(), 16),
+        ("Kirin960", Platform::kirin960(), 4),
+        ("Kirin970", Platform::kirin970(), 4),
+        ("Raspberry Pi 4", Platform::raspberry_pi4(), 4),
+    ];
+    let mut t = Table::new(
+        "fig7a",
+        "Ticket lock: unlock barrier removed vs normal (Figure 7a)",
+        "platform",
+        lines.iter().map(|l| format!("{l} lines")).collect(),
+        "throughput gain from removing the unlock barrier",
+    );
+    for (name, platform, threads) in platforms {
+        let vals = lines
+            .iter()
+            .map(|&global_lines| {
+                let run = |release_barrier| {
+                    run_ticket(
+                        &platform,
+                        TicketConfig {
+                            threads,
+                            global_lines,
+                            cs_nops: 10,
+                            post_nops: 20,
+                            release_barrier,
+                            per_thread: 40,
+                        },
+                    )
+                    .locks_per_sec
+                };
+                run(Barrier::None) / run(Barrier::DmbSt)
+            })
+            .collect();
+        t.push_row(name, vals);
+    }
+    vec![t]
+}
+
+/// Figure 7(b): delegation-lock barrier combinations on Kunpeng916,
+/// normalized to DMB full-DMB st.
+#[must_use]
+pub fn fig7b() -> Vec<Table> {
+    let platform = Platform::kunpeng916();
+    let mut t = Table::new(
+        "fig7b",
+        "Delegation lock (FFWD) barrier combinations, Kunpeng916 (Figure 7b)",
+        "combination",
+        vec!["throughput".into(), "normalized".into()],
+        "requests/s",
+    );
+    let mut raws = Vec::new();
+    for (name, barriers) in FIG7B_COMBOS {
+        let r = run_delegation(
+            &platform,
+            DelegationConfig {
+                kind: DelegationKind::Ffwd,
+                clients: 16,
+                barriers,
+                mode: RespMode::Flag,
+                profile: CsProfile::counter(),
+                per_client: 40,
+                interval_nops: 0,
+            },
+        );
+        raws.push((name, r.locks_per_sec));
+    }
+    let base = raws[0].1;
+    for (name, v) in raws {
+        t.push_row(name, vec![v, v / base]);
+    }
+    vec![t]
+}
+
+/// Figure 7(c): the five lock variants across contention intervals.
+#[must_use]
+pub fn fig7c() -> Vec<Table> {
+    let platform = Platform::kunpeng916();
+    // The paper sweeps 10^n * 128 nops; large exponents are scaled down to
+    // keep simulated time tractable.
+    let intervals: [(&str, u32); 4] = [("0", 128), ("1", 1280), ("2", 12_800), ("3", 128_000)];
+    let mut t = Table::new(
+        "fig7c",
+        "Delegation locks with Pilot vs contention interval 10^n*128 nops (Figure 7c)",
+        "lock",
+        intervals.iter().map(|(n, _)| format!("10^{n}")).collect(),
+        "requests/s",
+    );
+    let mut series: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    for &(_, nops) in &intervals {
+        let per = if nops >= 100_000 { 8 } else { 20 };
+        for (name, v) in fig7c_point(&platform, 12, nops, per) {
+            series.entry(name).or_default().push(v);
+        }
+    }
+    for (name, vals) in ["Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P"]
+        .iter()
+        .map(|n| (n.to_string(), series[*n].clone()))
+    {
+        t.push_row(&name, vals);
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------- figure 8
+
+/// The five Figure 8 lock variants over one critical-section profile.
+fn fig8_variants(platform: &Platform, profile: CsProfile, clients: usize, per: u64)
+    -> Vec<(String, f64)>
+{
+    let best = DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt };
+    let mk = |kind, mode| DelegationConfig {
+        kind,
+        clients,
+        barriers: best,
+        mode,
+        profile,
+        per_client: per,
+        interval_nops: 0,
+    };
+    let ticket = run_ticket(
+        platform,
+        TicketConfig {
+            threads: clients,
+            global_lines: profile.lines + profile.chase / 8,
+            cs_nops: profile.nops + profile.chase * 2,
+            post_nops: 10,
+            release_barrier: Barrier::DmbSt,
+            per_thread: per,
+        },
+    );
+    vec![
+        ("Ticket".into(), ticket.locks_per_sec),
+        (
+            "DSynch".into(),
+            run_delegation(platform, mk(DelegationKind::DSynch, RespMode::Flag)).locks_per_sec,
+        ),
+        (
+            "DSynch-P".into(),
+            run_delegation(platform, mk(DelegationKind::DSynch, RespMode::Pilot)).locks_per_sec,
+        ),
+        (
+            "FFWD".into(),
+            run_delegation(platform, mk(DelegationKind::Ffwd, RespMode::Flag)).locks_per_sec,
+        ),
+        (
+            "FFWD-P".into(),
+            run_delegation(platform, mk(DelegationKind::Ffwd, RespMode::Pilot)).locks_per_sec,
+        ),
+    ]
+}
+
+/// Figure 8(a): queue and stack under a global lock.
+#[must_use]
+pub fn fig8a() -> Vec<Table> {
+    let platform = Platform::kunpeng916();
+    let mut t = Table::new(
+        "fig8a",
+        "Queue and stack under a global lock (Figure 8a)",
+        "lock",
+        vec!["Queue".into(), "Stack".into()],
+        "ops/s",
+    );
+    let q = fig8_variants(&platform, CsProfile::queue_or_stack(), 12, 30);
+    let s = fig8_variants(&platform, CsProfile::queue_or_stack(), 12, 30);
+    for i in 0..q.len() {
+        t.push_row(&q[i].0.clone(), vec![q[i].1, s[i].1]);
+    }
+    vec![t]
+}
+
+/// Figure 8(b): sorted linked list vs preloaded size.
+#[must_use]
+pub fn fig8b() -> Vec<Table> {
+    let platform = Platform::kunpeng916();
+    let preloads = [0u32, 50, 150, 300, 500];
+    let mut t = Table::new(
+        "fig8b",
+        "Sorted linked list vs preloaded members (Figure 8b)",
+        "lock",
+        preloads.iter().map(|p| p.to_string()).collect(),
+        "ops/s",
+    );
+    let mut series: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    for &p in &preloads {
+        for (name, v) in fig8_variants(&platform, CsProfile::sorted_list(p), 12, 20) {
+            series.entry(name).or_default().push(v);
+        }
+    }
+    for name in ["Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P"] {
+        t.push_row(name, series[name].clone());
+    }
+    vec![t]
+}
+
+/// Figure 8(c): hash table vs bucket count. More buckets → fewer clients
+/// per lock; total throughput = per-lock throughput × active locks (the
+/// partitioning approximation documented in DESIGN.md).
+#[must_use]
+pub fn fig8c() -> Vec<Table> {
+    let platform = Platform::kunpeng916();
+    let threads = 16usize;
+    let buckets = [2usize, 4, 8, 16, 32];
+    let mut t = Table::new(
+        "fig8c",
+        "Hash table vs bucket count (Figure 8c)",
+        "lock",
+        buckets.iter().map(|b| b.to_string()).collect(),
+        "ops/s (partitioned approximation)",
+    );
+    let mut series: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    for &b in &buckets {
+        let clients_per_lock = (threads / b).max(1);
+        let active_locks = b.min(threads) as f64;
+        for (name, v) in
+            fig8_variants(&platform, CsProfile::sorted_list(512 / b as u32), clients_per_lock, 20)
+        {
+            series.entry(name).or_default().push(v * active_locks);
+        }
+    }
+    for name in ["Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P"] {
+        t.push_row(name, series[name].clone());
+    }
+    vec![t]
+}
+
+/// Figure 8(d): BOTS floorplan, normalized execution time (host threads).
+#[must_use]
+pub fn fig8d() -> Vec<Table> {
+    use armbar_floorplan::{bots_input, solve_parallel, solve_sequential, BoundOps, SharedBound};
+    use armbar_locks::{CombiningLock, OpTable, TicketLock};
+    let inputs = [5usize, 15, 20];
+    let mut t = Table::new(
+        "fig8d",
+        "BOTS floorplan normalized execution time (Figure 8d; host wall-clock)",
+        "lock",
+        inputs.iter().map(|n| format!("input.{n}")).collect(),
+        "time / ticket time (lower is better)",
+    );
+    let threads = 4usize;
+    let mut times: Vec<(&str, Vec<f64>)> = Vec::new();
+    for variant in ["Ticket", "DSynch", "DSynch-P"] {
+        let vals = inputs
+            .iter()
+            .map(|&n| {
+                let p = bots_input(n);
+                let reference = solve_sequential(&p);
+                let start = std::time::Instant::now();
+                let area = match variant {
+                    "Ticket" => {
+                        let mut table = OpTable::new();
+                        let ops = BoundOps::register(&mut table);
+                        let lock = TicketLock::new(SharedBound::new(), table);
+                        solve_parallel(&p, threads, &lock, ops, 64).area
+                    }
+                    "DSynch" => {
+                        let mut table = OpTable::new();
+                        let ops = BoundOps::register(&mut table);
+                        let lock = CombiningLock::new(threads, SharedBound::new(), table);
+                        solve_parallel(&p, threads, &lock, ops, 64).area
+                    }
+                    _ => {
+                        let mut table = OpTable::new();
+                        let ops = BoundOps::register(&mut table);
+                        let lock = CombiningLock::new_pilot(threads, SharedBound::new(), table);
+                        solve_parallel(&p, threads, &lock, ops, 64).area
+                    }
+                };
+                assert_eq!(area, reference.area, "all variants find the optimum");
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.push((variant, vals));
+    }
+    let base = times[0].1.clone();
+    for (name, vals) in times {
+        t.push_row(name, vals.iter().zip(&base).map(|(v, b)| v / b).collect());
+    }
+    vec![t]
+}

@@ -1,0 +1,104 @@
+//! The experiment harness: one function per table/figure of the paper,
+//! each returning [`report::Table`]s that print in the paper's shape and
+//! land as CSV under `results/`.
+//!
+//! Binaries in `src/bin/` (`exp-table1`, `exp-fig3`, …, `exp-all`) are thin
+//! wrappers over these functions; Criterion benches in `armbar-bench` wrap
+//! the same functions for regression tracking.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod extension;
+pub mod figures;
+pub mod report;
+
+pub use report::Table;
+
+/// Run one experiment by id (`"table1"`, `"fig6a"`, …) and print + persist
+/// its tables. Returns `false` for an unknown id.
+pub fn run_experiment(id: &str) -> bool {
+    let tables = match id {
+        "table1" => figures::table1(),
+        "table2" => figures::table2(),
+        "table3" => figures::table3(),
+        "fig2" => figures::fig2(),
+        "fig3" => figures::fig3(),
+        "fig4" => figures::fig4(),
+        "fig5" => figures::fig5(),
+        "fig6a" => figures::fig6a(),
+        "fig6b" => figures::fig6b(),
+        "fig6c" => figures::fig6c(),
+        "fig6d" => figures::fig6d(),
+        "fig7a" => figures::fig7a(),
+        "fig7b" => figures::fig7b(),
+        "fig7c" => figures::fig7c(),
+        "fig8a" => figures::fig8a(),
+        "fig8b" => figures::fig8b(),
+        "fig8c" => figures::fig8c(),
+        "fig8d" => figures::fig8d(),
+        "ext-mca" => extension::ext_mca(),
+        _ => return false,
+    };
+    for t in &tables {
+        t.print();
+        if let Err(e) = t.write_csv("results") {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+    }
+    true
+}
+
+/// Every experiment id, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 19] = [
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig6a", "fig6b", "fig6c",
+    "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        assert!(!run_experiment("fig99"));
+    }
+
+    #[test]
+    fn experiment_ids_are_unique() {
+        let set: std::collections::HashSet<_> = ALL_EXPERIMENTS.iter().collect();
+        assert_eq!(set.len(), ALL_EXPERIMENTS.len());
+    }
+
+    #[test]
+    fn table_experiments_produce_well_formed_tables() {
+        // The fast (explorer-backed) experiments, exercised end to end.
+        for tables in [figures::table1(), figures::table2(), figures::table3()] {
+            for t in tables {
+                assert!(!t.rows.is_empty());
+                for (_, vals) in &t.rows {
+                    assert_eq!(vals.len(), t.columns.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table1_reports_the_papers_verdicts() {
+        let t = &figures::table1()[0];
+        // Row 0: MP without barriers -> SC 0, TSO 0, WMM 1.
+        assert_eq!(t.rows[0].1, vec![0.0, 0.0, 1.0]);
+        // Rows 1-2: fixed MP and Pilot MP are safe everywhere.
+        assert_eq!(t.rows[1].1, vec![0.0, 0.0, 0.0]);
+        assert_eq!(t.rows[2].1, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn table3_proves_every_cell() {
+        let t = &figures::table3()[0];
+        assert_eq!(t.rows.len(), 4);
+        for (name, vals) in &t.rows {
+            assert_eq!(vals, &vec![1.0], "cell {name} must be explorer-proved");
+        }
+    }
+}

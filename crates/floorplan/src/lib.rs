@@ -1,0 +1,27 @@
+//! BOTS-style floorplanner (Figure 8(d)): branch-and-bound placement of
+//! `N` cells minimizing the bounding-box area, with the incumbent best
+//! bound shared through a pluggable lock.
+//!
+//! The BOTS benchmark "computes the optimal floorplan distribution of a
+//! number of cells"; its only cross-task shared state is the best solution
+//! found so far, read at every node for pruning and written on every
+//! improvement. That makes it a *low-contention* lock workload — which is
+//! exactly why the paper sees only a few percent from Pilot here (the lock
+//! is not the bottleneck), and this reproduction checks that shape.
+//!
+//! Structure:
+//! * [`problem`] — cells with alternative shapes, deterministic instances
+//!   (the paper's `input.5` / `input.15` / `input.20`).
+//! * [`solver`] — sequential and task-parallel branch-and-bound; the
+//!   parallel solver splits the first placement level into tasks consumed
+//!   by worker threads, sharing the bound through any
+//!   [`Executor`](armbar_locks::Executor).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod problem;
+pub mod solver;
+
+pub use problem::{bots_input, Cell, Problem, Shape};
+pub use solver::{solve_parallel, solve_sequential, BoundOps, SharedBound, Solution};

@@ -1,0 +1,118 @@
+//! Floorplan problem instances.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One orientation/implementation alternative of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Width in grid units.
+    pub w: u32,
+    /// Height in grid units.
+    pub h: u32,
+}
+
+impl Shape {
+    /// Area of the shape.
+    #[must_use]
+    pub fn area(self) -> u64 {
+        u64::from(self.w) * u64::from(self.h)
+    }
+}
+
+/// A cell to place: one of its shape alternatives must be chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// The alternatives (rotations / implementations).
+    pub shapes: Vec<Shape>,
+}
+
+impl Cell {
+    /// Smallest area over alternatives (used by the lower bound).
+    #[must_use]
+    pub fn min_area(&self) -> u64 {
+        self.shapes.iter().map(|s| s.area()).min().unwrap_or(0)
+    }
+}
+
+/// A full instance: cells in placement order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Problem {
+    /// The cells.
+    pub cells: Vec<Cell>,
+}
+
+impl Problem {
+    /// Number of cells.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Sum of minimal cell areas — a lower bound on any floorplan's area.
+    #[must_use]
+    pub fn area_lower_bound(&self) -> u64 {
+        self.cells.iter().map(Cell::min_area).sum()
+    }
+}
+
+/// Deterministic instances mirroring BOTS' `input.5` / `input.15` /
+/// `input.20` (same cell counts; sizes drawn from a fixed-seed generator;
+/// each cell gets its rotation as a second alternative).
+#[must_use]
+pub fn bots_input(cells: usize) -> Problem {
+    let mut rng = SmallRng::seed_from_u64(0xF100 + cells as u64);
+    let cells = (0..cells)
+        .map(|_| {
+            let w = rng.gen_range(1..=4u32);
+            let h = rng.gen_range(1..=4u32);
+            let mut shapes = vec![Shape { w, h }];
+            if w != h {
+                shapes.push(Shape { w: h, h: w });
+            }
+            Cell { shapes }
+        })
+        .collect();
+    Problem { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_deterministic() {
+        assert_eq!(bots_input(15), bots_input(15));
+        assert_ne!(bots_input(15), bots_input(20));
+    }
+
+    #[test]
+    fn instance_sizes_match_names() {
+        for n in [5usize, 15, 20] {
+            assert_eq!(bots_input(n).size(), n);
+        }
+    }
+
+    #[test]
+    fn rotations_are_present_for_non_square_cells() {
+        let p = bots_input(20);
+        for c in &p.cells {
+            match c.shapes.len() {
+                1 => assert_eq!(c.shapes[0].w, c.shapes[0].h),
+                2 => {
+                    assert_eq!(c.shapes[0].w, c.shapes[1].h);
+                    assert_eq!(c.shapes[0].h, c.shapes[1].w);
+                }
+                n => panic!("unexpected alternative count {n}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_positive_and_sane() {
+        let p = bots_input(5);
+        let lb = p.area_lower_bound();
+        assert!(lb > 0);
+        assert!(lb <= p.cells.iter().map(|c| c.shapes[0].area()).sum());
+    }
+}

@@ -1,0 +1,38 @@
+//! In-place and delegation locks with configurable barriers (paper §5).
+//!
+//! Mutex locks split into two families (§5.1):
+//!
+//! * **In-place locks** — competitors spin on shared state and execute their
+//!   critical sections themselves: [`ticket::TicketLock`] (Linux-kernel
+//!   style) and [`mcs::McsLock`]. Barriers guard both the lock and unlock
+//!   procedures; Figure 7(a) varies the *unlock* barrier because it is the
+//!   one that ends up strictly after the critical section's remote memory
+//!   references.
+//! * **Delegation locks** — a server executes every critical section:
+//!   [`ffwd::Ffwd`] (dedicated-server, FFWD [42]) and
+//!   [`combining::CombiningLock`] (migratory server of the
+//!   CC-Synch/DSM-Synch family [14]; the experiments label it `DSynch`).
+//!   Barriers order request/response hand-offs (Algorithm 5, lines 4 and 7);
+//!   the response-side barrier follows the critical section's stores — the
+//!   expensive pattern — and the Pilot variants
+//!   ([`ffwd::Ffwd::new_pilot`], [`combining::CombiningLock::new_pilot`])
+//!   remove it per Algorithm 6.
+//!
+//! Critical sections are registered up front as plain functions
+//! (`fn(&mut T, u64) -> u64`) so delegation servers can run them without
+//! allocation; the [`exec::Executor`] trait gives in-place and delegation
+//! locks one interface, which the data-structure benchmarks build on.
+
+#![warn(missing_docs)]
+
+pub mod combining;
+pub mod exec;
+pub mod ffwd;
+pub mod mcs;
+pub mod ticket;
+
+pub use combining::CombiningLock;
+pub use exec::{Executor, OpId, OpTable};
+pub use ffwd::Ffwd;
+pub use mcs::McsLock;
+pub use ticket::TicketLock;

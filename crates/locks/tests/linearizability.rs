@@ -1,0 +1,119 @@
+//! Concurrency stress tests: every lock family must linearize arbitrary
+//! mixes of register-style operations — the final state and every returned
+//! value must be explainable by *some* total order, which for the
+//! commutative counter ops below reduces to exact sums and strictly
+//! monotone per-thread observations.
+
+use proptest::prelude::*;
+
+use armbar_locks::{CombiningLock, Executor, Ffwd, McsLock, OpTable, TicketLock};
+
+fn ops_table() -> (OpTable<u64>, armbar_locks::OpId, armbar_locks::OpId) {
+    let mut t = OpTable::new();
+    let add = t.register(|s, by| {
+        *s += by;
+        *s
+    });
+    let get = t.register(|s, _| *s);
+    (t, add, get)
+}
+
+/// Drive `per_thread` adds from each of `threads` workers through any
+/// executor; assert exactness and per-thread monotonicity.
+fn hammer<E: Executor<u64>>(lock: &E, threads: usize, per_thread: u64, add: armbar_locks::OpId) {
+    std::thread::scope(|s| {
+        for h in 0..threads {
+            let lock = &lock;
+            s.spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..per_thread {
+                    let r = lock.execute(h, add, 1);
+                    assert!(r > last, "running totals must strictly grow per thread");
+                    last = r;
+                }
+            });
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ticket_lock_linearizes(threads in 2usize..5, per in 200u64..800) {
+        let (t, add, get) = ops_table();
+        let lock = TicketLock::new(0u64, t);
+        hammer(&lock, threads, per, add);
+        prop_assert_eq!(lock.execute(0, get, 0), threads as u64 * per);
+    }
+
+    #[test]
+    fn mcs_lock_linearizes(threads in 2usize..5, per in 200u64..800) {
+        let (t, add, get) = ops_table();
+        let lock = McsLock::new(threads, 0u64, t);
+        hammer(&lock, threads, per, add);
+        prop_assert_eq!(lock.execute(0, get, 0), threads as u64 * per);
+    }
+
+    #[test]
+    fn combining_lock_linearizes(threads in 2usize..5, per in 200u64..800, pilot in any::<bool>()) {
+        let (t, add, get) = ops_table();
+        if pilot {
+            let lock = CombiningLock::new_pilot(threads, 0u64, t);
+            hammer(&lock, threads, per, add);
+            prop_assert_eq!(lock.execute(0, get, 0), threads as u64 * per);
+        } else {
+            let lock = CombiningLock::new(threads, 0u64, t);
+            hammer(&lock, threads, per, add);
+            prop_assert_eq!(lock.execute(0, get, 0), threads as u64 * per);
+        }
+    }
+
+    #[test]
+    fn ffwd_linearizes(threads in 2usize..5, per in 100u64..400, pilot in any::<bool>()) {
+        let (t, add, get) = ops_table();
+        let lock = if pilot {
+            Ffwd::new_pilot(threads + 1, 0u64, t)
+        } else {
+            Ffwd::new(threads + 1, 0u64, t)
+        };
+        let server = lock.start_server();
+        std::thread::scope(|s| {
+            for h in 0..threads {
+                let mut client = lock.client(h);
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..per {
+                        let r = client.execute(add, 1);
+                        assert!(r > last);
+                        last = r;
+                    }
+                });
+            }
+        });
+        let mut checker = lock.client(threads);
+        prop_assert_eq!(checker.execute(get, 0), threads as u64 * per);
+        lock.shutdown();
+        server.join().unwrap();
+    }
+}
+
+/// Mixed-structure argument passing: results must be request-specific even
+/// when every thread uses a different addend.
+#[test]
+fn distinct_addends_sum_exactly() {
+    let (t, add, get) = ops_table();
+    let lock = CombiningLock::new(4, 0u64, t);
+    std::thread::scope(|s| {
+        for h in 0..4usize {
+            let lock = &lock;
+            s.spawn(move || {
+                for _ in 0..1_000 {
+                    lock.execute(h, add, h as u64 + 1);
+                }
+            });
+        }
+    });
+    // 1000 * (1+2+3+4)
+    assert_eq!(lock.execute(0, get, 0), 10_000);
+}

@@ -1,0 +1,148 @@
+//! Batched Pilot transfers (§4.5, Figure 6(c)).
+//!
+//! "When transferring more than 64-bit data, Pilot can be applied to every
+//! 64-bit-long slice of data." A batch of `n` words occupies `n` consecutive
+//! ring slots; only the *last* slot's arrival matters for latency because
+//! the receiver drains in order, and the per-message barrier saving is
+//! amortized `n`-ways — which is exactly why the paper's Figure 6(c)
+//! speedup declines as the batch grows.
+
+use armbar_barriers::Barrier;
+
+use crate::channel::{pilot_ring, spsc_ring, BarrierPair, PilotReceiverRing, PilotSenderRing,
+                     SpscReceiver, SpscSender};
+use crate::hashpool::HashPool;
+
+/// Batched sender over the baseline ring.
+pub struct BatchedSpscSender {
+    inner: SpscSender,
+}
+
+/// Batched receiver over the baseline ring.
+pub struct BatchedSpscReceiver {
+    inner: SpscReceiver,
+}
+
+/// Batched sender over the Pilot ring.
+pub struct BatchedPilotSender {
+    inner: PilotSenderRing,
+}
+
+/// Batched receiver over the Pilot ring.
+pub struct BatchedPilotReceiver {
+    inner: PilotReceiverRing,
+}
+
+/// Baseline batched ring: `capacity` slots, configurable barriers.
+#[must_use]
+pub fn batched_spsc(
+    capacity: usize,
+    barriers: BarrierPair,
+) -> (BatchedSpscSender, BatchedSpscReceiver) {
+    let (tx, rx) = spsc_ring(capacity, barriers);
+    (BatchedSpscSender { inner: tx }, BatchedSpscReceiver { inner: rx })
+}
+
+/// Pilot batched ring.
+#[must_use]
+pub fn batched_pilot(
+    capacity: usize,
+    pool: &HashPool,
+    avail: Barrier,
+) -> (BatchedPilotSender, BatchedPilotReceiver) {
+    let (tx, rx) = pilot_ring(capacity, pool, avail);
+    (BatchedPilotSender { inner: tx }, BatchedPilotReceiver { inner: rx })
+}
+
+impl BatchedSpscSender {
+    /// Send a whole batch (blocking).
+    pub fn send_batch(&mut self, batch: &[u64]) {
+        for &w in batch {
+            self.inner.send(w);
+        }
+    }
+}
+
+impl BatchedSpscReceiver {
+    /// Receive `out.len()` words (blocking).
+    pub fn recv_batch(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.inner.recv();
+        }
+    }
+}
+
+impl BatchedPilotSender {
+    /// Send a whole batch (blocking); every word rides Pilot.
+    pub fn send_batch(&mut self, batch: &[u64]) {
+        for &w in batch {
+            self.inner.send(w);
+        }
+    }
+
+    /// Fallback-path activations so far.
+    #[must_use]
+    pub fn fallbacks(&self) -> u64 {
+        self.inner.fallbacks
+    }
+}
+
+impl BatchedPilotReceiver {
+    /// Receive `out.len()` words (blocking).
+    pub fn recv_batch(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.inner.recv();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_roundtrip_through_both_rings() {
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let payload: Vec<u64> = (0..n as u64).map(|i| i * 11 + 3).collect();
+            // Baseline.
+            let (mut tx, mut rx) = batched_spsc(64, BarrierPair::LD_ST);
+            tx.send_batch(&payload);
+            let mut got = vec![0u64; n];
+            rx.recv_batch(&mut got);
+            assert_eq!(got, payload);
+            // Pilot.
+            let pool = HashPool::default_pool();
+            let (mut ptx, mut prx) = batched_pilot(64, &pool, Barrier::DmbLd);
+            ptx.send_batch(&payload);
+            let mut got2 = vec![0u64; n];
+            prx.recv_batch(&mut got2);
+            assert_eq!(got2, payload);
+        }
+    }
+
+    #[test]
+    fn cross_thread_batches() {
+        let pool = HashPool::default_pool();
+        let (mut tx, mut rx) = batched_pilot(64, &pool, Barrier::DmbLd);
+        const ROUNDS: u64 = 300;
+        const BATCH: usize = 8;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let batch: Vec<u64> = (0..BATCH as u64).map(|i| r * 100 + i).collect();
+                    tx.send_batch(&batch);
+                }
+            });
+            let h = s.spawn(move || {
+                let mut buf = [0u64; BATCH];
+                for r in 0..ROUNDS {
+                    rx.recv_batch(&mut buf);
+                    for (i, &w) in buf.iter().enumerate() {
+                        assert_eq!(w, r * 100 + i as u64);
+                    }
+                }
+            });
+            h.join().unwrap();
+        });
+    }
+}

@@ -1,0 +1,45 @@
+//! **Pilot**: removing the performance-critical barrier in memory-based
+//! communication (PPoPP 2020, §4.3).
+//!
+//! The expensive barrier in a producer-consumer exchange is the one that
+//! strictly follows the remote memory reference — it orders *store the data*
+//! before *set the flag*. Pilot removes it by **piggybacking the flag on the
+//! data**: ARMv8 guarantees aligned 64-bit stores are *single-copy atomic*,
+//! so a single store can publish payload and readiness together. The
+//! receiver simply watches the shared word change.
+//!
+//! Two wrinkles make this correct for arbitrary payloads (Algorithms 3 & 4):
+//!
+//! 1. **Shuffling** — the sender XORs each payload with a per-round seed
+//!    from a pre-shared [`HashPool`], making "new value == old value"
+//!    vanishingly rare even for constant payload streams.
+//! 2. **Flag fallback** — when the shuffled value still equals the previous
+//!    one, the sender flips a separate shared flag instead; the receiver
+//!    notices either the data changing or the flag changing.
+//!
+//! This crate provides:
+//!
+//! * [`HashPool`] — the shared seed schedule.
+//! * [`slot::PilotSender`]/[`slot::PilotReceiver`] — the bare Algorithms 3 & 4
+//!   over one shared (data, flag) pair.
+//! * [`channel::SpscRing`] — the baseline barrier-configurable
+//!   producer-consumer ring (Algorithm 2) for comparison.
+//! * [`channel::PilotRing`] — the ring with Pilot applied (§4.4): the
+//!   post-RMR barrier and the consumer's flag line are gone.
+//! * [`batch`] — batched (n × 8-byte) transfers (§4.5, Figure 6(c)).
+//!
+//! On x86 hosts everything is correct (TSO is stronger than the barriers
+//! requested); on aarch64 the configured barriers compile to the real
+//! instructions via `armbar-barriers`.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod channel;
+pub mod hashpool;
+pub mod slot;
+
+pub use channel::{pilot_ring, spsc_ring, BarrierPair, PilotReceiverRing, PilotSenderRing,
+                  SpscReceiver, SpscSender};
+pub use hashpool::HashPool;
+pub use slot::{pilot_pair, PilotReceiver, PilotSender};

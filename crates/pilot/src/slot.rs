@@ -1,0 +1,217 @@
+//! The bare Pilot mechanism over one shared (data, flag) pair —
+//! Algorithms 3 & 4 of the paper.
+//!
+//! One sender transfers a sequence of 64-bit payloads to one receiver,
+//! strictly alternating: the receiver must consume round *k* before the
+//! sender may publish round *k+1* (in a real channel the ring counters
+//! provide that back-pressure; see [`crate::channel`]).
+//!
+//! Every shared access is a relaxed 64-bit atomic — the only hardware
+//! guarantee Pilot needs is single-copy atomicity of the aligned store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+use crate::hashpool::HashPool;
+
+/// The shared state: payload word and fallback flag.
+///
+/// They sit on one padded cache line on purpose: the flag is touched only on
+/// the rare fallback path, so co-locating it costs nothing and keeps the
+/// common path at a single touched line — the cache-line reduction §4.5
+/// credits for part of Pilot's win.
+#[derive(Debug)]
+pub struct PilotShared {
+    data: CachePadded<AtomicU64>,
+    flag: AtomicU64,
+}
+
+impl PilotShared {
+    fn new() -> PilotShared {
+        PilotShared { data: CachePadded::new(AtomicU64::new(0)), flag: AtomicU64::new(0) }
+    }
+}
+
+/// Sender half (Algorithm 3).
+#[derive(Debug)]
+pub struct PilotSender {
+    shared: Arc<PilotShared>,
+    pool: HashPool,
+    old_data: u64,
+    local_flag: u64,
+    /// Fallback-path activations (diagnostics; the paper's worst case).
+    pub fallbacks: u64,
+}
+
+/// Receiver half (Algorithm 4).
+#[derive(Debug)]
+pub struct PilotReceiver {
+    shared: Arc<PilotShared>,
+    pool: HashPool,
+    old_data: u64,
+    old_flag: u64,
+}
+
+/// Create a connected Pilot pair over fresh shared state.
+#[must_use]
+pub fn pilot_pair(pool: &HashPool) -> (PilotSender, PilotReceiver) {
+    let shared = Arc::new(PilotShared::new());
+    (
+        PilotSender {
+            shared: Arc::clone(&shared),
+            pool: pool.clone(),
+            old_data: 0,
+            local_flag: 0,
+            fallbacks: 0,
+        },
+        PilotReceiver { shared, pool: pool.clone(), old_data: 0, old_flag: 0 },
+    )
+}
+
+impl PilotSender {
+    /// Publish one payload (Algorithm 3). No barrier anywhere: the single
+    /// store *is* the notification.
+    ///
+    /// Must alternate with [`PilotReceiver::recv`] rounds; publishing twice
+    /// without an intervening receive loses the first payload (exactly like
+    /// overwriting an unconsumed buffer slot).
+    pub fn send(&mut self, payload: u64) {
+        // Line 1: shuffle with the next seed.
+        let new_data = payload ^ self.pool.next_seed();
+        if new_data == self.old_data {
+            // Lines 2-3: fallback — flip the flag instead.
+            self.local_flag ^= 1;
+            self.shared.flag.store(self.local_flag, Ordering::Relaxed);
+            self.fallbacks += 1;
+        } else {
+            // Line 5: the piggybacked publish.
+            self.shared.data.store(new_data, Ordering::Relaxed);
+        }
+        // Line 6: remember for the next round.
+        self.old_data = new_data;
+    }
+}
+
+impl PilotReceiver {
+    /// Non-blocking poll (one trip round Algorithm 4's loop): `Some(payload)`
+    /// when a new round has been published.
+    pub fn try_recv(&mut self) -> Option<u64> {
+        let data = self.shared.data.load(Ordering::Relaxed);
+        if data != self.old_data {
+            self.old_data = data;
+        } else {
+            let flag = self.shared.flag.load(Ordering::Relaxed);
+            if flag == self.old_flag {
+                return None;
+            }
+            self.old_flag = flag;
+        }
+        // Line 6: unshuffle.
+        Some(self.old_data ^ self.pool.next_seed())
+    }
+
+    /// Blocking receive: spin until the next round arrives (with polite
+    /// exponential backoff so oversubscribed hosts still make progress).
+    pub fn recv(&mut self) -> u64 {
+        let backoff = crossbeam::utils::Backoff::new();
+        loop {
+            if let Some(v) = self.try_recv() {
+                return v;
+            }
+            backoff.snooze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_transfer() {
+        let pool = HashPool::default_pool();
+        let (mut tx, mut rx) = pilot_pair(&pool);
+        assert_eq!(rx.try_recv(), None, "nothing published yet");
+        tx.send(23);
+        assert_eq!(rx.recv(), 23);
+        assert_eq!(rx.try_recv(), None, "consumed exactly once");
+    }
+
+    #[test]
+    fn alternating_sequence_roundtrips() {
+        let pool = HashPool::new(11, 8);
+        let (mut tx, mut rx) = pilot_pair(&pool);
+        for v in [0u64, 0, 1, u64::MAX, 42, 42, 42, 0] {
+            tx.send(v);
+            assert_eq!(rx.recv(), v);
+        }
+    }
+
+    #[test]
+    fn fallback_path_engages_on_collision() {
+        // Force a collision: craft payloads so the shuffled word repeats.
+        let pool = HashPool::new(5, 4);
+        let (mut tx, mut rx) = pilot_pair(&pool);
+        // Round 0 publishes p0 ^ s0; choose round 1's payload so that
+        // p1 ^ s1 == p0 ^ s0.
+        let s0 = pool.seed_at(0);
+        let s1 = pool.seed_at(1);
+        let p0 = 7u64;
+        let p1 = p0 ^ s0 ^ s1;
+        tx.send(p0);
+        assert_eq!(rx.recv(), p0);
+        tx.send(p1);
+        assert_eq!(tx.fallbacks, 1, "collision must take the flag path");
+        assert_eq!(rx.recv(), p1, "flag path still delivers the payload");
+    }
+
+    #[test]
+    fn repeated_fallbacks_alternate_flag() {
+        let pool = HashPool::new(5, 4);
+        let (mut tx, mut rx) = pilot_pair(&pool);
+        let mut payloads = vec![9u64];
+        // Build a chain of forced collisions.
+        for i in 1..6 {
+            let prev = payloads[i - 1];
+            payloads.push(prev ^ pool.seed_at(i - 1) ^ pool.seed_at(i));
+        }
+        for &p in &payloads {
+            tx.send(p);
+            assert_eq!(rx.recv(), p);
+        }
+        assert_eq!(tx.fallbacks, 5);
+    }
+
+    #[test]
+    fn cross_thread_transfer_in_lockstep() {
+        // The bare slot requires alternation; an ack counter provides the
+        // back-pressure a ring's counters normally would.
+        let pool = HashPool::default_pool();
+        let (mut tx, mut rx) = pilot_pair(&pool);
+        let acked = Arc::new(AtomicU64::new(0));
+        const N: u64 = 500;
+        std::thread::scope(|s| {
+            let acked_tx = Arc::clone(&acked);
+            s.spawn(move || {
+                for v in 0..N {
+                    tx.send(v.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+                    // Wait until the receiver confirms round v.
+                    while acked_tx.load(Ordering::Acquire) <= v {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let acked_rx = Arc::clone(&acked);
+            let handle = s.spawn(move || {
+                for v in 0..N {
+                    let got = rx.recv();
+                    assert_eq!(got, v.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+                    acked_rx.store(v + 1, Ordering::Release);
+                }
+            });
+            handle.join().unwrap();
+        });
+    }
+}

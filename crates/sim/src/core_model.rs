@@ -1,0 +1,809 @@
+//! The per-core pipeline model.
+//!
+//! Each core is an in-order-issue, out-of-order-completion machine:
+//!
+//! * up to `issue_width` instructions issue per cycle into a bounded
+//!   [`Rob`]; retirement is in order at `retire_width`;
+//! * stores are fire-and-forget into the non-FIFO [`StoreBuffer`];
+//! * loads take their latency from the coherence [`Directory`] and complete
+//!   asynchronously (with store-to-load forwarding from the own buffer);
+//! * barrier instructions install the blocking conditions described by
+//!   [`Barrier`]'s implementation predicates — §2.3's "typical
+//!   implementation": block subsequent instruction classes, wait for prior
+//!   accesses, then wait for the ACE transaction response whose scope
+//!   depends on how far the prior snooping travelled.
+//!
+//! Load *values* are real: loads read the globally committed memory image at
+//! completion time (plus own-store forwarding), so racy workloads observe
+//! genuine weak-memory behaviour — e.g. a consumer polling a flag really can
+//! see the flag before the data if the producer omitted its barrier, because
+//! the store buffer drains out of order.
+
+use std::collections::HashMap;
+
+use armbar_barriers::Barrier;
+
+use crate::directory::Directory;
+use crate::op::{Op, RmwKind, SimThread, ThreadCtx};
+use crate::platform::LatencyParams;
+use crate::rob::{Rob, SlotId};
+use crate::stats::CoreStats;
+use crate::storebuf::{SbEntry, SbState, Seq, StoreBuffer};
+use crate::topology::Topology;
+use crate::types::{Addr, CoreId, Cycle, DistanceClass, Line};
+
+/// State shared by all cores: the coherence directory and the committed
+/// memory image (8-byte cells; absent cells read as zero).
+#[derive(Debug, Default)]
+pub struct SharedState {
+    /// Coherence directory.
+    pub directory: Directory,
+    /// Globally visible memory (committed store values).
+    pub memory: HashMap<Addr, u64>,
+}
+
+impl SharedState {
+    /// Read a committed cell (zero if never written).
+    #[must_use]
+    pub fn read(&self, addr: Addr) -> u64 {
+        *self.memory.get(&addr).unwrap_or(&0)
+    }
+
+    /// Commit a value to a cell.
+    pub fn write(&mut self, addr: Addr, value: u64) {
+        self.memory.insert(addr, value);
+    }
+}
+
+/// An RMW riding on an in-flight "load" record.
+#[derive(Debug, Clone, Copy)]
+struct RmwInfo {
+    kind: RmwKind,
+    operand: u64,
+}
+
+/// An in-flight load (or RMW).
+#[derive(Debug, Clone)]
+struct LoadInFlight {
+    id: u64,
+    seq: Seq,
+    rob_slot: SlotId,
+    addr: Addr,
+    done_at: Cycle,
+    distance: DistanceClass,
+    /// Value fixed at issue by store-to-load forwarding, if any.
+    forwarded: Option<u64>,
+    /// Deliver the value to the (suspended) thread on completion.
+    wants_value: bool,
+    /// Clear the acquire gate on completion (LDAR).
+    acquire: bool,
+    rmw: Option<RmwInfo>,
+}
+
+/// A pending barrier instruction (fence) and its wait conditions.
+#[derive(Debug, Clone)]
+struct PendingBarrier {
+    kind: Barrier,
+    rob_slot: Option<SlotId>,
+    /// Program-order point of the barrier: prior accesses have `seq <` this.
+    seq: Seq,
+    /// Response time, known once prior accesses complete.
+    resp_at: Option<Cycle>,
+    /// Whether any prior access the barrier waited on crossed a node.
+    crossed_node: bool,
+    /// Whether any prior access was outstanding when the barrier issued
+    /// (idle barriers get the cheap response).
+    had_priors: bool,
+}
+
+impl PendingBarrier {
+    fn waits_loads(&self) -> bool {
+        matches!(
+            self.kind,
+            Barrier::DmbFull | Barrier::DmbLd | Barrier::DsbFull | Barrier::DsbLd
+                | Barrier::CtrlIsb
+        )
+    }
+
+    fn waits_stores(&self) -> bool {
+        matches!(self.kind, Barrier::DmbFull | Barrier::DsbFull | Barrier::DsbSt)
+    }
+
+    /// Does this pending barrier forbid issuing memory operations?
+    fn blocks_memory(&self) -> bool {
+        // Every modelled fence except DMB st (which lives in the store
+        // buffer as a gate, not here) orders *something* later; subsequent
+        // memory ops wait for the response.
+        true
+    }
+
+    /// Does it forbid issuing anything at all?
+    fn blocks_all(&self) -> bool {
+        self.kind.blocks_issue_of_non_memory()
+    }
+}
+
+/// Why issue made no progress this cycle (for stall accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallReason {
+    None,
+    Barrier,
+    Resource,
+    Suspended,
+}
+
+/// One simulated core.
+pub struct Core {
+    id: CoreId,
+    thread: Option<Box<dyn SimThread>>,
+    halted: bool,
+    rob: Rob,
+    sb: StoreBuffer,
+    pending_op: Option<Op>,
+    nops_remaining: u32,
+    /// Suspended waiting for the value of this load id.
+    suspended_on: Option<u64>,
+    issue_blocked_until: Cycle,
+    loads: Vec<LoadInFlight>,
+    next_seq: Seq,
+    next_load_id: u64,
+    pending_barrier: Option<PendingBarrier>,
+    /// LDAR in flight: memory ops may not issue until this load completes.
+    acquire_gate: Option<u64>,
+    /// Most recent load: `(id, done_at)` for dependency modelling.
+    last_load: Option<(u64, Cycle)>,
+    /// Completion times of loads, by seq, still needed by release stores.
+    load_seq_done: Vec<(Seq, Cycle)>,
+    ctx: ThreadCtx,
+    stats: CoreStats,
+    /// Per-gate cross-node tracking parallel to `sb` gates is folded into
+    /// the gate structs; barrier window distance is tracked on drains/loads.
+    params_cache: CoreParams,
+}
+
+/// Per-core copies of the latency parameters the hot path needs.
+#[derive(Debug, Clone, Copy)]
+struct CoreParams {
+    issue_width: u32,
+    retire_width: u32,
+    max_outstanding_loads: u32,
+    t_l1_hit: Cycle,
+    t_membar_idle: Cycle,
+    t_membar_bisection: Cycle,
+    t_membar_domain: Cycle,
+    t_syncbar: Cycle,
+    t_stlr: Cycle,
+    t_isb_flush: Cycle,
+    dmb_holds_rob: bool,
+}
+
+impl Core {
+    /// A core with no thread (inert until one is attached).
+    #[must_use]
+    pub fn new(id: CoreId, lat: &LatencyParams) -> Core {
+        Core {
+            id,
+            thread: None,
+            halted: false,
+            rob: Rob::new(lat.rob_size),
+            sb: StoreBuffer::with_order(lat.sb_size, lat.sb_drain_ports, lat.fifo_store_buffer),
+            pending_op: None,
+            nops_remaining: 0,
+            suspended_on: None,
+            issue_blocked_until: 0,
+            loads: Vec::new(),
+            next_seq: 0,
+            next_load_id: 0,
+            pending_barrier: None,
+            acquire_gate: None,
+            last_load: None,
+            load_seq_done: Vec::new(),
+            ctx: ThreadCtx { now: 0, last_value: 0, iterations: 0 },
+            stats: CoreStats::default(),
+            params_cache: CoreParams {
+                issue_width: lat.issue_width,
+                retire_width: lat.retire_width,
+                max_outstanding_loads: lat.max_outstanding_loads,
+                t_l1_hit: lat.t_l1_hit,
+                t_membar_idle: lat.t_membar_idle,
+                t_membar_bisection: lat.t_membar_bisection,
+                t_membar_domain: lat.t_membar_domain,
+                t_syncbar: lat.t_syncbar,
+                t_stlr: lat.t_stlr,
+                t_isb_flush: lat.t_isb_flush,
+                dmb_holds_rob: lat.dmb_holds_rob,
+            },
+        }
+    }
+
+    /// Attach a workload thread.
+    pub fn attach(&mut self, thread: Box<dyn SimThread>) {
+        self.thread = Some(thread);
+        self.halted = false;
+    }
+
+    /// Whether the workload halted *and* all its effects are globally
+    /// visible (pipeline and store buffer empty).
+    #[must_use]
+    pub fn quiesced(&self) -> bool {
+        (self.halted || self.thread.is_none())
+            && self.rob.is_empty()
+            && self.sb.is_empty()
+            && self.loads.is_empty()
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Earliest cycle at which this core's state can change, `None` if it
+    /// never will (quiesced).
+    #[must_use]
+    pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        if self.quiesced() {
+            return None;
+        }
+        // If anything is issuable or retirable right now, act next cycle.
+        let mut wake: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            let t = t.max(now + 1);
+            wake = Some(wake.map_or(t, |w| w.min(t)));
+        };
+        // Retirement pending?
+        if !self.rob.is_empty() && !self.rob.head_stalled() {
+            consider(now + 1);
+        }
+        // Issue possible?
+        let blocked_all = self.issue_blocked_until > now
+            || self.pending_barrier.as_ref().is_some_and(|b| b.blocks_all());
+        if !blocked_all && !self.halted && self.suspended_on.is_none() {
+            consider(now + 1);
+        }
+        if self.issue_blocked_until > now {
+            consider(self.issue_blocked_until);
+        }
+        for l in &self.loads {
+            consider(l.done_at);
+        }
+        if let Some(t) = self.sb.next_event(now) {
+            consider(t);
+        }
+        if let Some(b) = &self.pending_barrier {
+            if let Some(t) = b.resp_at {
+                consider(t);
+            }
+        }
+        wake
+    }
+
+    fn loads_done_before(&self, seq: Seq, now: Cycle) -> bool {
+        self.loads.iter().all(|l| l.seq >= seq || l.done_at <= now)
+    }
+
+    fn outstanding_loads(&self, now: Cycle) -> usize {
+        self.loads.iter().filter(|l| l.done_at > now).count()
+    }
+
+    /// Whether memory operations may issue at `now`.
+    fn memory_blocked(&self, now: Cycle) -> bool {
+        if let Some(b) = &self.pending_barrier {
+            if b.blocks_memory() && b.resp_at.is_none_or(|t| t > now) {
+                return true;
+            }
+        }
+        if let Some(id) = self.acquire_gate {
+            if self.loads.iter().any(|l| l.id == id && l.done_at > now) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Phase 1: completions — loads/RMWs finishing, drains landing,
+    /// barrier/gate conditions resolving.
+    fn complete_phase(&mut self, now: Cycle, topo: &Topology, lat: &LatencyParams,
+                      shared: &mut SharedState) {
+        let _ = topo;
+        let _ = lat;
+        // Finish loads and RMWs.
+        let mut finished: Vec<LoadInFlight> = Vec::new();
+        let mut i = 0;
+        while i < self.loads.len() {
+            if self.loads[i].done_at <= now {
+                finished.push(self.loads.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        finished.sort_by_key(|l| l.done_at);
+        for l in finished {
+            let value = match (l.forwarded, &l.rmw) {
+                (Some(v), _) => v,
+                (None, None) => shared.read(l.addr),
+                (None, Some(rmw)) => {
+                    // Atomic read-modify-write commits at completion.
+                    let old = shared.read(l.addr);
+                    let new = match rmw.kind {
+                        RmwKind::FetchAdd => old.wrapping_add(rmw.operand),
+                        RmwKind::Swap => rmw.operand,
+                        RmwKind::Cas { expected } => {
+                            if old == expected {
+                                rmw.operand
+                            } else {
+                                old
+                            }
+                        }
+                    };
+                    shared.write(l.addr, new);
+                    old
+                }
+            };
+            self.rob.complete(l.rob_slot);
+            self.load_seq_done.push((l.seq, l.done_at));
+            if l.distance.crosses_node() {
+                if let Some(b) = &mut self.pending_barrier {
+                    if b.waits_loads() && l.seq < b.seq {
+                        b.crossed_node = true;
+                    }
+                }
+            }
+            if l.acquire && self.acquire_gate == Some(l.id) {
+                self.acquire_gate = None;
+            }
+            if l.wants_value && self.suspended_on == Some(l.id) {
+                self.ctx.last_value = value;
+                self.suspended_on = None;
+            }
+        }
+        // Trim the load completion log: only entries that could still gate a
+        // release store matter (anything older than the oldest SB entry and
+        // the pending barrier is irrelevant).
+        let keep_from = self
+            .sb
+            .oldest_pending_seq()
+            .into_iter()
+            .chain(self.pending_barrier.as_ref().map(|b| b.seq))
+            .min()
+            .unwrap_or(self.next_seq);
+        self.load_seq_done.retain(|&(s, _)| s >= keep_from);
+
+        // Land store drains in the memory image.
+        for e in self.sb.complete_drains(now) {
+            shared.write(e.addr, e.value);
+            // Distance scope for gates/barriers waiting on this drain.
+            let crossed = e.drain_crossed_node();
+            if crossed {
+                for g in self.sb.gates_mut() {
+                    if e.seq < g.seq {
+                        g.crossed_node = true;
+                    }
+                }
+                if let Some(b) = &mut self.pending_barrier {
+                    if b.waits_stores() && e.seq < b.seq {
+                        b.crossed_node = true;
+                    }
+                }
+            }
+            if e.drain_was_rmr() {
+                self.stats.store_rmrs += 1;
+            }
+        }
+
+        // Open DMB st gates whose pre-gate stores have all drained.
+        let pc = self.params_cache;
+        let mut opens: Vec<(Seq, Cycle)> = Vec::new();
+        {
+            let sb = &self.sb;
+            for g in sb.gates_iter() {
+                if g.open_at.is_none() && sb.drained_before(g.seq) {
+                    let lat_resp = if g.crossed_node {
+                        pc.t_membar_domain
+                    } else if g.had_priors {
+                        pc.t_membar_bisection
+                    } else {
+                        pc.t_membar_idle
+                    };
+                    opens.push((g.seq, now + lat_resp));
+                }
+            }
+        }
+        for (seq, t) in opens {
+            for g in self.sb.gates_mut() {
+                if g.seq == seq {
+                    g.open_at = Some(t);
+                }
+            }
+        }
+        self.sb.expire_gates(now);
+
+        // Resolve the pending barrier.
+        let mut barrier_done = false;
+        if let Some(b) = &mut self.pending_barrier {
+            if b.resp_at.is_none() {
+                let loads_ok = !b.waits_loads() || {
+                    let seq = b.seq;
+                    self.loads.iter().all(|l| l.seq >= seq || l.done_at <= now)
+                };
+                let stores_ok = !b.waits_stores() || self.sb.drained_before(b.seq);
+                if loads_ok && stores_ok {
+                    let resp = match b.kind {
+                        Barrier::DmbFull => {
+                            now + if !b.had_priors {
+                                pc.t_membar_idle
+                            } else if b.crossed_node {
+                                pc.t_membar_domain
+                            } else {
+                                pc.t_membar_bisection
+                            }
+                        }
+                        Barrier::DmbLd => now + 1,
+                        Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd => {
+                            now + pc.t_syncbar
+                        }
+                        Barrier::CtrlIsb => now + pc.t_isb_flush,
+                        other => unreachable!("{other} never becomes a pending barrier"),
+                    };
+                    b.resp_at = Some(resp);
+                    if b.blocks_all() {
+                        self.issue_blocked_until = resp;
+                    }
+                }
+            }
+            if let Some(t) = b.resp_at {
+                if t <= now {
+                    if let Some(slot) = b.rob_slot {
+                        self.rob.complete(slot);
+                    }
+                    barrier_done = true;
+                }
+            }
+        }
+        if barrier_done {
+            self.pending_barrier = None;
+        }
+    }
+
+    /// Phase 2: start store-buffer drains while coherence ports are free.
+    fn drain_phase(&mut self, now: Cycle, topo: &Topology, lat: &LatencyParams,
+                   shared: &mut SharedState) {
+        loop {
+            let done_log = &self.load_seq_done;
+            let loads = &self.loads;
+            let loads_done = |seq: Seq| {
+                loads.iter().all(|l| l.seq >= seq || l.done_at <= now) && {
+                    // Every already-finished load is fine by construction.
+                    let _ = done_log;
+                    true
+                }
+            };
+            let Some(i) = self.sb.pick_drain_candidate(now, loads_done) else { break };
+            let (addr, release) = {
+                let e = &self.sb.entries()[i];
+                (e.addr, e.release)
+            };
+            let out = shared.directory.access(topo, lat, self.id, Line::containing(addr), true);
+            let extra = if release { self.params_cache.t_stlr } else { 0 };
+            self.sb.start_drain_with_meta(i, now + out.latency + extra, out.distance);
+        }
+    }
+
+    /// Phase 3: retire.
+    fn retire_phase(&mut self, _now: Cycle) {
+        let n = self.rob.retire(self.params_cache.retire_width);
+        self.stats.retired += u64::from(n);
+    }
+
+    /// Phase 4: issue up to `issue_width` instructions.
+    #[allow(clippy::too_many_lines)]
+    fn issue_phase(&mut self, now: Cycle, topo: &Topology, lat: &LatencyParams,
+                   shared: &mut SharedState) {
+        let pc = self.params_cache;
+        let mut budget = pc.issue_width;
+        let mut stall = StallReason::None;
+        self.ctx.now = now;
+        self.ctx.iterations = self.stats.iterations;
+        while budget > 0 {
+            if self.issue_blocked_until > now {
+                stall = StallReason::Barrier;
+                break;
+            }
+            if let Some(b) = &self.pending_barrier {
+                if b.blocks_all() && b.resp_at.is_none_or(|t| t > now) {
+                    stall = StallReason::Barrier;
+                    break;
+                }
+            }
+            // Finish a partially issued nop batch first.
+            if self.nops_remaining > 0 {
+                let pushed = self.rob.push_nops(self.nops_remaining.min(budget));
+                if pushed == 0 {
+                    stall = if self.pending_barrier.is_some() || self.rob.head_stalled() {
+                        StallReason::Barrier
+                    } else {
+                        StallReason::Resource
+                    };
+                    break;
+                }
+                self.nops_remaining -= pushed;
+                self.stats.issued += u64::from(pushed);
+                budget -= pushed;
+                continue;
+            }
+            if self.suspended_on.is_some() {
+                stall = StallReason::Suspended;
+                break;
+            }
+            if self.halted {
+                break;
+            }
+            // Fetch the next operation.
+            let op = match self.pending_op.take() {
+                Some(op) => op,
+                None => match &mut self.thread {
+                    Some(t) => t.next(&mut self.ctx),
+                    None => break,
+                },
+            };
+            match op {
+                Op::Nops(n) => {
+                    if n > 0 {
+                        self.nops_remaining = n;
+                    }
+                }
+                Op::IterationMark => {
+                    // The mark stands in for the loop-closing branch: one
+                    // issued instruction. Charging it also guarantees
+                    // forward progress for mark-only threads.
+                    if self.rob.push_nops(1) == 0 {
+                        self.pending_op = Some(op);
+                        stall = StallReason::Resource;
+                        break;
+                    }
+                    self.stats.iterations += 1;
+                    self.ctx.iterations = self.stats.iterations;
+                    self.stats.issued += 1;
+                    budget -= 1;
+                }
+                Op::Halt => {
+                    self.halted = true;
+                    self.stats.halted_at = Some(now);
+                }
+                Op::Load { addr, use_value, acquire, dep_on_last_load } => {
+                    if self.memory_blocked(now)
+                        || self.rob.free() == 0
+                        || self.outstanding_loads(now) as u32 >= pc.max_outstanding_loads
+                    {
+                        self.pending_op = Some(op);
+                        stall = if self.memory_blocked(now) {
+                            StallReason::Barrier
+                        } else {
+                            StallReason::Resource
+                        };
+                        break;
+                    }
+                    let start = if dep_on_last_load {
+                        self.last_load.map_or(now, |(_, t)| t.max(now))
+                    } else {
+                        now
+                    };
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let (done_at, distance, forwarded) =
+                        if let Some(v) = self.sb.forward(addr) {
+                            (start + pc.t_l1_hit, DistanceClass::Local, Some(v))
+                        } else {
+                            let out = shared.directory.access(
+                                topo,
+                                lat,
+                                self.id,
+                                Line::containing(addr),
+                                false,
+                            );
+                            if out.is_rmr {
+                                self.stats.load_rmrs += 1;
+                            }
+                            (start + out.latency, out.distance, None)
+                        };
+                    let slot = self.rob.push_instr(false).expect("checked free()");
+                    let id = self.next_load_id;
+                    self.next_load_id += 1;
+                    self.loads.push(LoadInFlight {
+                        id,
+                        seq,
+                        rob_slot: slot,
+                        addr,
+                        done_at,
+                        distance,
+                        forwarded,
+                        wants_value: use_value,
+                        acquire,
+                        rmw: None,
+                    });
+                    self.last_load = Some((id, done_at));
+                    self.stats.loads += 1;
+                    self.stats.issued += 1;
+                    budget -= 1;
+                    if acquire {
+                        self.acquire_gate = Some(id);
+                    }
+                    if use_value {
+                        self.suspended_on = Some(id);
+                    }
+                }
+                Op::Store { addr, value, release, dep_on_last_load } => {
+                    if self.memory_blocked(now) || self.rob.free() == 0 || !self.sb.has_space()
+                    {
+                        self.pending_op = Some(op);
+                        stall = if self.memory_blocked(now) {
+                            StallReason::Barrier
+                        } else {
+                            StallReason::Resource
+                        };
+                        break;
+                    }
+                    let data_ready_at = if dep_on_last_load {
+                        self.last_load.map_or(now, |(_, t)| t.max(now))
+                    } else {
+                        now
+                    };
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    // Stores retire as soon as they sit in the buffer.
+                    let _slot = self.rob.push_instr(true).expect("checked free()");
+                    self.sb.push(SbEntry {
+                        seq,
+                        addr,
+                        line: Line::containing(addr),
+                        value,
+                        release,
+                        data_ready_at,
+                        state: SbState::Pending,
+                        drain_distance: None,
+                    });
+                    self.stats.stores += 1;
+                    self.stats.issued += 1;
+                    budget -= 1;
+                }
+                Op::Rmw { addr, kind, operand, acquire, release } => {
+                    let release_ready = !release
+                        || (self.sb.is_empty() && self.loads_done_before(Seq::MAX, now));
+                    if self.memory_blocked(now) || self.rob.free() == 0 || !release_ready {
+                        self.pending_op = Some(op);
+                        stall = StallReason::Barrier;
+                        break;
+                    }
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let out = shared.directory.access(
+                        topo,
+                        lat,
+                        self.id,
+                        Line::containing(addr),
+                        true,
+                    );
+                    if out.is_rmr {
+                        self.stats.store_rmrs += 1;
+                    }
+                    let slot = self.rob.push_instr(false).expect("checked free()");
+                    let id = self.next_load_id;
+                    self.next_load_id += 1;
+                    self.loads.push(LoadInFlight {
+                        id,
+                        seq,
+                        rob_slot: slot,
+                        addr,
+                        done_at: now + out.latency.max(pc.t_l1_hit),
+                        distance: out.distance,
+                        forwarded: None,
+                        wants_value: true,
+                        acquire,
+                        rmw: Some(RmwInfo { kind, operand }),
+                    });
+                    if acquire {
+                        self.acquire_gate = Some(id);
+                    }
+                    self.suspended_on = Some(id);
+                    self.last_load = Some((id, now + out.latency));
+                    self.stats.rmws += 1;
+                    self.stats.issued += 1;
+                    budget -= 1;
+                }
+                Op::Fence(Barrier::None) => {}
+                Op::Fence(Barrier::DmbSt) => {
+                    if self.rob.free() == 0 {
+                        self.pending_op = Some(op);
+                        stall = StallReason::Resource;
+                        break;
+                    }
+                    // Lives in the store buffer as a gate; retires at once.
+                    let _slot = self.rob.push_instr(true).expect("checked free()");
+                    let had_priors = !self.sb.is_empty();
+                    self.sb.push_gate_with_meta(self.next_seq, had_priors);
+                    self.next_seq += 1;
+                    self.stats.fences += 1;
+                    self.stats.issued += 1;
+                    budget -= 1;
+                }
+                Op::Fence(Barrier::Isb) => {
+                    if self.rob.free() == 0 {
+                        self.pending_op = Some(op);
+                        stall = StallReason::Resource;
+                        break;
+                    }
+                    let _slot = self.rob.push_instr(true).expect("checked free()");
+                    self.issue_blocked_until = now + pc.t_isb_flush;
+                    self.stats.fences += 1;
+                    self.stats.issued += 1;
+                    budget -= 1;
+                    stall = StallReason::Barrier;
+                    break;
+                }
+                Op::Fence(kind) => {
+                    // DMB full/ld, DSB full/st/ld, CTRL+ISB.
+                    if self.pending_barrier.is_some() || self.rob.free() == 0 {
+                        self.pending_op = Some(op);
+                        stall = StallReason::Barrier;
+                        break;
+                    }
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let occupies = kind.occupies_rob_until_response()
+                        || (matches!(kind, Barrier::DmbFull | Barrier::DmbLd)
+                            && self.params_cache.dmb_holds_rob);
+                    let slot = self.rob.push_instr(!occupies).expect("checked free()");
+                    let waits_loads_now = self.loads.iter().any(|l| l.done_at > now);
+                    let waits_stores_now = !self.sb.is_empty();
+                    let mut b = PendingBarrier {
+                        kind,
+                        rob_slot: occupies.then_some(slot),
+                        seq,
+                        resp_at: None,
+                        crossed_node: false,
+                        had_priors: false,
+                    };
+                    b.had_priors = (b.waits_loads() && waits_loads_now)
+                        || (b.waits_stores() && waits_stores_now);
+                    // Seed scope from accesses already outstanding.
+                    if b.waits_loads() {
+                        for l in &self.loads {
+                            if l.done_at > now && l.distance.crosses_node() {
+                                b.crossed_node = true;
+                            }
+                        }
+                    }
+                    if b.waits_stores() {
+                        for e in self.sb.entries() {
+                            if e.drain_crossed_node() {
+                                b.crossed_node = true;
+                            }
+                        }
+                    }
+                    self.pending_barrier = Some(b);
+                    self.stats.fences += 1;
+                    self.stats.issued += 1;
+                    budget -= 1;
+                }
+            }
+        }
+        if budget == pc.issue_width && stall == StallReason::Barrier {
+            self.stats.barrier_stall_cycles += 1;
+        }
+    }
+
+    /// Advance this core to (the end of) cycle `now`.
+    pub fn step(&mut self, now: Cycle, topo: &Topology, lat: &LatencyParams,
+                shared: &mut SharedState) {
+        self.complete_phase(now, topo, lat, shared);
+        self.drain_phase(now, topo, lat, shared);
+        self.retire_phase(now);
+        self.issue_phase(now, topo, lat, shared);
+        // A second drain attempt lets stores issued this cycle begin
+        // draining immediately (store latency starts at issue).
+        self.drain_phase(now, topo, lat, shared);
+        if !self.quiesced() || self.stats.halted_at.is_none() {
+            self.stats.cycles = now + 1;
+        }
+    }
+}

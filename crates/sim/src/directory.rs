@@ -1,0 +1,286 @@
+//! Directory-based coherence model.
+//!
+//! A single global directory tracks, per cache line, an owner (the last
+//! writer, holding the line exclusively) and a sharer set (readers since the
+//! last write). The cost of an access is the transfer latency from the
+//! nearest current holder; a write additionally invalidates all other
+//! copies. This is a deliberately simple MESI-flavoured model: the paper's
+//! experiments only need "was this access a remote memory reference, and how
+//! far did the snoop travel" — both of which the directory answers exactly.
+
+use std::collections::HashMap;
+
+use crate::platform::LatencyParams;
+use crate::topology::Topology;
+use crate::types::{CoreId, Cycle, DistanceClass, Line};
+
+/// Per-line directory state.
+#[derive(Debug, Clone, Default)]
+struct LineState {
+    /// Exclusive owner (last writer), if any.
+    owner: Option<CoreId>,
+    /// Cores holding a shared copy (including a reading owner).
+    sharers: Vec<CoreId>,
+}
+
+/// Result of consulting the directory for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// How far the line had to travel.
+    pub distance: DistanceClass,
+    /// Transfer latency in cycles.
+    pub latency: Cycle,
+    /// Whether the access was a remote memory reference.
+    pub is_rmr: bool,
+}
+
+/// The global coherence directory.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    lines: HashMap<Line, LineState>,
+    /// Optional "home" core for otherwise-untouched regions: lets workloads
+    /// model buffers whose lines were last touched by a phantom peer (the
+    /// paper's alternating-thread construction in §3.2) without simulating
+    /// the peer's warm-up pass.
+    region_homes: Vec<(Line, Line, CoreId)>,
+}
+
+impl Directory {
+    /// An empty directory (all lines in memory).
+    #[must_use]
+    pub fn new() -> Directory {
+        Directory { lines: HashMap::new(), region_homes: Vec::new() }
+    }
+
+    /// Declare that untouched lines in `[start, end)` (byte addresses
+    /// rounded to lines) behave as if last written by `home`.
+    pub fn set_region_home(&mut self, start_addr: u64, end_addr: u64, home: CoreId) {
+        self.region_homes.push((
+            Line::containing(start_addr),
+            Line::containing(end_addr.saturating_sub(1)),
+            home,
+        ));
+    }
+
+    fn default_state(&self, line: Line) -> LineState {
+        for &(lo, hi, home) in &self.region_homes {
+            if line >= lo && line <= hi {
+                return LineState { owner: Some(home), sharers: vec![home] };
+            }
+        }
+        LineState::default()
+    }
+
+    fn classify(
+        topo: &Topology,
+        requester: CoreId,
+        state: &LineState,
+        write: bool,
+    ) -> DistanceClass {
+        // Read hit: requester already shares (or owns) the line.
+        if !write && (state.sharers.contains(&requester) || state.owner == Some(requester)) {
+            return DistanceClass::Local;
+        }
+        // Write hit: requester owns exclusively, no other sharers.
+        if write
+            && state.owner == Some(requester)
+            && state.sharers.iter().all(|&c| c == requester)
+        {
+            return DistanceClass::Local;
+        }
+        // Otherwise the line comes from the farthest holder we must snoop:
+        // for writes, every copy must be invalidated, so the worst-distance
+        // holder bounds the latency; for reads, the owner (or the nearest
+        // sharer) supplies the data.
+        let holders: Vec<CoreId> = if write {
+            state
+                .owner
+                .into_iter()
+                .chain(state.sharers.iter().copied())
+                .filter(|&c| c != requester)
+                .collect()
+        } else {
+            state.owner.into_iter().filter(|&c| c != requester).collect()
+        };
+        if holders.is_empty() {
+            if !write && !state.sharers.is_empty() {
+                // Shared-only line read: data can come from a sharer.
+                return state
+                    .sharers
+                    .iter()
+                    .map(|&c| topo.distance(requester, c))
+                    .min()
+                    .unwrap_or(DistanceClass::Memory);
+            }
+            return DistanceClass::Memory;
+        }
+        holders
+            .iter()
+            .map(|&c| topo.distance(requester, c))
+            .max()
+            .unwrap_or(DistanceClass::Memory)
+    }
+
+    /// Perform an access: returns its cost classification and updates the
+    /// directory (ownership transfer / sharer insertion / invalidation).
+    pub fn access(
+        &mut self,
+        topo: &Topology,
+        lat: &LatencyParams,
+        requester: CoreId,
+        line: Line,
+        write: bool,
+    ) -> AccessOutcome {
+        let state = match self.lines.get(&line) {
+            Some(s) => s.clone(),
+            None => self.default_state(line),
+        };
+        let distance = Self::classify(topo, requester, &state, write);
+        let latency = lat.transfer_latency(distance);
+        let new_state = if write {
+            // Writer takes exclusive ownership; all other copies invalidated.
+            LineState { owner: Some(requester), sharers: vec![requester] }
+        } else {
+            let mut s = state;
+            if !s.sharers.contains(&requester) {
+                s.sharers.push(requester);
+            }
+            s
+        };
+        self.lines.insert(line, new_state);
+        AccessOutcome { distance, latency, is_rmr: distance.is_rmr() }
+    }
+
+    /// Peek at the cost of an access without mutating directory state.
+    #[must_use]
+    pub fn peek(
+        &self,
+        topo: &Topology,
+        lat: &LatencyParams,
+        requester: CoreId,
+        line: Line,
+        write: bool,
+    ) -> AccessOutcome {
+        let state = match self.lines.get(&line) {
+            Some(s) => s.clone(),
+            None => self.default_state(line),
+        };
+        let distance = Self::classify(topo, requester, &state, write);
+        AccessOutcome {
+            distance,
+            latency: lat.transfer_latency(distance),
+            is_rmr: distance.is_rmr(),
+        }
+    }
+
+    /// Current exclusive owner of a line, if any (for tests/diagnostics).
+    #[must_use]
+    pub fn owner(&self, line: Line) -> Option<CoreId> {
+        self.lines.get(&line).and_then(|s| s.owner)
+    }
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    fn setup() -> (Topology, LatencyParams, Directory) {
+        let p = Platform::kunpeng916();
+        (p.topology, p.latency, Directory::new())
+    }
+
+    #[test]
+    fn cold_line_comes_from_memory() {
+        let (t, l, mut d) = setup();
+        let out = d.access(&t, &l, 0, Line(7), false);
+        assert_eq!(out.distance, DistanceClass::Memory);
+        assert_eq!(out.latency, l.t_memory);
+        assert!(out.is_rmr);
+    }
+
+    #[test]
+    fn read_after_own_read_is_local() {
+        let (t, l, mut d) = setup();
+        d.access(&t, &l, 0, Line(7), false);
+        let out = d.access(&t, &l, 0, Line(7), false);
+        assert_eq!(out.distance, DistanceClass::Local);
+        assert!(!out.is_rmr);
+    }
+
+    #[test]
+    fn write_after_own_write_is_local() {
+        let (t, l, mut d) = setup();
+        d.access(&t, &l, 0, Line(7), true);
+        let out = d.access(&t, &l, 0, Line(7), true);
+        assert_eq!(out.distance, DistanceClass::Local);
+    }
+
+    #[test]
+    fn ping_pong_between_nodes_is_cross_node() {
+        let (t, l, mut d) = setup();
+        let far = 40; // node 1 on kunpeng
+        d.access(&t, &l, far, Line(3), true);
+        let out = d.access(&t, &l, 0, Line(3), true);
+        assert_eq!(out.distance, DistanceClass::CrossNode);
+        assert_eq!(out.latency, l.t_cross_node);
+        // Ownership transferred.
+        assert_eq!(d.owner(Line(3)), Some(0));
+    }
+
+    #[test]
+    fn write_invalidates_sharers_and_pays_worst_distance() {
+        let (t, l, mut d) = setup();
+        d.access(&t, &l, 1, Line(5), false); // same cluster as 0
+        d.access(&t, &l, 40, Line(5), false); // other node
+        let out = d.access(&t, &l, 0, Line(5), true);
+        // Must invalidate the cross-node sharer.
+        assert_eq!(out.distance, DistanceClass::CrossNode);
+    }
+
+    #[test]
+    fn read_of_written_line_transfers_from_owner() {
+        let (t, l, mut d) = setup();
+        d.access(&t, &l, 5, Line(9), true); // cluster 1, node 0
+        let out = d.access(&t, &l, 0, Line(9), false);
+        assert_eq!(out.distance, DistanceClass::CrossCluster);
+    }
+
+    #[test]
+    fn region_home_makes_fresh_lines_remote() {
+        let (t, l, mut d) = setup();
+        d.set_region_home(0x10000, 0x20000, 40); // phantom in node 1
+        let out = d.access(&t, &l, 0, Line::containing(0x10040), true);
+        assert_eq!(out.distance, DistanceClass::CrossNode);
+        // Lines outside the region stay cold.
+        let out2 = d.access(&t, &l, 0, Line::containing(0x3000), true);
+        assert_eq!(out2.distance, DistanceClass::Memory);
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let (t, l, mut d) = setup();
+        d.access(&t, &l, 40, Line(3), true);
+        let before = d.peek(&t, &l, 0, Line(3), true);
+        let again = d.peek(&t, &l, 0, Line(3), true);
+        assert_eq!(before, again);
+        assert_eq!(d.owner(Line(3)), Some(40));
+    }
+
+    #[test]
+    fn read_from_sharer_only_line_uses_nearest_sharer() {
+        let (t, l, mut d) = setup();
+        // Two sharers, no owner change: core 1 (near) and 40 (far) read a
+        // memory line; then core 0 reads.
+        d.access(&t, &l, 1, Line(11), false);
+        d.access(&t, &l, 40, Line(11), false);
+        let out = d.access(&t, &l, 0, Line(11), false);
+        assert_eq!(out.distance, DistanceClass::SameCluster);
+    }
+}

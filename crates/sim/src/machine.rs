@@ -1,0 +1,370 @@
+//! The machine: cores + shared coherence state + the run loop.
+//!
+//! The run loop is cycle-accurate but event-accelerated: when no core can
+//! make progress at the current cycle, time jumps straight to the earliest
+//! pending event (load completion, drain landing, gate opening, barrier
+//! response). Within a cycle, cores step in id order — that order is the
+//! deterministic tie-break for same-cycle coherence races.
+
+use crate::core_model::{Core, SharedState};
+use crate::op::SimThread;
+use crate::platform::Platform;
+use crate::stats::CoreStats;
+use crate::types::{Addr, CoreId, Cycle};
+
+/// Aggregate result of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Whether every workload halted (and quiesced) before the cycle limit.
+    pub halted: bool,
+}
+
+/// A simulated machine.
+pub struct Machine {
+    platform: Platform,
+    cores: Vec<Core>,
+    /// Ids of cores that have workloads attached, in attach order.
+    active: Vec<CoreId>,
+    shared: SharedState,
+    now: Cycle,
+}
+
+impl Machine {
+    /// A machine with all of the platform's cores, none running anything.
+    #[must_use]
+    pub fn new(platform: Platform) -> Machine {
+        let cores = (0..platform.topology.core_count())
+            .map(|id| Core::new(id, &platform.latency))
+            .collect();
+        Machine { platform, cores, active: Vec::new(), shared: SharedState::default(), now: 0 }
+    }
+
+    /// The platform this machine models.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Attach a workload to a specific core. Returns the core id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range or already busy.
+    pub fn add_thread_on(&mut self, core: CoreId, thread: Box<dyn SimThread>) -> CoreId {
+        assert!(core < self.cores.len(), "core {core} out of range");
+        assert!(!self.active.contains(&core), "core {core} already has a thread");
+        self.cores[core].attach(thread);
+        self.active.push(core);
+        core
+    }
+
+    /// Declare that untouched lines in `[start, end)` behave as if last
+    /// written by `home` (see
+    /// [`Directory::set_region_home`](crate::directory::Directory::set_region_home)).
+    pub fn set_region_home(&mut self, start: Addr, end: Addr, home: CoreId) {
+        self.shared.directory.set_region_home(start, end, home);
+    }
+
+    /// Pre-set a memory cell before the run.
+    pub fn preset_memory(&mut self, addr: Addr, value: u64) {
+        self.shared.write(addr, value);
+    }
+
+    /// Read the committed value of a cell (post-run assertions).
+    #[must_use]
+    pub fn read_memory(&self, addr: Addr) -> u64 {
+        self.shared.read(addr)
+    }
+
+    /// Statistics of one core.
+    #[must_use]
+    pub fn core_stats(&self, core: CoreId) -> &CoreStats {
+        self.cores[core].stats()
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn step_all(&mut self) {
+        let topo = &self.platform.topology;
+        let lat = &self.platform.latency;
+        for &id in &self.active {
+            self.cores[id].step(self.now, topo, lat, &mut self.shared);
+        }
+    }
+
+    fn all_quiesced(&self) -> bool {
+        self.active.iter().all(|&id| self.cores[id].quiesced())
+    }
+
+    /// Run until every workload halts and quiesces, or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: Cycle) -> RunStats {
+        self.run_while(max_cycles, |_| true)
+    }
+
+    /// Run until `core` has completed `iterations` marked iterations (or
+    /// everything halts / the cycle limit is hit).
+    pub fn run_until_iterations(
+        &mut self,
+        core: CoreId,
+        iterations: u64,
+        max_cycles: Cycle,
+    ) -> RunStats {
+        self.run_while(max_cycles, |m| m.cores[core].stats().iterations < iterations)
+    }
+
+    fn run_while(&mut self, max_cycles: Cycle, keep_going: impl Fn(&Machine) -> bool) -> RunStats {
+        let limit = self.now.saturating_add(max_cycles);
+        while self.now < limit {
+            self.step_all();
+            if self.all_quiesced() {
+                self.now += 1;
+                return RunStats { cycles: self.now, halted: true };
+            }
+            if !keep_going(self) {
+                self.now += 1;
+                return RunStats { cycles: self.now, halted: false };
+            }
+            // Event acceleration: jump to the earliest possible activity.
+            let next = self
+                .active
+                .iter()
+                .filter_map(|&id| self.cores[id].next_wake(self.now))
+                .min()
+                .unwrap_or(self.now + 1);
+            debug_assert!(next > self.now);
+            self.now = next;
+        }
+        RunStats { cycles: self.now, halted: self.all_quiesced() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, ThreadCtx};
+    use armbar_barriers::Barrier;
+
+    /// Runs a fixed script of ops, then halts.
+    struct Script {
+        ops: Vec<Op>,
+        pos: usize,
+        values: Vec<u64>,
+    }
+
+    impl Script {
+        fn new(ops: Vec<Op>) -> Script {
+            Script { ops, pos: 0, values: Vec::new() }
+        }
+    }
+
+    impl crate::op::SimThread for Script {
+        fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+            if self.pos > 0 {
+                if let Op::Load { use_value: true, .. } | Op::Rmw { .. } =
+                    self.ops[self.pos - 1]
+                {
+                    self.values.push(ctx.last_value);
+                }
+            }
+            let op = self.ops.get(self.pos).copied().unwrap_or(Op::Halt);
+            self.pos += 1;
+            op
+        }
+    }
+
+    #[test]
+    fn store_then_load_roundtrips_through_memory() {
+        let mut m = Machine::new(Platform::raspberry_pi4());
+        m.add_thread_on(
+            0,
+            Box::new(Script::new(vec![
+                Op::store(0x100, 77),
+                Op::Fence(Barrier::DmbFull),
+                Op::load_use(0x100),
+            ])),
+        );
+        let stats = m.run(100_000);
+        assert!(stats.halted, "machine must quiesce");
+        assert_eq!(m.read_memory(0x100), 77);
+    }
+
+    #[test]
+    fn forwarding_returns_buffered_value_before_drain() {
+        let mut m = Machine::new(Platform::kunpeng916());
+        m.add_thread_on(
+            0,
+            Box::new(Script::new(vec![Op::store(0x200, 5), Op::load_use(0x200)])),
+        );
+        let stats = m.run(100_000);
+        assert!(stats.halted);
+        assert_eq!(m.read_memory(0x200), 5);
+    }
+
+    #[test]
+    fn message_passing_with_barriers_is_correct() {
+        // Producer stores data then flag with DMB st between; consumer spins
+        // on the flag then reads data after DMB ld. Must observe data = 23.
+        struct Producer {
+            step: usize,
+        }
+        impl crate::op::SimThread for Producer {
+            fn next(&mut self, _ctx: &mut ThreadCtx) -> Op {
+                self.step += 1;
+                match self.step {
+                    1 => Op::store(0x1000, 23),
+                    2 => Op::Fence(Barrier::DmbSt),
+                    3 => Op::store(0x1040, 1),
+                    _ => Op::Halt,
+                }
+            }
+        }
+        struct Consumer {
+            phase: usize,
+            observed: u64,
+        }
+        impl crate::op::SimThread for Consumer {
+            fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Op::load_use(0x1040)
+                    }
+                    1 => {
+                        if ctx.last_value == 0 {
+                            Op::load_use(0x1040)
+                        } else {
+                            self.phase = 2;
+                            Op::Fence(Barrier::DmbLd)
+                        }
+                    }
+                    2 => {
+                        self.phase = 3;
+                        Op::load_use(0x1000)
+                    }
+                    _ => {
+                        if self.phase == 3 {
+                            self.observed = ctx.last_value;
+                            self.phase = 4;
+                        }
+                        Op::Halt
+                    }
+                }
+            }
+        }
+        let mut m = Machine::new(Platform::kunpeng916());
+        m.add_thread_on(0, Box::new(Producer { step: 0 }));
+        m.add_thread_on(40, Box::new(Consumer { phase: 0, observed: 999 }));
+        let stats = m.run(1_000_000);
+        assert!(stats.halted, "both threads must finish");
+        assert_eq!(m.read_memory(0x1000), 23);
+        assert_eq!(m.read_memory(0x1040), 1);
+    }
+
+    #[test]
+    fn fetch_add_serializes_across_cores() {
+        struct Adder {
+            n: u32,
+        }
+        impl crate::op::SimThread for Adder {
+            fn next(&mut self, _ctx: &mut ThreadCtx) -> Op {
+                if self.n == 0 {
+                    return Op::Halt;
+                }
+                self.n -= 1;
+                Op::fetch_add_acq_rel(0x3000, 1)
+            }
+        }
+        let mut m = Machine::new(Platform::kunpeng916());
+        m.add_thread_on(0, Box::new(Adder { n: 50 }));
+        m.add_thread_on(4, Box::new(Adder { n: 50 }));
+        m.add_thread_on(40, Box::new(Adder { n: 50 }));
+        let stats = m.run(10_000_000);
+        assert!(stats.halted);
+        assert_eq!(m.read_memory(0x3000), 150, "no lost updates");
+    }
+
+    #[test]
+    fn iteration_marks_count() {
+        let ops = vec![
+            Op::IterationMark,
+            Op::Nops(10),
+            Op::IterationMark,
+            Op::Nops(10),
+            Op::IterationMark,
+        ];
+        let mut m = Machine::new(Platform::kirin960());
+        m.add_thread_on(0, Box::new(Script::new(ops)));
+        m.run(100_000);
+        assert_eq!(m.core_stats(0).iterations, 3);
+    }
+
+    #[test]
+    fn run_until_iterations_stops_early() {
+        struct Forever;
+        impl crate::op::SimThread for Forever {
+            fn next(&mut self, _ctx: &mut ThreadCtx) -> Op {
+                Op::IterationMark
+            }
+        }
+        let mut m = Machine::new(Platform::kirin960());
+        m.add_thread_on(0, Box::new(Forever));
+        let stats = m.run_until_iterations(0, 1000, 1_000_000);
+        assert!(!stats.halted);
+        assert!(m.core_stats(0).iterations >= 1000);
+    }
+
+    #[test]
+    fn dsb_costs_more_than_dmb_than_nothing() {
+        // Intrinsic cost (no memory ops): Observation 1 ordering.
+        fn cycles_with(fence: Option<Barrier>) -> u64 {
+            let mut ops = Vec::new();
+            for _ in 0..200 {
+                if let Some(f) = fence {
+                    ops.push(Op::Fence(f));
+                }
+                ops.push(Op::Nops(10));
+                ops.push(Op::IterationMark);
+            }
+            let mut m = Machine::new(Platform::kunpeng916());
+            m.add_thread_on(0, Box::new(Script::new(ops)));
+            let s = m.run(10_000_000);
+            assert!(s.halted);
+            m.core_stats(0).cycles
+        }
+        let none = cycles_with(None);
+        let dmb = cycles_with(Some(Barrier::DmbFull));
+        let isb = cycles_with(Some(Barrier::Isb));
+        let dsb = cycles_with(Some(Barrier::DsbFull));
+        assert!(none <= dmb, "no-barrier {none} <= dmb {dmb}");
+        assert!(dmb < isb, "dmb {dmb} < isb {isb}");
+        assert!(isb < dsb, "isb {isb} < dsb {dsb}");
+    }
+
+    #[test]
+    fn event_acceleration_preserves_results() {
+        // A long DSB chain exercises the jump path; cycle counts must be
+        // exactly reproducible.
+        let mk = || {
+            let ops = vec![
+                Op::store(0x100, 1),
+                Op::Fence(Barrier::DsbFull),
+                Op::Nops(5),
+                Op::store(0x140, 2),
+                Op::Fence(Barrier::DsbFull),
+                Op::load_use(0x100),
+            ];
+            let mut m = Machine::new(Platform::kunpeng916());
+            m.add_thread_on(0, Box::new(Script::new(ops)));
+            let s = m.run(1_000_000);
+            assert!(s.halted);
+            s.cycles
+        };
+        assert_eq!(mk(), mk(), "determinism");
+    }
+}

@@ -1,0 +1,218 @@
+//! The workload-to-core interface: operations and simulated threads.
+//!
+//! A workload is a [`SimThread`] — a state machine the core polls for its
+//! next [`Op`] whenever issue bandwidth is available. Two coupling levels
+//! exist, mirroring real hardware:
+//!
+//! * **Fire-and-forget** ops ([`Op::Store`], value-unused [`Op::Load`],
+//!   [`Op::Nops`]) are issued and the thread immediately continues — the
+//!   core tracks their completion asynchronously, so independent work
+//!   overlaps outstanding misses.
+//! * **Value-consuming** ops (`Load` with `use_value`, [`Op::Rmw`]) suspend
+//!   the thread until the data arrives; the value is then available via
+//!   [`ThreadCtx::last_value`]. A suspended thread is exactly a data/control
+//!   dependency in the pipeline.
+//!
+//! Dependency *idioms* (the paper's DATA/ADDR/CTRL deps) are expressed with
+//! the `dep_on_last_load` flag: the flagged access may not begin before the
+//! most recent load completes, but everything between them still flows.
+
+use armbar_barriers::Barrier;
+
+use crate::types::{Addr, Cycle};
+
+/// Atomic read-modify-write flavours (single-instruction atomics à la
+/// ARMv8.1 LSE: `LDADD`, `SWP`, `CAS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwKind {
+    /// Fetch-and-add: returns the old value, stores `old + operand`.
+    FetchAdd,
+    /// Swap: returns the old value, stores `operand`.
+    Swap,
+    /// Compare-and-swap: `operand` is the new value, `expected` the test;
+    /// stores `operand` iff the old value equals `expected`. Returns the old
+    /// value either way.
+    Cas {
+        /// Value the location must hold for the swap to happen.
+        expected: u64,
+    },
+}
+
+/// One operation a thread asks its core to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `n` independent single-cycle ALU instructions (nops, adds, …).
+    Nops(u32),
+    /// A load.
+    Load {
+        /// Target address.
+        addr: Addr,
+        /// Suspend the thread until the value is available (the program
+        /// consumes it); otherwise fire-and-forget.
+        use_value: bool,
+        /// Load-acquire (`LDAR`): later memory ops wait for this load.
+        acquire: bool,
+        /// Address-dependency on the most recent load: this load may not
+        /// begin before that load completes.
+        dep_on_last_load: bool,
+    },
+    /// A store (fire-and-forget into the store buffer).
+    Store {
+        /// Target address.
+        addr: Addr,
+        /// Value to write.
+        value: u64,
+        /// Store-release (`STLR`): all earlier accesses must be globally
+        /// visible before this store is.
+        release: bool,
+        /// Data/address-dependency on the most recent load.
+        dep_on_last_load: bool,
+    },
+    /// Atomic read-modify-write; always suspends for the old value.
+    Rmw {
+        /// Target address.
+        addr: Addr,
+        /// Operation.
+        kind: RmwKind,
+        /// Operand (addend / new value).
+        operand: u64,
+        /// Acquire semantics on the load half.
+        acquire: bool,
+        /// Release semantics on the store half.
+        release: bool,
+    },
+    /// A standalone barrier instruction (`Barrier::INSTRUCTIONS`, or
+    /// `Barrier::CtrlIsb` to model the CTRL+ISB idiom's ISB; `Barrier::None`
+    /// is a no-op).
+    Fence(Barrier),
+    /// Zero-cost marker: the thread completed one iteration of the measured
+    /// loop (increments [`CoreStats::iterations`]
+    /// (crate::stats::CoreStats::iterations)).
+    IterationMark,
+    /// Thread is finished; the core goes idle.
+    Halt,
+}
+
+impl Op {
+    /// Plain fire-and-forget store.
+    #[must_use]
+    pub fn store(addr: Addr, value: u64) -> Op {
+        Op::Store { addr, value, release: false, dep_on_last_load: false }
+    }
+
+    /// Store-release (`STLR`).
+    #[must_use]
+    pub fn store_release(addr: Addr, value: u64) -> Op {
+        Op::Store { addr, value, release: true, dep_on_last_load: false }
+    }
+
+    /// Store whose data depends on the most recent load (bogus DATA DEP).
+    #[must_use]
+    pub fn store_dep(addr: Addr, value: u64) -> Op {
+        Op::Store { addr, value, release: false, dep_on_last_load: true }
+    }
+
+    /// Fire-and-forget load (value unused).
+    #[must_use]
+    pub fn load(addr: Addr) -> Op {
+        Op::Load { addr, use_value: false, acquire: false, dep_on_last_load: false }
+    }
+
+    /// Load whose value the thread consumes (suspends until data returns).
+    #[must_use]
+    pub fn load_use(addr: Addr) -> Op {
+        Op::Load { addr, use_value: true, acquire: false, dep_on_last_load: false }
+    }
+
+    /// Load-acquire (`LDAR`) whose value the thread consumes.
+    #[must_use]
+    pub fn load_acquire(addr: Addr) -> Op {
+        Op::Load { addr, use_value: true, acquire: true, dep_on_last_load: false }
+    }
+
+    /// Load with a bogus address dependency on the most recent load.
+    #[must_use]
+    pub fn load_dep(addr: Addr, use_value: bool) -> Op {
+        Op::Load { addr, use_value, acquire: false, dep_on_last_load: true }
+    }
+
+    /// Atomic fetch-add with acquire+release semantics (a lock-style RMW).
+    #[must_use]
+    pub fn fetch_add_acq_rel(addr: Addr, operand: u64) -> Op {
+        Op::Rmw { addr, kind: RmwKind::FetchAdd, operand, acquire: true, release: true }
+    }
+
+    /// Does this op touch memory?
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Op::Load { .. } | Op::Store { .. } | Op::Rmw { .. })
+    }
+}
+
+/// Context handed to [`SimThread::next`].
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadCtx {
+    /// Current simulated time.
+    pub now: Cycle,
+    /// Value produced by the most recent value-consuming load/RMW.
+    pub last_value: u64,
+    /// Number of completed iterations this thread has reported via
+    /// workload-specific accounting (mirrors [`CoreStats::iterations`]
+    /// (crate::stats::CoreStats::iterations)).
+    pub iterations: u64,
+}
+
+impl ThreadCtx {
+    /// The value returned by the most recent suspending load/RMW.
+    #[must_use]
+    pub fn last_value(&self) -> u64 {
+        self.last_value
+    }
+}
+
+/// A simulated thread: a deterministic state machine emitting operations.
+pub trait SimThread {
+    /// Produce the next operation. Called whenever the core can accept one;
+    /// after a value-consuming op, called only once the value is available
+    /// (read it from [`ThreadCtx::last_value`]).
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op;
+
+    /// Called when the thread's most recent op completed an *iteration* of
+    /// the measured loop; workloads override nothing — cores call
+    /// [`crate::machine::Machine`] accounting instead. Provided for
+    /// workloads that want cycle-stamped progress callbacks.
+    fn on_iteration(&mut self, _now: Cycle) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        assert_eq!(
+            Op::store(8, 1),
+            Op::Store { addr: 8, value: 1, release: false, dep_on_last_load: false }
+        );
+        assert!(matches!(Op::store_release(8, 1), Op::Store { release: true, .. }));
+        assert!(matches!(Op::store_dep(8, 1), Op::Store { dep_on_last_load: true, .. }));
+        assert!(matches!(Op::load(8), Op::Load { use_value: false, acquire: false, .. }));
+        assert!(matches!(Op::load_use(8), Op::Load { use_value: true, acquire: false, .. }));
+        assert!(matches!(Op::load_acquire(8), Op::Load { use_value: true, acquire: true, .. }));
+        assert!(matches!(
+            Op::fetch_add_acq_rel(8, 2),
+            Op::Rmw { kind: RmwKind::FetchAdd, acquire: true, release: true, .. }
+        ));
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Op::store(0, 0).is_memory());
+        assert!(Op::load(0).is_memory());
+        assert!(Op::fetch_add_acq_rel(0, 1).is_memory());
+        assert!(!Op::Nops(3).is_memory());
+        assert!(!Op::Fence(Barrier::DmbFull).is_memory());
+        assert!(!Op::Halt.is_memory());
+        assert!(!Op::IterationMark.is_memory());
+    }
+}

@@ -1,0 +1,209 @@
+//! Re-order buffer with in-order retirement.
+//!
+//! The ROB bounds how much work can be in flight past an incomplete
+//! instruction. A pending barrier that holds its slot (`DMB full`, all
+//! `DSB`s) lets later nops *issue* but not *retire*; once the ROB fills,
+//! issue stalls — the indirect nop-throttling the paper observes in
+//! Figure 4 ("saturating the reorder buffer").
+//!
+//! Runs of nops are coalesced into one entry to keep simulation cheap;
+//! retirement bandwidth still drains them `retire_width` per cycle.
+
+use std::collections::VecDeque;
+
+/// Identifier of a non-nop instruction in flight (loads, stores, barriers).
+pub type SlotId = u64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryKind {
+    /// `count` coalesced single-cycle ALU instructions (always complete).
+    Nops { count: u32 },
+    /// A tracked instruction, complete or not.
+    Instr { id: SlotId, complete: bool },
+}
+
+/// The re-order buffer.
+#[derive(Debug, Clone)]
+pub struct Rob {
+    entries: VecDeque<EntryKind>,
+    capacity: u32,
+    used: u32,
+    next_id: SlotId,
+}
+
+impl Rob {
+    /// An empty ROB of the given capacity (instructions).
+    #[must_use]
+    pub fn new(capacity: u32) -> Rob {
+        assert!(capacity > 0);
+        Rob { entries: VecDeque::new(), capacity, used: 0, next_id: 0 }
+    }
+
+    /// Instructions currently in flight.
+    #[must_use]
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Free slots.
+    #[must_use]
+    pub fn free(&self) -> u32 {
+        self.capacity - self.used
+    }
+
+    /// Whether the ROB is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Insert up to `want` nops (bounded by free space); returns how many
+    /// were accepted.
+    pub fn push_nops(&mut self, want: u32) -> u32 {
+        let n = want.min(self.free());
+        if n == 0 {
+            return 0;
+        }
+        self.used += n;
+        if let Some(EntryKind::Nops { count }) = self.entries.back_mut() {
+            *count += n;
+        } else {
+            self.entries.push_back(EntryKind::Nops { count: n });
+        }
+        n
+    }
+
+    /// Insert a tracked instruction; `complete` marks it retirable
+    /// immediately (stores, `DMB st`). Returns its id, or `None` if full.
+    pub fn push_instr(&mut self, complete: bool) -> Option<SlotId> {
+        if self.free() == 0 {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.used += 1;
+        self.entries.push_back(EntryKind::Instr { id, complete });
+        Some(id)
+    }
+
+    /// Mark a previously pushed instruction complete.
+    pub fn complete(&mut self, id: SlotId) {
+        for e in &mut self.entries {
+            if let EntryKind::Instr { id: eid, complete } = e {
+                if *eid == id {
+                    *complete = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Retire up to `width` instructions from the head, in order, stopping
+    /// at the first incomplete one. Returns how many retired.
+    pub fn retire(&mut self, width: u32) -> u32 {
+        let mut retired = 0;
+        while retired < width {
+            match self.entries.front_mut() {
+                None => break,
+                Some(EntryKind::Nops { count }) => {
+                    let take = (*count).min(width - retired);
+                    *count -= take;
+                    retired += take;
+                    if *count == 0 {
+                        self.entries.pop_front();
+                    }
+                }
+                Some(EntryKind::Instr { complete, .. }) => {
+                    if !*complete {
+                        break;
+                    }
+                    self.entries.pop_front();
+                    retired += 1;
+                }
+            }
+        }
+        self.used -= retired;
+        retired
+    }
+
+    /// Whether the head instruction is incomplete (retirement is stalled).
+    #[must_use]
+    pub fn head_stalled(&self) -> bool {
+        matches!(self.entries.front(), Some(EntryKind::Instr { complete: false, .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nops_retire_at_width() {
+        let mut rob = Rob::new(16);
+        assert_eq!(rob.push_nops(10), 10);
+        assert_eq!(rob.retire(4), 4);
+        assert_eq!(rob.retire(4), 4);
+        assert_eq!(rob.retire(4), 2);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_nop_insertion() {
+        let mut rob = Rob::new(8);
+        assert_eq!(rob.push_nops(20), 8);
+        assert_eq!(rob.free(), 0);
+        assert_eq!(rob.push_nops(1), 0);
+    }
+
+    #[test]
+    fn incomplete_instr_blocks_retirement_of_younger_nops() {
+        let mut rob = Rob::new(32);
+        let id = rob.push_instr(false).unwrap();
+        rob.push_nops(10);
+        assert_eq!(rob.retire(8), 0, "incomplete head blocks everything");
+        assert!(rob.head_stalled());
+        rob.complete(id);
+        assert_eq!(rob.retire(8), 8, "barrier + 7 nops");
+        assert_eq!(rob.retire(8), 3);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn complete_instr_retires_with_following_nops() {
+        let mut rob = Rob::new(32);
+        rob.push_nops(2);
+        rob.push_instr(true).unwrap();
+        rob.push_nops(2);
+        assert_eq!(rob.retire(8), 5);
+    }
+
+    #[test]
+    fn full_rob_rejects_instr() {
+        let mut rob = Rob::new(2);
+        rob.push_nops(2);
+        assert!(rob.push_instr(true).is_none());
+        rob.retire(1);
+        assert!(rob.push_instr(true).is_some());
+    }
+
+    #[test]
+    fn retirement_is_in_order_across_mixed_entries() {
+        let mut rob = Rob::new(32);
+        let a = rob.push_instr(false).unwrap();
+        let b = rob.push_instr(true).unwrap();
+        assert_eq!(rob.retire(4), 0);
+        rob.complete(a);
+        assert_eq!(rob.retire(4), 2);
+        let _ = b;
+    }
+
+    #[test]
+    fn used_tracks_mixed_contents() {
+        let mut rob = Rob::new(64);
+        rob.push_nops(5);
+        rob.push_instr(false).unwrap();
+        rob.push_nops(3);
+        assert_eq!(rob.used(), 9);
+        assert_eq!(rob.free(), 55);
+    }
+}

@@ -1,0 +1,77 @@
+//! Per-core and per-run statistics.
+
+use crate::types::Cycle;
+
+/// Counters collected by one core over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles the core existed (equals run length unless it halted early;
+    /// the counter freezes at the halt cycle).
+    pub cycles: Cycle,
+    /// Iterations reported by the workload via `Op::IterationMark`.
+    pub iterations: u64,
+    /// Instructions issued (nops count individually).
+    pub issued: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Loads that were remote memory references.
+    pub load_rmrs: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Store drains that were remote memory references.
+    pub store_rmrs: u64,
+    /// Barrier instructions issued (fences; LDAR/STLR counted at their
+    /// accesses instead).
+    pub fences: u64,
+    /// Atomic RMW operations issued.
+    pub rmws: u64,
+    /// Cycles in which issue was completely blocked by a barrier condition
+    /// (DSB/ISB window, DMB memory-block with no issuable work, full ROB
+    /// behind a pending barrier, full store buffer behind a gate).
+    pub barrier_stall_cycles: Cycle,
+    /// Cycle at which the workload halted, if it did.
+    pub halted_at: Option<Cycle>,
+}
+
+impl CoreStats {
+    /// Iterations per 1000 cycles — a clock-independent throughput figure.
+    #[must_use]
+    pub fn iterations_per_kcycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.iterations as f64 * 1000.0 / self.cycles as f64
+        }
+    }
+
+    /// Average cycles per iteration (`None` when nothing completed).
+    #[must_use]
+    pub fn cycles_per_iteration(&self) -> Option<f64> {
+        if self.iterations == 0 {
+            None
+        } else {
+            Some(self.cycles as f64 / self.iterations as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_helpers() {
+        let s = CoreStats { cycles: 2000, iterations: 10, ..CoreStats::default() };
+        assert!((s.iterations_per_kcycle() - 5.0).abs() < 1e-9);
+        assert!((s.cycles_per_iteration().unwrap() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = CoreStats::default();
+        assert_eq!(s.iterations_per_kcycle(), 0.0);
+        assert!(s.cycles_per_iteration().is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Cluster/NUMA topology and the ACE boundary structure.
+//!
+//! An ARM system groups *masters* (cores) into clusters behind interconnects;
+//! subsets of masters sit behind **inner bi-section boundaries**, and the
+//! whole inner-shareable domain behind the **inner domain boundary**
+//! (paper Figure 1). Here, each NUMA node is one bi-section: a memory-barrier
+//! transaction whose snooping stays inside a node is answered at that node's
+//! boundary, while one involving another node — and every synchronization
+//! barrier transaction — must reach the domain boundary.
+
+use crate::types::{CoreId, DistanceClass};
+
+/// A physical core-cluster: a contiguous range of core ids inside one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// First core id in the cluster.
+    pub first_core: CoreId,
+    /// Number of cores in the cluster.
+    pub cores: usize,
+}
+
+/// A NUMA node: one or more clusters behind a shared bi-section boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Clusters in this node.
+    pub clusters: Vec<Cluster>,
+}
+
+/// Where a core sits: `(node index, cluster index within node)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// NUMA node index.
+    pub node: usize,
+    /// Cluster index within the node.
+    pub cluster: usize,
+}
+
+/// The full system topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    /// Flattened `core id -> placement` map, computed at construction.
+    placements: Vec<Placement>,
+}
+
+impl Topology {
+    /// Build a topology from a nested description:
+    /// `nodes[i][j]` = core count of cluster `j` in node `i`.
+    ///
+    /// Core ids are assigned densely in description order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node or cluster is empty.
+    #[must_use]
+    pub fn new(desc: &[&[usize]]) -> Topology {
+        assert!(!desc.is_empty(), "topology needs at least one node");
+        let mut nodes = Vec::with_capacity(desc.len());
+        let mut placements = Vec::new();
+        let mut next_core = 0usize;
+        for (ni, clusters) in desc.iter().enumerate() {
+            assert!(!clusters.is_empty(), "node {ni} has no clusters");
+            let mut node = Node { clusters: Vec::with_capacity(clusters.len()) };
+            for (ci, &count) in clusters.iter().enumerate() {
+                assert!(count > 0, "cluster {ci} of node {ni} is empty");
+                node.clusters.push(Cluster { first_core: next_core, cores: count });
+                for _ in 0..count {
+                    placements.push(Placement { node: ni, cluster: ci });
+                }
+                next_core += count;
+            }
+            nodes.push(node);
+        }
+        Topology { nodes, placements }
+    }
+
+    /// Total number of cores.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Number of NUMA nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Placement of a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn placement(&self, core: CoreId) -> Placement {
+        self.placements[core]
+    }
+
+    /// Topological distance between two cores (never `Local` or `Memory` —
+    /// those describe line locations, not core pairs — unless `a == b`).
+    #[must_use]
+    pub fn distance(&self, a: CoreId, b: CoreId) -> DistanceClass {
+        if a == b {
+            return DistanceClass::Local;
+        }
+        let pa = self.placement(a);
+        let pb = self.placement(b);
+        if pa.node != pb.node {
+            DistanceClass::CrossNode
+        } else if pa.cluster != pb.cluster {
+            DistanceClass::CrossCluster
+        } else {
+            DistanceClass::SameCluster
+        }
+    }
+
+    /// Core ids of every core in `node`, in id order.
+    #[must_use]
+    pub fn cores_in_node(&self, node: usize) -> Vec<CoreId> {
+        (0..self.core_count()).filter(|&c| self.placements[c].node == node).collect()
+    }
+
+    /// Core ids of cluster `cluster` of node `node`.
+    #[must_use]
+    pub fn cores_in_cluster(&self, node: usize, cluster: usize) -> Vec<CoreId> {
+        let c = &self.nodes[node].clusters[cluster];
+        (c.first_core..c.first_core + c.cores).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node() -> Topology {
+        // Two nodes of two 4-core clusters each (a mini kunpeng).
+        Topology::new(&[&[4, 4], &[4, 4]])
+    }
+
+    #[test]
+    fn core_ids_are_dense_and_ordered() {
+        let t = two_node();
+        assert_eq!(t.core_count(), 16);
+        assert_eq!(t.placement(0), Placement { node: 0, cluster: 0 });
+        assert_eq!(t.placement(4), Placement { node: 0, cluster: 1 });
+        assert_eq!(t.placement(8), Placement { node: 1, cluster: 0 });
+        assert_eq!(t.placement(15), Placement { node: 1, cluster: 1 });
+    }
+
+    #[test]
+    fn distances() {
+        let t = two_node();
+        assert_eq!(t.distance(0, 0), DistanceClass::Local);
+        assert_eq!(t.distance(0, 1), DistanceClass::SameCluster);
+        assert_eq!(t.distance(0, 5), DistanceClass::CrossCluster);
+        assert_eq!(t.distance(0, 9), DistanceClass::CrossNode);
+        // Symmetry.
+        assert_eq!(t.distance(9, 0), DistanceClass::CrossNode);
+    }
+
+    #[test]
+    fn node_and_cluster_listing() {
+        let t = two_node();
+        assert_eq!(t.cores_in_node(0), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(t.cores_in_cluster(1, 0), vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn big_little_topology() {
+        // Kirin-style: one node, big cluster + little cluster.
+        let t = Topology::new(&[&[4, 4]]);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.distance(0, 4), DistanceClass::CrossCluster);
+        assert_eq!(t.distance(0, 3), DistanceClass::SameCluster);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_cluster_rejected() {
+        let _ = Topology::new(&[&[4, 0]]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Optional execution tracing: a bounded ring of recent machine events for
+//! debugging workloads and calibrations.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); switch it on
+//! with [`Trace::enabled`]. Events are deliberately coarse — one per
+//! architectural happening, not per cycle — so a trace of a few thousand
+//! entries typically covers the window a bug lives in.
+//!
+//! The ring is a building block for workloads: a [`SimThread`]
+//! (crate::op::SimThread) that owns a `Trace` can stamp its own protocol
+//! steps (`ctx.now` supplies the clock) and render the window when an
+//! assertion trips — see `armbar-simapps`' debugging pattern.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::types::{Addr, CoreId, Cycle};
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An instruction class was issued.
+    Issue {
+        /// Issuing core.
+        core: CoreId,
+        /// Mnemonic ("load", "store", "fence:DMB full", …).
+        what: &'static str,
+        /// Address, when the event concerns memory.
+        addr: Option<Addr>,
+    },
+    /// A load completed and delivered a value.
+    LoadDone {
+        /// Core.
+        core: CoreId,
+        /// Address.
+        addr: Addr,
+        /// Value observed.
+        value: u64,
+    },
+    /// A store drain landed in the global memory image.
+    StoreVisible {
+        /// Core.
+        core: CoreId,
+        /// Address.
+        addr: Addr,
+        /// Value committed.
+        value: u64,
+    },
+    /// A barrier's response arrived (it no longer blocks anything).
+    BarrierDone {
+        /// Core.
+        core: CoreId,
+        /// Mnemonic.
+        what: &'static str,
+    },
+    /// A workload marked an iteration.
+    Iteration {
+        /// Core.
+        core: CoreId,
+        /// Iterations so far.
+        count: u64,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stamped {
+    /// Cycle the event happened.
+    pub at: Cycle,
+    /// What happened.
+    pub event: Event,
+}
+
+impl fmt::Display for Stamped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.event {
+            Event::Issue { core, what, addr: Some(a) } => {
+                write!(f, "[{:>8}] c{core} issue {what} @{a:#x}", self.at)
+            }
+            Event::Issue { core, what, addr: None } => {
+                write!(f, "[{:>8}] c{core} issue {what}", self.at)
+            }
+            Event::LoadDone { core, addr, value } => {
+                write!(f, "[{:>8}] c{core} load @{addr:#x} -> {value}", self.at)
+            }
+            Event::StoreVisible { core, addr, value } => {
+                write!(f, "[{:>8}] c{core} store @{addr:#x} = {value} visible", self.at)
+            }
+            Event::BarrierDone { core, what } => {
+                write!(f, "[{:>8}] c{core} {what} response", self.at)
+            }
+            Event::Iteration { core, count } => {
+                write!(f, "[{:>8}] c{core} iteration {count}", self.at)
+            }
+        }
+    }
+}
+
+/// A bounded event ring.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Whether events are recorded.
+    pub enabled: bool,
+    ring: VecDeque<Stamped>,
+    capacity: usize,
+}
+
+impl Trace {
+    /// A disabled trace holding up to `capacity` events once enabled.
+    #[must_use]
+    pub fn new(capacity: usize) -> Trace {
+        Trace { enabled: false, ring: VecDeque::new(), capacity: capacity.max(1) }
+    }
+
+    /// Record an event (no-op while disabled).
+    pub fn record(&mut self, at: Cycle, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(Stamped { at, event });
+    }
+
+    /// The recorded events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> impl Iterator<Item = &Stamped> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Render the retained window as text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.ring {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(8);
+        t.record(1, Event::Iteration { core: 0, count: 1 });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_window() {
+        let mut t = Trace::new(3);
+        t.enabled = true;
+        for i in 0..5 {
+            t.record(i, Event::Iteration { core: 0, count: i });
+        }
+        assert_eq!(t.len(), 3);
+        let firsts: Vec<Cycle> = t.events().map(|e| e.at).collect();
+        assert_eq!(firsts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn rendering_is_line_per_event() {
+        let mut t = Trace::new(8);
+        t.enabled = true;
+        t.record(10, Event::Issue { core: 1, what: "store", addr: Some(0x40) });
+        t.record(15, Event::StoreVisible { core: 1, addr: 0x40, value: 7 });
+        t.record(20, Event::BarrierDone { core: 1, what: "DMB full" });
+        let text = t.render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("c1 issue store @0x40"));
+        assert!(text.contains("store @0x40 = 7 visible"));
+        assert!(text.contains("DMB full response"));
+    }
+
+    #[test]
+    fn load_event_formatting() {
+        let s = Stamped { at: 5, event: Event::LoadDone { core: 2, addr: 0x80, value: 23 } };
+        assert_eq!(s.to_string(), "[       5] c2 load @0x80 -> 23");
+    }
+}

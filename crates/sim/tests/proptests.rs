@@ -1,0 +1,206 @@
+//! Property-based tests on the simulator's core invariants: arbitrary
+//! op streams must never deadlock, lose stores, tear values, or break
+//! determinism; coherence must serialize RMWs exactly.
+
+use proptest::prelude::*;
+
+use armbar_sim::{Machine, Op, Platform, PlatformKind, RmwKind, SimThread, ThreadCtx};
+
+/// A generated op for the random-program property tests (kept closed so
+/// programs are always well formed: no dangling dependencies, addresses in
+/// a small aligned pool).
+#[derive(Debug, Clone, Copy)]
+enum GenOp {
+    Nops(u8),
+    Load(u8),
+    LoadUse(u8),
+    Store(u8, u16),
+    StoreRelease(u8, u16),
+    FetchAdd(u8),
+    Fence(u8),
+}
+
+fn addr_of(slot: u8) -> u64 {
+    0x4000 + u64::from(slot % 16) * 64
+}
+
+fn to_op(g: GenOp) -> Op {
+    use armbar_barriers::Barrier;
+    match g {
+        GenOp::Nops(n) => Op::Nops(u32::from(n % 32) + 1),
+        GenOp::Load(s) => Op::load(addr_of(s)),
+        GenOp::LoadUse(s) => Op::load_use(addr_of(s)),
+        GenOp::Store(s, v) => Op::store(addr_of(s), u64::from(v) + 1),
+        GenOp::StoreRelease(s, v) => Op::store_release(addr_of(s), u64::from(v) + 1),
+        GenOp::FetchAdd(s) => Op::fetch_add_acq_rel(addr_of(s), 1),
+        GenOp::Fence(k) => Op::Fence(
+            [
+                Barrier::DmbFull,
+                Barrier::DmbSt,
+                Barrier::DmbLd,
+                Barrier::DsbFull,
+                Barrier::DsbSt,
+                Barrier::DsbLd,
+                Barrier::Isb,
+                Barrier::None,
+            ][usize::from(k) % 8],
+        ),
+    }
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        any::<u8>().prop_map(GenOp::Nops),
+        any::<u8>().prop_map(GenOp::Load),
+        any::<u8>().prop_map(GenOp::LoadUse),
+        (any::<u8>(), any::<u16>()).prop_map(|(s, v)| GenOp::Store(s, v)),
+        (any::<u8>(), any::<u16>()).prop_map(|(s, v)| GenOp::StoreRelease(s, v)),
+        any::<u8>().prop_map(GenOp::FetchAdd),
+        any::<u8>().prop_map(GenOp::Fence),
+    ]
+}
+
+struct Script {
+    ops: Vec<Op>,
+    pos: usize,
+}
+
+impl SimThread for Script {
+    fn next(&mut self, _ctx: &mut ThreadCtx) -> Op {
+        let op = self.ops.get(self.pos).copied().unwrap_or(Op::Halt);
+        self.pos += 1;
+        op
+    }
+}
+
+fn run_program(platform: &Platform, programs: &[Vec<GenOp>]) -> (Machine, u64) {
+    let mut m = Machine::new(platform.clone());
+    let step = platform.topology.core_count() / programs.len().max(1);
+    for (i, p) in programs.iter().enumerate() {
+        let ops: Vec<Op> = p.iter().copied().map(to_op).collect();
+        m.add_thread_on(i * step.max(1), Box::new(Script { ops, pos: 0 }));
+    }
+    let stats = m.run(80_000_000);
+    assert!(stats.halted, "random programs must always terminate (no deadlock)");
+    (m, stats.cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No op stream can deadlock or stall the machine forever.
+    #[test]
+    fn arbitrary_single_core_programs_terminate(
+        ops in prop::collection::vec(gen_op(), 0..120),
+    ) {
+        run_program(&Platform::kunpeng916(), &[ops]);
+    }
+
+    /// Multi-core random programs terminate and never lose the final store
+    /// to any cell one thread wrote alone.
+    #[test]
+    fn arbitrary_multi_core_programs_terminate(
+        a in prop::collection::vec(gen_op(), 0..60),
+        b in prop::collection::vec(gen_op(), 0..60),
+        c in prop::collection::vec(gen_op(), 0..60),
+    ) {
+        run_program(&Platform::kunpeng916(), &[a, b, c]);
+    }
+
+    /// The machine is deterministic: identical programs give identical
+    /// cycle counts and memory images.
+    #[test]
+    fn simulation_is_deterministic(
+        a in prop::collection::vec(gen_op(), 0..80),
+        b in prop::collection::vec(gen_op(), 0..80),
+    ) {
+        let progs = [a, b];
+        let (m1, c1) = run_program(&Platform::kirin960(), &progs);
+        let (m2, c2) = run_program(&Platform::kirin960(), &progs);
+        prop_assert_eq!(c1, c2);
+        for slot in 0..16u8 {
+            prop_assert_eq!(m1.read_memory(addr_of(slot)), m2.read_memory(addr_of(slot)));
+        }
+    }
+
+    /// A single writer's last store to a cell always wins (per-location
+    /// coherence): after quiescence the memory image holds the program-order
+    /// last value.
+    #[test]
+    fn single_writer_last_store_wins(
+        values in prop::collection::vec(any::<u16>(), 1..40),
+        fences in prop::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let mut ops = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            ops.push(GenOp::Store(3, v));
+            ops.push(GenOp::Fence(fences[i % fences.len()]));
+        }
+        let (m, _) = run_program(&Platform::raspberry_pi4(), &[ops]);
+        let expect = u64::from(*values.last().unwrap()) + 1;
+        prop_assert_eq!(m.read_memory(addr_of(3)), expect);
+    }
+
+    /// RMWs never lose updates regardless of interleaving, fences, or
+    /// platform.
+    #[test]
+    fn fetch_adds_are_exact(
+        counts in prop::collection::vec(1u8..20, 2..4),
+        kind_ix in 0usize..4,
+    ) {
+        let platform = Platform::of(PlatformKind::ALL[kind_ix]);
+        let mut total = 0u64;
+        let progs: Vec<Vec<GenOp>> = counts
+            .iter()
+            .map(|&n| {
+                total += u64::from(n);
+                (0..n).map(|_| GenOp::FetchAdd(7)).collect()
+            })
+            .collect();
+        let (m, _) = run_program(&platform, &progs);
+        prop_assert_eq!(m.read_memory(addr_of(7)), total);
+    }
+}
+
+/// CAS success is exclusive: of N cores racing one CAS(0 -> id), exactly
+/// one observes the old value 0.
+#[test]
+fn cas_winner_is_unique() {
+    struct CasOnce {
+        id: u64,
+        done: bool,
+        won_addr: u64,
+    }
+    impl SimThread for CasOnce {
+        fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+            if !self.done {
+                self.done = true;
+                return Op::Rmw {
+                    addr: 0x9000,
+                    kind: RmwKind::Cas { expected: 0 },
+                    operand: self.id,
+                    acquire: true,
+                    release: false,
+                };
+            }
+            if self.won_addr == 0 {
+                self.won_addr = 1;
+                if ctx.last_value == 0 {
+                    // We won: record it.
+                    return Op::store(0xA000 + self.id * 64, 1);
+                }
+            }
+            Op::Halt
+        }
+    }
+    let platform = Platform::kunpeng916();
+    let mut m = Machine::new(platform);
+    for i in 0..6u64 {
+        m.add_thread_on(i as usize * 8, Box::new(CasOnce { id: i + 1, done: false, won_addr: 0 }));
+    }
+    let stats = m.run(10_000_000);
+    assert!(stats.halted);
+    let winners: u64 = (0..6u64).map(|i| m.read_memory(0xA000 + (i + 1) * 64)).sum();
+    assert_eq!(winners, 1, "exactly one CAS may observe 0");
+    assert_ne!(m.read_memory(0x9000), 0);
+}

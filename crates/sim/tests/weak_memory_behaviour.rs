@@ -1,0 +1,149 @@
+//! The timing simulator is also a *behavioural* weak-memory machine: load
+//! values come from the committed memory image, so reorderings produced by
+//! the non-FIFO store buffer are observable as wrong values — and barriers
+//! must make them vanish.
+//!
+//! The witness: a producer whose DATA store carries a (bogus) dependency on
+//! a slow remote load, followed by an independent FLAG store. The flag's
+//! drain is eligible immediately while the data's waits for the load — so
+//! without a barrier the flag becomes visible first and the consumer reads
+//! stale data. A `DMB st` gate (or STLR on the flag) restores order.
+
+use armbar_barriers::Barrier;
+use armbar_sim::{Machine, Op, Platform, SimThread, ThreadCtx};
+
+const SLOW: u64 = 0x100; // lines the producer's load chain walks (remote)
+const SLOW2: u64 = 0x140;
+const DATA: u64 = 0x8000;
+const FLAG: u64 = 0x8040;
+const SEEN: u64 = 0x8080; // consumer's observation, written back for asserts
+
+struct Producer {
+    barrier: Barrier,
+    state: u8,
+}
+
+impl SimThread for Producer {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        let state = self.state;
+        self.state += 1;
+        match state {
+            // A slow remote load chain the data store will depend on: two
+            // *fire-and-forget* dependent loads (the thread keeps running,
+            // so the flag store issues immediately) push the data's drain
+            // start past the flag drain's completion.
+            0 => {
+                let _ = ctx.last_value();
+                Op::load(SLOW)
+            }
+            1 => Op::load_dep(SLOW2, false),
+            // DATA = f(loaded): drain gated on the chain's completion.
+            2 => Op::store_dep(DATA, 23),
+            3 => match self.barrier {
+                Barrier::None => {
+                    self.state = 5; // skip the separate flag state
+                    Op::store(FLAG, 1)
+                }
+                Barrier::Stlr => {
+                    self.state = 5;
+                    Op::store_release(FLAG, 1)
+                }
+                f => Op::Fence(f),
+            },
+            4 => Op::store(FLAG, 1),
+            _ => Op::Halt,
+        }
+    }
+}
+
+struct Consumer {
+    phase: u8,
+}
+
+impl SimThread for Consumer {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    return Op::load_use(FLAG);
+                }
+                1 => {
+                    if ctx.last_value() == 0 {
+                        self.phase = 0;
+                        return Op::Nops(1);
+                    }
+                    self.phase = 2;
+                    // Read the data immediately (address dependency only,
+                    // which cannot save us from the *producer's* reorder).
+                    return Op::load_dep(DATA, true);
+                }
+                2 => {
+                    self.phase = 3;
+                    return Op::store(SEEN, ctx.last_value());
+                }
+                _ => return Op::Halt,
+            }
+        }
+    }
+}
+
+fn observed_data(barrier: Barrier) -> u64 {
+    let mut m = Machine::new(Platform::kunpeng916());
+    // The slow line lives on the far node, the mailbox lines start at the
+    // consumer (it polled them last round).
+    m.set_region_home(SLOW, SLOW2 + 64, 40);
+    m.set_region_home(DATA, FLAG + 64, 32);
+    m.add_thread_on(0, Box::new(Producer { barrier, state: 0 }));
+    m.add_thread_on(32, Box::new(Consumer { phase: 0 }));
+    let stats = m.run(5_000_000);
+    assert!(stats.halted, "{barrier}: run must finish");
+    m.read_memory(SEEN)
+}
+
+#[test]
+fn unbarriered_producer_exposes_the_store_store_reordering() {
+    assert_eq!(
+        observed_data(Barrier::None),
+        0,
+        "flag drains ahead of the dependent data store: consumer reads stale data"
+    );
+}
+
+#[test]
+fn dmb_st_gate_restores_order() {
+    assert_eq!(observed_data(Barrier::DmbSt), 23);
+}
+
+#[test]
+fn dmb_full_restores_order() {
+    assert_eq!(observed_data(Barrier::DmbFull), 23);
+}
+
+#[test]
+fn dsb_restores_order() {
+    assert_eq!(observed_data(Barrier::DsbSt), 23);
+}
+
+#[test]
+fn stlr_flag_restores_order() {
+    assert_eq!(observed_data(Barrier::Stlr), 23);
+}
+
+#[test]
+fn the_fix_costs_cycles() {
+    // The repaired runs must be slower than the racy one — order is not
+    // free, which is the entire subject of the paper.
+    let cycles = |barrier| {
+        let mut m = Machine::new(Platform::kunpeng916());
+        m.set_region_home(SLOW, SLOW2 + 64, 40);
+        m.set_region_home(DATA, FLAG + 64, 32);
+        m.add_thread_on(0, Box::new(Producer { barrier, state: 0 }));
+        m.add_thread_on(32, Box::new(Consumer { phase: 0 }));
+        let stats = m.run(5_000_000);
+        assert!(stats.halted);
+        stats.cycles
+    };
+    assert!(cycles(Barrier::DmbSt) > cycles(Barrier::None));
+    assert!(cycles(Barrier::DsbSt) >= cycles(Barrier::DmbSt));
+}

@@ -1,0 +1,903 @@
+//! Delegation locks on the simulator (Figures 7(b), 7(c), 8(a–c)).
+//!
+//! Two server flavours over the same request/response protocol:
+//!
+//! * **FFWD** — a dedicated server core sweeps per-client request lines
+//!   (Algorithm 5), executing critical sections and publishing responses.
+//!   Responses of one sweep share the response barrier — FFWD's batching.
+//! * **DSynch** — a migratory combiner of the CC-Synch/DSM-Synch family:
+//!   a client that finds the baton free serves every pending request
+//!   (including its own), then releases the baton. No core is dedicated.
+//!
+//! Both publish responses either the classic way — store `ret`, response
+//! barrier (strictly after the critical section's RMRs), flip the response
+//! flag — or via **Pilot** (Algorithm 6): `ret ^ hash` *is* the
+//! notification, with a per-client fallback flag.
+//!
+//! Critical sections are parameterized by a [`CsProfile`] so the
+//! data-structure benchmarks of Figure 8 (queue/stack/list/hash table) map
+//! onto the same machinery: how many shared lines the CS touches, how long
+//! the dependent pointer-chase is, and how much ALU work it does.
+
+use armbar_barriers::Barrier;
+use armbar_sim::{Machine, Op, Platform, SimThread, ThreadCtx};
+
+use crate::ticket_sim::{run_ticket, LockResult, TicketConfig};
+
+/// Shared layout: per-client slots are fully padded; request and response
+/// live on different lines.
+const REQ_BASE: u64 = 0x2_0000;
+const RESP_BASE: u64 = 0x4_0000;
+const RESP_FLAG_BASE: u64 = 0x6_0000;
+/// The DSynch baton (combiner role).
+const BATON: u64 = 0x8_0000;
+/// Shared data-structure lines the critical sections touch.
+const DATA_BASE: u64 = 0xA_0000;
+/// Per-client served-round markers (shared between migrating combiners).
+const SERVED_ROUND_BASE: u64 = 0xE_0000;
+/// Total served-request counter (server-private line, used for results).
+const SERVED: u64 = 0xC_0000;
+
+fn req_addr(client: usize) -> u64 {
+    REQ_BASE + client as u64 * 128
+}
+
+fn resp_addr(client: usize) -> u64 {
+    RESP_BASE + client as u64 * 128
+}
+
+fn resp_flag_addr(client: usize) -> u64 {
+    RESP_FLAG_BASE + client as u64 * 128
+}
+
+fn served_round_addr(client: usize) -> u64 {
+    SERVED_ROUND_BASE + client as u64 * 128
+}
+
+/// How the server notifies a client (Algorithm 5 vs Algorithm 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RespMode {
+    /// Store ret; response barrier; flip the flag.
+    Flag,
+    /// Pilot: the (shuffled) ret store is the notification.
+    Pilot,
+}
+
+/// Shape of the delegated critical section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CsProfile {
+    /// Independent shared lines read+written (e.g. queue head + tail).
+    pub lines: u32,
+    /// Length of a *dependent* load chain (sorted-list walk).
+    pub chase: u32,
+    /// ALU work.
+    pub nops: u32,
+}
+
+impl CsProfile {
+    /// A bump-a-counter critical section (Figure 7(b)/(c)).
+    #[must_use]
+    pub fn counter() -> CsProfile {
+        CsProfile { lines: 1, chase: 0, nops: 4 }
+    }
+
+    /// Queue/stack insert+remove pair: head/tail line plus an element line.
+    #[must_use]
+    pub fn queue_or_stack() -> CsProfile {
+        CsProfile { lines: 2, chase: 0, nops: 8 }
+    }
+
+    /// Sorted-list operation over `preload` members (walks half on
+    /// average).
+    #[must_use]
+    pub fn sorted_list(preload: u32) -> CsProfile {
+        CsProfile { lines: 1, chase: preload / 2, nops: 8 }
+    }
+}
+
+/// Barrier pair of Algorithm 5 (`X-Y` in Figure 7(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DelegationBarriers {
+    /// Line 4: after detecting the request.
+    pub req: Barrier,
+    /// Line 7: after the critical section, before the response flag.
+    pub resp: Barrier,
+}
+
+/// The Figure 7(b) combinations, in the legend's order.
+pub const FIG7B_COMBOS: [(&str, DelegationBarriers); 7] = [
+    ("DMB full-DMB st", DelegationBarriers { req: Barrier::DmbFull, resp: Barrier::DmbSt }),
+    ("DMB ld-DMB st", DelegationBarriers { req: Barrier::DmbLd, resp: Barrier::DmbSt }),
+    ("LDAR-DMB st", DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt }),
+    ("CTRL+ISB-DMB st", DelegationBarriers { req: Barrier::CtrlIsb, resp: Barrier::DmbSt }),
+    ("ADDR-DMB st", DelegationBarriers { req: Barrier::AddrDep, resp: Barrier::DmbSt }),
+    ("LDAR-No Barrier", DelegationBarriers { req: Barrier::Ldar, resp: Barrier::None }),
+    ("Ideal", DelegationBarriers { req: Barrier::None, resp: Barrier::None }),
+];
+
+/// Ops issued to execute one critical section, shared by both servers.
+/// Returns the op for `cs_step`, or `None` when the CS is finished.
+///
+/// The dependent chase reads `DATA_BASE + k*64` with an address dependency
+/// on the previous load; independent lines are read+written.
+fn cs_op(profile: CsProfile, cs_step: &mut u32, last_value: u64, served: u64) -> Option<Op> {
+    let lines_phase = profile.lines * 2; // load+store per line
+    let step = *cs_step;
+    *cs_step += 1;
+    if step < lines_phase {
+        let line = u64::from(step / 2);
+        let addr = DATA_BASE + line * 64;
+        if step % 2 == 0 {
+            return Some(Op::load_use(addr));
+        }
+        return Some(Op::store_dep(addr, last_value.wrapping_add(1)));
+    }
+    let chase_step = step - lines_phase;
+    if chase_step < profile.chase {
+        // Pointer chase: each node is a distinct line; the address depends
+        // on the previous load.
+        let addr = DATA_BASE + 0x1000 + u64::from(chase_step) * 64 + (served % 4) * 0x4000;
+        return Some(Op::load_dep(addr, true));
+    }
+    if chase_step == profile.chase && profile.nops > 0 {
+        return Some(Op::Nops(profile.nops));
+    }
+    None
+}
+
+// ----------------------------------------------------------------- clients
+
+/// A delegation client: posts a request, awaits the response, repeats.
+struct Client {
+    id: usize,
+    iterations: u64,
+    done: u64,
+    interval_nops: u32,
+    mode: RespMode,
+    old_resp: u64,
+    old_flag: u64,
+    round: u64,
+    state: u8,
+}
+
+impl SimThread for Client {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                // Post the request: one store carrying round+payload.
+                0 => {
+                    self.round += 1;
+                    self.state = 1;
+                    return Op::store(req_addr(self.id), self.round);
+                }
+                // Await the response.
+                1 => {
+                    self.state = 2;
+                    return Op::load_use(resp_addr(self.id));
+                }
+                2 => {
+                    let v = ctx.last_value();
+                    match self.mode {
+                        RespMode::Flag => {
+                            // The flag word signals; re-read it.
+                            self.state = 3;
+                            return Op::load_use(resp_flag_addr(self.id));
+                        }
+                        RespMode::Pilot => {
+                            if v != self.old_resp {
+                                self.old_resp = v;
+                                self.state = 5;
+                                continue;
+                            }
+                            self.state = 3;
+                            return Op::load_use(resp_flag_addr(self.id));
+                        }
+                    }
+                }
+                3 => {
+                    let f = ctx.last_value();
+                    match self.mode {
+                        RespMode::Flag => {
+                            if f == self.round {
+                                self.state = 4;
+                                continue;
+                            }
+                        }
+                        RespMode::Pilot => {
+                            if f != self.old_flag {
+                                self.old_flag = f;
+                                self.state = 5;
+                                continue;
+                            }
+                        }
+                    }
+                    self.state = 1;
+                    return Op::Nops(1);
+                }
+                // Flag mode: order the flag before reading ret (cheap side).
+                4 => {
+                    self.state = 6;
+                    return Op::Load {
+                        addr: resp_addr(self.id),
+                        use_value: true,
+                        acquire: false,
+                        dep_on_last_load: true,
+                    };
+                }
+                5 | 6 => {
+                    self.state = 7;
+                }
+                8 => {
+                    self.state = 0;
+                    return Op::Nops(self.interval_nops);
+                }
+                _ => {
+                    self.done += 1;
+                    if self.done >= self.iterations {
+                        return Op::Halt;
+                    }
+                    self.state = if self.interval_nops > 0 { 8 } else { 0 };
+                    return Op::IterationMark;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ FFWD server
+
+/// The dedicated FFWD server: sweeps request lines round-robin.
+struct FfwdServer {
+    clients: usize,
+    seen: Vec<u64>,
+    total: u64,
+    served: u64,
+    barriers: DelegationBarriers,
+    mode: RespMode,
+    profile: CsProfile,
+    scan_at: usize,
+    cs_step: u32,
+    state: u8,
+}
+
+impl SimThread for FfwdServer {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                // Poll the next client's request line.
+                0 => {
+                    if self.served >= self.total {
+                        return Op::Halt;
+                    }
+                    self.state = 1;
+                    return Op::load_use(req_addr(self.scan_at));
+                }
+                1 => {
+                    let round = ctx.last_value();
+                    if round == self.seen[self.scan_at] {
+                        self.scan_at = (self.scan_at + 1) % self.clients;
+                        self.state = 0;
+                        continue;
+                    }
+                    self.seen[self.scan_at] = round;
+                    // Line 4: the request barrier.
+                    self.state = 2;
+                    match self.barriers.req {
+                        Barrier::None => {}
+                        Barrier::Ldar => {
+                            return Op::Load {
+                                addr: req_addr(self.scan_at),
+                                use_value: false,
+                                acquire: true,
+                                dep_on_last_load: false,
+                            };
+                        }
+                        Barrier::AddrDep | Barrier::DataDep | Barrier::Ctrl => {
+                            // Dependencies attach to the CS's first access;
+                            // nothing standalone to issue.
+                        }
+                        f => return Op::Fence(f),
+                    }
+                }
+                // Line 6: the critical section.
+                2 => {
+                    match cs_op(self.profile, &mut self.cs_step, ctx.last_value(), self.served)
+                    {
+                        Some(op) => return op,
+                        None => {
+                            self.cs_step = 0;
+                            self.state = 3;
+                        }
+                    }
+                }
+                // Lines 7-8 / Algorithm 6: publish the response.
+                3 => {
+                    let client = self.scan_at;
+                    let round = self.seen[client];
+                    self.served += 1;
+                    match self.mode {
+                        RespMode::Flag => {
+                            self.state = 4;
+                            return Op::store(resp_addr(client), round.wrapping_mul(3));
+                        }
+                        RespMode::Pilot => {
+                            // The shuffled ret is the notification; hashing
+                            // is two local ALU ops.
+                            self.state = 6;
+                            return Op::Nops(2);
+                        }
+                    }
+                }
+                4 => {
+                    self.state = 5;
+                    match self.barriers.resp {
+                        Barrier::None => {}
+                        f => return Op::Fence(f),
+                    }
+                }
+                5 => {
+                    let client = self.scan_at;
+                    self.scan_at = (self.scan_at + 1) % self.clients;
+                    self.state = 7;
+                    return Op::store(resp_flag_addr(client), self.seen[client]);
+                }
+                6 => {
+                    let client = self.scan_at;
+                    self.scan_at = (self.scan_at + 1) % self.clients;
+                    self.state = 7;
+                    // Shuffled value differs from the previous round's by
+                    // construction (round counter folded in).
+                    return Op::store(resp_addr(client), self.seen[client].wrapping_mul(7) | 1);
+                }
+                _ => {
+                    self.state = 0;
+                    return Op::store(SERVED, self.served);
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- DSynch combiner
+
+/// A DSynch-family client: posts its request, then either waits for
+/// service or grabs the baton and combines.
+struct CombinerClient {
+    id: usize,
+    clients: usize,
+    iterations: u64,
+    done: u64,
+    interval_nops: u32,
+    barriers: DelegationBarriers,
+    mode: RespMode,
+    profile: CsProfile,
+    old_resp: u64,
+    old_flag: u64,
+    round: u64,
+    served_total: u64,
+    scan_at: usize,
+    scanned: usize,
+    cs_step: u32,
+    serving_round: u64,
+    poll_misses: u64,
+    state: u8,
+}
+
+impl SimThread for CombinerClient {
+    #[allow(clippy::too_many_lines)]
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                // Post own request.
+                0 => {
+                    self.round += 1;
+                    self.state = 1;
+                    return Op::store(req_addr(self.id), self.round);
+                }
+                // Try to become the combiner (baton CAS), else wait.
+                1 => {
+                    self.state = 2;
+                    return Op::Rmw {
+                        addr: BATON,
+                        kind: armbar_sim::RmwKind::Cas { expected: 0 },
+                        operand: 1,
+                        acquire: true,
+                        release: false,
+                    };
+                }
+                2 => {
+                    if ctx.last_value() == 0 {
+                        // We hold the baton: combine.
+                        self.scan_at = 0;
+                        self.scanned = 0;
+                        self.state = 10;
+                    } else {
+                        // Someone is combining; wait for our response.
+                        self.state = 3;
+                    }
+                }
+                // ---------------- waiting side ----------------
+                // Spinning is local: the polled lines are ours, so until a
+                // combiner writes them the loads hit in our cache.
+                3 => {
+                    match self.mode {
+                        RespMode::Flag => {
+                            self.state = 4;
+                            return Op::load_use(resp_flag_addr(self.id));
+                        }
+                        RespMode::Pilot => {
+                            self.state = 6;
+                            return Op::load_use(resp_addr(self.id));
+                        }
+                    }
+                }
+                // Flag mode: the flag carries the served round (absolute
+                // test — immune to stale delta state).
+                4 => {
+                    if ctx.last_value() == self.round {
+                        // Served: read the return value behind a dependency.
+                        self.state = 30;
+                        return Op::Load {
+                            addr: resp_addr(self.id),
+                            use_value: true,
+                            acquire: false,
+                            dep_on_last_load: true,
+                        };
+                    }
+                    self.state = 5;
+                    continue;
+                }
+                // Not served yet: spin locally, retrying the baton only
+                // occasionally so a released lock cannot strand us.
+                5 => {
+                    self.poll_misses += 1;
+                    self.state = if self.poll_misses % 8 == 0 { 1 } else { 3 };
+                    return Op::Nops(2);
+                }
+                // Pilot mode: Algorithm 4 on the response word.
+                6 => {
+                    let v = ctx.last_value();
+                    if v != self.old_resp {
+                        self.old_resp = v;
+                        self.state = 30;
+                        continue;
+                    }
+                    self.state = 7;
+                    return Op::load_use(resp_flag_addr(self.id));
+                }
+                7 => {
+                    if ctx.last_value() != self.old_flag {
+                        self.old_flag = ctx.last_value();
+                        self.state = 30;
+                        continue;
+                    }
+                    self.state = 5;
+                    continue;
+                }
+                // ---------------- combiner side ----------------
+                // Scan all clients once, serving pending requests.
+                10 => {
+                    if self.scanned >= self.clients {
+                        // Sweep done: release the baton.
+                        self.state = 20;
+                        continue;
+                    }
+                    self.state = 11;
+                    return Op::load_use(req_addr(self.scan_at));
+                }
+                11 => {
+                    self.serving_round = ctx.last_value();
+                    // The served-round marker is shared state: combiners
+                    // migrate, so progress must live in memory, not in a
+                    // core-local array.
+                    self.state = 25;
+                    return Op::load_use(served_round_addr(self.scan_at));
+                }
+                25 => {
+                    if self.serving_round == ctx.last_value() {
+                        self.scan_at = (self.scan_at + 1) % self.clients;
+                        self.scanned += 1;
+                        self.state = 10;
+                        continue;
+                    }
+                    self.state = 26;
+                    return Op::store(served_round_addr(self.scan_at), self.serving_round);
+                }
+                26 => {
+                    self.state = 12;
+                    match self.barriers.req {
+                        Barrier::None
+                        | Barrier::AddrDep
+                        | Barrier::DataDep
+                        | Barrier::Ctrl => {}
+                        Barrier::Ldar => {
+                            return Op::Load {
+                                addr: req_addr(self.scan_at),
+                                use_value: false,
+                                acquire: true,
+                                dep_on_last_load: false,
+                            };
+                        }
+                        f => return Op::Fence(f),
+                    }
+                }
+                12 => {
+                    match cs_op(
+                        self.profile,
+                        &mut self.cs_step,
+                        ctx.last_value(),
+                        self.served_total,
+                    ) {
+                        Some(op) => return op,
+                        None => {
+                            self.cs_step = 0;
+                            self.served_total += 1;
+                            self.state = 13;
+                        }
+                    }
+                }
+                // Publish the response (to ourselves too: uniform path).
+                13 => {
+                    let client = self.scan_at;
+                    let round = self.serving_round;
+                    match self.mode {
+                        RespMode::Flag => {
+                            self.state = 14;
+                            return Op::store(resp_addr(client), round.wrapping_mul(3));
+                        }
+                        RespMode::Pilot => {
+                            self.state = 16;
+                            return Op::Nops(2);
+                        }
+                    }
+                }
+                14 => {
+                    self.state = 15;
+                    match self.barriers.resp {
+                        Barrier::None => {}
+                        f => return Op::Fence(f),
+                    }
+                }
+                15 => {
+                    let client = self.scan_at;
+                    let round = self.serving_round;
+                    self.scan_at = (self.scan_at + 1) % self.clients;
+                    self.scanned += 1;
+                    self.state = 10;
+                    return Op::store(resp_flag_addr(client), round);
+                }
+                16 => {
+                    let client = self.scan_at;
+                    let round = self.serving_round;
+                    self.scan_at = (self.scan_at + 1) % self.clients;
+                    self.scanned += 1;
+                    self.state = 10;
+                    return Op::store(resp_addr(client), round.wrapping_mul(7) | 1);
+                }
+                // Release the baton (store-release keeps the protocol
+                // sound; its cost is shared across the whole sweep).
+                20 => {
+                    self.state = 21;
+                    return Op::store_release(BATON, 0);
+                }
+                21 => {
+                    // Our own request was served during the sweep (we always
+                    // serve ourselves); synchronize decode state.
+                    self.old_resp = match self.mode {
+                        RespMode::Flag => self.old_resp,
+                        RespMode::Pilot => self.round.wrapping_mul(7) | 1,
+                    };
+                    self.old_flag = match self.mode {
+                        RespMode::Flag => self.round,
+                        RespMode::Pilot => self.old_flag,
+                    };
+                    self.state = 30;
+                }
+                // ---------------- iteration done ----------------
+                31 => {
+                    self.state = 0;
+                    return Op::Nops(self.interval_nops);
+                }
+                _ => {
+                    self.done += 1;
+                    if self.done >= self.iterations {
+                        return Op::Halt;
+                    }
+                    self.state = if self.interval_nops > 0 { 31 } else { 0 };
+                    return Op::IterationMark;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- run harness
+
+/// Which delegation lock to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DelegationKind {
+    /// Dedicated-server FFWD.
+    Ffwd,
+    /// Migratory combiner (CC-Synch/DSM-Synch family).
+    DSynch,
+}
+
+/// Configuration of one delegation run.
+#[derive(Debug, Clone, Copy)]
+pub struct DelegationConfig {
+    /// Which lock.
+    pub kind: DelegationKind,
+    /// Client cores (FFWD adds one server core on top).
+    pub clients: usize,
+    /// Barrier pair.
+    pub barriers: DelegationBarriers,
+    /// Flag or Pilot responses.
+    pub mode: RespMode,
+    /// Critical-section shape.
+    pub profile: CsProfile,
+    /// Requests per client.
+    pub per_client: u64,
+    /// Nops between a client's requests (Figure 7(c)'s interval).
+    pub interval_nops: u32,
+}
+
+impl DelegationConfig {
+    /// A reasonable default: FFWD, 8 clients, best barriers, counter CS.
+    #[must_use]
+    pub fn default_ffwd() -> DelegationConfig {
+        DelegationConfig {
+            kind: DelegationKind::Ffwd,
+            clients: 8,
+            barriers: DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt },
+            mode: RespMode::Flag,
+            profile: CsProfile::counter(),
+            per_client: 40,
+            interval_nops: 0,
+        }
+    }
+}
+
+/// Run a delegation benchmark; returns total served requests / second.
+#[must_use]
+pub fn run_delegation(platform: &Platform, cfg: DelegationConfig) -> LockResult {
+    let mut m = Machine::new(platform.clone());
+    let total = cfg.per_client * cfg.clients as u64;
+    match cfg.kind {
+        DelegationKind::Ffwd => {
+            // Server on core 0; clients fill the following cores.
+            m.add_thread_on(
+                0,
+                Box::new(FfwdServer {
+                    clients: cfg.clients,
+                    seen: vec![0; cfg.clients],
+                    total,
+                    served: 0,
+                    barriers: cfg.barriers,
+                    mode: cfg.mode,
+                    profile: cfg.profile,
+                    scan_at: 0,
+                    cs_step: 0,
+                    state: 0,
+                }),
+            );
+            for c in 0..cfg.clients {
+                m.add_thread_on(
+                    c + 1,
+                    Box::new(Client {
+                        id: c,
+                        iterations: cfg.per_client,
+                        done: 0,
+                        interval_nops: cfg.interval_nops,
+                        mode: cfg.mode,
+                        old_resp: 0,
+                        old_flag: 0,
+                        round: 0,
+                        state: 0,
+                    }),
+                );
+            }
+        }
+        DelegationKind::DSynch => {
+            for c in 0..cfg.clients {
+                m.add_thread_on(
+                    c,
+                    Box::new(CombinerClient {
+                        id: c,
+                        clients: cfg.clients,
+                        iterations: cfg.per_client,
+                        done: 0,
+                        interval_nops: cfg.interval_nops,
+                        barriers: cfg.barriers,
+                        mode: cfg.mode,
+                        profile: cfg.profile,
+                        old_resp: 0,
+                        old_flag: 0,
+                        round: 0,
+                        served_total: 0,
+                        scan_at: 0,
+                        scanned: 0,
+                        cs_step: 0,
+                        serving_round: 0,
+                        poll_misses: 0,
+                        state: 0,
+                    }),
+                );
+            }
+        }
+    }
+    let max_cycles = total * 400_000 + 2_000_000;
+    let stats = m.run(max_cycles);
+    assert!(stats.halted, "delegation benchmark must finish");
+    LockResult {
+        acquisitions: total,
+        cycles: stats.cycles,
+        locks_per_sec: platform.iterations_per_second(total, stats.cycles),
+    }
+}
+
+/// Figure 7(c): throughput of the five lock variants at one contention
+/// interval (`10^n × 128` nops).
+#[must_use]
+pub fn fig7c_point(platform: &Platform, clients: usize, interval_nops: u32, per: u64)
+    -> [(String, f64); 5]
+{
+    let best = DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt };
+    let mk = |kind, mode| DelegationConfig {
+        kind,
+        clients,
+        barriers: best,
+        mode,
+        profile: CsProfile::counter(),
+        per_client: per,
+        interval_nops,
+    };
+    let ticket = run_ticket(
+        platform,
+        TicketConfig {
+            threads: clients,
+            global_lines: 1,
+            cs_nops: 4,
+            post_nops: interval_nops,
+            release_barrier: Barrier::DmbSt,
+            per_thread: per,
+        },
+    );
+    [
+        ("Ticket".into(), ticket.locks_per_sec),
+        (
+            "DSynch".into(),
+            run_delegation(platform, mk(DelegationKind::DSynch, RespMode::Flag)).locks_per_sec,
+        ),
+        (
+            "DSynch-P".into(),
+            run_delegation(platform, mk(DelegationKind::DSynch, RespMode::Pilot)).locks_per_sec,
+        ),
+        (
+            "FFWD".into(),
+            run_delegation(platform, mk(DelegationKind::Ffwd, RespMode::Flag)).locks_per_sec,
+        ),
+        (
+            "FFWD-P".into(),
+            run_delegation(platform, mk(DelegationKind::Ffwd, RespMode::Pilot)).locks_per_sec,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kunpeng() -> Platform {
+        Platform::kunpeng916()
+    }
+
+    #[test]
+    fn ffwd_serves_every_request() {
+        let r = run_delegation(&kunpeng(), DelegationConfig::default_ffwd());
+        assert_eq!(r.acquisitions, 8 * 40);
+        assert!(r.locks_per_sec > 0.0);
+    }
+
+    #[test]
+    fn ffwd_pilot_serves_every_request() {
+        let cfg = DelegationConfig { mode: RespMode::Pilot, ..DelegationConfig::default_ffwd() };
+        let r = run_delegation(&kunpeng(), cfg);
+        assert_eq!(r.acquisitions, 8 * 40);
+    }
+
+    #[test]
+    fn dsynch_serves_every_request() {
+        for mode in [RespMode::Flag, RespMode::Pilot] {
+            let cfg = DelegationConfig {
+                kind: DelegationKind::DSynch,
+                clients: 6,
+                per_client: 30,
+                mode,
+                ..DelegationConfig::default_ffwd()
+            };
+            let r = run_delegation(&kunpeng(), cfg);
+            assert_eq!(r.acquisitions, 180, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn fig7b_bus_free_request_barriers_beat_dmb_full() {
+        let run = |barriers| {
+            run_delegation(
+                &kunpeng(),
+                DelegationConfig {
+                    barriers,
+                    clients: 8,
+                    per_client: 40,
+                    ..DelegationConfig::default_ffwd()
+                },
+            )
+            .locks_per_sec
+        };
+        let full = run(DelegationBarriers { req: Barrier::DmbFull, resp: Barrier::DmbSt });
+        let ldar = run(DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt });
+        let addr = run(DelegationBarriers { req: Barrier::AddrDep, resp: Barrier::DmbSt });
+        assert!(ldar > full, "LDAR {ldar} over DMB full {full} (Observation 6)");
+        assert!(addr >= ldar * 0.95, "deps at least as good as LDAR");
+    }
+
+    #[test]
+    fn fig7b_removing_the_response_barrier_helps() {
+        let run = |barriers| {
+            run_delegation(
+                &kunpeng(),
+                DelegationConfig {
+                    barriers,
+                    clients: 8,
+                    per_client: 40,
+                    profile: CsProfile::queue_or_stack(),
+                    ..DelegationConfig::default_ffwd()
+                },
+            )
+            .locks_per_sec
+        };
+        let with = run(DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt });
+        let without = run(DelegationBarriers { req: Barrier::Ldar, resp: Barrier::None });
+        assert!(without > with * 1.05, "no-resp {without} vs {with} (the paper's ~22%)");
+    }
+
+    #[test]
+    fn fig7c_pilot_helps_both_delegation_locks_at_high_contention() {
+        let p = kunpeng();
+        let point = fig7c_point(&p, 8, 0, 30);
+        let get = |name: &str| {
+            point.iter().find(|(n, _)| n == name).map(|&(_, v)| v).expect("variant present")
+        };
+        assert!(get("DSynch-P") > get("DSynch"), "{point:?}");
+        assert!(get("FFWD-P") > get("FFWD"), "{point:?}");
+    }
+
+    #[test]
+    fn fig7c_pilot_gain_fades_at_low_contention() {
+        let p = kunpeng();
+        let gain_at = |interval| {
+            let point = fig7c_point(&p, 6, interval, 20);
+            let get = |name: &str| {
+                point.iter().find(|(n, _)| n == name).map(|&(_, v)| v).expect("present")
+            };
+            get("DSynch-P") / get("DSynch")
+        };
+        let high = gain_at(0);
+        let low = gain_at(12_800);
+        assert!(high > low, "gain at high contention {high} > at low {low}");
+        assert!(low > 0.9, "Pilot never degrades much below baseline, got {low}");
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = DelegationConfig {
+            kind: DelegationKind::DSynch,
+            clients: 4,
+            per_client: 20,
+            ..DelegationConfig::default_ffwd()
+        };
+        let a = run_delegation(&kunpeng(), cfg);
+        let b = run_delegation(&kunpeng(), cfg);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulator workloads for every experiment in the paper.
+//!
+//! Each module turns one of the paper's benchmark programs into
+//! [`SimThread`](armbar_sim::SimThread) state machines and a runner that
+//! reports throughput on a chosen [`Platform`](armbar_sim::Platform):
+//!
+//! * [`abstract_model`] — Algorithm 1 (§3.2): the barrier micro-model
+//!   behind Figures 2, 3, 4, 5.
+//! * [`prodcons`] — Algorithm 2 + Pilot (§4): Figures 6(a), 6(b), 6(c).
+//! * [`ticket_sim`] — the in-place ticket lock benchmark: Figure 7(a).
+//! * [`delegation_sim`] — delegation lock server/clients (Algorithms 5 & 6)
+//!   in dedicated (FFWD) and migratory (DSynch-family) flavours:
+//!   Figures 7(b), 7(c), 8(a–c).
+//! * [`bind`] — the thread-placement configurations the figures sweep
+//!   (same NUMA node, cross node, mobile big cluster, …).
+//!
+//! Calibration tests at the bottom of each module assert the paper's
+//! *observations* hold on the simulator — they are the contract between
+//! the latency profiles in `armbar-sim` and the figures the experiment
+//! harness regenerates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod abstract_model;
+pub mod bind;
+pub mod delegation_sim;
+pub mod prodcons;
+pub mod ticket_sim;
+
+pub use abstract_model::{run_model, BarrierLoc, MemOpKind, ModelSpec};
+pub use bind::BindConfig;

@@ -1,0 +1,596 @@
+//! Producer-consumer on the simulator — Algorithm 2 and its Pilot
+//! transformation (Figures 6(a), 6(b), 6(c)).
+//!
+//! Two cores exchange messages through a ring of single-line slots plus a
+//! pair of counters. The baseline producer is Algorithm 2 with its two
+//! configurable barriers; the Pilot producer publishes each slot through
+//! the piggybacked store, keeps `prodCnt` private, and drops the publish
+//! barrier entirely (§4.4).
+//!
+//! Messages carry a sequence-derived value, and the consumer checks every
+//! one — so "Ideal" (all barriers removed) is *observably incorrect* on the
+//! simulator when a reordering bites, exactly as the paper warns ("leads to
+//! a wrong result but can serve as a reference").
+
+use armbar_barriers::Barrier;
+use armbar_sim::{Machine, Op, SimThread, ThreadCtx};
+
+use crate::bind::BindConfig;
+
+/// Shared-memory layout (each item on its own line).
+const PROD_CNT: u64 = 0x1000;
+const CONS_CNT: u64 = 0x1080;
+const BUF_BASE: u64 = 0x2000;
+const FLAG_BASE: u64 = 0x6000;
+
+/// Ring capacity (slots).
+const BUF_SLOTS: u64 = 8;
+
+/// Barrier pair of Algorithm 2 (`X - Y` in Figure 6(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PcBarriers {
+    /// Line 3: after the availability check.
+    pub avail: Barrier,
+    /// Line 5: between filling the buffer and bumping `prodCnt`.
+    pub publish: Barrier,
+}
+
+/// The Figure 6(a) combinations, in the legend's order.
+pub const FIG6A_COMBOS: [(&str, PcBarriers); 7] = [
+    ("DMB full - DMB full", PcBarriers { avail: Barrier::DmbFull, publish: Barrier::DmbFull }),
+    ("DMB full - DMB st", PcBarriers { avail: Barrier::DmbFull, publish: Barrier::DmbSt }),
+    ("DMB ld - DMB st", PcBarriers { avail: Barrier::DmbLd, publish: Barrier::DmbSt }),
+    ("LDAR - DMB st", PcBarriers { avail: Barrier::Ldar, publish: Barrier::DmbSt }),
+    ("DMB full - STLR", PcBarriers { avail: Barrier::DmbFull, publish: Barrier::Stlr }),
+    ("DMB ld - No Barrier", PcBarriers { avail: Barrier::DmbLd, publish: Barrier::None }),
+    ("Ideal", PcBarriers { avail: Barrier::None, publish: Barrier::None }),
+];
+
+fn slot_addr(i: u64) -> u64 {
+    BUF_BASE + (i % BUF_SLOTS) * 64
+}
+
+fn flag_addr(i: u64) -> u64 {
+    FLAG_BASE + (i % BUF_SLOTS) * 64
+}
+
+fn msg_value(seq: u64) -> u64 {
+    seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// The baseline producer (Algorithm 2).
+struct Producer {
+    barriers: PcBarriers,
+    produce_nops: u32,
+    batch: u64,
+    iterations: u64,
+    prod_cnt: u64,
+    in_batch: u64,
+    state: u8,
+}
+
+impl SimThread for Producer {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                // Line 1-2: availability check (whole batch must fit).
+                0 => {
+                    self.state = 1;
+                    return Op::load_use(CONS_CNT);
+                }
+                1 => {
+                    if self.prod_cnt + self.batch - ctx.last_value() > BUF_SLOTS {
+                        self.state = 0; // spin
+                        return Op::Nops(1);
+                    }
+                    self.state = 2;
+                }
+                // Line 3.
+                2 => {
+                    self.state = 3;
+                    self.in_batch = 0;
+                    match self.barriers.avail {
+                        Barrier::None => {}
+                        Barrier::Ldar => {
+                            // Modelled as the acquire variant of the check:
+                            // re-issue the load as LDAR (cheap; no bus).
+                            return Op::Load {
+                                addr: CONS_CNT,
+                                use_value: false,
+                                acquire: true,
+                                dep_on_last_load: false,
+                            };
+                        }
+                        f => return Op::Fence(f),
+                    }
+                }
+                // produceMsg(): local work.
+                3 => {
+                    self.state = 4;
+                    if self.produce_nops > 0 {
+                        return Op::Nops(self.produce_nops);
+                    }
+                }
+                // Line 4: fill the slot (likely an RMR).
+                4 => {
+                    self.state = 5;
+                    let seq = self.prod_cnt + self.in_batch;
+                    return Op::store(slot_addr(seq), msg_value(seq));
+                }
+                5 => {
+                    self.in_batch += 1;
+                    if self.in_batch < self.batch {
+                        self.state = 3; // next message of the batch
+                    } else {
+                        self.state = 6;
+                    }
+                }
+                // Line 5: the post-RMR barrier (once per batch).
+                6 => {
+                    self.state = 7;
+                    match self.barriers.publish {
+                        Barrier::None | Barrier::Stlr => {}
+                        f => return Op::Fence(f),
+                    }
+                }
+                // Line 6: publish the counter. The STLR variant makes this
+                // store the release: it orders the buffer fill before the
+                // counter without a standalone barrier.
+                7 => {
+                    self.prod_cnt += self.batch;
+                    self.state = 8;
+                    if self.barriers.publish == Barrier::Stlr {
+                        return Op::store_release(PROD_CNT, self.prod_cnt);
+                    }
+                    return Op::store(PROD_CNT, self.prod_cnt);
+                }
+                _ => {
+                    self.state = 0;
+                    if self.prod_cnt >= self.iterations {
+                        return Op::Halt;
+                    }
+                    return Op::IterationMark;
+                }
+            }
+        }
+    }
+}
+
+/// The baseline consumer: spins on `prodCnt`, reads the slot behind a
+/// bogus address dependency (the cheap consumer side §4.1 describes),
+/// bumps `consCnt`.
+struct Consumer {
+    iterations: u64,
+    cons_cnt: u64,
+    prod_seen: u64,
+    consume_nops: u32,
+    check: bool,
+    errors: u64,
+    state: u8,
+}
+
+impl SimThread for Consumer {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                0 => {
+                    if self.prod_seen > self.cons_cnt {
+                        self.state = 2;
+                        continue;
+                    }
+                    self.state = 1;
+                    return Op::load_use(PROD_CNT);
+                }
+                1 => {
+                    self.prod_seen = ctx.last_value();
+                    if self.prod_seen <= self.cons_cnt {
+                        self.state = 0;
+                        return Op::Nops(1);
+                    }
+                    self.state = 2;
+                }
+                2 => {
+                    self.state = 3;
+                    return Op::Load {
+                        addr: slot_addr(self.cons_cnt),
+                        use_value: true,
+                        acquire: false,
+                        dep_on_last_load: true,
+                    };
+                }
+                3 => {
+                    if self.check && ctx.last_value() != msg_value(self.cons_cnt) {
+                        self.errors += 1;
+                    }
+                    self.cons_cnt += 1;
+                    self.state = 4;
+                    return Op::store(CONS_CNT, self.cons_cnt);
+                }
+                4 => {
+                    self.state = 5;
+                    return Op::store(CONS_ERRORS, self.errors);
+                }
+                _ => {
+                    self.state = 0;
+                    if self.cons_cnt >= self.iterations {
+                        return Op::Halt;
+                    }
+                    if self.consume_nops > 0 {
+                        return Op::Nops(self.consume_nops);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Running count of payload mismatches the consumer observed.
+const CONS_ERRORS: u64 = 0x1100;
+
+/// The Pilot producer (§4.4): slot published via Algorithm 3; `prodCnt`
+/// stays core-private.
+struct PilotProducer {
+    avail: Barrier,
+    produce_nops: u32,
+    batch: u64,
+    iterations: u64,
+    prod_cnt: u64,
+    in_batch: u64,
+    old_data: [u64; BUF_SLOTS as usize],
+    local_flags: [u64; BUF_SLOTS as usize],
+    state: u8,
+}
+
+impl SimThread for PilotProducer {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    return Op::load_use(CONS_CNT);
+                }
+                1 => {
+                    if self.prod_cnt + self.batch - ctx.last_value() > BUF_SLOTS {
+                        self.state = 0;
+                        return Op::Nops(1);
+                    }
+                    self.state = 2;
+                    self.in_batch = 0;
+                    match self.avail {
+                        Barrier::None => {}
+                        f => return Op::Fence(f),
+                    }
+                }
+                2 => {
+                    self.state = 3;
+                    if self.produce_nops > 0 {
+                        return Op::Nops(self.produce_nops);
+                    }
+                }
+                // Algorithm 3 on the slot: the shuffle costs two local ALU
+                // ops (all-local, <5% worst case per §4.5).
+                3 => {
+                    self.state = 4;
+                    return Op::Nops(2);
+                }
+                4 => {
+                    let seq = self.prod_cnt + self.in_batch;
+                    let idx = (seq % BUF_SLOTS) as usize;
+                    let new_data = msg_value(seq); // sequence-shuffled payload
+                    self.state = 5;
+                    if new_data == self.old_data[idx] {
+                        self.local_flags[idx] ^= 1;
+                        self.old_data[idx] = new_data;
+                        return Op::store(flag_addr(seq), self.local_flags[idx]);
+                    }
+                    self.old_data[idx] = new_data;
+                    return Op::store(slot_addr(seq), new_data);
+                }
+                5 => {
+                    self.in_batch += 1;
+                    if self.in_batch < self.batch {
+                        self.state = 2;
+                    } else {
+                        self.prod_cnt += self.batch;
+                        self.state = 6;
+                    }
+                }
+                _ => {
+                    self.state = 0;
+                    if self.prod_cnt >= self.iterations {
+                        return Op::Halt;
+                    }
+                    return Op::IterationMark;
+                }
+            }
+        }
+    }
+}
+
+/// The Pilot consumer (Algorithm 4 per slot).
+struct PilotConsumer {
+    iterations: u64,
+    cons_cnt: u64,
+    old_data: [u64; BUF_SLOTS as usize],
+    old_flags: [u64; BUF_SLOTS as usize],
+    consume_nops: u32,
+    errors: u64,
+    state: u8,
+}
+
+impl SimThread for PilotConsumer {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            let idx = (self.cons_cnt % BUF_SLOTS) as usize;
+            match self.state {
+                // Line 1: watch the data word.
+                0 => {
+                    self.state = 1;
+                    return Op::load_use(slot_addr(self.cons_cnt));
+                }
+                1 => {
+                    let data = ctx.last_value();
+                    if data != self.old_data[idx] {
+                        self.old_data[idx] = data;
+                        self.state = 3;
+                        continue;
+                    }
+                    // Line 2: the fallback flag.
+                    self.state = 2;
+                    return Op::load_use(flag_addr(self.cons_cnt));
+                }
+                2 => {
+                    if ctx.last_value() != self.old_flags[idx] {
+                        self.old_flags[idx] = ctx.last_value();
+                        self.state = 3;
+                        continue;
+                    }
+                    self.state = 0;
+                    return Op::Nops(1);
+                }
+                3 => {
+                    if self.old_data[idx] != msg_value(self.cons_cnt) {
+                        self.errors += 1;
+                    }
+                    self.cons_cnt += 1;
+                    self.state = 4;
+                    return Op::store(CONS_CNT, self.cons_cnt);
+                }
+                4 => {
+                    self.state = 5;
+                    return Op::store(CONS_ERRORS, self.errors);
+                }
+                _ => {
+                    self.state = 0;
+                    if self.cons_cnt >= self.iterations {
+                        return Op::Halt;
+                    }
+                    if self.consume_nops > 0 {
+                        return Op::Nops(self.consume_nops);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Which channel implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcVariant {
+    /// Algorithm 2 with the given barrier pair.
+    Baseline(PcBarriers),
+    /// The Pilot ring (publish barrier gone, `prodCnt` private).
+    Pilot {
+        /// The remaining line-3 barrier.
+        avail: Barrier,
+    },
+}
+
+/// Result of one producer-consumer run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcResult {
+    /// Messages delivered to the consumer.
+    pub messages: u64,
+    /// Producer cycles consumed.
+    pub cycles: u64,
+    /// Messages per second at the platform clock.
+    pub msgs_per_sec: f64,
+    /// Messages whose payload did not match the expected sequence value
+    /// (non-zero only for incorrect variants like Ideal).
+    pub errors: u64,
+}
+
+/// Run a producer-consumer configuration: `messages` transfers of
+/// `batch`-slot batches with `produce_nops` of local work per message.
+#[must_use]
+pub fn run_prodcons(
+    bind: BindConfig,
+    variant: PcVariant,
+    messages: u64,
+    batch: u64,
+    produce_nops: u32,
+) -> PcResult {
+    assert!(batch >= 1 && batch <= BUF_SLOTS / 2, "batch must fit the ring twice over");
+    assert_eq!(messages % batch, 0, "messages must be a whole number of batches");
+    let platform = bind.platform();
+    let mut m = Machine::new(platform.clone());
+    let prod_core = bind.primary_core();
+    let cons_core = bind.peer_core();
+    match variant {
+        PcVariant::Baseline(barriers) => {
+            m.add_thread_on(
+                prod_core,
+                Box::new(Producer {
+                    barriers,
+                    produce_nops,
+                    batch,
+                    iterations: messages,
+                    prod_cnt: 0,
+                    in_batch: 0,
+                    state: 0,
+                }),
+            );
+            m.add_thread_on(
+                cons_core,
+                Box::new(Consumer {
+                    iterations: messages,
+                    cons_cnt: 0,
+                    prod_seen: 0,
+                    consume_nops: 0,
+                    check: true,
+                    errors: 0,
+                    state: 0,
+                }),
+            );
+        }
+        PcVariant::Pilot { avail } => {
+            m.add_thread_on(
+                prod_core,
+                Box::new(PilotProducer {
+                    avail,
+                    produce_nops,
+                    batch,
+                    iterations: messages,
+                    prod_cnt: 0,
+                    in_batch: 0,
+                    old_data: [0; BUF_SLOTS as usize],
+                    local_flags: [0; BUF_SLOTS as usize],
+                    state: 0,
+                }),
+            );
+            m.add_thread_on(
+                cons_core,
+                Box::new(PilotConsumer {
+                    iterations: messages,
+                    cons_cnt: 0,
+                    old_data: [0; BUF_SLOTS as usize],
+                    old_flags: [0; BUF_SLOTS as usize],
+                    consume_nops: 0,
+                    errors: 0,
+                    state: 0,
+                }),
+            );
+        }
+    }
+    let max_cycles = messages * 40_000 + 1_000_000;
+    let stats = m.run(max_cycles);
+    assert!(stats.halted, "producer-consumer must drain within budget");
+    let s = m.core_stats(prod_core);
+    let delivered = m.read_memory(CONS_CNT);
+    PcResult {
+        messages: delivered,
+        cycles: s.cycles,
+        msgs_per_sec: platform.iterations_per_second(s.iterations * batch, s.cycles),
+        errors: m.read_memory(CONS_ERRORS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSGS: u64 = 300;
+    const WORK: u32 = 40;
+
+    fn tput(bind: BindConfig, v: PcVariant) -> f64 {
+        run_prodcons(bind, v, MSGS, 1, WORK).msgs_per_sec
+    }
+
+    fn baseline(avail: Barrier, publish: Barrier) -> PcVariant {
+        PcVariant::Baseline(PcBarriers { avail, publish })
+    }
+
+    #[test]
+    fn all_correct_variants_deliver_every_message() {
+        for bind in [BindConfig::KunpengCrossNodes, BindConfig::Kirin960] {
+            for (name, combo) in FIG6A_COMBOS.iter().take(5) {
+                let r = run_prodcons(bind, PcVariant::Baseline(*combo), 100, 1, 10);
+                assert_eq!(r.messages, 100, "{name}");
+            }
+            let r = run_prodcons(bind, PcVariant::Pilot { avail: Barrier::DmbLd }, 100, 1, 10);
+            assert_eq!(r.messages, 100);
+            assert_eq!(r.errors, 0, "Pilot must stay correct with no publish barrier");
+        }
+    }
+
+    #[test]
+    fn fig6a_ld_st_beats_full_full() {
+        for bind in [BindConfig::KunpengSameNode, BindConfig::KunpengCrossNodes] {
+            let ld_st = tput(bind, baseline(Barrier::DmbLd, Barrier::DmbSt));
+            let full_full = tput(bind, baseline(Barrier::DmbFull, Barrier::DmbFull));
+            assert!(
+                ld_st > full_full,
+                "{bind:?}: ld-st {ld_st} must beat full-full {full_full}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6a_stlr_does_not_beat_dmb_full_cross_node() {
+        let bind = BindConfig::KunpengCrossNodes;
+        let stlr = tput(bind, baseline(Barrier::DmbFull, Barrier::Stlr));
+        let full = tput(bind, baseline(Barrier::DmbFull, Barrier::DmbFull));
+        assert!(stlr <= full * 1.05, "STLR {stlr} vs DMB full {full} (Observation 3)");
+    }
+
+    #[test]
+    fn fig6a_removing_the_publish_barrier_recovers_most_of_ideal() {
+        let bind = BindConfig::KunpengCrossNodes;
+        let ld_none = tput(bind, baseline(Barrier::DmbLd, Barrier::None));
+        let ld_st = tput(bind, baseline(Barrier::DmbLd, Barrier::DmbSt));
+        let ideal = tput(bind, baseline(Barrier::None, Barrier::None));
+        assert!(ld_none > ld_st, "dropping the post-RMR barrier must help");
+        assert!(ld_none > 0.8 * ideal, "ld-none {ld_none} close to ideal {ideal}");
+    }
+
+    #[test]
+    fn fig6b_pilot_beats_the_best_correct_baseline() {
+        for bind in [BindConfig::KunpengSameNode, BindConfig::KunpengCrossNodes] {
+            let pilot = tput(bind, PcVariant::Pilot { avail: Barrier::DmbLd });
+            let best = tput(bind, baseline(Barrier::DmbLd, Barrier::DmbSt));
+            assert!(pilot > best, "{bind:?}: Pilot {pilot} over DMB ld-DMB st {best}");
+        }
+    }
+
+    #[test]
+    fn fig6b_pilot_gain_larger_cross_node_than_mobile() {
+        let gain = |bind| {
+            tput(bind, PcVariant::Pilot { avail: Barrier::DmbLd })
+                / tput(bind, baseline(Barrier::DmbLd, Barrier::DmbSt))
+        };
+        let cross = gain(BindConfig::KunpengCrossNodes);
+        let rpi = gain(BindConfig::RaspberryPi4);
+        assert!(cross > rpi, "cross-node gain {cross} vs rpi {rpi}");
+        assert!(cross > 1.3, "cross-node gain should be substantial, got {cross}");
+    }
+
+    #[test]
+    fn fig6c_batching_amortizes_the_pilot_advantage() {
+        let bind = BindConfig::KunpengCrossNodes;
+        let speedup = |batch| {
+            let p = run_prodcons(bind, PcVariant::Pilot { avail: Barrier::DmbLd }, MSGS, batch, 10)
+                .msgs_per_sec;
+            let b = run_prodcons(
+                bind,
+                baseline(Barrier::DmbLd, Barrier::DmbSt),
+                MSGS,
+                batch,
+                10,
+            )
+            .msgs_per_sec;
+            p / b
+        };
+        let s1 = speedup(1);
+        let s4 = speedup(4);
+        assert!(s1 > s4, "speedup declines with batch size: {s1} vs {s4}");
+        assert!(s4 > 0.95, "Pilot never costs more than ~5% (worst case)");
+    }
+
+    #[test]
+    fn determinism() {
+        let v = PcVariant::Pilot { avail: Barrier::DmbLd };
+        let a = run_prodcons(BindConfig::Kirin970, v, 100, 1, 10);
+        let b = run_prodcons(BindConfig::Kirin970, v, 100, 1, 10);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

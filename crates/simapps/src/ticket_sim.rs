@@ -1,0 +1,321 @@
+//! Ticket lock on the simulator (Figure 7(a)).
+//!
+//! Competitor cores take tickets with an atomic fetch-add, spin on the
+//! owner counter, run a critical section that reads and modifies a
+//! configurable number of *global* cache lines plus a private counter, run
+//! the configurable release-side barrier, and advance the owner.
+//!
+//! The figure's knob: when the critical section touches global lines, the
+//! unlock barrier sits strictly after RMRs and its overhead becomes visible
+//! (Observation 2); with zero global lines it is nearly free.
+
+use armbar_barriers::Barrier;
+use armbar_sim::{Machine, Op, Platform, SimThread, ThreadCtx};
+
+/// Shared-memory layout.
+const NEXT_TICKET: u64 = 0x100;
+const OWNER: u64 = 0x180;
+const GLOBALS_BASE: u64 = 0x1000;
+/// Per-thread private counters (distinct lines far from shared state).
+const PRIVATE_BASE: u64 = 0x10_0000;
+
+/// One competitor.
+struct TicketThread {
+    id: u64,
+    iterations: u64,
+    done: u64,
+    global_lines: u32,
+    cs_nops: u32,
+    post_nops: u32,
+    release_barrier: Barrier,
+    state: u8,
+    ticket: u64,
+    cs_step: u32,
+}
+
+impl TicketThread {
+    fn global_addr(&self, i: u32) -> u64 {
+        GLOBALS_BASE + u64::from(i) * 64
+    }
+}
+
+impl SimThread for TicketThread {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                // lock: take a ticket.
+                0 => {
+                    self.state = 1;
+                    return Op::Rmw {
+                        addr: NEXT_TICKET,
+                        kind: armbar_sim::RmwKind::FetchAdd,
+                        operand: 1,
+                        acquire: false,
+                        release: false,
+                    };
+                }
+                1 => {
+                    self.ticket = ctx.last_value();
+                    self.state = 2;
+                }
+                // Spin on the owner counter.
+                2 => {
+                    self.state = 3;
+                    return Op::load_use(OWNER);
+                }
+                3 => {
+                    if ctx.last_value() != self.ticket {
+                        self.state = 2;
+                        return Op::Nops(1);
+                    }
+                    // Acquire-side ordering (cheap, LDAR-class).
+                    self.state = 4;
+                    return Op::Fence(Barrier::DmbLd);
+                }
+                // Critical section: read+modify each global line…
+                4 => {
+                    if self.cs_step < self.global_lines {
+                        let addr = self.global_addr(self.cs_step);
+                        self.state = 5;
+                        return Op::load_use(addr);
+                    }
+                    self.state = 6;
+                }
+                5 => {
+                    let addr = self.global_addr(self.cs_step);
+                    let v = ctx.last_value();
+                    self.cs_step += 1;
+                    self.state = 4;
+                    return Op::store_dep(addr, v.wrapping_add(1));
+                }
+                // …plus the private counter and any local work.
+                6 => {
+                    self.cs_step = 0;
+                    self.state = 7;
+                    return Op::store(PRIVATE_BASE + self.id * 64, self.done + 1);
+                }
+                7 => {
+                    self.state = 8;
+                    if self.cs_nops > 0 {
+                        return Op::Nops(self.cs_nops);
+                    }
+                }
+                // unlock: the configurable barrier, then advance the owner.
+                8 => {
+                    self.state = 9;
+                    match self.release_barrier {
+                        Barrier::None => {}
+                        f => return Op::Fence(f),
+                    }
+                }
+                9 => {
+                    self.state = 10;
+                    return Op::store(OWNER, self.ticket + 1);
+                }
+                11 => {
+                    self.state = 0;
+                    return Op::IterationMark;
+                }
+                _ => {
+                    self.state = 0;
+                    self.done += 1;
+                    if self.done >= self.iterations {
+                        return Op::Halt;
+                    }
+                    if self.post_nops > 0 {
+                        // Contention knob (Figure 7(c)'s interval).
+                        self.state = 11;
+                        return Op::Nops(self.post_nops);
+                    }
+                    return Op::IterationMark;
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of one ticket-lock run.
+#[derive(Debug, Clone, Copy)]
+pub struct TicketConfig {
+    /// Competitor cores.
+    pub threads: usize,
+    /// Global cache lines read+written per critical section (Figure 7(a)'s
+    /// x-axis: 0, 1, 2).
+    pub global_lines: u32,
+    /// Extra local work inside the critical section.
+    pub cs_nops: u32,
+    /// Work between releases (contention knob).
+    pub post_nops: u32,
+    /// The unlock-side barrier.
+    pub release_barrier: Barrier,
+    /// Acquisitions per thread.
+    pub per_thread: u64,
+}
+
+impl Default for TicketConfig {
+    fn default() -> TicketConfig {
+        TicketConfig {
+            threads: 8,
+            global_lines: 1,
+            cs_nops: 10,
+            post_nops: 20,
+            release_barrier: Barrier::DmbSt,
+            per_thread: 60,
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LockResult {
+    /// Total acquisitions.
+    pub acquisitions: u64,
+    /// Cycles until the last thread finished.
+    pub cycles: u64,
+    /// Acquisitions per second at the platform's clock.
+    pub locks_per_sec: f64,
+}
+
+/// Cores used for a lock benchmark: spread across the machine the way the
+/// paper binds threads (one per physical core, filling node 0 first).
+fn competitor_cores(platform: &Platform, threads: usize) -> Vec<usize> {
+    assert!(threads <= platform.topology.core_count(), "not enough cores");
+    (0..threads).collect()
+}
+
+/// Run the ticket-lock benchmark.
+#[must_use]
+pub fn run_ticket(platform: &Platform, cfg: TicketConfig) -> LockResult {
+    let mut m = Machine::new(platform.clone());
+    let cores = competitor_cores(platform, cfg.threads);
+    for (i, &c) in cores.iter().enumerate() {
+        m.add_thread_on(
+            c,
+            Box::new(TicketThread {
+                id: i as u64,
+                iterations: cfg.per_thread,
+                done: 0,
+                global_lines: cfg.global_lines,
+                cs_nops: cfg.cs_nops,
+                post_nops: cfg.post_nops,
+                release_barrier: cfg.release_barrier,
+                state: 0,
+                ticket: 0,
+                cs_step: 0,
+            }),
+        );
+    }
+    let total = cfg.per_thread * cfg.threads as u64;
+    let max_cycles = total * 200_000 + 1_000_000;
+    let stats = m.run(max_cycles);
+    assert!(stats.halted, "ticket benchmark must finish (deadlock otherwise)");
+    // Sanity: the lock really serialized every acquisition.
+    assert_eq!(m.read_memory(NEXT_TICKET), total);
+    assert_eq!(m.read_memory(OWNER), total);
+    let cycles = stats.cycles;
+    LockResult {
+        acquisitions: total,
+        cycles,
+        locks_per_sec: platform.iterations_per_second(total, cycles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_serializes_and_counts() {
+        let p = Platform::kunpeng916();
+        let r = run_ticket(&p, TicketConfig { threads: 4, per_thread: 30, ..Default::default() });
+        assert_eq!(r.acquisitions, 120);
+        assert!(r.locks_per_sec > 0.0);
+    }
+
+    #[test]
+    fn fig7a_unlock_barrier_costs_with_global_lines() {
+        // With global lines in the CS, removing the unlock barrier helps
+        // noticeably (the paper's ~23%); with none it barely matters.
+        let p = Platform::kunpeng916();
+        let run = |lines, barrier| {
+            run_ticket(
+                &p,
+                TicketConfig {
+                    threads: 8,
+                    global_lines: lines,
+                    release_barrier: barrier,
+                    per_thread: 40,
+                    ..Default::default()
+                },
+            )
+            .locks_per_sec
+        };
+        let with_lines_normal = run(2, Barrier::DmbSt);
+        let with_lines_removed = run(2, Barrier::None);
+        let gain_lines = with_lines_removed / with_lines_normal;
+        let no_lines_normal = run(0, Barrier::DmbSt);
+        let no_lines_removed = run(0, Barrier::None);
+        let gain_none = no_lines_removed / no_lines_normal;
+        assert!(gain_lines > 1.05, "barrier after RMRs must cost, gain {gain_lines}");
+        assert!(gain_lines > gain_none, "{gain_lines} vs {gain_none}");
+    }
+
+    #[test]
+    fn fig7a_effect_is_muted_on_mobile() {
+        let gain = |p: &Platform| {
+            let normal = run_ticket(
+                p,
+                TicketConfig {
+                    threads: 4,
+                    global_lines: 2,
+                    release_barrier: Barrier::DmbSt,
+                    per_thread: 40,
+                    ..Default::default()
+                },
+            )
+            .locks_per_sec;
+            let removed = run_ticket(
+                p,
+                TicketConfig {
+                    threads: 4,
+                    global_lines: 2,
+                    release_barrier: Barrier::None,
+                    per_thread: 40,
+                    ..Default::default()
+                },
+            )
+            .locks_per_sec;
+            removed / normal
+        };
+        let server = gain(&Platform::kunpeng916());
+        let mobile = gain(&Platform::kirin960());
+        assert!(server > mobile, "server gain {server} vs mobile {mobile} (Observation 4)");
+    }
+
+    #[test]
+    fn dsb_release_is_the_worst() {
+        let p = Platform::kunpeng916();
+        let run = |barrier| {
+            run_ticket(
+                &p,
+                TicketConfig {
+                    threads: 4,
+                    release_barrier: barrier,
+                    per_thread: 30,
+                    ..Default::default()
+                },
+            )
+            .locks_per_sec
+        };
+        let st = run(Barrier::DmbSt);
+        let dsb = run(Barrier::DsbFull);
+        assert!(dsb < st, "DSB release {dsb} below DMB st {st}");
+    }
+
+    #[test]
+    fn determinism() {
+        let p = Platform::kirin970();
+        let cfg = TicketConfig { threads: 3, per_thread: 25, ..Default::default() };
+        assert_eq!(run_ticket(&p, cfg).cycles, run_ticket(&p, cfg).cycles);
+    }
+}

@@ -1,0 +1,260 @@
+//! The exhaustive DFS explorer.
+//!
+//! A state is: per thread, the set of already-performed instructions (a
+//! bitmask — reordering means it is a set, not a prefix) and its register
+//! file; globally, the memory image. From each state, every *enabled*
+//! instruction of every thread is a transition: instruction `j` is enabled
+//! when all of its ordered predecessors (per
+//! [`MemoryModel::ordered`]) have performed. Performing is atomic against
+//! memory (multi-copy atomicity).
+//!
+//! DFS with memoization over the state graph yields the exact set of final
+//! [`Outcome`]s.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::model::{Instr, MemoryModel, Program, Src};
+
+/// A final state: every thread's register file plus the memory image.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Outcome {
+    /// `regs[t]` = sorted `(reg, value)` pairs of thread `t`.
+    pub regs: Vec<Vec<(u8, u64)>>,
+    /// Sorted `(loc, value)` pairs of every written location.
+    pub memory: Vec<(u8, u64)>,
+}
+
+impl Outcome {
+    /// Value of a register of a thread (0 if the register was never written).
+    #[must_use]
+    pub fn reg(&self, thread: usize, reg: u8) -> u64 {
+        self.regs
+            .get(thread)
+            .and_then(|rs| rs.iter().find(|(r, _)| *r == reg))
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Final value of a location (0 if never written).
+    #[must_use]
+    pub fn mem(&self, loc: u8) -> u64 {
+        self.memory.iter().find(|(l, _)| *l == loc).map_or(0, |&(_, v)| v)
+    }
+}
+
+/// The set of reachable outcomes of a program under a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeSet {
+    /// All distinct final outcomes, sorted for deterministic display.
+    pub outcomes: Vec<Outcome>,
+    /// How many states the DFS visited (diagnostics).
+    pub states_visited: usize,
+}
+
+impl OutcomeSet {
+    /// Does any reachable outcome satisfy `pred`?
+    #[must_use]
+    pub fn any(&self, pred: impl Fn(&Outcome) -> bool) -> bool {
+        self.outcomes.iter().any(pred)
+    }
+
+    /// Do all reachable outcomes satisfy `pred`?
+    #[must_use]
+    pub fn all(&self, pred: impl Fn(&Outcome) -> bool) -> bool {
+        self.outcomes.iter().all(pred)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    /// Performed-instruction bitmask per thread.
+    done: Vec<u64>,
+    /// Register files (sparse, sorted).
+    regs: Vec<BTreeMap<u8, u64>>,
+    /// Memory image (sparse, sorted).
+    memory: BTreeMap<u8, u64>,
+}
+
+/// Exhaustively explore `program` under `model`.
+///
+/// # Panics
+///
+/// Panics if any thread has more than 64 instructions (bitmask bound) —
+/// litmus tests are tiny by construction.
+#[must_use]
+pub fn explore(program: &Program, model: MemoryModel) -> OutcomeSet {
+    for t in &program.threads {
+        assert!(t.instrs.len() <= 64, "litmus threads are limited to 64 instructions");
+    }
+    let init_mem: BTreeMap<u8, u64> = program.init.iter().copied().collect();
+    let start = State {
+        done: vec![0; program.threads.len()],
+        regs: vec![BTreeMap::new(); program.threads.len()],
+        memory: init_mem,
+    };
+
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut outcomes: HashSet<Outcome> = HashSet::new();
+    let mut stack = vec![start];
+
+    while let Some(state) = stack.pop() {
+        if !seen.insert(state.clone()) {
+            continue;
+        }
+        let mut terminal = true;
+        for (tid, thread) in program.threads.iter().enumerate() {
+            for j in 0..thread.instrs.len() {
+                if state.done[tid] & (1 << j) != 0 {
+                    continue;
+                }
+                // Enabled iff every ordered predecessor has performed.
+                let enabled = (0..j).all(|i| {
+                    state.done[tid] & (1 << i) != 0 || !model.ordered(thread, i, j)
+                });
+                if !enabled {
+                    continue;
+                }
+                terminal = false;
+                let mut next = state.clone();
+                next.done[tid] |= 1 << j;
+                match &thread.instrs[j] {
+                    Instr::Load { reg, loc, .. } => {
+                        let v = *next.memory.get(loc).unwrap_or(&0);
+                        next.regs[tid].insert(*reg, v);
+                    }
+                    Instr::Store { loc, src, .. } => {
+                        let v = match src {
+                            Src::Const(v) | Src::DepConst { value: v, .. } => *v,
+                            Src::Reg(r) => *next.regs[tid].get(r).unwrap_or(&0),
+                        };
+                        next.memory.insert(*loc, v);
+                    }
+                    Instr::Fence(_) => {}
+                }
+                stack.push(next);
+            }
+        }
+        if terminal {
+            outcomes.insert(Outcome {
+                regs: state
+                    .regs
+                    .iter()
+                    .map(|m| m.iter().map(|(&r, &v)| (r, v)).collect())
+                    .collect(),
+                memory: state.memory.iter().map(|(&l, &v)| (l, v)).collect(),
+            });
+        }
+    }
+
+    let mut sorted: Vec<Outcome> = outcomes.into_iter().collect();
+    sorted.sort();
+    OutcomeSet { outcomes: sorted, states_visited: seen.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Thread;
+    use armbar_barriers::Barrier;
+
+    fn prog(threads: Vec<Vec<Instr>>) -> Program {
+        Program { threads: threads.into_iter().map(|instrs| Thread { instrs }).collect(), init: vec![] }
+    }
+
+    #[test]
+    fn single_thread_sequential_result() {
+        let p = prog(vec![vec![Instr::store(0, 1), Instr::load(0, 0)]]);
+        // Same location: ordered; load must see 1.
+        let out = explore(&p, MemoryModel::ArmWmm);
+        assert!(out.all(|o| o.reg(0, 0) == 1));
+    }
+
+    #[test]
+    fn store_buffering_allowed_everywhere_except_sc() {
+        // SB: T0: x=1; r0=y.  T1: y=1; r0=x.  r0==0 && r0==0 is the TSO
+        // (and WMM) relaxed outcome; SC forbids it.
+        let p = prog(vec![
+            vec![Instr::store(0, 1), Instr::load(0, 1)],
+            vec![Instr::store(1, 1), Instr::load(0, 0)],
+        ]);
+        let bad = |o: &Outcome| o.reg(0, 0) == 0 && o.reg(1, 0) == 0;
+        assert!(explore(&p, MemoryModel::ArmWmm).any(bad));
+        assert!(explore(&p, MemoryModel::X86Tso).any(bad));
+        assert!(!explore(&p, MemoryModel::Sc).any(bad));
+    }
+
+    #[test]
+    fn sb_with_full_barriers_forbidden() {
+        let p = prog(vec![
+            vec![Instr::store(0, 1), Instr::Fence(Barrier::DmbFull), Instr::load(0, 1)],
+            vec![Instr::store(1, 1), Instr::Fence(Barrier::DmbFull), Instr::load(0, 0)],
+        ]);
+        let bad = |o: &Outcome| o.reg(0, 0) == 0 && o.reg(1, 0) == 0;
+        assert!(!explore(&p, MemoryModel::ArmWmm).any(bad));
+    }
+
+    #[test]
+    fn message_passing_relaxed_only_under_wmm() {
+        // MP: T0: data=23; flag=1.  T1: r0=flag; r1=data.
+        let p = prog(vec![
+            vec![Instr::store(0, 23), Instr::store(1, 1)],
+            vec![Instr::load(0, 1), Instr::load(1, 0)],
+        ]);
+        let bad = |o: &Outcome| o.reg(1, 0) == 1 && o.reg(1, 1) != 23;
+        assert!(explore(&p, MemoryModel::ArmWmm).any(bad), "WMM allows");
+        assert!(!explore(&p, MemoryModel::X86Tso).any(bad), "TSO forbids");
+        assert!(!explore(&p, MemoryModel::Sc).any(bad));
+    }
+
+    #[test]
+    fn load_buffering_relaxed_under_wmm_only() {
+        // LB: T0: r0=x; y=1.  T1: r0=y; x=1.  Both reads 1 is WMM-only.
+        let p = prog(vec![
+            vec![Instr::load(0, 0), Instr::store(1, 1)],
+            vec![Instr::load(0, 1), Instr::store(0, 1)],
+        ]);
+        let bad = |o: &Outcome| o.reg(0, 0) == 1 && o.reg(1, 0) == 1;
+        assert!(explore(&p, MemoryModel::ArmWmm).any(bad));
+        assert!(!explore(&p, MemoryModel::X86Tso).any(bad));
+    }
+
+    #[test]
+    fn lb_with_data_deps_forbidden() {
+        let p = prog(vec![
+            vec![Instr::load(0, 0), Instr::store_data_dep(1, 1, 0)],
+            vec![Instr::load(0, 1), Instr::store_data_dep(0, 1, 0)],
+        ]);
+        let bad = |o: &Outcome| o.reg(0, 0) == 1 && o.reg(1, 0) == 1;
+        assert!(!explore(&p, MemoryModel::ArmWmm).any(bad));
+    }
+
+    #[test]
+    fn outcome_helpers_default_to_zero() {
+        let p = prog(vec![vec![Instr::store(3, 9)]]);
+        let out = explore(&p, MemoryModel::Sc);
+        assert_eq!(out.outcomes.len(), 1);
+        assert_eq!(out.outcomes[0].mem(3), 9);
+        assert_eq!(out.outcomes[0].mem(7), 0);
+        assert_eq!(out.outcomes[0].reg(0, 0), 0);
+    }
+
+    #[test]
+    fn init_values_are_respected() {
+        let p = Program {
+            threads: vec![Thread { instrs: vec![Instr::load(0, 5)] }],
+            init: vec![(5, 77)],
+        };
+        let out = explore(&p, MemoryModel::ArmWmm);
+        assert!(out.all(|o| o.reg(0, 0) == 77));
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let p = prog(vec![
+            vec![Instr::store(0, 1), Instr::store(1, 2), Instr::load(0, 2)],
+            vec![Instr::store(2, 3), Instr::load(0, 0), Instr::load(1, 1)],
+        ]);
+        let a = explore(&p, MemoryModel::ArmWmm);
+        let b = explore(&p, MemoryModel::ArmWmm);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+}

@@ -1,0 +1,308 @@
+//! The litmus-test suite.
+//!
+//! Classic shapes parameterized by the order-preserving approach under
+//! test, so every cell of the paper's Table 3 can be checked: the
+//! recommended approach must make the relaxed outcome unreachable, and the
+//! too-weak approaches must leave it reachable.
+//!
+//! Locations: `0 = data/x`, `1 = flag/y` by convention below.
+
+use armbar_barriers::{AccessType, Barrier};
+
+use crate::explore::{explore, Outcome};
+use crate::model::{Instr, MemoryModel, Program, Thread};
+
+/// A named litmus test: a program plus the *relaxed* (weak-model-only)
+/// outcome predicate.
+pub struct LitmusTest {
+    /// Human-readable name, e.g. `"MP"` or `"MP+dmb.st+dmb.ld"`.
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// The interesting relaxed outcome.
+    pub relaxed: Box<dyn Fn(&Outcome) -> bool + Send + Sync>,
+}
+
+impl LitmusTest {
+    /// Is the relaxed outcome reachable under `model`?
+    #[must_use]
+    pub fn allowed(&self, model: MemoryModel) -> bool {
+        explore(&self.program, model).any(|o| (self.relaxed)(o))
+    }
+}
+
+fn thread(instrs: Vec<Instr>) -> Thread {
+    Thread { instrs }
+}
+
+/// How an ordering approach is woven into a litmus thread between an
+/// earlier and a later access.
+fn weave(approach: Barrier, earlier: Instr, later: Instr) -> Vec<Instr> {
+    match approach {
+        Barrier::None => vec![earlier, later],
+        Barrier::Ldar => {
+            let Instr::Load { reg, loc, addr_dep, .. } = earlier else {
+                panic!("LDAR requires the earlier access to be a load");
+            };
+            vec![Instr::Load { reg, loc, acquire: true, addr_dep }, later]
+        }
+        Barrier::Stlr => {
+            let Instr::Store { loc, src, addr_dep, ctrl_dep, .. } = later else {
+                panic!("STLR requires the later access to be a store");
+            };
+            vec![earlier, Instr::Store { loc, src, release: true, addr_dep, ctrl_dep }]
+        }
+        Barrier::DataDep => {
+            let (Instr::Load { reg, .. }, Instr::Store { loc, src, release, addr_dep, ctrl_dep }) =
+                (&earlier, &later)
+            else {
+                panic!("DATA DEP requires load -> store");
+            };
+            let value = match src {
+                crate::model::Src::Const(v) | crate::model::Src::DepConst { value: v, .. } => *v,
+                crate::model::Src::Reg(_) => panic!("store value must be constant here"),
+            };
+            vec![
+                earlier,
+                Instr::Store {
+                    loc: *loc,
+                    src: crate::model::Src::DepConst { reg: *reg, value },
+                    release: *release,
+                    addr_dep: *addr_dep,
+                    ctrl_dep: *ctrl_dep,
+                },
+            ]
+        }
+        Barrier::AddrDep => {
+            let Instr::Load { reg, .. } = &earlier else {
+                panic!("ADDR DEP requires the earlier access to be a load");
+            };
+            let dep = Some(*reg);
+            let later = match later {
+                Instr::Load { reg, loc, acquire, .. } => {
+                    Instr::Load { reg, loc, acquire, addr_dep: dep }
+                }
+                Instr::Store { loc, src, release, ctrl_dep, .. } => {
+                    Instr::Store { loc, src, release, addr_dep: dep, ctrl_dep }
+                }
+                Instr::Fence(_) => panic!("cannot address-depend a fence"),
+            };
+            vec![earlier, later]
+        }
+        Barrier::Ctrl => {
+            let Instr::Load { reg, .. } = &earlier else {
+                panic!("CTRL requires the earlier access to be a load");
+            };
+            let Instr::Store { loc, src, release, addr_dep, .. } = later else {
+                panic!("CTRL orders load -> store only");
+            };
+            vec![
+                earlier.clone(),
+                Instr::Store { loc, src, release, addr_dep, ctrl_dep: Some(*reg) },
+            ]
+        }
+        fence => vec![earlier, Instr::Fence(fence), later],
+    }
+}
+
+/// **Table 1 / MP**: producer stores `data = 23` then `flag = 1` (ordered by
+/// `producer_barrier`); consumer loads `flag` then `data` (ordered by
+/// `consumer_barrier`). Relaxed outcome: consumer saw the flag but stale
+/// data (`local != 23`).
+#[must_use]
+pub fn message_passing(producer_barrier: Barrier, consumer_barrier: Barrier) -> LitmusTest {
+    let producer = weave(producer_barrier, Instr::store(0, 23), Instr::store(1, 1));
+    let consumer = weave(consumer_barrier, Instr::load(0, 1), Instr::load(1, 0));
+    LitmusTest {
+        name: format!("MP+{producer_barrier}+{consumer_barrier}"),
+        program: Program { threads: vec![thread(producer), thread(consumer)], init: vec![] },
+        relaxed: Box::new(|o| o.reg(1, 0) == 1 && o.reg(1, 1) != 23),
+    }
+}
+
+/// **SB** (store buffering / Dekker): each thread stores its own location
+/// then loads the other's. Relaxed outcome: both load 0.
+#[must_use]
+pub fn store_buffering(barrier: Barrier) -> LitmusTest {
+    let t0 = weave(barrier, Instr::store(0, 1), Instr::load(0, 1));
+    let t1 = weave(barrier, Instr::store(1, 1), Instr::load(0, 0));
+    LitmusTest {
+        name: format!("SB+{barrier}"),
+        program: Program { threads: vec![thread(t0), thread(t1)], init: vec![] },
+        relaxed: Box::new(|o| o.reg(0, 0) == 0 && o.reg(1, 0) == 0),
+    }
+}
+
+/// **LB** (load buffering): each thread loads the other's location then
+/// stores its own. Relaxed outcome: both load 1 ("out of thin air"-adjacent,
+/// but reachable by plain reordering).
+#[must_use]
+pub fn load_buffering(barrier: Barrier) -> LitmusTest {
+    let t0 = weave(barrier, Instr::load(0, 0), Instr::store(1, 1));
+    let t1 = weave(barrier, Instr::load(0, 1), Instr::store(0, 1));
+    LitmusTest {
+        name: format!("LB+{barrier}"),
+        program: Program { threads: vec![thread(t0), thread(t1)], init: vec![] },
+        relaxed: Box::new(|o| o.reg(0, 0) == 1 && o.reg(1, 0) == 1),
+    }
+}
+
+/// **Pilot/MP**: the Pilot transformation of MP — flag and payload share one
+/// single-copy-atomic location, so the producer is a *single* store and the
+/// consumer a *single* load, with no barrier anywhere. Relaxed outcome:
+/// consumer observes a "new" (non-initial) value that is not the payload —
+/// unreachable by construction.
+#[must_use]
+pub fn pilot_message_passing() -> LitmusTest {
+    // Location 0 holds flag+data fused; initial value 0, payload 23.
+    let producer = vec![Instr::store(0, 23)];
+    let consumer = vec![Instr::load(0, 0)];
+    LitmusTest {
+        name: "MP+pilot".to_string(),
+        program: Program { threads: vec![thread(producer), thread(consumer)], init: vec![] },
+        relaxed: Box::new(|o| o.reg(1, 0) != 0 && o.reg(1, 0) != 23),
+    }
+}
+
+/// The ordering shape a Table 3 cell asks about, as a checkable litmus test:
+/// does `approach` order `earlier -> later` in the observing thread?
+///
+/// * `Load -> Load`: MP consumer side (producer uses a known-good DMB st).
+/// * `Load -> Store`: LB with the approach on both threads.
+/// * `Store -> Store`: MP producer side (consumer uses a known-good DMB ld).
+/// * `Store -> Load`: SB with the approach on both threads.
+#[must_use]
+pub fn table3_cell(earlier: AccessType, later: AccessType, approach: Barrier) -> LitmusTest {
+    match (earlier, later) {
+        (AccessType::Load, AccessType::Load) => message_passing(Barrier::DmbSt, approach),
+        (AccessType::Load, AccessType::Store) => load_buffering(approach),
+        (AccessType::Store, AccessType::Store) => message_passing(approach, Barrier::DmbLd),
+        (AccessType::Store, AccessType::Load) => store_buffering(approach),
+    }
+}
+
+/// Run a whole Table 3 verdict: `true` when `approach` forbids the relaxed
+/// outcome of the `earlier -> later` cell under ARM WMM.
+#[must_use]
+pub fn approach_suffices(earlier: AccessType, later: AccessType, approach: Barrier) -> bool {
+    !table3_cell(earlier, later, approach).allowed(MemoryModel::ArmWmm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessType::{Load, Store};
+
+    #[test]
+    fn table1_exactly() {
+        // "TSO Forbidden / WMM Allowed" for local != 23.
+        let t = message_passing(Barrier::None, Barrier::None);
+        assert!(t.allowed(MemoryModel::ArmWmm));
+        assert!(!t.allowed(MemoryModel::X86Tso));
+        assert!(!t.allowed(MemoryModel::Sc));
+    }
+
+    #[test]
+    fn mp_fixed_by_dmb_st_plus_dmb_ld() {
+        assert!(!message_passing(Barrier::DmbSt, Barrier::DmbLd).allowed(MemoryModel::ArmWmm));
+    }
+
+    #[test]
+    fn mp_needs_both_sides() {
+        assert!(message_passing(Barrier::DmbSt, Barrier::None).allowed(MemoryModel::ArmWmm));
+        assert!(message_passing(Barrier::None, Barrier::DmbLd).allowed(MemoryModel::ArmWmm));
+    }
+
+    #[test]
+    fn mp_fixed_by_stlr_plus_ldar() {
+        assert!(!message_passing(Barrier::Stlr, Barrier::Ldar).allowed(MemoryModel::ArmWmm));
+    }
+
+    #[test]
+    fn mp_consumer_addr_dep_works() {
+        assert!(!message_passing(Barrier::DmbSt, Barrier::AddrDep).allowed(MemoryModel::ArmWmm));
+    }
+
+    #[test]
+    fn mp_consumer_ctrl_isb_works_but_plain_isb_does_not() {
+        assert!(!message_passing(Barrier::DmbSt, Barrier::CtrlIsb).allowed(MemoryModel::ArmWmm));
+        assert!(message_passing(Barrier::DmbSt, Barrier::Isb).allowed(MemoryModel::ArmWmm));
+    }
+
+    #[test]
+    fn sb_requires_a_full_barrier() {
+        assert!(store_buffering(Barrier::None).allowed(MemoryModel::ArmWmm));
+        assert!(store_buffering(Barrier::DmbSt).allowed(MemoryModel::ArmWmm), "st too weak");
+        assert!(store_buffering(Barrier::DmbLd).allowed(MemoryModel::ArmWmm), "ld too weak");
+        assert!(!store_buffering(Barrier::DmbFull).allowed(MemoryModel::ArmWmm));
+        assert!(!store_buffering(Barrier::DsbFull).allowed(MemoryModel::ArmWmm));
+    }
+
+    #[test]
+    fn lb_fixed_by_any_load_rooted_approach() {
+        for a in [
+            Barrier::DataDep,
+            Barrier::AddrDep,
+            Barrier::Ctrl,
+            Barrier::CtrlIsb,
+            Barrier::Ldar,
+            Barrier::DmbLd,
+            Barrier::DmbFull,
+        ] {
+            assert!(!load_buffering(a).allowed(MemoryModel::ArmWmm), "{a} must fix LB");
+        }
+        assert!(load_buffering(Barrier::None).allowed(MemoryModel::ArmWmm));
+    }
+
+    #[test]
+    fn pilot_mp_is_correct_with_no_barriers_at_all() {
+        let t = pilot_message_passing();
+        assert!(!t.allowed(MemoryModel::ArmWmm));
+        // And the consumer either sees old or new, never anything else —
+        // single-copy atomicity in action.
+        let outs = explore(&t.program, MemoryModel::ArmWmm);
+        assert!(outs.all(|o| o.reg(1, 0) == 0 || o.reg(1, 0) == 23));
+    }
+
+    #[test]
+    fn every_preferred_table3_recommendation_suffices() {
+        use armbar_barriers::advisor::{recommend, Approach, OrderReq};
+        for earlier in [Load, Store] {
+            for later in [Load, Store] {
+                let rec = recommend(OrderReq::pair(earlier, later));
+                for a in &rec.preferred {
+                    let b = match a {
+                        Approach::Use(b) => *b,
+                        Approach::MeasureAgainst { candidate, .. } => *candidate,
+                    };
+                    // CTRL and DATA DEP only weave into load->store shapes.
+                    if matches!(b, Barrier::Ctrl | Barrier::DataDep)
+                        && !(earlier == Load && later == Store)
+                    {
+                        continue;
+                    }
+                    // LDAR weaves only when the earlier access is a load;
+                    // STLR only when the later is a store.
+                    if b == Barrier::Ldar && earlier != Load {
+                        continue;
+                    }
+                    if b == Barrier::Stlr && later != Store {
+                        continue;
+                    }
+                    assert!(
+                        approach_suffices(earlier, later, b),
+                        "{b} recommended for {earlier}->{later} but explorer finds a violation"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_weak_approaches_fail_their_cells() {
+        // DMB st cannot order loads; DMB ld cannot order stores.
+        assert!(!approach_suffices(Load, Load, Barrier::DmbSt));
+        assert!(!approach_suffices(Store, Store, Barrier::DmbLd));
+        assert!(!approach_suffices(Store, Load, Barrier::DmbSt));
+    }
+}

@@ -1,0 +1,208 @@
+//! Witness extraction: not just *whether* an outcome is reachable, but a
+//! concrete global execution order that reaches it — the explorer's
+//! equivalent of a herd7 counter-example trace.
+//!
+//! [`find_witness`] repeats the DFS carrying the path (thread, instruction
+//! index) and returns the first complete execution whose final state
+//! satisfies the predicate.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::explore::Outcome;
+use crate::model::{Instr, MemoryModel, Program, Src};
+
+/// One step of a witness: thread `tid` performed its instruction `idx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// Thread index.
+    pub tid: usize,
+    /// Instruction index in that thread's program order.
+    pub idx: usize,
+}
+
+/// A complete execution order plus its final outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Global perform order.
+    pub steps: Vec<WitnessStep>,
+    /// The outcome it reaches.
+    pub outcome: Outcome,
+}
+
+impl Witness {
+    /// Render the execution with per-step annotations.
+    #[must_use]
+    pub fn render(&self, program: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (n, s) in self.steps.iter().enumerate() {
+            let instr = &program.threads[s.tid].instrs[s.idx];
+            let desc = match instr {
+                Instr::Load { reg, loc, acquire, .. } => format!(
+                    "r{reg} = [{loc}]{}",
+                    if *acquire { " (acquire)" } else { "" }
+                ),
+                Instr::Store { loc, src, release, .. } => {
+                    let v = match src {
+                        Src::Const(v) | Src::DepConst { value: v, .. } => format!("{v}"),
+                        Src::Reg(r) => format!("r{r}"),
+                    };
+                    format!("[{loc}] = {v}{}", if *release { " (release)" } else { "" })
+                }
+                Instr::Fence(f) => format!("fence {f}"),
+            };
+            let _ = writeln!(out, "{n:>3}. T{} #{:<2} {desc}", s.tid, s.idx);
+        }
+        out
+    }
+
+    /// The perform order restricted to one thread — useful for spotting
+    /// which instructions ran out of program order.
+    #[must_use]
+    pub fn thread_order(&self, tid: usize) -> Vec<usize> {
+        self.steps.iter().filter(|s| s.tid == tid).map(|s| s.idx).collect()
+    }
+
+    /// Whether thread `tid` performed anything out of program order.
+    #[must_use]
+    pub fn reordered(&self, tid: usize) -> bool {
+        let order = self.thread_order(tid);
+        order.windows(2).any(|w| w[0] > w[1])
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    done: Vec<u64>,
+    regs: Vec<BTreeMap<u8, u64>>,
+    memory: BTreeMap<u8, u64>,
+}
+
+/// Find a complete execution under `model` whose final outcome satisfies
+/// `pred`, or `None` when no such execution exists (the outcome is
+/// forbidden).
+#[must_use]
+pub fn find_witness(
+    program: &Program,
+    model: MemoryModel,
+    pred: impl Fn(&Outcome) -> bool,
+) -> Option<Witness> {
+    for t in &program.threads {
+        assert!(t.instrs.len() <= 64, "litmus threads are limited to 64 instructions");
+    }
+    let start = State {
+        done: vec![0; program.threads.len()],
+        regs: vec![BTreeMap::new(); program.threads.len()],
+        memory: program.init.iter().copied().collect(),
+    };
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut stack: Vec<(State, Vec<WitnessStep>)> = vec![(start, Vec::new())];
+    while let Some((state, path)) = stack.pop() {
+        if !seen.insert(state.clone()) {
+            continue;
+        }
+        let mut terminal = true;
+        for (tid, thread) in program.threads.iter().enumerate() {
+            for idx in 0..thread.instrs.len() {
+                if state.done[tid] & (1 << idx) != 0 {
+                    continue;
+                }
+                let enabled = (0..idx)
+                    .all(|i| state.done[tid] & (1 << i) != 0 || !model.ordered(thread, i, idx));
+                if !enabled {
+                    continue;
+                }
+                terminal = false;
+                let mut next = state.clone();
+                next.done[tid] |= 1 << idx;
+                match &thread.instrs[idx] {
+                    Instr::Load { reg, loc, .. } => {
+                        let v = *next.memory.get(loc).unwrap_or(&0);
+                        next.regs[tid].insert(*reg, v);
+                    }
+                    Instr::Store { loc, src, .. } => {
+                        let v = match src {
+                            Src::Const(v) | Src::DepConst { value: v, .. } => *v,
+                            Src::Reg(r) => *next.regs[tid].get(r).unwrap_or(&0),
+                        };
+                        next.memory.insert(*loc, v);
+                    }
+                    Instr::Fence(_) => {}
+                }
+                let mut next_path = path.clone();
+                next_path.push(WitnessStep { tid, idx });
+                stack.push((next, next_path));
+            }
+        }
+        if terminal {
+            let outcome = Outcome {
+                regs: state
+                    .regs
+                    .iter()
+                    .map(|m| m.iter().map(|(&r, &v)| (r, v)).collect())
+                    .collect(),
+                memory: state.memory.iter().map(|(&l, &v)| (l, v)).collect(),
+            };
+            if pred(&outcome) {
+                return Some(Witness { steps: path, outcome });
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: a witness for a [`LitmusTest`](crate::litmus::LitmusTest)'s
+/// relaxed outcome.
+#[must_use]
+pub fn witness_for(test: &crate::litmus::LitmusTest, model: MemoryModel) -> Option<Witness> {
+    find_witness(&test.program, model, |o| (test.relaxed)(o))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::{load_buffering, message_passing};
+    use armbar_barriers::Barrier;
+
+    #[test]
+    fn mp_witness_exists_under_wmm_and_shows_the_reorder() {
+        let t = message_passing(Barrier::None, Barrier::None);
+        let w = witness_for(&t, MemoryModel::ArmWmm).expect("MP is WMM-allowed");
+        // Some thread must have run out of program order.
+        assert!(w.reordered(0) || w.reordered(1), "{}", w.render(&t.program));
+        assert!((t.relaxed)(&w.outcome));
+        assert_eq!(w.steps.len(), 4, "all four instructions perform");
+    }
+
+    #[test]
+    fn no_witness_once_fixed() {
+        let t = message_passing(Barrier::DmbSt, Barrier::DmbLd);
+        assert!(witness_for(&t, MemoryModel::ArmWmm).is_none());
+    }
+
+    #[test]
+    fn no_witness_under_tso() {
+        let t = message_passing(Barrier::None, Barrier::None);
+        assert!(witness_for(&t, MemoryModel::X86Tso).is_none());
+    }
+
+    #[test]
+    fn witness_render_lists_every_step() {
+        let t = load_buffering(Barrier::None);
+        let w = witness_for(&t, MemoryModel::ArmWmm).expect("LB allowed");
+        let text = w.render(&t.program);
+        assert_eq!(text.lines().count(), w.steps.len());
+        assert!(text.contains("T0"));
+        assert!(text.contains("T1"));
+    }
+
+    #[test]
+    fn thread_order_projection() {
+        let t = message_passing(Barrier::None, Barrier::None);
+        let w = witness_for(&t, MemoryModel::ArmWmm).unwrap();
+        for tid in 0..2 {
+            let order = w.thread_order(tid);
+            assert_eq!(order.len(), t.program.threads[tid].instrs.len());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The PARSEC-dedup-like pipeline with each queue variant, verified
+//! end-to-end (the archive decompresses back to the original input).
+//!
+//! ```sh
+//! cargo run --release --example dedup_pipeline
+//! ```
+
+use armbar::dedup::{generate_input, run_pipeline, QueueKind, WorkloadSize};
+
+fn main() {
+    let input = generate_input(WorkloadSize::Small, 40, 0xD00D);
+    println!(
+        "input: {} MiB, ~40% redundant blocks\n",
+        input.len() >> 20
+    );
+    for kind in QueueKind::ALL {
+        let (archive, stats) = run_pipeline(&input, kind);
+        let restored = archive.unpack().expect("archive must decompress");
+        assert_eq!(restored, input, "lossless end to end");
+        println!(
+            "  {:<5} {:>7.1} MB/s   {:>6} chunks, {:>5} duplicates, {:>5.1}% of input size",
+            kind.label(),
+            stats.mb_per_s,
+            stats.chunks,
+            stats.duplicates,
+            100.0 * stats.compressed_bytes as f64 / stats.input_bytes as f64,
+        );
+    }
+    println!("\nAll three pipelines produced identical, verified archives;");
+    println!("only the inter-stage queue differs (Figure 6d compares them).");
+}

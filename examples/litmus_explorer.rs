@@ -1,0 +1,67 @@
+//! Run the classic litmus tests under every approach the paper studies and
+//! print an allowed/forbidden matrix — the semantic side of Table 3.
+//!
+//! ```sh
+//! cargo run --release --example litmus_explorer
+//! ```
+
+use armbar::prelude::*;
+use armbar::wmm::litmus::{load_buffering, message_passing, store_buffering};
+
+fn verdict(allowed: bool) -> &'static str {
+    if allowed {
+        "allowed"
+    } else {
+        "forbidden"
+    }
+}
+
+fn main() {
+    println!("Exhaustive exploration under the ARM WMM operational model\n");
+
+    println!("MP (message passing): can the consumer see the flag but stale data?");
+    for (p, c) in [
+        (Barrier::None, Barrier::None),
+        (Barrier::DmbSt, Barrier::None),
+        (Barrier::None, Barrier::DmbLd),
+        (Barrier::DmbSt, Barrier::DmbLd),
+        (Barrier::Stlr, Barrier::Ldar),
+        (Barrier::DmbSt, Barrier::AddrDep),
+        (Barrier::DmbSt, Barrier::CtrlIsb),
+        (Barrier::DmbSt, Barrier::Isb),
+    ] {
+        let t = message_passing(p, c);
+        println!("  producer {p:<10} consumer {c:<10} -> {}", verdict(t.allowed(MemoryModel::ArmWmm)));
+    }
+
+    println!("\nSB (store buffering): can both threads read 0?");
+    for b in [Barrier::None, Barrier::DmbSt, Barrier::DmbLd, Barrier::DmbFull, Barrier::DsbFull] {
+        let t = store_buffering(b);
+        println!("  {b:<10} -> {}", verdict(t.allowed(MemoryModel::ArmWmm)));
+    }
+
+    println!("\nLB (load buffering): can both threads read 1?");
+    for b in [Barrier::None, Barrier::DataDep, Barrier::Ctrl, Barrier::Ldar, Barrier::DmbLd] {
+        let t = load_buffering(b);
+        println!("  {b:<10} -> {}", verdict(t.allowed(MemoryModel::ArmWmm)));
+    }
+
+    println!("\nWitness for the MP relaxation (a concrete reordered execution):");
+    let mp_free = message_passing(Barrier::None, Barrier::None);
+    if let Some(w) = armbar::wmm::witness::witness_for(&mp_free, MemoryModel::ArmWmm) {
+        print!("{}", w.render(&mp_free.program));
+        for tid in 0..2 {
+            if w.reordered(tid) {
+                println!("  -> thread {tid} performed out of program order");
+            }
+        }
+    }
+
+    println!("\nThe same tests under x86-TSO:");
+    let mp = message_passing(Barrier::None, Barrier::None);
+    let sb = store_buffering(Barrier::None);
+    let lb = load_buffering(Barrier::None);
+    println!("  MP -> {}", verdict(mp.allowed(MemoryModel::X86Tso)));
+    println!("  SB -> {}  (the one reordering TSO permits)", verdict(sb.allowed(MemoryModel::X86Tso)));
+    println!("  LB -> {}", verdict(lb.allowed(MemoryModel::X86Tso)));
+}

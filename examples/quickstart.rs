@@ -1,0 +1,57 @@
+//! Quickstart: the three faces of the library in ~60 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use armbar::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Semantics — Table 1 on the exhaustive weak-memory explorer.
+    // ------------------------------------------------------------------
+    println!("Table 1: message passing, no barriers");
+    let mp = armbar::wmm::litmus::message_passing(Barrier::None, Barrier::None);
+    println!("  ARM WMM allows `local != 23`: {}", mp.allowed(MemoryModel::ArmWmm));
+    println!("  x86 TSO allows it:            {}", mp.allowed(MemoryModel::X86Tso));
+
+    let fixed = armbar::wmm::litmus::message_passing(Barrier::DmbSt, Barrier::DmbLd);
+    println!("  …with DMB st + DMB ld:        {}", fixed.allowed(MemoryModel::ArmWmm));
+
+    // ------------------------------------------------------------------
+    // 2. Performance — the paper's abstracted model on the simulated
+    //    Kunpeng916 server, threads in different NUMA nodes.
+    // ------------------------------------------------------------------
+    println!("\nAbstracted model (store->store, 700 nops, cross-node):");
+    for (label, barrier, loc) in [
+        ("No Barrier ", Barrier::None, BarrierLoc::BeforeOp2),
+        ("DMB full-1 ", Barrier::DmbFull, BarrierLoc::AfterOp1),
+        ("DMB full-2 ", Barrier::DmbFull, BarrierLoc::BeforeOp2),
+        ("DMB st     ", Barrier::DmbSt, BarrierLoc::BeforeOp2),
+        ("DSB full   ", Barrier::DsbFull, BarrierLoc::BeforeOp2),
+        ("STLR       ", Barrier::Stlr, BarrierLoc::BeforeOp2),
+    ] {
+        let r = run_model(
+            BindConfig::KunpengCrossNodes,
+            ModelSpec::store_store(barrier, loc, 700),
+            400,
+        );
+        println!("  {label} {:>8.2}M loops/s", r.loops_per_sec / 1e6);
+    }
+    println!("  (note DMB full-1 ≈ half of DMB full-2: the barrier strictly");
+    println!("   after the remote memory reference is the expensive one)");
+
+    // ------------------------------------------------------------------
+    // 3. Advice — Table 3 as an executable decision procedure.
+    // ------------------------------------------------------------------
+    println!("\nTable 3 advisor:");
+    for (from, to) in [
+        (AccessType::Load, AccessType::Load),
+        (AccessType::Load, AccessType::Store),
+        (AccessType::Store, AccessType::Store),
+        (AccessType::Store, AccessType::Load),
+    ] {
+        let rec = recommend(OrderReq::pair(from, to));
+        println!("  {from:>5} -> {to:<5}: {}", rec.best());
+    }
+}

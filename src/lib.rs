@@ -1,0 +1,8 @@
+//! `armbar` — reproduction of *"No Barrier in the Road: A Comprehensive
+//! Study and Optimization of ARM Barriers"* (PPoPP 2020).
+//!
+//! This is the top-level facade; it re-exports the workspace through
+//! [`armbar_core`]. See `README.md` for the tour and `DESIGN.md` for the
+//! system inventory.
+
+pub use armbar_core::*;
