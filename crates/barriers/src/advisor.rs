@@ -69,7 +69,10 @@ impl fmt::Display for Approach {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Approach::Use(b) => write!(f, "{b}"),
-            Approach::MeasureAgainst { candidate, fallback } => {
+            Approach::MeasureAgainst {
+                candidate,
+                fallback,
+            } => {
                 write!(f, "{candidate} (measure against {fallback} first)")
             }
         }
@@ -183,7 +186,11 @@ pub fn recommend(req: OrderReq) -> Recommendation {
              DMB ld are typically resolved in-core, without a bus transaction \
              (Observation 6)."
         };
-        return Recommendation { preferred, alternatives, rationale };
+        return Recommendation {
+            preferred,
+            alternatives,
+            rationale,
+        };
     }
 
     // Store -> Store(s): DMB st.
@@ -224,8 +231,11 @@ pub fn recommend(req: OrderReq) -> Recommendation {
 #[must_use]
 pub fn table3() -> Vec<(String, String, Recommendation)> {
     use AccessType::{Load, Store};
-    let rows: [(Option<AccessType>, Multiplicity, &str); 3] =
-        [(Some(Load), Multiplicity::One, "Load"), (Some(Store), Multiplicity::One, "Store"), (None, Multiplicity::One, "Any")];
+    let rows: [(Option<AccessType>, Multiplicity, &str); 3] = [
+        (Some(Load), Multiplicity::One, "Load"),
+        (Some(Store), Multiplicity::One, "Store"),
+        (None, Multiplicity::One, "Any"),
+    ];
     let cols: [(Option<AccessType>, Multiplicity, &str); 4] = [
         (Some(Load), Multiplicity::One, "Load"),
         (Some(Load), Multiplicity::Many, "Loads"),
@@ -235,7 +245,12 @@ pub fn table3() -> Vec<(String, String, Recommendation)> {
     let mut out = Vec::new();
     for (from, _, fname) in rows {
         for (to, mult, tname) in cols {
-            let rec = recommend(OrderReq { from, to, to_multiplicity: mult, deps_feasible: true });
+            let rec = recommend(OrderReq {
+                from,
+                to,
+                to_multiplicity: mult,
+                deps_feasible: true,
+            });
             out.push((fname.to_string(), tname.to_string(), rec));
         }
     }
@@ -270,7 +285,10 @@ mod tests {
 
     #[test]
     fn load_rooted_without_deps_prefers_ldar() {
-        let rec = recommend(OrderReq { deps_feasible: false, ..OrderReq::pair(Load, Store) });
+        let rec = recommend(OrderReq {
+            deps_feasible: false,
+            ..OrderReq::pair(Load, Store)
+        });
         assert_eq!(rec.best(), Approach::Use(Barrier::Ldar));
     }
 
@@ -295,7 +313,10 @@ mod tests {
         assert_eq!(rec.best(), Approach::Use(Barrier::DmbFull));
         assert!(rec.preferred.iter().any(|a| matches!(
             a,
-            Approach::MeasureAgainst { candidate: Barrier::Stlr, fallback: Barrier::DmbFull }
+            Approach::MeasureAgainst {
+                candidate: Barrier::Stlr,
+                fallback: Barrier::DmbFull
+            }
         )));
     }
 
@@ -322,8 +343,12 @@ mod tests {
             for to in [Some(Load), Some(Store), None] {
                 for m in [Multiplicity::One, Multiplicity::Many] {
                     for deps in [true, false] {
-                        let req =
-                            OrderReq { from, to, to_multiplicity: m, deps_feasible: deps };
+                        let req = OrderReq {
+                            from,
+                            to,
+                            to_multiplicity: m,
+                            deps_feasible: deps,
+                        };
                         let rec = recommend(req);
                         assert!(!rec.preferred.is_empty());
                         let froms: &[AccessType] = match from {

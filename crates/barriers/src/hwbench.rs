@@ -133,18 +133,23 @@ pub fn run_hw_model(spec: HwSpec, iterations: u64) -> HwResult {
                     HwOps::LoadStore => {
                         loaded = if spec.barrier == Barrier::Ldar {
                             // SAFETY: arena cell is a live aligned AtomicU64.
-                            unsafe {
-                                native::load_acquire_u64(arena[a1].as_ptr().cast_const())
-                            }
+                            unsafe { native::load_acquire_u64(arena[a1].as_ptr().cast_const()) }
                         } else {
                             arena[a1].load(Ordering::Relaxed)
                         };
                     }
                 }
-                let off = if spec.after_first { run_approach(spec.barrier, loaded) } else { 0 };
+                let off = if spec.after_first {
+                    run_approach(spec.barrier, loaded)
+                } else {
+                    0
+                };
                 nop_block(spec.nops);
-                let off2 =
-                    if spec.after_first { 0 } else { run_approach(spec.barrier, loaded) };
+                let off2 = if spec.after_first {
+                    0
+                } else {
+                    run_approach(spec.barrier, loaded)
+                };
                 let slot = a2 + (off + off2) as usize;
                 match spec.ops {
                     HwOps::None => {}
@@ -205,7 +210,12 @@ mod tests {
                 Barrier::Ctrl,
                 Barrier::CtrlIsb,
             ] {
-                let r = quick(HwSpec { ops, barrier, after_first: true, nops: 5 });
+                let r = quick(HwSpec {
+                    ops,
+                    barrier,
+                    after_first: true,
+                    nops: 5,
+                });
                 assert!(r.iterations > 0, "{ops:?}/{barrier}");
                 assert!(r.loops_per_sec > 0.0);
             }
@@ -214,8 +224,12 @@ mod tests {
 
     #[test]
     fn results_scale_with_iterations() {
-        let spec =
-            HwSpec { ops: HwOps::StoreStore, barrier: Barrier::None, after_first: false, nops: 3 };
+        let spec = HwSpec {
+            ops: HwOps::StoreStore,
+            barrier: Barrier::None,
+            after_first: false,
+            nops: 3,
+        };
         let small = run_hw_model(spec, 2_000);
         let large = run_hw_model(spec, 16_000);
         assert!(large.iterations > small.iterations);

@@ -200,7 +200,10 @@ impl Barrier {
     /// radical implementation"), which is why it never halves nop throughput.
     #[must_use]
     pub fn occupies_rob_until_response(self) -> bool {
-        matches!(self, Barrier::DmbFull | Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd)
+        matches!(
+            self,
+            Barrier::DmbFull | Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd
+        )
     }
 
     /// Whether this approach flushes the pipeline (fixed refill cost).
@@ -281,7 +284,12 @@ mod tests {
 
     #[test]
     fn load_barriers_order_load_to_anything() {
-        for b in [Barrier::DmbLd, Barrier::DsbLd, Barrier::Ldar, Barrier::CtrlIsb] {
+        for b in [
+            Barrier::DmbLd,
+            Barrier::DsbLd,
+            Barrier::Ldar,
+            Barrier::CtrlIsb,
+        ] {
             assert!(b.orders(Load, Load));
             assert!(b.orders(Load, Store));
             assert!(!b.orders(Store, Store));
@@ -338,9 +346,20 @@ mod tests {
         ] {
             assert_eq!(b.bus_transaction(), BusTransaction::None, "{b}");
         }
-        assert_eq!(Barrier::DmbFull.bus_transaction(), BusTransaction::MemoryBarrier);
-        assert_eq!(Barrier::DmbSt.bus_transaction(), BusTransaction::MemoryBarrier);
-        for b in [Barrier::DsbFull, Barrier::DsbSt, Barrier::DsbLd, Barrier::Stlr] {
+        assert_eq!(
+            Barrier::DmbFull.bus_transaction(),
+            BusTransaction::MemoryBarrier
+        );
+        assert_eq!(
+            Barrier::DmbSt.bus_transaction(),
+            BusTransaction::MemoryBarrier
+        );
+        for b in [
+            Barrier::DsbFull,
+            Barrier::DsbSt,
+            Barrier::DsbLd,
+            Barrier::Stlr,
+        ] {
             assert_eq!(b.bus_transaction(), BusTransaction::SyncBarrier, "{b}");
         }
     }
@@ -376,7 +395,11 @@ mod tests {
     fn mnemonics_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for b in Barrier::ALL {
-            assert!(seen.insert(b.mnemonic()), "duplicate mnemonic {}", b.mnemonic());
+            assert!(
+                seen.insert(b.mnemonic()),
+                "duplicate mnemonic {}",
+                b.mnemonic()
+            );
         }
     }
 }

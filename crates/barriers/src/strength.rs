@@ -123,13 +123,19 @@ mod tests {
 
     #[test]
     fn cheapest_ordering_for_store_store_is_dmb_st() {
-        assert_eq!(cheapest_ordering(&Barrier::ALL, Store, Store), Some(Barrier::DmbSt));
+        assert_eq!(
+            cheapest_ordering(&Barrier::ALL, Store, Store),
+            Some(Barrier::DmbSt)
+        );
     }
 
     #[test]
     fn cheapest_ordering_for_store_load_is_dmb_full() {
         // Only full barriers order store->load.
-        assert_eq!(cheapest_ordering(&Barrier::ALL, Store, Load), Some(Barrier::DmbFull));
+        assert_eq!(
+            cheapest_ordering(&Barrier::ALL, Store, Load),
+            Some(Barrier::DmbFull)
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ fn ablation_stlr(c: &mut Criterion) {
     let mut bisection = Platform::kunpeng916();
     bisection.latency.t_stlr = bisection.latency.t_membar_bisection;
     g.bench_function("domain_scope", |b| b.iter(|| run_tweaked(&domain, spec)));
-    g.bench_function("bisection_scope", |b| b.iter(|| run_tweaked(&bisection, spec)));
+    g.bench_function("bisection_scope", |b| {
+        b.iter(|| run_tweaked(&bisection, spec))
+    });
     g.finish();
 }
 
@@ -87,5 +89,11 @@ fn ablation_pilot_hash(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablation_rob, ablation_stlr, ablation_storebuf, ablation_pilot_hash);
+criterion_group!(
+    benches,
+    ablation_rob,
+    ablation_stlr,
+    ablation_storebuf,
+    ablation_pilot_hash
+);
 criterion_main!(benches);

@@ -42,7 +42,12 @@ fn bench_litmus(c: &mut Criterion) {
 
 fn bench_fig2(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2_intrinsic");
-    for barrier in [Barrier::None, Barrier::DmbFull, Barrier::Isb, Barrier::DsbFull] {
+    for barrier in [
+        Barrier::None,
+        Barrier::DmbFull,
+        Barrier::Isb,
+        Barrier::DsbFull,
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(barrier.mnemonic()),
             &barrier,
@@ -85,7 +90,13 @@ fn bench_fig3(c: &mut Criterion) {
 
 fn bench_fig4(c: &mut Criterion) {
     c.bench_function("fig4_tipping_point", |b| {
-        b.iter(|| tipping_point(BindConfig::KunpengSameNode, &[100, 150, 300], black_box(0.9)));
+        b.iter(|| {
+            tipping_point(
+                BindConfig::KunpengSameNode,
+                &[100, 150, 300],
+                black_box(0.9),
+            )
+        });
     });
 }
 
@@ -117,17 +128,34 @@ fn bench_fig6(c: &mut Criterion) {
     for (name, variant) in [
         (
             "baseline_ld_st",
-            PcVariant::Baseline(PcBarriers { avail: Barrier::DmbLd, publish: Barrier::DmbSt }),
+            PcVariant::Baseline(PcBarriers {
+                avail: Barrier::DmbLd,
+                publish: Barrier::DmbSt,
+            }),
         ),
         (
             "baseline_full_full",
-            PcVariant::Baseline(PcBarriers { avail: Barrier::DmbFull, publish: Barrier::DmbFull }),
+            PcVariant::Baseline(PcBarriers {
+                avail: Barrier::DmbFull,
+                publish: Barrier::DmbFull,
+            }),
         ),
-        ("pilot", PcVariant::Pilot { avail: Barrier::DmbLd }),
+        (
+            "pilot",
+            PcVariant::Pilot {
+                avail: Barrier::DmbLd,
+            },
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                run_prodcons(BindConfig::KunpengCrossNodes, variant, black_box(200), 1, 40)
+                run_prodcons(
+                    BindConfig::KunpengCrossNodes,
+                    variant,
+                    black_box(200),
+                    1,
+                    40,
+                )
             });
         });
     }
@@ -135,7 +163,9 @@ fn bench_fig6(c: &mut Criterion) {
         b.iter(|| {
             run_prodcons(
                 BindConfig::KunpengCrossNodes,
-                PcVariant::Pilot { avail: Barrier::DmbLd },
+                PcVariant::Pilot {
+                    avail: Barrier::DmbLd,
+                },
                 black_box(200),
                 4,
                 10,
@@ -151,9 +181,13 @@ fn bench_fig6d(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6d_dedup");
     g.sample_size(10);
     for kind in QueueKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| run_pipeline(black_box(&input), kind));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| run_pipeline(black_box(&input), kind));
+            },
+        );
     }
     g.finish();
 }
@@ -176,12 +210,19 @@ fn bench_fig7(c: &mut Criterion) {
             )
         });
     });
-    let best = DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt };
+    let best = DelegationBarriers {
+        req: Barrier::Ldar,
+        resp: Barrier::DmbSt,
+    };
     for (name, kind, mode) in [
         ("fig7b_ffwd_flag", DelegationKind::Ffwd, RespMode::Flag),
         ("fig7c_ffwd_pilot", DelegationKind::Ffwd, RespMode::Pilot),
         ("fig7c_dsynch_flag", DelegationKind::DSynch, RespMode::Flag),
-        ("fig7c_dsynch_pilot", DelegationKind::DSynch, RespMode::Pilot),
+        (
+            "fig7c_dsynch_pilot",
+            DelegationKind::DSynch,
+            RespMode::Pilot,
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
@@ -205,7 +246,10 @@ fn bench_fig7(c: &mut Criterion) {
 
 fn bench_fig8(c: &mut Criterion) {
     let platform = Platform::kunpeng916();
-    let best = DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt };
+    let best = DelegationBarriers {
+        req: Barrier::Ldar,
+        resp: Barrier::DmbSt,
+    };
     let mut g = c.benchmark_group("fig8_datastructs");
     g.sample_size(10);
     for (name, profile) in [
@@ -213,22 +257,26 @@ fn bench_fig8(c: &mut Criterion) {
         ("list_50", CsProfile::sorted_list(50)),
         ("list_500", CsProfile::sorted_list(500)),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, &profile| {
-            b.iter(|| {
-                run_delegation(
-                    &platform,
-                    DelegationConfig {
-                        kind: DelegationKind::DSynch,
-                        clients: 8,
-                        barriers: best,
-                        mode: RespMode::Pilot,
-                        profile,
-                        per_client: black_box(15),
-                        interval_nops: 0,
-                    },
-                )
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &profile,
+            |b, &profile| {
+                b.iter(|| {
+                    run_delegation(
+                        &platform,
+                        DelegationConfig {
+                            kind: DelegationKind::DSynch,
+                            clients: 8,
+                            barriers: best,
+                            mode: RespMode::Pilot,
+                            profile,
+                            per_client: black_box(15),
+                            interval_nops: 0,
+                        },
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }

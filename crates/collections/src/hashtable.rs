@@ -80,7 +80,10 @@ impl<E: Executor<SortedList>> LockedHashTable<E> {
 
     /// Total members across buckets.
     pub fn len(&self, handle: usize) -> u64 {
-        self.buckets.iter().map(|b| b.execute(handle, self.ops.len, 0)).sum()
+        self.buckets
+            .iter()
+            .map(|b| b.execute(handle, self.ops.len, 0))
+            .sum()
     }
 
     /// Whether every bucket is empty.
@@ -95,7 +98,9 @@ mod tests {
     use armbar_locks::TicketLock;
 
     fn ticket_table(buckets: usize, preload: usize) -> LockedHashTable<TicketLock<SortedList>> {
-        LockedHashTable::new(buckets, preload, |_b, list, table| TicketLock::new(list, table))
+        LockedHashTable::new(buckets, preload, |_b, list, table| {
+            TicketLock::new(list, table)
+        })
     }
 
     #[test]

@@ -74,9 +74,14 @@ mod tests {
         // A tiny end-to-end: the advisor's store->store pick, validated by
         // the explorer, then costed by the simulator.
         let rec = recommend(OrderReq::pair(AccessType::Store, AccessType::Store));
-        let Approach::Use(picked) = rec.best() else { panic!("expected a direct pick") };
+        let Approach::Use(picked) = rec.best() else {
+            panic!("expected a direct pick")
+        };
         let cell = armbar_wmm::litmus::table3_cell(AccessType::Store, AccessType::Store, picked);
-        assert!(!cell.allowed(MemoryModel::ArmWmm), "{picked} must fix the MP producer");
+        assert!(
+            !cell.allowed(MemoryModel::ArmWmm),
+            "{picked} must fix the MP producer"
+        );
         let with = run_model(
             BindConfig::KunpengCrossNodes,
             ModelSpec::store_store(picked, BarrierLoc::BeforeOp2, 150),
@@ -87,6 +92,9 @@ mod tests {
             ModelSpec::store_store(Barrier::DsbFull, BarrierLoc::BeforeOp2, 150),
             150,
         );
-        assert!(with.loops_per_sec > stronger.loops_per_sec, "the advice is cheaper than DSB");
+        assert!(
+            with.loops_per_sec > stronger.loops_per_sec,
+            "the advice is cheaper than DSB"
+        );
     }
 }

@@ -22,8 +22,11 @@ pub enum WorkloadSize {
 
 impl WorkloadSize {
     /// All benchmark sizes, in the paper's order.
-    pub const BENCH: [WorkloadSize; 3] =
-        [WorkloadSize::Small, WorkloadSize::Middle, WorkloadSize::Large];
+    pub const BENCH: [WorkloadSize; 3] = [
+        WorkloadSize::Small,
+        WorkloadSize::Middle,
+        WorkloadSize::Large,
+    ];
 
     /// Bytes generated.
     #[must_use]

@@ -2,8 +2,8 @@
 //!
 //! The paper uses PARSEC `dedup` as its macro-benchmark for barriers in
 //! memory-based communication: a pipeline of stages connected by queues,
-//! compressing a stream by content-defined chunking + duplicate elimination
-//! + per-chunk compression. Since file I/O is dedup's usual bottleneck, the
+//! compressing a stream by content-defined chunking + duplicate elimination +
+//! per-chunk compression. Since file I/O is dedup's usual bottleneck, the
 //! paper removes it and gathers output in memory — this crate does the
 //! same: inputs are generated in memory ([`input`]) and output is collected
 //! in memory.

@@ -83,8 +83,9 @@ impl Archive {
                     uniques.push(raw);
                 }
                 ArchiveEntry::Duplicate { of } => {
-                    let raw =
-                        uniques.get(*of).ok_or_else(|| format!("dangling duplicate ref {of}"))?;
+                    let raw = uniques
+                        .get(*of)
+                        .ok_or_else(|| format!("dangling duplicate ref {of}"))?;
                     out.extend_from_slice(raw);
                 }
             }
@@ -134,7 +135,9 @@ impl Arena {
 #[must_use]
 pub fn run_pipeline(input: &[u8], kind: QueueKind) -> (Archive, PipelineStats) {
     let start = Instant::now();
-    let arena = Arena { chunks: Mutex::new(Vec::new()) };
+    let arena = Arena {
+        chunks: Mutex::new(Vec::new()),
+    };
 
     let (mut q1_tx, mut q1_rx) = make_queue(kind, QUEUE_CAPACITY);
     let (mut q2_tx, mut q2_rx) = make_queue(kind, QUEUE_CAPACITY);
@@ -213,9 +216,13 @@ pub fn run_pipeline(input: &[u8], kind: QueueKind) -> (Archive, PipelineStats) {
             chunks_total += 1;
             if tok & (1 << 63) != 0 {
                 duplicates += 1;
-                entries.push(ArchiveEntry::Duplicate { of: (tok & !(1 << 63)) as usize });
+                entries.push(ArchiveEntry::Duplicate {
+                    of: (tok & !(1 << 63)) as usize,
+                });
             } else {
-                entries.push(ArchiveEntry::Unique { data: arena.get(tok) });
+                entries.push(ArchiveEntry::Unique {
+                    data: arena.get(tok),
+                });
             }
         }
 

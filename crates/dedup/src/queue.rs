@@ -12,8 +12,10 @@ use std::sync::{Condvar, Mutex};
 use crossbeam::utils::Backoff;
 
 use armbar_barriers::Barrier;
-use armbar_pilot::{pilot_ring, spsc_ring, BarrierPair, HashPool, PilotReceiverRing,
-                   PilotSenderRing, SpscReceiver, SpscSender};
+use armbar_pilot::{
+    pilot_ring, spsc_ring, BarrierPair, HashPool, PilotReceiverRing, PilotSenderRing, SpscReceiver,
+    SpscSender,
+};
 
 /// Which queue implementation connects two stages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,8 +30,11 @@ pub enum QueueKind {
 
 impl QueueKind {
     /// The figure's three variants, in display order.
-    pub const ALL: [QueueKind; 3] =
-        [QueueKind::LockBased, QueueKind::RingBuffer, QueueKind::RingBufferPilot];
+    pub const ALL: [QueueKind; 3] = [
+        QueueKind::LockBased,
+        QueueKind::RingBuffer,
+        QueueKind::RingBufferPilot,
+    ];
 
     /// Label matching the paper.
     #[must_use]
@@ -59,13 +64,18 @@ pub fn make_queue(kind: QueueKind, capacity: usize) -> (Box<dyn PipeQueue>, Box<
     match kind {
         QueueKind::LockBased => {
             let shared = std::sync::Arc::new(LockQueueShared {
-                inner: Mutex::new(LockQueueInner { items: VecDeque::new(), closed: false }),
+                inner: Mutex::new(LockQueueInner {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
                 capacity,
             });
             (
-                Box::new(LockQueueHandle { shared: shared.clone() }),
+                Box::new(LockQueueHandle {
+                    shared: shared.clone(),
+                }),
                 Box::new(LockQueueHandle { shared }),
             )
         }
@@ -73,7 +83,10 @@ pub fn make_queue(kind: QueueKind, capacity: usize) -> (Box<dyn PipeQueue>, Box<
             let (tx, rx) = spsc_ring(capacity, BarrierPair::LD_ST);
             let closed = std::sync::Arc::new(AtomicBool::new(false));
             (
-                Box::new(RingProducer { tx, closed: closed.clone() }),
+                Box::new(RingProducer {
+                    tx,
+                    closed: closed.clone(),
+                }),
                 Box::new(RingConsumer { rx, closed }),
             )
         }
@@ -82,7 +95,10 @@ pub fn make_queue(kind: QueueKind, capacity: usize) -> (Box<dyn PipeQueue>, Box<
             let (tx, rx) = pilot_ring(capacity, &pool, Barrier::DmbLd);
             let closed = std::sync::Arc::new(AtomicBool::new(false));
             (
-                Box::new(PilotProducer { tx, closed: closed.clone() }),
+                Box::new(PilotProducer {
+                    tx,
+                    closed: closed.clone(),
+                }),
                 Box::new(PilotConsumer { rx, closed }),
             )
         }

@@ -1,8 +1,26 @@
-//! Regenerate every table and figure, in paper order.
+//! Regenerate every table and figure, in paper order, on the sweep
+//! engine: one shared worker pool and run cache across all experiments,
+//! with per-experiment timing and a final cache summary.
+
+use std::time::Instant;
+
+use armbar_experiments::{run_experiment_with, SweepCtx, ALL_EXPERIMENTS};
 
 fn main() {
-    for id in armbar_experiments::ALL_EXPERIMENTS {
+    let ctx = SweepCtx::from_env();
+    let start = Instant::now();
+    for id in ALL_EXPERIMENTS {
         println!("\n########## {id} ##########");
-        assert!(armbar_experiments::run_experiment(id));
+        let t0 = Instant::now();
+        assert!(run_experiment_with(id, &ctx));
+        println!("[{id} took {:.2}s]", t0.elapsed().as_secs_f64());
     }
+    println!(
+        "\nexp-all: {:.2}s on {} worker(s); cache: {} hit(s), {} miss(es), {} store(s)",
+        start.elapsed().as_secs_f64(),
+        ctx.workers,
+        ctx.cache.hits(),
+        ctx.cache.misses(),
+        ctx.cache.stores(),
+    );
 }

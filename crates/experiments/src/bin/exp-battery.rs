@@ -1,0 +1,6 @@
+//! Run the litmus battery on the parallel runner and report explorer
+//! verdicts, state-space sizes, and per-test wall times (see DESIGN.md).
+
+fn main() {
+    assert!(armbar_experiments::run_experiment("battery"));
+}

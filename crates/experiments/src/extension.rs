@@ -15,31 +15,69 @@ use armbar_barriers::Barrier;
 use armbar_sim::Platform;
 use armbar_simapps::abstract_model::{run_model_on, BarrierLoc, ModelSpec};
 
+use crate::cache::cache_key;
 use crate::report::Table;
+use crate::sweep::{CellId, SweepCtx, SweepSpec};
 
 /// The MCA projection over the store→store model, cross-node placement.
 #[must_use]
-pub fn ext_mca() -> Vec<Table> {
+pub fn ext_mca(ctx: &SweepCtx) -> Vec<Table> {
     let specs: [(&str, ModelSpec); 6] = [
-        ("No Barrier", ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, 150)),
-        ("DMB full-1", ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::AfterOp1, 150)),
-        ("DMB full-2", ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, 150)),
-        ("DMB st-1", ModelSpec::store_store(Barrier::DmbSt, BarrierLoc::AfterOp1, 150)),
-        ("DSB full-1", ModelSpec::store_store(Barrier::DsbFull, BarrierLoc::AfterOp1, 150)),
-        ("STLR", ModelSpec::store_store(Barrier::Stlr, BarrierLoc::BeforeOp2, 150)),
+        (
+            "No Barrier",
+            ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, 150),
+        ),
+        (
+            "DMB full-1",
+            ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::AfterOp1, 150),
+        ),
+        (
+            "DMB full-2",
+            ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, 150),
+        ),
+        (
+            "DMB st-1",
+            ModelSpec::store_store(Barrier::DmbSt, BarrierLoc::AfterOp1, 150),
+        ),
+        (
+            "DSB full-1",
+            ModelSpec::store_store(Barrier::DsbFull, BarrierLoc::AfterOp1, 150),
+        ),
+        (
+            "STLR",
+            ModelSpec::store_store(Barrier::Stlr, BarrierLoc::BeforeOp2, 150),
+        ),
     ];
     let measured = Platform::kunpeng916();
     let mca = Platform::kunpeng916_mca();
+    let mut sweep = SweepSpec::new("ext-mca");
+    let rows: Vec<(&str, CellId, CellId)> = specs
+        .iter()
+        .map(|&(name, spec)| {
+            let mut on = |platform: &Platform| {
+                let key = cache_key(platform, &("run-model-on", 0usize, 32usize, spec, 400u64));
+                let platform = platform.clone();
+                sweep.cell(key, move || {
+                    vec![run_model_on(&platform, 0, 32, spec, 400).loops_per_sec]
+                })
+            };
+            (name, on(&measured), on(&mca))
+        })
+        .collect();
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "ext_mca",
         "Future work (§6): store->store model on the measured vs MCA-projected server, cross-node",
         "series",
-        vec!["Kunpeng916".into(), "Kunpeng916-MCA".into(), "MCA speedup".into()],
+        vec![
+            "Kunpeng916".into(),
+            "Kunpeng916-MCA".into(),
+            "MCA speedup".into(),
+        ],
         "loops/s",
     );
-    for (name, spec) in specs {
-        let base = run_model_on(&measured, 0, 32, spec, 400).loops_per_sec;
-        let next = run_model_on(&mca, 0, 32, spec, 400).loops_per_sec;
+    for (name, base, next) in rows {
+        let (base, next) = (r.scalar(base), r.scalar(next));
         t.push_row(name, vec![base, next, next / base]);
     }
     vec![t]
@@ -51,10 +89,14 @@ mod tests {
 
     #[test]
     fn mca_collapses_the_barrier_penalty() {
-        let tables = ext_mca();
+        let tables = ext_mca(&SweepCtx::serial_uncached());
         let t = &tables[0];
         let row = |name: &str| {
-            t.rows.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone()).expect("row")
+            t.rows
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .expect("row")
         };
         let none = row("No Barrier");
         let full1 = row("DMB full-1");
@@ -67,7 +109,13 @@ mod tests {
         assert!(full1[2] > 1.05, "MCA speeds DMB full up: {:?}", full1);
         let gap_measured = none[0] / full1[0];
         let gap_mca = none[1] / full1[1];
-        assert!(gap_mca < gap_measured, "the barrier penalty shrinks under MCA");
-        assert!(dsb1[2] > 1.5, "DSB gains the most from internal termination");
+        assert!(
+            gap_mca < gap_measured,
+            "the barrier penalty shrinks under MCA"
+        );
+        assert!(
+            dsb1[2] > 1.5,
+            "DSB gains the most from internal termination"
+        );
     }
 }

@@ -1,13 +1,18 @@
 //! One function per paper artifact, producing [`Table`]s.
 //!
-//! Simulator-backed experiments are deterministic; the two host-threaded
+//! Simulator- and explorer-backed experiments declare their configuration
+//! grids as [`SweepSpec`] cells and run on the sweep engine: independent
+//! cells execute on the worker pool and memoize in the run cache, and the
+//! tables are assembled in declaration order, so the output is identical
+//! whatever the worker count. Three artifacts stay off the engine:
+//! `table2` only reads profile fields, and the two host-threaded
 //! macro-benchmarks (`fig6d` dedup, `fig8d` floorplan) measure wall-clock
-//! time and therefore vary run to run (and mostly reflect single-core
-//! compute on a 1-CPU host — see `EXPERIMENTS.md`).
+//! time, which is neither deterministic nor cacheable (and mostly reflects
+//! single-core compute on a 1-CPU host — see `EXPERIMENTS.md`).
 
 use armbar_barriers::{AccessType, Barrier};
 use armbar_sim::{Platform, PlatformKind};
-use armbar_simapps::abstract_model::{self, BarrierLoc, ModelSpec};
+use armbar_simapps::abstract_model::{run_model, BarrierLoc, ModelSpec};
 use armbar_simapps::bind::BindConfig;
 use armbar_simapps::delegation_sim::{
     fig7c_point, run_delegation, CsProfile, DelegationBarriers, DelegationConfig, DelegationKind,
@@ -15,15 +20,20 @@ use armbar_simapps::delegation_sim::{
 };
 use armbar_simapps::prodcons::{run_prodcons, PcBarriers, PcVariant, FIG6A_COMBOS};
 use armbar_simapps::ticket_sim::{run_ticket, TicketConfig};
+use armbar_wmm::battery::run_battery;
 use armbar_wmm::litmus::{message_passing, pilot_message_passing, table3_cell};
 use armbar_wmm::model::MemoryModel;
 
+use crate::cache::{cache_key, model_key};
 use crate::report::Table;
+use crate::sweep::{CellId, SweepCtx, SweepSpec};
 
 /// Iterations used by the abstract-model sweeps.
 const MODEL_ITERS: u64 = 500;
 /// Messages per producer-consumer run.
 const PC_MSGS: u64 = 400;
+/// Row order shared by the five lock-variant experiments.
+const LOCKS: [&str; 5] = ["Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P"];
 
 fn bool_num(b: bool) -> f64 {
     if b {
@@ -33,11 +43,85 @@ fn bool_num(b: bool) -> f64 {
     }
 }
 
+// ------------------------------------------------------------ sweep cells
+
+/// One abstract-model row: `loops_per_sec` of each spec under `bind`.
+fn model_row(sweep: &mut SweepSpec, bind: BindConfig, specs: Vec<ModelSpec>, iters: u64) -> CellId {
+    let key = cache_key(&bind.platform(), &(bind, &specs, iters));
+    sweep.cell(key, move || {
+        specs
+            .iter()
+            .map(|&s| run_model(bind, s, iters).loops_per_sec)
+            .collect()
+    })
+}
+
+/// One producer-consumer configuration's `msgs_per_sec`.
+fn prodcons_cell(
+    sweep: &mut SweepSpec,
+    bind: BindConfig,
+    variant: PcVariant,
+    messages: u64,
+    batch: u64,
+    produce_nops: u32,
+) -> CellId {
+    let key = cache_key(
+        &bind.platform(),
+        &(bind, variant, messages, batch, produce_nops),
+    );
+    sweep.cell(key, move || {
+        vec![run_prodcons(bind, variant, messages, batch, produce_nops).msgs_per_sec]
+    })
+}
+
+/// One ticket-lock configuration's `locks_per_sec`.
+fn ticket_cell(sweep: &mut SweepSpec, platform: &Platform, cfg: TicketConfig) -> CellId {
+    let key = cache_key(platform, &cfg);
+    let platform = platform.clone();
+    sweep.cell(key, move || vec![run_ticket(&platform, cfg).locks_per_sec])
+}
+
+/// One delegation-lock configuration's `locks_per_sec`.
+fn delegation_cell(sweep: &mut SweepSpec, platform: &Platform, cfg: DelegationConfig) -> CellId {
+    let key = cache_key(platform, &cfg);
+    let platform = platform.clone();
+    sweep.cell(key, move || {
+        vec![run_delegation(&platform, cfg).locks_per_sec]
+    })
+}
+
 // ------------------------------------------------------------------ tables
 
 /// Table 1: MP behaviour under TSO and WMM (1 = outcome reachable).
 #[must_use]
-pub fn table1() -> Vec<Table> {
+pub fn table1(ctx: &SweepCtx) -> Vec<Table> {
+    const MODELS: [MemoryModel; 3] = [MemoryModel::Sc, MemoryModel::X86Tso, MemoryModel::ArmWmm];
+    let mut sweep = SweepSpec::new("table1");
+    let mut rows = Vec::new();
+    for (label, tag, test) in [
+        (
+            "MP, no barriers",
+            "mp-none",
+            message_passing(Barrier::None, Barrier::None),
+        ),
+        (
+            "MP, DMB st + DMB ld",
+            "mp-fixed",
+            message_passing(Barrier::DmbSt, Barrier::DmbLd),
+        ),
+        (
+            "MP via Pilot, no barriers",
+            "mp-pilot",
+            pilot_message_passing(),
+        ),
+    ] {
+        let key = model_key(&("table1", tag, &test.program, MODELS));
+        let id = sweep.cell(key, move || {
+            MODELS.iter().map(|&m| bool_num(test.allowed(m))).collect()
+        });
+        rows.push((label, id));
+    }
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "table1",
         "Different behaviors in TSO and WMM (Table 1): reachability of local != 23",
@@ -45,39 +129,15 @@ pub fn table1() -> Vec<Table> {
         vec!["SC".into(), "x86-TSO".into(), "ARM WMM".into()],
         "1 = allowed, 0 = forbidden",
     );
-    let mp = message_passing(Barrier::None, Barrier::None);
-    t.push_row(
-        "MP, no barriers",
-        vec![
-            bool_num(mp.allowed(MemoryModel::Sc)),
-            bool_num(mp.allowed(MemoryModel::X86Tso)),
-            bool_num(mp.allowed(MemoryModel::ArmWmm)),
-        ],
-    );
-    let fixed = message_passing(Barrier::DmbSt, Barrier::DmbLd);
-    t.push_row(
-        "MP, DMB st + DMB ld",
-        vec![
-            bool_num(fixed.allowed(MemoryModel::Sc)),
-            bool_num(fixed.allowed(MemoryModel::X86Tso)),
-            bool_num(fixed.allowed(MemoryModel::ArmWmm)),
-        ],
-    );
-    let pilot = pilot_message_passing();
-    t.push_row(
-        "MP via Pilot, no barriers",
-        vec![
-            bool_num(pilot.allowed(MemoryModel::Sc)),
-            bool_num(pilot.allowed(MemoryModel::X86Tso)),
-            bool_num(pilot.allowed(MemoryModel::ArmWmm)),
-        ],
-    );
+    for (label, id) in rows {
+        t.push_row(label, r.get(id).to_vec());
+    }
     vec![t]
 }
 
-/// Table 2: the platform profiles.
+/// Table 2: the platform profiles. Pure field reads — no sweep needed.
 #[must_use]
-pub fn table2() -> Vec<Table> {
+pub fn table2(_ctx: &SweepCtx) -> Vec<Table> {
     let mut t = Table::new(
         "table2",
         "Target platforms (simulated profiles)",
@@ -112,20 +172,15 @@ pub fn table2() -> Vec<Table> {
 /// Table 3: the advisor's recommendations, with explorer verdicts that each
 /// preferred approach forbids the relaxed outcome.
 #[must_use]
-pub fn table3() -> Vec<Table> {
+pub fn table3(ctx: &SweepCtx) -> Vec<Table> {
     use armbar_barriers::advisor::{recommend, Approach, OrderReq};
-    let mut t = Table::new(
-        "table3",
-        "Suggested order-preserving approaches; explorer verdict per cell",
-        "from -> to",
-        vec!["verdict (1=proved)".into()],
-        "see stdout for the suggestions",
-    );
+    let mut sweep = SweepSpec::new("table3");
+    let mut cells = Vec::new();
     for earlier in [AccessType::Load, AccessType::Store] {
         for later in [AccessType::Load, AccessType::Store] {
             let rec = recommend(OrderReq::pair(earlier, later));
-            let mut all_ok = true;
             let mut names = Vec::new();
+            let mut barriers = Vec::new();
             for a in &rec.preferred {
                 let b = match a {
                     Approach::Use(b) => *b,
@@ -139,14 +194,30 @@ pub fn table3() -> Vec<Table> {
                 {
                     continue;
                 }
-                let cell = table3_cell(earlier, later, b);
-                let ok = !cell.allowed(MemoryModel::ArmWmm);
-                all_ok &= ok;
                 names.push(format!("{a}"));
+                barriers.push(b);
             }
-            println!("  {earlier} -> {later}: {}", names.join(", "));
-            t.push_row(&format!("{earlier} -> {later}"), vec![bool_num(all_ok)]);
+            let key = model_key(&("table3", earlier, later, &barriers));
+            let id = sweep.cell(key, move || {
+                let all_ok = barriers
+                    .iter()
+                    .all(|&b| !table3_cell(earlier, later, b).allowed(MemoryModel::ArmWmm));
+                vec![bool_num(all_ok)]
+            });
+            cells.push((earlier, later, names, id));
         }
+    }
+    let r = sweep.run(ctx);
+    let mut t = Table::new(
+        "table3",
+        "Suggested order-preserving approaches; explorer verdict per cell",
+        "from -> to",
+        vec!["verdict (1=proved)".into()],
+        "see stdout for the suggestions",
+    );
+    for (earlier, later, names, id) in cells {
+        println!("  {earlier} -> {later}: {}", names.join(", "));
+        t.push_row(&format!("{earlier} -> {later}"), vec![r.scalar(id)]);
     }
     vec![t]
 }
@@ -155,7 +226,7 @@ pub fn table3() -> Vec<Table> {
 
 /// Figure 2: intrinsic overhead of barriers (no memory operations).
 #[must_use]
-pub fn fig2() -> Vec<Table> {
+pub fn fig2(ctx: &SweepCtx) -> Vec<Table> {
     let nop_counts = [10u32, 30, 60];
     let barriers = [
         Barrier::None,
@@ -173,9 +244,28 @@ pub fn fig2() -> Vec<Table> {
         ("fig2c", BindConfig::Kirin970, "Kirin970"),
         ("fig2d", BindConfig::RaspberryPi4, "Raspberry Pi 4"),
     ];
-    binds
-        .iter()
-        .map(|(id, bind, name)| {
+    let mut sweep = SweepSpec::new("fig2");
+    let mut plans = Vec::new();
+    for (id, bind, name) in binds {
+        let rows: Vec<(&str, CellId)> = barriers
+            .iter()
+            .map(|&b| {
+                let specs = nop_counts
+                    .iter()
+                    .map(|&n| ModelSpec::no_mem(b, n))
+                    .collect();
+                (
+                    b.mnemonic(),
+                    model_row(&mut sweep, bind, specs, MODEL_ITERS),
+                )
+            })
+            .collect();
+        plans.push((id, name, rows));
+    }
+    let r = sweep.run(ctx);
+    plans
+        .into_iter()
+        .map(|(id, name, rows)| {
             let mut t = Table::new(
                 id,
                 &format!("Intrinsic barrier overhead, {name} (Figure 2)"),
@@ -183,15 +273,8 @@ pub fn fig2() -> Vec<Table> {
                 nop_counts.iter().map(|n| n.to_string()).collect(),
                 "loops/s",
             );
-            for b in barriers {
-                let vals = nop_counts
-                    .iter()
-                    .map(|&n| {
-                        abstract_model::run_model(*bind, ModelSpec::no_mem(b, n), MODEL_ITERS)
-                            .loops_per_sec
-                    })
-                    .collect();
-                t.push_row(b.mnemonic(), vals);
+            for (label, cell) in rows {
+                t.push_row(label, r.get(cell).to_vec());
             }
             t
         })
@@ -200,49 +283,104 @@ pub fn fig2() -> Vec<Table> {
 
 // ----------------------------------------------------------------- figure 3
 
-/// The store→store series of Figure 3 for one placement.
-fn fig3_table(id: &str, bind: BindConfig, name: &str, nops: &[u32]) -> Table {
-    let mut t = Table::new(
-        id,
-        &format!("Store->store abstracted model, {name} (Figure 3)"),
-        "series",
-        nops.iter().map(|n| n.to_string()).collect(),
-        "loops/s",
-    );
-    let mut run = |label: &str, barrier, loc| {
-        let vals = nops
-            .iter()
-            .map(|&n| {
-                abstract_model::run_model(bind, ModelSpec::store_store(barrier, loc, n), MODEL_ITERS)
-                    .loops_per_sec
-            })
-            .collect();
-        t.push_row(label, vals);
-    };
-    run("No Barrier", Barrier::None, BarrierLoc::BeforeOp2);
-    for b in [Barrier::DmbFull, Barrier::DmbSt, Barrier::DsbFull, Barrier::DsbSt] {
-        run(&format!("{}-1", b.mnemonic()), b, BarrierLoc::AfterOp1);
-        run(&format!("{}-2", b.mnemonic()), b, BarrierLoc::BeforeOp2);
+/// Declare the store→store rows of Figure 3 for one placement: one cell
+/// per series, each sweeping the `nops` axis. Public so the determinism
+/// test and the `sweep_scaling` bench can run the Kunpeng916 grid at
+/// reduced iteration counts.
+pub fn fig3_grid(
+    sweep: &mut SweepSpec,
+    bind: BindConfig,
+    nops: &[u32],
+    iters: u64,
+) -> Vec<(String, CellId)> {
+    let mut series: Vec<(String, Barrier, BarrierLoc)> =
+        vec![("No Barrier".into(), Barrier::None, BarrierLoc::BeforeOp2)];
+    for b in [
+        Barrier::DmbFull,
+        Barrier::DmbSt,
+        Barrier::DsbFull,
+        Barrier::DsbSt,
+    ] {
+        series.push((format!("{}-1", b.mnemonic()), b, BarrierLoc::AfterOp1));
+        series.push((format!("{}-2", b.mnemonic()), b, BarrierLoc::BeforeOp2));
     }
-    run("STLR", Barrier::Stlr, BarrierLoc::BeforeOp2);
-    t
+    series.push(("STLR".into(), Barrier::Stlr, BarrierLoc::BeforeOp2));
+    series
+        .into_iter()
+        .map(|(label, b, loc)| {
+            let specs = nops
+                .iter()
+                .map(|&n| ModelSpec::store_store(b, loc, n))
+                .collect();
+            (label, model_row(sweep, bind, specs, iters))
+        })
+        .collect()
 }
 
 /// Figure 3(a–e): the store→store model under all five placements.
 #[must_use]
-pub fn fig3() -> Vec<Table> {
-    vec![
-        fig3_table("fig3a", BindConfig::KunpengSameNode, "Kunpeng916 same node", &[10, 150, 700]),
-        fig3_table(
+pub fn fig3(ctx: &SweepCtx) -> Vec<Table> {
+    let plans: [(&str, BindConfig, &str, &[u32]); 5] = [
+        (
+            "fig3a",
+            BindConfig::KunpengSameNode,
+            "Kunpeng916 same node",
+            &[10, 150, 700],
+        ),
+        (
             "fig3b",
             BindConfig::KunpengCrossNodes,
             "Kunpeng916 cross nodes",
             &[10, 150, 700],
         ),
-        fig3_table("fig3c", BindConfig::Kirin960, "Kirin960 big cluster", &[10, 30, 60]),
-        fig3_table("fig3d", BindConfig::Kirin970, "Kirin970 big cluster", &[10, 30, 60]),
-        fig3_table("fig3e", BindConfig::RaspberryPi4, "Raspberry Pi 4", &[10, 30, 60]),
-    ]
+        (
+            "fig3c",
+            BindConfig::Kirin960,
+            "Kirin960 big cluster",
+            &[10, 30, 60],
+        ),
+        (
+            "fig3d",
+            BindConfig::Kirin970,
+            "Kirin970 big cluster",
+            &[10, 30, 60],
+        ),
+        (
+            "fig3e",
+            BindConfig::RaspberryPi4,
+            "Raspberry Pi 4",
+            &[10, 30, 60],
+        ),
+    ];
+    let mut sweep = SweepSpec::new("fig3");
+    let grids: Vec<_> = plans
+        .iter()
+        .map(|&(id, bind, name, nops)| {
+            (
+                id,
+                name,
+                nops,
+                fig3_grid(&mut sweep, bind, nops, MODEL_ITERS),
+            )
+        })
+        .collect();
+    let r = sweep.run(ctx);
+    grids
+        .into_iter()
+        .map(|(id, name, nops, rows)| {
+            let mut t = Table::new(
+                id,
+                &format!("Store->store abstracted model, {name} (Figure 3)"),
+                "series",
+                nops.iter().map(|n| n.to_string()).collect(),
+                "loops/s",
+            );
+            for (label, cell) in rows {
+                t.push_row(&label, r.get(cell).to_vec());
+            }
+            t
+        })
+        .collect()
 }
 
 // ----------------------------------------------------------------- figure 4
@@ -250,7 +388,71 @@ pub fn fig3() -> Vec<Table> {
 /// Figure 4: the tipping point where nops hide DMB full-2 entirely, and the
 /// full-1 : full-2 throughput ratio there (paper: ≈ 1/2).
 #[must_use]
-pub fn fig4() -> Vec<Table> {
+pub fn fig4(ctx: &SweepCtx) -> Vec<Table> {
+    const CANDIDATES: [u32; 9] = [50, 100, 150, 200, 300, 500, 700, 1000, 1500];
+    const THRESHOLD: f64 = 0.9;
+    const ITERS: u64 = 600;
+    let binds = [
+        (BindConfig::KunpengSameNode, "Kunpeng916 same node"),
+        (BindConfig::KunpengCrossNodes, "Kunpeng916 cross nodes"),
+    ];
+    // Phase 1: no-barrier and DMB full-2 throughput at every candidate (the
+    // serial code scanned the same pairs one by one until the threshold).
+    let mut scan = SweepSpec::new("fig4-scan");
+    let pairs: Vec<Vec<(u32, CellId, CellId)>> = binds
+        .iter()
+        .map(|&(bind, _)| {
+            CANDIDATES
+                .iter()
+                .map(|&n| {
+                    let spec = |b, loc| vec![ModelSpec::store_store(b, loc, n)];
+                    (
+                        n,
+                        model_row(
+                            &mut scan,
+                            bind,
+                            spec(Barrier::None, BarrierLoc::BeforeOp2),
+                            ITERS,
+                        ),
+                        model_row(
+                            &mut scan,
+                            bind,
+                            spec(Barrier::DmbFull, BarrierLoc::BeforeOp2),
+                            ITERS,
+                        ),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let scanned = scan.run(ctx);
+    // The tipping decision, applied to the completed grid.
+    let tipping: Vec<Option<(u32, f64)>> = pairs
+        .iter()
+        .map(|cands| {
+            cands.iter().find_map(|&(n, none, full2)| {
+                let full2 = scanned.scalar(full2);
+                (full2 >= THRESHOLD * scanned.scalar(none)).then_some((n, full2))
+            })
+        })
+        .collect();
+    // Phase 2: DMB full-1 throughput, only at each placement's tipping point.
+    let mut confirm = SweepSpec::new("fig4-confirm");
+    let full1: Vec<Option<CellId>> = binds
+        .iter()
+        .zip(&tipping)
+        .map(|(&(bind, _), tip)| {
+            tip.map(|(n, _)| {
+                let spec = vec![ModelSpec::store_store(
+                    Barrier::DmbFull,
+                    BarrierLoc::AfterOp1,
+                    n,
+                )];
+                model_row(&mut confirm, bind, spec, ITERS)
+            })
+        })
+        .collect();
+    let confirmed = confirm.run(ctx);
     let mut t = Table::new(
         "fig4",
         "Tipping point: nops that hide DMB full-2; ratio full-1/full-2 there (Figure 4)",
@@ -258,18 +460,12 @@ pub fn fig4() -> Vec<Table> {
         vec!["tipping nops".into(), "full1/full2 ratio".into()],
         "nops / ratio",
     );
-    for (bind, name) in [
-        (BindConfig::KunpengSameNode, "Kunpeng916 same node"),
-        (BindConfig::KunpengCrossNodes, "Kunpeng916 cross nodes"),
-    ] {
-        let found = abstract_model::tipping_point(
-            bind,
-            &[50, 100, 150, 200, 300, 500, 700, 1000, 1500],
-            0.9,
-        );
-        match found {
-            Some((nops, ratio)) => t.push_row(name, vec![f64::from(nops), ratio]),
-            None => t.push_row(name, vec![f64::NAN, f64::NAN]),
+    for ((&(_, name), tip), full1) in binds.iter().zip(&tipping).zip(full1) {
+        match (tip, full1) {
+            (Some((n, full2)), Some(id)) => {
+                t.push_row(name, vec![f64::from(*n), confirmed.scalar(id) / full2]);
+            }
+            _ => t.push_row(name, vec![f64::NAN, f64::NAN]),
         }
     }
     vec![t]
@@ -279,9 +475,38 @@ pub fn fig4() -> Vec<Table> {
 
 /// Figure 5: load→store model, threads across NUMA nodes on Kunpeng916.
 #[must_use]
-pub fn fig5() -> Vec<Table> {
+pub fn fig5(ctx: &SweepCtx) -> Vec<Table> {
     let nops = [300u32, 500];
     let bind = BindConfig::KunpengCrossNodes;
+    let mut series: Vec<(String, Barrier, BarrierLoc)> =
+        vec![("No Barrier".into(), Barrier::None, BarrierLoc::BeforeOp2)];
+    for b in [
+        Barrier::DmbFull,
+        Barrier::DmbLd,
+        Barrier::DsbFull,
+        Barrier::DsbLd,
+    ] {
+        series.push((format!("{}-1", b.mnemonic()), b, BarrierLoc::AfterOp1));
+        series.push((format!("{}-2", b.mnemonic()), b, BarrierLoc::BeforeOp2));
+    }
+    series.push(("LDAR".into(), Barrier::Ldar, BarrierLoc::AfterOp1));
+    series.push(("STLR".into(), Barrier::Stlr, BarrierLoc::BeforeOp2));
+    series.push(("CTRL".into(), Barrier::Ctrl, BarrierLoc::BeforeOp2));
+    series.push(("CTRL+ISB".into(), Barrier::CtrlIsb, BarrierLoc::AfterOp1));
+    series.push(("DATA DEP".into(), Barrier::DataDep, BarrierLoc::BeforeOp2));
+    series.push(("ADDR DEP".into(), Barrier::AddrDep, BarrierLoc::BeforeOp2));
+    let mut sweep = SweepSpec::new("fig5");
+    let rows: Vec<(String, CellId)> = series
+        .into_iter()
+        .map(|(label, b, loc)| {
+            let specs = nops
+                .iter()
+                .map(|&n| ModelSpec::load_store(b, loc, n))
+                .collect();
+            (label, model_row(&mut sweep, bind, specs, MODEL_ITERS))
+        })
+        .collect();
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "fig5",
         "Load->store abstracted model, Kunpeng916 cross nodes (Figure 5)",
@@ -289,27 +514,9 @@ pub fn fig5() -> Vec<Table> {
         nops.iter().map(|n| n.to_string()).collect(),
         "loops/s",
     );
-    let mut run = |label: &str, barrier, loc| {
-        let vals = nops
-            .iter()
-            .map(|&n| {
-                abstract_model::run_model(bind, ModelSpec::load_store(barrier, loc, n), MODEL_ITERS)
-                    .loops_per_sec
-            })
-            .collect();
-        t.push_row(label, vals);
-    };
-    run("No Barrier", Barrier::None, BarrierLoc::BeforeOp2);
-    for b in [Barrier::DmbFull, Barrier::DmbLd, Barrier::DsbFull, Barrier::DsbLd] {
-        run(&format!("{}-1", b.mnemonic()), b, BarrierLoc::AfterOp1);
-        run(&format!("{}-2", b.mnemonic()), b, BarrierLoc::BeforeOp2);
+    for (label, cell) in rows {
+        t.push_row(&label, r.get(cell).to_vec());
     }
-    run("LDAR", Barrier::Ldar, BarrierLoc::AfterOp1);
-    run("STLR", Barrier::Stlr, BarrierLoc::BeforeOp2);
-    run("CTRL", Barrier::Ctrl, BarrierLoc::BeforeOp2);
-    run("CTRL+ISB", Barrier::CtrlIsb, BarrierLoc::AfterOp1);
-    run("DATA DEP", Barrier::DataDep, BarrierLoc::BeforeOp2);
-    run("ADDR DEP", Barrier::AddrDep, BarrierLoc::BeforeOp2);
     vec![t]
 }
 
@@ -318,29 +525,39 @@ pub fn fig5() -> Vec<Table> {
 /// Figure 6(a): producer-consumer throughput, normalized to the
 /// conservative DMB full - DMB full combination.
 #[must_use]
-pub fn fig6a() -> Vec<Table> {
+pub fn fig6a(ctx: &SweepCtx) -> Vec<Table> {
+    let mut sweep = SweepSpec::new("fig6a");
+    let combos: Vec<(&str, Vec<CellId>)> = FIG6A_COMBOS
+        .iter()
+        .map(|&(name, combo)| {
+            let ids = BindConfig::ALL
+                .iter()
+                .map(|&bind| {
+                    prodcons_cell(&mut sweep, bind, PcVariant::Baseline(combo), PC_MSGS, 1, 40)
+                })
+                .collect();
+            (name, ids)
+        })
+        .collect();
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "fig6a",
         "Producer-consumer barrier combinations, normalized to DMB full - DMB full (Figure 6a)",
         "combination",
-        BindConfig::ALL.iter().map(|b| b.label().to_string()).collect(),
+        BindConfig::ALL
+            .iter()
+            .map(|b| b.label().to_string())
+            .collect(),
         "normalized throughput",
     );
-    let mut results: Vec<(&str, Vec<f64>)> = Vec::new();
-    for (name, combo) in FIG6A_COMBOS {
-        let vals: Vec<f64> = BindConfig::ALL
-            .iter()
-            .map(|&bind| {
-                run_prodcons(bind, PcVariant::Baseline(combo), PC_MSGS, 1, 40).msgs_per_sec
-            })
-            .collect();
-        results.push((name, vals));
-    }
-    let base = results[0].1.clone();
-    for (name, vals) in results {
+    let base: Vec<f64> = combos[0].1.iter().map(|&id| r.scalar(id)).collect();
+    for (name, ids) in combos {
         t.push_row(
             name,
-            vals.iter().zip(&base).map(|(v, b)| v / b).collect(),
+            ids.iter()
+                .zip(&base)
+                .map(|(&id, b)| r.scalar(id) / b)
+                .collect(),
         );
     }
     vec![t]
@@ -348,43 +565,92 @@ pub fn fig6a() -> Vec<Table> {
 
 /// Figure 6(b): Pilot vs the best baseline vs Theoretical vs Ideal.
 #[must_use]
-pub fn fig6b() -> Vec<Table> {
+pub fn fig6b(ctx: &SweepCtx) -> Vec<Table> {
+    let variants: [(&str, PcVariant); 4] = [
+        (
+            "DMB ld - DMB st",
+            PcVariant::Baseline(PcBarriers {
+                avail: Barrier::DmbLd,
+                publish: Barrier::DmbSt,
+            }),
+        ),
+        (
+            "Theoretical",
+            PcVariant::Baseline(PcBarriers {
+                avail: Barrier::DmbLd,
+                publish: Barrier::None,
+            }),
+        ),
+        (
+            "Pilot",
+            PcVariant::Pilot {
+                avail: Barrier::DmbLd,
+            },
+        ),
+        (
+            "Ideal",
+            PcVariant::Baseline(PcBarriers {
+                avail: Barrier::None,
+                publish: Barrier::None,
+            }),
+        ),
+    ];
+    let mut sweep = SweepSpec::new("fig6b");
+    let rows: Vec<(&str, Vec<CellId>)> = variants
+        .iter()
+        .map(|&(name, v)| {
+            let ids = BindConfig::ALL
+                .iter()
+                .map(|&bind| prodcons_cell(&mut sweep, bind, v, PC_MSGS, 1, 40))
+                .collect();
+            (name, ids)
+        })
+        .collect();
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "fig6b",
         "Producer-consumer after applying Pilot (Figure 6b)",
         "variant",
-        BindConfig::ALL.iter().map(|b| b.label().to_string()).collect(),
+        BindConfig::ALL
+            .iter()
+            .map(|b| b.label().to_string())
+            .collect(),
         "messages/s",
     );
-    let rows: [(&str, PcVariant); 4] = [
-        (
-            "DMB ld - DMB st",
-            PcVariant::Baseline(PcBarriers { avail: Barrier::DmbLd, publish: Barrier::DmbSt }),
-        ),
-        (
-            "Theoretical",
-            PcVariant::Baseline(PcBarriers { avail: Barrier::DmbLd, publish: Barrier::None }),
-        ),
-        ("Pilot", PcVariant::Pilot { avail: Barrier::DmbLd }),
-        (
-            "Ideal",
-            PcVariant::Baseline(PcBarriers { avail: Barrier::None, publish: Barrier::None }),
-        ),
-    ];
-    for (name, v) in rows {
-        let vals = BindConfig::ALL
-            .iter()
-            .map(|&bind| run_prodcons(bind, v, PC_MSGS, 1, 40).msgs_per_sec)
-            .collect();
-        t.push_row(name, vals);
+    for (name, ids) in rows {
+        t.push_row(name, ids.iter().map(|&id| r.scalar(id)).collect());
     }
     vec![t]
 }
 
 /// Figure 6(c): Pilot speedup over the best baseline as messages batch.
 #[must_use]
-pub fn fig6c() -> Vec<Table> {
+pub fn fig6c(ctx: &SweepCtx) -> Vec<Table> {
     let batches = [1u64, 2, 4];
+    let pilot = PcVariant::Pilot {
+        avail: Barrier::DmbLd,
+    };
+    let baseline = PcVariant::Baseline(PcBarriers {
+        avail: Barrier::DmbLd,
+        publish: Barrier::DmbSt,
+    });
+    let mut sweep = SweepSpec::new("fig6c");
+    let rows: Vec<(BindConfig, Vec<(CellId, CellId)>)> = BindConfig::ALL
+        .iter()
+        .map(|&bind| {
+            let ids = batches
+                .iter()
+                .map(|&batch| {
+                    (
+                        prodcons_cell(&mut sweep, bind, pilot, PC_MSGS, batch, 10),
+                        prodcons_cell(&mut sweep, bind, baseline, PC_MSGS, batch, 10),
+                    )
+                })
+                .collect();
+            (bind, ids)
+        })
+        .collect();
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "fig6c",
         "Pilot speedup vs batched message size (Figure 6c; batch capped by the sim ring)",
@@ -392,42 +658,31 @@ pub fn fig6c() -> Vec<Table> {
         batches.iter().map(|b| format!("{b}x8B")).collect(),
         "speedup (Pilot / DMB ld-DMB st)",
     );
-    for bind in BindConfig::ALL {
-        let vals = batches
-            .iter()
-            .map(|&batch| {
-                let p = run_prodcons(bind, PcVariant::Pilot { avail: Barrier::DmbLd }, PC_MSGS,
-                                     batch, 10)
-                    .msgs_per_sec;
-                let b = run_prodcons(
-                    bind,
-                    PcVariant::Baseline(PcBarriers {
-                        avail: Barrier::DmbLd,
-                        publish: Barrier::DmbSt,
-                    }),
-                    PC_MSGS,
-                    batch,
-                    10,
-                )
-                .msgs_per_sec;
-                p / b
-            })
-            .collect();
-        t.push_row(bind.label(), vals);
+    for (bind, ids) in rows {
+        t.push_row(
+            bind.label(),
+            ids.iter()
+                .map(|&(p, b)| r.scalar(p) / r.scalar(b))
+                .collect(),
+        );
     }
     vec![t]
 }
 
 /// Figure 6(d): dedup compress speed, Q vs RB vs RB-P (host threads;
-/// wall-clock — noisy on a 1-CPU host, see EXPERIMENTS.md).
+/// wall-clock — noisy on a 1-CPU host, so neither parallelized across
+/// configurations nor cached).
 #[must_use]
-pub fn fig6d() -> Vec<Table> {
+pub fn fig6d(_ctx: &SweepCtx) -> Vec<Table> {
     use armbar_dedup::{generate_input, run_pipeline, QueueKind, WorkloadSize};
     let mut t = Table::new(
         "fig6d",
         "PARSEC-dedup-like pipeline compress speed, normalized to the lock-based queue (Figure 6d)",
         "queue",
-        WorkloadSize::BENCH.iter().map(|s| s.label().to_string()).collect(),
+        WorkloadSize::BENCH
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect(),
         "normalized MB/s (host wall-clock)",
     );
     let mut speeds: Vec<(QueueKind, Vec<f64>)> = Vec::new();
@@ -445,7 +700,10 @@ pub fn fig6d() -> Vec<Table> {
     }
     let base = speeds[0].1.clone();
     for (kind, vals) in speeds {
-        t.push_row(kind.label(), vals.iter().zip(&base).map(|(v, b)| v / b).collect());
+        t.push_row(
+            kind.label(),
+            vals.iter().zip(&base).map(|(v, b)| v / b).collect(),
+        );
     }
     vec![t]
 }
@@ -455,7 +713,7 @@ pub fn fig6d() -> Vec<Table> {
 /// Figure 7(a): ticket lock, unlock-barrier overhead vs global lines in the
 /// critical section, normalized per platform to the "Normal" barrier.
 #[must_use]
-pub fn fig7a() -> Vec<Table> {
+pub fn fig7a(ctx: &SweepCtx) -> Vec<Table> {
     let lines = [0u32, 1, 2];
     let platforms: [(&str, Platform, usize); 4] = [
         ("Kunpeng916", Platform::kunpeng916(), 16),
@@ -463,6 +721,31 @@ pub fn fig7a() -> Vec<Table> {
         ("Kirin970", Platform::kirin970(), 4),
         ("Raspberry Pi 4", Platform::raspberry_pi4(), 4),
     ];
+    let mut sweep = SweepSpec::new("fig7a");
+    let rows: Vec<(&str, Vec<(CellId, CellId)>)> = platforms
+        .iter()
+        .map(|(name, platform, threads)| {
+            let ids = lines
+                .iter()
+                .map(|&global_lines| {
+                    let cfg = |release_barrier| TicketConfig {
+                        threads: *threads,
+                        global_lines,
+                        cs_nops: 10,
+                        post_nops: 20,
+                        release_barrier,
+                        per_thread: 40,
+                    };
+                    (
+                        ticket_cell(&mut sweep, platform, cfg(Barrier::None)),
+                        ticket_cell(&mut sweep, platform, cfg(Barrier::DmbSt)),
+                    )
+                })
+                .collect();
+            (*name, ids)
+        })
+        .collect();
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "fig7a",
         "Ticket lock: unlock barrier removed vs normal (Figure 7a)",
@@ -470,28 +753,13 @@ pub fn fig7a() -> Vec<Table> {
         lines.iter().map(|l| format!("{l} lines")).collect(),
         "throughput gain from removing the unlock barrier",
     );
-    for (name, platform, threads) in platforms {
-        let vals = lines
-            .iter()
-            .map(|&global_lines| {
-                let run = |release_barrier| {
-                    run_ticket(
-                        &platform,
-                        TicketConfig {
-                            threads,
-                            global_lines,
-                            cs_nops: 10,
-                            post_nops: 20,
-                            release_barrier,
-                            per_thread: 40,
-                        },
-                    )
-                    .locks_per_sec
-                };
-                run(Barrier::None) / run(Barrier::DmbSt)
-            })
-            .collect();
-        t.push_row(name, vals);
+    for (name, ids) in rows {
+        t.push_row(
+            name,
+            ids.iter()
+                .map(|&(none, dmb)| r.scalar(none) / r.scalar(dmb))
+                .collect(),
+        );
     }
     vec![t]
 }
@@ -499,20 +767,13 @@ pub fn fig7a() -> Vec<Table> {
 /// Figure 7(b): delegation-lock barrier combinations on Kunpeng916,
 /// normalized to DMB full-DMB st.
 #[must_use]
-pub fn fig7b() -> Vec<Table> {
+pub fn fig7b(ctx: &SweepCtx) -> Vec<Table> {
     let platform = Platform::kunpeng916();
-    let mut t = Table::new(
-        "fig7b",
-        "Delegation lock (FFWD) barrier combinations, Kunpeng916 (Figure 7b)",
-        "combination",
-        vec!["throughput".into(), "normalized".into()],
-        "requests/s",
-    );
-    let mut raws = Vec::new();
-    for (name, barriers) in FIG7B_COMBOS {
-        let r = run_delegation(
-            &platform,
-            DelegationConfig {
+    let mut sweep = SweepSpec::new("fig7b");
+    let rows: Vec<(&str, CellId)> = FIG7B_COMBOS
+        .iter()
+        .map(|&(name, barriers)| {
+            let cfg = DelegationConfig {
                 kind: DelegationKind::Ffwd,
                 clients: 16,
                 barriers,
@@ -520,12 +781,21 @@ pub fn fig7b() -> Vec<Table> {
                 profile: CsProfile::counter(),
                 per_client: 40,
                 interval_nops: 0,
-            },
-        );
-        raws.push((name, r.locks_per_sec));
-    }
-    let base = raws[0].1;
-    for (name, v) in raws {
+            };
+            (name, delegation_cell(&mut sweep, &platform, cfg))
+        })
+        .collect();
+    let r = sweep.run(ctx);
+    let mut t = Table::new(
+        "fig7b",
+        "Delegation lock (FFWD) barrier combinations, Kunpeng916 (Figure 7b)",
+        "combination",
+        vec!["throughput".into(), "normalized".into()],
+        "requests/s",
+    );
+    let base = r.scalar(rows[0].1);
+    for (name, id) in rows {
+        let v = r.scalar(id);
         t.push_row(name, vec![v, v / base]);
     }
     vec![t]
@@ -533,11 +803,27 @@ pub fn fig7b() -> Vec<Table> {
 
 /// Figure 7(c): the five lock variants across contention intervals.
 #[must_use]
-pub fn fig7c() -> Vec<Table> {
+pub fn fig7c(ctx: &SweepCtx) -> Vec<Table> {
     let platform = Platform::kunpeng916();
     // The paper sweeps 10^n * 128 nops; large exponents are scaled down to
     // keep simulated time tractable.
     let intervals: [(&str, u32); 4] = [("0", 128), ("1", 1280), ("2", 12_800), ("3", 128_000)];
+    let mut sweep = SweepSpec::new("fig7c");
+    let cols: Vec<CellId> = intervals
+        .iter()
+        .map(|&(_, nops)| {
+            let per = if nops >= 100_000 { 8 } else { 20 };
+            let key = cache_key(&platform, &("fig7c-point", 12usize, nops, per));
+            let platform = platform.clone();
+            sweep.cell(key, move || {
+                fig7c_point(&platform, 12, nops, per)
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .collect()
+            })
+        })
+        .collect();
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "fig7c",
         "Delegation locks with Pilot vs contention interval 10^n*128 nops (Figure 7c)",
@@ -545,29 +831,27 @@ pub fn fig7c() -> Vec<Table> {
         intervals.iter().map(|(n, _)| format!("10^{n}")).collect(),
         "requests/s",
     );
-    let mut series: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
-    for &(_, nops) in &intervals {
-        let per = if nops >= 100_000 { 8 } else { 20 };
-        for (name, v) in fig7c_point(&platform, 12, nops, per) {
-            series.entry(name).or_default().push(v);
-        }
-    }
-    for (name, vals) in ["Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P"]
-        .iter()
-        .map(|n| (n.to_string(), series[*n].clone()))
-    {
-        t.push_row(&name, vals);
+    for (li, lock) in LOCKS.iter().enumerate() {
+        t.push_row(lock, cols.iter().map(|&id| r.get(id)[li]).collect());
     }
     vec![t]
 }
 
 // ----------------------------------------------------------------- figure 8
 
-/// The five Figure 8 lock variants over one critical-section profile.
-fn fig8_variants(platform: &Platform, profile: CsProfile, clients: usize, per: u64)
-    -> Vec<(String, f64)>
-{
-    let best = DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt };
+/// Declare the five Figure 8 lock variants over one critical-section
+/// profile: one cell per variant, in [`LOCKS`] order.
+fn fig8_variant_cells(
+    sweep: &mut SweepSpec,
+    platform: &Platform,
+    profile: CsProfile,
+    clients: usize,
+    per: u64,
+) -> Vec<CellId> {
+    let best = DelegationBarriers {
+        req: Barrier::Ldar,
+        resp: Barrier::DmbSt,
+    };
     let mk = |kind, mode| DelegationConfig {
         kind,
         clients,
@@ -577,42 +861,31 @@ fn fig8_variants(platform: &Platform, profile: CsProfile, clients: usize, per: u
         per_client: per,
         interval_nops: 0,
     };
-    let ticket = run_ticket(
-        platform,
-        TicketConfig {
-            threads: clients,
-            global_lines: profile.lines + profile.chase / 8,
-            cs_nops: profile.nops + profile.chase * 2,
-            post_nops: 10,
-            release_barrier: Barrier::DmbSt,
-            per_thread: per,
-        },
-    );
+    let ticket = TicketConfig {
+        threads: clients,
+        global_lines: profile.lines + profile.chase / 8,
+        cs_nops: profile.nops + profile.chase * 2,
+        post_nops: 10,
+        release_barrier: Barrier::DmbSt,
+        per_thread: per,
+    };
     vec![
-        ("Ticket".into(), ticket.locks_per_sec),
-        (
-            "DSynch".into(),
-            run_delegation(platform, mk(DelegationKind::DSynch, RespMode::Flag)).locks_per_sec,
-        ),
-        (
-            "DSynch-P".into(),
-            run_delegation(platform, mk(DelegationKind::DSynch, RespMode::Pilot)).locks_per_sec,
-        ),
-        (
-            "FFWD".into(),
-            run_delegation(platform, mk(DelegationKind::Ffwd, RespMode::Flag)).locks_per_sec,
-        ),
-        (
-            "FFWD-P".into(),
-            run_delegation(platform, mk(DelegationKind::Ffwd, RespMode::Pilot)).locks_per_sec,
-        ),
+        ticket_cell(sweep, platform, ticket),
+        delegation_cell(sweep, platform, mk(DelegationKind::DSynch, RespMode::Flag)),
+        delegation_cell(sweep, platform, mk(DelegationKind::DSynch, RespMode::Pilot)),
+        delegation_cell(sweep, platform, mk(DelegationKind::Ffwd, RespMode::Flag)),
+        delegation_cell(sweep, platform, mk(DelegationKind::Ffwd, RespMode::Pilot)),
     ]
 }
 
 /// Figure 8(a): queue and stack under a global lock.
 #[must_use]
-pub fn fig8a() -> Vec<Table> {
+pub fn fig8a(ctx: &SweepCtx) -> Vec<Table> {
     let platform = Platform::kunpeng916();
+    let mut sweep = SweepSpec::new("fig8a");
+    let q = fig8_variant_cells(&mut sweep, &platform, CsProfile::queue_or_stack(), 12, 30);
+    let s = fig8_variant_cells(&mut sweep, &platform, CsProfile::queue_or_stack(), 12, 30);
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "fig8a",
         "Queue and stack under a global lock (Figure 8a)",
@@ -620,19 +893,23 @@ pub fn fig8a() -> Vec<Table> {
         vec!["Queue".into(), "Stack".into()],
         "ops/s",
     );
-    let q = fig8_variants(&platform, CsProfile::queue_or_stack(), 12, 30);
-    let s = fig8_variants(&platform, CsProfile::queue_or_stack(), 12, 30);
-    for i in 0..q.len() {
-        t.push_row(&q[i].0.clone(), vec![q[i].1, s[i].1]);
+    for (i, lock) in LOCKS.iter().enumerate() {
+        t.push_row(lock, vec![r.scalar(q[i]), r.scalar(s[i])]);
     }
     vec![t]
 }
 
 /// Figure 8(b): sorted linked list vs preloaded size.
 #[must_use]
-pub fn fig8b() -> Vec<Table> {
+pub fn fig8b(ctx: &SweepCtx) -> Vec<Table> {
     let platform = Platform::kunpeng916();
     let preloads = [0u32, 50, 150, 300, 500];
+    let mut sweep = SweepSpec::new("fig8b");
+    let cols: Vec<Vec<CellId>> = preloads
+        .iter()
+        .map(|&p| fig8_variant_cells(&mut sweep, &platform, CsProfile::sorted_list(p), 12, 20))
+        .collect();
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "fig8b",
         "Sorted linked list vs preloaded members (Figure 8b)",
@@ -640,14 +917,8 @@ pub fn fig8b() -> Vec<Table> {
         preloads.iter().map(|p| p.to_string()).collect(),
         "ops/s",
     );
-    let mut series: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
-    for &p in &preloads {
-        for (name, v) in fig8_variants(&platform, CsProfile::sorted_list(p), 12, 20) {
-            series.entry(name).or_default().push(v);
-        }
-    }
-    for name in ["Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P"] {
-        t.push_row(name, series[name].clone());
+    for (li, lock) in LOCKS.iter().enumerate() {
+        t.push_row(lock, cols.iter().map(|col| r.scalar(col[li])).collect());
     }
     vec![t]
 }
@@ -656,10 +927,27 @@ pub fn fig8b() -> Vec<Table> {
 /// per lock; total throughput = per-lock throughput × active locks (the
 /// partitioning approximation documented in DESIGN.md).
 #[must_use]
-pub fn fig8c() -> Vec<Table> {
+pub fn fig8c(ctx: &SweepCtx) -> Vec<Table> {
     let platform = Platform::kunpeng916();
     let threads = 16usize;
     let buckets = [2usize, 4, 8, 16, 32];
+    let mut sweep = SweepSpec::new("fig8c");
+    let cols: Vec<(f64, Vec<CellId>)> = buckets
+        .iter()
+        .map(|&b| {
+            let clients_per_lock = (threads / b).max(1);
+            let active_locks = b.min(threads) as f64;
+            let cells = fig8_variant_cells(
+                &mut sweep,
+                &platform,
+                CsProfile::sorted_list(512 / b as u32),
+                clients_per_lock,
+                20,
+            );
+            (active_locks, cells)
+        })
+        .collect();
+    let r = sweep.run(ctx);
     let mut t = Table::new(
         "fig8c",
         "Hash table vs bucket count (Figure 8c)",
@@ -667,25 +955,21 @@ pub fn fig8c() -> Vec<Table> {
         buckets.iter().map(|b| b.to_string()).collect(),
         "ops/s (partitioned approximation)",
     );
-    let mut series: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
-    for &b in &buckets {
-        let clients_per_lock = (threads / b).max(1);
-        let active_locks = b.min(threads) as f64;
-        for (name, v) in
-            fig8_variants(&platform, CsProfile::sorted_list(512 / b as u32), clients_per_lock, 20)
-        {
-            series.entry(name).or_default().push(v * active_locks);
-        }
-    }
-    for name in ["Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P"] {
-        t.push_row(name, series[name].clone());
+    for (li, lock) in LOCKS.iter().enumerate() {
+        t.push_row(
+            lock,
+            cols.iter()
+                .map(|(active, col)| r.scalar(col[li]) * active)
+                .collect(),
+        );
     }
     vec![t]
 }
 
-/// Figure 8(d): BOTS floorplan, normalized execution time (host threads).
+/// Figure 8(d): BOTS floorplan, normalized execution time (host threads;
+/// wall-clock — neither parallelized across configurations nor cached).
 #[must_use]
-pub fn fig8d() -> Vec<Table> {
+pub fn fig8d(_ctx: &SweepCtx) -> Vec<Table> {
     use armbar_floorplan::{bots_input, solve_parallel, solve_sequential, BoundOps, SharedBound};
     use armbar_locks::{CombiningLock, OpTable, TicketLock};
     let inputs = [5usize, 15, 20];
@@ -735,5 +1019,51 @@ pub fn fig8d() -> Vec<Table> {
     for (name, vals) in times {
         t.push_row(name, vals.iter().zip(&base).map(|(v, b)| v / b).collect());
     }
+    vec![t]
+}
+
+// ----------------------------------------------------------------- battery
+
+/// The litmus battery under ARM WMM via the parallel battery runner:
+/// explorer verdicts, explored-state counts, and outcome counts (all
+/// deterministic, so they land in the CSV); per-test wall times vary run
+/// to run and go to stdout only.
+#[must_use]
+pub fn battery(ctx: &SweepCtx) -> Vec<Table> {
+    let runs = run_battery(MemoryModel::ArmWmm, ctx.workers);
+    let mut t = Table::new(
+        "battery",
+        "Litmus battery under ARM WMM: verdicts and explored state space",
+        "test",
+        vec![
+            "allowed".into(),
+            "expected".into(),
+            "states_visited".into(),
+            "outcomes".into(),
+        ],
+        "explorer statistics (wall times on stdout)",
+    );
+    let mut total = std::time::Duration::ZERO;
+    for r in &runs {
+        println!(
+            "  {:<24} states={:<6} outcomes={:<3} wall={:?}",
+            r.name, r.states_visited, r.outcome_count, r.wall
+        );
+        total += r.wall;
+        t.push_row(
+            &r.name,
+            vec![
+                bool_num(r.allowed),
+                bool_num(r.expected_allowed),
+                r.states_visited as f64,
+                r.outcome_count as f64,
+            ],
+        );
+    }
+    println!(
+        "  battery explorer time: {total:?} across {} tests on {} worker(s)",
+        runs.len(),
+        ctx.workers
+    );
     vec![t]
 }

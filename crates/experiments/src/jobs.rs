@@ -1,0 +1,146 @@
+//! The worker pool behind the sweep engine: a crossbeam work-stealing
+//! deque per worker fed from a shared injector, sized by `ARMBAR_JOBS`.
+//!
+//! Jobs are independent closures; results come back in submission order,
+//! so callers observe exactly what a serial loop would have produced.
+//! `ARMBAR_JOBS=1` (or a single job) bypasses the pool entirely and runs
+//! the jobs inline on the calling thread — the old serial path.
+
+use std::sync::Mutex;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+/// Number of sweep workers: `ARMBAR_JOBS` when set to a positive integer,
+/// otherwise the number of available cores.
+#[must_use]
+pub fn worker_count() -> usize {
+    parse_jobs(std::env::var("ARMBAR_JOBS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// `ARMBAR_JOBS` parsing, separated from the environment for testability:
+/// `Some(n)` for a positive integer, `None` (fall back to core count) for
+/// unset, empty, zero, or garbage.
+#[must_use]
+pub fn parse_jobs(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Run every job and return their results in submission order.
+///
+/// With `workers <= 1` or fewer than two jobs this is a plain serial loop.
+/// Otherwise `workers` (capped at the job count) scoped threads drain a
+/// shared [`Injector`], falling back to stealing from each other's local
+/// deques, and park each result in its submission slot.
+///
+/// # Panics
+///
+/// Propagates panics from the jobs themselves (the scope unwinds).
+pub fn run_jobs<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let injector: Injector<(usize, F)> = Injector::new();
+    let worker_n = workers.min(jobs.len());
+    for pair in jobs.into_iter().enumerate() {
+        injector.push(pair);
+    }
+    let locals: Vec<Worker<(usize, F)>> = (0..worker_n).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, F)>> = locals.iter().map(Worker::stealer).collect();
+    std::thread::scope(|scope| {
+        for (me, local) in locals.iter().enumerate() {
+            let (injector, stealers, slots) = (&injector, &stealers, &slots);
+            scope.spawn(move || {
+                while let Some((ix, job)) = find_task(local, injector, stealers, me) {
+                    let out = job();
+                    *slots[ix].lock().expect("result slot poisoned") = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+/// Local deque first, then the shared injector, then the other workers.
+fn find_task<T>(
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+    me: usize,
+) -> Option<T> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        match injector.steal() {
+            Steal::Success(task) => return Some(task),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    for (other, stealer) in stealers.iter().enumerate() {
+        if other == me {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_var_parsing() {
+        assert_eq!(parse_jobs(None), None);
+        assert_eq!(parse_jobs(Some("")), None);
+        assert_eq!(parse_jobs(Some("0")), None);
+        assert_eq!(parse_jobs(Some("banana")), None);
+        assert_eq!(parse_jobs(Some("1")), Some(1));
+        assert_eq!(parse_jobs(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let jobs: Vec<_> = (0..64u64).map(|i| move || i * i).collect();
+        let serial = run_jobs(jobs, 1);
+        let jobs: Vec<_> = (0..64u64).map(|i| move || i * i).collect();
+        let parallel = run_jobs(jobs, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn pool_handles_more_workers_than_jobs() {
+        let jobs: Vec<_> = (0..2u64).map(|i| move || i + 1).collect();
+        assert_eq!(run_jobs(jobs, 16), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_and_single_job_lists() {
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert!(run_jobs(none, 4).is_empty());
+        assert_eq!(run_jobs(vec![|| 9u8], 4), vec![9]);
+    }
+}

@@ -2,42 +2,60 @@
 //! each returning [`report::Table`]s that print in the paper's shape and
 //! land as CSV under `results/`.
 //!
+//! Experiments declare their configuration grids as [`sweep::SweepSpec`]
+//! cells; the sweep engine executes independent cells on a work-stealing
+//! pool sized by `ARMBAR_JOBS` ([`jobs`]) and memoizes completed runs in a
+//! content-addressed cache under `results/.cache/` ([`cache`]), while
+//! keeping the CSV output byte-identical to a serial run.
+//!
 //! Binaries in `src/bin/` (`exp-table1`, `exp-fig3`, …, `exp-all`) are thin
 //! wrappers over these functions; Criterion benches in `armbar-bench` wrap
-//! the same functions for regression tracking.
+//! the same workloads for regression tracking.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod extension;
 pub mod figures;
+pub mod jobs;
 pub mod report;
+pub mod sweep;
 
+pub use cache::RunCache;
 pub use report::Table;
+pub use sweep::{SweepCtx, SweepSpec};
 
-/// Run one experiment by id (`"table1"`, `"fig6a"`, …) and print + persist
-/// its tables. Returns `false` for an unknown id.
+/// Run one experiment by id (`"table1"`, `"fig6a"`, …) with the
+/// environment's worker count and cache. Returns `false` for an unknown id.
 pub fn run_experiment(id: &str) -> bool {
+    run_experiment_with(id, &SweepCtx::from_env())
+}
+
+/// Run one experiment by id under an explicit sweep context and print +
+/// persist its tables. Returns `false` for an unknown id.
+pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
     let tables = match id {
-        "table1" => figures::table1(),
-        "table2" => figures::table2(),
-        "table3" => figures::table3(),
-        "fig2" => figures::fig2(),
-        "fig3" => figures::fig3(),
-        "fig4" => figures::fig4(),
-        "fig5" => figures::fig5(),
-        "fig6a" => figures::fig6a(),
-        "fig6b" => figures::fig6b(),
-        "fig6c" => figures::fig6c(),
-        "fig6d" => figures::fig6d(),
-        "fig7a" => figures::fig7a(),
-        "fig7b" => figures::fig7b(),
-        "fig7c" => figures::fig7c(),
-        "fig8a" => figures::fig8a(),
-        "fig8b" => figures::fig8b(),
-        "fig8c" => figures::fig8c(),
-        "fig8d" => figures::fig8d(),
-        "ext-mca" => extension::ext_mca(),
+        "table1" => figures::table1(ctx),
+        "table2" => figures::table2(ctx),
+        "table3" => figures::table3(ctx),
+        "fig2" => figures::fig2(ctx),
+        "fig3" => figures::fig3(ctx),
+        "fig4" => figures::fig4(ctx),
+        "fig5" => figures::fig5(ctx),
+        "fig6a" => figures::fig6a(ctx),
+        "fig6b" => figures::fig6b(ctx),
+        "fig6c" => figures::fig6c(ctx),
+        "fig6d" => figures::fig6d(ctx),
+        "fig7a" => figures::fig7a(ctx),
+        "fig7b" => figures::fig7b(ctx),
+        "fig7c" => figures::fig7c(ctx),
+        "fig8a" => figures::fig8a(ctx),
+        "fig8b" => figures::fig8b(ctx),
+        "fig8c" => figures::fig8c(ctx),
+        "fig8d" => figures::fig8d(ctx),
+        "ext-mca" => extension::ext_mca(ctx),
+        "battery" => figures::battery(ctx),
         _ => return false,
     };
     for t in &tables {
@@ -49,10 +67,10 @@ pub fn run_experiment(id: &str) -> bool {
     true
 }
 
-/// Every experiment id, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+/// Every experiment id, in paper order (plus the litmus battery report).
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig6a", "fig6b", "fig6c",
-    "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca",
+    "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca", "battery",
 ];
 
 #[cfg(test)]
@@ -73,7 +91,12 @@ mod tests {
     #[test]
     fn table_experiments_produce_well_formed_tables() {
         // The fast (explorer-backed) experiments, exercised end to end.
-        for tables in [figures::table1(), figures::table2(), figures::table3()] {
+        let ctx = SweepCtx::serial_uncached();
+        for tables in [
+            figures::table1(&ctx),
+            figures::table2(&ctx),
+            figures::table3(&ctx),
+        ] {
             for t in tables {
                 assert!(!t.rows.is_empty());
                 for (_, vals) in &t.rows {
@@ -85,7 +108,7 @@ mod tests {
 
     #[test]
     fn table1_reports_the_papers_verdicts() {
-        let t = &figures::table1()[0];
+        let t = &figures::table1(&SweepCtx::serial_uncached())[0];
         // Row 0: MP without barriers -> SC 0, TSO 0, WMM 1.
         assert_eq!(t.rows[0].1, vec![0.0, 0.0, 1.0]);
         // Rows 1-2: fixed MP and Pilot MP are safe everywhere.
@@ -95,10 +118,22 @@ mod tests {
 
     #[test]
     fn table3_proves_every_cell() {
-        let t = &figures::table3()[0];
+        let t = &figures::table3(&SweepCtx::serial_uncached())[0];
         assert_eq!(t.rows.len(), 4);
         for (name, vals) in &t.rows {
             assert_eq!(vals, &vec![1.0], "cell {name} must be explorer-proved");
+        }
+    }
+
+    #[test]
+    fn battery_report_matches_expectations() {
+        let tables = figures::battery(&SweepCtx::serial_uncached());
+        let t = &tables[0];
+        assert!(!t.rows.is_empty());
+        for (name, vals) in &t.rows {
+            assert_eq!(vals[0], vals[1], "{name}: verdict must match expectation");
+            assert!(vals[2] > 0.0, "{name}: states_visited must be reported");
+            assert!(vals[3] > 0.0, "{name}: outcome count must be reported");
         }
     }
 }

@@ -42,7 +42,12 @@ impl Table {
     ///
     /// Panics when the value count does not match the column count.
     pub fn push_row(&mut self, label: &str, values: Vec<f64>) {
-        assert_eq!(values.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push((label.to_string(), values));
     }
 
@@ -59,7 +64,13 @@ impl Table {
             .max()
             .unwrap_or(8)
             .max(8);
-        let col_w = self.columns.iter().map(|c| c.len()).max().unwrap_or(6).max(9);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(6)
+            .max(9);
         let _ = write!(out, "{:label_w$}", self.col_label);
         for c in &self.columns {
             let _ = write!(out, " {c:>col_w$}");

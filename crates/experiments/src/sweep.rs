@@ -1,0 +1,217 @@
+//! The sweep engine: experiments declare their configuration grid as data
+//! and the engine decides how to execute it.
+//!
+//! A [`SweepSpec`] is an ordered list of *cells*; each cell pairs a
+//! content-addressed cache key with a closure producing that cell's CSV
+//! row values. [`SweepSpec::run`] answers as many cells as possible from
+//! the [`RunCache`], executes the misses on the [`jobs`](crate::jobs)
+//! worker pool, stores their results, and reassembles everything in
+//! declaration order — so the produced tables are byte-identical whether
+//! the sweep ran serially, on eight workers, or straight out of the cache.
+
+use crate::cache::RunCache;
+use crate::jobs;
+
+/// Handle to one declared cell, used to read its values after the run.
+#[derive(Debug, Clone, Copy)]
+pub struct CellId(usize);
+
+/// One unit of sweep work: a cache key plus the computation it names.
+struct SweepCell {
+    key: String,
+    run: Box<dyn FnOnce() -> Vec<f64> + Send>,
+}
+
+/// An experiment's configuration grid, declared as data.
+pub struct SweepSpec {
+    label: String,
+    cells: Vec<SweepCell>,
+}
+
+impl SweepSpec {
+    /// An empty grid; `label` names the experiment in panic messages.
+    #[must_use]
+    pub fn new(label: &str) -> SweepSpec {
+        SweepSpec {
+            label: label.to_string(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Declare one cell. `key` must name the computation completely (see
+    /// [`cache_key`](crate::cache::cache_key)); `run` produces the cell's
+    /// values and must be deterministic for caching and worker-count
+    /// independence to hold.
+    pub fn cell(&mut self, key: String, run: impl FnOnce() -> Vec<f64> + Send + 'static) -> CellId {
+        self.cells.push(SweepCell {
+            key,
+            run: Box::new(run),
+        });
+        CellId(self.cells.len() - 1)
+    }
+
+    /// Number of declared cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells were declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Execute the grid under `ctx`: cache lookups first, then the misses
+    /// on the worker pool, then cache stores; results land in declaration
+    /// order regardless of completion order.
+    #[must_use]
+    pub fn run(self, ctx: &SweepCtx) -> SweepResults {
+        let label = self.label;
+        let mut values: Vec<Option<Vec<f64>>> = Vec::with_capacity(self.cells.len());
+        let mut pending: Vec<(usize, SweepCell)> = Vec::new();
+        for (ix, cell) in self.cells.into_iter().enumerate() {
+            match ctx.cache.lookup(&cell.key) {
+                Some(cached) => values.push(Some(cached)),
+                None => {
+                    values.push(None);
+                    pending.push((ix, cell));
+                }
+            }
+        }
+        let keyed: Vec<(usize, String)> =
+            pending.iter().map(|(ix, c)| (*ix, c.key.clone())).collect();
+        let jobs: Vec<_> = pending.into_iter().map(|(_, c)| c.run).collect();
+        let computed = jobs::run_jobs(jobs, ctx.workers);
+        for ((ix, key), vals) in keyed.into_iter().zip(computed) {
+            ctx.cache.store(&key, &vals);
+            values[ix] = Some(vals);
+        }
+        SweepResults {
+            label,
+            values: values
+                .into_iter()
+                .map(|v| v.expect("every cell resolved"))
+                .collect(),
+        }
+    }
+}
+
+/// How a sweep executes: worker count plus the run cache.
+#[derive(Debug)]
+pub struct SweepCtx {
+    /// Worker threads for cache misses; `1` is the serial path.
+    pub workers: usize,
+    /// Completed-run memoization.
+    pub cache: RunCache,
+}
+
+impl SweepCtx {
+    /// Explicit worker count and cache.
+    #[must_use]
+    pub fn new(workers: usize, cache: RunCache) -> SweepCtx {
+        SweepCtx { workers, cache }
+    }
+
+    /// The binaries' context: `ARMBAR_JOBS` workers (default: available
+    /// cores) and the `results/.cache` store unless `ARMBAR_NO_CACHE=1`.
+    #[must_use]
+    pub fn from_env() -> SweepCtx {
+        SweepCtx::new(jobs::worker_count(), RunCache::from_env())
+    }
+
+    /// One worker, no cache — the reference configuration for tests.
+    #[must_use]
+    pub fn serial_uncached() -> SweepCtx {
+        SweepCtx::new(1, RunCache::disabled())
+    }
+}
+
+/// Per-cell values of a completed sweep, in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResults {
+    label: String,
+    values: Vec<Vec<f64>>,
+}
+
+impl SweepResults {
+    /// The values `cell` produced.
+    #[must_use]
+    pub fn get(&self, cell: CellId) -> &[f64] {
+        &self.values[cell.0]
+    }
+
+    /// The single value of a one-value cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell produced more or fewer than one value.
+    #[must_use]
+    pub fn scalar(&self, cell: CellId) -> f64 {
+        let vals = self.get(cell);
+        assert_eq!(
+            vals.len(),
+            1,
+            "cell in sweep '{}' is not scalar",
+            self.label
+        );
+        vals[0]
+    }
+
+    /// All values, in declaration order.
+    #[must_use]
+    pub fn into_values(self) -> Vec<Vec<f64>> {
+        self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_spec(n: usize) -> (SweepSpec, Vec<CellId>) {
+        let mut spec = SweepSpec::new("squares");
+        let ids = (0..n)
+            .map(|i| spec.cell(format!("squares|{i}"), move || vec![(i * i) as f64]))
+            .collect();
+        (spec, ids)
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_agree() {
+        let (spec, ids) = square_spec(40);
+        let serial = spec.run(&SweepCtx::serial_uncached());
+        let (spec, _) = square_spec(40);
+        let parallel = spec.run(&SweepCtx::new(4, RunCache::disabled()));
+        assert_eq!(serial.values, parallel.values);
+        assert_eq!(serial.scalar(ids[6]), 36.0);
+    }
+
+    #[test]
+    fn warm_cache_skips_every_cell() {
+        let dir = std::env::temp_dir().join(format!("armbar_sweep_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (spec, _) = square_spec(10);
+        let cold_ctx = SweepCtx::new(2, RunCache::at(&dir));
+        let cold = spec.run(&cold_ctx);
+        assert_eq!(cold_ctx.cache.hits(), 0);
+        assert_eq!(cold_ctx.cache.stores(), 10);
+
+        let (spec, ids) = square_spec(10);
+        let warm_ctx = SweepCtx::new(2, RunCache::at(&dir));
+        let warm = spec.run(&warm_ctx);
+        assert_eq!(warm_ctx.cache.hits(), 10);
+        assert_eq!(warm_ctx.cache.misses(), 0);
+        assert_eq!(cold.values, warm.values);
+        assert_eq!(warm.get(ids[3]), &[9.0]);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let spec = SweepSpec::new("empty");
+        assert!(spec.is_empty());
+        let r = spec.run(&SweepCtx::serial_uncached());
+        assert!(r.into_values().is_empty());
+    }
+}

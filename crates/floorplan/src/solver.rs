@@ -35,7 +35,10 @@ impl SharedBound {
     /// Fresh bound.
     #[must_use]
     pub fn new() -> SharedBound {
-        SharedBound { best: u64::MAX, updates: 0 }
+        SharedBound {
+            best: u64::MAX,
+            updates: 0,
+        }
     }
 }
 
@@ -90,9 +93,9 @@ fn bbox(placed: &[Placed]) -> (u32, u32) {
 }
 
 fn overlaps(placed: &[Placed], x: u32, y: u32, s: Shape) -> bool {
-    placed.iter().any(|p| {
-        x < p.x + p.shape.w && p.x < x + s.w && y < p.y + p.shape.h && p.y < y + s.h
-    })
+    placed
+        .iter()
+        .any(|p| x < p.x + p.shape.w && p.x < x + s.w && y < p.y + p.shape.h && p.y < y + s.h)
 }
 
 /// Candidate positions: the origin plus the top-left and bottom-right
@@ -135,7 +138,7 @@ struct SearchCtx<'a, F: FnMut() -> u64, G: FnMut(u64) -> u64> {
 impl<F: FnMut() -> u64, G: FnMut(u64) -> u64> SearchCtx<'_, F, G> {
     fn dfs(&mut self, placed: &mut Vec<Placed>, depth: usize) {
         self.nodes += 1;
-        if self.nodes % self.reread_period == 0 {
+        if self.nodes.is_multiple_of(self.reread_period) {
             self.cached_best = (self.read_best)();
         }
         let (w, h) = bbox(placed);
@@ -187,7 +190,10 @@ pub fn solve_sequential(problem: &Problem) -> Solution {
     // via a small state machine instead (no locks involved).
     let mut placed = Vec::with_capacity(problem.size());
     seq_dfs(problem, &suffix, &mut placed, 0, &mut best, &mut ctx.nodes);
-    Solution { area: best, nodes: ctx.nodes }
+    Solution {
+        area: best,
+        nodes: ctx.nodes,
+    }
 }
 
 fn seq_dfs(
@@ -246,7 +252,11 @@ pub fn solve_parallel<E: Executor<SharedBound>>(
         return Solution { area: 0, nodes: 1 };
     }
     for &s0 in &problem.cells[0].shapes {
-        let first = Placed { x: 0, y: 0, shape: s0 };
+        let first = Placed {
+            x: 0,
+            y: 0,
+            shape: s0,
+        };
         if problem.size() == 1 {
             tasks.push(vec![first]);
             continue;
@@ -292,7 +302,10 @@ pub fn solve_parallel<E: Executor<SharedBound>>(
         }
     });
     let area = executor.execute(0, ops.read, 0);
-    Solution { area, nodes: total_nodes.load(Ordering::Relaxed) }
+    Solution {
+        area,
+        nodes: total_nodes.load(Ordering::Relaxed),
+    }
 }
 
 #[cfg(test)]
@@ -303,7 +316,11 @@ mod tests {
 
     #[test]
     fn trivial_single_square() {
-        let p = Problem { cells: vec![Cell { shapes: vec![Shape { w: 2, h: 2 }] }] };
+        let p = Problem {
+            cells: vec![Cell {
+                shapes: vec![Shape { w: 2, h: 2 }],
+            }],
+        };
         let s = solve_sequential(&p);
         assert_eq!(s.area, 4);
     }
@@ -314,8 +331,12 @@ mod tests {
         // give area 4; either way optimal area is 4.
         let p = Problem {
             cells: vec![
-                Cell { shapes: vec![Shape { w: 1, h: 2 }, Shape { w: 2, h: 1 }] },
-                Cell { shapes: vec![Shape { w: 1, h: 2 }, Shape { w: 2, h: 1 }] },
+                Cell {
+                    shapes: vec![Shape { w: 1, h: 2 }, Shape { w: 2, h: 1 }],
+                },
+                Cell {
+                    shapes: vec![Shape { w: 1, h: 2 }, Shape { w: 2, h: 1 }],
+                },
             ],
         };
         assert_eq!(solve_sequential(&p).area, 4);

@@ -156,7 +156,9 @@ impl<T: Send> CombiningLock<T> {
             req_barrier,
             resp_barrier,
             pool: HashPool::default_pool(),
-            handles: (0..max_threads).map(|h| CachePadded::new(AtomicUsize::new(h + 1))).collect(),
+            handles: (0..max_threads)
+                .map(|h| CachePadded::new(AtomicUsize::new(h + 1)))
+                .collect(),
         }
     }
 
@@ -299,7 +301,8 @@ impl<T: Send> CombiningLock<T> {
                     // Our own result travels by return value; still keep the
                     // stored word fresh so future rounds' old-value sampling
                     // stays coherent.
-                    node.ret.store(raw ^ self.pool.seed_at(round as usize), Ordering::Relaxed);
+                    node.ret
+                        .store(raw ^ self.pool.seed_at(round as usize), Ordering::Relaxed);
                 }
             }
         }

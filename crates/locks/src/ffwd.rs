@@ -309,7 +309,9 @@ impl<T: Send + 'static> FfwdExecutor<T> {
     #[must_use]
     pub fn new(lock: &Ffwd<T>, max_clients: usize) -> FfwdExecutor<T> {
         FfwdExecutor {
-            clients: (0..max_clients).map(|i| std::sync::Mutex::new(lock.client(i))).collect(),
+            clients: (0..max_clients)
+                .map(|i| std::sync::Mutex::new(lock.client(i)))
+                .collect(),
         }
     }
 }
@@ -318,7 +320,10 @@ impl<T: Send + 'static> Executor<T> for FfwdExecutor<T> {
     fn execute(&self, handle: usize, id: OpId, arg: u64) -> u64 {
         // Each handle is used by exactly one thread; the Mutex is
         // uncontended and only satisfies the `&self` signature.
-        self.clients[handle].lock().expect("client poisoned").execute(id, arg)
+        self.clients[handle]
+            .lock()
+            .expect("client poisoned")
+            .execute(id, arg)
     }
 }
 

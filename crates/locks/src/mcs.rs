@@ -86,7 +86,9 @@ impl<T> McsLock<T> {
         // see ours.
         let prev = self.tail.swap(handle + 1, Ordering::AcqRel);
         if prev != NO_NODE {
-            self.nodes[prev - 1].next.store(handle + 1, Ordering::Release);
+            self.nodes[prev - 1]
+                .next
+                .store(handle + 1, Ordering::Release);
             let backoff = Backoff::new();
             while me.locked.load(Ordering::Acquire) == 1 {
                 backoff.snooze();

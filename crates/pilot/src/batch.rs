@@ -9,8 +9,10 @@
 
 use armbar_barriers::Barrier;
 
-use crate::channel::{pilot_ring, spsc_ring, BarrierPair, PilotReceiverRing, PilotSenderRing,
-                     SpscReceiver, SpscSender};
+use crate::channel::{
+    pilot_ring, spsc_ring, BarrierPair, PilotReceiverRing, PilotSenderRing, SpscReceiver,
+    SpscSender,
+};
 use crate::hashpool::HashPool;
 
 /// Batched sender over the baseline ring.
@@ -40,7 +42,10 @@ pub fn batched_spsc(
     barriers: BarrierPair,
 ) -> (BatchedSpscSender, BatchedSpscReceiver) {
     let (tx, rx) = spsc_ring(capacity, barriers);
-    (BatchedSpscSender { inner: tx }, BatchedSpscReceiver { inner: rx })
+    (
+        BatchedSpscSender { inner: tx },
+        BatchedSpscReceiver { inner: rx },
+    )
 }
 
 /// Pilot batched ring.
@@ -51,7 +56,10 @@ pub fn batched_pilot(
     avail: Barrier,
 ) -> (BatchedPilotSender, BatchedPilotReceiver) {
     let (tx, rx) = pilot_ring(capacity, pool, avail);
-    (BatchedPilotSender { inner: tx }, BatchedPilotReceiver { inner: rx })
+    (
+        BatchedPilotSender { inner: tx },
+        BatchedPilotReceiver { inner: rx },
+    )
 }
 
 impl BatchedSpscSender {

@@ -37,13 +37,21 @@ pub struct BarrierPair {
 
 impl BarrierPair {
     /// The best-performing correct combination (Observation 6).
-    pub const LD_ST: BarrierPair = BarrierPair { avail: Barrier::DmbLd, publish: Barrier::DmbSt };
+    pub const LD_ST: BarrierPair = BarrierPair {
+        avail: Barrier::DmbLd,
+        publish: Barrier::DmbSt,
+    };
     /// The conservative combination.
-    pub const FULL_FULL: BarrierPair =
-        BarrierPair { avail: Barrier::DmbFull, publish: Barrier::DmbFull };
+    pub const FULL_FULL: BarrierPair = BarrierPair {
+        avail: Barrier::DmbFull,
+        publish: Barrier::DmbFull,
+    };
     /// "Ideal": no barriers at all — incorrect on ARM, the paper's upper
     /// reference line.
-    pub const IDEAL: BarrierPair = BarrierPair { avail: Barrier::None, publish: Barrier::None };
+    pub const IDEAL: BarrierPair = BarrierPair {
+        avail: Barrier::None,
+        publish: Barrier::None,
+    };
 }
 
 /// Execute one of the configurable barrier points on the host.
@@ -76,9 +84,14 @@ struct RingShared {
 
 impl RingShared {
     fn new(capacity: usize) -> Arc<RingShared> {
-        assert!(capacity > 0 && capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(
+            capacity > 0 && capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
         Arc::new(RingShared {
-            slots: (0..capacity).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            slots: (0..capacity)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             prod_cnt: CachePadded::new(AtomicU64::new(0)),
             cons_cnt: CachePadded::new(AtomicU64::new(0)),
         })
@@ -108,8 +121,18 @@ pub fn spsc_ring(capacity: usize, barriers: BarrierPair) -> (SpscSender, SpscRec
     let shared = RingShared::new(capacity);
     let mask = capacity as u64 - 1;
     (
-        SpscSender { shared: Arc::clone(&shared), barriers, prod_cnt: 0, mask },
-        SpscReceiver { shared, barriers, cons_cnt: 0, mask },
+        SpscSender {
+            shared: Arc::clone(&shared),
+            barriers,
+            prod_cnt: 0,
+            mask,
+        },
+        SpscReceiver {
+            shared,
+            barriers,
+            cons_cnt: 0,
+            mask,
+        },
     )
 }
 
@@ -223,10 +246,17 @@ pub fn pilot_ring(
     pool: &HashPool,
     avail: Barrier,
 ) -> (PilotSenderRing, PilotReceiverRing) {
-    assert!(capacity > 0 && capacity.is_power_of_two(), "capacity must be a power of two");
+    assert!(
+        capacity > 0 && capacity.is_power_of_two(),
+        "capacity must be a power of two"
+    );
     let shared = Arc::new(PilotRingShared {
-        slots: (0..capacity).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
-        flags: (0..capacity).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+        slots: (0..capacity)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        flags: (0..capacity)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
         cons_cnt: CachePadded::new(AtomicU64::new(0)),
     });
     let mask = capacity as u64 - 1;
@@ -352,7 +382,10 @@ mod tests {
 
     #[test]
     fn spsc_transfers_with_stlr_publish() {
-        exercise_spsc(BarrierPair { avail: Barrier::DmbFull, publish: Barrier::Stlr });
+        exercise_spsc(BarrierPair {
+            avail: Barrier::DmbFull,
+            publish: Barrier::Stlr,
+        });
     }
 
     #[test]
@@ -401,7 +434,10 @@ mod tests {
             tx.send(7);
             assert_eq!(rx.recv(), 7);
         }
-        assert_eq!(tx.fallbacks, 0, "shuffle must avoid fallbacks for constants");
+        assert_eq!(
+            tx.fallbacks, 0,
+            "shuffle must avoid fallbacks for constants"
+        );
     }
 
     #[test]

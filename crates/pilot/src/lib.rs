@@ -39,7 +39,9 @@ pub mod channel;
 pub mod hashpool;
 pub mod slot;
 
-pub use channel::{pilot_ring, spsc_ring, BarrierPair, PilotReceiverRing, PilotSenderRing,
-                  SpscReceiver, SpscSender};
+pub use channel::{
+    pilot_ring, spsc_ring, BarrierPair, PilotReceiverRing, PilotSenderRing, SpscReceiver,
+    SpscSender,
+};
 pub use hashpool::HashPool;
 pub use slot::{pilot_pair, PilotReceiver, PilotSender};

@@ -30,7 +30,10 @@ pub struct PilotShared {
 
 impl PilotShared {
     fn new() -> PilotShared {
-        PilotShared { data: CachePadded::new(AtomicU64::new(0)), flag: AtomicU64::new(0) }
+        PilotShared {
+            data: CachePadded::new(AtomicU64::new(0)),
+            flag: AtomicU64::new(0),
+        }
     }
 }
 
@@ -66,7 +69,12 @@ pub fn pilot_pair(pool: &HashPool) -> (PilotSender, PilotReceiver) {
             local_flag: 0,
             fallbacks: 0,
         },
-        PilotReceiver { shared, pool: pool.clone(), old_data: 0, old_flag: 0 },
+        PilotReceiver {
+            shared,
+            pool: pool.clone(),
+            old_data: 0,
+            old_flag: 0,
+        },
     )
 }
 

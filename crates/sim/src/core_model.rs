@@ -19,7 +19,7 @@
 //! see the flag before the data if the producer omitted its barrier, because
 //! the store buffer drains out of order.
 
-use std::collections::HashMap;
+use armbar_fxhash::FxHashMap;
 
 use armbar_barriers::Barrier;
 
@@ -38,8 +38,9 @@ use crate::types::{Addr, CoreId, Cycle, DistanceClass, Line};
 pub struct SharedState {
     /// Coherence directory.
     pub directory: Directory,
-    /// Globally visible memory (committed store values).
-    pub memory: HashMap<Addr, u64>,
+    /// Globally visible memory (committed store values). FxHash-keyed:
+    /// addresses are workload-chosen constants, never adversarial.
+    pub memory: FxHashMap<Addr, u64>,
 }
 
 impl SharedState {
@@ -100,13 +101,19 @@ impl PendingBarrier {
     fn waits_loads(&self) -> bool {
         matches!(
             self.kind,
-            Barrier::DmbFull | Barrier::DmbLd | Barrier::DsbFull | Barrier::DsbLd
+            Barrier::DmbFull
+                | Barrier::DmbLd
+                | Barrier::DsbFull
+                | Barrier::DsbLd
                 | Barrier::CtrlIsb
         )
     }
 
     fn waits_stores(&self) -> bool {
-        matches!(self.kind, Barrier::DmbFull | Barrier::DsbFull | Barrier::DsbSt)
+        matches!(
+            self.kind,
+            Barrier::DmbFull | Barrier::DsbFull | Barrier::DsbSt
+        )
     }
 
     /// Does this pending barrier forbid issuing memory operations?
@@ -198,7 +205,11 @@ impl Core {
             acquire_gate: None,
             last_load: None,
             load_seq_done: Vec::new(),
-            ctx: ThreadCtx { now: 0, last_value: 0, iterations: 0 },
+            ctx: ThreadCtx {
+                now: 0,
+                last_value: 0,
+                iterations: 0,
+            },
             stats: CoreStats::default(),
             params_cache: CoreParams {
                 issue_width: lat.issue_width,
@@ -257,7 +268,10 @@ impl Core {
         }
         // Issue possible?
         let blocked_all = self.issue_blocked_until > now
-            || self.pending_barrier.as_ref().is_some_and(|b| b.blocks_all());
+            || self
+                .pending_barrier
+                .as_ref()
+                .is_some_and(|b| b.blocks_all());
         if !blocked_all && !self.halted && self.suspended_on.is_none() {
             consider(now + 1);
         }
@@ -275,7 +289,14 @@ impl Core {
                 consider(t);
             }
         }
-        wake
+        // A non-quiesced core with no scheduled event can still make
+        // progress on the very next step (e.g. a just-issued barrier whose
+        // wait conditions are checked per step, or a ready store starting
+        // its drain). Report a one-cycle heartbeat rather than dormancy:
+        // `None` is reserved for quiesced cores, and the machine's run loop
+        // treats it as "this core never runs again" and skips to its cycle
+        // limit.
+        Some(wake.unwrap_or(now + 1))
     }
 
     fn loads_done_before(&self, seq: Seq, now: Cycle) -> bool {
@@ -303,8 +324,13 @@ impl Core {
 
     /// Phase 1: completions — loads/RMWs finishing, drains landing,
     /// barrier/gate conditions resolving.
-    fn complete_phase(&mut self, now: Cycle, topo: &Topology, lat: &LatencyParams,
-                      shared: &mut SharedState) {
+    fn complete_phase(
+        &mut self,
+        now: Cycle,
+        topo: &Topology,
+        lat: &LatencyParams,
+        shared: &mut SharedState,
+    ) {
         let _ = topo;
         let _ = lat;
         // Finish loads and RMWs.
@@ -439,9 +465,7 @@ impl Core {
                             }
                         }
                         Barrier::DmbLd => now + 1,
-                        Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd => {
-                            now + pc.t_syncbar
-                        }
+                        Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd => now + pc.t_syncbar,
                         Barrier::CtrlIsb => now + pc.t_isb_flush,
                         other => unreachable!("{other} never becomes a pending barrier"),
                     };
@@ -466,8 +490,13 @@ impl Core {
     }
 
     /// Phase 2: start store-buffer drains while coherence ports are free.
-    fn drain_phase(&mut self, now: Cycle, topo: &Topology, lat: &LatencyParams,
-                   shared: &mut SharedState) {
+    fn drain_phase(
+        &mut self,
+        now: Cycle,
+        topo: &Topology,
+        lat: &LatencyParams,
+        shared: &mut SharedState,
+    ) {
         loop {
             let done_log = &self.load_seq_done;
             let loads = &self.loads;
@@ -478,14 +507,19 @@ impl Core {
                     true
                 }
             };
-            let Some(i) = self.sb.pick_drain_candidate(now, loads_done) else { break };
+            let Some(i) = self.sb.pick_drain_candidate(now, loads_done) else {
+                break;
+            };
             let (addr, release) = {
                 let e = &self.sb.entries()[i];
                 (e.addr, e.release)
             };
-            let out = shared.directory.access(topo, lat, self.id, Line::containing(addr), true);
+            let out = shared
+                .directory
+                .access(topo, lat, self.id, Line::containing(addr), true);
             let extra = if release { self.params_cache.t_stlr } else { 0 };
-            self.sb.start_drain_with_meta(i, now + out.latency + extra, out.distance);
+            self.sb
+                .start_drain_with_meta(i, now + out.latency + extra, out.distance);
         }
     }
 
@@ -497,8 +531,13 @@ impl Core {
 
     /// Phase 4: issue up to `issue_width` instructions.
     #[allow(clippy::too_many_lines)]
-    fn issue_phase(&mut self, now: Cycle, topo: &Topology, lat: &LatencyParams,
-                   shared: &mut SharedState) {
+    fn issue_phase(
+        &mut self,
+        now: Cycle,
+        topo: &Topology,
+        lat: &LatencyParams,
+        shared: &mut SharedState,
+    ) {
         let pc = self.params_cache;
         let mut budget = pc.issue_width;
         let mut stall = StallReason::None;
@@ -570,7 +609,12 @@ impl Core {
                     self.halted = true;
                     self.stats.halted_at = Some(now);
                 }
-                Op::Load { addr, use_value, acquire, dep_on_last_load } => {
+                Op::Load {
+                    addr,
+                    use_value,
+                    acquire,
+                    dep_on_last_load,
+                } => {
                     if self.memory_blocked(now)
                         || self.rob.free() == 0
                         || self.outstanding_loads(now) as u32 >= pc.max_outstanding_loads
@@ -590,22 +634,21 @@ impl Core {
                     };
                     let seq = self.next_seq;
                     self.next_seq += 1;
-                    let (done_at, distance, forwarded) =
-                        if let Some(v) = self.sb.forward(addr) {
-                            (start + pc.t_l1_hit, DistanceClass::Local, Some(v))
-                        } else {
-                            let out = shared.directory.access(
-                                topo,
-                                lat,
-                                self.id,
-                                Line::containing(addr),
-                                false,
-                            );
-                            if out.is_rmr {
-                                self.stats.load_rmrs += 1;
-                            }
-                            (start + out.latency, out.distance, None)
-                        };
+                    let (done_at, distance, forwarded) = if let Some(v) = self.sb.forward(addr) {
+                        (start + pc.t_l1_hit, DistanceClass::Local, Some(v))
+                    } else {
+                        let out = shared.directory.access(
+                            topo,
+                            lat,
+                            self.id,
+                            Line::containing(addr),
+                            false,
+                        );
+                        if out.is_rmr {
+                            self.stats.load_rmrs += 1;
+                        }
+                        (start + out.latency, out.distance, None)
+                    };
                     let slot = self.rob.push_instr(false).expect("checked free()");
                     let id = self.next_load_id;
                     self.next_load_id += 1;
@@ -632,9 +675,13 @@ impl Core {
                         self.suspended_on = Some(id);
                     }
                 }
-                Op::Store { addr, value, release, dep_on_last_load } => {
-                    if self.memory_blocked(now) || self.rob.free() == 0 || !self.sb.has_space()
-                    {
+                Op::Store {
+                    addr,
+                    value,
+                    release,
+                    dep_on_last_load,
+                } => {
+                    if self.memory_blocked(now) || self.rob.free() == 0 || !self.sb.has_space() {
                         self.pending_op = Some(op);
                         stall = if self.memory_blocked(now) {
                             StallReason::Barrier
@@ -666,9 +713,15 @@ impl Core {
                     self.stats.issued += 1;
                     budget -= 1;
                 }
-                Op::Rmw { addr, kind, operand, acquire, release } => {
-                    let release_ready = !release
-                        || (self.sb.is_empty() && self.loads_done_before(Seq::MAX, now));
+                Op::Rmw {
+                    addr,
+                    kind,
+                    operand,
+                    acquire,
+                    release,
+                } => {
+                    let release_ready =
+                        !release || (self.sb.is_empty() && self.loads_done_before(Seq::MAX, now));
                     if self.memory_blocked(now) || self.rob.free() == 0 || !release_ready {
                         self.pending_op = Some(op);
                         stall = StallReason::Barrier;
@@ -676,13 +729,10 @@ impl Core {
                     }
                     let seq = self.next_seq;
                     self.next_seq += 1;
-                    let out = shared.directory.access(
-                        topo,
-                        lat,
-                        self.id,
-                        Line::containing(addr),
-                        true,
-                    );
+                    let out =
+                        shared
+                            .directory
+                            .access(topo, lat, self.id, Line::containing(addr), true);
                     if out.is_rmr {
                         self.stats.store_rmrs += 1;
                     }
@@ -793,8 +843,13 @@ impl Core {
     }
 
     /// Advance this core to (the end of) cycle `now`.
-    pub fn step(&mut self, now: Cycle, topo: &Topology, lat: &LatencyParams,
-                shared: &mut SharedState) {
+    pub fn step(
+        &mut self,
+        now: Cycle,
+        topo: &Topology,
+        lat: &LatencyParams,
+        shared: &mut SharedState,
+    ) {
         self.complete_phase(now, topo, lat, shared);
         self.drain_phase(now, topo, lat, shared);
         self.retire_phase(now);

@@ -8,7 +8,7 @@
 //! experiments only need "was this access a remote memory reference, and how
 //! far did the snoop travel" — both of which the directory answers exactly.
 
-use std::collections::HashMap;
+use armbar_fxhash::FxHashMap;
 
 use crate::platform::LatencyParams;
 use crate::topology::Topology;
@@ -37,7 +37,10 @@ pub struct AccessOutcome {
 /// The global coherence directory.
 #[derive(Debug, Clone)]
 pub struct Directory {
-    lines: HashMap<Line, LineState>,
+    /// Keyed with the unkeyed FxHash scheme: line numbers are small,
+    /// sequential, and never attacker-controlled, and this map sits on the
+    /// critical path of every simulated memory access.
+    lines: FxHashMap<Line, LineState>,
     /// Optional "home" core for otherwise-untouched regions: lets workloads
     /// model buffers whose lines were last touched by a phantom peer (the
     /// paper's alternating-thread construction in §3.2) without simulating
@@ -49,7 +52,10 @@ impl Directory {
     /// An empty directory (all lines in memory).
     #[must_use]
     pub fn new() -> Directory {
-        Directory { lines: HashMap::new(), region_homes: Vec::new() }
+        Directory {
+            lines: FxHashMap::default(),
+            region_homes: Vec::new(),
+        }
     }
 
     /// Declare that untouched lines in `[start, end)` (byte addresses
@@ -65,7 +71,10 @@ impl Directory {
     fn default_state(&self, line: Line) -> LineState {
         for &(lo, hi, home) in &self.region_homes {
             if line >= lo && line <= hi {
-                return LineState { owner: Some(home), sharers: vec![home] };
+                return LineState {
+                    owner: Some(home),
+                    sharers: vec![home],
+                };
             }
         }
         LineState::default()
@@ -82,9 +91,7 @@ impl Directory {
             return DistanceClass::Local;
         }
         // Write hit: requester owns exclusively, no other sharers.
-        if write
-            && state.owner == Some(requester)
-            && state.sharers.iter().all(|&c| c == requester)
+        if write && state.owner == Some(requester) && state.sharers.iter().all(|&c| c == requester)
         {
             return DistanceClass::Local;
         }
@@ -100,7 +107,11 @@ impl Directory {
                 .filter(|&c| c != requester)
                 .collect()
         } else {
-            state.owner.into_iter().filter(|&c| c != requester).collect()
+            state
+                .owner
+                .into_iter()
+                .filter(|&c| c != requester)
+                .collect()
         };
         if holders.is_empty() {
             if !write && !state.sharers.is_empty() {
@@ -139,7 +150,10 @@ impl Directory {
         let latency = lat.transfer_latency(distance);
         let new_state = if write {
             // Writer takes exclusive ownership; all other copies invalidated.
-            LineState { owner: Some(requester), sharers: vec![requester] }
+            LineState {
+                owner: Some(requester),
+                sharers: vec![requester],
+            }
         } else {
             let mut s = state;
             if !s.sharers.contains(&requester) {
@@ -148,7 +162,11 @@ impl Directory {
             s
         };
         self.lines.insert(line, new_state);
-        AccessOutcome { distance, latency, is_rmr: distance.is_rmr() }
+        AccessOutcome {
+            distance,
+            latency,
+            is_rmr: distance.is_rmr(),
+        }
     }
 
     /// Peek at the cost of an access without mutating directory state.

@@ -38,7 +38,13 @@ impl Machine {
         let cores = (0..platform.topology.core_count())
             .map(|id| Core::new(id, &platform.latency))
             .collect();
-        Machine { platform, cores, active: Vec::new(), shared: SharedState::default(), now: 0 }
+        Machine {
+            platform,
+            cores,
+            active: Vec::new(),
+            shared: SharedState::default(),
+            now: 0,
+        }
     }
 
     /// The platform this machine models.
@@ -54,7 +60,10 @@ impl Machine {
     /// Panics if the core id is out of range or already busy.
     pub fn add_thread_on(&mut self, core: CoreId, thread: Box<dyn SimThread>) -> CoreId {
         assert!(core < self.cores.len(), "core {core} out of range");
-        assert!(!self.active.contains(&core), "core {core} already has a thread");
+        assert!(
+            !self.active.contains(&core),
+            "core {core} already has a thread"
+        );
         self.cores[core].attach(thread);
         self.active.push(core);
         core
@@ -115,7 +124,9 @@ impl Machine {
         iterations: u64,
         max_cycles: Cycle,
     ) -> RunStats {
-        self.run_while(max_cycles, |m| m.cores[core].stats().iterations < iterations)
+        self.run_while(max_cycles, |m| {
+            m.cores[core].stats().iterations < iterations
+        })
     }
 
     fn run_while(&mut self, max_cycles: Cycle, keep_going: impl Fn(&Machine) -> bool) -> RunStats {
@@ -124,23 +135,37 @@ impl Machine {
             self.step_all();
             if self.all_quiesced() {
                 self.now += 1;
-                return RunStats { cycles: self.now, halted: true };
+                return RunStats {
+                    cycles: self.now,
+                    halted: true,
+                };
             }
             if !keep_going(self) {
                 self.now += 1;
-                return RunStats { cycles: self.now, halted: false };
+                return RunStats {
+                    cycles: self.now,
+                    halted: false,
+                };
             }
             // Event acceleration: jump to the earliest possible activity.
+            // `Core::next_wake` contractually returns `None` only for
+            // quiesced cores (all handled above) and never a cycle <= now,
+            // but both are clamped defensively here: a stale wake must
+            // still advance time by a full cycle, and an empty candidate
+            // set jumps straight to the limit so the loop exits in O(1)
+            // steps instead of crawling one cycle at a time to the bound.
             let next = self
                 .active
                 .iter()
                 .filter_map(|&id| self.cores[id].next_wake(self.now))
                 .min()
-                .unwrap_or(self.now + 1);
-            debug_assert!(next > self.now);
+                .map_or(limit, |t| t.max(self.now + 1));
             self.now = next;
         }
-        RunStats { cycles: self.now, halted: self.all_quiesced() }
+        RunStats {
+            cycles: self.now,
+            halted: self.all_quiesced(),
+        }
     }
 }
 
@@ -159,15 +184,21 @@ mod tests {
 
     impl Script {
         fn new(ops: Vec<Op>) -> Script {
-            Script { ops, pos: 0, values: Vec::new() }
+            Script {
+                ops,
+                pos: 0,
+                values: Vec::new(),
+            }
         }
     }
 
     impl crate::op::SimThread for Script {
         fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
             if self.pos > 0 {
-                if let Op::Load { use_value: true, .. } | Op::Rmw { .. } =
-                    self.ops[self.pos - 1]
+                if let Op::Load {
+                    use_value: true, ..
+                }
+                | Op::Rmw { .. } = self.ops[self.pos - 1]
                 {
                     self.values.push(ctx.last_value);
                 }
@@ -259,7 +290,13 @@ mod tests {
         }
         let mut m = Machine::new(Platform::kunpeng916());
         m.add_thread_on(0, Box::new(Producer { step: 0 }));
-        m.add_thread_on(40, Box::new(Consumer { phase: 0, observed: 999 }));
+        m.add_thread_on(
+            40,
+            Box::new(Consumer {
+                phase: 0,
+                observed: 999,
+            }),
+        );
         let stats = m.run(1_000_000);
         assert!(stats.halted, "both threads must finish");
         assert_eq!(m.read_memory(0x1000), 23);
@@ -344,6 +381,37 @@ mod tests {
         assert!(none <= dmb, "no-barrier {none} <= dmb {dmb}");
         assert!(dmb < isb, "dmb {dmb} < isb {isb}");
         assert!(isb < dsb, "isb {isb} < dsb {dsb}");
+    }
+
+    #[test]
+    fn quiesced_machine_exits_in_constant_steps() {
+        // A machine with no workloads is fully quiesced; running it with an
+        // astronomically large cycle budget must return immediately (the
+        // loop may not crawl O(max_cycles) one cycle at a time). The test
+        // itself is the proof: at one step per cycle, 2^60 cycles would
+        // never finish.
+        let mut m = Machine::new(Platform::kunpeng916());
+        let stats = m.run(1 << 60);
+        assert!(stats.halted);
+        assert!(stats.cycles <= 1, "empty machine must quiesce at once");
+
+        // Same once workloads have halted: a re-run with a huge budget
+        // returns in O(1), advancing time by exactly the quiesce tick.
+        let mut m = Machine::new(Platform::kunpeng916());
+        m.add_thread_on(0, Box::new(Script::new(vec![Op::store(0x100, 1)])));
+        let first = m.run(1 << 60);
+        assert!(first.halted);
+        let again = m.run(1 << 60);
+        assert!(again.halted);
+        assert_eq!(again.cycles, first.cycles + 1);
+    }
+
+    #[test]
+    fn machine_and_platform_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Machine>();
+        assert_send::<Platform>();
+        assert_send::<RunStats>();
     }
 
     #[test]

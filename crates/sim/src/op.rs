@@ -97,49 +97,90 @@ impl Op {
     /// Plain fire-and-forget store.
     #[must_use]
     pub fn store(addr: Addr, value: u64) -> Op {
-        Op::Store { addr, value, release: false, dep_on_last_load: false }
+        Op::Store {
+            addr,
+            value,
+            release: false,
+            dep_on_last_load: false,
+        }
     }
 
     /// Store-release (`STLR`).
     #[must_use]
     pub fn store_release(addr: Addr, value: u64) -> Op {
-        Op::Store { addr, value, release: true, dep_on_last_load: false }
+        Op::Store {
+            addr,
+            value,
+            release: true,
+            dep_on_last_load: false,
+        }
     }
 
     /// Store whose data depends on the most recent load (bogus DATA DEP).
     #[must_use]
     pub fn store_dep(addr: Addr, value: u64) -> Op {
-        Op::Store { addr, value, release: false, dep_on_last_load: true }
+        Op::Store {
+            addr,
+            value,
+            release: false,
+            dep_on_last_load: true,
+        }
     }
 
     /// Fire-and-forget load (value unused).
     #[must_use]
     pub fn load(addr: Addr) -> Op {
-        Op::Load { addr, use_value: false, acquire: false, dep_on_last_load: false }
+        Op::Load {
+            addr,
+            use_value: false,
+            acquire: false,
+            dep_on_last_load: false,
+        }
     }
 
     /// Load whose value the thread consumes (suspends until data returns).
     #[must_use]
     pub fn load_use(addr: Addr) -> Op {
-        Op::Load { addr, use_value: true, acquire: false, dep_on_last_load: false }
+        Op::Load {
+            addr,
+            use_value: true,
+            acquire: false,
+            dep_on_last_load: false,
+        }
     }
 
     /// Load-acquire (`LDAR`) whose value the thread consumes.
     #[must_use]
     pub fn load_acquire(addr: Addr) -> Op {
-        Op::Load { addr, use_value: true, acquire: true, dep_on_last_load: false }
+        Op::Load {
+            addr,
+            use_value: true,
+            acquire: true,
+            dep_on_last_load: false,
+        }
     }
 
     /// Load with a bogus address dependency on the most recent load.
     #[must_use]
     pub fn load_dep(addr: Addr, use_value: bool) -> Op {
-        Op::Load { addr, use_value, acquire: false, dep_on_last_load: true }
+        Op::Load {
+            addr,
+            use_value,
+            acquire: false,
+            dep_on_last_load: true,
+        }
     }
 
     /// Atomic fetch-add with acquire+release semantics (a lock-style RMW).
     #[must_use]
     pub fn fetch_add_acq_rel(addr: Addr, operand: u64) -> Op {
-        Op::Rmw { addr, kind: RmwKind::FetchAdd, operand, acquire: true, release: true }
+        Op::Rmw {
+            addr,
+            kind: RmwKind::FetchAdd,
+            operand,
+            acquire: true,
+            release: true,
+        }
     }
 
     /// Does this op touch memory?
@@ -171,7 +212,12 @@ impl ThreadCtx {
 }
 
 /// A simulated thread: a deterministic state machine emitting operations.
-pub trait SimThread {
+///
+/// `Send` is a supertrait so whole [`Machine`](crate::machine::Machine)s
+/// (which own their threads) can move between worker threads of a parallel
+/// sweep; simulated threads hold only their own state, so this costs
+/// implementations nothing in practice.
+pub trait SimThread: Send {
     /// Produce the next operation. Called whenever the core can accept one;
     /// after a value-consuming op, called only once the value is available
     /// (read it from [`ThreadCtx::last_value`]).
@@ -192,16 +238,56 @@ mod tests {
     fn constructors_set_flags() {
         assert_eq!(
             Op::store(8, 1),
-            Op::Store { addr: 8, value: 1, release: false, dep_on_last_load: false }
+            Op::Store {
+                addr: 8,
+                value: 1,
+                release: false,
+                dep_on_last_load: false
+            }
         );
-        assert!(matches!(Op::store_release(8, 1), Op::Store { release: true, .. }));
-        assert!(matches!(Op::store_dep(8, 1), Op::Store { dep_on_last_load: true, .. }));
-        assert!(matches!(Op::load(8), Op::Load { use_value: false, acquire: false, .. }));
-        assert!(matches!(Op::load_use(8), Op::Load { use_value: true, acquire: false, .. }));
-        assert!(matches!(Op::load_acquire(8), Op::Load { use_value: true, acquire: true, .. }));
+        assert!(matches!(
+            Op::store_release(8, 1),
+            Op::Store { release: true, .. }
+        ));
+        assert!(matches!(
+            Op::store_dep(8, 1),
+            Op::Store {
+                dep_on_last_load: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            Op::load(8),
+            Op::Load {
+                use_value: false,
+                acquire: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            Op::load_use(8),
+            Op::Load {
+                use_value: true,
+                acquire: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            Op::load_acquire(8),
+            Op::Load {
+                use_value: true,
+                acquire: true,
+                ..
+            }
+        ));
         assert!(matches!(
             Op::fetch_add_acq_rel(8, 2),
-            Op::Rmw { kind: RmwKind::FetchAdd, acquire: true, release: true, .. }
+            Op::Rmw {
+                kind: RmwKind::FetchAdd,
+                acquire: true,
+                release: true,
+                ..
+            }
         ));
     }
 

@@ -147,10 +147,7 @@ impl Platform {
     pub fn kunpeng916() -> Platform {
         Platform {
             kind: PlatformKind::Kunpeng916,
-            topology: Topology::new(&[
-                &[4, 4, 4, 4, 4, 4, 4, 4],
-                &[4, 4, 4, 4, 4, 4, 4, 4],
-            ]),
+            topology: Topology::new(&[&[4, 4, 4, 4, 4, 4, 4, 4], &[4, 4, 4, 4, 4, 4, 4, 4]]),
             latency: LatencyParams {
                 issue_width: 3,
                 retire_width: 3,
@@ -306,7 +303,11 @@ mod tests {
 
     #[test]
     fn mobile_platforms_are_single_node() {
-        for k in [PlatformKind::Kirin960, PlatformKind::Kirin970, PlatformKind::RaspberryPi4] {
+        for k in [
+            PlatformKind::Kirin960,
+            PlatformKind::Kirin970,
+            PlatformKind::RaspberryPi4,
+        ] {
             assert_eq!(Platform::of(k).topology.node_count(), 1, "{}", k.name());
         }
     }
@@ -316,7 +317,11 @@ mod tests {
         // Observation 4 prerequisite: barrier transactions cost far more on
         // the server profile.
         let server = Platform::kunpeng916().latency;
-        for m in [Platform::kirin960(), Platform::kirin970(), Platform::raspberry_pi4()] {
+        for m in [
+            Platform::kirin960(),
+            Platform::kirin970(),
+            Platform::raspberry_pi4(),
+        ] {
             assert!(server.t_membar_domain > 5 * m.latency.t_membar_domain);
             assert!(server.t_syncbar > 5 * m.latency.t_syncbar);
         }
@@ -346,7 +351,7 @@ mod tests {
     #[test]
     fn iterations_per_second_conversion() {
         let p = Platform::kunpeng916(); // 2.4 GHz
-        // 240 cycles per iteration -> 10^7 iterations/s.
+                                        // 240 cycles per iteration -> 10^7 iterations/s.
         let ips = p.iterations_per_second(1000, 240_000);
         assert!((ips - 1e7).abs() < 1.0);
     }

@@ -36,7 +36,12 @@ impl Rob {
     #[must_use]
     pub fn new(capacity: u32) -> Rob {
         assert!(capacity > 0);
-        Rob { entries: VecDeque::new(), capacity, used: 0, next_id: 0 }
+        Rob {
+            entries: VecDeque::new(),
+            capacity,
+            used: 0,
+            next_id: 0,
+        }
     }
 
     /// Instructions currently in flight.
@@ -129,7 +134,13 @@ impl Rob {
     /// Whether the head instruction is incomplete (retirement is stalled).
     #[must_use]
     pub fn head_stalled(&self) -> bool {
-        matches!(self.entries.front(), Some(EntryKind::Instr { complete: false, .. }))
+        matches!(
+            self.entries.front(),
+            Some(EntryKind::Instr {
+                complete: false,
+                ..
+            })
+        )
     }
 }
 

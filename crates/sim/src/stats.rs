@@ -63,7 +63,11 @@ mod tests {
 
     #[test]
     fn throughput_helpers() {
-        let s = CoreStats { cycles: 2000, iterations: 10, ..CoreStats::default() };
+        let s = CoreStats {
+            cycles: 2000,
+            iterations: 10,
+            ..CoreStats::default()
+        };
         assert!((s.iterations_per_kcycle() - 5.0).abs() < 1e-9);
         assert!((s.cycles_per_iteration().unwrap() - 200.0).abs() < 1e-9);
     }

@@ -160,7 +160,12 @@ impl StoreBuffer {
 
     /// Place a gate, stating explicitly whether stores were outstanding.
     pub fn push_gate_with_meta(&mut self, seq: Seq, had_priors: bool) {
-        self.gates.push(SbGate { seq, open_at: None, crossed_node: false, had_priors });
+        self.gates.push(SbGate {
+            seq,
+            open_at: None,
+            crossed_node: false,
+            had_priors,
+        });
     }
 
     /// Iterate gates immutably.
@@ -184,13 +189,19 @@ impl StoreBuffer {
     /// (store-to-load forwarding).
     #[must_use]
     pub fn forward(&self, addr: Addr) -> Option<u64> {
-        self.entries.iter().rev().find(|e| e.addr == addr).map(|e| e.value)
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .map(|e| e.value)
     }
 
     /// The first (oldest) gate that is not yet open.
     #[must_use]
     pub fn blocking_gate(&self, now: Cycle) -> Option<&SbGate> {
-        self.gates.iter().find(|g| g.open_at.is_none_or(|t| t > now))
+        self.gates
+            .iter()
+            .find(|g| g.open_at.is_none_or(|t| t > now))
     }
 
     /// Iterate gates mutably (the core updates `open_at` when conditions
@@ -390,11 +401,17 @@ mod tests {
         let i = sb.pick_drain_candidate(0, |_| true).unwrap();
         assert_eq!(sb.entries()[i].seq, 0);
         sb.start_drain(i, 10, DistanceClass::Local);
-        assert!(sb.pick_drain_candidate(0, |_| true).is_none(), "gate closed");
+        assert!(
+            sb.pick_drain_candidate(0, |_| true).is_none(),
+            "gate closed"
+        );
         sb.complete_drains(10);
         // Core opens the gate once pre-gate drains finish + response.
         sb.gates_mut().next().unwrap().open_at = Some(30);
-        assert!(sb.pick_drain_candidate(20, |_| true).is_none(), "gate not open yet");
+        assert!(
+            sb.pick_drain_candidate(20, |_| true).is_none(),
+            "gate not open yet"
+        );
         sb.expire_gates(30);
         assert!(sb.pick_drain_candidate(30, |_| true).is_some());
     }
@@ -431,8 +448,14 @@ mod tests {
     #[test]
     fn forwarding_returns_youngest_value() {
         let mut sb = StoreBuffer::new(8, 4);
-        sb.push(SbEntry { value: 1, ..entry(0, 16) });
-        sb.push(SbEntry { value: 2, ..entry(1, 16) });
+        sb.push(SbEntry {
+            value: 1,
+            ..entry(0, 16)
+        });
+        sb.push(SbEntry {
+            value: 2,
+            ..entry(1, 16)
+        });
         assert_eq!(sb.forward(16), Some(2));
         assert_eq!(sb.forward(24), None);
     }
@@ -444,7 +467,10 @@ mod tests {
         sb.push(entry(1, 64));
         let i = sb.pick_drain_candidate(0, |_| true).unwrap();
         sb.start_drain(i, 100, DistanceClass::Local);
-        assert!(sb.pick_drain_candidate(0, |_| true).is_none(), "single port busy");
+        assert!(
+            sb.pick_drain_candidate(0, |_| true).is_none(),
+            "single port busy"
+        );
     }
 
     #[test]

@@ -60,12 +60,20 @@ impl Topology {
         let mut next_core = 0usize;
         for (ni, clusters) in desc.iter().enumerate() {
             assert!(!clusters.is_empty(), "node {ni} has no clusters");
-            let mut node = Node { clusters: Vec::with_capacity(clusters.len()) };
+            let mut node = Node {
+                clusters: Vec::with_capacity(clusters.len()),
+            };
             for (ci, &count) in clusters.iter().enumerate() {
                 assert!(count > 0, "cluster {ci} of node {ni} is empty");
-                node.clusters.push(Cluster { first_core: next_core, cores: count });
+                node.clusters.push(Cluster {
+                    first_core: next_core,
+                    cores: count,
+                });
                 for _ in 0..count {
-                    placements.push(Placement { node: ni, cluster: ci });
+                    placements.push(Placement {
+                        node: ni,
+                        cluster: ci,
+                    });
                 }
                 next_core += count;
             }
@@ -117,7 +125,9 @@ impl Topology {
     /// Core ids of every core in `node`, in id order.
     #[must_use]
     pub fn cores_in_node(&self, node: usize) -> Vec<CoreId> {
-        (0..self.core_count()).filter(|&c| self.placements[c].node == node).collect()
+        (0..self.core_count())
+            .filter(|&c| self.placements[c].node == node)
+            .collect()
     }
 
     /// Core ids of cluster `cluster` of node `node`.
@@ -141,10 +151,34 @@ mod tests {
     fn core_ids_are_dense_and_ordered() {
         let t = two_node();
         assert_eq!(t.core_count(), 16);
-        assert_eq!(t.placement(0), Placement { node: 0, cluster: 0 });
-        assert_eq!(t.placement(4), Placement { node: 0, cluster: 1 });
-        assert_eq!(t.placement(8), Placement { node: 1, cluster: 0 });
-        assert_eq!(t.placement(15), Placement { node: 1, cluster: 1 });
+        assert_eq!(
+            t.placement(0),
+            Placement {
+                node: 0,
+                cluster: 0
+            }
+        );
+        assert_eq!(
+            t.placement(4),
+            Placement {
+                node: 0,
+                cluster: 1
+            }
+        );
+        assert_eq!(
+            t.placement(8),
+            Placement {
+                node: 1,
+                cluster: 0
+            }
+        );
+        assert_eq!(
+            t.placement(15),
+            Placement {
+                node: 1,
+                cluster: 1
+            }
+        );
     }
 
     #[test]

@@ -74,17 +74,29 @@ pub struct Stamped {
 impl fmt::Display for Stamped {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.event {
-            Event::Issue { core, what, addr: Some(a) } => {
+            Event::Issue {
+                core,
+                what,
+                addr: Some(a),
+            } => {
                 write!(f, "[{:>8}] c{core} issue {what} @{a:#x}", self.at)
             }
-            Event::Issue { core, what, addr: None } => {
+            Event::Issue {
+                core,
+                what,
+                addr: None,
+            } => {
                 write!(f, "[{:>8}] c{core} issue {what}", self.at)
             }
             Event::LoadDone { core, addr, value } => {
                 write!(f, "[{:>8}] c{core} load @{addr:#x} -> {value}", self.at)
             }
             Event::StoreVisible { core, addr, value } => {
-                write!(f, "[{:>8}] c{core} store @{addr:#x} = {value} visible", self.at)
+                write!(
+                    f,
+                    "[{:>8}] c{core} store @{addr:#x} = {value} visible",
+                    self.at
+                )
             }
             Event::BarrierDone { core, what } => {
                 write!(f, "[{:>8}] c{core} {what} response", self.at)
@@ -109,7 +121,11 @@ impl Trace {
     /// A disabled trace holding up to `capacity` events once enabled.
     #[must_use]
     pub fn new(capacity: usize) -> Trace {
-        Trace { enabled: false, ring: VecDeque::new(), capacity: capacity.max(1) }
+        Trace {
+            enabled: false,
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Record an event (no-op while disabled).
@@ -124,7 +140,6 @@ impl Trace {
     }
 
     /// The recorded events, oldest first.
-    #[must_use]
     pub fn events(&self) -> impl Iterator<Item = &Stamped> {
         self.ring.iter()
     }
@@ -180,9 +195,29 @@ mod tests {
     fn rendering_is_line_per_event() {
         let mut t = Trace::new(8);
         t.enabled = true;
-        t.record(10, Event::Issue { core: 1, what: "store", addr: Some(0x40) });
-        t.record(15, Event::StoreVisible { core: 1, addr: 0x40, value: 7 });
-        t.record(20, Event::BarrierDone { core: 1, what: "DMB full" });
+        t.record(
+            10,
+            Event::Issue {
+                core: 1,
+                what: "store",
+                addr: Some(0x40),
+            },
+        );
+        t.record(
+            15,
+            Event::StoreVisible {
+                core: 1,
+                addr: 0x40,
+                value: 7,
+            },
+        );
+        t.record(
+            20,
+            Event::BarrierDone {
+                core: 1,
+                what: "DMB full",
+            },
+        );
         let text = t.render();
         assert_eq!(text.lines().count(), 3);
         assert!(text.contains("c1 issue store @0x40"));
@@ -192,7 +227,14 @@ mod tests {
 
     #[test]
     fn load_event_formatting() {
-        let s = Stamped { at: 5, event: Event::LoadDone { core: 2, addr: 0x80, value: 23 } };
+        let s = Stamped {
+            at: 5,
+            event: Event::LoadDone {
+                core: 2,
+                addr: 0x80,
+                value: 23,
+            },
+        };
         assert_eq!(s.to_string(), "[       5] c2 load @0x80 -> 23");
     }
 }

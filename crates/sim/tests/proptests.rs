@@ -81,7 +81,10 @@ fn run_program(platform: &Platform, programs: &[Vec<GenOp>]) -> (Machine, u64) {
         m.add_thread_on(i * step.max(1), Box::new(Script { ops, pos: 0 }));
     }
     let stats = m.run(80_000_000);
-    assert!(stats.halted, "random programs must always terminate (no deadlock)");
+    assert!(
+        stats.halted,
+        "random programs must always terminate (no deadlock)"
+    );
     (m, stats.cycles)
 }
 
@@ -196,11 +199,20 @@ fn cas_winner_is_unique() {
     let platform = Platform::kunpeng916();
     let mut m = Machine::new(platform);
     for i in 0..6u64 {
-        m.add_thread_on(i as usize * 8, Box::new(CasOnce { id: i + 1, done: false, won_addr: 0 }));
+        m.add_thread_on(
+            i as usize * 8,
+            Box::new(CasOnce {
+                id: i + 1,
+                done: false,
+                won_addr: 0,
+            }),
+        );
     }
     let stats = m.run(10_000_000);
     assert!(stats.halted);
-    let winners: u64 = (0..6u64).map(|i| m.read_memory(0xA000 + (i + 1) * 64)).sum();
+    let winners: u64 = (0..6u64)
+        .map(|i| m.read_memory(0xA000 + (i + 1) * 64))
+        .sum();
     assert_eq!(winners, 1, "exactly one CAS may observe 0");
     assert_ne!(m.read_memory(0x9000), 0);
 }

@@ -62,28 +62,26 @@ struct Consumer {
 
 impl SimThread for Consumer {
     fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
-        loop {
-            match self.phase {
-                0 => {
-                    self.phase = 1;
-                    return Op::load_use(FLAG);
-                }
-                1 => {
-                    if ctx.last_value() == 0 {
-                        self.phase = 0;
-                        return Op::Nops(1);
-                    }
-                    self.phase = 2;
-                    // Read the data immediately (address dependency only,
-                    // which cannot save us from the *producer's* reorder).
-                    return Op::load_dep(DATA, true);
-                }
-                2 => {
-                    self.phase = 3;
-                    return Op::store(SEEN, ctx.last_value());
-                }
-                _ => return Op::Halt,
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Op::load_use(FLAG)
             }
+            1 => {
+                if ctx.last_value() == 0 {
+                    self.phase = 0;
+                    return Op::Nops(1);
+                }
+                self.phase = 2;
+                // Read the data immediately (address dependency only,
+                // which cannot save us from the *producer's* reorder).
+                Op::load_dep(DATA, true)
+            }
+            2 => {
+                self.phase = 3;
+                Op::store(SEEN, ctx.last_value())
+            }
+            _ => Op::Halt,
         }
     }
 }

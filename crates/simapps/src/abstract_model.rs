@@ -62,7 +62,13 @@ impl ModelSpec {
     /// Figure 2's shape: no memory operations, barrier between nop blocks.
     #[must_use]
     pub fn no_mem(barrier: Barrier, nops: u32) -> ModelSpec {
-        ModelSpec { op1: None, op2: None, barrier, location: BarrierLoc::AfterOp1, nops }
+        ModelSpec {
+            op1: None,
+            op2: None,
+            barrier,
+            location: BarrierLoc::AfterOp1,
+            nops,
+        }
     }
 
     /// Figure 3's shape: store → store.
@@ -108,7 +114,12 @@ struct ModelThread {
 
 impl ModelThread {
     fn new(spec: ModelSpec, iterations: u64) -> ModelThread {
-        ModelThread { spec, iterations, done: 0, step: 0 }
+        ModelThread {
+            spec,
+            iterations,
+            done: 0,
+            step: 0,
+        }
     }
 
     fn mem_op(&self, which: u8) -> Option<Op> {
@@ -121,7 +132,12 @@ impl ModelThread {
             MemOpKind::Load => {
                 if which == 1 && self.spec.barrier == Barrier::Ldar {
                     // LDAR attaches to the first access.
-                    Op::Load { addr, use_value: false, acquire: true, dep_on_last_load: false }
+                    Op::Load {
+                        addr,
+                        use_value: false,
+                        acquire: true,
+                        dep_on_last_load: false,
+                    }
                 } else {
                     Op::load(addr)
                 }
@@ -133,7 +149,12 @@ impl ModelThread {
                         self.spec.barrier,
                         Barrier::DataDep | Barrier::AddrDep | Barrier::Ctrl
                     );
-                Op::Store { addr, value: self.done + 1, release, dep_on_last_load: dep }
+                Op::Store {
+                    addr,
+                    value: self.done + 1,
+                    release,
+                    dep_on_last_load: dep,
+                }
             }
         })
     }
@@ -208,7 +229,13 @@ pub struct ModelResult {
 /// threads, without simulating the idle half of the hand-off.
 #[must_use]
 pub fn run_model(bind: BindConfig, spec: ModelSpec, iterations: u64) -> ModelResult {
-    run_model_on(&bind.platform(), bind.primary_core(), bind.peer_core(), spec, iterations)
+    run_model_on(
+        &bind.platform(),
+        bind.primary_core(),
+        bind.peer_core(),
+        spec,
+        iterations,
+    )
 }
 
 /// As [`run_model`], with an explicit platform and core pair.
@@ -243,9 +270,16 @@ pub fn run_model_on(
 #[must_use]
 pub fn tipping_point(bind: BindConfig, candidates: &[u32], threshold: f64) -> Option<(u32, f64)> {
     for &n in candidates {
-        let none = run_model(bind, ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, n), 600);
-        let full2 =
-            run_model(bind, ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, n), 600);
+        let none = run_model(
+            bind,
+            ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, n),
+            600,
+        );
+        let full2 = run_model(
+            bind,
+            ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, n),
+            600,
+        );
         if full2.loops_per_sec >= threshold * none.loops_per_sec {
             let full1 = run_model(
                 bind,
@@ -274,8 +308,11 @@ mod tests {
     fn observation1_intrinsic_overhead_is_stable_and_intuitive() {
         // DMB lightest, ISB flushes, DSB heaviest; options of one family
         // perform alike when no memory ops are around.
-        for bind in [BindConfig::KunpengCrossNodes, BindConfig::Kirin960, BindConfig::RaspberryPi4]
-        {
+        for bind in [
+            BindConfig::KunpengCrossNodes,
+            BindConfig::Kirin960,
+            BindConfig::RaspberryPi4,
+        ] {
             let at = |b| tput(bind, ModelSpec::no_mem(b, 30));
             let none = at(Barrier::None);
             let dmb = at(Barrier::DmbFull);
@@ -303,9 +340,18 @@ mod tests {
         // DMB full-2.
         let bind = BindConfig::KunpengCrossNodes;
         let nops = 700;
-        let full1 = tput(bind, ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::AfterOp1, nops));
-        let full2 = tput(bind, ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, nops));
-        let none = tput(bind, ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, nops));
+        let full1 = tput(
+            bind,
+            ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::AfterOp1, nops),
+        );
+        let full2 = tput(
+            bind,
+            ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, nops),
+        );
+        let none = tput(
+            bind,
+            ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, nops),
+        );
         assert!(full1 < 0.75 * full2, "X-1 {full1} must trail X-2 {full2}");
         assert!(full2 > 0.85 * none, "enough nops hide X-2 entirely");
     }
@@ -331,11 +377,26 @@ mod tests {
         // surprise), and between DSB and DMB st.
         let bind = BindConfig::KunpengCrossNodes;
         let nops = 700;
-        let stlr = tput(bind, ModelSpec::store_store(Barrier::Stlr, BarrierLoc::BeforeOp2, nops));
-        let full2 = tput(bind, ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, nops));
-        let st2 = tput(bind, ModelSpec::store_store(Barrier::DmbSt, BarrierLoc::BeforeOp2, nops));
-        let dsb = tput(bind, ModelSpec::store_store(Barrier::DsbFull, BarrierLoc::BeforeOp2, nops));
-        assert!(stlr < full2, "STLR {stlr} loses to the stronger DMB full {full2}");
+        let stlr = tput(
+            bind,
+            ModelSpec::store_store(Barrier::Stlr, BarrierLoc::BeforeOp2, nops),
+        );
+        let full2 = tput(
+            bind,
+            ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, nops),
+        );
+        let st2 = tput(
+            bind,
+            ModelSpec::store_store(Barrier::DmbSt, BarrierLoc::BeforeOp2, nops),
+        );
+        let dsb = tput(
+            bind,
+            ModelSpec::store_store(Barrier::DsbFull, BarrierLoc::BeforeOp2, nops),
+        );
+        assert!(
+            stlr < full2,
+            "STLR {stlr} loses to the stronger DMB full {full2}"
+        );
         assert!(stlr < st2, "STLR below DMB st");
         assert!(stlr > dsb, "STLR above DSB");
     }
@@ -362,7 +423,10 @@ mod tests {
         let server = spread(BindConfig::KunpengCrossNodes, 60);
         let kirin = spread(BindConfig::Kirin960, 60);
         let rpi = spread(BindConfig::RaspberryPi4, 60);
-        assert!(server > 2.0 * kirin, "server spread {server} vs kirin {kirin}");
+        assert!(
+            server > 2.0 * kirin,
+            "server spread {server} vs kirin {kirin}"
+        );
         assert!(server > 2.0 * rpi, "server spread {server} vs rpi {rpi}");
     }
 
@@ -370,7 +434,10 @@ mod tests {
     fn observation5_crossing_nodes_is_a_killer_but_not_for_dsb() {
         let nops = 150;
         let same = |b| {
-            tput(BindConfig::KunpengSameNode, ModelSpec::store_store(b, BarrierLoc::AfterOp1, nops))
+            tput(
+                BindConfig::KunpengSameNode,
+                ModelSpec::store_store(b, BarrierLoc::AfterOp1, nops),
+            )
         };
         let cross = |b| {
             tput(
@@ -393,9 +460,18 @@ mod tests {
         // No Barrier closely even at location 1 (unlike DMB full).
         let bind = BindConfig::KunpengCrossNodes;
         let nops = 1500;
-        let st1 = tput(bind, ModelSpec::store_store(Barrier::DmbSt, BarrierLoc::AfterOp1, nops));
-        let st2 = tput(bind, ModelSpec::store_store(Barrier::DmbSt, BarrierLoc::BeforeOp2, nops));
-        let none = tput(bind, ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, nops));
+        let st1 = tput(
+            bind,
+            ModelSpec::store_store(Barrier::DmbSt, BarrierLoc::AfterOp1, nops),
+        );
+        let st2 = tput(
+            bind,
+            ModelSpec::store_store(Barrier::DmbSt, BarrierLoc::BeforeOp2, nops),
+        );
+        let none = tput(
+            bind,
+            ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, nops),
+        );
         assert!(st1 > 0.85 * none, "DMB st-1 {st1} ≈ No Barrier {none}");
         assert!((st1 - st2).abs() / st2 < 0.15, "st-1 ≈ st-2");
     }
@@ -419,7 +495,10 @@ mod tests {
             assert!(v > 0.9 * none, "{name} dep {v} ≈ no barrier {none}");
         }
         // Bus-involving barriers at location 1 pay heavily.
-        assert!(full1 < 0.9 * none, "DMB full-1 {full1} below no barrier {none}");
+        assert!(
+            full1 < 0.9 * none,
+            "DMB full-1 {full1} below no barrier {none}"
+        );
         assert!(dsb1 < full1, "DSB worst");
         // LDAR does not involve the bus: beats DMB full-1.
         assert!(ldar > full1, "LDAR {ldar} over DMB full-1 {full1}");
@@ -431,8 +510,14 @@ mod tests {
         // after the nops hid it.
         let bind = BindConfig::KunpengCrossNodes;
         let nops = 300;
-        let ld1 = tput(bind, ModelSpec::load_store(Barrier::DmbLd, BarrierLoc::AfterOp1, nops));
-        let ld2 = tput(bind, ModelSpec::load_store(Barrier::DmbLd, BarrierLoc::BeforeOp2, nops));
+        let ld1 = tput(
+            bind,
+            ModelSpec::load_store(Barrier::DmbLd, BarrierLoc::AfterOp1, nops),
+        );
+        let ld2 = tput(
+            bind,
+            ModelSpec::load_store(Barrier::DmbLd, BarrierLoc::BeforeOp2, nops),
+        );
         assert!(ld1 <= ld2 * 1.02, "ld-1 {ld1} <= ld-2 {ld2}");
     }
 
@@ -440,9 +525,14 @@ mod tests {
     fn ctrl_isb_pays_the_flush() {
         let bind = BindConfig::KunpengCrossNodes;
         let nops = 300;
-        let ctrl_isb =
-            tput(bind, ModelSpec::load_store(Barrier::CtrlIsb, BarrierLoc::AfterOp1, nops));
-        let dep = tput(bind, ModelSpec::load_store(Barrier::AddrDep, BarrierLoc::BeforeOp2, nops));
+        let ctrl_isb = tput(
+            bind,
+            ModelSpec::load_store(Barrier::CtrlIsb, BarrierLoc::AfterOp1, nops),
+        );
+        let dep = tput(
+            bind,
+            ModelSpec::load_store(Barrier::AddrDep, BarrierLoc::BeforeOp2, nops),
+        );
         assert!(ctrl_isb < dep, "CTRL+ISB {ctrl_isb} below pure deps {dep}");
     }
 

@@ -95,16 +95,27 @@ mod tests {
         let same = BindConfig::KunpengSameNode;
         let cross = BindConfig::KunpengCrossNodes;
         assert_eq!(
-            same.platform().topology.distance(same.primary_core(), same.peer_core()),
+            same.platform()
+                .topology
+                .distance(same.primary_core(), same.peer_core()),
             DistanceClass::CrossCluster
         );
         assert_eq!(
-            cross.platform().topology.distance(cross.primary_core(), cross.peer_core()),
+            cross
+                .platform()
+                .topology
+                .distance(cross.primary_core(), cross.peer_core()),
             DistanceClass::CrossNode
         );
-        for c in [BindConfig::Kirin960, BindConfig::Kirin970, BindConfig::RaspberryPi4] {
+        for c in [
+            BindConfig::Kirin960,
+            BindConfig::Kirin970,
+            BindConfig::RaspberryPi4,
+        ] {
             assert_eq!(
-                c.platform().topology.distance(c.primary_core(), c.peer_core()),
+                c.platform()
+                    .topology
+                    .distance(c.primary_core(), c.peer_core()),
                 DistanceClass::SameCluster,
                 "{c:?}"
             );

@@ -78,20 +78,32 @@ impl CsProfile {
     /// A bump-a-counter critical section (Figure 7(b)/(c)).
     #[must_use]
     pub fn counter() -> CsProfile {
-        CsProfile { lines: 1, chase: 0, nops: 4 }
+        CsProfile {
+            lines: 1,
+            chase: 0,
+            nops: 4,
+        }
     }
 
     /// Queue/stack insert+remove pair: head/tail line plus an element line.
     #[must_use]
     pub fn queue_or_stack() -> CsProfile {
-        CsProfile { lines: 2, chase: 0, nops: 8 }
+        CsProfile {
+            lines: 2,
+            chase: 0,
+            nops: 8,
+        }
     }
 
     /// Sorted-list operation over `preload` members (walks half on
     /// average).
     #[must_use]
     pub fn sorted_list(preload: u32) -> CsProfile {
-        CsProfile { lines: 1, chase: preload / 2, nops: 8 }
+        CsProfile {
+            lines: 1,
+            chase: preload / 2,
+            nops: 8,
+        }
     }
 }
 
@@ -106,13 +118,55 @@ pub struct DelegationBarriers {
 
 /// The Figure 7(b) combinations, in the legend's order.
 pub const FIG7B_COMBOS: [(&str, DelegationBarriers); 7] = [
-    ("DMB full-DMB st", DelegationBarriers { req: Barrier::DmbFull, resp: Barrier::DmbSt }),
-    ("DMB ld-DMB st", DelegationBarriers { req: Barrier::DmbLd, resp: Barrier::DmbSt }),
-    ("LDAR-DMB st", DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt }),
-    ("CTRL+ISB-DMB st", DelegationBarriers { req: Barrier::CtrlIsb, resp: Barrier::DmbSt }),
-    ("ADDR-DMB st", DelegationBarriers { req: Barrier::AddrDep, resp: Barrier::DmbSt }),
-    ("LDAR-No Barrier", DelegationBarriers { req: Barrier::Ldar, resp: Barrier::None }),
-    ("Ideal", DelegationBarriers { req: Barrier::None, resp: Barrier::None }),
+    (
+        "DMB full-DMB st",
+        DelegationBarriers {
+            req: Barrier::DmbFull,
+            resp: Barrier::DmbSt,
+        },
+    ),
+    (
+        "DMB ld-DMB st",
+        DelegationBarriers {
+            req: Barrier::DmbLd,
+            resp: Barrier::DmbSt,
+        },
+    ),
+    (
+        "LDAR-DMB st",
+        DelegationBarriers {
+            req: Barrier::Ldar,
+            resp: Barrier::DmbSt,
+        },
+    ),
+    (
+        "CTRL+ISB-DMB st",
+        DelegationBarriers {
+            req: Barrier::CtrlIsb,
+            resp: Barrier::DmbSt,
+        },
+    ),
+    (
+        "ADDR-DMB st",
+        DelegationBarriers {
+            req: Barrier::AddrDep,
+            resp: Barrier::DmbSt,
+        },
+    ),
+    (
+        "LDAR-No Barrier",
+        DelegationBarriers {
+            req: Barrier::Ldar,
+            resp: Barrier::None,
+        },
+    ),
+    (
+        "Ideal",
+        DelegationBarriers {
+            req: Barrier::None,
+            resp: Barrier::None,
+        },
+    ),
 ];
 
 /// Ops issued to execute one critical section, shared by both servers.
@@ -127,7 +181,7 @@ fn cs_op(profile: CsProfile, cs_step: &mut u32, last_value: u64, served: u64) ->
     if step < lines_phase {
         let line = u64::from(step / 2);
         let addr = DATA_BASE + line * 64;
-        if step % 2 == 0 {
+        if step.is_multiple_of(2) {
             return Some(Op::load_use(addr));
         }
         return Some(Op::store_dep(addr, last_value.wrapping_add(1)));
@@ -301,8 +355,12 @@ impl SimThread for FfwdServer {
                 }
                 // Line 6: the critical section.
                 2 => {
-                    match cs_op(self.profile, &mut self.cs_step, ctx.last_value(), self.served)
-                    {
+                    match cs_op(
+                        self.profile,
+                        &mut self.cs_step,
+                        ctx.last_value(),
+                        self.served,
+                    ) {
                         Some(op) => return op,
                         None => {
                             self.cs_step = 0;
@@ -419,18 +477,16 @@ impl SimThread for CombinerClient {
                 // ---------------- waiting side ----------------
                 // Spinning is local: the polled lines are ours, so until a
                 // combiner writes them the loads hit in our cache.
-                3 => {
-                    match self.mode {
-                        RespMode::Flag => {
-                            self.state = 4;
-                            return Op::load_use(resp_flag_addr(self.id));
-                        }
-                        RespMode::Pilot => {
-                            self.state = 6;
-                            return Op::load_use(resp_addr(self.id));
-                        }
+                3 => match self.mode {
+                    RespMode::Flag => {
+                        self.state = 4;
+                        return Op::load_use(resp_flag_addr(self.id));
                     }
-                }
+                    RespMode::Pilot => {
+                        self.state = 6;
+                        return Op::load_use(resp_addr(self.id));
+                    }
+                },
                 // Flag mode: the flag carries the served round (absolute
                 // test — immune to stale delta state).
                 4 => {
@@ -451,7 +507,11 @@ impl SimThread for CombinerClient {
                 // occasionally so a released lock cannot strand us.
                 5 => {
                     self.poll_misses += 1;
-                    self.state = if self.poll_misses % 8 == 0 { 1 } else { 3 };
+                    self.state = if self.poll_misses.is_multiple_of(8) {
+                        1
+                    } else {
+                        3
+                    };
                     return Op::Nops(2);
                 }
                 // Pilot mode: Algorithm 4 on the response word.
@@ -506,10 +566,7 @@ impl SimThread for CombinerClient {
                 26 => {
                     self.state = 12;
                     match self.barriers.req {
-                        Barrier::None
-                        | Barrier::AddrDep
-                        | Barrier::DataDep
-                        | Barrier::Ctrl => {}
+                        Barrier::None | Barrier::AddrDep | Barrier::DataDep | Barrier::Ctrl => {}
                         Barrier::Ldar => {
                             return Op::Load {
                                 addr: req_addr(self.scan_at),
@@ -648,7 +705,10 @@ impl DelegationConfig {
         DelegationConfig {
             kind: DelegationKind::Ffwd,
             clients: 8,
-            barriers: DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt },
+            barriers: DelegationBarriers {
+                req: Barrier::Ldar,
+                resp: Barrier::DmbSt,
+            },
             mode: RespMode::Flag,
             profile: CsProfile::counter(),
             per_client: 40,
@@ -738,10 +798,16 @@ pub fn run_delegation(platform: &Platform, cfg: DelegationConfig) -> LockResult 
 /// Figure 7(c): throughput of the five lock variants at one contention
 /// interval (`10^n × 128` nops).
 #[must_use]
-pub fn fig7c_point(platform: &Platform, clients: usize, interval_nops: u32, per: u64)
-    -> [(String, f64); 5]
-{
-    let best = DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt };
+pub fn fig7c_point(
+    platform: &Platform,
+    clients: usize,
+    interval_nops: u32,
+    per: u64,
+) -> [(String, f64); 5] {
+    let best = DelegationBarriers {
+        req: Barrier::Ldar,
+        resp: Barrier::DmbSt,
+    };
     let mk = |kind, mode| DelegationConfig {
         kind,
         clients,
@@ -800,7 +866,10 @@ mod tests {
 
     #[test]
     fn ffwd_pilot_serves_every_request() {
-        let cfg = DelegationConfig { mode: RespMode::Pilot, ..DelegationConfig::default_ffwd() };
+        let cfg = DelegationConfig {
+            mode: RespMode::Pilot,
+            ..DelegationConfig::default_ffwd()
+        };
         let r = run_delegation(&kunpeng(), cfg);
         assert_eq!(r.acquisitions, 8 * 40);
     }
@@ -834,10 +903,22 @@ mod tests {
             )
             .locks_per_sec
         };
-        let full = run(DelegationBarriers { req: Barrier::DmbFull, resp: Barrier::DmbSt });
-        let ldar = run(DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt });
-        let addr = run(DelegationBarriers { req: Barrier::AddrDep, resp: Barrier::DmbSt });
-        assert!(ldar > full, "LDAR {ldar} over DMB full {full} (Observation 6)");
+        let full = run(DelegationBarriers {
+            req: Barrier::DmbFull,
+            resp: Barrier::DmbSt,
+        });
+        let ldar = run(DelegationBarriers {
+            req: Barrier::Ldar,
+            resp: Barrier::DmbSt,
+        });
+        let addr = run(DelegationBarriers {
+            req: Barrier::AddrDep,
+            resp: Barrier::DmbSt,
+        });
+        assert!(
+            ldar > full,
+            "LDAR {ldar} over DMB full {full} (Observation 6)"
+        );
         assert!(addr >= ldar * 0.95, "deps at least as good as LDAR");
     }
 
@@ -856,9 +937,18 @@ mod tests {
             )
             .locks_per_sec
         };
-        let with = run(DelegationBarriers { req: Barrier::Ldar, resp: Barrier::DmbSt });
-        let without = run(DelegationBarriers { req: Barrier::Ldar, resp: Barrier::None });
-        assert!(without > with * 1.05, "no-resp {without} vs {with} (the paper's ~22%)");
+        let with = run(DelegationBarriers {
+            req: Barrier::Ldar,
+            resp: Barrier::DmbSt,
+        });
+        let without = run(DelegationBarriers {
+            req: Barrier::Ldar,
+            resp: Barrier::None,
+        });
+        assert!(
+            without > with * 1.05,
+            "no-resp {without} vs {with} (the paper's ~22%)"
+        );
     }
 
     #[test]
@@ -866,7 +956,11 @@ mod tests {
         let p = kunpeng();
         let point = fig7c_point(&p, 8, 0, 30);
         let get = |name: &str| {
-            point.iter().find(|(n, _)| n == name).map(|&(_, v)| v).expect("variant present")
+            point
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .expect("variant present")
         };
         assert!(get("DSynch-P") > get("DSynch"), "{point:?}");
         assert!(get("FFWD-P") > get("FFWD"), "{point:?}");
@@ -878,14 +972,21 @@ mod tests {
         let gain_at = |interval| {
             let point = fig7c_point(&p, 6, interval, 20);
             let get = |name: &str| {
-                point.iter().find(|(n, _)| n == name).map(|&(_, v)| v).expect("present")
+                point
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, v)| v)
+                    .expect("present")
             };
             get("DSynch-P") / get("DSynch")
         };
         let high = gain_at(0);
         let low = gain_at(12_800);
         assert!(high > low, "gain at high contention {high} > at low {low}");
-        assert!(low > 0.9, "Pilot never degrades much below baseline, got {low}");
+        assert!(
+            low > 0.9,
+            "Pilot never degrades much below baseline, got {low}"
+        );
     }
 
     #[test]

@@ -37,13 +37,55 @@ pub struct PcBarriers {
 
 /// The Figure 6(a) combinations, in the legend's order.
 pub const FIG6A_COMBOS: [(&str, PcBarriers); 7] = [
-    ("DMB full - DMB full", PcBarriers { avail: Barrier::DmbFull, publish: Barrier::DmbFull }),
-    ("DMB full - DMB st", PcBarriers { avail: Barrier::DmbFull, publish: Barrier::DmbSt }),
-    ("DMB ld - DMB st", PcBarriers { avail: Barrier::DmbLd, publish: Barrier::DmbSt }),
-    ("LDAR - DMB st", PcBarriers { avail: Barrier::Ldar, publish: Barrier::DmbSt }),
-    ("DMB full - STLR", PcBarriers { avail: Barrier::DmbFull, publish: Barrier::Stlr }),
-    ("DMB ld - No Barrier", PcBarriers { avail: Barrier::DmbLd, publish: Barrier::None }),
-    ("Ideal", PcBarriers { avail: Barrier::None, publish: Barrier::None }),
+    (
+        "DMB full - DMB full",
+        PcBarriers {
+            avail: Barrier::DmbFull,
+            publish: Barrier::DmbFull,
+        },
+    ),
+    (
+        "DMB full - DMB st",
+        PcBarriers {
+            avail: Barrier::DmbFull,
+            publish: Barrier::DmbSt,
+        },
+    ),
+    (
+        "DMB ld - DMB st",
+        PcBarriers {
+            avail: Barrier::DmbLd,
+            publish: Barrier::DmbSt,
+        },
+    ),
+    (
+        "LDAR - DMB st",
+        PcBarriers {
+            avail: Barrier::Ldar,
+            publish: Barrier::DmbSt,
+        },
+    ),
+    (
+        "DMB full - STLR",
+        PcBarriers {
+            avail: Barrier::DmbFull,
+            publish: Barrier::Stlr,
+        },
+    ),
+    (
+        "DMB ld - No Barrier",
+        PcBarriers {
+            avail: Barrier::DmbLd,
+            publish: Barrier::None,
+        },
+    ),
+    (
+        "Ideal",
+        PcBarriers {
+            avail: Barrier::None,
+            publish: Barrier::None,
+        },
+    ),
 ];
 
 fn slot_addr(i: u64) -> u64 {
@@ -410,8 +452,15 @@ pub fn run_prodcons(
     batch: u64,
     produce_nops: u32,
 ) -> PcResult {
-    assert!(batch >= 1 && batch <= BUF_SLOTS / 2, "batch must fit the ring twice over");
-    assert_eq!(messages % batch, 0, "messages must be a whole number of batches");
+    assert!(
+        (1..=BUF_SLOTS / 2).contains(&batch),
+        "batch must fit the ring twice over"
+    );
+    assert_eq!(
+        messages % batch,
+        0,
+        "messages must be a whole number of batches"
+    );
     let platform = bind.platform();
     let mut m = Machine::new(platform.clone());
     let prod_core = bind.primary_core();
@@ -507,9 +556,20 @@ mod tests {
                 let r = run_prodcons(bind, PcVariant::Baseline(*combo), 100, 1, 10);
                 assert_eq!(r.messages, 100, "{name}");
             }
-            let r = run_prodcons(bind, PcVariant::Pilot { avail: Barrier::DmbLd }, 100, 1, 10);
+            let r = run_prodcons(
+                bind,
+                PcVariant::Pilot {
+                    avail: Barrier::DmbLd,
+                },
+                100,
+                1,
+                10,
+            );
             assert_eq!(r.messages, 100);
-            assert_eq!(r.errors, 0, "Pilot must stay correct with no publish barrier");
+            assert_eq!(
+                r.errors, 0,
+                "Pilot must stay correct with no publish barrier"
+            );
         }
     }
 
@@ -530,7 +590,10 @@ mod tests {
         let bind = BindConfig::KunpengCrossNodes;
         let stlr = tput(bind, baseline(Barrier::DmbFull, Barrier::Stlr));
         let full = tput(bind, baseline(Barrier::DmbFull, Barrier::DmbFull));
-        assert!(stlr <= full * 1.05, "STLR {stlr} vs DMB full {full} (Observation 3)");
+        assert!(
+            stlr <= full * 1.05,
+            "STLR {stlr} vs DMB full {full} (Observation 3)"
+        );
     }
 
     #[test]
@@ -540,36 +603,62 @@ mod tests {
         let ld_st = tput(bind, baseline(Barrier::DmbLd, Barrier::DmbSt));
         let ideal = tput(bind, baseline(Barrier::None, Barrier::None));
         assert!(ld_none > ld_st, "dropping the post-RMR barrier must help");
-        assert!(ld_none > 0.8 * ideal, "ld-none {ld_none} close to ideal {ideal}");
+        assert!(
+            ld_none > 0.8 * ideal,
+            "ld-none {ld_none} close to ideal {ideal}"
+        );
     }
 
     #[test]
     fn fig6b_pilot_beats_the_best_correct_baseline() {
         for bind in [BindConfig::KunpengSameNode, BindConfig::KunpengCrossNodes] {
-            let pilot = tput(bind, PcVariant::Pilot { avail: Barrier::DmbLd });
+            let pilot = tput(
+                bind,
+                PcVariant::Pilot {
+                    avail: Barrier::DmbLd,
+                },
+            );
             let best = tput(bind, baseline(Barrier::DmbLd, Barrier::DmbSt));
-            assert!(pilot > best, "{bind:?}: Pilot {pilot} over DMB ld-DMB st {best}");
+            assert!(
+                pilot > best,
+                "{bind:?}: Pilot {pilot} over DMB ld-DMB st {best}"
+            );
         }
     }
 
     #[test]
     fn fig6b_pilot_gain_larger_cross_node_than_mobile() {
         let gain = |bind| {
-            tput(bind, PcVariant::Pilot { avail: Barrier::DmbLd })
-                / tput(bind, baseline(Barrier::DmbLd, Barrier::DmbSt))
+            tput(
+                bind,
+                PcVariant::Pilot {
+                    avail: Barrier::DmbLd,
+                },
+            ) / tput(bind, baseline(Barrier::DmbLd, Barrier::DmbSt))
         };
         let cross = gain(BindConfig::KunpengCrossNodes);
         let rpi = gain(BindConfig::RaspberryPi4);
         assert!(cross > rpi, "cross-node gain {cross} vs rpi {rpi}");
-        assert!(cross > 1.3, "cross-node gain should be substantial, got {cross}");
+        assert!(
+            cross > 1.3,
+            "cross-node gain should be substantial, got {cross}"
+        );
     }
 
     #[test]
     fn fig6c_batching_amortizes_the_pilot_advantage() {
         let bind = BindConfig::KunpengCrossNodes;
         let speedup = |batch| {
-            let p = run_prodcons(bind, PcVariant::Pilot { avail: Barrier::DmbLd }, MSGS, batch, 10)
-                .msgs_per_sec;
+            let p = run_prodcons(
+                bind,
+                PcVariant::Pilot {
+                    avail: Barrier::DmbLd,
+                },
+                MSGS,
+                batch,
+                10,
+            )
+            .msgs_per_sec;
             let b = run_prodcons(
                 bind,
                 baseline(Barrier::DmbLd, Barrier::DmbSt),
@@ -588,7 +677,9 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let v = PcVariant::Pilot { avail: Barrier::DmbLd };
+        let v = PcVariant::Pilot {
+            avail: Barrier::DmbLd,
+        };
         let a = run_prodcons(BindConfig::Kirin970, v, 100, 1, 10);
         let b = run_prodcons(BindConfig::Kirin970, v, 100, 1, 10);
         assert_eq!(a.cycles, b.cycles);

@@ -179,7 +179,10 @@ pub struct LockResult {
 /// Cores used for a lock benchmark: spread across the machine the way the
 /// paper binds threads (one per physical core, filling node 0 first).
 fn competitor_cores(platform: &Platform, threads: usize) -> Vec<usize> {
-    assert!(threads <= platform.topology.core_count(), "not enough cores");
+    assert!(
+        threads <= platform.topology.core_count(),
+        "not enough cores"
+    );
     (0..threads).collect()
 }
 
@@ -208,7 +211,10 @@ pub fn run_ticket(platform: &Platform, cfg: TicketConfig) -> LockResult {
     let total = cfg.per_thread * cfg.threads as u64;
     let max_cycles = total * 200_000 + 1_000_000;
     let stats = m.run(max_cycles);
-    assert!(stats.halted, "ticket benchmark must finish (deadlock otherwise)");
+    assert!(
+        stats.halted,
+        "ticket benchmark must finish (deadlock otherwise)"
+    );
     // Sanity: the lock really serialized every acquisition.
     assert_eq!(m.read_memory(NEXT_TICKET), total);
     assert_eq!(m.read_memory(OWNER), total);
@@ -227,7 +233,14 @@ mod tests {
     #[test]
     fn lock_serializes_and_counts() {
         let p = Platform::kunpeng916();
-        let r = run_ticket(&p, TicketConfig { threads: 4, per_thread: 30, ..Default::default() });
+        let r = run_ticket(
+            &p,
+            TicketConfig {
+                threads: 4,
+                per_thread: 30,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.acquisitions, 120);
         assert!(r.locks_per_sec > 0.0);
     }
@@ -256,7 +269,10 @@ mod tests {
         let no_lines_normal = run(0, Barrier::DmbSt);
         let no_lines_removed = run(0, Barrier::None);
         let gain_none = no_lines_removed / no_lines_normal;
-        assert!(gain_lines > 1.05, "barrier after RMRs must cost, gain {gain_lines}");
+        assert!(
+            gain_lines > 1.05,
+            "barrier after RMRs must cost, gain {gain_lines}"
+        );
         assert!(gain_lines > gain_none, "{gain_lines} vs {gain_none}");
     }
 
@@ -289,7 +305,10 @@ mod tests {
         };
         let server = gain(&Platform::kunpeng916());
         let mobile = gain(&Platform::kirin960());
-        assert!(server > mobile, "server gain {server} vs mobile {mobile} (Observation 4)");
+        assert!(
+            server > mobile,
+            "server gain {server} vs mobile {mobile} (Observation 4)"
+        );
     }
 
     #[test]
@@ -315,7 +334,11 @@ mod tests {
     #[test]
     fn determinism() {
         let p = Platform::kirin970();
-        let cfg = TicketConfig { threads: 3, per_thread: 25, ..Default::default() };
+        let cfg = TicketConfig {
+            threads: 3,
+            per_thread: 25,
+            ..Default::default()
+        };
         assert_eq!(run_ticket(&p, cfg).cycles, run_ticket(&p, cfg).cycles);
     }
 }

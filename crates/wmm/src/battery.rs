@@ -7,10 +7,15 @@
 //! like WRC+addrs and IRIW+addrs are forbidden even without full barriers,
 //! while plain non-MCA machines (e.g. POWER) allow them.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
 use armbar_barriers::Barrier;
 
+use crate::explore::explore;
 use crate::litmus::LitmusTest;
-use crate::model::{Instr, Program, Thread};
+use crate::model::{Instr, MemoryModel, Program, Thread};
 
 fn thread(instrs: Vec<Instr>) -> Thread {
     Thread { instrs }
@@ -26,7 +31,10 @@ pub fn corr() -> LitmusTest {
     let t1 = vec![Instr::load(0, 0), Instr::load(1, 0)];
     LitmusTest {
         name: "CoRR".to_string(),
-        program: Program { threads: vec![thread(t0), thread(t1)], init: vec![] },
+        program: Program {
+            threads: vec![thread(t0), thread(t1)],
+            init: vec![],
+        },
         relaxed: Box::new(|o| o.reg(1, 0) == 1 && o.reg(1, 1) == 0),
     }
 }
@@ -41,7 +49,10 @@ pub fn wrc_addrs() -> LitmusTest {
     let t2 = vec![Instr::load(0, 1), Instr::load_addr_dep(1, 0, 0)];
     LitmusTest {
         name: "WRC+data+addr".to_string(),
-        program: Program { threads: vec![thread(t0), thread(t1), thread(t2)], init: vec![] },
+        program: Program {
+            threads: vec![thread(t0), thread(t1), thread(t2)],
+            init: vec![],
+        },
         relaxed: Box::new(|o| o.reg(1, 0) == 1 && o.reg(2, 0) == 1 && o.reg(2, 1) == 0),
     }
 }
@@ -55,7 +66,10 @@ pub fn wrc_plain() -> LitmusTest {
     let t2 = vec![Instr::load(0, 1), Instr::load(1, 0)];
     LitmusTest {
         name: "WRC+data+po".to_string(),
-        program: Program { threads: vec![thread(t0), thread(t1), thread(t2)], init: vec![] },
+        program: Program {
+            threads: vec![thread(t0), thread(t1), thread(t2)],
+            init: vec![],
+        },
         relaxed: Box::new(|o| o.reg(1, 0) == 1 && o.reg(2, 0) == 1 && o.reg(2, 1) == 0),
     }
 }
@@ -97,7 +111,10 @@ pub fn s_shape(producer_barrier: Barrier) -> LitmusTest {
     let t1 = vec![Instr::load(0, 1), Instr::store_ctrl_dep(0, 1, 0)];
     LitmusTest {
         name: format!("S+{producer_barrier}+ctrl"),
-        program: Program { threads: vec![thread(t0), thread(t1)], init: vec![] },
+        program: Program {
+            threads: vec![thread(t0), thread(t1)],
+            init: vec![],
+        },
         relaxed: Box::new(|o| o.reg(1, 0) == 1 && o.mem(0) == 2),
     }
 }
@@ -115,7 +132,10 @@ pub fn r_shape(barrier: Barrier) -> LitmusTest {
     let t1 = weave(Instr::store(1, 2), Instr::load(0, 0));
     LitmusTest {
         name: format!("R+{barrier}"),
-        program: Program { threads: vec![thread(t0), thread(t1)], init: vec![] },
+        program: Program {
+            threads: vec![thread(t0), thread(t1)],
+            init: vec![],
+        },
         relaxed: Box::new(|o| o.mem(1) == 2 && o.reg(1, 0) == 0),
     }
 }
@@ -139,7 +159,10 @@ pub fn two_plus_two_w(barrier: Barrier) -> LitmusTest {
     let t1 = weave(Instr::store(1, 1), Instr::store(0, 2));
     LitmusTest {
         name: format!("2+2W+{barrier}"),
-        program: Program { threads: vec![thread(t0), thread(t1)], init: vec![] },
+        program: Program {
+            threads: vec![thread(t0), thread(t1)],
+            init: vec![],
+        },
         relaxed: Box::new(|o| o.mem(0) == 1 && o.mem(1) == 1),
     }
 }
@@ -162,9 +185,72 @@ pub fn battery() -> Vec<(LitmusTest, bool)> {
     ]
 }
 
+/// Measured result of one battery litmus test.
+#[derive(Debug, Clone)]
+pub struct BatteryRun {
+    /// Litmus test name.
+    pub name: String,
+    /// The battery's textbook verdict for ARM WMM.
+    pub expected_allowed: bool,
+    /// Whether the relaxed outcome was reachable under the explored model.
+    pub allowed: bool,
+    /// Number of distinct final outcomes.
+    pub outcome_count: usize,
+    /// States the DFS visited (deterministic per program and model).
+    pub states_visited: usize,
+    /// Host wall-clock time of the exploration.
+    pub wall: Duration,
+}
+
+/// Run the whole battery under `model` on `workers` threads.
+///
+/// Each litmus program is an independent DFS, so the battery parallelizes
+/// embarrassingly: workers claim tests from a shared counter and results are
+/// reassembled in battery order, making the output independent of worker
+/// count. `workers <= 1` runs the old serial path on the calling thread.
+#[must_use]
+pub fn run_battery(model: MemoryModel, workers: usize) -> Vec<BatteryRun> {
+    let tests = battery();
+    let run_one = |(test, expect): &(LitmusTest, bool)| {
+        let start = Instant::now();
+        let set = explore(&test.program, model);
+        BatteryRun {
+            name: test.name.clone(),
+            expected_allowed: *expect,
+            allowed: set.outcomes.iter().any(|o| (test.relaxed)(o)),
+            outcome_count: set.outcomes.len(),
+            states_visited: set.states_visited,
+            wall: start.elapsed(),
+        }
+    };
+    if workers <= 1 {
+        return tests.iter().map(run_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<BatteryRun>>> = tests.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(tests.len()) {
+            scope.spawn(|| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                let Some(test) = tests.get(ix) else { break };
+                *slots[ix].lock().expect("battery slot poisoned") = Some(run_one(test));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("battery slot poisoned")
+                .expect("battery slot unfilled")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explore::explore_with_sip_hasher;
     use crate::model::MemoryModel;
 
     #[test]
@@ -177,7 +263,10 @@ mod tests {
     #[test]
     fn wrc_needs_the_reader_side_dependency() {
         assert!(wrc_plain().allowed(MemoryModel::ArmWmm));
-        assert!(!wrc_addrs().allowed(MemoryModel::ArmWmm), "MCA + addr deps forbid WRC");
+        assert!(
+            !wrc_addrs().allowed(MemoryModel::ArmWmm),
+            "MCA + addr deps forbid WRC"
+        );
         assert!(!wrc_plain().allowed(MemoryModel::X86Tso));
     }
 
@@ -197,7 +286,10 @@ mod tests {
     #[test]
     fn r_shape_needs_full_barriers() {
         assert!(r_shape(Barrier::None).allowed(MemoryModel::ArmWmm));
-        assert!(r_shape(Barrier::DmbSt).allowed(MemoryModel::ArmWmm), "st too weak for R");
+        assert!(
+            r_shape(Barrier::DmbSt).allowed(MemoryModel::ArmWmm),
+            "st too weak for R"
+        );
         assert!(!r_shape(Barrier::DmbFull).allowed(MemoryModel::ArmWmm));
     }
 
@@ -223,7 +315,50 @@ mod tests {
     #[test]
     fn sc_forbids_every_battery_relaxation() {
         for (test, _) in battery() {
-            assert!(!test.allowed(MemoryModel::Sc), "{} must be SC-forbidden", test.name);
+            assert!(
+                !test.allowed(MemoryModel::Sc),
+                "{} must be SC-forbidden",
+                test.name
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_battery_matches_serial_battery() {
+        let serial = run_battery(MemoryModel::ArmWmm, 1);
+        let parallel = run_battery(MemoryModel::ArmWmm, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name, "battery order must be preserved");
+            assert_eq!(s.allowed, p.allowed, "{}", s.name);
+            assert_eq!(s.outcome_count, p.outcome_count, "{}", s.name);
+            assert_eq!(s.states_visited, p.states_visited, "{}", s.name);
+            assert_eq!(s.allowed, s.expected_allowed, "{} verdict", s.name);
+            assert!(s.states_visited > 0, "{} must report DFS work", s.name);
+        }
+    }
+
+    #[test]
+    fn fxhash_swap_does_not_change_any_outcome_set() {
+        // The hasher only affects bucket order; outcomes are sorted and
+        // states_visited counts distinct states, so FxHash and SipHash
+        // exploration must agree exactly on every battery program under
+        // every model.
+        for (test, _) in battery() {
+            for model in MemoryModel::ALL {
+                let fx = explore(&test.program, model);
+                let sip = explore_with_sip_hasher(&test.program, model);
+                assert_eq!(fx.outcomes, sip.outcomes, "{} under {model:?}", test.name);
+                assert_eq!(
+                    fx.states_visited, sip.states_visited,
+                    "{} under {model:?}",
+                    test.name
+                );
+                assert!(
+                    fx.outcomes.windows(2).all(|w| w[0] < w[1]),
+                    "outcomes sorted+distinct"
+                );
+            }
         }
     }
 }

@@ -12,6 +12,9 @@
 //! [`Outcome`]s.
 
 use std::collections::{BTreeMap, HashSet};
+use std::hash::BuildHasher;
+
+use armbar_fxhash::FxBuildHasher;
 
 use crate::model::{Instr, MemoryModel, Program, Src};
 
@@ -37,7 +40,10 @@ impl Outcome {
     /// Final value of a location (0 if never written).
     #[must_use]
     pub fn mem(&self, loc: u8) -> u64 {
-        self.memory.iter().find(|(l, _)| *l == loc).map_or(0, |&(_, v)| v)
+        self.memory
+            .iter()
+            .find(|(l, _)| *l == loc)
+            .map_or(0, |&(_, v)| v)
     }
 }
 
@@ -82,8 +88,32 @@ struct State {
 /// litmus tests are tiny by construction.
 #[must_use]
 pub fn explore(program: &Program, model: MemoryModel) -> OutcomeSet {
+    // The visited-set is the explorer's hottest structure: every DFS step
+    // hashes a full `State`. States are never adversarial, so the unkeyed
+    // FxHash scheme replaces SipHash here.
+    explore_with_hasher::<FxBuildHasher>(program, model)
+}
+
+/// [`explore`] with `std`'s default SipHash tables.
+///
+/// Exists purely as a regression hook: the hasher choice must never change
+/// the resulting [`OutcomeSet`] (outcomes are sorted and `states_visited`
+/// counts distinct states, independent of bucket order). Tests compare this
+/// against [`explore`].
+#[must_use]
+pub fn explore_with_sip_hasher(program: &Program, model: MemoryModel) -> OutcomeSet {
+    explore_with_hasher::<std::collections::hash_map::RandomState>(program, model)
+}
+
+fn explore_with_hasher<S: BuildHasher + Default>(
+    program: &Program,
+    model: MemoryModel,
+) -> OutcomeSet {
     for t in &program.threads {
-        assert!(t.instrs.len() <= 64, "litmus threads are limited to 64 instructions");
+        assert!(
+            t.instrs.len() <= 64,
+            "litmus threads are limited to 64 instructions"
+        );
     }
     let init_mem: BTreeMap<u8, u64> = program.init.iter().copied().collect();
     let start = State {
@@ -92,8 +122,8 @@ pub fn explore(program: &Program, model: MemoryModel) -> OutcomeSet {
         memory: init_mem,
     };
 
-    let mut seen: HashSet<State> = HashSet::new();
-    let mut outcomes: HashSet<Outcome> = HashSet::new();
+    let mut seen: HashSet<State, S> = HashSet::default();
+    let mut outcomes: HashSet<Outcome, S> = HashSet::default();
     let mut stack = vec![start];
 
     while let Some(state) = stack.pop() {
@@ -107,9 +137,8 @@ pub fn explore(program: &Program, model: MemoryModel) -> OutcomeSet {
                     continue;
                 }
                 // Enabled iff every ordered predecessor has performed.
-                let enabled = (0..j).all(|i| {
-                    state.done[tid] & (1 << i) != 0 || !model.ordered(thread, i, j)
-                });
+                let enabled =
+                    (0..j).all(|i| state.done[tid] & (1 << i) != 0 || !model.ordered(thread, i, j));
                 if !enabled {
                     continue;
                 }
@@ -147,7 +176,10 @@ pub fn explore(program: &Program, model: MemoryModel) -> OutcomeSet {
 
     let mut sorted: Vec<Outcome> = outcomes.into_iter().collect();
     sorted.sort();
-    OutcomeSet { outcomes: sorted, states_visited: seen.len() }
+    OutcomeSet {
+        outcomes: sorted,
+        states_visited: seen.len(),
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +189,13 @@ mod tests {
     use armbar_barriers::Barrier;
 
     fn prog(threads: Vec<Vec<Instr>>) -> Program {
-        Program { threads: threads.into_iter().map(|instrs| Thread { instrs }).collect(), init: vec![] }
+        Program {
+            threads: threads
+                .into_iter()
+                .map(|instrs| Thread { instrs })
+                .collect(),
+            init: vec![],
+        }
     }
 
     #[test]
@@ -185,8 +223,16 @@ mod tests {
     #[test]
     fn sb_with_full_barriers_forbidden() {
         let p = prog(vec![
-            vec![Instr::store(0, 1), Instr::Fence(Barrier::DmbFull), Instr::load(0, 1)],
-            vec![Instr::store(1, 1), Instr::Fence(Barrier::DmbFull), Instr::load(0, 0)],
+            vec![
+                Instr::store(0, 1),
+                Instr::Fence(Barrier::DmbFull),
+                Instr::load(0, 1),
+            ],
+            vec![
+                Instr::store(1, 1),
+                Instr::Fence(Barrier::DmbFull),
+                Instr::load(0, 0),
+            ],
         ]);
         let bad = |o: &Outcome| o.reg(0, 0) == 0 && o.reg(1, 0) == 0;
         assert!(!explore(&p, MemoryModel::ArmWmm).any(bad));
@@ -240,7 +286,9 @@ mod tests {
     #[test]
     fn init_values_are_respected() {
         let p = Program {
-            threads: vec![Thread { instrs: vec![Instr::load(0, 5)] }],
+            threads: vec![Thread {
+                instrs: vec![Instr::load(0, 5)],
+            }],
             init: vec![(5, 77)],
         };
         let out = explore(&p, MemoryModel::ArmWmm);

@@ -41,20 +41,55 @@ fn weave(approach: Barrier, earlier: Instr, later: Instr) -> Vec<Instr> {
     match approach {
         Barrier::None => vec![earlier, later],
         Barrier::Ldar => {
-            let Instr::Load { reg, loc, addr_dep, .. } = earlier else {
+            let Instr::Load {
+                reg, loc, addr_dep, ..
+            } = earlier
+            else {
                 panic!("LDAR requires the earlier access to be a load");
             };
-            vec![Instr::Load { reg, loc, acquire: true, addr_dep }, later]
+            vec![
+                Instr::Load {
+                    reg,
+                    loc,
+                    acquire: true,
+                    addr_dep,
+                },
+                later,
+            ]
         }
         Barrier::Stlr => {
-            let Instr::Store { loc, src, addr_dep, ctrl_dep, .. } = later else {
+            let Instr::Store {
+                loc,
+                src,
+                addr_dep,
+                ctrl_dep,
+                ..
+            } = later
+            else {
                 panic!("STLR requires the later access to be a store");
             };
-            vec![earlier, Instr::Store { loc, src, release: true, addr_dep, ctrl_dep }]
+            vec![
+                earlier,
+                Instr::Store {
+                    loc,
+                    src,
+                    release: true,
+                    addr_dep,
+                    ctrl_dep,
+                },
+            ]
         }
         Barrier::DataDep => {
-            let (Instr::Load { reg, .. }, Instr::Store { loc, src, release, addr_dep, ctrl_dep }) =
-                (&earlier, &later)
+            let (
+                Instr::Load { reg, .. },
+                Instr::Store {
+                    loc,
+                    src,
+                    release,
+                    addr_dep,
+                    ctrl_dep,
+                },
+            ) = (&earlier, &later)
             else {
                 panic!("DATA DEP requires load -> store");
             };
@@ -79,12 +114,27 @@ fn weave(approach: Barrier, earlier: Instr, later: Instr) -> Vec<Instr> {
             };
             let dep = Some(*reg);
             let later = match later {
-                Instr::Load { reg, loc, acquire, .. } => {
-                    Instr::Load { reg, loc, acquire, addr_dep: dep }
-                }
-                Instr::Store { loc, src, release, ctrl_dep, .. } => {
-                    Instr::Store { loc, src, release, addr_dep: dep, ctrl_dep }
-                }
+                Instr::Load {
+                    reg, loc, acquire, ..
+                } => Instr::Load {
+                    reg,
+                    loc,
+                    acquire,
+                    addr_dep: dep,
+                },
+                Instr::Store {
+                    loc,
+                    src,
+                    release,
+                    ctrl_dep,
+                    ..
+                } => Instr::Store {
+                    loc,
+                    src,
+                    release,
+                    addr_dep: dep,
+                    ctrl_dep,
+                },
                 Instr::Fence(_) => panic!("cannot address-depend a fence"),
             };
             vec![earlier, later]
@@ -93,12 +143,25 @@ fn weave(approach: Barrier, earlier: Instr, later: Instr) -> Vec<Instr> {
             let Instr::Load { reg, .. } = &earlier else {
                 panic!("CTRL requires the earlier access to be a load");
             };
-            let Instr::Store { loc, src, release, addr_dep, .. } = later else {
+            let Instr::Store {
+                loc,
+                src,
+                release,
+                addr_dep,
+                ..
+            } = later
+            else {
                 panic!("CTRL orders load -> store only");
             };
             vec![
-                earlier.clone(),
-                Instr::Store { loc, src, release, addr_dep, ctrl_dep: Some(*reg) },
+                earlier,
+                Instr::Store {
+                    loc,
+                    src,
+                    release,
+                    addr_dep,
+                    ctrl_dep: Some(*reg),
+                },
             ]
         }
         fence => vec![earlier, Instr::Fence(fence), later],
@@ -115,7 +178,10 @@ pub fn message_passing(producer_barrier: Barrier, consumer_barrier: Barrier) -> 
     let consumer = weave(consumer_barrier, Instr::load(0, 1), Instr::load(1, 0));
     LitmusTest {
         name: format!("MP+{producer_barrier}+{consumer_barrier}"),
-        program: Program { threads: vec![thread(producer), thread(consumer)], init: vec![] },
+        program: Program {
+            threads: vec![thread(producer), thread(consumer)],
+            init: vec![],
+        },
         relaxed: Box::new(|o| o.reg(1, 0) == 1 && o.reg(1, 1) != 23),
     }
 }
@@ -128,7 +194,10 @@ pub fn store_buffering(barrier: Barrier) -> LitmusTest {
     let t1 = weave(barrier, Instr::store(1, 1), Instr::load(0, 0));
     LitmusTest {
         name: format!("SB+{barrier}"),
-        program: Program { threads: vec![thread(t0), thread(t1)], init: vec![] },
+        program: Program {
+            threads: vec![thread(t0), thread(t1)],
+            init: vec![],
+        },
         relaxed: Box::new(|o| o.reg(0, 0) == 0 && o.reg(1, 0) == 0),
     }
 }
@@ -142,7 +211,10 @@ pub fn load_buffering(barrier: Barrier) -> LitmusTest {
     let t1 = weave(barrier, Instr::load(0, 1), Instr::store(0, 1));
     LitmusTest {
         name: format!("LB+{barrier}"),
-        program: Program { threads: vec![thread(t0), thread(t1)], init: vec![] },
+        program: Program {
+            threads: vec![thread(t0), thread(t1)],
+            init: vec![],
+        },
         relaxed: Box::new(|o| o.reg(0, 0) == 1 && o.reg(1, 0) == 1),
     }
 }
@@ -159,7 +231,10 @@ pub fn pilot_message_passing() -> LitmusTest {
     let consumer = vec![Instr::load(0, 0)];
     LitmusTest {
         name: "MP+pilot".to_string(),
-        program: Program { threads: vec![thread(producer), thread(consumer)], init: vec![] },
+        program: Program {
+            threads: vec![thread(producer), thread(consumer)],
+            init: vec![],
+        },
         relaxed: Box::new(|o| o.reg(1, 0) != 0 && o.reg(1, 0) != 23),
     }
 }
@@ -232,8 +307,14 @@ mod tests {
     #[test]
     fn sb_requires_a_full_barrier() {
         assert!(store_buffering(Barrier::None).allowed(MemoryModel::ArmWmm));
-        assert!(store_buffering(Barrier::DmbSt).allowed(MemoryModel::ArmWmm), "st too weak");
-        assert!(store_buffering(Barrier::DmbLd).allowed(MemoryModel::ArmWmm), "ld too weak");
+        assert!(
+            store_buffering(Barrier::DmbSt).allowed(MemoryModel::ArmWmm),
+            "st too weak"
+        );
+        assert!(
+            store_buffering(Barrier::DmbLd).allowed(MemoryModel::ArmWmm),
+            "ld too weak"
+        );
         assert!(!store_buffering(Barrier::DmbFull).allowed(MemoryModel::ArmWmm));
         assert!(!store_buffering(Barrier::DsbFull).allowed(MemoryModel::ArmWmm));
     }
@@ -249,7 +330,10 @@ mod tests {
             Barrier::DmbLd,
             Barrier::DmbFull,
         ] {
-            assert!(!load_buffering(a).allowed(MemoryModel::ArmWmm), "{a} must fix LB");
+            assert!(
+                !load_buffering(a).allowed(MemoryModel::ArmWmm),
+                "{a} must fix LB"
+            );
         }
         assert!(load_buffering(Barrier::None).allowed(MemoryModel::ArmWmm));
     }

@@ -111,7 +111,12 @@ impl Instr {
     pub fn dep_regs(&self) -> Vec<Reg> {
         match self {
             Instr::Load { addr_dep, .. } => addr_dep.iter().copied().collect(),
-            Instr::Store { src, addr_dep, ctrl_dep, .. } => src
+            Instr::Store {
+                src,
+                addr_dep,
+                ctrl_dep,
+                ..
+            } => src
                 .dep_reg()
                 .into_iter()
                 .chain(addr_dep.iter().copied())
@@ -124,31 +129,58 @@ impl Instr {
     /// Convenience constructors.
     #[must_use]
     pub fn load(reg: Reg, loc: Loc) -> Instr {
-        Instr::Load { reg, loc, acquire: false, addr_dep: None }
+        Instr::Load {
+            reg,
+            loc,
+            acquire: false,
+            addr_dep: None,
+        }
     }
 
     /// Load-acquire.
     #[must_use]
     pub fn load_acq(reg: Reg, loc: Loc) -> Instr {
-        Instr::Load { reg, loc, acquire: true, addr_dep: None }
+        Instr::Load {
+            reg,
+            loc,
+            acquire: true,
+            addr_dep: None,
+        }
     }
 
     /// Load with a bogus address dependency on `dep`.
     #[must_use]
     pub fn load_addr_dep(reg: Reg, loc: Loc, dep: Reg) -> Instr {
-        Instr::Load { reg, loc, acquire: false, addr_dep: Some(dep) }
+        Instr::Load {
+            reg,
+            loc,
+            acquire: false,
+            addr_dep: Some(dep),
+        }
     }
 
     /// Plain constant store.
     #[must_use]
     pub fn store(loc: Loc, value: u64) -> Instr {
-        Instr::Store { loc, src: Src::Const(value), release: false, addr_dep: None, ctrl_dep: None }
+        Instr::Store {
+            loc,
+            src: Src::Const(value),
+            release: false,
+            addr_dep: None,
+            ctrl_dep: None,
+        }
     }
 
     /// Store-release of a constant.
     #[must_use]
     pub fn store_rel(loc: Loc, value: u64) -> Instr {
-        Instr::Store { loc, src: Src::Const(value), release: true, addr_dep: None, ctrl_dep: None }
+        Instr::Store {
+            loc,
+            src: Src::Const(value),
+            release: true,
+            addr_dep: None,
+            ctrl_dep: None,
+        }
     }
 
     /// Store with a bogus data dependency on `dep`.
@@ -290,7 +322,9 @@ impl MemoryModel {
         match (a, b) {
             (Instr::Fence(_), Instr::Fence(_)) => true,
             (Instr::Fence(f), other) => {
-                let Some(t) = other.access_type() else { return true };
+                let Some(t) = other.access_type() else {
+                    return true;
+                };
                 match self {
                     MemoryModel::Sc | MemoryModel::X86Tso => true,
                     MemoryModel::ArmWmm => {
@@ -300,7 +334,9 @@ impl MemoryModel {
                 }
             }
             (other, Instr::Fence(f)) => {
-                let Some(t) = other.access_type() else { return true };
+                let Some(t) = other.access_type() else {
+                    return true;
+                };
                 match self {
                     MemoryModel::Sc | MemoryModel::X86Tso => true,
                     MemoryModel::ArmWmm => AccessType::ALL.iter().any(|&l| f.orders(t, l)),
@@ -400,8 +436,14 @@ mod tests {
             Instr::Fence(Barrier::DmbFull),
             Instr::load(0, 1),
         ]);
-        assert!(MemoryModel::ArmWmm.ordered(&t, 0, 1), "store before DMB full");
-        assert!(MemoryModel::ArmWmm.ordered(&t, 1, 2), "DMB full before load");
+        assert!(
+            MemoryModel::ArmWmm.ordered(&t, 0, 1),
+            "store before DMB full"
+        );
+        assert!(
+            MemoryModel::ArmWmm.ordered(&t, 1, 2),
+            "DMB full before load"
+        );
     }
 
     #[test]

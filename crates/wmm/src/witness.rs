@@ -6,7 +6,9 @@
 //! index) and returns the first complete execution whose final state
 //! satisfies the predicate.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
+
+use armbar_fxhash::FxHashSet;
 
 use crate::explore::Outcome;
 use crate::model::{Instr, MemoryModel, Program, Src};
@@ -38,11 +40,15 @@ impl Witness {
         for (n, s) in self.steps.iter().enumerate() {
             let instr = &program.threads[s.tid].instrs[s.idx];
             let desc = match instr {
-                Instr::Load { reg, loc, acquire, .. } => format!(
+                Instr::Load {
+                    reg, loc, acquire, ..
+                } => format!(
                     "r{reg} = [{loc}]{}",
                     if *acquire { " (acquire)" } else { "" }
                 ),
-                Instr::Store { loc, src, release, .. } => {
+                Instr::Store {
+                    loc, src, release, ..
+                } => {
                     let v = match src {
                         Src::Const(v) | Src::DepConst { value: v, .. } => format!("{v}"),
                         Src::Reg(r) => format!("r{r}"),
@@ -60,7 +66,11 @@ impl Witness {
     /// which instructions ran out of program order.
     #[must_use]
     pub fn thread_order(&self, tid: usize) -> Vec<usize> {
-        self.steps.iter().filter(|s| s.tid == tid).map(|s| s.idx).collect()
+        self.steps
+            .iter()
+            .filter(|s| s.tid == tid)
+            .map(|s| s.idx)
+            .collect()
     }
 
     /// Whether thread `tid` performed anything out of program order.
@@ -88,14 +98,17 @@ pub fn find_witness(
     pred: impl Fn(&Outcome) -> bool,
 ) -> Option<Witness> {
     for t in &program.threads {
-        assert!(t.instrs.len() <= 64, "litmus threads are limited to 64 instructions");
+        assert!(
+            t.instrs.len() <= 64,
+            "litmus threads are limited to 64 instructions"
+        );
     }
     let start = State {
         done: vec![0; program.threads.len()],
         regs: vec![BTreeMap::new(); program.threads.len()],
         memory: program.init.iter().copied().collect(),
     };
-    let mut seen: HashSet<State> = HashSet::new();
+    let mut seen: FxHashSet<State> = FxHashSet::default();
     let mut stack: Vec<(State, Vec<WitnessStep>)> = vec![(start, Vec::new())];
     while let Some((state, path)) = stack.pop() {
         if !seen.insert(state.clone()) {
@@ -144,7 +157,10 @@ pub fn find_witness(
                 memory: state.memory.iter().map(|(&l, &v)| (l, v)).collect(),
             };
             if pred(&outcome) {
-                return Some(Witness { steps: path, outcome });
+                return Some(Witness {
+                    steps: path,
+                    outcome,
+                });
             }
         }
     }

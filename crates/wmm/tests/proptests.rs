@@ -68,7 +68,7 @@ proptest! {
                 .map(|t| {
                     let mut instrs = Vec::new();
                     for i in &t.instrs {
-                        instrs.push(i.clone());
+                        instrs.push(*i);
                         instrs.push(Instr::Fence(Barrier::DmbFull));
                     }
                     Thread { instrs }

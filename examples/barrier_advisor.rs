@@ -35,8 +35,14 @@ fn show_cell(from: AccessType, to: AccessType) {
             || (b == Barrier::Stlr && to != AccessType::Store));
         if weavable {
             let proved = !table3_cell(from, to, b).allowed(MemoryModel::ArmWmm);
-            println!("  preferred: {a}  [explorer: {}]", if proved { "proved" } else { "REFUTED" });
-            assert!(proved, "the advisor must never recommend an insufficient approach");
+            println!(
+                "  preferred: {a}  [explorer: {}]",
+                if proved { "proved" } else { "REFUTED" }
+            );
+            assert!(
+                proved,
+                "the advisor must never recommend an insufficient approach"
+            );
         } else {
             println!("  preferred: {a}");
         }

@@ -9,10 +9,7 @@ use armbar::dedup::{generate_input, run_pipeline, QueueKind, WorkloadSize};
 
 fn main() {
     let input = generate_input(WorkloadSize::Small, 40, 0xD00D);
-    println!(
-        "input: {} MiB, ~40% redundant blocks\n",
-        input.len() >> 20
-    );
+    println!("input: {} MiB, ~40% redundant blocks\n", input.len() >> 20);
     for kind in QueueKind::ALL {
         let (archive, stats) = run_pipeline(&input, kind);
         let restored = archive.unpack().expect("archive must decompress");

@@ -99,10 +99,22 @@ fn list_demo() {
 fn main() {
     println!("Delegation locks, {THREADS} threads x {OPS_PER_THREAD} counter increments");
     println!("(wall-clock on this host; the calibrated comparison is `exp-fig7c`)\n");
-    println!("  DSynch (combining)      {:>8.2}M ops/s", bench_combining(false) / 1e6);
-    println!("  DSynch-P (Pilot)        {:>8.2}M ops/s", bench_combining(true) / 1e6);
-    println!("  FFWD (dedicated server) {:>8.2}M ops/s", bench_ffwd(false) / 1e6);
-    println!("  FFWD-P (Pilot)          {:>8.2}M ops/s", bench_ffwd(true) / 1e6);
+    println!(
+        "  DSynch (combining)      {:>8.2}M ops/s",
+        bench_combining(false) / 1e6
+    );
+    println!(
+        "  DSynch-P (Pilot)        {:>8.2}M ops/s",
+        bench_combining(true) / 1e6
+    );
+    println!(
+        "  FFWD (dedicated server) {:>8.2}M ops/s",
+        bench_ffwd(false) / 1e6
+    );
+    println!(
+        "  FFWD-P (Pilot)          {:>8.2}M ops/s",
+        bench_ffwd(true) / 1e6
+    );
     println!();
     list_demo();
 }

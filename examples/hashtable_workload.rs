@@ -51,11 +51,10 @@ fn main() {
         let t_rate = drive(&ticket);
         assert_eq!(ticket.len(0), PRELOAD as u64, "size preserved");
         // Combining-with-Pilot per bucket.
-        let pilot: LockedHashTable<CombiningLock<SortedList>> = LockedHashTable::new(
-            buckets,
-            PRELOAD,
-            |_b, list, ops| CombiningLock::new_pilot(THREADS, list, ops),
-        );
+        let pilot: LockedHashTable<CombiningLock<SortedList>> =
+            LockedHashTable::new(buckets, PRELOAD, |_b, list, ops| {
+                CombiningLock::new_pilot(THREADS, list, ops)
+            });
         let p_rate = drive(&pilot);
         assert_eq!(pilot.len(0), PRELOAD as u64, "size preserved");
         println!(

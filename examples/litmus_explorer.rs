@@ -31,17 +31,32 @@ fn main() {
         (Barrier::DmbSt, Barrier::Isb),
     ] {
         let t = message_passing(p, c);
-        println!("  producer {p:<10} consumer {c:<10} -> {}", verdict(t.allowed(MemoryModel::ArmWmm)));
+        println!(
+            "  producer {p:<10} consumer {c:<10} -> {}",
+            verdict(t.allowed(MemoryModel::ArmWmm))
+        );
     }
 
     println!("\nSB (store buffering): can both threads read 0?");
-    for b in [Barrier::None, Barrier::DmbSt, Barrier::DmbLd, Barrier::DmbFull, Barrier::DsbFull] {
+    for b in [
+        Barrier::None,
+        Barrier::DmbSt,
+        Barrier::DmbLd,
+        Barrier::DmbFull,
+        Barrier::DsbFull,
+    ] {
         let t = store_buffering(b);
         println!("  {b:<10} -> {}", verdict(t.allowed(MemoryModel::ArmWmm)));
     }
 
     println!("\nLB (load buffering): can both threads read 1?");
-    for b in [Barrier::None, Barrier::DataDep, Barrier::Ctrl, Barrier::Ldar, Barrier::DmbLd] {
+    for b in [
+        Barrier::None,
+        Barrier::DataDep,
+        Barrier::Ctrl,
+        Barrier::Ldar,
+        Barrier::DmbLd,
+    ] {
         let t = load_buffering(b);
         println!("  {b:<10} -> {}", verdict(t.allowed(MemoryModel::ArmWmm)));
     }
@@ -62,6 +77,9 @@ fn main() {
     let sb = store_buffering(Barrier::None);
     let lb = load_buffering(Barrier::None);
     println!("  MP -> {}", verdict(mp.allowed(MemoryModel::X86Tso)));
-    println!("  SB -> {}  (the one reordering TSO permits)", verdict(sb.allowed(MemoryModel::X86Tso)));
+    println!(
+        "  SB -> {}  (the one reordering TSO permits)",
+        verdict(sb.allowed(MemoryModel::X86Tso))
+    );
     println!("  LB -> {}", verdict(lb.allowed(MemoryModel::X86Tso)));
 }

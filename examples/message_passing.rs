@@ -59,7 +59,11 @@ fn run_pilot() {
         h.join().unwrap();
     });
     let dt = start.elapsed().as_secs_f64();
-    println!("  {:<22} {:>8.2}M msgs/s", "Pilot ring", MESSAGES as f64 / dt / 1e6);
+    println!(
+        "  {:<22} {:>8.2}M msgs/s",
+        "Pilot ring",
+        MESSAGES as f64 / dt / 1e6
+    );
 }
 
 fn main() {

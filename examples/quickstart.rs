@@ -12,11 +12,20 @@ fn main() {
     // ------------------------------------------------------------------
     println!("Table 1: message passing, no barriers");
     let mp = armbar::wmm::litmus::message_passing(Barrier::None, Barrier::None);
-    println!("  ARM WMM allows `local != 23`: {}", mp.allowed(MemoryModel::ArmWmm));
-    println!("  x86 TSO allows it:            {}", mp.allowed(MemoryModel::X86Tso));
+    println!(
+        "  ARM WMM allows `local != 23`: {}",
+        mp.allowed(MemoryModel::ArmWmm)
+    );
+    println!(
+        "  x86 TSO allows it:            {}",
+        mp.allowed(MemoryModel::X86Tso)
+    );
 
     let fixed = armbar::wmm::litmus::message_passing(Barrier::DmbSt, Barrier::DmbLd);
-    println!("  …with DMB st + DMB ld:        {}", fixed.allowed(MemoryModel::ArmWmm));
+    println!(
+        "  …with DMB st + DMB ld:        {}",
+        fixed.allowed(MemoryModel::ArmWmm)
+    );
 
     // ------------------------------------------------------------------
     // 2. Performance — the paper's abstracted model on the simulated

@@ -1,10 +1,10 @@
 //! Integration: the lock families, the collections built on them, and the
 //! macro-workloads, all exercised together on host threads.
 
-use armbar::collections::{LockedHashTable, QueueOps, SeqQueue, SortedList, StackOps, SeqStack};
+use armbar::collections::NOT_FOUND;
+use armbar::collections::{LockedHashTable, QueueOps, SeqQueue, SeqStack, SortedList, StackOps};
 use armbar::floorplan::{bots_input, solve_parallel, solve_sequential, BoundOps, SharedBound};
 use armbar::locks::{CombiningLock, Executor, Ffwd, McsLock, OpTable, TicketLock};
-use armbar::collections::NOT_FOUND;
 
 const THREADS: usize = 4;
 const PER: u64 = 2_000;
@@ -67,14 +67,21 @@ fn every_lock_family_counts_exactly() {
                 });
             }
         });
-        assert_eq!(lock.execute(0, inc, 0), THREADS as u64 * PER, "pilot={pilot}");
+        assert_eq!(
+            lock.execute(0, inc, 0),
+            THREADS as u64 * PER,
+            "pilot={pilot}"
+        );
     }
 
     // FFWD (flag + pilot).
     for pilot in [false, true] {
         let (t, inc) = counter_ops();
-        let lock =
-            if pilot { Ffwd::new_pilot(THREADS, 0u64, t) } else { Ffwd::new(THREADS, 0u64, t) };
+        let lock = if pilot {
+            Ffwd::new_pilot(THREADS, 0u64, t)
+        } else {
+            Ffwd::new(THREADS, 0u64, t)
+        };
         let server = lock.start_server();
         std::thread::scope(|s| {
             for h in 0..THREADS {
@@ -130,7 +137,9 @@ fn queue_and_stack_balance_under_every_executor() {
 #[test]
 fn hash_table_mixed_workload_with_combining_buckets() {
     let table: LockedHashTable<CombiningLock<SortedList>> =
-        LockedHashTable::new(8, 256, |_b, list, ops| CombiningLock::new(THREADS, list, ops));
+        LockedHashTable::new(8, 256, |_b, list, ops| {
+            CombiningLock::new(THREADS, list, ops)
+        });
     std::thread::scope(|s| {
         for h in 0..THREADS {
             let table = &table;

@@ -31,9 +31,18 @@ fn observation_1_intrinsic_overhead_order() {
 #[test]
 fn observation_2_location_determines_overhead() {
     let bind = BindConfig::KunpengCrossNodes;
-    let after = tput(bind, ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::AfterOp1, 700));
-    let away = tput(bind, ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, 700));
-    assert!(after < 0.75 * away, "barrier strictly after the RMR costs: {after} vs {away}");
+    let after = tput(
+        bind,
+        ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::AfterOp1, 700),
+    );
+    let away = tput(
+        bind,
+        ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, 700),
+    );
+    assert!(
+        after < 0.75 * away,
+        "barrier strictly after the RMR costs: {after} vs {away}"
+    );
 }
 
 #[test]
@@ -43,10 +52,22 @@ fn observation_3_stlr_unstable() {
     assert!(!Barrier::Stlr.orders(AccessType::Store, AccessType::Load));
     // …yet slower in the store->store model on the server.
     let bind = BindConfig::KunpengCrossNodes;
-    let stlr = tput(bind, ModelSpec::store_store(Barrier::Stlr, BarrierLoc::BeforeOp2, 700));
-    let full = tput(bind, ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, 700));
-    let st = tput(bind, ModelSpec::store_store(Barrier::DmbSt, BarrierLoc::BeforeOp2, 700));
-    let dsb = tput(bind, ModelSpec::store_store(Barrier::DsbFull, BarrierLoc::BeforeOp2, 700));
+    let stlr = tput(
+        bind,
+        ModelSpec::store_store(Barrier::Stlr, BarrierLoc::BeforeOp2, 700),
+    );
+    let full = tput(
+        bind,
+        ModelSpec::store_store(Barrier::DmbFull, BarrierLoc::BeforeOp2, 700),
+    );
+    let st = tput(
+        bind,
+        ModelSpec::store_store(Barrier::DmbSt, BarrierLoc::BeforeOp2, 700),
+    );
+    let dsb = tput(
+        bind,
+        ModelSpec::store_store(Barrier::DsbFull, BarrierLoc::BeforeOp2, 700),
+    );
     assert!(stlr < full, "STLR loses to the stronger barrier");
     assert!(dsb < stlr && stlr < st, "STLR sits between DSB and DMB st");
 }
@@ -54,8 +75,13 @@ fn observation_3_stlr_unstable() {
 #[test]
 fn observation_4_server_suffers_more() {
     let spread = |bind| {
-        tput(bind, ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, 60))
-            / tput(bind, ModelSpec::store_store(Barrier::DsbFull, BarrierLoc::BeforeOp2, 60))
+        tput(
+            bind,
+            ModelSpec::store_store(Barrier::None, BarrierLoc::BeforeOp2, 60),
+        ) / tput(
+            bind,
+            ModelSpec::store_store(Barrier::DsbFull, BarrierLoc::BeforeOp2, 60),
+        )
     };
     assert!(spread(BindConfig::KunpengCrossNodes) > 2.0 * spread(BindConfig::Kirin960));
 }
@@ -63,11 +89,13 @@ fn observation_4_server_suffers_more() {
 #[test]
 fn observation_5_crossing_nodes_is_a_killer_except_dsb() {
     let gain = |b| {
-        tput(BindConfig::KunpengSameNode, ModelSpec::store_store(b, BarrierLoc::AfterOp1, 150))
-            / tput(
-                BindConfig::KunpengCrossNodes,
-                ModelSpec::store_store(b, BarrierLoc::AfterOp1, 150),
-            )
+        tput(
+            BindConfig::KunpengSameNode,
+            ModelSpec::store_store(b, BarrierLoc::AfterOp1, 150),
+        ) / tput(
+            BindConfig::KunpengCrossNodes,
+            ModelSpec::store_store(b, BarrierLoc::AfterOp1, 150),
+        )
     };
     assert!(gain(Barrier::DmbFull) > 1.5, "DMB benefits from locality");
     assert!(gain(Barrier::DsbFull) < 1.3, "DSB does not");
@@ -77,8 +105,14 @@ fn observation_5_crossing_nodes_is_a_killer_except_dsb() {
 fn observation_6_bus_free_wins_and_is_sufficient() {
     // Timing: dependencies ≈ free.
     let bind = BindConfig::KunpengCrossNodes;
-    let none = tput(bind, ModelSpec::load_store(Barrier::None, BarrierLoc::BeforeOp2, 300));
-    let dep = tput(bind, ModelSpec::load_store(Barrier::DataDep, BarrierLoc::BeforeOp2, 300));
+    let none = tput(
+        bind,
+        ModelSpec::load_store(Barrier::None, BarrierLoc::BeforeOp2, 300),
+    );
+    let dep = tput(
+        bind,
+        ModelSpec::load_store(Barrier::DataDep, BarrierLoc::BeforeOp2, 300),
+    );
     assert!(dep > 0.9 * none);
     // Semantics: the free idiom really forbids the reordering.
     let lb = armbar::wmm::litmus::load_buffering(Barrier::DataDep);
@@ -87,9 +121,12 @@ fn observation_6_bus_free_wins_and_is_sufficient() {
 
 #[test]
 fn figure_4_tipping_ratio() {
-    let (nops, ratio) =
-        tipping_point(BindConfig::KunpengCrossNodes, &[100, 300, 500, 700, 1000, 1500], 0.9)
-            .expect("tipping point exists");
+    let (nops, ratio) = tipping_point(
+        BindConfig::KunpengCrossNodes,
+        &[100, 300, 500, 700, 1000, 1500],
+        0.9,
+    )
+    .expect("tipping point exists");
     assert!(nops >= 100);
     assert!((0.35..=0.7).contains(&ratio), "≈ one half, got {ratio}");
 }

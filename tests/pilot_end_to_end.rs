@@ -8,13 +8,28 @@ use proptest::prelude::*;
 #[test]
 fn pilot_is_correct_in_the_exhaustive_model() {
     let t = armbar::wmm::litmus::pilot_message_passing();
-    assert!(!t.allowed(MemoryModel::ArmWmm), "no barrier needed, yet no bad outcome");
+    assert!(
+        !t.allowed(MemoryModel::ArmWmm),
+        "no barrier needed, yet no bad outcome"
+    );
 }
 
 #[test]
 fn pilot_is_correct_on_the_simulator_without_any_publish_barrier() {
-    for bind in [BindConfig::KunpengCrossNodes, BindConfig::Kirin960, BindConfig::RaspberryPi4] {
-        let r = run_prodcons(bind, PcVariant::Pilot { avail: Barrier::DmbLd }, 200, 1, 20);
+    for bind in [
+        BindConfig::KunpengCrossNodes,
+        BindConfig::Kirin960,
+        BindConfig::RaspberryPi4,
+    ] {
+        let r = run_prodcons(
+            bind,
+            PcVariant::Pilot {
+                avail: Barrier::DmbLd,
+            },
+            200,
+            1,
+            20,
+        );
         assert_eq!(r.messages, 200, "{bind:?}");
         assert_eq!(r.errors, 0, "{bind:?}: every payload checked");
     }
@@ -27,7 +42,10 @@ fn baseline_without_publish_barrier_is_the_risky_one() {
     // configurations above must be error-free while Ideal merely may be.
     let r = run_prodcons(
         BindConfig::KunpengCrossNodes,
-        PcVariant::Baseline(PcBarriers { avail: Barrier::DmbLd, publish: Barrier::DmbSt }),
+        PcVariant::Baseline(PcBarriers {
+            avail: Barrier::DmbLd,
+            publish: Barrier::DmbSt,
+        }),
         200,
         1,
         20,
@@ -38,11 +56,22 @@ fn baseline_without_publish_barrier_is_the_risky_one() {
 #[test]
 fn pilot_sim_beats_best_baseline_everywhere_it_should() {
     for bind in [BindConfig::KunpengSameNode, BindConfig::KunpengCrossNodes] {
-        let pilot =
-            run_prodcons(bind, PcVariant::Pilot { avail: Barrier::DmbLd }, 300, 1, 40).msgs_per_sec;
+        let pilot = run_prodcons(
+            bind,
+            PcVariant::Pilot {
+                avail: Barrier::DmbLd,
+            },
+            300,
+            1,
+            40,
+        )
+        .msgs_per_sec;
         let base = run_prodcons(
             bind,
-            PcVariant::Baseline(PcBarriers { avail: Barrier::DmbLd, publish: Barrier::DmbSt }),
+            PcVariant::Baseline(PcBarriers {
+                avail: Barrier::DmbLd,
+                publish: Barrier::DmbSt,
+            }),
             300,
             1,
             40,

@@ -1,0 +1,447 @@
+//! Offline drop-in shim for the subset of `proptest` 1.x this workspace
+//! uses: the `proptest!` / `prop_oneof!` / `prop_assert!` / `prop_assert_eq!`
+//! macros, `Strategy` with `prop_map`/`boxed`, `any::<T>()`, `Just`,
+//! `prop::collection::vec`, integer-range and tuple strategies, and
+//! `ProptestConfig::with_cases`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors this minimal implementation. It generates values from a
+//! deterministic per-case RNG and runs each property for the configured
+//! number of cases. It does not shrink failures — a failing case reports the
+//! case index so it can be replayed deterministically.
+
+#![forbid(unsafe_code)]
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{Rng, UniformInt};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies (built by `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `arms`; each generation picks one uniformly.
+        #[must_use]
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let ix = rng.inner().gen_range(0..self.arms.len());
+            self.arms[ix].generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: UniformInt> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.inner().gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T: UniformInt> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.inner().gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $ix:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$ix.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_std {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.inner().gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_std!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            if rng.inner().gen_bool(0.75) {
+                Some(T::arbitrary(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for an arbitrary `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Test-execution plumbing used by the `proptest!` macro.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Per-property configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` generated inputs per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        rng: SmallRng,
+    }
+
+    impl TestRng {
+        /// The RNG for case number `case` (stable across runs).
+        #[must_use]
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng {
+                rng: SmallRng::seed_from_u64(
+                    0xA5B3_5705_u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+            }
+        }
+
+        /// Access the underlying generator.
+        pub fn inner(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prop` (currently `collection` only).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with element strategy `S` and a length drawn
+        /// from a half-open range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = if self.len.start >= self.len.end {
+                    self.len.start
+                } else {
+                    rng.inner().gen_range(self.len.clone())
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `Vec` strategy with length in `len` (half-open).
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Everything a test file needs via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng =
+                        $crate::test_runner::TestRng::for_case(u64::from(case));
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )*
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!("proptest case {case} failed: {msg}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; failures abort only the current case's
+/// closure with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(::std::format!($($fmt)+));
+                }
+            }
+        }
+    };
+}
+
+/// Uniform choice among several strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case(3);
+        let s = (0u8..4, 10u64..20).prop_map(|(a, b)| (a, b));
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 4);
+            assert!((10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn union_only_yields_arm_values() {
+        let mut rng = crate::test_runner::TestRng::for_case(1);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        for _ in 0..100 {
+            assert!((1..=3).contains(&s.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = crate::test_runner::TestRng::for_case(2);
+        let s = prop::collection::vec(any::<u16>(), 1..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = prop::collection::vec(any::<u64>(), 0..32);
+        let a = s.generate(&mut crate::test_runner::TestRng::for_case(7));
+        let b = s.generate(&mut crate::test_runner::TestRng::for_case(7));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, asserts pass, trailing commas parse.
+        #[test]
+        fn macro_smoke(x in 0u32..10, v in prop::collection::vec(any::<bool>(), 0..8),) {
+            prop_assert!(x < 10, "x out of range: {}", x);
+            prop_assert_eq!(v.len() <= 8, true);
+        }
+    }
+}
