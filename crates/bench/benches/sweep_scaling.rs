@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use armbar_experiments::figures::fig3_grid;
+use armbar_experiments::figures::{attrib_grid, fig3_grid};
 use armbar_experiments::sweep::{SweepCtx, SweepSpec};
 use armbar_experiments::RunCache;
 use armbar_simapps::bind::BindConfig;
@@ -36,5 +36,32 @@ fn bench_sweep_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(sweep_scaling, bench_sweep_scaling);
+/// The stall-attribution grid at reduced depth: guards the cost of the
+/// breakdown accounting itself — the counters are charged on the hot
+/// issue path, so a regression here shows up before `exp-attrib` slows.
+fn bench_attrib_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attrib_grid");
+    for workers in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut sweep = SweepSpec::new("attrib-bench");
+                    let rows = attrib_grid(&mut sweep, 60, 12);
+                    let ctx = SweepCtx::new(workers, RunCache::disabled());
+                    let r = sweep.run(&ctx);
+                    black_box(
+                        rows.iter()
+                            .map(|(_, id)| r.get(*id).iter().sum::<f64>())
+                            .sum::<f64>(),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(sweep_scaling, bench_sweep_scaling, bench_attrib_grid);
 criterion_main!(sweep_scaling);

@@ -1,0 +1,11 @@
+//! Decompose where barrier stall cycles go: per-cause and per-kind shares
+//! of every stalled cycle, across message passing on all placements and
+//! the ticket lock on all platform profiles. Set `ARMBAR_TRACE=<path>` to
+//! also dump a Chrome-trace JSON of the traced message-passing run.
+
+fn main() {
+    assert!(armbar_experiments::run_experiment("attrib"));
+    if let Some(path) = armbar_experiments::export_trace_if_requested() {
+        println!("wrote Chrome trace to {}", path.display());
+    }
+}

@@ -11,15 +11,17 @@
 //! single-core compute on a 1-CPU host — see `EXPERIMENTS.md`).
 
 use armbar_barriers::{AccessType, Barrier};
-use armbar_sim::{Platform, PlatformKind};
+use armbar_sim::{Platform, PlatformKind, StallBreakdown};
 use armbar_simapps::abstract_model::{run_model, BarrierLoc, ModelSpec};
 use armbar_simapps::bind::BindConfig;
 use armbar_simapps::delegation_sim::{
     fig7c_point, run_delegation, CsProfile, DelegationBarriers, DelegationConfig, DelegationKind,
     RespMode, FIG7B_COMBOS,
 };
-use armbar_simapps::prodcons::{run_prodcons, PcBarriers, PcVariant, FIG6A_COMBOS};
-use armbar_simapps::ticket_sim::{run_ticket, TicketConfig};
+use armbar_simapps::prodcons::{
+    run_prodcons, run_prodcons_traced, PcBarriers, PcVariant, FIG6A_COMBOS,
+};
+use armbar_simapps::ticket_sim::{run_ticket, run_ticket_traced, TicketConfig};
 use armbar_wmm::battery::run_battery;
 use armbar_wmm::litmus::{message_passing, pilot_message_passing, table3_cell};
 use armbar_wmm::model::MemoryModel;
@@ -1020,6 +1022,161 @@ pub fn fig8d(_ctx: &SweepCtx) -> Vec<Table> {
         t.push_row(name, vals.iter().zip(&base).map(|(v, b)| v / b).collect());
     }
     vec![t]
+}
+
+// ------------------------------------------------------------ attribution
+
+/// Flatten one workload's [`StallBreakdown`] into the sweep-cell value
+/// layout shared by [`attrib_grid`]: the nine cause counters in
+/// [`StallBreakdown::CAUSE_LABELS`] order, the ten
+/// [`StallBreakdown::CHARGEABLE_KINDS`] subtotals, then the total. Raw
+/// cycle counts — not shares — go through the cache so the CSV shares can
+/// be recomputed from warm entries bit-for-bit.
+fn stall_values(stall: &StallBreakdown) -> Vec<f64> {
+    let mut vals: Vec<f64> = stall.cause_counts().iter().map(|&c| c as f64).collect();
+    vals.extend(
+        StallBreakdown::CHARGEABLE_KINDS
+            .iter()
+            .map(|&k| stall.kind_count(k) as f64),
+    );
+    vals.push(stall.total as f64);
+    vals
+}
+
+/// Number of values each attribution cell produces (9 causes + 10 kinds +
+/// the total).
+const ATTRIB_WIDTH: usize = 20;
+
+/// Declare the `exp-attrib` workload grid: the conservatively fenced
+/// message-passing workload under every placement of
+/// [`BindConfig::ALL`], plus the default ticket lock on each platform
+/// profile. Each cell returns the [`stall_values`] layout. Public so the
+/// determinism test and the `sweep_scaling` bench can run the grid at
+/// reduced message counts.
+pub fn attrib_grid(sweep: &mut SweepSpec, messages: u64, per_thread: u64) -> Vec<(String, CellId)> {
+    let mut rows = Vec::new();
+    let combo = PcBarriers {
+        avail: Barrier::DmbFull,
+        publish: Barrier::DmbSt,
+    };
+    for &bind in &BindConfig::ALL {
+        let key = cache_key(
+            &bind.platform(),
+            &("attrib-mp", bind, combo, messages, 1u64, 40u32),
+        );
+        let id = sweep.cell(key, move || {
+            let r = run_prodcons(bind, PcVariant::Baseline(combo), messages, 1, 40);
+            stall_values(&r.stall)
+        });
+        rows.push((format!("MP {}", bind.label()), id));
+    }
+    for kind in PlatformKind::ALL {
+        let platform = Platform::of(kind);
+        let cfg = TicketConfig {
+            threads: platform.topology.core_count().min(4),
+            global_lines: 2,
+            cs_nops: 10,
+            post_nops: 20,
+            release_barrier: Barrier::DmbSt,
+            per_thread,
+        };
+        let key = cache_key(&platform, &("attrib-lock", cfg));
+        let id = sweep.cell(key, move || {
+            let r = run_ticket(&platform, cfg);
+            stall_values(&r.stall)
+        });
+        rows.push((format!("Lock {}", kind.name()), id));
+    }
+    rows
+}
+
+/// `exp-attrib`: decompose where barrier stall cycles go. Two tables:
+/// `attrib` (share of stalled cycles per cause — the response window,
+/// coherence blocking, store-drain waits by distance, and the two
+/// capacity backpressures) and `attrib_kinds` (share per barrier
+/// mnemonic). Rows cover message passing under every placement plus the
+/// ticket lock on every platform profile.
+#[must_use]
+pub fn attrib(ctx: &SweepCtx) -> Vec<Table> {
+    let mut sweep = SweepSpec::new("attrib");
+    let rows = attrib_grid(&mut sweep, PC_MSGS, 40);
+    let r = sweep.run(ctx);
+    let mut causes = Table::new(
+        "attrib",
+        "Barrier stall attribution: share of stalled cycles per cause",
+        "workload",
+        StallBreakdown::CAUSE_LABELS
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+        "share of stalled cycles (rows sum to 1)",
+    );
+    let mut kinds = Table::new(
+        "attrib_kinds",
+        "Barrier stall attribution: share of stalled cycles per barrier kind",
+        "workload",
+        StallBreakdown::CHARGEABLE_KINDS
+            .iter()
+            .map(|k| k.mnemonic().to_string())
+            .collect(),
+        "share of stalled cycles (rows sum to 1)",
+    );
+    for (label, id) in rows {
+        let vals = r.get(id);
+        assert_eq!(vals.len(), ATTRIB_WIDTH);
+        let total = vals[ATTRIB_WIDTH - 1];
+        // The core model charges exactly one cause and one kind per stalled
+        // cycle; u64 counts below 2^53 survive the f64 round trip exactly.
+        assert_eq!(vals[..9].iter().sum::<f64>(), total, "{label}: causes");
+        assert_eq!(vals[9..19].iter().sum::<f64>(), total, "{label}: kinds");
+        println!("  {label}: {total} stalled cycles");
+        causes.push_share_row(&label, &vals[..9]);
+        kinds.push_share_row(&label, &vals[9..19]);
+    }
+    vec![causes, kinds]
+}
+
+/// Write the Chrome-trace JSON of one traced `attrib` workload to `path`.
+/// Load the file in Perfetto / `chrome://tracing`: one track per simulated
+/// core, with `stall:<cause>` slices covering every charged stall run and
+/// instants for barrier completions and loop iterations.
+///
+/// The default demo is the Kunpeng916 ticket lock — every competitor core
+/// fences, so all four tracks carry events. `ARMBAR_TRACE_WORKLOAD=mp`
+/// switches to the conservatively fenced message-passing run, whose
+/// producer track shows the densest stall timeline (the consumer orders
+/// through address dependencies and never stalls on a barrier).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export_trace(path: &std::path::Path) -> std::io::Result<()> {
+    let trace = if std::env::var("ARMBAR_TRACE_WORKLOAD").as_deref() == Ok("mp") {
+        let combo = PcBarriers {
+            avail: Barrier::DmbFull,
+            publish: Barrier::DmbSt,
+        };
+        run_prodcons_traced(
+            BindConfig::KunpengSameNode,
+            PcVariant::Baseline(combo),
+            PC_MSGS,
+            1,
+            40,
+            1 << 16,
+        )
+        .1
+    } else {
+        let cfg = TicketConfig {
+            threads: 4,
+            per_thread: 40,
+            ..Default::default()
+        };
+        run_ticket_traced(&Platform::kunpeng916(), cfg, 1 << 16).1
+    };
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, trace.to_chrome_json())
 }
 
 // ----------------------------------------------------------------- battery

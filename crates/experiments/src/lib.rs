@@ -55,6 +55,7 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
         "fig8c" => figures::fig8c(ctx),
         "fig8d" => figures::fig8d(ctx),
         "ext-mca" => extension::ext_mca(ctx),
+        "attrib" => figures::attrib(ctx),
         "battery" => figures::battery(ctx),
         _ => return false,
     };
@@ -67,11 +68,29 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
     true
 }
 
-/// Every experiment id, in paper order (plus the litmus battery report).
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+/// Every experiment id, in paper order (plus the stall-attribution
+/// decomposition and the litmus battery report).
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig6a", "fig6b", "fig6c",
-    "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca", "battery",
+    "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca", "attrib",
+    "battery",
 ];
+
+/// When `ARMBAR_TRACE=<path>` is set, rerun the attribution message-passing
+/// workload with event tracing enabled and write its Chrome-trace JSON to
+/// `<path>` (open it in Perfetto or `chrome://tracing`). Returns the path
+/// written, or `None` when the variable is unset or the write failed (a
+/// warning goes to stderr; a missing trace never fails the experiment).
+pub fn export_trace_if_requested() -> Option<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(std::env::var_os("ARMBAR_TRACE")?);
+    match figures::export_trace(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write trace to {}: {e}", path.display());
+            None
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

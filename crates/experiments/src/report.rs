@@ -51,6 +51,23 @@ impl Table {
         self.rows.push((label.to_string(), values));
     }
 
+    /// Append a series of *shares*: `raw` is normalized so the row sums
+    /// to one. A row whose raw values sum to zero (e.g. a workload that
+    /// never stalled) becomes all zeros rather than NaNs, so CSVs stay
+    /// machine-readable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value count does not match the column count.
+    pub fn push_share_row(&mut self, label: &str, raw: &[f64]) {
+        let total: f64 = raw.iter().sum();
+        let shares = raw
+            .iter()
+            .map(|&v| if total > 0.0 { v / total } else { 0.0 })
+            .collect();
+        self.push_row(label, shares);
+    }
+
     /// Render for the terminal.
     #[must_use]
     pub fn render(&self) -> String {
@@ -193,6 +210,21 @@ mod tests {
         assert_eq!(format_value(42.0), "42.0");
         assert_eq!(format_value(1.234), "1.234");
         assert_eq!(format_value(f64::NAN), "-");
+    }
+
+    #[test]
+    fn share_rows_normalize_and_survive_zero_totals() {
+        let mut t = Table::new(
+            "s",
+            "shares",
+            "cause",
+            vec!["a".into(), "b".into()],
+            "share",
+        );
+        t.push_share_row("hot", &[30.0, 10.0]);
+        t.push_share_row("idle", &[0.0, 0.0]);
+        assert_eq!(t.rows[0].1, vec![0.75, 0.25]);
+        assert_eq!(t.rows[1].1, vec![0.0, 0.0]);
     }
 
     #[test]

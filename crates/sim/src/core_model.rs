@@ -27,9 +27,10 @@ use crate::directory::Directory;
 use crate::op::{Op, RmwKind, SimThread, ThreadCtx};
 use crate::platform::LatencyParams;
 use crate::rob::{Rob, SlotId};
-use crate::stats::CoreStats;
+use crate::stats::{CoreStats, StallCause};
 use crate::storebuf::{SbEntry, SbState, Seq, StoreBuffer};
 use crate::topology::Topology;
+use crate::trace::{Event, Trace};
 use crate::types::{Addr, CoreId, Cycle, DistanceClass, Line};
 
 /// State shared by all cores: the coherence directory and the committed
@@ -132,11 +133,27 @@ impl PendingBarrier {
 
 /// Why issue made no progress this cycle (for stall accounting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StallReason {
+enum Stall {
     None,
-    Barrier,
+    /// Barrier-caused: charged to exactly one cause and one barrier kind.
+    Barrier(StallCause, Barrier),
+    /// Plain resource limit with no barrier behind it (uncharged).
     Resource,
     Suspended,
+}
+
+/// An open run of consecutive fully stalled cycles with one (cause, kind).
+/// Because the machine's event-accelerated loop only steps cores at wake
+/// cycles, the run charges *elapsed* cycles between observations rather
+/// than one per step — otherwise skipped cycles would go unaccounted.
+#[derive(Debug, Clone, Copy)]
+struct StallRun {
+    cause: StallCause,
+    kind: Barrier,
+    /// Cycle the run began (for the trace slice).
+    since: Cycle,
+    /// Last cycle already charged; the next observation charges the gap.
+    charged_to: Cycle,
 }
 
 /// One simulated core.
@@ -151,6 +168,11 @@ pub struct Core {
     /// Suspended waiting for the value of this load id.
     suspended_on: Option<u64>,
     issue_blocked_until: Cycle,
+    /// The barrier kind responsible for `issue_blocked_until` (ISB, or a
+    /// DSB/CTRL+ISB whose response window blocks all issue).
+    issue_block_kind: Barrier,
+    /// Open stall run, if the previous observed cycle was fully stalled.
+    stall_run: Option<StallRun>,
     loads: Vec<LoadInFlight>,
     next_seq: Seq,
     next_load_id: u64,
@@ -198,6 +220,8 @@ impl Core {
             nops_remaining: 0,
             suspended_on: None,
             issue_blocked_until: 0,
+            issue_block_kind: Barrier::Isb,
+            stall_run: None,
             loads: Vec::new(),
             next_seq: 0,
             next_load_id: 0,
@@ -322,6 +346,85 @@ impl Core {
         false
     }
 
+    /// Farthest distance among the outstanding accesses a pending barrier
+    /// is still waiting on (pending, response not yet scheduled).
+    fn worst_wait_distance(&self, b: &PendingBarrier, now: Cycle) -> DistanceClass {
+        let mut worst = DistanceClass::Local;
+        if b.waits_loads() {
+            for l in &self.loads {
+                if l.seq < b.seq && l.done_at > now {
+                    worst = worst.max(l.distance);
+                }
+            }
+        }
+        if b.waits_stores() {
+            for e in self.sb.entries() {
+                if e.seq < b.seq {
+                    if let Some(d) = e.drain_distance {
+                        worst = worst.max(d);
+                    }
+                }
+            }
+        }
+        worst
+    }
+
+    /// Farthest distance among *all* outstanding accesses (release-RMW
+    /// wait: every older store drained and every older load complete).
+    fn worst_outstanding_distance(&self, now: Cycle) -> DistanceClass {
+        let mut worst = DistanceClass::Local;
+        for l in &self.loads {
+            if l.done_at > now {
+                worst = worst.max(l.distance);
+            }
+        }
+        for e in self.sb.entries() {
+            if let Some(d) = e.drain_distance {
+                worst = worst.max(d);
+            }
+        }
+        worst
+    }
+
+    /// Classify a [`Core::memory_blocked`] condition into the one cause
+    /// that is charged this cycle. Precondition: `memory_blocked(now)`.
+    fn classify_memory_block(&self, now: Cycle) -> (StallCause, Barrier) {
+        if let Some(b) = &self.pending_barrier {
+            if b.blocks_memory() && b.resp_at.is_none_or(|t| t > now) {
+                return match b.resp_at {
+                    // Response scheduled: waiting out the window. DSB-class
+                    // barriers that block all issue count as the DSB/ISB
+                    // window; DMB-class ones as the memory-block interval.
+                    Some(_) if b.blocks_all() => (StallCause::ResponseWindow, b.kind),
+                    Some(_) => (StallCause::MemoryBlock, b.kind),
+                    // Still waiting for prior accesses to complete.
+                    None => (
+                        StallCause::DrainWait(self.worst_wait_distance(b, now)),
+                        b.kind,
+                    ),
+                };
+            }
+        }
+        // Otherwise an LDAR acquire gate holds memory issue.
+        let mut worst = DistanceClass::Local;
+        if let Some(id) = self.acquire_gate {
+            if let Some(l) = self.loads.iter().find(|l| l.id == id && l.done_at > now) {
+                worst = l.distance;
+            }
+        }
+        (StallCause::DrainWait(worst), Barrier::Ldar)
+    }
+
+    /// A full ROB counts as a barrier stall only when a pending barrier is
+    /// what keeps the head from retiring (Figure 4's nop throttling);
+    /// otherwise it is an uncharged resource limit.
+    fn classify_rob_full(&self) -> Stall {
+        match &self.pending_barrier {
+            Some(b) => Stall::Barrier(StallCause::RobFull, b.kind),
+            None => Stall::Resource,
+        }
+    }
+
     /// Phase 1: completions — loads/RMWs finishing, drains landing,
     /// barrier/gate conditions resolving.
     fn complete_phase(
@@ -330,6 +433,7 @@ impl Core {
         topo: &Topology,
         lat: &LatencyParams,
         shared: &mut SharedState,
+        trace: &mut Trace,
     ) {
         let _ = topo;
         let _ = lat;
@@ -417,13 +521,19 @@ impl Core {
             }
         }
 
-        // Open DMB st gates whose pre-gate stores have all drained.
+        // Open DMB st gates whose pre-gate stores have all drained. Gates
+        // are barrier transactions and collect their responses in program
+        // order: only the oldest still-closed gate may request one — a
+        // younger gate must not sneak an idle-scope response past it.
         let pc = self.params_cache;
-        let mut opens: Vec<(Seq, Cycle)> = Vec::new();
+        let mut open: Option<(Seq, Cycle)> = None;
         {
             let sb = &self.sb;
             for g in sb.gates_iter() {
-                if g.open_at.is_none() && sb.drained_before(g.seq) {
+                if g.open_at.is_some() {
+                    continue;
+                }
+                if sb.drained_before(g.seq) {
                     let lat_resp = if g.crossed_node {
                         pc.t_membar_domain
                     } else if g.had_priors {
@@ -431,11 +541,13 @@ impl Core {
                     } else {
                         pc.t_membar_idle
                     };
-                    opens.push((g.seq, now + lat_resp));
+                    open = Some((g.seq, now + lat_resp));
                 }
+                // Younger closed gates wait for this one either way.
+                break;
             }
         }
-        for (seq, t) in opens {
+        if let Some((seq, t)) = open {
             for g in self.sb.gates_mut() {
                 if g.seq == seq {
                     g.open_at = Some(t);
@@ -472,6 +584,7 @@ impl Core {
                     b.resp_at = Some(resp);
                     if b.blocks_all() {
                         self.issue_blocked_until = resp;
+                        self.issue_block_kind = b.kind;
                     }
                 }
             }
@@ -485,7 +598,16 @@ impl Core {
             }
         }
         if barrier_done {
-            self.pending_barrier = None;
+            let kind = self.pending_barrier.take().expect("checked above").kind;
+            if trace.enabled {
+                trace.record(
+                    now,
+                    Event::BarrierDone {
+                        core: self.id,
+                        what: kind.mnemonic(),
+                    },
+                );
+            }
         }
     }
 
@@ -537,20 +659,21 @@ impl Core {
         topo: &Topology,
         lat: &LatencyParams,
         shared: &mut SharedState,
+        trace: &mut Trace,
     ) {
         let pc = self.params_cache;
         let mut budget = pc.issue_width;
-        let mut stall = StallReason::None;
+        let mut stall = Stall::None;
         self.ctx.now = now;
         self.ctx.iterations = self.stats.iterations;
         while budget > 0 {
             if self.issue_blocked_until > now {
-                stall = StallReason::Barrier;
+                stall = Stall::Barrier(StallCause::ResponseWindow, self.issue_block_kind);
                 break;
             }
             if let Some(b) = &self.pending_barrier {
                 if b.blocks_all() && b.resp_at.is_none_or(|t| t > now) {
-                    stall = StallReason::Barrier;
+                    stall = Stall::Barrier(self.classify_memory_block(now).0, b.kind);
                     break;
                 }
             }
@@ -558,11 +681,8 @@ impl Core {
             if self.nops_remaining > 0 {
                 let pushed = self.rob.push_nops(self.nops_remaining.min(budget));
                 if pushed == 0 {
-                    stall = if self.pending_barrier.is_some() || self.rob.head_stalled() {
-                        StallReason::Barrier
-                    } else {
-                        StallReason::Resource
-                    };
+                    // push_nops refuses only when the ROB is full.
+                    stall = self.classify_rob_full();
                     break;
                 }
                 self.nops_remaining -= pushed;
@@ -571,7 +691,7 @@ impl Core {
                 continue;
             }
             if self.suspended_on.is_some() {
-                stall = StallReason::Suspended;
+                stall = Stall::Suspended;
                 break;
             }
             if self.halted {
@@ -597,13 +717,22 @@ impl Core {
                     // forward progress for mark-only threads.
                     if self.rob.push_nops(1) == 0 {
                         self.pending_op = Some(op);
-                        stall = StallReason::Resource;
+                        stall = self.classify_rob_full();
                         break;
                     }
                     self.stats.iterations += 1;
                     self.ctx.iterations = self.stats.iterations;
                     self.stats.issued += 1;
                     budget -= 1;
+                    if trace.enabled {
+                        trace.record(
+                            now,
+                            Event::Iteration {
+                                core: self.id,
+                                count: self.stats.iterations,
+                            },
+                        );
+                    }
                 }
                 Op::Halt => {
                     self.halted = true;
@@ -616,14 +745,18 @@ impl Core {
                     dep_on_last_load,
                 } => {
                     if self.memory_blocked(now)
-                        || self.rob.free() == 0
+                        || self.rob.is_full()
                         || self.outstanding_loads(now) as u32 >= pc.max_outstanding_loads
                     {
                         self.pending_op = Some(op);
                         stall = if self.memory_blocked(now) {
-                            StallReason::Barrier
+                            let (cause, kind) = self.classify_memory_block(now);
+                            Stall::Barrier(cause, kind)
+                        } else if self.rob.is_full() {
+                            self.classify_rob_full()
                         } else {
-                            StallReason::Resource
+                            // MSHR limit: a plain resource, no barrier.
+                            Stall::Resource
                         };
                         break;
                     }
@@ -681,12 +814,19 @@ impl Core {
                     release,
                     dep_on_last_load,
                 } => {
-                    if self.memory_blocked(now) || self.rob.free() == 0 || !self.sb.has_space() {
+                    if self.memory_blocked(now) || self.rob.is_full() || !self.sb.has_space() {
                         self.pending_op = Some(op);
                         stall = if self.memory_blocked(now) {
-                            StallReason::Barrier
+                            let (cause, kind) = self.classify_memory_block(now);
+                            Stall::Barrier(cause, kind)
+                        } else if self.rob.is_full() {
+                            self.classify_rob_full()
+                        } else if self.sb.blocking_gate(now).is_some() {
+                            // Store buffer full and its head cannot drain
+                            // past a closed DMB st gate: barrier-caused.
+                            Stall::Barrier(StallCause::SbFull, Barrier::DmbSt)
                         } else {
-                            StallReason::Resource
+                            Stall::Resource
                         };
                         break;
                     }
@@ -722,9 +862,21 @@ impl Core {
                 } => {
                     let release_ready =
                         !release || (self.sb.is_empty() && self.loads_done_before(Seq::MAX, now));
-                    if self.memory_blocked(now) || self.rob.free() == 0 || !release_ready {
+                    if self.memory_blocked(now) || self.rob.is_full() || !release_ready {
                         self.pending_op = Some(op);
-                        stall = StallReason::Barrier;
+                        stall = if self.memory_blocked(now) {
+                            let (cause, kind) = self.classify_memory_block(now);
+                            Stall::Barrier(cause, kind)
+                        } else if self.rob.is_full() {
+                            self.classify_rob_full()
+                        } else {
+                            // Release semantics: waiting for our own prior
+                            // accesses to drain/complete, like an STLR.
+                            Stall::Barrier(
+                                StallCause::DrainWait(self.worst_outstanding_distance(now)),
+                                Barrier::Stlr,
+                            )
+                        };
                         break;
                     }
                     let seq = self.next_seq;
@@ -762,39 +914,49 @@ impl Core {
                 }
                 Op::Fence(Barrier::None) => {}
                 Op::Fence(Barrier::DmbSt) => {
-                    if self.rob.free() == 0 {
+                    if self.rob.is_full() {
                         self.pending_op = Some(op);
-                        stall = StallReason::Resource;
+                        stall = self.classify_rob_full();
                         break;
                     }
                     // Lives in the store buffer as a gate; retires at once.
+                    // push_gate accounts for both buffered stores and
+                    // still-pending older gates when deciding whether the
+                    // gate may take the cheap idle response.
                     let _slot = self.rob.push_instr(true).expect("checked free()");
-                    let had_priors = !self.sb.is_empty();
-                    self.sb.push_gate_with_meta(self.next_seq, had_priors);
+                    self.sb.push_gate(self.next_seq);
                     self.next_seq += 1;
                     self.stats.fences += 1;
                     self.stats.issued += 1;
                     budget -= 1;
                 }
                 Op::Fence(Barrier::Isb) => {
-                    if self.rob.free() == 0 {
+                    if self.rob.is_full() {
                         self.pending_op = Some(op);
-                        stall = StallReason::Resource;
+                        stall = self.classify_rob_full();
                         break;
                     }
                     let _slot = self.rob.push_instr(true).expect("checked free()");
                     self.issue_blocked_until = now + pc.t_isb_flush;
+                    self.issue_block_kind = Barrier::Isb;
                     self.stats.fences += 1;
                     self.stats.issued += 1;
                     budget -= 1;
-                    stall = StallReason::Barrier;
+                    stall = Stall::Barrier(StallCause::ResponseWindow, Barrier::Isb);
                     break;
                 }
                 Op::Fence(kind) => {
                     // DMB full/ld, DSB full/st/ld, CTRL+ISB.
-                    if self.pending_barrier.is_some() || self.rob.free() == 0 {
+                    if self.pending_barrier.is_some() || self.rob.is_full() {
                         self.pending_op = Some(op);
-                        stall = StallReason::Barrier;
+                        stall = if self.pending_barrier.is_some() {
+                            // Serialized behind the earlier barrier; charge
+                            // whatever that one is waiting on.
+                            let (cause, k) = self.classify_memory_block(now);
+                            Stall::Barrier(cause, k)
+                        } else {
+                            self.classify_rob_full()
+                        };
                         break;
                     }
                     let seq = self.next_seq;
@@ -837,8 +999,62 @@ impl Core {
                 }
             }
         }
-        if budget == pc.issue_width && stall == StallReason::Barrier {
-            self.stats.barrier_stall_cycles += 1;
+        // The single charging point: a cycle counts as barrier-stalled only
+        // if nothing at all issued, and it is charged to exactly one
+        // (cause, kind). Observations can be sparse (the machine's run loop
+        // jumps over dead cycles), so a continuing run charges the cycles
+        // elapsed since it was last observed.
+        if budget == pc.issue_width {
+            if let Stall::Barrier(cause, kind) = stall {
+                match self.stall_run {
+                    Some(ref mut run) if run.cause == cause && run.kind == kind => {
+                        let gap = now - run.charged_to;
+                        run.charged_to = now;
+                        self.stats.stall.charge(cause, kind, gap);
+                    }
+                    _ => {
+                        self.end_stall_run(now, trace);
+                        self.stall_run = Some(StallRun {
+                            cause,
+                            kind,
+                            since: now,
+                            charged_to: now,
+                        });
+                        self.stats.stall.charge(cause, kind, 1);
+                        if trace.enabled {
+                            trace.record(
+                                now,
+                                Event::StallBegin {
+                                    core: self.id,
+                                    cause: cause.label(),
+                                    what: kind.mnemonic(),
+                                },
+                            );
+                        }
+                    }
+                }
+            } else {
+                self.end_stall_run(now, trace);
+            }
+        } else {
+            self.end_stall_run(now, trace);
+        }
+    }
+
+    /// Close the open stall run, if any, emitting its trace slice.
+    fn end_stall_run(&mut self, now: Cycle, trace: &mut Trace) {
+        if let Some(run) = self.stall_run.take() {
+            if trace.enabled {
+                trace.record(
+                    now,
+                    Event::StallEnd {
+                        core: self.id,
+                        cause: run.cause.label(),
+                        what: run.kind.mnemonic(),
+                        since: run.since,
+                    },
+                );
+            }
         }
     }
 
@@ -849,11 +1065,12 @@ impl Core {
         topo: &Topology,
         lat: &LatencyParams,
         shared: &mut SharedState,
+        trace: &mut Trace,
     ) {
-        self.complete_phase(now, topo, lat, shared);
+        self.complete_phase(now, topo, lat, shared, trace);
         self.drain_phase(now, topo, lat, shared);
         self.retire_phase(now);
-        self.issue_phase(now, topo, lat, shared);
+        self.issue_phase(now, topo, lat, shared, trace);
         // A second drain attempt lets stores issued this cycle begin
         // draining immediately (store latency starts at issue).
         self.drain_phase(now, topo, lat, shared);

@@ -10,6 +10,7 @@ use crate::core_model::{Core, SharedState};
 use crate::op::SimThread;
 use crate::platform::Platform;
 use crate::stats::CoreStats;
+use crate::trace::Trace;
 use crate::types::{Addr, CoreId, Cycle};
 
 /// Aggregate result of a run.
@@ -29,6 +30,9 @@ pub struct Machine {
     active: Vec<CoreId>,
     shared: SharedState,
     now: Cycle,
+    /// Machine-wide event trace (disabled unless
+    /// [`Machine::enable_trace`] is called).
+    trace: Trace,
 }
 
 impl Machine {
@@ -44,7 +48,26 @@ impl Machine {
             active: Vec::new(),
             shared: SharedState::default(),
             now: 0,
+            trace: Trace::default(),
         }
+    }
+
+    /// Switch on event tracing with a ring of `capacity` events; all cores
+    /// record into one trace (the exporter keys tracks by core id).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::new(capacity);
+        self.trace.enabled = true;
+    }
+
+    /// The machine's event trace (empty unless enabled).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Take the trace out of the machine (leaves a disabled default).
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
     }
 
     /// The platform this machine models.
@@ -103,7 +126,7 @@ impl Machine {
         let topo = &self.platform.topology;
         let lat = &self.platform.latency;
         for &id in &self.active {
-            self.cores[id].step(self.now, topo, lat, &mut self.shared);
+            self.cores[id].step(self.now, topo, lat, &mut self.shared, &mut self.trace);
         }
     }
 
@@ -404,6 +427,139 @@ mod tests {
         let again = m.run(1 << 60);
         assert!(again.halted);
         assert_eq!(again.cycles, first.cycles + 1);
+    }
+
+    fn assert_stall_invariants(m: &Machine, core: CoreId) {
+        let s = m.core_stats(core);
+        assert_eq!(
+            s.stall.cause_total(),
+            s.stall.total,
+            "per-cause stall cycles must sum exactly to the total"
+        );
+        assert_eq!(
+            s.stall.kind_total(),
+            s.stall.total,
+            "per-kind stall cycles must sum exactly to the total"
+        );
+        assert!(
+            s.stall.total <= s.cycles,
+            "stall {} cannot exceed lifetime {}",
+            s.stall.total,
+            s.cycles
+        );
+        assert_eq!(s.barrier_stall_cycles(), s.stall.total);
+    }
+
+    #[test]
+    fn stall_causes_sum_to_total_on_a_mixed_program() {
+        let ops = vec![
+            Op::store(0x100, 1),
+            Op::Fence(Barrier::DmbFull),
+            Op::load_use(0x100),
+            Op::Fence(Barrier::DsbFull),
+            Op::Nops(3),
+            Op::store(0x140, 2),
+            Op::Fence(Barrier::DmbSt),
+            Op::store(0x180, 3),
+            Op::Fence(Barrier::Isb),
+            Op::fetch_add_acq_rel(0x1c0, 1),
+            Op::load_acquire(0x100),
+            Op::store(0x200, 4),
+        ];
+        let mut m = Machine::new(Platform::kunpeng916());
+        m.add_thread_on(0, Box::new(Script::new(ops)));
+        let stats = m.run(1_000_000);
+        assert!(stats.halted);
+        assert_stall_invariants(&m, 0);
+        assert!(m.core_stats(0).stall.total > 0, "barriers must stall");
+    }
+
+    #[test]
+    fn dsb_stalls_are_response_window_cycles() {
+        let mut ops = Vec::new();
+        for _ in 0..20 {
+            ops.push(Op::Fence(Barrier::DsbFull));
+            ops.push(Op::Nops(2));
+        }
+        let mut m = Machine::new(Platform::kunpeng916());
+        m.add_thread_on(0, Box::new(Script::new(ops)));
+        assert!(m.run(1_000_000).halted);
+        assert_stall_invariants(&m, 0);
+        let b = &m.core_stats(0).stall;
+        assert!(b.response_window > 0, "DSB must charge its window");
+        assert!(
+            b.response_window >= b.total / 2,
+            "the window dominates an access-free DSB loop: {b:?}"
+        );
+        assert!(b.kind_count(Barrier::DsbFull) > 0);
+    }
+
+    #[test]
+    fn dmb_after_remote_store_charges_drain_or_memory_block() {
+        // Producer on node 0 writes a line homed on node 1, so the DMB full
+        // behind it waits on a cross-node drain, then its domain response.
+        let ops = vec![
+            Op::store(0x100, 1),
+            Op::Fence(Barrier::DmbFull),
+            Op::store(0x140, 2),
+        ];
+        let mut m = Machine::new(Platform::kunpeng916());
+        m.set_region_home(0x100, 0x180, 32);
+        m.add_thread_on(0, Box::new(Script::new(ops)));
+        assert!(m.run(1_000_000).halted);
+        assert_stall_invariants(&m, 0);
+        let b = &m.core_stats(0).stall;
+        let drain: u64 = b.drain_wait.iter().sum();
+        assert!(
+            drain + b.memory_block > 0,
+            "DMB behind a store must wait on the drain and/or response: {b:?}"
+        );
+        assert_eq!(b.kind_count(Barrier::DmbFull), b.total, "only DMB charged");
+    }
+
+    #[test]
+    fn back_to_back_dmb_st_gates_serialize() {
+        // Regression for the gate-open loop: a second DMB st placed while
+        // the first gate is still pending must not take the cheap idle
+        // response nor open before the older gate.
+        fn cycles(gates: usize) -> u64 {
+            let mut ops = vec![Op::store(0x100, 1)];
+            for _ in 0..gates {
+                ops.push(Op::Fence(Barrier::DmbSt));
+            }
+            ops.push(Op::store(0x140, 2));
+            let mut m = Machine::new(Platform::kunpeng916());
+            m.add_thread_on(0, Box::new(Script::new(ops)));
+            let s = m.run(1_000_000);
+            assert!(s.halted);
+            s.cycles
+        }
+        let one = cycles(1);
+        let two = cycles(2);
+        assert!(
+            two > one,
+            "second gate must serialize behind the first: {two} vs {one}"
+        );
+    }
+
+    #[test]
+    fn machine_trace_records_and_exports() {
+        let ops = vec![
+            Op::store(0x100, 9),
+            Op::Fence(Barrier::DmbFull),
+            Op::load_use(0x100),
+            Op::IterationMark,
+        ];
+        let mut m = Machine::new(Platform::kunpeng916());
+        m.enable_trace(1024);
+        m.add_thread_on(0, Box::new(Script::new(ops)));
+        assert!(m.run(1_000_000).halted);
+        assert!(!m.trace().is_empty(), "enabled trace must record");
+        let text = m.trace().render();
+        assert!(text.contains("DMB full response"), "{text}");
+        let json = m.take_trace().to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(m.trace().is_empty(), "take_trace leaves an empty default");
     }
 
     #[test]

@@ -62,6 +62,13 @@ impl Rob {
         self.used == 0
     }
 
+    /// Whether no slot is free (issue must stall; when the head is an
+    /// incomplete barrier this is the Figure 4 nop-throttling condition).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.used == self.capacity
+    }
+
     /// Insert up to `want` nops (bounded by free space); returns how many
     /// were accepted.
     pub fn push_nops(&mut self, want: u32) -> u32 {
@@ -192,8 +199,10 @@ mod tests {
     fn full_rob_rejects_instr() {
         let mut rob = Rob::new(2);
         rob.push_nops(2);
+        assert!(rob.is_full());
         assert!(rob.push_instr(true).is_none());
         rob.retire(1);
+        assert!(!rob.is_full());
         assert!(rob.push_instr(true).is_some());
     }
 

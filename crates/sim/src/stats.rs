@@ -1,6 +1,203 @@
 //! Per-core and per-run statistics.
 
-use crate::types::Cycle;
+use armbar_barriers::Barrier;
+
+use crate::types::{Cycle, DistanceClass};
+
+/// The mutually exclusive reasons a fully barrier-stalled issue cycle is
+/// charged to. The core model picks exactly one cause per stalled cycle at
+/// its single charging point, so the per-cause counters in
+/// [`StallBreakdown`] sum exactly to the total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Waiting out a barrier's response window after its wait conditions
+    /// were already met — the DSB/ISB "empty pipeline" interval.
+    ResponseWindow,
+    /// Memory operations held back by a DMB-class barrier whose response is
+    /// scheduled but not yet arrived (non-memory work could still issue).
+    MemoryBlock,
+    /// Waiting for prior accesses to drain/complete before a barrier can
+    /// even request its response, split by how far the slowest outstanding
+    /// access travels.
+    DrainWait(DistanceClass),
+    /// The ROB is full behind a pending barrier (a DSB or a
+    /// `dmb_holds_rob` DMB occupying its slot until the response).
+    RobFull,
+    /// The store buffer is full behind a closed `DMB st` gate.
+    SbFull,
+}
+
+impl StallCause {
+    /// Stable text label (CSV column / trace track name).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::ResponseWindow => "response-window",
+            StallCause::MemoryBlock => "memory-block",
+            StallCause::DrainWait(DistanceClass::Local) => "drain-wait:local",
+            StallCause::DrainWait(DistanceClass::SameCluster) => "drain-wait:same-cluster",
+            StallCause::DrainWait(DistanceClass::CrossCluster) => "drain-wait:cross-cluster",
+            StallCause::DrainWait(DistanceClass::CrossNode) => "drain-wait:cross-node",
+            StallCause::DrainWait(DistanceClass::Memory) => "drain-wait:memory",
+            StallCause::RobFull => "rob-full",
+            StallCause::SbFull => "sb-full",
+        }
+    }
+}
+
+/// Decomposition of barrier-stall cycles by cause and by barrier kind.
+///
+/// This is the simulator's answer to the paper's attributional analysis:
+/// rather than one opaque stall counter, each fully stalled issue cycle is
+/// charged to exactly one cause, so `sum(causes) == total` always holds.
+/// Field ↔ paper mapping:
+///
+/// * [`response_window`](Self::response_window) — the intrinsic DSB/ISB
+///   cost window of Figure 2 / Observation 1: wait conditions are met, the
+///   core is simply waiting out the synchronization-barrier (or
+///   context-synchronization) response before anything may issue.
+/// * [`memory_block`](Self::memory_block) — Figure 3's DMB round-trip: the
+///   ACE memory-barrier transaction is in flight and later memory
+///   operations must wait for it (Observation 3's overlap potential lives
+///   here — non-memory work can still issue, so these cycles only count
+///   when nothing else was issuable).
+/// * [`drain_wait`](Self::drain_wait) — Figures 4–6's store-buffer drain
+///   and outstanding-access component, split by [`DistanceClass`]: the
+///   barrier cannot request its response until prior accesses complete, and
+///   the wait grows with snoop distance ("crossing nodes is a killer",
+///   Observation 5).
+/// * [`rob_full`](Self::rob_full) — Figure 4's ROB back-pressure
+///   (Observation 2): issue stops because the reorder buffer filled up
+///   behind a barrier still occupying its slot.
+/// * [`sb_full`](Self::sb_full) — the `DMB st` gate back-pressure of
+///   Figure 7's unlock path: the store buffer is full and its head cannot
+///   drain past a closed gate.
+/// * [`by_kind`](Self::by_kind) — per-[`Barrier`] subtotals (indexed by
+///   position in [`Barrier::ALL`]) for the DMB-vs-DSB-vs-acquire/release
+///   comparisons of Figures 6–7.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Total fully stalled issue cycles (the former `barrier_stall_cycles`).
+    pub total: Cycle,
+    /// Cycles inside a DSB/ISB response window.
+    pub response_window: Cycle,
+    /// Cycles memory issue waited on an in-flight DMB response.
+    pub memory_block: Cycle,
+    /// Cycles waiting for prior accesses before a barrier response could be
+    /// requested, indexed by [`DistanceClass::index`] of the farthest
+    /// outstanding access.
+    pub drain_wait: [Cycle; DistanceClass::ALL.len()],
+    /// Cycles the ROB was full behind a pending barrier.
+    pub rob_full: Cycle,
+    /// Cycles the store buffer was full behind a closed `DMB st` gate.
+    pub sb_full: Cycle,
+    /// Subtotals by the barrier kind responsible, indexed by position in
+    /// [`Barrier::ALL`].
+    pub by_kind: [Cycle; Barrier::ALL.len()],
+}
+
+impl StallBreakdown {
+    /// Labels of the cause columns, in [`StallBreakdown::cause_counts`]
+    /// order.
+    pub const CAUSE_LABELS: [&'static str; 9] = [
+        "response-window",
+        "memory-block",
+        "drain-wait:local",
+        "drain-wait:same-cluster",
+        "drain-wait:cross-cluster",
+        "drain-wait:cross-node",
+        "drain-wait:memory",
+        "rob-full",
+        "sb-full",
+    ];
+
+    /// The barrier kinds the core model can actually charge stalls to, in
+    /// report order.
+    pub const CHARGEABLE_KINDS: [Barrier; 10] = [
+        Barrier::DmbFull,
+        Barrier::DmbSt,
+        Barrier::DmbLd,
+        Barrier::DsbFull,
+        Barrier::DsbSt,
+        Barrier::DsbLd,
+        Barrier::Isb,
+        Barrier::CtrlIsb,
+        Barrier::Ldar,
+        Barrier::Stlr,
+    ];
+
+    /// Charge `cycles` stalled cycles to one cause and one barrier kind.
+    pub fn charge(&mut self, cause: StallCause, kind: Barrier, cycles: Cycle) {
+        self.total += cycles;
+        match cause {
+            StallCause::ResponseWindow => self.response_window += cycles,
+            StallCause::MemoryBlock => self.memory_block += cycles,
+            StallCause::DrainWait(d) => self.drain_wait[d.index()] += cycles,
+            StallCause::RobFull => self.rob_full += cycles,
+            StallCause::SbFull => self.sb_full += cycles,
+        }
+        self.by_kind[kind_index(kind)] += cycles;
+    }
+
+    /// The cause counters in [`StallBreakdown::CAUSE_LABELS`] order.
+    #[must_use]
+    pub fn cause_counts(&self) -> [Cycle; 9] {
+        [
+            self.response_window,
+            self.memory_block,
+            self.drain_wait[0],
+            self.drain_wait[1],
+            self.drain_wait[2],
+            self.drain_wait[3],
+            self.drain_wait[4],
+            self.rob_full,
+            self.sb_full,
+        ]
+    }
+
+    /// Sum of the per-cause counters (must equal
+    /// [`total`](Self::total)).
+    #[must_use]
+    pub fn cause_total(&self) -> Cycle {
+        self.cause_counts().iter().sum()
+    }
+
+    /// Sum of the per-kind subtotals (must equal
+    /// [`total`](Self::total)).
+    #[must_use]
+    pub fn kind_total(&self) -> Cycle {
+        self.by_kind.iter().sum()
+    }
+
+    /// Stalled cycles charged to one barrier kind.
+    #[must_use]
+    pub fn kind_count(&self, kind: Barrier) -> Cycle {
+        self.by_kind[kind_index(kind)]
+    }
+
+    /// Accumulate another core's breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.total += other.total;
+        self.response_window += other.response_window;
+        self.memory_block += other.memory_block;
+        for (a, b) in self.drain_wait.iter_mut().zip(other.drain_wait.iter()) {
+            *a += b;
+        }
+        self.rob_full += other.rob_full;
+        self.sb_full += other.sb_full;
+        for (a, b) in self.by_kind.iter_mut().zip(other.by_kind.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Dense index of a barrier kind in [`Barrier::ALL`].
+fn kind_index(kind: Barrier) -> usize {
+    Barrier::ALL
+        .iter()
+        .position(|&b| b == kind)
+        .expect("every barrier kind appears in Barrier::ALL")
+}
 
 /// Counters collected by one core over a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -27,15 +224,21 @@ pub struct CoreStats {
     pub fences: u64,
     /// Atomic RMW operations issued.
     pub rmws: u64,
-    /// Cycles in which issue was completely blocked by a barrier condition
-    /// (DSB/ISB window, DMB memory-block with no issuable work, full ROB
-    /// behind a pending barrier, full store buffer behind a gate).
-    pub barrier_stall_cycles: Cycle,
+    /// Cycles in which issue was completely blocked by a barrier condition,
+    /// decomposed by cause and barrier kind.
+    pub stall: StallBreakdown,
     /// Cycle at which the workload halted, if it did.
     pub halted_at: Option<Cycle>,
 }
 
 impl CoreStats {
+    /// Total barrier-stall cycles (the scalar this struct used to carry
+    /// before the breakdown existed).
+    #[must_use]
+    pub fn barrier_stall_cycles(&self) -> Cycle {
+        self.stall.total
+    }
+
     /// Iterations per 1000 cycles — a clock-independent throughput figure.
     #[must_use]
     pub fn iterations_per_kcycle(&self) -> f64 {
@@ -77,5 +280,60 @@ mod tests {
         let s = CoreStats::default();
         assert_eq!(s.iterations_per_kcycle(), 0.0);
         assert!(s.cycles_per_iteration().is_none());
+    }
+
+    #[test]
+    fn charge_keeps_causes_and_kinds_in_sync() {
+        let mut b = StallBreakdown::default();
+        b.charge(StallCause::ResponseWindow, Barrier::DsbFull, 7);
+        b.charge(
+            StallCause::DrainWait(DistanceClass::CrossNode),
+            Barrier::DmbFull,
+            3,
+        );
+        b.charge(StallCause::SbFull, Barrier::DmbSt, 2);
+        b.charge(StallCause::RobFull, Barrier::DmbFull, 1);
+        b.charge(StallCause::MemoryBlock, Barrier::DmbFull, 5);
+        assert_eq!(b.total, 18);
+        assert_eq!(b.cause_total(), 18);
+        assert_eq!(b.kind_total(), 18);
+        assert_eq!(b.kind_count(Barrier::DmbFull), 9);
+        assert_eq!(b.kind_count(Barrier::DsbFull), 7);
+        assert_eq!(b.kind_count(Barrier::DmbSt), 2);
+        assert_eq!(b.drain_wait[DistanceClass::CrossNode.index()], 3);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = StallBreakdown::default();
+        a.charge(StallCause::ResponseWindow, Barrier::Isb, 4);
+        let mut b = StallBreakdown::default();
+        b.charge(
+            StallCause::DrainWait(DistanceClass::Local),
+            Barrier::Stlr,
+            6,
+        );
+        a.merge(&b);
+        assert_eq!(a.total, 10);
+        assert_eq!(a.cause_total(), 10);
+        assert_eq!(a.kind_total(), 10);
+    }
+
+    #[test]
+    fn cause_labels_match_stall_cause_labels() {
+        let causes = [
+            StallCause::ResponseWindow,
+            StallCause::MemoryBlock,
+            StallCause::DrainWait(DistanceClass::Local),
+            StallCause::DrainWait(DistanceClass::SameCluster),
+            StallCause::DrainWait(DistanceClass::CrossCluster),
+            StallCause::DrainWait(DistanceClass::CrossNode),
+            StallCause::DrainWait(DistanceClass::Memory),
+            StallCause::RobFull,
+            StallCause::SbFull,
+        ];
+        for (c, l) in causes.iter().zip(StallBreakdown::CAUSE_LABELS.iter()) {
+            assert_eq!(c.label(), *l);
+        }
     }
 }

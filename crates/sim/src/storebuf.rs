@@ -153,8 +153,13 @@ impl StoreBuffer {
     }
 
     /// Place a gate after all currently buffered stores.
+    ///
+    /// A gate placed while an earlier gate is still pending is *not*
+    /// prior-free: the older gate's response must still be collected before
+    /// this one, so it cannot take the cheap idle-barrier path even if no
+    /// store sits between them.
     pub fn push_gate(&mut self, seq: Seq) {
-        let had_priors = !self.entries.is_empty();
+        let had_priors = !self.entries.is_empty() || !self.gates.is_empty();
         self.push_gate_with_meta(seq, had_priors);
     }
 
@@ -414,6 +419,24 @@ mod tests {
         );
         sb.expire_gates(30);
         assert!(sb.pick_drain_candidate(30, |_| true).is_some());
+    }
+
+    #[test]
+    fn gate_behind_pending_gate_is_not_prior_free() {
+        // Regression: had_priors used to look only at `entries`, so a
+        // second back-to-back DMB st was treated as an idle barrier.
+        let mut sb = StoreBuffer::new(8, 4);
+        sb.push_gate(0);
+        sb.push_gate(1);
+        let gates: Vec<bool> = sb.gates_iter().map(|g| g.had_priors).collect();
+        assert_eq!(gates, vec![false, true]);
+    }
+
+    #[test]
+    fn gate_on_empty_buffer_is_prior_free() {
+        let mut sb = StoreBuffer::new(8, 4);
+        sb.push_gate(0);
+        assert!(!sb.gates_iter().next().unwrap().had_priors);
     }
 
     #[test]

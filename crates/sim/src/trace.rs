@@ -60,6 +60,27 @@ pub enum Event {
         /// Iterations so far.
         count: u64,
     },
+    /// Issue became fully blocked on a barrier condition (the stall cause
+    /// just started being charged).
+    StallBegin {
+        /// Stalled core.
+        core: CoreId,
+        /// Cause label ([`crate::stats::StallCause::label`]).
+        cause: &'static str,
+        /// Mnemonic of the responsible barrier.
+        what: &'static str,
+    },
+    /// A barrier-stall run ended (cause changed or issue made progress).
+    StallEnd {
+        /// Core.
+        core: CoreId,
+        /// Cause label of the run that ended.
+        cause: &'static str,
+        /// Mnemonic of the responsible barrier.
+        what: &'static str,
+        /// Cycle the run began (the matching [`Event::StallBegin`]).
+        since: Cycle,
+    },
 }
 
 /// A timestamped event.
@@ -104,17 +125,44 @@ impl fmt::Display for Stamped {
             Event::Iteration { core, count } => {
                 write!(f, "[{:>8}] c{core} iteration {count}", self.at)
             }
+            Event::StallBegin { core, cause, what } => {
+                write!(f, "[{:>8}] c{core} stall begin {cause} ({what})", self.at)
+            }
+            Event::StallEnd {
+                core,
+                cause,
+                what,
+                since,
+            } => {
+                write!(
+                    f,
+                    "[{:>8}] c{core} stall end {cause} ({what}) after {}",
+                    self.at,
+                    self.at - since
+                )
+            }
         }
     }
 }
 
+/// Ring capacity of a [`Default`]-constructed trace.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
 /// A bounded event ring.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Trace {
     /// Whether events are recorded.
     pub enabled: bool,
     ring: VecDeque<Stamped>,
     capacity: usize,
+}
+
+impl Default for Trace {
+    /// A disabled trace with [`DEFAULT_TRACE_CAPACITY`]. (A derived default
+    /// would have capacity 0 and, enabled, grow without bound.)
+    fn default() -> Trace {
+        Trace::new(DEFAULT_TRACE_CAPACITY)
+    }
 }
 
 impl Trace {
@@ -133,7 +181,7 @@ impl Trace {
         if !self.enabled {
             return;
         }
-        if self.ring.len() == self.capacity {
+        while self.ring.len() >= self.capacity {
             self.ring.pop_front();
         }
         self.ring.push_back(Stamped { at, event });
@@ -166,6 +214,116 @@ impl Trace {
         }
         out
     }
+
+    /// Export the retained window as Chrome-trace JSON (the "JSON Array
+    /// Format" both `chrome://tracing` and Perfetto accept).
+    ///
+    /// Each core becomes one track (`tid`); stall runs become complete
+    /// (`"ph":"X"`) slices spanning begin→end, everything else becomes
+    /// instant (`"ph":"i"`) events. Cycles map 1:1 onto microsecond
+    /// timestamps — relative widths are what matter. Events are emitted in
+    /// ascending-timestamp order, so per-track timestamps are monotone.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut items: Vec<(Cycle, String)> = Vec::with_capacity(self.ring.len());
+        for s in &self.ring {
+            match &s.event {
+                Event::StallEnd {
+                    core,
+                    cause,
+                    what,
+                    since,
+                } => {
+                    items.push((
+                        *since,
+                        format!(
+                            "{{\"name\":{},\"cat\":\"stall\",\"ph\":\"X\",\"ts\":{},\
+                             \"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"barrier\":{}}}}}",
+                            json_string(&format!("stall:{cause}")),
+                            since,
+                            s.at - since,
+                            core,
+                            json_string(what),
+                        ),
+                    ));
+                }
+                Event::StallBegin { .. } => {
+                    // The matching StallEnd carries the whole slice; an
+                    // extra instant would only clutter the track. Runs still
+                    // open when the trace stopped simply have no slice.
+                }
+                other => {
+                    let (core, name, args) = match other {
+                        Event::Issue { core, what, addr } => (
+                            *core,
+                            format!("issue:{what}"),
+                            addr.map(|a| format!("{{\"addr\":\"{a:#x}\"}}")),
+                        ),
+                        Event::LoadDone { core, addr, value } => (
+                            *core,
+                            "load-done".to_string(),
+                            Some(format!("{{\"addr\":\"{addr:#x}\",\"value\":{value}}}")),
+                        ),
+                        Event::StoreVisible { core, addr, value } => (
+                            *core,
+                            "store-visible".to_string(),
+                            Some(format!("{{\"addr\":\"{addr:#x}\",\"value\":{value}}}")),
+                        ),
+                        Event::BarrierDone { core, what } => {
+                            (*core, format!("barrier-done:{what}"), None)
+                        }
+                        Event::Iteration { core, count } => (
+                            *core,
+                            "iteration".to_string(),
+                            Some(format!("{{\"count\":{count}}}")),
+                        ),
+                        Event::StallBegin { .. } | Event::StallEnd { .. } => unreachable!(),
+                    };
+                    let args = args.unwrap_or_else(|| "{}".to_string());
+                    items.push((
+                        s.at,
+                        format!(
+                            "{{\"name\":{},\"cat\":\"event\",\"ph\":\"i\",\"ts\":{},\
+                             \"s\":\"t\",\"pid\":0,\"tid\":{},\"args\":{args}}}",
+                            json_string(&name),
+                            s.at,
+                            core,
+                        ),
+                    ));
+                }
+            }
+        }
+        items.sort_by_key(|(ts, _)| *ts);
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, (_, item)) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(item);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+/// Quote a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -223,6 +381,79 @@ mod tests {
         assert!(text.contains("c1 issue store @0x40"));
         assert!(text.contains("store @0x40 = 7 visible"));
         assert!(text.contains("DMB full response"));
+    }
+
+    #[test]
+    fn default_trace_is_bounded_once_enabled() {
+        // Regression: the derived Default used to have capacity 0, and the
+        // `==` eviction check could never fire, so the ring grew forever.
+        let mut t = Trace {
+            enabled: true,
+            ..Trace::default()
+        };
+        let n = DEFAULT_TRACE_CAPACITY as u64 + 100;
+        for i in 0..n {
+            t.record(i, Event::Iteration { core: 0, count: i });
+        }
+        assert_eq!(t.len(), DEFAULT_TRACE_CAPACITY);
+        assert_eq!(t.events().next().unwrap().at, 100);
+    }
+
+    #[test]
+    fn enabled_trace_never_exceeds_capacity() {
+        for cap in [1usize, 2, 7] {
+            let mut t = Trace::new(cap);
+            t.enabled = true;
+            for i in 0..50u64 {
+                t.record(i, Event::Iteration { core: 0, count: i });
+                assert!(t.len() <= cap, "capacity {cap} exceeded at push {i}");
+            }
+            assert_eq!(t.len(), cap);
+        }
+    }
+
+    #[test]
+    fn chrome_export_turns_stall_runs_into_slices() {
+        let mut t = Trace::new(16);
+        t.enabled = true;
+        t.record(
+            5,
+            Event::StallBegin {
+                core: 1,
+                cause: "memory-block",
+                what: "DMB full",
+            },
+        );
+        t.record(
+            12,
+            Event::StallEnd {
+                core: 1,
+                cause: "memory-block",
+                what: "DMB full",
+                since: 5,
+            },
+        );
+        t.record(
+            20,
+            Event::BarrierDone {
+                core: 1,
+                what: "DMB full",
+            },
+        );
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":5"));
+        assert!(json.contains("\"dur\":7"));
+        assert!(json.contains("barrier-done:DMB full"));
+        // The begin instant is folded into the slice, not emitted twice.
+        assert!(!json.contains("stall-begin"));
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
     }
 
     #[test]

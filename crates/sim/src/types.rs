@@ -62,6 +62,29 @@ pub enum DistanceClass {
 }
 
 impl DistanceClass {
+    /// Every distance class, ordered near-to-far (index order matches
+    /// [`DistanceClass::index`]).
+    pub const ALL: [DistanceClass; 5] = [
+        DistanceClass::Local,
+        DistanceClass::SameCluster,
+        DistanceClass::CrossCluster,
+        DistanceClass::CrossNode,
+        DistanceClass::Memory,
+    ];
+
+    /// Position of this class in [`DistanceClass::ALL`] (dense, 0-based) —
+    /// used to key per-distance counter arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            DistanceClass::Local => 0,
+            DistanceClass::SameCluster => 1,
+            DistanceClass::CrossCluster => 2,
+            DistanceClass::CrossNode => 3,
+            DistanceClass::Memory => 4,
+        }
+    }
+
     /// Whether satisfying an access at this distance requires snooping
     /// outside the requester's NUMA node.
     #[must_use]
@@ -114,6 +137,13 @@ mod tests {
         assert!(DistanceClass::SameCluster < DistanceClass::CrossCluster);
         assert!(DistanceClass::CrossCluster < DistanceClass::CrossNode);
         assert!(DistanceClass::CrossNode < DistanceClass::Memory);
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, d) in DistanceClass::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
     }
 
     #[test]

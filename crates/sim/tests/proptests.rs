@@ -144,6 +144,34 @@ proptest! {
         prop_assert_eq!(m.read_memory(addr_of(3)), expect);
     }
 
+    /// Stall attribution invariants on random programs: the per-cause and
+    /// per-kind counters are non-negative by type, sum exactly to the total
+    /// on every core, never exceed the core's lifetime, and the whole
+    /// breakdown is deterministic across repeated runs. (`ARMBAR_JOBS`
+    /// invariance follows from this: the sweep engine replays identical
+    /// single-machine runs regardless of worker count, so a deterministic
+    /// breakdown is a worker-count-independent one — see the experiment
+    /// crate's determinism tests for the end-to-end CSV check.)
+    #[test]
+    fn stall_breakdown_is_consistent_and_deterministic(
+        a in prop::collection::vec(gen_op(), 0..80),
+        b in prop::collection::vec(gen_op(), 0..80),
+    ) {
+        let progs = [a, b];
+        let platform = Platform::kunpeng916();
+        let step = platform.topology.core_count() / 2;
+        let (m1, _) = run_program(&platform, &progs);
+        let (m2, _) = run_program(&platform, &progs);
+        for core in [0, step] {
+            let s = m1.core_stats(core);
+            prop_assert_eq!(s.stall.cause_total(), s.stall.total);
+            prop_assert_eq!(s.stall.kind_total(), s.stall.total);
+            prop_assert!(s.stall.total <= s.cycles);
+            prop_assert_eq!(s.barrier_stall_cycles(), s.stall.total);
+            prop_assert_eq!(&s.stall, &m2.core_stats(core).stall);
+        }
+    }
+
     /// RMWs never lose updates regardless of interleaving, fences, or
     /// platform.
     #[test]

@@ -788,10 +788,22 @@ pub fn run_delegation(platform: &Platform, cfg: DelegationConfig) -> LockResult 
     let max_cycles = total * 400_000 + 2_000_000;
     let stats = m.run(max_cycles);
     assert!(stats.halted, "delegation benchmark must finish");
+    // Sum the stall decomposition over every core that participated: the
+    // FFWD layout uses core 0 for the server plus one core per client,
+    // DSynch places the combining clients on cores 0..clients.
+    let active_cores = match cfg.kind {
+        DelegationKind::Ffwd => cfg.clients + 1,
+        DelegationKind::DSynch => cfg.clients,
+    };
+    let mut stall = armbar_sim::StallBreakdown::default();
+    for c in 0..active_cores {
+        stall.merge(&m.core_stats(c).stall);
+    }
     LockResult {
         acquisitions: total,
         cycles: stats.cycles,
         locks_per_sec: platform.iterations_per_second(total, stats.cycles),
+        stall,
     }
 }
 

@@ -13,7 +13,7 @@
 //! a wrong result but can serve as a reference").
 
 use armbar_barriers::Barrier;
-use armbar_sim::{Machine, Op, SimThread, ThreadCtx};
+use armbar_sim::{Machine, Op, SimThread, StallBreakdown, ThreadCtx, Trace};
 
 use crate::bind::BindConfig;
 
@@ -440,6 +440,9 @@ pub struct PcResult {
     /// Messages whose payload did not match the expected sequence value
     /// (non-zero only for incorrect variants like Ideal).
     pub errors: u64,
+    /// Producer-core barrier-stall decomposition (where the producer's
+    /// blocked cycles went, by cause and barrier kind).
+    pub stall: StallBreakdown,
 }
 
 /// Run a producer-consumer configuration: `messages` transfers of
@@ -452,6 +455,39 @@ pub fn run_prodcons(
     batch: u64,
     produce_nops: u32,
 ) -> PcResult {
+    run_prodcons_inner(bind, variant, messages, batch, produce_nops, None).0
+}
+
+/// Like [`run_prodcons`], with machine-wide event tracing enabled (ring of
+/// `trace_capacity` events). Returns the result plus the recorded trace,
+/// ready for [`Trace::to_chrome_json`] export.
+#[must_use]
+pub fn run_prodcons_traced(
+    bind: BindConfig,
+    variant: PcVariant,
+    messages: u64,
+    batch: u64,
+    produce_nops: u32,
+    trace_capacity: usize,
+) -> (PcResult, Trace) {
+    run_prodcons_inner(
+        bind,
+        variant,
+        messages,
+        batch,
+        produce_nops,
+        Some(trace_capacity),
+    )
+}
+
+fn run_prodcons_inner(
+    bind: BindConfig,
+    variant: PcVariant,
+    messages: u64,
+    batch: u64,
+    produce_nops: u32,
+    trace_capacity: Option<usize>,
+) -> (PcResult, Trace) {
     assert!(
         (1..=BUF_SLOTS / 2).contains(&batch),
         "batch must fit the ring twice over"
@@ -463,6 +499,9 @@ pub fn run_prodcons(
     );
     let platform = bind.platform();
     let mut m = Machine::new(platform.clone());
+    if let Some(capacity) = trace_capacity {
+        m.enable_trace(capacity);
+    }
     let prod_core = bind.primary_core();
     let cons_core = bind.peer_core();
     match variant {
@@ -526,12 +565,14 @@ pub fn run_prodcons(
     assert!(stats.halted, "producer-consumer must drain within budget");
     let s = m.core_stats(prod_core);
     let delivered = m.read_memory(CONS_CNT);
-    PcResult {
+    let result = PcResult {
         messages: delivered,
         cycles: s.cycles,
         msgs_per_sec: platform.iterations_per_second(s.iterations * batch, s.cycles),
         errors: m.read_memory(CONS_ERRORS),
-    }
+        stall: s.stall,
+    };
+    (result, m.take_trace())
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! (Observation 2); with zero global lines it is nearly free.
 
 use armbar_barriers::Barrier;
-use armbar_sim::{Machine, Op, Platform, SimThread, ThreadCtx};
+use armbar_sim::{Machine, Op, Platform, SimThread, StallBreakdown, ThreadCtx, Trace};
 
 /// Shared-memory layout.
 const NEXT_TICKET: u64 = 0x100;
@@ -174,6 +174,8 @@ pub struct LockResult {
     pub cycles: u64,
     /// Acquisitions per second at the platform's clock.
     pub locks_per_sec: f64,
+    /// Barrier-stall decomposition summed over all competitor cores.
+    pub stall: StallBreakdown,
 }
 
 /// Cores used for a lock benchmark: spread across the machine the way the
@@ -189,7 +191,31 @@ fn competitor_cores(platform: &Platform, threads: usize) -> Vec<usize> {
 /// Run the ticket-lock benchmark.
 #[must_use]
 pub fn run_ticket(platform: &Platform, cfg: TicketConfig) -> LockResult {
+    run_ticket_inner(platform, cfg, None).0
+}
+
+/// [`run_ticket`] with event tracing enabled at `trace_capacity` events.
+/// The returned [`Trace`] holds one timeline per competitor core — a good
+/// multi-track demo for the Chrome-trace exporter, since every core takes
+/// the acquire fence and the release gate.
+#[must_use]
+pub fn run_ticket_traced(
+    platform: &Platform,
+    cfg: TicketConfig,
+    trace_capacity: usize,
+) -> (LockResult, Trace) {
+    run_ticket_inner(platform, cfg, Some(trace_capacity))
+}
+
+fn run_ticket_inner(
+    platform: &Platform,
+    cfg: TicketConfig,
+    trace_capacity: Option<usize>,
+) -> (LockResult, Trace) {
     let mut m = Machine::new(platform.clone());
+    if let Some(capacity) = trace_capacity {
+        m.enable_trace(capacity);
+    }
     let cores = competitor_cores(platform, cfg.threads);
     for (i, &c) in cores.iter().enumerate() {
         m.add_thread_on(
@@ -219,11 +245,17 @@ pub fn run_ticket(platform: &Platform, cfg: TicketConfig) -> LockResult {
     assert_eq!(m.read_memory(NEXT_TICKET), total);
     assert_eq!(m.read_memory(OWNER), total);
     let cycles = stats.cycles;
-    LockResult {
+    let mut stall = StallBreakdown::default();
+    for &c in &cores {
+        stall.merge(&m.core_stats(c).stall);
+    }
+    let result = LockResult {
         acquisitions: total,
         cycles,
         locks_per_sec: platform.iterations_per_second(total, cycles),
-    }
+        stall,
+    };
+    (result, m.take_trace())
 }
 
 #[cfg(test)]
