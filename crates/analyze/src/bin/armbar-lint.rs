@@ -1,0 +1,105 @@
+//! `armbar-lint` — run the witness-backed barrier analyzer over the
+//! built-in corpus and print every finding with its proof artifact.
+//!
+//! ```text
+//! armbar-lint [FILTER]
+//! ```
+//!
+//! With a `FILTER` argument only cases whose name contains the substring
+//! are analyzed (e.g. `armbar-lint MP`). Exit status is 1 when any
+//! redundant, over-strong, or missing finding is reported (necessary
+//! verdicts are informational), so the binary doubles as a CI gate.
+
+use armbar_analyze::corpus::corpus;
+use armbar_analyze::lint::{analyze_case, FindingKind, Proof};
+use armbar_analyze::replay::saved_cycles;
+use armbar_sim::PlatformKind;
+
+/// Iterations used when pricing a rewrite on the simulator.
+const REPLAY_ITERS: u64 = 200;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let cases: Vec<_> = corpus()
+        .into_iter()
+        .filter(|c| filter.as_ref().is_none_or(|f| c.name.contains(f)))
+        .collect();
+    if cases.is_empty() {
+        eprintln!("no corpus case matches filter {filter:?}");
+        std::process::exit(2);
+    }
+
+    let mut actionable = 0usize;
+    for case in &cases {
+        let findings = analyze_case(case);
+        println!("== {} ({} findings)", case.name, findings.len());
+        for f in &findings {
+            let suggestion = match (f.kind, f.suggestion) {
+                (FindingKind::Redundant, _) => "delete".to_string(),
+                (_, Some(s)) => format!("use {s}"),
+                (FindingKind::Missing, None) => "add ordering".to_string(),
+                (_, None) => "keep".to_string(),
+            };
+            println!(
+                "  [{:<11}] {:<6} {:<10} -> {}{}",
+                f.kind.label(),
+                f.site_label(),
+                f.original.to_string(),
+                suggestion,
+                if f.caveat { "  (measure first)" } else { "" },
+            );
+            match &f.proof {
+                Proof::OutcomesEqual {
+                    states_base,
+                    states_mutated,
+                } => println!(
+                    "      proof: outcome sets equal ({} outcomes; {} vs {} states)",
+                    f.outcomes_base, states_base, states_mutated
+                ),
+                Proof::OutcomesPreserved { removed } => println!(
+                    "      proof: no outcome added, {removed} removed ({} -> {} outcomes)",
+                    f.outcomes_base, f.outcomes_after
+                ),
+                Proof::CounterExample(w) => {
+                    let label = if f.kind == FindingKind::Missing {
+                        "forbidden outcome reachable"
+                    } else {
+                        "removal admits new outcome"
+                    };
+                    println!("      witness ({label}):");
+                    for line in w.render(&case.program).lines() {
+                        println!("      {line}");
+                    }
+                }
+            }
+            if matches!(f.kind, FindingKind::Redundant | FindingKind::OverStrong) {
+                actionable += 1;
+                if let Some(rewritten) = &f.rewritten {
+                    let saved = saved_cycles(&case.program, rewritten, REPLAY_ITERS);
+                    let per: Vec<String> = PlatformKind::ALL
+                        .iter()
+                        .zip(saved)
+                        .map(|(k, s)| format!("{}: {s:+}", k.name()))
+                        .collect();
+                    println!(
+                        "      simulated cycles saved over {REPLAY_ITERS} iterations — {}",
+                        per.join(", ")
+                    );
+                }
+            }
+        }
+        for f in &findings {
+            if f.kind == FindingKind::Missing {
+                actionable += 1;
+            }
+        }
+    }
+    println!(
+        "\n{} case(s), {} actionable finding(s)",
+        cases.len(),
+        actionable
+    );
+    if actionable > 0 {
+        std::process::exit(1);
+    }
+}

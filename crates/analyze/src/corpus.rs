@@ -1,0 +1,228 @@
+//! The lint corpus: every [`Program`] `armbar-lint` analyzes by default.
+//!
+//! Three families, mirroring the paper's measurement targets:
+//!
+//! * the **litmus battery** (the shapes of Table 1 and §3), restricted to
+//!   the configurations whose relaxed outcome is *intended to be
+//!   forbidden* — those carry an intent predicate the lint can check;
+//! * **MP in every barrier placement** the producer/consumer experiment
+//!   sweeps (Figure 6a), including the intentionally broken ones, which
+//!   the lint must flag as racy;
+//! * `wmm` encodings of the **simapps kernels**: ticket/MCS lock handoff
+//!   and the Pilot channel, seeded with the over-strong barriers real code
+//!   ships with (DSB where DMB suffices, DMB full where a dependency
+//!   would do, a stray same-location fence Pilot makes redundant).
+
+use armbar_barriers::Barrier;
+use armbar_wmm::battery::battery;
+use armbar_wmm::litmus::{load_buffering, message_passing, pilot_message_passing, store_buffering};
+use armbar_wmm::{Instr, Outcome, Program, Thread};
+
+/// An intent predicate: the outcome the author of the code considers a
+/// bug (the test's *forbidden* outcome).
+pub type Intent = Box<dyn Fn(&Outcome) -> bool + Send + Sync>;
+
+/// One program under analysis, with its (optional) forbidden-outcome
+/// intent. Without an intent the lint still classifies every barrier
+/// site; it just cannot detect *missing* ordering.
+pub struct LintCase {
+    /// Unique, stable case name (keys `lint.csv` rows).
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// The outcome the program must never produce, when known.
+    pub forbidden: Option<Intent>,
+}
+
+fn thread(instrs: Vec<Instr>) -> Thread {
+    Thread { instrs }
+}
+
+/// Ticket-lock handoff distilled to its ordering skeleton: the owner
+/// publishes protected data then bumps the grant word; the waiter spins on
+/// the grant and reads the data. `owner_fence`/`waiter_fence` are the
+/// barriers the implementation placed.
+fn lock_handoff(name: &str, owner_fence: Barrier, waiter_fence: Barrier) -> LintCase {
+    let owner = vec![
+        Instr::store(0, 41),
+        Instr::Fence(owner_fence),
+        Instr::store(1, 1),
+    ];
+    let waiter = vec![
+        Instr::load(0, 1),
+        Instr::Fence(waiter_fence),
+        Instr::load(1, 0),
+    ];
+    LintCase {
+        name: name.to_string(),
+        program: Program {
+            threads: vec![thread(owner), thread(waiter)],
+            init: vec![],
+        },
+        forbidden: Some(Box::new(|o| o.reg(1, 0) == 1 && o.reg(1, 1) != 41)),
+    }
+}
+
+/// The full corpus, in the deterministic order everything downstream
+/// (human report, `lint.csv`, proofs) relies on.
+#[must_use]
+pub fn corpus() -> Vec<LintCase> {
+    let mut cases = Vec::new();
+
+    // -- Litmus battery: intended-forbidden configurations only. --------
+    for (test, expected_allowed) in battery() {
+        if expected_allowed {
+            continue;
+        }
+        cases.push(LintCase {
+            name: test.name,
+            program: test.program,
+            forbidden: Some(test.relaxed),
+        });
+    }
+
+    // -- MP, all Figure-6a placements (producer barrier, consumer). -----
+    let placements: [(Barrier, Barrier); 7] = [
+        (Barrier::DmbFull, Barrier::DmbFull),
+        (Barrier::DmbSt, Barrier::DmbFull),
+        (Barrier::DmbSt, Barrier::DmbLd),
+        (Barrier::DmbSt, Barrier::Ldar),
+        (Barrier::Stlr, Barrier::DmbFull),
+        (Barrier::None, Barrier::DmbLd),
+        (Barrier::None, Barrier::None),
+    ];
+    for (producer, consumer) in placements {
+        let t = message_passing(producer, consumer);
+        cases.push(LintCase {
+            name: t.name,
+            program: t.program,
+            forbidden: Some(t.relaxed),
+        });
+    }
+
+    // DSB-everywhere MP: both sides downgradeable.
+    let t = message_passing(Barrier::DsbFull, Barrier::DsbFull);
+    cases.push(LintCase {
+        name: t.name,
+        program: t.program,
+        forbidden: Some(t.relaxed),
+    });
+
+    // Known-redundant: correctly fenced MP with a stray trailing DMB st
+    // behind the flag store — nothing after it to order.
+    cases.push(LintCase {
+        name: "MP+dmb.st+dmb.ld+stray-st".to_string(),
+        program: Program {
+            threads: vec![
+                thread(vec![
+                    Instr::store(0, 23),
+                    Instr::Fence(Barrier::DmbSt),
+                    Instr::store(1, 1),
+                    Instr::Fence(Barrier::DmbSt),
+                ]),
+                thread(vec![
+                    Instr::load(0, 1),
+                    Instr::Fence(Barrier::DmbLd),
+                    Instr::load(1, 0),
+                ]),
+            ],
+            init: vec![],
+        },
+        forbidden: Some(Box::new(|o| o.reg(1, 0) == 1 && o.reg(1, 1) != 23)),
+    });
+
+    // SB with DSB: the sync barrier is over-strong, DMB full suffices.
+    let t = store_buffering(Barrier::DsbFull);
+    cases.push(LintCase {
+        name: t.name,
+        program: t.program,
+        forbidden: Some(t.relaxed),
+    });
+
+    // LB with DMB ld: a bogus dependency discharges the same requirement
+    // for free (Observation 6).
+    let t = load_buffering(Barrier::DmbLd);
+    cases.push(LintCase {
+        name: t.name,
+        program: t.program,
+        forbidden: Some(t.relaxed),
+    });
+
+    // -- simapps kernels. ------------------------------------------------
+    cases.push(lock_handoff(
+        "ticket-handoff+dsb.full+dmb.ld",
+        Barrier::DsbFull,
+        Barrier::DmbLd,
+    ));
+    cases.push(lock_handoff(
+        "mcs-handoff+dmb.full+dmb.full",
+        Barrier::DmbFull,
+        Barrier::DmbFull,
+    ));
+
+    // Pilot channel, paranoid edition: both writes hit the *same*
+    // single-copy-atomic word, so coherence already orders them and the
+    // fence between them discharges nothing.
+    cases.push(LintCase {
+        name: "pilot-channel+stray-st".to_string(),
+        program: Program {
+            threads: vec![
+                thread(vec![
+                    Instr::store(0, 1),
+                    Instr::Fence(Barrier::DmbSt),
+                    Instr::store(0, 23),
+                ]),
+                thread(vec![Instr::load(0, 0)]),
+            ],
+            init: vec![],
+        },
+        forbidden: Some(Box::new(|o| {
+            o.reg(1, 0) != 0 && o.reg(1, 0) != 1 && o.reg(1, 0) != 23
+        })),
+    });
+
+    // Pilot MP proper: fused flag+payload, no barriers anywhere — the
+    // clean reference the lint must stay silent on.
+    let t = pilot_message_passing();
+    cases.push(LintCase {
+        name: t.name,
+        program: t.program,
+        forbidden: Some(t.relaxed),
+    });
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_are_unique_and_order_is_stable() {
+        let a: Vec<String> = corpus().into_iter().map(|c| c.name).collect();
+        let b: Vec<String> = corpus().into_iter().map(|c| c.name).collect();
+        assert_eq!(a, b, "corpus order must be deterministic");
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "case names must be unique");
+    }
+
+    #[test]
+    fn corpus_spans_all_three_families() {
+        let names: Vec<String> = corpus().into_iter().map(|c| c.name).collect();
+        assert!(names.iter().any(|n| n.starts_with("MP+")));
+        assert!(names.iter().any(|n| n.contains("handoff")));
+        assert!(names.iter().any(|n| n.contains("pilot")));
+        assert!(names.len() >= 15, "corpus unexpectedly small: {names:?}");
+    }
+
+    #[test]
+    fn threads_stay_litmus_sized() {
+        for case in corpus() {
+            for t in &case.program.threads {
+                assert!(t.instrs.len() <= 8, "{} thread too long", case.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! The analyzer: classify every barrier site of a program and prove it.
+//!
+//! For each site the verdict pipeline is:
+//!
+//! 1. **Delete it** and re-run the exhaustive explorer. Removal only ever
+//!    relaxes the ordering relation, so the mutated outcome set is a
+//!    superset of the original; when it is *equal* the site is
+//!    [`FindingKind::Redundant`] and the equality itself is the proof.
+//! 2. Otherwise the site is **necessary**, and the first outcome the
+//!    mutation admits yields a concrete [`Witness`] execution — the
+//!    counterexample that would kill any removal suggestion.
+//! 3. A necessary *fence* is then tested for [`FindingKind::OverStrong`]:
+//!    the advisor's Table-3 recommendation for the ordering requirement
+//!    the fence actually discharges is rewritten into the program
+//!    ([`replace_fence`]) and re-verified — the substitute is suggested
+//!    only when its outcome set adds nothing to the original's.
+//! 4. Independently, when the program's intent predicate is reachable in
+//!    the unmutated program, the case is [`FindingKind::Missing`] ordering
+//!    and the witness interleaving is the diagnostic.
+//!
+//! Every emitted finding therefore carries a machine-checked [`Proof`];
+//! nothing is reported on the advisor's word alone.
+
+use armbar_barriers::advisor::{recommend, Approach, Multiplicity, OrderReq};
+use armbar_barriers::strength::cost_rank;
+use armbar_barriers::{AccessType, Barrier, CostRank};
+use armbar_wmm::explore::explore;
+use armbar_wmm::mutate::{barrier_sites, remove_site, replace_fence, BarrierSite, SiteKind};
+use armbar_wmm::witness::{find_witness, Witness};
+use armbar_wmm::{MemoryModel, Program};
+
+use crate::corpus::LintCase;
+
+/// The verdict classes `armbar-lint` emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// Deleting the site provably changes nothing: the mutated program's
+    /// outcome set equals the original's.
+    Redundant,
+    /// A cheaper approach discharges the same requirement: the rewritten
+    /// program's outcome set adds nothing to the original's.
+    OverStrong,
+    /// The program's forbidden intent is reachable as-is: ordering is
+    /// missing (racy), witness attached.
+    Missing,
+    /// The site is load-bearing and no cheaper verified substitute was
+    /// found; the witness shows what breaks without it.
+    Necessary,
+}
+
+impl FindingKind {
+    /// Stable lowercase label used in reports and `lint.csv`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingKind::Redundant => "redundant",
+            FindingKind::OverStrong => "over-strong",
+            FindingKind::Missing => "missing",
+            FindingKind::Necessary => "necessary",
+        }
+    }
+}
+
+/// The machine-checked artifact backing a [`Finding`].
+#[derive(Debug, Clone)]
+pub enum Proof {
+    /// Outcome sets are identical (removal changes nothing). Carries the
+    /// explorer's state counts for the base and mutated runs.
+    OutcomesEqual {
+        /// DFS states of the original program.
+        states_base: usize,
+        /// DFS states of the mutated program.
+        states_mutated: usize,
+    },
+    /// The rewritten program admits no outcome the original forbids
+    /// (`added == 0`); it may shrink the set (`removed` outcomes fewer).
+    OutcomesPreserved {
+        /// Outcomes of the original that the rewrite no longer reaches.
+        removed: usize,
+    },
+    /// A concrete execution reaching the outcome in question.
+    CounterExample(Witness),
+}
+
+/// One verdict about one site (or, for [`FindingKind::Missing`], about a
+/// whole case).
+pub struct Finding {
+    /// Corpus case name.
+    pub case: String,
+    /// The site, `None` for case-level missing-ordering findings.
+    pub site: Option<BarrierSite>,
+    /// Verdict.
+    pub kind: FindingKind,
+    /// The approach currently at the site (`Barrier::None` when missing).
+    pub original: Barrier,
+    /// Suggested replacement: `Barrier::None` = delete (redundant),
+    /// `Some` cheaper approach (over-strong), `None` = keep / add ordering.
+    pub suggestion: Option<Barrier>,
+    /// The suggestion carries the advisor's measure-first caveat (STLR).
+    pub caveat: bool,
+    /// Cost band of the original approach.
+    pub rank_before: CostRank,
+    /// Cost band after applying the suggestion (unchanged when none).
+    pub rank_after: CostRank,
+    /// Outcome/state counts: original program.
+    pub outcomes_base: usize,
+    /// Outcome count after the suggested mutation (base when none).
+    pub outcomes_after: usize,
+    /// Outcomes the mutation would add (always 0 for emitted suggestions
+    /// on redundant/over-strong; positive for the necessary-site
+    /// counterexample diff).
+    pub added: usize,
+    /// Outcomes the mutation removes.
+    pub removed: usize,
+    /// DFS states: original program.
+    pub states_base: usize,
+    /// DFS states after the mutation (base when none).
+    pub states_after: usize,
+    /// The artifact that proves the verdict.
+    pub proof: Proof,
+    /// The program with the suggestion applied (redundant/over-strong
+    /// only) — what the replay harness simulates.
+    pub rewritten: Option<Program>,
+}
+
+impl Finding {
+    /// `T0#1`-style site label, `-` for case-level findings.
+    #[must_use]
+    pub fn site_label(&self) -> String {
+        self.site
+            .map_or_else(|| "-".to_string(), |s| format!("T{}#{}", s.tid, s.idx))
+    }
+
+    /// Compact `steps>steps` rendering of a witness proof, empty for
+    /// equality proofs (`lint.csv`'s proof column).
+    #[must_use]
+    pub fn proof_label(&self) -> String {
+        match &self.proof {
+            Proof::OutcomesEqual { .. } => "outcomes-equal".to_string(),
+            Proof::OutcomesPreserved { removed } => format!("outcomes-preserved(-{removed})"),
+            Proof::CounterExample(w) => {
+                let steps: Vec<String> = w
+                    .steps
+                    .iter()
+                    .map(|s| format!("T{}#{}", s.tid, s.idx))
+                    .collect();
+                format!("witness:{}", steps.join(">"))
+            }
+        }
+    }
+}
+
+/// The ordering requirement a fence at `site` discharges, derived from
+/// the accesses around it: the earlier side is the access class before
+/// the fence in program order, the later side the class after it
+/// (mixed classes become the table's `Any`). `None` when the fence has
+/// no access on one side — it orders nothing and will already have been
+/// caught as redundant.
+fn fence_requirement(program: &Program, site: BarrierSite) -> Option<OrderReq> {
+    let instrs = &program.threads[site.tid].instrs;
+    let side = |range: &mut dyn Iterator<Item = usize>| -> (Option<AccessType>, usize) {
+        let mut kinds = Vec::new();
+        for i in range {
+            if let Some(t) = instrs[i].access_type() {
+                kinds.push(t);
+            }
+        }
+        let uniform = kinds
+            .iter()
+            .all(|&k| k == kinds[0])
+            .then(|| kinds.first().copied())
+            .flatten();
+        (uniform, kinds.len())
+    };
+    let (from, n_from) = side(&mut (0..site.idx));
+    let (to, n_to) = side(&mut (site.idx + 1..instrs.len()));
+    if n_from == 0 || n_to == 0 {
+        return None;
+    }
+    let deps_feasible = instrs[..site.idx]
+        .iter()
+        .any(|i| matches!(i.access_type(), Some(AccessType::Load)));
+    Some(OrderReq {
+        from,
+        to,
+        to_multiplicity: if n_to == 1 {
+            Multiplicity::One
+        } else {
+            Multiplicity::Many
+        },
+        deps_feasible,
+    })
+}
+
+/// Advisor candidates for `req` that are strictly cheaper than `orig`,
+/// cheapest first, with the measure-first caveat preserved.
+fn cheaper_candidates(req: OrderReq, orig: Barrier) -> Vec<(Barrier, bool)> {
+    let rec = recommend(req);
+    let mut out: Vec<(Barrier, bool)> = Vec::new();
+    for a in rec.preferred.iter().chain(&rec.alternatives) {
+        let (b, caveat) = match a {
+            Approach::Use(b) => (*b, false),
+            Approach::MeasureAgainst { candidate, .. } => (*candidate, true),
+        };
+        if cost_rank(b) < cost_rank(orig) && !out.iter().any(|(x, _)| *x == b) {
+            out.push((b, caveat));
+        }
+    }
+    out.sort_by_key(|(b, _)| cost_rank(*b));
+    out
+}
+
+/// Analyze one case: every site classified, plus the case-level missing
+/// verdict, in deterministic (site, then kind) order.
+#[must_use]
+pub fn analyze_case(case: &LintCase) -> Vec<Finding> {
+    let model = MemoryModel::ArmWmm;
+    let base = explore(&case.program, model);
+    let mut findings = Vec::new();
+
+    // Case-level: is the forbidden intent reachable right now?
+    if let Some(forbidden) = &case.forbidden {
+        if base.any(|o| forbidden(o)) {
+            let w = find_witness(&case.program, model, |o| forbidden(o))
+                .expect("explorer says reachable, witness search must agree");
+            findings.push(Finding {
+                case: case.name.clone(),
+                site: None,
+                kind: FindingKind::Missing,
+                original: Barrier::None,
+                suggestion: None,
+                caveat: false,
+                rank_before: CostRank::Free,
+                rank_after: CostRank::Free,
+                outcomes_base: base.len(),
+                outcomes_after: base.len(),
+                added: 0,
+                removed: 0,
+                states_base: base.states_visited,
+                states_after: base.states_visited,
+                proof: Proof::CounterExample(w),
+                rewritten: None,
+            });
+        }
+    }
+
+    for site in barrier_sites(&case.program) {
+        let orig = site.kind.as_barrier();
+        let cut = remove_site(&case.program, site);
+        let cut_set = explore(&cut, model);
+        let diff = base.diff(&cut_set);
+        debug_assert!(
+            diff.removed.is_empty(),
+            "removal must only relax the outcome set"
+        );
+        if diff.is_equal() {
+            findings.push(Finding {
+                case: case.name.clone(),
+                site: Some(site),
+                kind: FindingKind::Redundant,
+                original: orig,
+                suggestion: Some(Barrier::None),
+                caveat: false,
+                rank_before: cost_rank(orig),
+                rank_after: CostRank::Free,
+                outcomes_base: base.len(),
+                outcomes_after: cut_set.len(),
+                added: 0,
+                removed: 0,
+                states_base: base.states_visited,
+                states_after: cut_set.states_visited,
+                proof: Proof::OutcomesEqual {
+                    states_base: base.states_visited,
+                    states_mutated: cut_set.states_visited,
+                },
+                rewritten: Some(cut),
+            });
+            continue;
+        }
+
+        // Necessary. The first (canonically smallest) newly-admitted
+        // outcome, executed, is the counterexample that kills removal.
+        let first_added = diff.added[0].clone();
+        let witness = find_witness(&cut, model, |o| *o == first_added)
+            .expect("added outcome must be reachable in the mutated program");
+
+        // Over-strong check for fences: can a cheaper verified substitute
+        // discharge the same requirement?
+        let mut substituted = false;
+        if matches!(site.kind, SiteKind::Fence(_)) {
+            if let Some(req) = fence_requirement(&case.program, site) {
+                for (cand, caveat) in cheaper_candidates(req, orig) {
+                    let Some(rewritten) = replace_fence(&case.program, site, cand) else {
+                        continue;
+                    };
+                    let sub_set = explore(&rewritten, model);
+                    let sub_diff = base.diff(&sub_set);
+                    if !sub_diff.added.is_empty() {
+                        continue; // substitute would widen — rejected.
+                    }
+                    findings.push(Finding {
+                        case: case.name.clone(),
+                        site: Some(site),
+                        kind: FindingKind::OverStrong,
+                        original: orig,
+                        suggestion: Some(cand),
+                        caveat,
+                        rank_before: cost_rank(orig),
+                        rank_after: cost_rank(cand),
+                        outcomes_base: base.len(),
+                        outcomes_after: sub_set.len(),
+                        added: 0,
+                        removed: sub_diff.removed.len(),
+                        states_base: base.states_visited,
+                        states_after: sub_set.states_visited,
+                        proof: Proof::OutcomesPreserved {
+                            removed: sub_diff.removed.len(),
+                        },
+                        rewritten: Some(rewritten),
+                    });
+                    substituted = true;
+                    break;
+                }
+            }
+        }
+        if !substituted {
+            findings.push(Finding {
+                case: case.name.clone(),
+                site: Some(site),
+                kind: FindingKind::Necessary,
+                original: orig,
+                suggestion: None,
+                caveat: false,
+                rank_before: cost_rank(orig),
+                rank_after: cost_rank(orig),
+                outcomes_base: base.len(),
+                outcomes_after: cut_set.len(),
+                added: diff.added.len(),
+                removed: 0,
+                states_base: base.states_visited,
+                states_after: cut_set.states_visited,
+                proof: Proof::CounterExample(witness),
+                rewritten: None,
+            });
+        }
+    }
+    findings
+}
+
+/// Analyze the whole corpus in corpus order.
+#[must_use]
+pub fn analyze_corpus(cases: &[LintCase]) -> Vec<Finding> {
+    cases.iter().flat_map(analyze_case).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::corpus;
+    use armbar_wmm::litmus::message_passing;
+
+    fn case_of(t: armbar_wmm::LitmusTest) -> LintCase {
+        LintCase {
+            name: t.name,
+            program: t.program,
+            forbidden: Some(t.relaxed),
+        }
+    }
+
+    #[test]
+    fn broken_mp_is_missing_with_witness() {
+        let findings = analyze_case(&case_of(message_passing(Barrier::None, Barrier::None)));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, FindingKind::Missing);
+        assert!(matches!(findings[0].proof, Proof::CounterExample(_)));
+    }
+
+    #[test]
+    fn minimal_mp_is_all_necessary() {
+        // DMB st + ADDR DEP is already the cheapest verified placement:
+        // nothing is redundant, nothing cheaper substitutes.
+        let findings = analyze_case(&case_of(message_passing(Barrier::DmbSt, Barrier::AddrDep)));
+        assert!(findings.iter().all(|f| f.kind == FindingKind::Necessary));
+        assert_eq!(findings.len(), 2);
+    }
+
+    #[test]
+    fn dsb_mp_is_over_strong_on_both_sides() {
+        let findings = analyze_case(&case_of(message_passing(
+            Barrier::DsbFull,
+            Barrier::DsbFull,
+        )));
+        let over: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::OverStrong)
+            .collect();
+        assert_eq!(over.len(), 2, "both DSBs must downgrade");
+        for f in over {
+            assert!(f.rank_after < f.rank_before);
+            assert_eq!(f.added, 0, "suggestion must not widen");
+            assert!(f.rewritten.is_some());
+        }
+    }
+
+    #[test]
+    fn every_suggestion_carries_a_proof_artifact() {
+        for f in analyze_corpus(&corpus()) {
+            match f.kind {
+                FindingKind::Redundant => {
+                    assert!(matches!(f.proof, Proof::OutcomesEqual { .. }), "{}", f.case);
+                }
+                FindingKind::OverStrong => {
+                    assert!(
+                        matches!(f.proof, Proof::OutcomesPreserved { .. }),
+                        "{}",
+                        f.case
+                    );
+                    assert_eq!(f.added, 0, "{}", f.case);
+                }
+                FindingKind::Missing | FindingKind::Necessary => {
+                    assert!(
+                        matches!(f.proof, Proof::CounterExample(_)),
+                        "{} needs a witness",
+                        f.case
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let cases = corpus();
+        let a: Vec<String> = analyze_corpus(&cases)
+            .iter()
+            .map(|f| format!("{}:{}:{}", f.case, f.site_label(), f.kind.label()))
+            .collect();
+        let b: Vec<String> = analyze_corpus(&cases)
+            .iter()
+            .map(|f| format!("{}:{}:{}", f.case, f.site_label(), f.kind.label()))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,164 @@
+//! Dynamic cross-check: replay a litmus-sized [`Program`] (original and
+//! rewritten) through the cycle-level simulator and report the cycles a
+//! lint suggestion actually saves on each platform profile.
+//!
+//! The static analyzer proves a rewrite *safe*; this module prices it.
+//! Each `wmm` thread becomes a [`SimThread`] that re-issues its body for a
+//! fixed number of iterations (barrier costs are per-execution, so a
+//! single pass would drown in startup noise), one thread per core, and the
+//! machine runs to quiescence. The difference in total machine cycles
+//! between the original and the rewritten program — per
+//! [`PlatformKind`] — is the `saved_*` column of `lint.csv`.
+
+use armbar_barriers::Barrier;
+use armbar_sim::op::{Op, SimThread, ThreadCtx};
+use armbar_sim::{Machine, Platform, PlatformKind};
+use armbar_wmm::{Instr, Program, Src};
+
+/// Locations are mapped to line-disjoint addresses so coherence traffic,
+/// not false sharing, dominates — matching the litmus intent.
+fn loc_addr(loc: u8) -> u64 {
+    0x1000 + u64::from(loc) * 0x80
+}
+
+/// Map one `wmm` instruction to its simulator operation. All litmus loads
+/// are observations, so every load consumes its value (suspending the
+/// thread exactly like the real test harness's assertion reads);
+/// dependency flags map onto `dep_on_last_load`.
+fn op_of(instr: &Instr) -> Option<Op> {
+    match instr {
+        Instr::Load {
+            loc,
+            acquire,
+            addr_dep,
+            ..
+        } => Some(Op::Load {
+            addr: loc_addr(*loc),
+            use_value: true,
+            acquire: *acquire,
+            dep_on_last_load: addr_dep.is_some(),
+        }),
+        Instr::Store {
+            loc,
+            src,
+            release,
+            addr_dep,
+            ctrl_dep,
+        } => {
+            let value = match src {
+                Src::Const(v) | Src::DepConst { value: v, .. } => *v,
+                Src::Reg(_) => 1,
+            };
+            let dep = addr_dep.is_some()
+                || ctrl_dep.is_some()
+                || matches!(src, Src::Reg(_) | Src::DepConst { .. });
+            Some(Op::Store {
+                addr: loc_addr(*loc),
+                value,
+                release: *release,
+                dep_on_last_load: dep,
+            })
+        }
+        Instr::Fence(Barrier::None) => None,
+        Instr::Fence(b) => Some(Op::Fence(*b)),
+    }
+}
+
+/// A thread replaying one litmus thread body `iterations` times.
+struct ReplayThread {
+    ops: Vec<Op>,
+    pos: usize,
+    iterations: u64,
+}
+
+impl ReplayThread {
+    fn new(instrs: &[Instr], iterations: u64) -> ReplayThread {
+        let mut ops: Vec<Op> = instrs.iter().filter_map(op_of).collect();
+        ops.push(Op::IterationMark);
+        ReplayThread {
+            ops,
+            pos: 0,
+            iterations,
+        }
+    }
+}
+
+impl SimThread for ReplayThread {
+    fn next(&mut self, _ctx: &mut ThreadCtx) -> Op {
+        if self.iterations == 0 {
+            return Op::Halt;
+        }
+        let op = self.ops[self.pos];
+        self.pos += 1;
+        if self.pos == self.ops.len() {
+            self.pos = 0;
+            self.iterations -= 1;
+        }
+        op
+    }
+}
+
+/// Total machine cycles to replay every thread of `program` for
+/// `iterations` body repetitions on `platform` (threads on distinct
+/// cores, init values preset).
+#[must_use]
+pub fn replay_cycles(program: &Program, platform: Platform, iterations: u64) -> u64 {
+    let mut m = Machine::new(platform);
+    for (tid, thread) in program.threads.iter().enumerate() {
+        m.add_thread_on(tid, Box::new(ReplayThread::new(&thread.instrs, iterations)));
+    }
+    for &(loc, v) in &program.init {
+        m.preset_memory(loc_addr(loc), v);
+    }
+    let stats = m.run(iterations.saturating_mul(100_000).max(1_000_000));
+    debug_assert!(stats.halted, "litmus replay must quiesce");
+    stats.cycles
+}
+
+/// Cycles saved by `rewritten` relative to `original`, per platform in
+/// [`PlatformKind::ALL`] order. Negative values mean the rewrite is
+/// slower there (possible for STLR — exactly why the advisor attaches
+/// its measure-first caveat).
+#[must_use]
+pub fn saved_cycles(original: &Program, rewritten: &Program, iterations: u64) -> [i64; 4] {
+    let mut out = [0i64; 4];
+    for (i, kind) in PlatformKind::ALL.iter().enumerate() {
+        let base = replay_cycles(original, Platform::of(*kind), iterations);
+        let var = replay_cycles(rewritten, Platform::of(*kind), iterations);
+        out[i] = i64::try_from(base).unwrap_or(i64::MAX) - i64::try_from(var).unwrap_or(i64::MAX);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_wmm::litmus::message_passing;
+
+    #[test]
+    fn replay_quiesces_and_counts_cycles() {
+        let p = message_passing(Barrier::DmbSt, Barrier::DmbLd).program;
+        let c = replay_cycles(&p, Platform::kunpeng916(), 50);
+        assert!(c > 0);
+        // Deterministic.
+        assert_eq!(c, replay_cycles(&p, Platform::kunpeng916(), 50));
+    }
+
+    #[test]
+    fn dropping_a_dsb_saves_cycles_everywhere() {
+        let heavy = message_passing(Barrier::DsbFull, Barrier::DmbLd).program;
+        let light = message_passing(Barrier::DmbSt, Barrier::DmbLd).program;
+        for s in saved_cycles(&heavy, &light, 50) {
+            assert!(s > 0, "DSB full -> DMB st must save cycles, got {s}");
+        }
+    }
+
+    #[test]
+    fn dependency_rewrite_is_no_slower_than_a_fence() {
+        let fence = message_passing(Barrier::DmbSt, Barrier::DmbLd).program;
+        let dep = message_passing(Barrier::DmbSt, Barrier::AddrDep).program;
+        for s in saved_cycles(&fence, &dep, 50) {
+            assert!(s >= 0, "ADDR DEP must not cost more than DMB ld, got {s}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The analyzer's soundness property, fuzzed: for random litmus-sized
+//! programs, every Redundant/Over-strong suggestion — once applied —
+//! yields an outcome set equal to (or a subset of) the original's. The
+//! lint must never widen allowed behaviors.
+
+use proptest::prelude::*;
+
+use armbar_analyze::corpus::LintCase;
+use armbar_analyze::lint::{analyze_case, FindingKind};
+use armbar_barriers::Barrier;
+use armbar_wmm::explore::explore;
+use armbar_wmm::{Instr, MemoryModel, Program, Thread};
+
+/// Closed instruction generator over 3 locations / 3 registers, biased
+/// toward barrier-carrying shapes so sites actually appear.
+fn gen_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0u8..3, 0u8..3).prop_map(|(r, l)| Instr::load(r, l)),
+        (0u8..3, 0u8..3).prop_map(|(r, l)| Instr::load_acq(r, l)),
+        (0u8..3, 0u8..3, 0u8..3).prop_map(|(r, l, d)| Instr::load_addr_dep(r, l, d)),
+        (0u8..3, 1u64..4).prop_map(|(l, v)| Instr::store(l, v)),
+        (0u8..3, 1u64..4).prop_map(|(l, v)| Instr::store_rel(l, v)),
+        (0u8..3, 1u64..4, 0u8..3).prop_map(|(l, v, d)| Instr::store_data_dep(l, v, d)),
+        (0u8..3, 1u64..4, 0u8..3).prop_map(|(l, v, d)| Instr::store_ctrl_dep(l, v, d)),
+        Just(Instr::Fence(Barrier::DmbFull)),
+        Just(Instr::Fence(Barrier::DmbSt)),
+        Just(Instr::Fence(Barrier::DmbLd)),
+        Just(Instr::Fence(Barrier::DsbFull)),
+        Just(Instr::Fence(Barrier::DsbSt)),
+        Just(Instr::Fence(Barrier::CtrlIsb)),
+    ]
+}
+
+fn gen_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(prop::collection::vec(gen_instr(), 1..5), 1..3).prop_map(|ts| Program {
+        threads: ts.into_iter().map(|instrs| Thread { instrs }).collect(),
+        init: vec![],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline soundness property: applied suggestions never widen.
+    #[test]
+    fn suggestions_never_widen_allowed_behaviors(p in gen_program()) {
+        let base = explore(&p, MemoryModel::ArmWmm);
+        let case = LintCase {
+            name: "fuzz".to_string(),
+            program: p,
+            forbidden: None,
+        };
+        for f in analyze_case(&case) {
+            let Some(rewritten) = &f.rewritten else { continue };
+            let got = explore(rewritten, MemoryModel::ArmWmm);
+            let diff = base.diff(&got);
+            prop_assert!(
+                diff.added.is_empty(),
+                "{:?} suggestion at {} widened the outcome set",
+                f.kind,
+                f.site_label()
+            );
+            if f.kind == FindingKind::Redundant {
+                prop_assert!(
+                    diff.is_equal(),
+                    "redundant verdict at {} must be outcome-preserving exactly",
+                    f.site_label()
+                );
+            }
+        }
+    }
+
+    /// Verdict bookkeeping stays consistent with the attached artifacts:
+    /// counts match a fresh exploration and kinds partition correctly.
+    #[test]
+    fn finding_counts_match_fresh_exploration(p in gen_program()) {
+        let base = explore(&p, MemoryModel::ArmWmm);
+        let case = LintCase { name: "fuzz".to_string(), program: p, forbidden: None };
+        for f in analyze_case(&case) {
+            prop_assert_eq!(f.outcomes_base, base.len());
+            prop_assert_eq!(f.states_base, base.states_visited);
+            match f.kind {
+                FindingKind::Redundant | FindingKind::OverStrong => {
+                    prop_assert_eq!(f.added, 0);
+                    prop_assert!(f.rewritten.is_some());
+                    prop_assert!(f.rank_after <= f.rank_before);
+                }
+                FindingKind::Necessary => {
+                    prop_assert!(f.added > 0, "necessary means removal widens");
+                    prop_assert!(f.rewritten.is_none());
+                }
+                FindingKind::Missing => prop_assert!(false, "no intent given"),
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The advisor exercised over the full Table-3 cross-product: every
+//! `(from, to, multiplicity, deps_feasible)` cell — 3 x 3 x 2 x 2 = 36 —
+//! with the preferred choice, the cost ordering of preferred and
+//! alternative approaches, semantic sufficiency, and the STLR/LDAR
+//! footnote caveats pinned per cell.
+
+use armbar_barriers::advisor::Multiplicity;
+use armbar_barriers::{cost_rank, recommend, AccessType, Approach, Barrier, OrderReq};
+
+const FROMS: [Option<AccessType>; 3] = [Some(AccessType::Load), Some(AccessType::Store), None];
+const TOS: [Option<AccessType>; 3] = [Some(AccessType::Load), Some(AccessType::Store), None];
+const MULTS: [Multiplicity; 2] = [Multiplicity::One, Multiplicity::Many];
+
+fn cells() -> impl Iterator<Item = OrderReq> {
+    FROMS.into_iter().flat_map(|from| {
+        TOS.into_iter().flat_map(move |to| {
+            MULTS.into_iter().flat_map(move |m| {
+                [true, false].into_iter().map(move |deps| OrderReq {
+                    from,
+                    to,
+                    to_multiplicity: m,
+                    deps_feasible: deps,
+                })
+            })
+        })
+    })
+}
+
+fn barrier_of(a: &Approach) -> Barrier {
+    match a {
+        Approach::Use(b) | Approach::MeasureAgainst { candidate: b, .. } => *b,
+    }
+}
+
+/// Expand an optional side to the concrete accesses it must cover (the
+/// table's `Any` row/column is the worst case of its members).
+fn expand(side: Option<AccessType>) -> &'static [AccessType] {
+    match side {
+        Some(AccessType::Load) => &[AccessType::Load],
+        Some(AccessType::Store) => &[AccessType::Store],
+        None => &AccessType::ALL,
+    }
+}
+
+#[test]
+fn cross_product_is_exhaustive() {
+    assert_eq!(cells().count(), 36);
+}
+
+#[test]
+fn preferred_choice_matches_the_paper_per_cell() {
+    for req in cells() {
+        let best = recommend(req).best();
+        let expected = match (req.from, req.to, req.deps_feasible) {
+            // Load-rooted with a constructible dependency: the free idiom.
+            (Some(AccessType::Load), _, true) => Approach::Use(Barrier::AddrDep),
+            // Load-rooted without one: LDAR, still off the bus.
+            (Some(AccessType::Load), _, false) => Approach::Use(Barrier::Ldar),
+            // Store-to-store(s): the cheapest adequate barrier.
+            (Some(AccessType::Store), Some(AccessType::Store), _) => Approach::Use(Barrier::DmbSt),
+            // Everything else pays for DMB full.
+            _ => Approach::Use(Barrier::DmbFull),
+        };
+        assert_eq!(best, expected, "best approach for {req:?}");
+    }
+}
+
+#[test]
+fn ldar_and_dmb_ld_back_up_every_load_rooted_cell() {
+    for req in cells() {
+        let rec = recommend(req);
+        let has_ldar = rec.preferred.contains(&Approach::Use(Barrier::Ldar));
+        let has_dmb_ld = rec.preferred.contains(&Approach::Use(Barrier::DmbLd));
+        if req.from == Some(AccessType::Load) {
+            assert!(has_ldar && has_dmb_ld, "one-way fallbacks missing: {req:?}");
+            // The LDAR caveat: with no constructible dependency it is the
+            // outright best; with one it only trails the free idioms.
+            let ldar_pos = rec
+                .preferred
+                .iter()
+                .position(|a| *a == Approach::Use(Barrier::Ldar))
+                .unwrap();
+            if req.deps_feasible {
+                assert!(ldar_pos > 0, "dependencies must outrank LDAR: {req:?}");
+                for a in &rec.preferred[..ldar_pos] {
+                    assert!(barrier_of(a).is_dependency(), "{req:?}");
+                }
+            } else {
+                assert_eq!(ldar_pos, 0, "{req:?}");
+            }
+        } else {
+            assert!(
+                !has_ldar && !has_dmb_ld,
+                "one-way approaches cannot order {req:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stlr_caveat_appears_exactly_where_the_footnote_says() {
+    // STLR is offered only as a measured candidate, only when the later
+    // side is a single store and the earlier side actually needs a full
+    // barrier (the `Any -> Store` cell; `Store -> Store` already has the
+    // cheaper DMB st, and load-rooted cells never pay for the bus).
+    for req in cells() {
+        let rec = recommend(req);
+        let measured: Vec<&Approach> = rec
+            .preferred
+            .iter()
+            .chain(&rec.alternatives)
+            .filter(|a| matches!(a, Approach::MeasureAgainst { .. }))
+            .collect();
+        let expect_stlr = req.from.is_none()
+            && req.to == Some(AccessType::Store)
+            && req.to_multiplicity == Multiplicity::One;
+        if expect_stlr {
+            assert_eq!(
+                measured,
+                [&Approach::MeasureAgainst {
+                    candidate: Barrier::Stlr,
+                    fallback: Barrier::DmbFull,
+                }],
+                "{req:?}"
+            );
+        } else {
+            assert!(measured.is_empty(), "unexpected measured caveat: {req:?}");
+        }
+    }
+}
+
+#[test]
+fn alternatives_are_costlier_and_sorted_by_cost_rank() {
+    for req in cells() {
+        let rec = recommend(req);
+        let best_cost = cost_rank(barrier_of(&rec.best()));
+        assert!(!rec.alternatives.is_empty(), "{req:?}");
+        let costs: Vec<_> = rec
+            .alternatives
+            .iter()
+            .map(|a| cost_rank(barrier_of(a)))
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{req:?}: {costs:?}");
+        assert!(
+            costs.iter().all(|c| *c > best_cost),
+            "alternatives must cost more than the best choice: {req:?}"
+        );
+        // Within the preferred list, the constructible dependencies (all
+        // cheaper than any instruction) come first and are cost-sorted.
+        let deps: Vec<_> = rec
+            .preferred
+            .iter()
+            .take_while(|a| barrier_of(a).is_dependency())
+            .map(|a| cost_rank(barrier_of(a)))
+            .collect();
+        assert!(deps.windows(2).all(|w| w[0] <= w[1]), "{req:?}");
+        assert!(
+            rec.preferred[deps.len()..]
+                .iter()
+                .all(|a| !barrier_of(a).is_dependency()),
+            "dependencies must lead the preferred list: {req:?}"
+        );
+        if !req.deps_feasible || req.from != Some(AccessType::Load) {
+            assert!(
+                deps.is_empty(),
+                "unconstructible dependency offered: {req:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_offered_approach_is_semantically_sufficient() {
+    for req in cells() {
+        let rec = recommend(req);
+        for a in rec.preferred.iter().chain(&rec.alternatives) {
+            let b = barrier_of(a);
+            for &e in expand(req.from) {
+                for &l in expand(req.to) {
+                    assert!(
+                        b.orders(e, l),
+                        "{b} offered for {req:?} misses {e:?}->{l:?}"
+                    );
+                }
+            }
+        }
+        assert!(!rec.rationale.is_empty());
+    }
+}
+
+#[test]
+fn dsb_and_isb_alone_are_never_offered_as_preferred() {
+    for req in cells() {
+        for a in recommend(req).preferred {
+            assert!(
+                !matches!(
+                    barrier_of(&a),
+                    Barrier::DsbFull | Barrier::DsbSt | Barrier::DsbLd | Barrier::Isb
+                ),
+                "over-strong preferred approach for {req:?}"
+            );
+        }
+    }
+}

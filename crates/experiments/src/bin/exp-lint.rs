@@ -1,0 +1,8 @@
+//! Run `armbar-lint` over the whole corpus through the sweep engine and
+//! run cache, writing every witness-backed finding (with per-platform
+//! simulated cycle savings) to `results/lint.csv` plus a per-verdict
+//! summary to `results/lint_summary.csv`.
+
+fn main() {
+    assert!(armbar_experiments::run_experiment("lint"));
+}

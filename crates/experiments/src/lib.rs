@@ -19,6 +19,7 @@ pub mod cache;
 pub mod extension;
 pub mod figures;
 pub mod jobs;
+pub mod lint;
 pub mod report;
 pub mod sweep;
 
@@ -57,6 +58,7 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
         "ext-mca" => extension::ext_mca(ctx),
         "attrib" => figures::attrib(ctx),
         "battery" => figures::battery(ctx),
+        "lint" => lint::lint(ctx),
         _ => return false,
     };
     for t in &tables {
@@ -69,11 +71,11 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
 }
 
 /// Every experiment id, in paper order (plus the stall-attribution
-/// decomposition and the litmus battery report).
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+/// decomposition, the litmus battery report, and the barrier lint sweep).
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig6a", "fig6b", "fig6c",
     "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca", "attrib",
-    "battery",
+    "battery", "lint",
 ];
 
 /// When `ARMBAR_TRACE=<path>` is set, rerun the attribution message-passing

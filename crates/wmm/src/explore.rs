@@ -68,6 +68,89 @@ impl OutcomeSet {
     pub fn all(&self, pred: impl Fn(&Outcome) -> bool) -> bool {
         self.outcomes.iter().all(pred)
     }
+
+    /// Iterate the outcomes in *canonical* order: sorted by [`Outcome`]'s
+    /// derived `Ord`, with no duplicates. This ordering is a stable public
+    /// contract — lint reports and CSVs serialize outcomes in iteration
+    /// order and must be byte-identical across worker counts, hashers, and
+    /// reruns ([`canonicalize`](Self::canonicalize) enforces it).
+    pub fn iter(&self) -> std::slice::Iter<'_, Outcome> {
+        self.outcomes.iter()
+    }
+
+    /// Number of distinct outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True when no outcome is reachable (impossible for a well-formed
+    /// program, but keeps clippy's `len_without_is_empty` honest).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Restore the canonical sorted + deduplicated order. [`explore`]
+    /// always returns canonical sets; call this after constructing an
+    /// `OutcomeSet` by hand.
+    pub fn canonicalize(&mut self) {
+        self.outcomes.sort();
+        self.outcomes.dedup();
+    }
+
+    /// Set difference against `other` in both directions.
+    ///
+    /// `added` holds outcomes reachable in `other` but not in `self`;
+    /// `removed` holds outcomes reachable in `self` but not in `other`.
+    /// Both sides are in canonical order, so a diff renders identically
+    /// on every run. Two sets are outcome-equivalent iff both sides are
+    /// empty (`states_visited` is diagnostic only and never compared).
+    #[must_use]
+    pub fn diff(&self, other: &OutcomeSet) -> OutcomeDiff {
+        let mine: HashSet<&Outcome> = self.outcomes.iter().collect();
+        let theirs: HashSet<&Outcome> = other.outcomes.iter().collect();
+        OutcomeDiff {
+            added: other
+                .outcomes
+                .iter()
+                .filter(|o| !mine.contains(o))
+                .cloned()
+                .collect(),
+            removed: self
+                .outcomes
+                .iter()
+                .filter(|o| !theirs.contains(o))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a OutcomeSet {
+    type Item = &'a Outcome;
+    type IntoIter = std::slice::Iter<'a, Outcome>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// The two-sided difference of a pair of [`OutcomeSet`]s
+/// (see [`OutcomeSet::diff`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeDiff {
+    /// Outcomes the second set reaches that the first does not.
+    pub added: Vec<Outcome>,
+    /// Outcomes the first set reaches that the second does not.
+    pub removed: Vec<Outcome>,
+}
+
+impl OutcomeDiff {
+    /// True when the two sets hold exactly the same outcomes.
+    #[must_use]
+    pub fn is_equal(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -174,12 +257,12 @@ fn explore_with_hasher<S: BuildHasher + Default>(
         }
     }
 
-    let mut sorted: Vec<Outcome> = outcomes.into_iter().collect();
-    sorted.sort();
-    OutcomeSet {
-        outcomes: sorted,
+    let mut set = OutcomeSet {
+        outcomes: outcomes.into_iter().collect(),
         states_visited: seen.len(),
-    }
+    };
+    set.canonicalize();
+    set
 }
 
 #[cfg(test)]
@@ -304,5 +387,88 @@ mod tests {
         let a = explore(&p, MemoryModel::ArmWmm);
         let b = explore(&p, MemoryModel::ArmWmm);
         assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    /// Regression lock for the canonical-iteration contract that lint
+    /// diffing and `lint.csv` byte-stability depend on: iteration order is
+    /// sorted, duplicate-free, and identical across hashers and repeats.
+    #[test]
+    fn iteration_order_is_canonical_across_hashers_and_reruns() {
+        let p = prog(vec![
+            vec![Instr::store(0, 1), Instr::load(0, 1), Instr::store(2, 5)],
+            vec![Instr::store(1, 1), Instr::load(0, 0), Instr::load(1, 2)],
+        ]);
+        let fx = explore(&p, MemoryModel::ArmWmm);
+        for _ in 0..3 {
+            // SipHash is randomly keyed per process table, so equality here
+            // shows the ordering does not depend on hash-bucket order.
+            let sip = explore_with_sip_hasher(&p, MemoryModel::ArmWmm);
+            assert_eq!(fx, sip, "hasher choice changed the canonical set");
+        }
+        let listed: Vec<&Outcome> = fx.iter().collect();
+        let mut resorted = listed.clone();
+        resorted.sort();
+        assert_eq!(listed, resorted, "iteration order must be sorted");
+        resorted.dedup();
+        assert_eq!(listed.len(), resorted.len(), "no duplicates");
+        assert_eq!(fx.len(), listed.len());
+        assert!(!fx.is_empty());
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups_handmade_sets() {
+        let o1 = Outcome {
+            regs: vec![vec![(0, 2)]],
+            memory: vec![],
+        };
+        let o0 = Outcome {
+            regs: vec![vec![(0, 1)]],
+            memory: vec![],
+        };
+        let mut set = OutcomeSet {
+            outcomes: vec![o1.clone(), o0.clone(), o1.clone()],
+            states_visited: 0,
+        };
+        set.canonicalize();
+        assert_eq!(set.outcomes, vec![o0, o1]);
+    }
+
+    #[test]
+    fn diff_reports_both_directions() {
+        // MP without barriers vs MP with both barriers: the relaxed
+        // outcome appears only on the weak side.
+        let weak = prog(vec![
+            vec![Instr::store(0, 23), Instr::store(1, 1)],
+            vec![Instr::load(0, 1), Instr::load(1, 0)],
+        ]);
+        let strong = prog(vec![
+            vec![
+                Instr::store(0, 23),
+                Instr::Fence(Barrier::DmbSt),
+                Instr::store(1, 1),
+            ],
+            vec![
+                Instr::load(0, 1),
+                Instr::Fence(Barrier::DmbLd),
+                Instr::load(1, 0),
+            ],
+        ]);
+        let w = explore(&weak, MemoryModel::ArmWmm);
+        let s = explore(&strong, MemoryModel::ArmWmm);
+        let d = s.diff(&w);
+        assert!(!d.is_equal());
+        assert!(
+            d.removed.is_empty(),
+            "weak side reaches all strong outcomes"
+        );
+        assert!(d
+            .added
+            .iter()
+            .any(|o| o.reg(1, 0) == 1 && o.reg(1, 1) != 23));
+        // Reflexive diff is empty; reverse diff swaps the sides.
+        assert!(w.diff(&w).is_equal());
+        let rev = w.diff(&s);
+        assert_eq!(rev.removed, d.added);
+        assert!(rev.added.is_empty());
     }
 }

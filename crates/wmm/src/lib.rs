@@ -45,8 +45,10 @@ pub mod battery;
 pub mod explore;
 pub mod litmus;
 pub mod model;
+pub mod mutate;
 pub mod witness;
 
-pub use explore::{explore, Outcome, OutcomeSet};
+pub use explore::{explore, Outcome, OutcomeDiff, OutcomeSet};
 pub use litmus::LitmusTest;
 pub use model::{Instr, MemoryModel, Program, Src, Thread};
+pub use mutate::{barrier_sites, remove_site, replace_fence, BarrierSite, SiteKind};

@@ -1,0 +1,425 @@
+//! Program mutation: enumerate the order-preserving *sites* of a
+//! [`Program`], delete them, or substitute a different approach.
+//!
+//! This is the surgical half of `armbar-lint`: the analyzer proposes a
+//! mutation (drop a barrier, downgrade `DSB` to `DMB st`, turn a
+//! `DMB full` into a bogus address dependency) and the explorer then
+//! compares the mutated program's [`OutcomeSet`](crate::explore::OutcomeSet)
+//! against the original's, so every proposal ships with a machine-checked
+//! verdict instead of a plausible-sounding claim.
+//!
+//! Removing a site only ever *relaxes* the per-thread ordering relation —
+//! a fence stops pivoting, a flag stops ordering, a dependency edge
+//! disappears — so the mutated outcome set is always a superset of the
+//! original's. The lint leans on that monotonicity: a removal is safe
+//! exactly when the sets are *equal*, and a substitution is safe exactly
+//! when it adds no outcome.
+
+use armbar_barriers::Barrier;
+
+use crate::model::{Instr, Program, Src};
+
+/// What kind of order-preserving construct sits at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// A standalone [`Instr::Fence`] carrying this barrier.
+    Fence(Barrier),
+    /// The `acquire` flag of a load (`LDAR`).
+    Acquire,
+    /// The `release` flag of a store (`STLR`).
+    Release,
+    /// A bogus address dependency (`addr_dep`) on a load or store.
+    AddrDep,
+    /// A bogus data dependency (a [`Src::DepConst`] store operand).
+    DataDep,
+    /// A control dependency (`ctrl_dep`) on a store.
+    CtrlDep,
+}
+
+impl SiteKind {
+    /// The [`Barrier`] taxonomy entry this site realizes — the thing whose
+    /// cost the advisor and the cost ranking reason about.
+    #[must_use]
+    pub fn as_barrier(self) -> Barrier {
+        match self {
+            SiteKind::Fence(b) => b,
+            SiteKind::Acquire => Barrier::Ldar,
+            SiteKind::Release => Barrier::Stlr,
+            SiteKind::AddrDep => Barrier::AddrDep,
+            SiteKind::DataDep => Barrier::DataDep,
+            SiteKind::CtrlDep => Barrier::Ctrl,
+        }
+    }
+}
+
+/// One order-preserving site: thread `tid`, instruction `idx`, and what
+/// kind of construct lives there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BarrierSite {
+    /// Thread index.
+    pub tid: usize,
+    /// Instruction index in that thread's program order.
+    pub idx: usize,
+    /// The construct at that instruction.
+    pub kind: SiteKind,
+}
+
+impl BarrierSite {
+    /// Short human-readable label, e.g. `T0#1 DMB full`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!("T{}#{} {}", self.tid, self.idx, self.kind.as_barrier())
+    }
+}
+
+/// Every order-preserving site of `program`, in deterministic
+/// (thread-major, program-order) order. One instruction can host several
+/// sites (e.g. a store with both an address and a control dependency).
+#[must_use]
+pub fn barrier_sites(program: &Program) -> Vec<BarrierSite> {
+    let mut sites = Vec::new();
+    for (tid, thread) in program.threads.iter().enumerate() {
+        for (idx, instr) in thread.instrs.iter().enumerate() {
+            let mut push = |kind| sites.push(BarrierSite { tid, idx, kind });
+            match instr {
+                Instr::Fence(b) => push(SiteKind::Fence(*b)),
+                Instr::Load {
+                    acquire, addr_dep, ..
+                } => {
+                    if *acquire {
+                        push(SiteKind::Acquire);
+                    }
+                    if addr_dep.is_some() {
+                        push(SiteKind::AddrDep);
+                    }
+                }
+                Instr::Store {
+                    src,
+                    release,
+                    addr_dep,
+                    ctrl_dep,
+                    ..
+                } => {
+                    if *release {
+                        push(SiteKind::Release);
+                    }
+                    if addr_dep.is_some() {
+                        push(SiteKind::AddrDep);
+                    }
+                    if matches!(src, Src::DepConst { .. }) {
+                        push(SiteKind::DataDep);
+                    }
+                    if ctrl_dep.is_some() {
+                        push(SiteKind::CtrlDep);
+                    }
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// `program` with the construct at `site` deleted: the fence instruction
+/// removed, or the flag/dependency cleared. Values, locations, and every
+/// other ordering construct are untouched, so outcomes of the mutated
+/// program are directly comparable to the original's.
+///
+/// # Panics
+///
+/// Panics when `site` does not name a construct of `program` (sites must
+/// come from [`barrier_sites`] on the same program).
+#[must_use]
+pub fn remove_site(program: &Program, site: BarrierSite) -> Program {
+    let mut p = program.clone();
+    let instr = &mut p.threads[site.tid].instrs[site.idx];
+    match (site.kind, &mut *instr) {
+        (SiteKind::Fence(b), Instr::Fence(f)) => {
+            assert_eq!(*f, b, "site names a different fence");
+            p.threads[site.tid].instrs.remove(site.idx);
+        }
+        (SiteKind::Acquire, Instr::Load { acquire, .. }) => {
+            assert!(*acquire, "site names a non-acquire load");
+            *acquire = false;
+        }
+        (SiteKind::Release, Instr::Store { release, .. }) => {
+            assert!(*release, "site names a non-release store");
+            *release = false;
+        }
+        (SiteKind::AddrDep, Instr::Load { addr_dep, .. })
+        | (SiteKind::AddrDep, Instr::Store { addr_dep, .. }) => {
+            assert!(addr_dep.is_some(), "site names a dep-free access");
+            *addr_dep = None;
+        }
+        (SiteKind::DataDep, Instr::Store { src, .. }) => {
+            let Src::DepConst { value, .. } = *src else {
+                panic!("site names a store without a bogus data dependency");
+            };
+            *src = Src::Const(value);
+        }
+        (SiteKind::CtrlDep, Instr::Store { ctrl_dep, .. }) => {
+            assert!(ctrl_dep.is_some(), "site names a ctrl-free store");
+            *ctrl_dep = None;
+        }
+        (kind, instr) => panic!("site kind {kind:?} does not match {instr:?}"),
+    }
+    p
+}
+
+/// The nearest load *before* `idx` in the thread (its destination register
+/// is the natural root for a constructed dependency).
+fn preceding_load(program: &Program, tid: usize, idx: usize) -> Option<(usize, u8)> {
+    program.threads[tid].instrs[..idx]
+        .iter()
+        .enumerate()
+        .rev()
+        .find_map(|(i, instr)| match instr {
+            Instr::Load { reg, .. } => Some((i, *reg)),
+            _ => None,
+        })
+}
+
+/// `program` with the fence at `site` replaced by `approach`.
+///
+/// * Standalone barrier instructions (and `CTRL+ISB`, which the model
+///   carries as a fence) substitute in place; [`Barrier::None`] deletes the
+///   fence.
+/// * `LDAR` annotates the nearest preceding load of the same thread.
+/// * `STLR` annotates the next following store of the same thread.
+/// * The dependency idioms consume the nearest preceding load's register:
+///   `ADDR DEP` feeds the next following access's address, `DATA DEP` the
+///   next following store's value, `CTRL` the next following store's
+///   branch condition.
+///
+/// Returns `None` when the rewrite is not constructible in this thread
+/// shape (no preceding load, no following store, the operand is already
+/// dependency-carrying, …) — the advisor may suggest approaches a
+/// particular program cannot express, and the lint simply skips those.
+///
+/// # Panics
+///
+/// Panics when `site` is not a fence site of `program`.
+#[must_use]
+pub fn replace_fence(program: &Program, site: BarrierSite, approach: Barrier) -> Option<Program> {
+    let SiteKind::Fence(orig) = site.kind else {
+        panic!("replace_fence requires a fence site, got {:?}", site.kind);
+    };
+    assert!(
+        matches!(
+            program.threads[site.tid].instrs.get(site.idx),
+            Some(Instr::Fence(f)) if *f == orig
+        ),
+        "site does not name a fence of this program"
+    );
+    if approach == Barrier::None {
+        return Some(remove_site(program, site));
+    }
+    if Barrier::INSTRUCTIONS.contains(&approach) || approach == Barrier::CtrlIsb {
+        let mut p = program.clone();
+        p.threads[site.tid].instrs[site.idx] = Instr::Fence(approach);
+        return Some(p);
+    }
+
+    // Access-attached approaches: rewrite a neighbour, then drop the fence.
+    let mut p = program.clone();
+    let thread = &mut p.threads[site.tid];
+    match approach {
+        Barrier::Ldar => {
+            let (i, _) = preceding_load(program, site.tid, site.idx)?;
+            let Instr::Load { acquire, .. } = &mut thread.instrs[i] else {
+                unreachable!("preceding_load returns loads");
+            };
+            if *acquire {
+                return None;
+            }
+            *acquire = true;
+        }
+        Barrier::Stlr => {
+            let i = thread.instrs[site.idx + 1..]
+                .iter()
+                .position(|instr| matches!(instr, Instr::Store { .. }))
+                .map(|off| site.idx + 1 + off)?;
+            let Instr::Store { release, .. } = &mut thread.instrs[i] else {
+                unreachable!("position matched a store");
+            };
+            if *release {
+                return None;
+            }
+            *release = true;
+        }
+        Barrier::AddrDep | Barrier::DataDep | Barrier::Ctrl => {
+            let (_, reg) = preceding_load(program, site.tid, site.idx)?;
+            let want_store = approach != Barrier::AddrDep;
+            let i = thread.instrs[site.idx + 1..]
+                .iter()
+                .position(|instr| match instr {
+                    Instr::Store { .. } => true,
+                    Instr::Load { .. } => !want_store,
+                    Instr::Fence(_) => false,
+                })
+                .map(|off| site.idx + 1 + off)?;
+            match (&mut thread.instrs[i], approach) {
+                (Instr::Load { addr_dep, .. }, Barrier::AddrDep)
+                | (Instr::Store { addr_dep, .. }, Barrier::AddrDep) => {
+                    if addr_dep.is_some() {
+                        return None;
+                    }
+                    *addr_dep = Some(reg);
+                }
+                (Instr::Store { src, .. }, Barrier::DataDep) => {
+                    let Src::Const(value) = *src else {
+                        return None;
+                    };
+                    *src = Src::DepConst { reg, value };
+                }
+                (Instr::Store { ctrl_dep, .. }, Barrier::Ctrl) => {
+                    if ctrl_dep.is_some() {
+                        return None;
+                    }
+                    *ctrl_dep = Some(reg);
+                }
+                _ => return None,
+            }
+        }
+        _ => return None,
+    }
+    p.threads[site.tid].instrs.remove(site.idx);
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use crate::litmus::message_passing;
+    use crate::model::{MemoryModel, Thread};
+
+    fn mp_fixed() -> Program {
+        message_passing(Barrier::DmbSt, Barrier::DmbLd).program
+    }
+
+    #[test]
+    fn sites_enumerate_in_program_order() {
+        let p = mp_fixed();
+        let sites = barrier_sites(&p);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].kind, SiteKind::Fence(Barrier::DmbSt));
+        assert_eq!((sites[0].tid, sites[0].idx), (0, 1));
+        assert_eq!(sites[1].kind, SiteKind::Fence(Barrier::DmbLd));
+        assert_eq!(sites[1].describe(), "T1#1 DMB ld");
+    }
+
+    #[test]
+    fn flag_and_dep_sites_are_found() {
+        let p = message_passing(Barrier::Stlr, Barrier::Ldar).program;
+        let kinds: Vec<SiteKind> = barrier_sites(&p).iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SiteKind::Release, SiteKind::Acquire]);
+
+        let t = Thread {
+            instrs: vec![Instr::load(0, 0), Instr::store_data_dep(1, 9, 0)],
+        };
+        let p = Program {
+            threads: vec![t],
+            init: vec![],
+        };
+        let kinds: Vec<SiteKind> = barrier_sites(&p).iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SiteKind::DataDep]);
+    }
+
+    #[test]
+    fn removal_only_relaxes() {
+        // Dropping any site of the fixed MP yields a superset of outcomes.
+        let p = mp_fixed();
+        let base = explore(&p, MemoryModel::ArmWmm);
+        for site in barrier_sites(&p) {
+            let cut = remove_site(&p, site);
+            let got = explore(&cut, MemoryModel::ArmWmm);
+            let diff = base.diff(&got);
+            assert!(
+                diff.removed.is_empty(),
+                "removing {} lost outcomes",
+                site.describe()
+            );
+            assert!(
+                !diff.added.is_empty(),
+                "both MP barriers are necessary, removing {} must widen",
+                site.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn remove_clears_flags_and_deps() {
+        let p = message_passing(Barrier::Stlr, Barrier::Ldar).program;
+        for site in barrier_sites(&p) {
+            let cut = remove_site(&p, site);
+            assert!(
+                barrier_sites(&cut).len() < barrier_sites(&p).len(),
+                "site count must drop"
+            );
+            // Instruction count is unchanged for flag sites.
+            assert_eq!(cut.threads[site.tid].instrs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn replace_fence_with_weaker_instruction() {
+        let p = message_passing(Barrier::DsbFull, Barrier::DmbLd).program;
+        let site = barrier_sites(&p)[0];
+        let q = replace_fence(&p, site, Barrier::DmbSt).expect("instruction swap");
+        assert!(matches!(
+            q.threads[0].instrs[1],
+            Instr::Fence(Barrier::DmbSt)
+        ));
+        // DSB full -> DMB st preserves the forbidden set for MP's producer.
+        let base = explore(&p, MemoryModel::ArmWmm);
+        let swapped = explore(&q, MemoryModel::ArmWmm);
+        assert_eq!(base, swapped);
+    }
+
+    #[test]
+    fn replace_fence_with_addr_dep_rewrites_consumer() {
+        let p = message_passing(Barrier::DmbSt, Barrier::DmbFull).program;
+        let site = barrier_sites(&p)[1];
+        let q = replace_fence(&p, site, Barrier::AddrDep).expect("dep constructible");
+        // Fence gone, data load now address-depends on the flag load.
+        assert_eq!(q.threads[1].instrs.len(), 2);
+        assert!(matches!(
+            q.threads[1].instrs[1],
+            Instr::Load {
+                addr_dep: Some(0),
+                ..
+            }
+        ));
+        let base = explore(&p, MemoryModel::ArmWmm);
+        let dep = explore(&q, MemoryModel::ArmWmm);
+        assert!(base.diff(&dep).added.is_empty(), "dep must not widen");
+    }
+
+    #[test]
+    fn replace_fence_ldar_and_stlr() {
+        let p = message_passing(Barrier::DmbSt, Barrier::DmbLd).program;
+        let sites = barrier_sites(&p);
+        let q = replace_fence(&p, sites[1], Barrier::Ldar).expect("consumer has a load");
+        assert!(matches!(
+            q.threads[1].instrs[0],
+            Instr::Load { acquire: true, .. }
+        ));
+        let q = replace_fence(&p, sites[0], Barrier::Stlr).expect("producer has a store");
+        assert!(matches!(
+            q.threads[0].instrs[1],
+            Instr::Store { release: true, .. }
+        ));
+        // Producer side has no preceding load: dependencies and LDAR are
+        // not constructible there.
+        assert!(replace_fence(&p, sites[0], Barrier::AddrDep).is_none());
+        assert!(replace_fence(&p, sites[0], Barrier::Ldar).is_none());
+    }
+
+    #[test]
+    fn replace_fence_none_removes() {
+        let p = mp_fixed();
+        let site = barrier_sites(&p)[0];
+        let q = replace_fence(&p, site, Barrier::None).expect("removal");
+        assert_eq!(q.threads[0].instrs.len(), 2);
+    }
+}
