@@ -116,6 +116,11 @@ pub struct Finding {
     pub states_base: usize,
     /// DFS states after the mutation (base when none).
     pub states_after: usize,
+    /// Subtrees the explorer pruned on the original program (sleep-set
+    /// DPOR skips + visited-set hits; deterministic, like `states_base`).
+    pub pruned_base: usize,
+    /// Subtrees pruned on the mutated program (base when none).
+    pub pruned_after: usize,
     /// The artifact that proves the verdict.
     pub proof: Proof,
     /// The program with the suggestion applied (redundant/over-strong
@@ -210,12 +215,24 @@ fn cheaper_candidates(req: OrderReq, orig: Barrier) -> Vec<(Barrier, bool)> {
     out
 }
 
+/// The exploration backend `analyze_case_with` runs: same signature as
+/// [`explore`]. Benchmarks pass [`armbar_wmm::explore_oracle`] to price
+/// the whole pipeline on the pre-DPOR explorer.
+pub type ExploreFn = fn(&Program, MemoryModel) -> armbar_wmm::OutcomeSet;
+
 /// Analyze one case: every site classified, plus the case-level missing
-/// verdict, in deterministic (site, then kind) order.
+/// verdict, in deterministic (site, then kind) order. Uses the default
+/// (memoized DPOR) explorer.
 #[must_use]
 pub fn analyze_case(case: &LintCase) -> Vec<Finding> {
+    analyze_case_with(case, explore)
+}
+
+/// [`analyze_case`] with an explicit exploration backend.
+#[must_use]
+pub fn analyze_case_with(case: &LintCase, explorer: ExploreFn) -> Vec<Finding> {
     let model = MemoryModel::ArmWmm;
-    let base = explore(&case.program, model);
+    let base = explorer(&case.program, model);
     let mut findings = Vec::new();
 
     // Case-level: is the forbidden intent reachable right now?
@@ -223,6 +240,11 @@ pub fn analyze_case(case: &LintCase) -> Vec<Finding> {
         if base.any(|o| forbidden(o)) {
             let w = find_witness(&case.program, model, |o| forbidden(o))
                 .expect("explorer says reachable, witness search must agree");
+            debug_assert_eq!(
+                w.replay(&case.program, model).as_ref(),
+                Some(&w.outcome),
+                "missing-ordering witness must replay"
+            );
             findings.push(Finding {
                 case: case.name.clone(),
                 site: None,
@@ -238,6 +260,8 @@ pub fn analyze_case(case: &LintCase) -> Vec<Finding> {
                 removed: 0,
                 states_base: base.states_visited,
                 states_after: base.states_visited,
+                pruned_base: base.states_pruned,
+                pruned_after: base.states_pruned,
                 proof: Proof::CounterExample(w),
                 rewritten: None,
             });
@@ -247,7 +271,7 @@ pub fn analyze_case(case: &LintCase) -> Vec<Finding> {
     for site in barrier_sites(&case.program) {
         let orig = site.kind.as_barrier();
         let cut = remove_site(&case.program, site);
-        let cut_set = explore(&cut, model);
+        let cut_set = explorer(&cut, model);
         let diff = base.diff(&cut_set);
         debug_assert!(
             diff.removed.is_empty(),
@@ -269,6 +293,8 @@ pub fn analyze_case(case: &LintCase) -> Vec<Finding> {
                 removed: 0,
                 states_base: base.states_visited,
                 states_after: cut_set.states_visited,
+                pruned_base: base.states_pruned,
+                pruned_after: cut_set.states_pruned,
                 proof: Proof::OutcomesEqual {
                     states_base: base.states_visited,
                     states_mutated: cut_set.states_visited,
@@ -283,6 +309,11 @@ pub fn analyze_case(case: &LintCase) -> Vec<Finding> {
         let first_added = diff.added[0].clone();
         let witness = find_witness(&cut, model, |o| *o == first_added)
             .expect("added outcome must be reachable in the mutated program");
+        debug_assert_eq!(
+            witness.replay(&cut, model).as_ref(),
+            Some(&witness.outcome),
+            "kill witness must replay on the mutated program"
+        );
 
         // Over-strong check for fences: can a cheaper verified substitute
         // discharge the same requirement?
@@ -293,7 +324,7 @@ pub fn analyze_case(case: &LintCase) -> Vec<Finding> {
                     let Some(rewritten) = replace_fence(&case.program, site, cand) else {
                         continue;
                     };
-                    let sub_set = explore(&rewritten, model);
+                    let sub_set = explorer(&rewritten, model);
                     let sub_diff = base.diff(&sub_set);
                     if !sub_diff.added.is_empty() {
                         continue; // substitute would widen — rejected.
@@ -313,6 +344,8 @@ pub fn analyze_case(case: &LintCase) -> Vec<Finding> {
                         removed: sub_diff.removed.len(),
                         states_base: base.states_visited,
                         states_after: sub_set.states_visited,
+                        pruned_base: base.states_pruned,
+                        pruned_after: sub_set.states_pruned,
                         proof: Proof::OutcomesPreserved {
                             removed: sub_diff.removed.len(),
                         },
@@ -339,6 +372,8 @@ pub fn analyze_case(case: &LintCase) -> Vec<Finding> {
                 removed: 0,
                 states_base: base.states_visited,
                 states_after: cut_set.states_visited,
+                pruned_base: base.states_pruned,
+                pruned_after: cut_set.states_pruned,
                 proof: Proof::CounterExample(witness),
                 rewritten: None,
             });

@@ -1,0 +1,141 @@
+//! Corpus-wide differential suite: the DPOR engine vs the SipHash oracle
+//! on every lint-corpus program and every barrier-site cut the lint
+//! actually explores, plus random barrier-mutants, at worker counts 1
+//! and 4 — and a replay check over every counterexample witness the
+//! analyzer emits.
+//!
+//! This is also where the acceptance criterion for the engine's state
+//! reduction lives: summed over the MP-placement family, the engine must
+//! visit at least 5x fewer states than the enumerative oracle.
+
+use proptest::prelude::*;
+
+use armbar_analyze::corpus::corpus;
+use armbar_analyze::lint::{analyze_corpus, Proof};
+use armbar_wmm::mutate::{barrier_sites, remove_site};
+use armbar_wmm::{
+    explore_dpor_uncached, explore_with_sip_hasher, MemoryModel, OutcomeSet, Program,
+};
+
+const MODEL: MemoryModel = MemoryModel::ArmWmm;
+
+/// Engine at 1 and 4 workers vs the oracle; returns (oracle, engine).
+fn check(p: &Program, what: &str) -> (OutcomeSet, OutcomeSet) {
+    let oracle = explore_with_sip_hasher(p, MODEL);
+    let serial = explore_dpor_uncached(p, MODEL, 1);
+    let parallel = explore_dpor_uncached(p, MODEL, 4);
+    assert_eq!(
+        serial.outcomes, oracle.outcomes,
+        "{what}: engine outcome set diverged from oracle"
+    );
+    assert_eq!(
+        serial, parallel,
+        "{what}: worker count changed the result (counts must be schedule-independent)"
+    );
+    (oracle, serial)
+}
+
+#[test]
+fn corpus_and_all_cuts_differential() {
+    for case in corpus() {
+        check(&case.program, &case.name);
+        for site in barrier_sites(&case.program) {
+            let cut = remove_site(&case.program, site);
+            check(
+                &cut,
+                &format!("{} cut T{}#{}", case.name, site.tid, site.idx),
+            );
+        }
+    }
+}
+
+#[test]
+fn mp_family_state_reduction_is_at_least_5x() {
+    let mut oracle_total = 0usize;
+    let mut engine_total = 0usize;
+    for case in corpus() {
+        if !case.name.starts_with("MP+") {
+            continue;
+        }
+        let (oracle, engine) = check(&case.program, &case.name);
+        println!(
+            "{:32} oracle {:5} engine {:5}",
+            case.name, oracle.states_visited, engine.states_visited
+        );
+        oracle_total += oracle.states_visited;
+        engine_total += engine.states_visited;
+    }
+    assert!(oracle_total > 0, "no MP+ cases in corpus?");
+    let ratio = oracle_total as f64 / engine_total as f64;
+    println!("MP family: oracle {oracle_total} vs engine {engine_total} states ({ratio:.1}x)");
+    assert!(
+        ratio >= 5.0,
+        "MP-family state reduction {ratio:.2}x below the 5x acceptance bar \
+         (oracle {oracle_total}, engine {engine_total})"
+    );
+}
+
+#[test]
+fn every_counterexample_witness_replays() {
+    let cases = corpus();
+    let findings = analyze_corpus(&cases);
+    let mut replayed = 0usize;
+    for f in &findings {
+        let Proof::CounterExample(w) = &f.proof else {
+            continue;
+        };
+        let case = cases
+            .iter()
+            .find(|c| c.name == f.case)
+            .expect("finding names a corpus case");
+        // Missing-ordering witnesses run on the case itself; necessary-site
+        // witnesses run on the program with the site cut out.
+        let program = match f.site {
+            None => case.program.clone(),
+            Some(site) => remove_site(&case.program, site),
+        };
+        assert_eq!(
+            w.replay(&program, MODEL).as_ref(),
+            Some(&w.outcome),
+            "{} {}: witness does not replay to its claimed outcome",
+            f.case,
+            f.site_label()
+        );
+        replayed += 1;
+    }
+    assert!(replayed > 0, "corpus produced no counterexample witnesses");
+}
+
+/// Derive a random barrier-mutant of a corpus case by cutting `cuts`
+/// pseudo-randomly chosen sites (re-enumerating sites after each cut so
+/// indices stay valid).
+fn mutant(case_idx: usize, cuts: usize, seed: u64) -> (String, Program) {
+    let cases = corpus();
+    let case = &cases[case_idx % cases.len()];
+    let mut p = case.program.clone();
+    for round in 0..cuts {
+        let sites = barrier_sites(&p);
+        if sites.is_empty() {
+            break;
+        }
+        let pick = (seed.rotate_left(round as u32 * 7) as usize) % sites.len();
+        p = remove_site(&p, sites[pick]);
+    }
+    (case.name.clone(), p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random barrier-mutants of corpus programs: engine == oracle and
+    /// serial == 4-worker on every one.
+    #[test]
+    fn random_corpus_mutants_differential(
+        case_idx in 0usize..32,
+        cuts in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (name, p) = mutant(case_idx, cuts, seed);
+        check(&p, &format!("mutant of {name} (cuts={cuts}, seed={seed:#x})"));
+    }
+}

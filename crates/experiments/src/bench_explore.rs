@@ -1,0 +1,216 @@
+//! `exp-explore-bench`: measure the DPOR exploration engine against the
+//! enumerative oracle over the whole lint corpus and render
+//! `BENCH_explore.json`.
+//!
+//! Everything wall-clock lives here (and in the JSON), never in the
+//! `results/` CSVs — those must stay byte-identical across hosts and
+//! worker counts. State counts in the JSON are deterministic; times are
+//! whatever the host produced.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use armbar_analyze::corpus::corpus;
+use armbar_analyze::lint::analyze_case_with;
+use armbar_wmm::{explore_dpor_uncached, explore_oracle, MemoryModel, OutcomeSet, Program};
+
+/// All corpus exploration runs under the lint's model.
+const MODEL: MemoryModel = MemoryModel::ArmWmm;
+
+/// Timing repetitions for the exploration sweeps (litmus programs are
+/// microsecond-scale, so single shots are all noise).
+const SWEEP_REPS: u32 = 40;
+
+/// Repetitions for the end-to-end lint comparison (each rep analyzes the
+/// whole corpus, which is much heavier than one exploration).
+const LINT_REPS: u32 = 3;
+
+/// One corpus case's deterministic state counts.
+struct CaseBench {
+    name: String,
+    oracle_states: usize,
+    engine_states: usize,
+    engine_pruned: usize,
+}
+
+fn engine_serial(p: &Program, m: MemoryModel) -> OutcomeSet {
+    explore_dpor_uncached(p, m, 1)
+}
+
+/// Average nanoseconds per invocation of `f` over `reps` runs.
+fn time_ns<F: FnMut()>(reps: u32, mut f: F) -> u64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    u64::try_from(t0.elapsed().as_nanos() / u128::from(reps)).unwrap_or(u64::MAX)
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Run the full benchmark and render the `BENCH_explore.json` document.
+///
+/// # Panics
+///
+/// Panics if the engine's outcome set diverges from the oracle's on any
+/// corpus program — a benchmark of a wrong answer is worthless.
+#[must_use]
+pub fn bench_explore_json() -> String {
+    let cases = corpus();
+
+    // -- Per-case deterministic state counts (and a correctness gate). --
+    let mut rows = Vec::with_capacity(cases.len());
+    for case in &cases {
+        let oracle = explore_oracle(&case.program, MODEL);
+        let engine = engine_serial(&case.program, MODEL);
+        assert_eq!(
+            engine.outcomes, oracle.outcomes,
+            "{}: engine diverged from oracle",
+            case.name
+        );
+        rows.push(CaseBench {
+            name: case.name.clone(),
+            oracle_states: oracle.states_visited,
+            engine_states: engine.states_visited,
+            engine_pruned: engine.states_pruned,
+        });
+    }
+    let oracle_total: usize = rows.iter().map(|r| r.oracle_states).sum();
+    let engine_total: usize = rows.iter().map(|r| r.engine_states).sum();
+    let mp_oracle: usize = rows
+        .iter()
+        .filter(|r| r.name.starts_with("MP+"))
+        .map(|r| r.oracle_states)
+        .sum();
+    let mp_engine: usize = rows
+        .iter()
+        .filter(|r| r.name.starts_with("MP+"))
+        .map(|r| r.engine_states)
+        .sum();
+
+    // -- Whole-corpus exploration walls: oracle, engine x worker count. --
+    let oracle_ns = time_ns(SWEEP_REPS, || {
+        for case in &cases {
+            std::hint::black_box(explore_oracle(&case.program, MODEL));
+        }
+    });
+    let mut engine_walls = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let ns = time_ns(SWEEP_REPS, || {
+            for case in &cases {
+                std::hint::black_box(explore_dpor_uncached(&case.program, MODEL, workers));
+            }
+        });
+        engine_walls.push((workers, ns));
+    }
+    let engine_serial_ns = engine_walls[0].1;
+
+    // -- End-to-end lint analysis, cold (no memo), oracle vs engine. ----
+    let lint_oracle_ns = time_ns(LINT_REPS, || {
+        for case in &cases {
+            std::hint::black_box(analyze_case_with(case, explore_oracle));
+        }
+    });
+    let lint_engine_ns = time_ns(LINT_REPS, || {
+        for case in &cases {
+            std::hint::black_box(analyze_case_with(case, engine_serial));
+        }
+    });
+
+    let per_sec = |states: usize, ns: u64| states as f64 / (ns as f64 / 1e9);
+    let ratio = |num: usize, den: usize| num as f64 / den.max(1) as f64;
+
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"corpus_cases\": {},", rows.len());
+    let _ = writeln!(j, "  \"model\": \"ArmWmm\",");
+    let _ = writeln!(j, "  \"oracle_states_total\": {oracle_total},");
+    let _ = writeln!(j, "  \"engine_states_total\": {engine_total},");
+    let _ = writeln!(
+        j,
+        "  \"state_reduction_ratio\": {:.3},",
+        ratio(oracle_total, engine_total)
+    );
+    let _ = writeln!(j, "  \"mp_family\": {{");
+    let _ = writeln!(j, "    \"oracle_states\": {mp_oracle},");
+    let _ = writeln!(j, "    \"engine_states\": {mp_engine},");
+    let _ = writeln!(
+        j,
+        "    \"state_reduction_ratio\": {:.3}",
+        ratio(mp_oracle, mp_engine)
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"corpus_sweep\": {{");
+    let _ = writeln!(j, "    \"oracle_wall_ms\": {:.3},", ms(oracle_ns));
+    let _ = writeln!(
+        j,
+        "    \"oracle_states_per_sec\": {:.0},",
+        per_sec(oracle_total, oracle_ns)
+    );
+    let _ = writeln!(
+        j,
+        "    \"engine_states_per_sec\": {:.0},",
+        per_sec(engine_total, engine_serial_ns)
+    );
+    let _ = writeln!(
+        j,
+        "    \"engine_speedup_serial\": {:.3},",
+        oracle_ns as f64 / engine_serial_ns as f64
+    );
+    let _ = writeln!(j, "    \"engine_wall_ms\": {{");
+    for (i, (workers, ns)) in engine_walls.iter().enumerate() {
+        let comma = if i + 1 == engine_walls.len() { "" } else { "," };
+        let _ = writeln!(j, "      \"{workers}\": {:.3}{comma}", ms(*ns));
+    }
+    let _ = writeln!(j, "    }}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"lint_e2e_cold\": {{");
+    let _ = writeln!(j, "    \"oracle_wall_ms\": {:.3},", ms(lint_oracle_ns));
+    let _ = writeln!(j, "    \"engine_wall_ms\": {:.3},", ms(lint_engine_ns));
+    let _ = writeln!(
+        j,
+        "    \"speedup\": {:.3}",
+        lint_oracle_ns as f64 / lint_engine_ns as f64
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"cases\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{}\", \"oracle_states\": {}, \"engine_states\": {}, \"engine_pruned\": {}}}{comma}",
+            r.name.replace('"', "\\\""),
+            r.oracle_states,
+            r.engine_states,
+            r.engine_pruned
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    j.push_str("}\n");
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_is_well_formed_and_meets_the_reduction_bar() {
+        let j = bench_explore_json();
+        // Shape: balanced braces/brackets, the keys CI validates, and the
+        // MP-family acceptance criterion baked into the numbers.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for key in [
+            "\"corpus_cases\"",
+            "\"state_reduction_ratio\"",
+            "\"mp_family\"",
+            "\"corpus_sweep\"",
+            "\"lint_e2e_cold\"",
+            "\"cases\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Benchmark the DPOR exploration engine against the enumerative oracle
+//! over the lint corpus and write `BENCH_explore.json`.
+
+fn main() {
+    let json = armbar_experiments::bench_explore::bench_explore_json();
+    print!("{json}");
+    std::fs::write("BENCH_explore.json", &json).expect("write BENCH_explore.json");
+    eprintln!("wrote BENCH_explore.json");
+}

@@ -1196,6 +1196,7 @@ pub fn battery(ctx: &SweepCtx) -> Vec<Table> {
             "allowed".into(),
             "expected".into(),
             "states_visited".into(),
+            "states_pruned".into(),
             "outcomes".into(),
         ],
         "explorer statistics (wall times on stdout)",
@@ -1203,8 +1204,8 @@ pub fn battery(ctx: &SweepCtx) -> Vec<Table> {
     let mut total = std::time::Duration::ZERO;
     for r in &runs {
         println!(
-            "  {:<24} states={:<6} outcomes={:<3} wall={:?}",
-            r.name, r.states_visited, r.outcome_count, r.wall
+            "  {:<24} states={:<6} pruned={:<6} outcomes={:<3} wall={:?}",
+            r.name, r.states_visited, r.states_pruned, r.outcome_count, r.wall
         );
         total += r.wall;
         t.push_row(
@@ -1213,6 +1214,7 @@ pub fn battery(ctx: &SweepCtx) -> Vec<Table> {
                 bool_num(r.allowed),
                 bool_num(r.expected_allowed),
                 r.states_visited as f64,
+                r.states_pruned as f64,
                 r.outcome_count as f64,
             ],
         );

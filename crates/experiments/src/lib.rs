@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench_explore;
 pub mod cache;
 pub mod extension;
 pub mod figures;
@@ -154,7 +155,7 @@ mod tests {
         for (name, vals) in &t.rows {
             assert_eq!(vals[0], vals[1], "{name}: verdict must match expectation");
             assert!(vals[2] > 0.0, "{name}: states_visited must be reported");
-            assert!(vals[3] > 0.0, "{name}: outcome count must be reported");
+            assert!(vals[4] > 0.0, "{name}: outcome count must be reported");
         }
     }
 }

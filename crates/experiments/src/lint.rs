@@ -46,8 +46,10 @@ pub struct LintRecord {
     pub rank_before: u8,
     /// Band after the suggestion.
     pub rank_after: u8,
-    /// Outcome/state bookkeeping, straight from the analyzer.
-    pub outcomes: [u64; 6],
+    /// Outcome/state bookkeeping, straight from the analyzer:
+    /// `[outcomes_base, outcomes_after, added, removed, states_base,
+    /// states_after, pruned_base, pruned_after]`.
+    pub outcomes: [u64; 8],
     /// Cycles saved per [`PlatformKind::ALL`] platform (0 when no rewrite).
     pub saved: [i64; 4],
     /// Witness steps `(tid, idx)` when the proof is a counterexample.
@@ -119,6 +121,8 @@ fn lint_records(case: &armbar_analyze::LintCase, replay_iters: u64) -> Vec<LintR
                 f.removed as u64,
                 f.states_base as u64,
                 f.states_after as u64,
+                f.pruned_base as u64,
+                f.pruned_after as u64,
             ],
             saved: f
                 .rewritten
@@ -134,7 +138,7 @@ fn lint_records(case: &armbar_analyze::LintCase, replay_iters: u64) -> Vec<LintR
 
 /// Flatten records into the `f64` row a sweep cell returns. Layout:
 /// `[count, record...]` where each record is `[kind, tid, idx, original,
-/// suggestion, caveat, rank_before, rank_after, outcomes[6], saved[4],
+/// suggestion, caveat, rank_before, rank_after, outcomes[8], saved[4],
 /// wlen, (tid, idx) * wlen]`; `-1` encodes the absent site/suggestion.
 #[must_use]
 pub fn encode_findings(records: &[LintRecord]) -> Vec<f64> {
@@ -183,7 +187,7 @@ pub fn decode_findings(vals: &[f64]) -> Vec<LintRecord> {
         let caveat = next() != 0.0;
         let rank_before = next() as u8;
         let rank_after = next() as u8;
-        let mut outcomes = [0u64; 6];
+        let mut outcomes = [0u64; 8];
         for o in &mut outcomes {
             *o = next() as u64;
         }
@@ -217,7 +221,7 @@ pub fn decode_findings(vals: &[f64]) -> Vec<LintRecord> {
 pub fn lint_grid(sweep: &mut SweepSpec, replay_iters: u64) -> Vec<(String, CellId)> {
     let mut rows = Vec::new();
     for case in corpus() {
-        let key = model_key(&("lint-v1", &case.name, &case.program, replay_iters));
+        let key = model_key(&("lint-v2", &case.name, &case.program, replay_iters));
         let name = case.name.clone();
         let id = sweep.cell(key, move || {
             encode_findings(&lint_records(&case, replay_iters))
@@ -239,7 +243,7 @@ fn csv_escape(s: &str) -> String {
 /// the determinism test can compare bytes without touching `results/`).
 #[must_use]
 pub fn render_lint_csv(rows: &[(String, Vec<LintRecord>)]) -> String {
-    let mut csv = String::from("case,site,kind,barrier,suggestion,caveat,rank_before,rank_after,outcomes_base,outcomes_after,outcomes_added,outcomes_removed,states_base,states_after");
+    let mut csv = String::from("case,site,kind,barrier,suggestion,caveat,rank_before,rank_after,outcomes_base,outcomes_after,outcomes_added,outcomes_removed,states_base,states_after,pruned_base,pruned_after");
     for kind in PlatformKind::ALL {
         let _ = write!(
             csv,
@@ -323,7 +327,11 @@ pub fn write_lint_csv(dir: impl AsRef<Path>, text: &str) -> io::Result<()> {
 /// total cycles saved per platform across all accepted rewrites).
 #[must_use]
 pub fn lint(ctx: &SweepCtx) -> Vec<Table> {
+    // Wall time goes to stdout only: lint.csv must stay byte-identical
+    // across hosts and worker counts (the CI smoke job diffs it).
+    let t0 = std::time::Instant::now();
     let (csv, rows) = lint_results(ctx, LINT_REPLAY_ITERS);
+    let wall = t0.elapsed();
     if let Err(e) = write_lint_csv("results", &csv) {
         eprintln!("warning: could not write lint.csv: {e}");
     }
@@ -357,10 +365,17 @@ pub fn lint(ctx: &SweepCtx) -> Vec<Table> {
         t.push_row(label, vals);
     }
     let total: usize = rows.iter().map(|(_, r)| r.len()).sum();
+    let (visited, pruned) = rows
+        .iter()
+        .flat_map(|(_, r)| r.iter())
+        .fold((0u64, 0u64), |(v, p), r| {
+            (v + r.outcomes[4], p + r.outcomes[6])
+        });
     println!(
         "  {} corpus cases, {total} findings -> results/lint.csv",
         rows.len()
     );
+    println!("  exploration: {visited} states visited, {pruned} subtrees pruned, wall {wall:?}");
     vec![t]
 }
 
@@ -379,7 +394,7 @@ mod tests {
                 caveat: true,
                 rank_before: 7,
                 rank_after: 4,
-                outcomes: [3, 3, 0, 0, 30, 22],
+                outcomes: [3, 3, 0, 0, 30, 22, 9, 6],
                 saved: [8280, -172, 0, 4968],
                 witness: Vec::new(),
             },
@@ -391,7 +406,7 @@ mod tests {
                 caveat: false,
                 rank_before: 0,
                 rank_after: 0,
-                outcomes: [4, 4, 0, 0, 25, 25],
+                outcomes: [4, 4, 0, 0, 25, 25, 7, 7],
                 saved: [0; 4],
                 witness: vec![(1, 1), (0, 1), (1, 0), (0, 0)],
             },
@@ -412,7 +427,7 @@ mod tests {
                 caveat: false,
                 rank_before: 4,
                 rank_after: 0,
-                outcomes: [3, 3, 0, 0, 30, 22],
+                outcomes: [3, 3, 0, 0, 30, 22, 9, 6],
                 saved: [1, 2, 3, 4],
                 witness: Vec::new(),
             }],
@@ -440,7 +455,7 @@ mod tests {
                 caveat: false,
                 rank_before: 2,
                 rank_after: 2,
-                outcomes: [3, 4, 1, 0, 30, 25],
+                outcomes: [3, 4, 1, 0, 30, 25, 9, 8],
                 saved: [0; 4],
                 witness: vec![(1, 2), (0, 0)],
             }],

@@ -198,6 +198,9 @@ pub struct BatteryRun {
     pub outcome_count: usize,
     /// States the DFS visited (deterministic per program and model).
     pub states_visited: usize,
+    /// Subtrees the DPOR engine pruned (deterministic, like
+    /// `states_visited`).
+    pub states_pruned: usize,
     /// Host wall-clock time of the exploration.
     pub wall: Duration,
 }
@@ -220,6 +223,7 @@ pub fn run_battery(model: MemoryModel, workers: usize) -> Vec<BatteryRun> {
             allowed: set.outcomes.iter().any(|o| (test.relaxed)(o)),
             outcome_count: set.outcomes.len(),
             states_visited: set.states_visited,
+            states_pruned: set.states_pruned,
             wall: start.elapsed(),
         }
     };
@@ -250,7 +254,7 @@ pub fn run_battery(model: MemoryModel, workers: usize) -> Vec<BatteryRun> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::explore_with_sip_hasher;
+    use crate::explore::{explore_oracle, explore_with_sip_hasher};
     use crate::model::MemoryModel;
 
     #[test]
@@ -342,11 +346,13 @@ mod tests {
     fn fxhash_swap_does_not_change_any_outcome_set() {
         // The hasher only affects bucket order; outcomes are sorted and
         // states_visited counts distinct states, so FxHash and SipHash
-        // exploration must agree exactly on every battery program under
-        // every model.
+        // oracle runs must agree exactly — and the DPOR engine behind
+        // `explore` must reach the identical outcome set — on every
+        // battery program under every model.
         for (test, _) in battery() {
             for model in MemoryModel::ALL {
-                let fx = explore(&test.program, model);
+                let engine = explore(&test.program, model);
+                let fx = explore_oracle(&test.program, model);
                 let sip = explore_with_sip_hasher(&test.program, model);
                 assert_eq!(fx.outcomes, sip.outcomes, "{} under {model:?}", test.name);
                 assert_eq!(
@@ -354,8 +360,18 @@ mod tests {
                     "{} under {model:?}",
                     test.name
                 );
+                assert_eq!(
+                    engine.outcomes, fx.outcomes,
+                    "engine diverged on {} under {model:?}",
+                    test.name
+                );
                 assert!(
-                    fx.outcomes.windows(2).all(|w| w[0] < w[1]),
+                    engine.states_visited <= fx.states_visited,
+                    "DPOR must not expand more than the oracle on {}",
+                    test.name
+                );
+                assert!(
+                    engine.outcomes.windows(2).all(|w| w[0] < w[1]),
                     "outcomes sorted+distinct"
                 );
             }

@@ -1,4 +1,5 @@
-//! The exhaustive DFS explorer.
+//! The exhaustive explorer: public API, memo cache, and the enumerative
+//! oracle.
 //!
 //! A state is: per thread, the set of already-performed instructions (a
 //! bitmask — reordering means it is a set, not a prefix) and its register
@@ -8,14 +9,27 @@
 //! [`MemoryModel::ordered`]) have performed. Performing is atomic against
 //! memory (multi-copy atomicity).
 //!
-//! DFS with memoization over the state graph yields the exact set of final
-//! [`Outcome`]s.
+//! Two implementations compute the exact set of final [`Outcome`]s:
+//!
+//! * [`explore`] / [`explore_parallel`] run the packed-state sleep-set DPOR
+//!   engine ([`crate::engine`]) behind an in-process memo cache keyed by
+//!   `(program, model)` — `analyze::lint` re-explores identical cut
+//!   programs across redundancy/necessity checks and whole experiment
+//!   batteries revisit the same litmus shapes. `ARMBAR_EXPLORE_MEMO=0`
+//!   disables the cache; [`explore_memo_stats`] reports hits/misses.
+//! * [`explore_oracle`] (and [`explore_with_sip_hasher`]) enumerate every
+//!   interleaving by naive cloning DFS. They are the differential
+//!   reference the engine is tested against, and the fallback for programs
+//!   larger than the engine's 64-total-instruction bound.
 
 use std::collections::{BTreeMap, HashSet};
 use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-use armbar_fxhash::FxBuildHasher;
+use armbar_fxhash::{FxBuildHasher, FxHashMap};
 
+use crate::engine;
 use crate::model::{Instr, MemoryModel, Program, Src};
 
 /// A final state: every thread's register file plus the memory image.
@@ -52,8 +66,21 @@ impl Outcome {
 pub struct OutcomeSet {
     /// All distinct final outcomes, sorted for deterministic display.
     pub outcomes: Vec<Outcome>,
-    /// How many states the DFS visited (diagnostics).
+    /// States the exploration materialized. For the oracle this is every
+    /// distinct reachable state; for the DPOR engine it is the branch
+    /// states inserted into the visited-set (forced macro-steps and
+    /// terminals are never materialized), floored at 1 for the root.
+    /// Deterministic per `(program, model)` — independent of hasher and
+    /// worker count.
     pub states_visited: usize,
+    /// Subtrees the exploration provably skipped: duplicate successors
+    /// (oracle) or sleep-set skips + sleep-blocked chains + visited-set
+    /// hits (engine). Deterministic like `states_visited`.
+    pub states_pruned: usize,
+    /// Peak size of the oracle's pending-state stack (its memory
+    /// high-water mark). The DPOR engine reports 0: its frontier is the
+    /// DFS spine, O(program length) by construction.
+    pub peak_frontier: usize,
 }
 
 impl OutcomeSet {
@@ -163,7 +190,81 @@ struct State {
     memory: BTreeMap<u8, u64>,
 }
 
+/// The shared memo cache: canonical outcome sets keyed by the full
+/// `(program, model)` pair (hashed with FxHash — exact keys, so a hash
+/// collision can never alias two programs).
+type MemoMap = FxHashMap<(Program, MemoryModel), OutcomeSet>;
+
+static MEMO: OnceLock<Mutex<MemoMap>> = OnceLock::new();
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Entries beyond this are not inserted (runaway-corpus backstop; the
+/// lint corpus needs a few hundred).
+const MEMO_CAP: usize = 1 << 16;
+
+/// `ARMBAR_EXPLORE_MEMO` parsing, separated from the environment for
+/// testability: only the literal `0` (optionally padded) disables.
+#[must_use]
+pub fn memo_enabled_from(var: Option<&str>) -> bool {
+    var.is_none_or(|v| v.trim() != "0")
+}
+
+fn memo_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| memo_enabled_from(std::env::var("ARMBAR_EXPLORE_MEMO").ok().as_deref()))
+}
+
+/// Memo cache counters since process start: `(hits, misses)`.
+#[must_use]
+pub fn explore_memo_stats() -> (u64, u64) {
+    (
+        MEMO_HITS.load(Ordering::Relaxed),
+        MEMO_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Drop every memoized outcome set and reset the counters (benchmarks use
+/// this to measure cold explorations).
+pub fn explore_memo_clear() {
+    if let Some(memo) = MEMO.get() {
+        memo.lock().expect("explore memo poisoned").clear();
+    }
+    MEMO_HITS.store(0, Ordering::Relaxed);
+    MEMO_MISSES.store(0, Ordering::Relaxed);
+}
+
+fn memoized(
+    program: &Program,
+    model: MemoryModel,
+    compute: impl FnOnce() -> OutcomeSet,
+) -> OutcomeSet {
+    if !memo_enabled() {
+        return compute();
+    }
+    let memo = MEMO.get_or_init(|| Mutex::new(FxHashMap::default()));
+    {
+        let map = memo.lock().expect("explore memo poisoned");
+        if let Some(hit) = map.get(&(program.clone(), model)) {
+            MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+    }
+    MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+    let set = compute();
+    let mut map = memo.lock().expect("explore memo poisoned");
+    if map.len() < MEMO_CAP {
+        map.insert((program.clone(), model), set.clone());
+    }
+    set
+}
+
 /// Exhaustively explore `program` under `model`.
+///
+/// Runs the packed-state DPOR engine (serial) behind the process-wide memo
+/// cache; programs beyond the engine's 64-total-instruction bound fall
+/// back to the enumerative oracle. The returned set is canonical and
+/// byte-identical across hashers, worker counts, and reruns.
 ///
 /// # Panics
 ///
@@ -171,18 +272,49 @@ struct State {
 /// litmus tests are tiny by construction.
 #[must_use]
 pub fn explore(program: &Program, model: MemoryModel) -> OutcomeSet {
-    // The visited-set is the explorer's hottest structure: every DFS step
+    memoized(program, model, || explore_dpor_uncached(program, model, 1))
+}
+
+/// [`explore`] with the engine's parallel frontier on `workers` threads
+/// (also memoized). The result — outcomes *and* the `states_*` counters —
+/// is byte-identical to the serial run at any worker count; only wall
+/// time changes. Callers that are already parallel at a coarser grain
+/// (the experiment sweeps) should keep calling [`explore`].
+#[must_use]
+pub fn explore_parallel(program: &Program, model: MemoryModel, workers: usize) -> OutcomeSet {
+    memoized(program, model, || {
+        explore_dpor_uncached(program, model, workers)
+    })
+}
+
+/// The DPOR engine without the memo cache (benchmarks and differential
+/// tests measure cold explorations through this). Falls back to the
+/// oracle above 64 total instructions.
+#[must_use]
+pub fn explore_dpor_uncached(program: &Program, model: MemoryModel, workers: usize) -> OutcomeSet {
+    match engine::layout(program, model) {
+        Some(lay) => engine::run(&lay, workers),
+        None => explore_oracle(program, model),
+    }
+}
+
+/// The enumerative oracle: clone-per-transition DFS over every
+/// interleaving, FxHash visited-set. Slow but independent of the DPOR
+/// machinery — differential tests compare the engine against it.
+#[must_use]
+pub fn explore_oracle(program: &Program, model: MemoryModel) -> OutcomeSet {
+    // The visited-set is the oracle's hottest structure: every DFS step
     // hashes a full `State`. States are never adversarial, so the unkeyed
     // FxHash scheme replaces SipHash here.
     explore_with_hasher::<FxBuildHasher>(program, model)
 }
 
-/// [`explore`] with `std`'s default SipHash tables.
+/// [`explore_oracle`] with `std`'s default SipHash tables.
 ///
 /// Exists purely as a regression hook: the hasher choice must never change
 /// the resulting [`OutcomeSet`] (outcomes are sorted and `states_visited`
 /// counts distinct states, independent of bucket order). Tests compare this
-/// against [`explore`].
+/// against [`explore_oracle`] and against the engine.
 #[must_use]
 pub fn explore_with_sip_hasher(program: &Program, model: MemoryModel) -> OutcomeSet {
     explore_with_hasher::<std::collections::hash_map::RandomState>(program, model)
@@ -207,12 +339,17 @@ fn explore_with_hasher<S: BuildHasher + Default>(
 
     let mut seen: HashSet<State, S> = HashSet::default();
     let mut outcomes: HashSet<Outcome, S> = HashSet::default();
+    // Successors are deduplicated at *push* time: the stack only ever holds
+    // states that are in `seen` and not yet expanded, so its peak length is
+    // bounded by the number of distinct states instead of the number of
+    // edges (the old per-edge clones blew the stack up by the graph's mean
+    // in-degree).
+    let mut pruned = 0usize;
+    let mut peak = 1usize;
+    seen.insert(start.clone());
     let mut stack = vec![start];
 
     while let Some(state) = stack.pop() {
-        if !seen.insert(state.clone()) {
-            continue;
-        }
         let mut terminal = true;
         for (tid, thread) in program.threads.iter().enumerate() {
             for j in 0..thread.instrs.len() {
@@ -242,9 +379,15 @@ fn explore_with_hasher<S: BuildHasher + Default>(
                     }
                     Instr::Fence(_) => {}
                 }
-                stack.push(next);
+                if seen.contains(&next) {
+                    pruned += 1;
+                } else {
+                    seen.insert(next.clone());
+                    stack.push(next);
+                }
             }
         }
+        peak = peak.max(stack.len());
         if terminal {
             outcomes.insert(Outcome {
                 regs: state
@@ -260,6 +403,8 @@ fn explore_with_hasher<S: BuildHasher + Default>(
     let mut set = OutcomeSet {
         outcomes: outcomes.into_iter().collect(),
         states_visited: seen.len(),
+        states_pruned: pruned,
+        peak_frontier: peak,
     };
     set.canonicalize();
     set
@@ -399,11 +544,13 @@ mod tests {
             vec![Instr::store(1, 1), Instr::load(0, 0), Instr::load(1, 2)],
         ]);
         let fx = explore(&p, MemoryModel::ArmWmm);
+        let oracle = explore_oracle(&p, MemoryModel::ArmWmm);
         for _ in 0..3 {
             // SipHash is randomly keyed per process table, so equality here
             // shows the ordering does not depend on hash-bucket order.
             let sip = explore_with_sip_hasher(&p, MemoryModel::ArmWmm);
-            assert_eq!(fx, sip, "hasher choice changed the canonical set");
+            assert_eq!(oracle, sip, "hasher choice changed the canonical set");
+            assert_eq!(fx.outcomes, sip.outcomes, "engine diverged from oracle");
         }
         let listed: Vec<&Outcome> = fx.iter().collect();
         let mut resorted = listed.clone();
@@ -428,9 +575,90 @@ mod tests {
         let mut set = OutcomeSet {
             outcomes: vec![o1.clone(), o0.clone(), o1.clone()],
             states_visited: 0,
+            states_pruned: 0,
+            peak_frontier: 0,
         };
         set.canonicalize();
         assert_eq!(set.outcomes, vec![o0, o1]);
+    }
+
+    /// Regression lock for the duplicate-successor fix: the oracle's stack
+    /// holds only unexpanded *distinct* states, so its peak can never
+    /// exceed the distinct-state count. Before the push-time seen-check, a
+    /// 6-dimensional hypercube of independent stores (64 states, 192
+    /// edges) kept duplicate full-state clones on the stack and the peak
+    /// overshot that bound.
+    #[test]
+    fn oracle_peak_stack_is_bounded_by_distinct_states() {
+        let p = prog(vec![
+            vec![Instr::store(0, 1), Instr::store(1, 1), Instr::store(2, 1)],
+            vec![Instr::store(3, 1), Instr::store(4, 1), Instr::store(5, 1)],
+        ]);
+        let out = explore_oracle(&p, MemoryModel::ArmWmm);
+        assert_eq!(out.states_visited, 64, "6-cube of independent stores");
+        assert!(
+            out.peak_frontier <= out.states_visited,
+            "peak {} exceeds distinct states {}",
+            out.peak_frontier,
+            out.states_visited
+        );
+        assert!(out.states_pruned > 0, "the cube has duplicate successors");
+    }
+
+    /// The DPOR engine must agree with the oracle on outcomes while doing
+    /// strictly less work on reduction-friendly programs.
+    #[test]
+    fn engine_matches_oracle_and_prunes() {
+        let p = prog(vec![
+            vec![
+                Instr::store(0, 23),
+                Instr::Fence(Barrier::DmbSt),
+                Instr::store(1, 1),
+            ],
+            vec![
+                Instr::load(0, 1),
+                Instr::Fence(Barrier::DmbLd),
+                Instr::load(1, 0),
+            ],
+        ]);
+        for model in MemoryModel::ALL {
+            let engine = explore_dpor_uncached(&p, model, 1);
+            let oracle = explore_oracle(&p, model);
+            assert_eq!(engine.outcomes, oracle.outcomes, "{model:?}");
+            assert!(
+                engine.states_visited < oracle.states_visited,
+                "{model:?}: engine {} vs oracle {}",
+                engine.states_visited,
+                oracle.states_visited
+            );
+        }
+    }
+
+    #[test]
+    fn memo_serves_repeat_explorations() {
+        let p = prog(vec![
+            vec![Instr::store(0, 1), Instr::store(1, 1)],
+            vec![Instr::load(0, 1), Instr::load(1, 0)],
+        ]);
+        let first = explore(&p, MemoryModel::ArmWmm);
+        let (hits_before, _) = explore_memo_stats();
+        let second = explore(&p, MemoryModel::ArmWmm);
+        let third = explore_parallel(&p, MemoryModel::ArmWmm, 4);
+        let (hits_after, _) = explore_memo_stats();
+        assert_eq!(first, second);
+        assert_eq!(first, third, "parallel shares the memo and the bytes");
+        if memo_enabled_from(std::env::var("ARMBAR_EXPLORE_MEMO").ok().as_deref()) {
+            assert!(hits_after >= hits_before + 2, "repeat explorations hit");
+        }
+    }
+
+    #[test]
+    fn memo_knob_parsing() {
+        assert!(memo_enabled_from(None));
+        assert!(memo_enabled_from(Some("1")));
+        assert!(memo_enabled_from(Some("yes")));
+        assert!(!memo_enabled_from(Some("0")));
+        assert!(!memo_enabled_from(Some(" 0 ")));
     }
 
     #[test]

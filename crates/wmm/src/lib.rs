@@ -42,13 +42,17 @@
 #![forbid(unsafe_code)]
 
 pub mod battery;
+mod engine;
 pub mod explore;
 pub mod litmus;
 pub mod model;
 pub mod mutate;
 pub mod witness;
 
-pub use explore::{explore, Outcome, OutcomeDiff, OutcomeSet};
+pub use explore::{
+    explore, explore_dpor_uncached, explore_memo_clear, explore_memo_stats, explore_oracle,
+    explore_parallel, explore_with_sip_hasher, Outcome, OutcomeDiff, OutcomeSet,
+};
 pub use litmus::LitmusTest;
 pub use model::{Instr, MemoryModel, Program, Src, Thread};
 pub use mutate::{barrier_sites, remove_site, replace_fence, BarrierSite, SiteKind};

@@ -2,14 +2,19 @@
 //! concrete global execution order that reaches it — the explorer's
 //! equivalent of a herd7 counter-example trace.
 //!
-//! [`find_witness`] repeats the DFS carrying the path (thread, instruction
-//! index) and returns the first complete execution whose final state
-//! satisfies the predicate.
+//! [`find_witness`] runs the DPOR engine's pruned DFS carrying the path
+//! (thread, instruction index) and returns the first complete execution
+//! whose final state satisfies the predicate. Sleep-set pruning preserves
+//! every terminal *state*, so an outcome has a witness iff the pruned
+//! search finds one. Witnesses are validated independently of the engine
+//! by [`Witness::replay`], which re-executes the steps against the raw
+//! [`MemoryModel::ordered`] relation.
 
 use std::collections::BTreeMap;
 
 use armbar_fxhash::FxHashSet;
 
+use crate::engine;
 use crate::explore::Outcome;
 use crate::model::{Instr, MemoryModel, Program, Src};
 
@@ -79,6 +84,60 @@ impl Witness {
         let order = self.thread_order(tid);
         order.windows(2).any(|w| w[0] > w[1])
     }
+
+    /// Re-execute the witness against `program` under `model` and return
+    /// the outcome it actually reaches — or `None` when any step is
+    /// illegal (out of range, already performed, or an ordered predecessor
+    /// still pending) or the execution is incomplete.
+    ///
+    /// This is a deliberately independent checker: it walks the raw
+    /// [`MemoryModel::ordered`] relation over sparse state, sharing no
+    /// code with the DPOR engine that produced the witness, so tests can
+    /// assert `replay(..) == Some(witness.outcome)` as a machine check of
+    /// every attached counterexample.
+    #[must_use]
+    pub fn replay(&self, program: &Program, model: MemoryModel) -> Option<Outcome> {
+        let total: usize = program.threads.iter().map(|t| t.instrs.len()).sum();
+        if self.steps.len() != total {
+            return None;
+        }
+        let mut done = vec![0u64; program.threads.len()];
+        let mut regs: Vec<BTreeMap<u8, u64>> = vec![BTreeMap::new(); program.threads.len()];
+        let mut memory: BTreeMap<u8, u64> = program.init.iter().copied().collect();
+        for s in &self.steps {
+            let thread = program.threads.get(s.tid)?;
+            if s.idx >= thread.instrs.len() || done[s.tid] & (1 << s.idx) != 0 {
+                return None;
+            }
+            let enabled =
+                (0..s.idx).all(|i| done[s.tid] & (1 << i) != 0 || !model.ordered(thread, i, s.idx));
+            if !enabled {
+                return None;
+            }
+            done[s.tid] |= 1 << s.idx;
+            match &thread.instrs[s.idx] {
+                Instr::Load { reg, loc, .. } => {
+                    let v = *memory.get(loc).unwrap_or(&0);
+                    regs[s.tid].insert(*reg, v);
+                }
+                Instr::Store { loc, src, .. } => {
+                    let v = match src {
+                        Src::Const(v) | Src::DepConst { value: v, .. } => *v,
+                        Src::Reg(r) => *regs[s.tid].get(r).unwrap_or(&0),
+                    };
+                    memory.insert(*loc, v);
+                }
+                Instr::Fence(_) => {}
+            }
+        }
+        Some(Outcome {
+            regs: regs
+                .iter()
+                .map(|m| m.iter().map(|(&r, &v)| (r, v)).collect())
+                .collect(),
+            memory: memory.iter().map(|(&l, &v)| (l, v)).collect(),
+        })
+    }
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -91,8 +150,26 @@ struct State {
 /// Find a complete execution under `model` whose final outcome satisfies
 /// `pred`, or `None` when no such execution exists (the outcome is
 /// forbidden).
+///
+/// Runs on the DPOR engine (deterministic `(thread, index)` search order,
+/// so the returned witness is byte-stable across reruns and worker
+/// counts); programs beyond the engine's 64-total-instruction bound fall
+/// back to the enumerative path search.
 #[must_use]
 pub fn find_witness(
+    program: &Program,
+    model: MemoryModel,
+    pred: impl Fn(&Outcome) -> bool,
+) -> Option<Witness> {
+    if let Some(lay) = engine::layout(program, model) {
+        return engine::find_witness_dpor(&lay, &pred);
+    }
+    find_witness_enumerative(program, model, pred)
+}
+
+/// The pre-engine witness search: naive cloning DFS carrying the path.
+/// Kept as the oversized-program fallback.
+fn find_witness_enumerative(
     program: &Program,
     model: MemoryModel,
     pred: impl Fn(&Outcome) -> bool,
@@ -210,6 +287,53 @@ mod tests {
         assert_eq!(text.lines().count(), w.steps.len());
         assert!(text.contains("T0"));
         assert!(text.contains("T1"));
+    }
+
+    #[test]
+    fn witnesses_replay_to_their_claimed_outcome() {
+        for t in [
+            message_passing(Barrier::None, Barrier::None),
+            load_buffering(Barrier::None),
+        ] {
+            let w = witness_for(&t, MemoryModel::ArmWmm).expect("allowed");
+            assert_eq!(
+                w.replay(&t.program, MemoryModel::ArmWmm),
+                Some(w.outcome.clone()),
+                "witness must replay for {}",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn replay_rejects_illegal_and_incomplete_executions() {
+        let t = message_passing(Barrier::DmbSt, Barrier::DmbLd);
+        // Any complete SC execution replays fine...
+        let w = find_witness(&t.program, MemoryModel::Sc, |_| true).expect("SC terminal");
+        assert!(w.replay(&t.program, MemoryModel::Sc).is_some());
+        // ...but a truncated one is rejected,
+        let mut short = w.clone();
+        short.steps.pop();
+        assert_eq!(short.replay(&t.program, MemoryModel::Sc), None);
+        // and so is one that performs a fenced pair out of order.
+        let mut illegal = w.clone();
+        illegal.steps.reverse();
+        assert_eq!(illegal.replay(&t.program, MemoryModel::Sc), None);
+    }
+
+    #[test]
+    fn engine_and_enumerative_witness_search_agree_on_existence() {
+        for (pub_barrier, con_barrier, exists) in [
+            (Barrier::None, Barrier::None, true),
+            (Barrier::DmbSt, Barrier::DmbLd, false),
+        ] {
+            let t = message_passing(pub_barrier, con_barrier);
+            let fast = witness_for(&t, MemoryModel::ArmWmm);
+            let slow =
+                find_witness_enumerative(&t.program, MemoryModel::ArmWmm, |o| (t.relaxed)(o));
+            assert_eq!(fast.is_some(), exists);
+            assert_eq!(slow.is_some(), exists);
+        }
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Differential suite: the DPOR engine vs the enumerative SipHash oracle.
+//!
+//! The engine's partial-order reduction is only sound if its outcome set
+//! equals the oracle's on *every* program — these tests sweep the litmus
+//! battery and a dependency-rich random program space, at worker counts
+//! 1 and 4, and additionally check that every witness the engine produces
+//! replays (via the independent `Witness::replay` checker) to exactly the
+//! outcome it claims.
+
+use proptest::prelude::*;
+
+use armbar_barriers::Barrier;
+use armbar_wmm::battery::battery;
+use armbar_wmm::explore::{explore_dpor_uncached, explore_with_sip_hasher};
+use armbar_wmm::model::{Instr, MemoryModel, Program, Thread};
+use armbar_wmm::witness::find_witness;
+
+/// Instruction generator, deliberately richer than the basic proptests:
+/// acquire/release flags, bogus address/data/control dependencies, and
+/// register-valued stores all stress the engine's same-thread conflict
+/// relation.
+fn gen_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0u8..4, 0u8..3).prop_map(|(r, l)| Instr::load(r, l)),
+        (0u8..4, 0u8..3).prop_map(|(r, l)| Instr::load_acq(r, l)),
+        (0u8..4, 0u8..3, 0u8..4).prop_map(|(r, l, d)| Instr::load_addr_dep(r, l, d)),
+        (0u8..3, 1u64..4).prop_map(|(l, v)| Instr::store(l, v)),
+        (0u8..3, 1u64..4).prop_map(|(l, v)| Instr::store_rel(l, v)),
+        (0u8..3, 1u64..4, 0u8..4).prop_map(|(l, v, d)| Instr::store_data_dep(l, v, d)),
+        (0u8..3, 1u64..4, 0u8..4).prop_map(|(l, v, d)| Instr::store_addr_dep(l, v, d)),
+        (0u8..3, 1u64..4, 0u8..4).prop_map(|(l, v, d)| Instr::store_ctrl_dep(l, v, d)),
+        (0u8..3, 0u8..4).prop_map(|(l, r)| Instr::Store {
+            loc: l,
+            src: armbar_wmm::Src::Reg(r),
+            release: false,
+            addr_dep: None,
+            ctrl_dep: None,
+        }),
+        Just(Instr::Fence(Barrier::DmbFull)),
+        Just(Instr::Fence(Barrier::DmbSt)),
+        Just(Instr::Fence(Barrier::DmbLd)),
+        Just(Instr::Fence(Barrier::DsbFull)),
+        Just(Instr::Fence(Barrier::Isb)),
+    ]
+}
+
+fn gen_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(prop::collection::vec(gen_instr(), 1..5), 1..4),
+        prop::collection::vec((0u8..3, 1u64..4), 0..2),
+    )
+        .prop_map(|(ts, init)| Program {
+            threads: ts.into_iter().map(|instrs| Thread { instrs }).collect(),
+            init,
+        })
+}
+
+/// Engine (serial and 4-worker) vs oracle on one program under one model.
+fn check(p: &Program, model: MemoryModel) {
+    let oracle = explore_with_sip_hasher(p, model);
+    let serial = explore_dpor_uncached(p, model, 1);
+    let parallel = explore_dpor_uncached(p, model, 4);
+    assert_eq!(
+        serial.outcomes, oracle.outcomes,
+        "engine diverged from oracle under {model:?} on {p:?}"
+    );
+    assert_eq!(
+        serial, parallel,
+        "worker count changed the result under {model:?} on {p:?}"
+    );
+    assert!(serial.states_visited > 0);
+}
+
+#[test]
+fn battery_differential_all_models_and_worker_counts() {
+    for (test, _) in battery() {
+        for model in MemoryModel::ALL {
+            check(&test.program, model);
+        }
+    }
+}
+
+#[test]
+fn battery_witnesses_replay() {
+    for (test, _) in battery() {
+        for model in MemoryModel::ALL {
+            let set = explore_dpor_uncached(&test.program, model, 1);
+            // Every reachable outcome must have a witness that replays to
+            // exactly that outcome.
+            for target in &set.outcomes {
+                let w = find_witness(&test.program, model, |o| o == target)
+                    .unwrap_or_else(|| panic!("{}: outcome lost under {model:?}", test.name));
+                assert_eq!(&w.outcome, target, "{}", test.name);
+                assert_eq!(
+                    w.replay(&test.program, model).as_ref(),
+                    Some(target),
+                    "{}: witness does not replay under {model:?}",
+                    test.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random dependency-rich programs: engine == oracle, serial ==
+    /// parallel, under every model.
+    #[test]
+    fn random_programs_differential(p in gen_program()) {
+        for model in MemoryModel::ALL {
+            check(&p, model);
+        }
+    }
+
+    /// Every outcome the engine reports on a random program has a witness
+    /// that replays to it.
+    #[test]
+    fn random_program_witnesses_replay(p in gen_program()) {
+        let set = explore_dpor_uncached(&p, MemoryModel::ArmWmm, 1);
+        for target in &set.outcomes {
+            let w = find_witness(&p, MemoryModel::ArmWmm, |o| o == target);
+            let w = w.expect("reachable outcome must have a witness");
+            prop_assert_eq!(w.replay(&p, MemoryModel::ArmWmm).as_ref(), Some(target));
+        }
+    }
+}
