@@ -190,6 +190,39 @@ pub fn corpus() -> Vec<LintCase> {
         forbidden: Some(t.relaxed),
     });
 
+    // Release-then-reacquire: the publisher hands off protected data with
+    // an STLR and immediately re-acquires the reply channel with LDAR —
+    // the mutex-chain / RPC idiom. Both LDARs are load-bearing (each
+    // orders a flag read before its payload read), but the communication
+    // is one-directional — the replier reads before it publishes — so no
+    // SB cycle exists and the RCsc release-before-acquire rule discharges
+    // nothing. LDAPR is outcome-identical and skips the store-buffer
+    // drain the LDAR pays behind the STLR.
+    cases.push(LintCase {
+        name: "rel-reacquire+stlr+ldar".to_string(),
+        program: Program {
+            threads: vec![
+                thread(vec![
+                    Instr::store(0, 41),
+                    Instr::store_rel(1, 1),
+                    Instr::load_acq(0, 2),
+                    Instr::load(1, 3),
+                ]),
+                thread(vec![
+                    Instr::load_acq(0, 1),
+                    Instr::load(1, 0),
+                    Instr::store(3, 7),
+                    Instr::store_rel(2, 1),
+                ]),
+            ],
+            init: vec![],
+        },
+        // Seeing a flag must imply seeing the payload behind it, both ways.
+        forbidden: Some(Box::new(|o| {
+            (o.reg(0, 0) == 1 && o.reg(0, 1) != 7) || (o.reg(1, 0) == 1 && o.reg(1, 1) != 41)
+        })),
+    });
+
     cases
 }
 

@@ -23,9 +23,11 @@
 
 use armbar_barriers::advisor::{recommend, Approach, Multiplicity, OrderReq};
 use armbar_barriers::strength::cost_rank;
-use armbar_barriers::{AccessType, Barrier, CostRank};
+use armbar_barriers::{AccessType, Acquire, Barrier, CostRank};
 use armbar_wmm::explore::explore;
-use armbar_wmm::mutate::{barrier_sites, remove_site, replace_fence, BarrierSite, SiteKind};
+use armbar_wmm::mutate::{
+    barrier_sites, remove_site, replace_fence, rewrite_acquire, BarrierSite, SiteKind,
+};
 use armbar_wmm::witness::{find_witness, Witness};
 use armbar_wmm::{MemoryModel, Program};
 
@@ -194,6 +196,10 @@ fn fence_requirement(program: &Program, site: BarrierSite) -> Option<OrderReq> {
             Multiplicity::Many
         },
         deps_feasible,
+        // A fence's surroundings cannot show whether SC ordering is needed,
+        // so the advisor is queried conservatively; RCpc enters through the
+        // dedicated acquire-site downgrade below, which proves equality.
+        sc_required: true,
     })
 }
 
@@ -356,6 +362,48 @@ pub fn analyze_case_with(case: &LintCase, explorer: ExploreFn) -> Vec<Finding> {
                 }
             }
         }
+
+        // Over-strong check for RCsc acquires: does dialling LDAR down to
+        // LDAPR (keeping acquire-vs-younger ordering, dropping only the
+        // earlier-release-before-this-load rule) admit any new outcome? A
+        // relaxation can only grow the set, so an empty diff here is full
+        // outcome-set equality, not mere preservation.
+        if site.kind == SiteKind::Acquire {
+            if let Some(rewritten) = rewrite_acquire(&case.program, site, Acquire::Pc) {
+                let sub_set = explorer(&rewritten, model);
+                let sub_diff = base.diff(&sub_set);
+                debug_assert!(
+                    sub_diff.removed.is_empty(),
+                    "weakening LDAR to LDAPR can only relax the outcome set"
+                );
+                if sub_diff.added.is_empty() {
+                    findings.push(Finding {
+                        case: case.name.clone(),
+                        site: Some(site),
+                        kind: FindingKind::OverStrong,
+                        original: orig,
+                        suggestion: Some(Barrier::Ldapr),
+                        caveat: false,
+                        rank_before: cost_rank(orig),
+                        rank_after: cost_rank(Barrier::Ldapr),
+                        outcomes_base: base.len(),
+                        outcomes_after: sub_set.len(),
+                        added: 0,
+                        removed: 0,
+                        states_base: base.states_visited,
+                        states_after: sub_set.states_visited,
+                        pruned_base: base.states_pruned,
+                        pruned_after: sub_set.states_pruned,
+                        proof: Proof::OutcomesEqual {
+                            states_base: base.states_visited,
+                            states_mutated: sub_set.states_visited,
+                        },
+                        rewritten: Some(rewritten),
+                    });
+                    substituted = true;
+                }
+            }
+        }
         if !substituted {
             findings.push(Finding {
                 case: case.name.clone(),
@@ -445,8 +493,13 @@ mod tests {
                     assert!(matches!(f.proof, Proof::OutcomesEqual { .. }), "{}", f.case);
                 }
                 FindingKind::OverStrong => {
+                    // Fence substitutions prove preservation; the LDAR ->
+                    // LDAPR downgrade proves full outcome-set equality.
                     assert!(
-                        matches!(f.proof, Proof::OutcomesPreserved { .. }),
+                        matches!(
+                            f.proof,
+                            Proof::OutcomesPreserved { .. } | Proof::OutcomesEqual { .. }
+                        ),
                         "{}",
                         f.case
                     );

@@ -17,6 +17,7 @@ fn gen_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (0u8..3, 0u8..3).prop_map(|(r, l)| Instr::load(r, l)),
         (0u8..3, 0u8..3).prop_map(|(r, l)| Instr::load_acq(r, l)),
+        (0u8..3, 0u8..3).prop_map(|(r, l)| Instr::load_acq_pc(r, l)),
         (0u8..3, 0u8..3, 0u8..3).prop_map(|(r, l, d)| Instr::load_addr_dep(r, l, d)),
         (0u8..3, 1u64..4).prop_map(|(l, v)| Instr::store(l, v)),
         (0u8..3, 1u64..4).prop_map(|(l, v)| Instr::store_rel(l, v)),
@@ -67,6 +68,34 @@ proptest! {
                     f.site_label()
                 );
             }
+        }
+    }
+
+    /// RCpc-specific soundness: every LDAR -> LDAPR downgrade the lint
+    /// emits is backed by *exact* outcome-set equality — weakening an
+    /// acquire can only relax, so one widened outcome anywhere in a random
+    /// dependency-rich program must have suppressed the suggestion.
+    #[test]
+    fn ldapr_downgrades_never_widen_allowed_behaviors(p in gen_program()) {
+        let base = explore(&p, MemoryModel::ArmWmm);
+        let case = LintCase {
+            name: "fuzz".to_string(),
+            program: p,
+            forbidden: None,
+        };
+        for f in analyze_case(&case) {
+            if f.suggestion != Some(Barrier::Ldapr) {
+                continue;
+            }
+            prop_assert_eq!(f.kind, FindingKind::OverStrong);
+            prop_assert_eq!(f.original, Barrier::Ldar);
+            let rewritten = f.rewritten.as_ref().expect("downgrade attaches the rewrite");
+            let got = explore(rewritten, MemoryModel::ArmWmm);
+            prop_assert!(
+                base.diff(&got).is_equal(),
+                "LDAR -> LDAPR at {} changed the outcome set",
+                f.site_label()
+            );
         }
     }
 

@@ -35,10 +35,18 @@ pub struct OrderReq {
     /// Whether the caller can realistically construct a bogus dependency
     /// (needs the earlier access to be a load whose value is in hand).
     pub deps_feasible: bool,
+    /// Whether the acquiring side must be **RCsc** — sequentially consistent
+    /// against store-releases across threads (e.g. Dekker-style mutual
+    /// exclusion through release/acquire pairs) — rather than merely
+    /// pairwise processor-consistent. When `false`, the cheaper RCpc
+    /// `LDAPR` suffices and is preferred; when `true` it is never offered.
+    pub sc_required: bool,
 }
 
 impl OrderReq {
     /// Requirement between two single accesses, dependencies feasible.
+    /// Conservatively assumes RCsc is required; use [`OrderReq::allow_pc`]
+    /// when pairwise release/acquire (RCpc) visibility is enough.
     #[must_use]
     pub fn pair(from: AccessType, to: AccessType) -> Self {
         OrderReq {
@@ -46,6 +54,18 @@ impl OrderReq {
             to: Some(to),
             to_multiplicity: Multiplicity::One,
             deps_feasible: true,
+            sc_required: true,
+        }
+    }
+
+    /// The same requirement, declaring that processor-consistent
+    /// release/acquire ordering suffices (no SC-per-location demand across
+    /// threads), which unlocks the RCpc `LDAPR` recommendation.
+    #[must_use]
+    pub fn allow_pc(self) -> Self {
+        OrderReq {
+            sc_required: false,
+            ..self
         }
     }
 }
@@ -173,11 +193,20 @@ pub fn recommend(req: OrderReq) -> Recommendation {
             deps.dedup();
             preferred.extend(deps.into_iter().map(Approach::Use));
         }
-        // LDAR then DMB ld, per the table's two option columns.
+        // LDAPR first when pairwise-PC ordering suffices (ARMv8.3, cheapest
+        // acquire), then LDAR and DMB ld per the table's option columns.
+        if !req.sc_required {
+            preferred.push(Approach::Use(Barrier::Ldapr));
+        }
         preferred.push(Approach::Use(Barrier::Ldar));
         preferred.push(Approach::Use(Barrier::DmbLd));
         let alternatives = vec![Approach::Use(Barrier::DmbFull)];
-        let rationale = if req.deps_feasible {
+        let rationale = if !req.sc_required {
+            "Load-rooted ordering where processor consistency suffices: the \
+             RCpc LDAPR orders the load before everything younger without \
+             ever waiting for earlier store-releases to drain; LDAR/DMB ld \
+             remain the RCsc-safe fallbacks (Observation 6)."
+        } else if req.deps_feasible {
             "Load-rooted ordering: bogus dependencies cost nothing and send \
              nothing to the bus (Observation 6); LDAR/DMB ld are the fallback \
              when dependencies are hard to construct."
@@ -250,6 +279,7 @@ pub fn table3() -> Vec<(String, String, Recommendation)> {
                 to,
                 to_multiplicity: mult,
                 deps_feasible: true,
+                sc_required: true,
             });
             out.push((fname.to_string(), tname.to_string(), rec));
         }
@@ -309,6 +339,7 @@ mod tests {
             to: Some(Store),
             to_multiplicity: Multiplicity::One,
             deps_feasible: false,
+            sc_required: true,
         });
         assert_eq!(rec.best(), Approach::Use(Barrier::DmbFull));
         assert!(rec.preferred.iter().any(|a| matches!(
@@ -343,38 +374,78 @@ mod tests {
             for to in [Some(Load), Some(Store), None] {
                 for m in [Multiplicity::One, Multiplicity::Many] {
                     for deps in [true, false] {
-                        let req = OrderReq {
+                        for sc in [true, false] {
+                            let req = OrderReq {
+                                from,
+                                to,
+                                to_multiplicity: m,
+                                deps_feasible: deps,
+                                sc_required: sc,
+                            };
+                            let rec = recommend(req);
+                            assert!(!rec.preferred.is_empty());
+                            let froms: &[AccessType] = match from {
+                                Some(Load) => &[Load],
+                                Some(Store) => &[Store],
+                                None => &AccessType::ALL,
+                            };
+                            let tos: &[AccessType] = match to {
+                                Some(Load) => &[Load],
+                                Some(Store) => &[Store],
+                                None => &AccessType::ALL,
+                            };
+                            for a in &rec.preferred {
+                                let b = match a {
+                                    Approach::Use(b) => *b,
+                                    Approach::MeasureAgainst { candidate, .. } => *candidate,
+                                };
+                                for &e in froms {
+                                    for &l in tos {
+                                        assert!(
+                                            b.orders(e, l),
+                                            "{b} recommended for {e}->{l} but does not order it"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pc_sufficient_load_rooted_cells_lead_with_ldapr() {
+        for to in [Load, Store] {
+            let rec = recommend(OrderReq {
+                deps_feasible: false,
+                ..OrderReq::pair(Load, to).allow_pc()
+            });
+            assert_eq!(rec.best(), Approach::Use(Barrier::Ldapr), "load->{to}");
+            // The RCsc-safe fallbacks still follow, in cost order.
+            assert!(rec.preferred.contains(&Approach::Use(Barrier::Ldar)));
+            assert!(rec.preferred.contains(&Approach::Use(Barrier::DmbLd)));
+        }
+    }
+
+    #[test]
+    fn ldapr_is_never_offered_when_sc_is_required() {
+        for from in [Some(Load), Some(Store), None] {
+            for to in [Some(Load), Some(Store), None] {
+                for m in [Multiplicity::One, Multiplicity::Many] {
+                    for deps in [true, false] {
+                        let rec = recommend(OrderReq {
                             from,
                             to,
                             to_multiplicity: m,
                             deps_feasible: deps,
-                        };
-                        let rec = recommend(req);
-                        assert!(!rec.preferred.is_empty());
-                        let froms: &[AccessType] = match from {
-                            Some(Load) => &[Load],
-                            Some(Store) => &[Store],
-                            None => &AccessType::ALL,
-                        };
-                        let tos: &[AccessType] = match to {
-                            Some(Load) => &[Load],
-                            Some(Store) => &[Store],
-                            None => &AccessType::ALL,
-                        };
-                        for a in &rec.preferred {
-                            let b = match a {
-                                Approach::Use(b) => *b,
-                                Approach::MeasureAgainst { candidate, .. } => *candidate,
-                            };
-                            for &e in froms {
-                                for &l in tos {
-                                    assert!(
-                                        b.orders(e, l),
-                                        "{b} recommended for {e}->{l} but does not order it"
-                                    );
-                                }
-                            }
-                        }
+                            sc_required: true,
+                        });
+                        assert!(
+                            !rec.mentioned().contains(&Barrier::Ldapr),
+                            "LDAPR offered for {from:?}->{to:?} despite SC requirement"
+                        );
                     }
                 }
             }

@@ -38,6 +38,55 @@ impl fmt::Display for AccessType {
     }
 }
 
+/// The acquire annotation a load can carry.
+///
+/// Both acquire flavours order the annotated load before every
+/// program-order-later access (the one-way barrier of [`Barrier::Ldar`]).
+/// They differ only in how the load relates to program-order-*earlier*
+/// store-releases:
+///
+/// * [`Acquire::Sc`] (`LDAR`, RCsc): an earlier `STLR` may **not** be
+///   reordered past the load — releases and acquires are sequentially
+///   consistent with each other.
+/// * [`Acquire::Pc`] (`LDAPR`, RCpc, ARMv8.3): an earlier `STLR` **may**
+///   drain after the load performs — releases and acquires are only
+///   processor-consistent, which is exactly what C/C++ `memory_order_acquire`
+///   requires.
+///
+/// The distinction involves *two* annotated accesses, so it cannot be
+/// expressed through the pairwise [`Barrier::orders`] relation; the memory
+/// model consults this enum directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Acquire {
+    /// A plain load: no acquire ordering.
+    No,
+    /// RCpc acquire (`LDAPR`): orders the load before younger accesses only.
+    Pc,
+    /// RCsc acquire (`LDAR`): additionally ordered after earlier releases.
+    Sc,
+}
+
+impl Acquire {
+    /// Every annotation, weakest first (`No < Pc < Sc`).
+    pub const ALL: [Acquire; 3] = [Acquire::No, Acquire::Pc, Acquire::Sc];
+
+    /// Whether the load carries any acquire semantics at all.
+    #[must_use]
+    pub fn is_acquire(self) -> bool {
+        self != Acquire::No
+    }
+
+    /// The [`Barrier`] taxonomy entry this annotation corresponds to.
+    #[must_use]
+    pub fn barrier(self) -> Option<Barrier> {
+        match self {
+            Acquire::No => None,
+            Acquire::Pc => Some(Barrier::Ldapr),
+            Acquire::Sc => Some(Barrier::Ldar),
+        }
+    }
+}
+
 /// The kind of ACE transaction a barrier's typical implementation sends.
 ///
 /// §2.3: DMB normally translates to a *memory barrier transaction* and DSB to
@@ -82,9 +131,17 @@ pub enum Barrier {
     /// `ISB` — flushes the pipeline; orders nothing by itself but guarantees
     /// later instructions re-fetch after earlier context-changing effects.
     Isb,
-    /// `LDAR` — load-acquire: the annotated load is ordered before every
-    /// later access (one-way barrier).
+    /// `LDAR` — RCsc load-acquire: the annotated load is ordered before
+    /// every later access (one-way barrier) *and* after every earlier
+    /// store-release.
     Ldar,
+    /// `LDAPR` — RCpc load-acquire (ARMv8.3): ordered before every later
+    /// access like `LDAR`, but an earlier `STLR` may still drain past it.
+    /// The pairwise [`Barrier::orders`] relation cannot see that
+    /// difference (it concerns two annotated accesses), so `Ldapr` and
+    /// `Ldar` order identical pairs here; [`Acquire`] carries the RCsc/RCpc
+    /// split for the memory model.
+    Ldapr,
     /// `STLR` — store-release: every earlier access is ordered before the
     /// annotated store (one-way barrier).
     Stlr,
@@ -104,7 +161,7 @@ pub enum Barrier {
 
 impl Barrier {
     /// Every variant, for exhaustive sweeps in experiments and tests.
-    pub const ALL: [Barrier; 14] = [
+    pub const ALL: [Barrier; 15] = [
         Barrier::None,
         Barrier::DmbFull,
         Barrier::DmbSt,
@@ -114,6 +171,7 @@ impl Barrier {
         Barrier::DsbLd,
         Barrier::Isb,
         Barrier::Ldar,
+        Barrier::Ldapr,
         Barrier::Stlr,
         Barrier::DataDep,
         Barrier::AddrDep,
@@ -153,7 +211,7 @@ impl Barrier {
             Barrier::DmbFull | Barrier::DsbFull => true,
             Barrier::DmbSt | Barrier::DsbSt => earlier == Store && later == Store,
             Barrier::DmbLd | Barrier::DsbLd => earlier == Load,
-            Barrier::Ldar => earlier == Load,
+            Barrier::Ldar | Barrier::Ldapr => earlier == Load,
             Barrier::Stlr => later == Store,
             Barrier::DataDep => earlier == Load && later == Store,
             Barrier::AddrDep => earlier == Load,
@@ -225,7 +283,7 @@ impl Barrier {
     /// standing alone in the instruction stream (LDAR, STLR, dependencies).
     #[must_use]
     pub fn is_access_attached(self) -> bool {
-        matches!(self, Barrier::Ldar | Barrier::Stlr) || self.is_dependency()
+        matches!(self, Barrier::Ldar | Barrier::Ldapr | Barrier::Stlr) || self.is_dependency()
     }
 
     /// The mnemonic used in the paper's figures (e.g. `DMB full`, `LDAR`).
@@ -241,6 +299,7 @@ impl Barrier {
             Barrier::DsbLd => "DSB ld",
             Barrier::Isb => "ISB",
             Barrier::Ldar => "LDAR",
+            Barrier::Ldapr => "LDAPR",
             Barrier::Stlr => "STLR",
             Barrier::DataDep => "DATA DEP",
             Barrier::AddrDep => "ADDR DEP",
@@ -288,6 +347,7 @@ mod tests {
             Barrier::DmbLd,
             Barrier::DsbLd,
             Barrier::Ldar,
+            Barrier::Ldapr,
             Barrier::CtrlIsb,
         ] {
             assert!(b.orders(Load, Load));
@@ -337,6 +397,7 @@ mod tests {
         for b in [
             Barrier::DmbLd,
             Barrier::Ldar,
+            Barrier::Ldapr,
             Barrier::DataDep,
             Barrier::AddrDep,
             Barrier::Ctrl,
@@ -389,6 +450,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ldapr_orders_the_same_pairs_as_ldar() {
+        // The RCsc/RCpc split concerns *two* annotated accesses (an earlier
+        // STLR and the acquiring load) and lives in `Acquire`, not here.
+        for e in AccessType::ALL {
+            for l in AccessType::ALL {
+                assert_eq!(Barrier::Ldapr.orders(e, l), Barrier::Ldar.orders(e, l));
+            }
+        }
+    }
+
+    #[test]
+    fn acquire_annotations_map_to_their_barriers() {
+        assert_eq!(Acquire::No.barrier(), None);
+        assert_eq!(Acquire::Pc.barrier(), Some(Barrier::Ldapr));
+        assert_eq!(Acquire::Sc.barrier(), Some(Barrier::Ldar));
+        assert!(!Acquire::No.is_acquire());
+        assert!(Acquire::Pc.is_acquire());
+        assert!(Acquire::Sc.is_acquire());
+        // Strength order: No < Pc < Sc.
+        assert!(Acquire::No < Acquire::Pc);
+        assert!(Acquire::Pc < Acquire::Sc);
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub enum CostRank {
     Free,
     /// Bogus dependencies: no bus traffic, no pipeline penalty.
     Dependency,
+    /// RCpc acquire: `LDAPR` — in-core like `LDAR`, but never serializes
+    /// against earlier store-releases draining, so it is strictly cheaper
+    /// than the [`CostRank::LoadBarrier`] band whenever releases are in
+    /// flight and never dearer.
+    RcpcAcquire,
     /// Local load-ordering: `DMB ld`, `LDAR` (no bus traffic).
     LoadBarrier,
     /// Pipeline flush: `ISB`, `CTRL+ISB`.
@@ -46,6 +51,7 @@ pub fn cost_rank(b: Barrier) -> CostRank {
     match b {
         Barrier::None => CostRank::Free,
         Barrier::DataDep | Barrier::AddrDep | Barrier::Ctrl => CostRank::Dependency,
+        Barrier::Ldapr => CostRank::RcpcAcquire,
         Barrier::DmbLd | Barrier::Ldar => CostRank::LoadBarrier,
         Barrier::Isb | Barrier::CtrlIsb => CostRank::PipelineFlush,
         Barrier::DmbSt => CostRank::StoreBarrier,
@@ -99,6 +105,13 @@ mod tests {
         assert!(cost_rank(Barrier::DmbSt) > cost_rank(Barrier::DmbLd));
         assert_eq!(cost_rank(Barrier::DmbLd), cost_rank(Barrier::Ldar));
         assert!(cost_rank(Barrier::DmbLd) >= cost_rank(Barrier::DataDep));
+    }
+
+    #[test]
+    fn ldapr_sits_strictly_between_dependencies_and_ldar() {
+        assert!(cost_rank(Barrier::Ldapr) < cost_rank(Barrier::Ldar));
+        assert!(cost_rank(Barrier::Ldapr) > cost_rank(Barrier::DataDep));
+        assert!(is_stable(Barrier::Ldapr));
     }
 
     #[test]

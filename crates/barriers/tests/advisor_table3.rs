@@ -20,6 +20,7 @@ fn cells() -> impl Iterator<Item = OrderReq> {
                     to,
                     to_multiplicity: m,
                     deps_feasible: deps,
+                    sc_required: true,
                 })
             })
         })
@@ -185,6 +186,52 @@ fn every_offered_approach_is_semantically_sufficient() {
             }
         }
         assert!(!rec.rationale.is_empty());
+    }
+}
+
+#[test]
+fn relaxing_sc_unlocks_ldapr_exactly_on_load_rooted_cells() {
+    for req in cells() {
+        let pc = req.allow_pc();
+        let rec = recommend(pc);
+        let ldapr_pos = rec
+            .preferred
+            .iter()
+            .position(|a| *a == Approach::Use(Barrier::Ldapr));
+        if pc.from == Some(AccessType::Load) {
+            let ldapr = ldapr_pos.expect("load-rooted PC cell must offer LDAPR");
+            let ldar = rec
+                .preferred
+                .iter()
+                .position(|a| *a == Approach::Use(Barrier::Ldar))
+                .unwrap();
+            assert!(ldapr < ldar, "LDAPR must outrank LDAR when PC suffices");
+            if pc.deps_feasible {
+                assert!(
+                    barrier_of(&rec.preferred[0]).is_dependency(),
+                    "dependencies still outrank LDAPR: {pc:?}"
+                );
+            } else {
+                assert_eq!(rec.best(), Approach::Use(Barrier::Ldapr), "{pc:?}");
+            }
+            // Sufficiency over the cell, pairwise like LDAR.
+            for &e in expand(pc.from) {
+                for &l in expand(pc.to) {
+                    assert!(Barrier::Ldapr.orders(e, l), "{pc:?} misses {e:?}->{l:?}");
+                }
+            }
+        } else {
+            assert!(ldapr_pos.is_none(), "LDAPR cannot order {pc:?}");
+        }
+        // SC-required cells never see LDAPR at all.
+        assert!(
+            !recommend(req)
+                .preferred
+                .iter()
+                .chain(&recommend(req).alternatives)
+                .any(|a| barrier_of(a) == Barrier::Ldapr),
+            "{req:?}"
+        );
     }
 }
 

@@ -1,0 +1,7 @@
+//! Sweep the RCsc/RCpc-distinguishing litmus shapes (and their controls)
+//! in both acquire flavours through the explorer and the simulator on
+//! every platform profile, writing `results/rcpc.csv`.
+
+fn main() {
+    assert!(armbar_experiments::run_experiment("rcpc"));
+}

@@ -1028,7 +1028,7 @@ pub fn fig8d(_ctx: &SweepCtx) -> Vec<Table> {
 
 /// Flatten one workload's [`StallBreakdown`] into the sweep-cell value
 /// layout shared by [`attrib_grid`]: the nine cause counters in
-/// [`StallBreakdown::CAUSE_LABELS`] order, the ten
+/// [`StallBreakdown::CAUSE_LABELS`] order, the eleven
 /// [`StallBreakdown::CHARGEABLE_KINDS`] subtotals, then the total. Raw
 /// cycle counts — not shares — go through the cache so the CSV shares can
 /// be recomputed from warm entries bit-for-bit.
@@ -1043,9 +1043,9 @@ fn stall_values(stall: &StallBreakdown) -> Vec<f64> {
     vals
 }
 
-/// Number of values each attribution cell produces (9 causes + 10 kinds +
+/// Number of values each attribution cell produces (9 causes + 11 kinds +
 /// the total).
-const ATTRIB_WIDTH: usize = 20;
+const ATTRIB_WIDTH: usize = 21;
 
 /// Declare the `exp-attrib` workload grid: the conservatively fenced
 /// message-passing workload under every placement of
@@ -1128,10 +1128,14 @@ pub fn attrib(ctx: &SweepCtx) -> Vec<Table> {
         // The core model charges exactly one cause and one kind per stalled
         // cycle; u64 counts below 2^53 survive the f64 round trip exactly.
         assert_eq!(vals[..9].iter().sum::<f64>(), total, "{label}: causes");
-        assert_eq!(vals[9..19].iter().sum::<f64>(), total, "{label}: kinds");
+        assert_eq!(
+            vals[9..ATTRIB_WIDTH - 1].iter().sum::<f64>(),
+            total,
+            "{label}: kinds"
+        );
         println!("  {label}: {total} stalled cycles");
         causes.push_share_row(&label, &vals[..9]);
-        kinds.push_share_row(&label, &vals[9..19]);
+        kinds.push_share_row(&label, &vals[9..ATTRIB_WIDTH - 1]);
     }
     vec![causes, kinds]
 }

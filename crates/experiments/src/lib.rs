@@ -21,6 +21,7 @@ pub mod extension;
 pub mod figures;
 pub mod jobs;
 pub mod lint;
+pub mod rcpc;
 pub mod report;
 pub mod sweep;
 
@@ -60,6 +61,7 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
         "attrib" => figures::attrib(ctx),
         "battery" => figures::battery(ctx),
         "lint" => lint::lint(ctx),
+        "rcpc" => rcpc::rcpc(ctx),
         _ => return false,
     };
     for t in &tables {
@@ -72,11 +74,12 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
 }
 
 /// Every experiment id, in paper order (plus the stall-attribution
-/// decomposition, the litmus battery report, and the barrier lint sweep).
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+/// decomposition, the litmus battery report, the barrier lint sweep, and
+/// the RCsc/RCpc acquire comparison).
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig6a", "fig6b", "fig6c",
     "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca", "attrib",
-    "battery", "lint",
+    "battery", "lint", "rcpc",
 ];
 
 /// When `ARMBAR_TRACE=<path>` is set, rerun the attribution message-passing

@@ -42,7 +42,7 @@ pub struct LintRecord {
     pub suggestion: Option<u8>,
     /// Suggestion carries the measure-first caveat.
     pub caveat: bool,
-    /// Cost-rank bands (0 = Free .. 7 = SyncBarrier).
+    /// Cost-rank bands (0 = Free .. 8 = SyncBarrier).
     pub rank_before: u8,
     /// Band after the suggestion.
     pub rank_after: u8,
@@ -57,9 +57,10 @@ pub struct LintRecord {
 }
 
 const KIND_LABELS: [&str; 4] = ["redundant", "over-strong", "missing", "necessary"];
-const RANK_LABELS: [&str; 8] = [
+const RANK_LABELS: [&str; 9] = [
     "free",
     "dependency",
+    "rcpc-acquire",
     "load-barrier",
     "pipeline-flush",
     "store-barrier",
@@ -82,12 +83,13 @@ fn rank_code(r: armbar_barriers::CostRank) -> u8 {
     match r {
         C::Free => 0,
         C::Dependency => 1,
-        C::LoadBarrier => 2,
-        C::PipelineFlush => 3,
-        C::StoreBarrier => 4,
-        C::FullBarrier => 5,
-        C::StoreRelease => 6,
-        C::SyncBarrier => 7,
+        C::RcpcAcquire => 2,
+        C::LoadBarrier => 3,
+        C::PipelineFlush => 4,
+        C::StoreBarrier => 5,
+        C::FullBarrier => 6,
+        C::StoreRelease => 7,
+        C::SyncBarrier => 8,
     }
 }
 
@@ -221,7 +223,7 @@ pub fn decode_findings(vals: &[f64]) -> Vec<LintRecord> {
 pub fn lint_grid(sweep: &mut SweepSpec, replay_iters: u64) -> Vec<(String, CellId)> {
     let mut rows = Vec::new();
     for case in corpus() {
-        let key = model_key(&("lint-v2", &case.name, &case.program, replay_iters));
+        let key = model_key(&("lint-v3", &case.name, &case.program, replay_iters));
         let name = case.name.clone();
         let id = sweep.cell(key, move || {
             encode_findings(&lint_records(&case, replay_iters))

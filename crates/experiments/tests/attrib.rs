@@ -64,10 +64,10 @@ fn causes_and_kinds_sum_to_the_total_in_every_cell() {
     assert_eq!(raw.len(), 9, "5 MP placements + 4 lock platforms");
     let mut stalled_somewhere = false;
     for vals in &raw {
-        assert_eq!(vals.len(), 20);
-        let total = vals[19];
+        assert_eq!(vals.len(), 21, "9 causes + 11 kinds + total");
+        let total = vals[20];
         assert_eq!(vals[..9].iter().sum::<f64>(), total);
-        assert_eq!(vals[9..19].iter().sum::<f64>(), total);
+        assert_eq!(vals[9..20].iter().sum::<f64>(), total);
         stalled_somewhere |= total > 0.0;
     }
     assert!(

@@ -21,7 +21,7 @@
 
 use armbar_fxhash::FxHashMap;
 
-use armbar_barriers::Barrier;
+use armbar_barriers::{Acquire, Barrier};
 
 use crate::directory::Directory;
 use crate::op::{Op, RmwKind, SimThread, ThreadCtx};
@@ -77,8 +77,10 @@ struct LoadInFlight {
     forwarded: Option<u64>,
     /// Deliver the value to the (suspended) thread on completion.
     wants_value: bool,
-    /// Clear the acquire gate on completion (LDAR).
-    acquire: bool,
+    /// Acquire annotation; any acquiring load clears the gate on
+    /// completion, and the flavour decides which kind a gate stall is
+    /// charged to (`LDAR` vs `LDAPR`).
+    acquire: Acquire,
     rmw: Option<RmwInfo>,
 }
 
@@ -405,14 +407,39 @@ impl Core {
                 };
             }
         }
-        // Otherwise an LDAR acquire gate holds memory issue.
+        // Otherwise an acquire gate (LDAR/LDAPR) holds memory issue;
+        // charge the flavour of the gating load.
         let mut worst = DistanceClass::Local;
+        let mut kind = Barrier::Ldar;
         if let Some(id) = self.acquire_gate {
             if let Some(l) = self.loads.iter().find(|l| l.id == id && l.done_at > now) {
                 worst = l.distance;
+                kind = l.acquire.barrier().unwrap_or(Barrier::Ldar);
             }
         }
-        (StallCause::DrainWait(worst), Barrier::Ldar)
+        (StallCause::DrainWait(worst), kind)
+    }
+
+    /// Whether an RCsc acquire (`LDAR`) must hold issue at `now`: an
+    /// earlier store-release still sits in the store buffer, and RCsc
+    /// forbids the acquiring load from performing before that release is
+    /// globally visible. The RCpc `LDAPR` never waits here.
+    fn rcsc_release_wait(&self) -> bool {
+        self.sb.entries().iter().any(|e| e.release)
+    }
+
+    /// Farthest drain distance among buffered store-releases (for charging
+    /// the RCsc wait).
+    fn worst_release_distance(&self) -> DistanceClass {
+        let mut worst = DistanceClass::Local;
+        for e in self.sb.entries() {
+            if e.release {
+                if let Some(d) = e.drain_distance {
+                    worst = worst.max(d);
+                }
+            }
+        }
+        worst
     }
 
     /// A full ROB counts as a barrier stall only when a pending barrier is
@@ -479,7 +506,7 @@ impl Core {
                     }
                 }
             }
-            if l.acquire && self.acquire_gate == Some(l.id) {
+            if l.acquire.is_acquire() && self.acquire_gate == Some(l.id) {
                 self.acquire_gate = None;
             }
             if l.wants_value && self.suspended_on == Some(l.id) {
@@ -744,7 +771,13 @@ impl Core {
                     acquire,
                     dep_on_last_load,
                 } => {
+                    // RCsc response-window wait: an LDAR may not perform
+                    // while an earlier STLR is still draining. The RCpc
+                    // LDAPR (and plain loads) skip this entirely — that is
+                    // the whole performance case for the downgrade.
+                    let rcsc_wait = acquire == Acquire::Sc && self.rcsc_release_wait();
                     if self.memory_blocked(now)
+                        || rcsc_wait
                         || self.rob.is_full()
                         || self.outstanding_loads(now) as u32 >= pc.max_outstanding_loads
                     {
@@ -752,6 +785,11 @@ impl Core {
                         stall = if self.memory_blocked(now) {
                             let (cause, kind) = self.classify_memory_block(now);
                             Stall::Barrier(cause, kind)
+                        } else if rcsc_wait {
+                            Stall::Barrier(
+                                StallCause::DrainWait(self.worst_release_distance()),
+                                Barrier::Ldar,
+                            )
                         } else if self.rob.is_full() {
                             self.classify_rob_full()
                         } else {
@@ -801,7 +839,7 @@ impl Core {
                     self.stats.loads += 1;
                     self.stats.issued += 1;
                     budget -= 1;
-                    if acquire {
+                    if acquire.is_acquire() {
                         self.acquire_gate = Some(id);
                     }
                     if use_value {
@@ -900,7 +938,8 @@ impl Core {
                         distance: out.distance,
                         forwarded: None,
                         wants_value: true,
-                        acquire,
+                        // Acquiring RMWs (LDADDA & co.) are RCsc.
+                        acquire: if acquire { Acquire::Sc } else { Acquire::No },
                         rmw: Some(RmwInfo { kind, operand }),
                     });
                     if acquire {

@@ -17,7 +17,7 @@
 //! the `dep_on_last_load` flag: the flagged access may not begin before the
 //! most recent load completes, but everything between them still flows.
 
-use armbar_barriers::Barrier;
+use armbar_barriers::{Acquire, Barrier};
 
 use crate::types::{Addr, Cycle};
 
@@ -50,8 +50,10 @@ pub enum Op {
         /// Suspend the thread until the value is available (the program
         /// consumes it); otherwise fire-and-forget.
         use_value: bool,
-        /// Load-acquire (`LDAR`): later memory ops wait for this load.
-        acquire: bool,
+        /// Acquire annotation: both flavours make later memory ops wait
+        /// for this load; RCsc (`LDAR`) additionally waits for earlier
+        /// store-releases to drain before issuing.
+        acquire: Acquire,
         /// Address-dependency on the most recent load: this load may not
         /// begin before that load completes.
         dep_on_last_load: bool,
@@ -133,7 +135,7 @@ impl Op {
         Op::Load {
             addr,
             use_value: false,
-            acquire: false,
+            acquire: Acquire::No,
             dep_on_last_load: false,
         }
     }
@@ -144,18 +146,29 @@ impl Op {
         Op::Load {
             addr,
             use_value: true,
-            acquire: false,
+            acquire: Acquire::No,
             dep_on_last_load: false,
         }
     }
 
-    /// Load-acquire (`LDAR`) whose value the thread consumes.
+    /// RCsc load-acquire (`LDAR`) whose value the thread consumes.
     #[must_use]
     pub fn load_acquire(addr: Addr) -> Op {
         Op::Load {
             addr,
             use_value: true,
-            acquire: true,
+            acquire: Acquire::Sc,
+            dep_on_last_load: false,
+        }
+    }
+
+    /// RCpc load-acquire (`LDAPR`) whose value the thread consumes.
+    #[must_use]
+    pub fn load_acquire_pc(addr: Addr) -> Op {
+        Op::Load {
+            addr,
+            use_value: true,
+            acquire: Acquire::Pc,
             dep_on_last_load: false,
         }
     }
@@ -166,7 +179,7 @@ impl Op {
         Op::Load {
             addr,
             use_value,
-            acquire: false,
+            acquire: Acquire::No,
             dep_on_last_load: true,
         }
     }
@@ -260,7 +273,7 @@ mod tests {
             Op::load(8),
             Op::Load {
                 use_value: false,
-                acquire: false,
+                acquire: Acquire::No,
                 ..
             }
         ));
@@ -268,7 +281,7 @@ mod tests {
             Op::load_use(8),
             Op::Load {
                 use_value: true,
-                acquire: false,
+                acquire: Acquire::No,
                 ..
             }
         ));
@@ -276,7 +289,15 @@ mod tests {
             Op::load_acquire(8),
             Op::Load {
                 use_value: true,
-                acquire: true,
+                acquire: Acquire::Sc,
+                ..
+            }
+        ));
+        assert!(matches!(
+            Op::load_acquire_pc(8),
+            Op::Load {
+                use_value: true,
+                acquire: Acquire::Pc,
                 ..
             }
         ));

@@ -113,7 +113,7 @@ impl StallBreakdown {
 
     /// The barrier kinds the core model can actually charge stalls to, in
     /// report order.
-    pub const CHARGEABLE_KINDS: [Barrier; 10] = [
+    pub const CHARGEABLE_KINDS: [Barrier; 11] = [
         Barrier::DmbFull,
         Barrier::DmbSt,
         Barrier::DmbLd,
@@ -123,6 +123,7 @@ impl StallBreakdown {
         Barrier::Isb,
         Barrier::CtrlIsb,
         Barrier::Ldar,
+        Barrier::Ldapr,
         Barrier::Stlr,
     ];
 
@@ -301,6 +302,49 @@ mod tests {
         assert_eq!(b.kind_count(Barrier::DsbFull), 7);
         assert_eq!(b.kind_count(Barrier::DmbSt), 2);
         assert_eq!(b.drain_wait[DistanceClass::CrossNode.index()], 3);
+    }
+
+    #[test]
+    fn acquire_subtotals_preserve_the_breakdown_invariant() {
+        // The LDAPR kind gets its own subtotal; charging a mix of RCsc and
+        // RCpc gate stalls keeps sum(causes) == sum(kinds) == total.
+        let mut b = StallBreakdown::default();
+        b.charge(
+            StallCause::DrainWait(DistanceClass::Local),
+            Barrier::Ldar,
+            11,
+        );
+        b.charge(
+            StallCause::DrainWait(DistanceClass::SameCluster),
+            Barrier::Ldapr,
+            5,
+        );
+        b.charge(
+            StallCause::DrainWait(DistanceClass::CrossNode),
+            Barrier::Ldapr,
+            2,
+        );
+        assert_eq!(b.total, 18);
+        assert_eq!(b.cause_total(), b.total);
+        assert_eq!(b.kind_total(), b.total);
+        assert_eq!(b.kind_count(Barrier::Ldar), 11);
+        assert_eq!(b.kind_count(Barrier::Ldapr), 7);
+    }
+
+    #[test]
+    fn every_chargeable_kind_has_a_distinct_subtotal_slot() {
+        for kind in StallBreakdown::CHARGEABLE_KINDS {
+            let mut b = StallBreakdown::default();
+            b.charge(StallCause::DrainWait(DistanceClass::Local), kind, 3);
+            assert_eq!(b.kind_count(kind), 3, "{kind}");
+            assert_eq!(b.cause_total(), b.kind_total());
+            // No other kind's slot was touched.
+            for other in StallBreakdown::CHARGEABLE_KINDS {
+                if other != kind {
+                    assert_eq!(b.kind_count(other), 0);
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! stores for Figure 3, load+store for Figure 5), the barrier kind, its
 //! location, and the nop count.
 
-use armbar_barriers::Barrier;
+use armbar_barriers::{Acquire, Barrier};
 use armbar_sim::{Machine, Op, Platform, SimThread, ThreadCtx};
 
 use crate::bind::BindConfig;
@@ -135,7 +135,7 @@ impl ModelThread {
                     Op::Load {
                         addr,
                         use_value: false,
-                        acquire: true,
+                        acquire: Acquire::Sc,
                         dep_on_last_load: false,
                     }
                 } else {

@@ -19,7 +19,7 @@
 //! onto the same machinery: how many shared lines the CS touches, how long
 //! the dependent pointer-chase is, and how much ALU work it does.
 
-use armbar_barriers::Barrier;
+use armbar_barriers::{Acquire, Barrier};
 use armbar_sim::{Machine, Op, Platform, SimThread, ThreadCtx};
 
 use crate::ticket_sim::{run_ticket, LockResult, TicketConfig};
@@ -274,7 +274,7 @@ impl SimThread for Client {
                     return Op::Load {
                         addr: resp_addr(self.id),
                         use_value: true,
-                        acquire: false,
+                        acquire: Acquire::No,
                         dep_on_last_load: true,
                     };
                 }
@@ -342,7 +342,7 @@ impl SimThread for FfwdServer {
                             return Op::Load {
                                 addr: req_addr(self.scan_at),
                                 use_value: false,
-                                acquire: true,
+                                acquire: Acquire::Sc,
                                 dep_on_last_load: false,
                             };
                         }
@@ -496,7 +496,7 @@ impl SimThread for CombinerClient {
                         return Op::Load {
                             addr: resp_addr(self.id),
                             use_value: true,
-                            acquire: false,
+                            acquire: Acquire::No,
                             dep_on_last_load: true,
                         };
                     }
@@ -571,7 +571,7 @@ impl SimThread for CombinerClient {
                             return Op::Load {
                                 addr: req_addr(self.scan_at),
                                 use_value: false,
-                                acquire: true,
+                                acquire: Acquire::Sc,
                                 dep_on_last_load: false,
                             };
                         }

@@ -12,7 +12,7 @@
 //! simulator when a reordering bites, exactly as the paper warns ("leads to
 //! a wrong result but can serve as a reference").
 
-use armbar_barriers::Barrier;
+use armbar_barriers::{Acquire, Barrier};
 use armbar_sim::{Machine, Op, SimThread, StallBreakdown, ThreadCtx, Trace};
 
 use crate::bind::BindConfig;
@@ -139,7 +139,7 @@ impl SimThread for Producer {
                             return Op::Load {
                                 addr: CONS_CNT,
                                 use_value: false,
-                                acquire: true,
+                                acquire: Acquire::Sc,
                                 dep_on_last_load: false,
                             };
                         }
@@ -236,7 +236,7 @@ impl SimThread for Consumer {
                     return Op::Load {
                         addr: slot_addr(self.cons_cnt),
                         use_value: true,
-                        acquire: false,
+                        acquire: Acquire::No,
                         dep_on_last_load: true,
                     };
                 }

@@ -55,4 +55,6 @@ pub use explore::{
 };
 pub use litmus::LitmusTest;
 pub use model::{Instr, MemoryModel, Program, Src, Thread};
-pub use mutate::{barrier_sites, remove_site, replace_fence, BarrierSite, SiteKind};
+pub use mutate::{
+    barrier_sites, remove_site, replace_fence, rewrite_acquire, BarrierSite, SiteKind,
+};

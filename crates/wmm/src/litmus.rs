@@ -7,7 +7,7 @@
 //!
 //! Locations: `0 = data/x`, `1 = flag/y` by convention below.
 
-use armbar_barriers::{AccessType, Barrier};
+use armbar_barriers::{AccessType, Acquire, Barrier};
 
 use crate::explore::{explore, Outcome};
 use crate::model::{Instr, MemoryModel, Program, Thread};
@@ -40,18 +40,22 @@ fn thread(instrs: Vec<Instr>) -> Thread {
 fn weave(approach: Barrier, earlier: Instr, later: Instr) -> Vec<Instr> {
     match approach {
         Barrier::None => vec![earlier, later],
-        Barrier::Ldar => {
+        Barrier::Ldar | Barrier::Ldapr => {
             let Instr::Load {
                 reg, loc, addr_dep, ..
             } = earlier
             else {
-                panic!("LDAR requires the earlier access to be a load");
+                panic!("LDAR/LDAPR requires the earlier access to be a load");
             };
             vec![
                 Instr::Load {
                     reg,
                     loc,
-                    acquire: true,
+                    acquire: if approach == Barrier::Ldar {
+                        Acquire::Sc
+                    } else {
+                        Acquire::Pc
+                    },
                     addr_dep,
                 },
                 later,
@@ -239,6 +243,112 @@ pub fn pilot_message_passing() -> LitmusTest {
     }
 }
 
+/// Acquire-annotated load, used by the RCpc/RCsc shape family below.
+fn acq_load(acquire: Acquire, reg: u8, loc: u8) -> Instr {
+    Instr::Load {
+        reg,
+        loc,
+        acquire,
+        addr_dep: None,
+    }
+}
+
+/// Suffix naming an acquire flavour in litmus-test names.
+#[must_use]
+pub fn acq_name(acquire: Acquire) -> &'static str {
+    match acquire {
+        Acquire::No => "plain",
+        Acquire::Pc => "ldapr",
+        Acquire::Sc => "ldar",
+    }
+}
+
+/// **SB+stlr+acq** — the RCsc/RCpc-**distinguishing** Dekker shape: each
+/// thread store-releases its own flag, then acquire-loads the other's.
+/// With `LDAR` (RCsc) the release may not drain past the later acquire, so
+/// `r0 = r1 = 0` is forbidden; with `LDAPR` (RCpc) each acquire may hoist
+/// above its thread's release and both threads can read 0.
+#[must_use]
+pub fn store_buffering_rel_acq(acquire: Acquire) -> LitmusTest {
+    let t0 = vec![Instr::store_rel(0, 1), acq_load(acquire, 0, 1)];
+    let t1 = vec![Instr::store_rel(1, 1), acq_load(acquire, 0, 0)];
+    LitmusTest {
+        name: format!("SB+stlr+{}", acq_name(acquire)),
+        program: Program {
+            threads: vec![thread(t0), thread(t1)],
+            init: vec![],
+        },
+        relaxed: Box::new(|o| o.reg(0, 0) == 0 && o.reg(1, 0) == 0),
+    }
+}
+
+/// **Release-sequence** variant of the distinguishing shape: thread 0
+/// publishes a payload through a store-release, then acquire-loads a turn
+/// variable; thread 1 store-releases the turn and acquire-loads the flag
+/// before reading the payload. The Dekker outcome (both acquiring loads
+/// read 0) distinguishes RCsc from RCpc, while the release sequence itself
+/// (flag observed ⇒ payload visible) holds under **both** flavours.
+#[must_use]
+pub fn release_sequence_rel_acq(acquire: Acquire) -> LitmusTest {
+    let t0 = vec![
+        Instr::store(0, 23),
+        Instr::store_rel(1, 1),
+        acq_load(acquire, 0, 2),
+    ];
+    let t1 = vec![
+        Instr::store_rel(2, 1),
+        acq_load(acquire, 0, 1),
+        Instr::load(1, 0),
+    ];
+    LitmusTest {
+        name: format!("RelSeq+stlr+{}", acq_name(acquire)),
+        program: Program {
+            threads: vec![thread(t0), thread(t1)],
+            init: vec![],
+        },
+        relaxed: Box::new(|o| o.reg(0, 0) == 0 && o.reg(1, 0) == 0),
+    }
+}
+
+/// **ISA2** variant: release on thread 0, acquire + data dependency on
+/// thread 1, address dependency on thread 2. No thread holds a
+/// store-release *before* an acquiring load, so RCsc and RCpc admit the
+/// same outcomes — the relaxed outcome is forbidden under both.
+#[must_use]
+pub fn isa2_rel_acq(acquire: Acquire) -> LitmusTest {
+    let t0 = vec![Instr::store(0, 1), Instr::store_rel(1, 1)];
+    let t1 = vec![acq_load(acquire, 0, 1), Instr::store_data_dep(2, 1, 0)];
+    let t2 = vec![Instr::load(0, 2), Instr::load_addr_dep(1, 0, 0)];
+    LitmusTest {
+        name: format!("ISA2+stlr+{}", acq_name(acquire)),
+        program: Program {
+            threads: vec![thread(t0), thread(t1), thread(t2)],
+            init: vec![],
+        },
+        relaxed: Box::new(|o| o.reg(1, 0) == 1 && o.reg(2, 0) == 1 && o.reg(2, 1) == 0),
+    }
+}
+
+/// **WRC** (write-to-read causality) variant: thread 1 reads thread 0's
+/// write and store-releases a flag; thread 2 acquire-loads the flag and
+/// reads the original location. Again no release-then-acquire program
+/// order anywhere, so the two acquire flavours agree; the causality
+/// violation is forbidden under both.
+#[must_use]
+pub fn wrc_rel_acq(acquire: Acquire) -> LitmusTest {
+    let t0 = vec![Instr::store(0, 1)];
+    let t1 = vec![Instr::load(0, 0), Instr::store_rel(1, 1)];
+    let t2 = vec![acq_load(acquire, 0, 1), Instr::load(1, 0)];
+    LitmusTest {
+        name: format!("WRC+stlr+{}", acq_name(acquire)),
+        program: Program {
+            threads: vec![thread(t0), thread(t1), thread(t2)],
+            init: vec![],
+        },
+        relaxed: Box::new(|o| o.reg(1, 0) == 1 && o.reg(2, 0) == 1 && o.reg(2, 1) == 0),
+    }
+}
+
 /// The ordering shape a Table 3 cell asks about, as a checkable litmus test:
 /// does `approach` order `earlier -> later` in the observing thread?
 ///
@@ -291,6 +401,46 @@ mod tests {
     #[test]
     fn mp_fixed_by_stlr_plus_ldar() {
         assert!(!message_passing(Barrier::Stlr, Barrier::Ldar).allowed(MemoryModel::ArmWmm));
+    }
+
+    #[test]
+    fn mp_fixed_by_stlr_plus_ldapr_too() {
+        // MP has no release-then-acquire program order, so the cheaper RCpc
+        // acquire is just as good here.
+        assert!(!message_passing(Barrier::Stlr, Barrier::Ldapr).allowed(MemoryModel::ArmWmm));
+    }
+
+    #[test]
+    fn dekker_rel_acq_distinguishes_rcsc_from_rcpc() {
+        assert!(!store_buffering_rel_acq(Acquire::Sc).allowed(MemoryModel::ArmWmm));
+        assert!(store_buffering_rel_acq(Acquire::Pc).allowed(MemoryModel::ArmWmm));
+        // SC forbids it outright, of course.
+        assert!(!store_buffering_rel_acq(Acquire::Pc).allowed(MemoryModel::Sc));
+    }
+
+    #[test]
+    fn release_sequence_still_publishes_under_rcpc() {
+        for acq in [Acquire::Sc, Acquire::Pc] {
+            let t = release_sequence_rel_acq(acq);
+            let outs = explore(&t.program, MemoryModel::ArmWmm);
+            // Flag observed ⇒ payload visible, under both flavours.
+            assert!(
+                outs.all(|o| o.reg(1, 0) != 1 || o.reg(1, 1) == 23),
+                "release sequence broken under {acq:?}"
+            );
+        }
+        // But the Dekker hoist is RCpc-only.
+        assert!(!release_sequence_rel_acq(Acquire::Sc).allowed(MemoryModel::ArmWmm));
+        assert!(release_sequence_rel_acq(Acquire::Pc).allowed(MemoryModel::ArmWmm));
+    }
+
+    #[test]
+    fn isa2_and_wrc_do_not_distinguish_the_acquire_flavours() {
+        for make in [isa2_rel_acq, wrc_rel_acq] {
+            for acq in [Acquire::Sc, Acquire::Pc] {
+                assert!(!make(acq).allowed(MemoryModel::ArmWmm));
+            }
+        }
     }
 
     #[test]
@@ -365,9 +515,9 @@ mod tests {
                     {
                         continue;
                     }
-                    // LDAR weaves only when the earlier access is a load;
-                    // STLR only when the later is a store.
-                    if b == Barrier::Ldar && earlier != Load {
+                    // LDAR/LDAPR weave only when the earlier access is a
+                    // load; STLR only when the later is a store.
+                    if matches!(b, Barrier::Ldar | Barrier::Ldapr) && earlier != Load {
                         continue;
                     }
                     if b == Barrier::Stlr && later != Store {

@@ -6,7 +6,7 @@
 //! instruction `j` of the same thread. The explorer treats everything else
 //! (interleaving, atomic global performs) identically across models.
 
-use armbar_barriers::{AccessType, Barrier};
+use armbar_barriers::{AccessType, Acquire, Barrier};
 
 /// A shared memory location (small dense index).
 pub type Loc = u8;
@@ -53,8 +53,8 @@ pub enum Instr {
         reg: Reg,
         /// Location read.
         loc: Loc,
-        /// Load-acquire (`LDAR`)?
-        acquire: bool,
+        /// Acquire annotation: none, RCpc (`LDAPR`) or RCsc (`LDAR`).
+        acquire: Acquire,
         /// Bogus address dependency: the effective address is computed from
         /// this register (`ADDR DEP`).
         addr_dep: Option<Reg>,
@@ -132,18 +132,29 @@ impl Instr {
         Instr::Load {
             reg,
             loc,
-            acquire: false,
+            acquire: Acquire::No,
             addr_dep: None,
         }
     }
 
-    /// Load-acquire.
+    /// RCsc load-acquire (`LDAR`).
     #[must_use]
     pub fn load_acq(reg: Reg, loc: Loc) -> Instr {
         Instr::Load {
             reg,
             loc,
-            acquire: true,
+            acquire: Acquire::Sc,
+            addr_dep: None,
+        }
+    }
+
+    /// RCpc load-acquire (`LDAPR`).
+    #[must_use]
+    pub fn load_acq_pc(reg: Reg, loc: Loc) -> Instr {
+        Instr::Load {
+            reg,
+            loc,
+            acquire: Acquire::Pc,
             addr_dep: None,
         }
     }
@@ -154,7 +165,7 @@ impl Instr {
         Instr::Load {
             reg,
             loc,
-            acquire: false,
+            acquire: Acquire::No,
             addr_dep: Some(dep),
         }
     }
@@ -284,12 +295,29 @@ impl MemoryModel {
                 !(ta == AccessType::Store && tb == AccessType::Load)
             }
             MemoryModel::ArmWmm => {
-                // Acquire on the earlier load.
-                if let Instr::Load { acquire: true, .. } = a {
-                    return true;
+                // Acquire on the earlier load: both RCsc and RCpc order the
+                // annotated load before everything younger.
+                if let Instr::Load { acquire, .. } = a {
+                    if acquire.is_acquire() {
+                        return true;
+                    }
                 }
                 // Release on the later store.
                 if let Instr::Store { release: true, .. } = b {
+                    return true;
+                }
+                // RCsc: an earlier store-release may not drain past a later
+                // LDAR. This is the one edge RCpc relaxes — with
+                // `Acquire::Pc` (LDAPR) the pair stays unordered.
+                if matches!(a, Instr::Store { release: true, .. })
+                    && matches!(
+                        b,
+                        Instr::Load {
+                            acquire: Acquire::Sc,
+                            ..
+                        }
+                    )
+                {
                     return true;
                 }
                 // Dependencies from a's destination register into b. Control
@@ -404,6 +432,27 @@ mod tests {
         // Release does NOT order itself before later accesses.
         let t3 = thread(vec![Instr::store_rel(0, 1), Instr::store(1, 1)]);
         assert!(!MemoryModel::ArmWmm.ordered(&t3, 0, 1));
+    }
+
+    #[test]
+    fn rcsc_orders_release_before_later_ldar_but_rcpc_does_not() {
+        // STLR ; LDAR (different locations): RCsc keeps the pair ordered.
+        let t = thread(vec![Instr::store_rel(0, 1), Instr::load_acq(1, 1)]);
+        assert!(MemoryModel::ArmWmm.ordered(&t, 0, 1));
+        // STLR ; LDAPR: the one edge RCpc relaxes.
+        let t2 = thread(vec![Instr::store_rel(0, 1), Instr::load_acq_pc(1, 1)]);
+        assert!(!MemoryModel::ArmWmm.ordered(&t2, 0, 1));
+        // A *plain* earlier store is not pinned by either acquire flavour.
+        let t3 = thread(vec![Instr::store(0, 1), Instr::load_acq(1, 1)]);
+        assert!(!MemoryModel::ArmWmm.ordered(&t3, 0, 1));
+    }
+
+    #[test]
+    fn ldapr_still_orders_itself_before_younger_accesses() {
+        for later in [Instr::load(1, 1), Instr::store(1, 7)] {
+            let t = thread(vec![Instr::load_acq_pc(0, 0), later]);
+            assert!(MemoryModel::ArmWmm.ordered(&t, 0, 1));
+        }
     }
 
     #[test]

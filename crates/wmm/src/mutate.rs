@@ -15,7 +15,7 @@
 //! exactly when the sets are *equal*, and a substitution is safe exactly
 //! when it adds no outcome.
 
-use armbar_barriers::Barrier;
+use armbar_barriers::{Acquire, Barrier};
 
 use crate::model::{Instr, Program, Src};
 
@@ -24,8 +24,10 @@ use crate::model::{Instr, Program, Src};
 pub enum SiteKind {
     /// A standalone [`Instr::Fence`] carrying this barrier.
     Fence(Barrier),
-    /// The `acquire` flag of a load (`LDAR`).
+    /// An RCsc acquire annotation on a load (`LDAR`).
     Acquire,
+    /// An RCpc acquire annotation on a load (`LDAPR`).
+    AcquirePc,
     /// The `release` flag of a store (`STLR`).
     Release,
     /// A bogus address dependency (`addr_dep`) on a load or store.
@@ -44,6 +46,7 @@ impl SiteKind {
         match self {
             SiteKind::Fence(b) => b,
             SiteKind::Acquire => Barrier::Ldar,
+            SiteKind::AcquirePc => Barrier::Ldapr,
             SiteKind::Release => Barrier::Stlr,
             SiteKind::AddrDep => Barrier::AddrDep,
             SiteKind::DataDep => Barrier::DataDep,
@@ -86,8 +89,10 @@ pub fn barrier_sites(program: &Program) -> Vec<BarrierSite> {
                 Instr::Load {
                     acquire, addr_dep, ..
                 } => {
-                    if *acquire {
-                        push(SiteKind::Acquire);
+                    match acquire {
+                        Acquire::No => {}
+                        Acquire::Pc => push(SiteKind::AcquirePc),
+                        Acquire::Sc => push(SiteKind::Acquire),
                     }
                     if addr_dep.is_some() {
                         push(SiteKind::AddrDep);
@@ -138,8 +143,12 @@ pub fn remove_site(program: &Program, site: BarrierSite) -> Program {
             p.threads[site.tid].instrs.remove(site.idx);
         }
         (SiteKind::Acquire, Instr::Load { acquire, .. }) => {
-            assert!(*acquire, "site names a non-acquire load");
-            *acquire = false;
+            assert_eq!(*acquire, Acquire::Sc, "site names a non-LDAR load");
+            *acquire = Acquire::No;
+        }
+        (SiteKind::AcquirePc, Instr::Load { acquire, .. }) => {
+            assert_eq!(*acquire, Acquire::Pc, "site names a non-LDAPR load");
+            *acquire = Acquire::No;
         }
         (SiteKind::Release, Instr::Store { release, .. }) => {
             assert!(*release, "site names a non-release store");
@@ -223,15 +232,19 @@ pub fn replace_fence(program: &Program, site: BarrierSite, approach: Barrier) ->
     let mut p = program.clone();
     let thread = &mut p.threads[site.tid];
     match approach {
-        Barrier::Ldar => {
+        Barrier::Ldar | Barrier::Ldapr => {
             let (i, _) = preceding_load(program, site.tid, site.idx)?;
             let Instr::Load { acquire, .. } = &mut thread.instrs[i] else {
                 unreachable!("preceding_load returns loads");
             };
-            if *acquire {
+            if *acquire != Acquire::No {
                 return None;
             }
-            *acquire = true;
+            *acquire = if approach == Barrier::Ldar {
+                Acquire::Sc
+            } else {
+                Acquire::Pc
+            };
         }
         Barrier::Stlr => {
             let i = thread.instrs[site.idx + 1..]
@@ -283,6 +296,35 @@ pub fn replace_fence(program: &Program, site: BarrierSite, approach: Barrier) ->
         _ => return None,
     }
     p.threads[site.tid].instrs.remove(site.idx);
+    Some(p)
+}
+
+/// `program` with the acquire annotation at `site` rewritten to `to` —
+/// the LDAR↔LDAPR strength dial. Returns `None` when the load already
+/// carries `to` (nothing to rewrite); use [`remove_site`] to drop the
+/// annotation entirely (`to == Acquire::No` is rejected the same way when
+/// it would be a no-op, and otherwise behaves like a removal).
+///
+/// # Panics
+///
+/// Panics when `site` is not an acquire site
+/// ([`SiteKind::Acquire`]/[`SiteKind::AcquirePc`]) of `program`.
+#[must_use]
+pub fn rewrite_acquire(program: &Program, site: BarrierSite, to: Acquire) -> Option<Program> {
+    let expect = match site.kind {
+        SiteKind::Acquire => Acquire::Sc,
+        SiteKind::AcquirePc => Acquire::Pc,
+        other => panic!("rewrite_acquire requires an acquire site, got {other:?}"),
+    };
+    let mut p = program.clone();
+    let Some(Instr::Load { acquire, .. }) = p.threads[site.tid].instrs.get_mut(site.idx) else {
+        panic!("site does not name a load of this program");
+    };
+    assert_eq!(*acquire, expect, "site annotation mismatch");
+    if *acquire == to {
+        return None;
+    }
+    *acquire = to;
     Some(p)
 }
 
@@ -402,7 +444,18 @@ mod tests {
         let q = replace_fence(&p, sites[1], Barrier::Ldar).expect("consumer has a load");
         assert!(matches!(
             q.threads[1].instrs[0],
-            Instr::Load { acquire: true, .. }
+            Instr::Load {
+                acquire: Acquire::Sc,
+                ..
+            }
+        ));
+        let q = replace_fence(&p, sites[1], Barrier::Ldapr).expect("consumer has a load");
+        assert!(matches!(
+            q.threads[1].instrs[0],
+            Instr::Load {
+                acquire: Acquire::Pc,
+                ..
+            }
         ));
         let q = replace_fence(&p, sites[0], Barrier::Stlr).expect("producer has a store");
         assert!(matches!(
@@ -421,5 +474,48 @@ mod tests {
         let site = barrier_sites(&p)[0];
         let q = replace_fence(&p, site, Barrier::None).expect("removal");
         assert_eq!(q.threads[0].instrs.len(), 2);
+    }
+
+    #[test]
+    fn rewrite_acquire_dials_between_ldar_and_ldapr() {
+        let p = message_passing(Barrier::Stlr, Barrier::Ldar).program;
+        let site = barrier_sites(&p)
+            .into_iter()
+            .find(|s| s.kind == SiteKind::Acquire)
+            .expect("consumer LDAR site");
+        let down = rewrite_acquire(&p, site, Acquire::Pc).expect("downgrade");
+        assert!(matches!(
+            down.threads[1].instrs[0],
+            Instr::Load {
+                acquire: Acquire::Pc,
+                ..
+            }
+        ));
+        // The downgraded program exposes an AcquirePc site that dials back up.
+        let pc_site = barrier_sites(&down)
+            .into_iter()
+            .find(|s| s.kind == SiteKind::AcquirePc)
+            .expect("LDAPR site after downgrade");
+        let up = rewrite_acquire(&down, pc_site, Acquire::Sc).expect("upgrade");
+        assert_eq!(up, p);
+        // Rewriting to the annotation already present is a no-op.
+        assert!(rewrite_acquire(&p, site, Acquire::Sc).is_none());
+    }
+
+    #[test]
+    fn acquire_pc_sites_are_enumerated_and_removable() {
+        let t = Thread {
+            instrs: vec![Instr::load_acq_pc(0, 0), Instr::store(1, 1)],
+        };
+        let p = Program {
+            threads: vec![t],
+            init: vec![],
+        };
+        let sites = barrier_sites(&p);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, SiteKind::AcquirePc);
+        assert_eq!(sites[0].kind.as_barrier(), Barrier::Ldapr);
+        let cut = remove_site(&p, sites[0]);
+        assert!(barrier_sites(&cut).is_empty());
     }
 }

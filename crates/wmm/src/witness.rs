@@ -49,7 +49,11 @@ impl Witness {
                     reg, loc, acquire, ..
                 } => format!(
                     "r{reg} = [{loc}]{}",
-                    if *acquire { " (acquire)" } else { "" }
+                    match acquire {
+                        armbar_barriers::Acquire::No => "",
+                        armbar_barriers::Acquire::Pc => " (acquire-pc)",
+                        armbar_barriers::Acquire::Sc => " (acquire)",
+                    }
                 ),
                 Instr::Store {
                     loc, src, release, ..

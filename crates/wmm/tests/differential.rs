@@ -23,6 +23,7 @@ fn gen_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (0u8..4, 0u8..3).prop_map(|(r, l)| Instr::load(r, l)),
         (0u8..4, 0u8..3).prop_map(|(r, l)| Instr::load_acq(r, l)),
+        (0u8..4, 0u8..3).prop_map(|(r, l)| Instr::load_acq_pc(r, l)),
         (0u8..4, 0u8..3, 0u8..4).prop_map(|(r, l, d)| Instr::load_addr_dep(r, l, d)),
         (0u8..3, 1u64..4).prop_map(|(l, v)| Instr::store(l, v)),
         (0u8..3, 1u64..4).prop_map(|(l, v)| Instr::store_rel(l, v)),

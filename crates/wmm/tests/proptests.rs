@@ -13,6 +13,7 @@ fn gen_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (0u8..4, 0u8..3).prop_map(|(r, l)| Instr::load(r, l)),
         (0u8..4, 0u8..3).prop_map(|(r, l)| Instr::load_acq(r, l)),
+        (0u8..4, 0u8..3).prop_map(|(r, l)| Instr::load_acq_pc(r, l)),
         (0u8..3, 1u64..4).prop_map(|(l, v)| Instr::store(l, v)),
         (0u8..3, 1u64..4).prop_map(|(l, v)| Instr::store_rel(l, v)),
         Just(Instr::Fence(Barrier::DmbFull)),
