@@ -12,10 +12,21 @@
 //!   and the Pilot channel, seeded with the over-strong barriers real code
 //!   ships with (DSB where DMB suffices, DMB full where a dependency
 //!   would do, a stray same-location fence Pilot makes redundant).
+//!
+//! The kernel family comes in two sizes: the litmus-sized ordering
+//! skeletons above, and bounded-unrolled **implementation-sized** cases
+//! (100+ instructions, from [`armbar_wmm::unroll`]) that the multi-word
+//! packed engine explores directly — no enumerative fallback anywhere in
+//! the corpus. New cases are appended at the end so existing `lint.csv`
+//! rows keep their byte-identical order.
 
 use armbar_barriers::Barrier;
 use armbar_wmm::battery::battery;
 use armbar_wmm::litmus::{load_buffering, message_passing, pilot_message_passing, store_buffering};
+use armbar_wmm::unroll::{
+    mcs_handoff_unrolled, mcs_payload_regs, mcs_prologue_fence_index, pilot_roundtrip_unrolled,
+    MCS_PAYLOAD_BASE,
+};
 use armbar_wmm::{Instr, Outcome, Program, Thread};
 
 /// An intent predicate: the outcome the author of the code considers a
@@ -223,6 +234,58 @@ pub fn corpus() -> Vec<LintCase> {
         })),
     });
 
+    // -- Implementation-sized kernels (appended; see module docs). -------
+
+    // Bounded-unrolled MCS handoff at the acceptance shape (112
+    // instructions before seeding): 5 lock bounces, each with a fenced
+    // 6-store critical section. Seeded the way real code ships: the
+    // prologue publish fence as a DSB (over-strong — a DMB discharges the
+    // same store ordering) and a stray trailing DMB st on the successor
+    // with nothing left to order (redundant). The intent conditions on
+    // T1's *first* handoff observation — the read the prologue fence
+    // protects; the later flags are insulated by the per-round fences.
+    {
+        let (handoffs, payload, work) = (5, 4, 6);
+        let mut program =
+            mcs_handoff_unrolled(handoffs, payload, work, Barrier::DmbFull, Barrier::DmbFull);
+        program.threads[0].instrs[mcs_prologue_fence_index(payload)] =
+            Instr::Fence(Barrier::DsbFull);
+        program.threads[1].instrs.push(Instr::Fence(Barrier::DmbSt));
+        let regs = mcs_payload_regs(handoffs, payload);
+        cases.push(LintCase {
+            name: "mcs-unrolled+dsb.full+stray-st".to_string(),
+            program,
+            forbidden: Some(Box::new(move |o| {
+                o.reg(1, 0) == 1
+                    && regs
+                        .iter()
+                        .enumerate()
+                        .any(|(i, &r)| o.reg(1, r) != MCS_PAYLOAD_BASE + i as u64)
+            })),
+        });
+    }
+
+    // Bounded-unrolled Pilot round-trip (70 instructions): three phases
+    // of same-word request stores answered over a same-word response
+    // word, no barrier load-bearing anywhere — plus one stray DMB st
+    // dropped into the store chain, which single-copy atomicity and
+    // coherence make redundant (the paper's Pilot point at function
+    // size). The intent is coherence itself: each thread's same-word
+    // read sequence must be non-decreasing.
+    {
+        let mut program = pilot_roundtrip_unrolled(19, 5);
+        program.threads[0]
+            .instrs
+            .insert(10, Instr::Fence(Barrier::DmbSt));
+        cases.push(LintCase {
+            name: "pilot-unrolled+stray-st".to_string(),
+            program,
+            forbidden: Some(Box::new(|o| {
+                (0..4).any(|k| o.reg(0, k) > o.reg(0, k + 1) || o.reg(1, k) > o.reg(1, k + 1))
+            })),
+        });
+    }
+
     cases
 }
 
@@ -251,11 +314,24 @@ mod tests {
     }
 
     #[test]
-    fn threads_stay_litmus_sized() {
+    fn threads_fit_one_mask_word_and_corpus_spans_both_sizes() {
+        // Per-thread instruction counts must fit a 64-bit done block (the
+        // symmetry canonicalizer's per-thread signature unit)...
+        let mut oversized_total = 0usize;
         for case in corpus() {
             for t in &case.program.threads {
-                assert!(t.instrs.len() <= 8, "{} thread too long", case.name);
+                assert!(t.instrs.len() <= 64, "{} thread too long", case.name);
+            }
+            let total: usize = case.program.threads.iter().map(|t| t.instrs.len()).sum();
+            if total > 64 {
+                oversized_total += 1;
             }
         }
+        // ...while the corpus as a whole must exercise the multi-word
+        // engine path on implementation-sized programs.
+        assert!(
+            oversized_total >= 2,
+            "expected implementation-sized cases, found {oversized_total}"
+        );
     }
 }

@@ -148,6 +148,57 @@ fn clean_pilot_case_produces_no_findings() {
 }
 
 #[test]
+fn implementation_sized_mcs_case_downgrades_the_dsb_and_drops_the_stray() {
+    // The 113-instruction unrolled MCS handoff runs through the same
+    // pipeline as every litmus case — packed engine, no fallback. The
+    // seeded DSB prologue must downgrade (a DMB discharges the same
+    // publication ordering) and the stray trailing fence must go.
+    let c = case("mcs-unrolled+dsb.full+stray-st");
+    let findings = analyze_case(&c);
+    assert!(
+        !findings.iter().any(|f| f.kind == FindingKind::Missing),
+        "the handoff is correctly ordered as written"
+    );
+    let dsb = findings
+        .iter()
+        .find(|f| f.original == Barrier::DsbFull)
+        .expect("the seeded prologue DSB is analyzed");
+    assert_eq!(dsb.kind, FindingKind::OverStrong);
+    assert!(dsb.rank_after < dsb.rank_before);
+    assert_eq!(dsb.added, 0, "downgrade must not widen the outcome set");
+    let stray_idx = c.program.threads[1].instrs.len() - 1;
+    let stray = findings
+        .iter()
+        .find(|f| f.site.is_some_and(|s| (s.tid, s.idx) == (1, stray_idx)))
+        .expect("the stray trailing fence is analyzed");
+    assert_eq!(stray.kind, FindingKind::Redundant);
+    assert!(matches!(stray.proof, Proof::OutcomesEqual { .. }));
+}
+
+#[test]
+fn implementation_sized_pilot_case_flags_only_the_stray_fence() {
+    // 70 instructions, one fence — and coherence over the single-copy
+    // atomic words makes it redundant, exactly the paper's Pilot point
+    // lifted from litmus size to function size.
+    let c = case("pilot-unrolled+stray-st");
+    let findings = analyze_case(&c);
+    // Two sites — the seeded stray fence and the responder's data
+    // dependency — and coherence makes both redundant; in particular
+    // nothing is missing: the round-trip is correct with no barrier at
+    // all.
+    assert!(
+        findings.iter().all(|f| f.kind == FindingKind::Redundant),
+        "every site must be redundant"
+    );
+    let stray = findings
+        .iter()
+        .find(|f| f.site.is_some_and(|s| (s.tid, s.idx) == (0, 10)))
+        .expect("the seeded stray fence is analyzed");
+    assert_eq!(stray.original, Barrier::DmbSt);
+    assert!(matches!(stray.proof, Proof::OutcomesEqual { .. }));
+}
+
+#[test]
 fn dsb_sites_always_downgrade_somewhere_in_the_corpus() {
     let findings = analyze_corpus(&corpus());
     assert!(findings.iter().any(|f| {

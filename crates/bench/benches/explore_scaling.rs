@@ -17,10 +17,21 @@ fn programs() -> Vec<Program> {
     corpus().into_iter().map(|c| c.program).collect()
 }
 
-/// Whole-corpus exploration: oracle (FxHash and SipHash flavours) vs the
-/// engine — the headline serial speedup.
+/// The oracle benches stick to the litmus-sized corpus slice: on the
+/// implementation-sized cases the enumerative search is not a baseline,
+/// it is a liability (minutes per program). The engine benches cover the
+/// full corpus.
+fn litmus_programs() -> Vec<Program> {
+    programs()
+        .into_iter()
+        .filter(|p| p.threads.iter().map(|t| t.instrs.len()).sum::<usize>() <= 64)
+        .collect()
+}
+
+/// Litmus-corpus exploration: oracle (FxHash and SipHash flavours) vs
+/// the engine — the headline serial speedup.
 fn corpus_serial(c: &mut Criterion) {
-    let ps = programs();
+    let ps = litmus_programs();
     let mut g = c.benchmark_group("explore_corpus_serial");
     g.bench_function("oracle_fx", |b| {
         b.iter(|| {
@@ -91,5 +102,31 @@ fn memo(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, corpus_serial, corpus_workers, memo);
+/// Engine-only pass over the implementation-sized corpus cases — the
+/// shapes the multi-word packed state exists for, serial vs quotient.
+fn large_programs(c: &mut Criterion) {
+    let ps: Vec<Program> = programs()
+        .into_iter()
+        .filter(|p| p.threads.iter().map(|t| t.instrs.len()).sum::<usize>() > 64)
+        .collect();
+    assert!(!ps.is_empty(), "corpus lost its implementation-sized cases");
+    let mut g = c.benchmark_group("explore_large_programs");
+    g.bench_function("engine", |b| {
+        b.iter(|| {
+            for p in &ps {
+                black_box(explore_dpor_uncached(black_box(p), MODEL, 1));
+            }
+        });
+    });
+    g.bench_function("engine_workers_4", |b| {
+        b.iter(|| {
+            for p in &ps {
+                black_box(explore_dpor_uncached(black_box(p), MODEL, 4));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, corpus_serial, corpus_workers, memo, large_programs);
 criterion_main!(benches);

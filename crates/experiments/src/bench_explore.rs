@@ -1,6 +1,7 @@
 //! `exp-explore-bench`: measure the DPOR exploration engine against the
-//! enumerative oracle over the whole lint corpus and render
-//! `BENCH_explore.json`.
+//! enumerative oracle over the litmus-sized lint corpus — and
+//! engine-only over the implementation-sized cases, where the oracle
+//! stops being a baseline — and render `BENCH_explore.json`.
 //!
 //! Everything wall-clock lives here (and in the JSON), never in the
 //! `results/` CSVs — those must stay byte-identical across hosts and
@@ -12,7 +13,11 @@ use std::time::Instant;
 
 use armbar_analyze::corpus::corpus;
 use armbar_analyze::lint::analyze_case_with;
-use armbar_wmm::{explore_dpor_uncached, explore_oracle, MemoryModel, OutcomeSet, Program};
+use armbar_wmm::unroll::{identical_contenders, mcs_handoff_unrolled};
+use armbar_wmm::{
+    explore_dpor_configured, explore_dpor_uncached, explore_oracle, MemoryModel, OutcomeSet,
+    Program,
+};
 
 /// All corpus exploration runs under the lint's model.
 const MODEL: MemoryModel = MemoryModel::ArmWmm;
@@ -25,12 +30,34 @@ const SWEEP_REPS: u32 = 40;
 /// whole corpus, which is much heavier than one exploration).
 const LINT_REPS: u32 = 3;
 
-/// One corpus case's deterministic state counts.
+/// Repetitions for the implementation-sized engine sweeps (millisecond
+/// scale per program).
+const LARGE_REPS: u32 = 10;
+
+/// One litmus-sized corpus case's deterministic state counts.
 struct CaseBench {
     name: String,
     oracle_states: usize,
     engine_states: usize,
     engine_pruned: usize,
+}
+
+/// One implementation-sized corpus case: engine-only (the oracle is not a
+/// baseline at this size, it is a liability), quotient vs full, with
+/// walls.
+struct LargeBench {
+    name: String,
+    total_instrs: usize,
+    engine_states: usize,
+    engine_full_states: usize,
+    engine_pruned: usize,
+    wall_1_ns: u64,
+    wall_4_ns: u64,
+    lint_ns: u64,
+}
+
+fn total_instrs(p: &Program) -> usize {
+    p.threads.iter().map(|t| t.instrs.len()).sum()
 }
 
 fn engine_serial(p: &Program, m: MemoryModel) -> OutcomeSet {
@@ -58,7 +85,10 @@ fn ms(ns: u64) -> f64 {
 /// corpus program — a benchmark of a wrong answer is worthless.
 #[must_use]
 pub fn bench_explore_json() -> String {
-    let cases = corpus();
+    let all_cases = corpus();
+    let (cases, large_cases): (Vec<_>, Vec<_>) = all_cases
+        .into_iter()
+        .partition(|c| total_instrs(&c.program) <= 64);
 
     // -- Per-case deterministic state counts (and a correctness gate). --
     let mut rows = Vec::with_capacity(cases.len());
@@ -119,6 +149,64 @@ pub fn bench_explore_json() -> String {
         }
     });
 
+    // -- Implementation-sized cases: engine-only, quotient vs full. ------
+    let mut large_rows = Vec::with_capacity(large_cases.len());
+    for case in &large_cases {
+        let quotient = explore_dpor_configured(&case.program, MODEL, 1, true);
+        let full = explore_dpor_configured(&case.program, MODEL, 1, false);
+        assert_eq!(
+            quotient.outcomes, full.outcomes,
+            "{}: symmetry quotient changed the outcome set",
+            case.name
+        );
+        let wall_1_ns = time_ns(LARGE_REPS, || {
+            std::hint::black_box(explore_dpor_uncached(&case.program, MODEL, 1));
+        });
+        let wall_4_ns = time_ns(LARGE_REPS, || {
+            std::hint::black_box(explore_dpor_uncached(&case.program, MODEL, 4));
+        });
+        let lint_ns = time_ns(1, || {
+            std::hint::black_box(analyze_case_with(case, engine_serial));
+        });
+        large_rows.push(LargeBench {
+            name: case.name.clone(),
+            total_instrs: total_instrs(&case.program),
+            engine_states: quotient.states_visited,
+            engine_full_states: full.states_visited,
+            engine_pruned: quotient.states_pruned,
+            wall_1_ns,
+            wall_4_ns,
+            lint_ns,
+        });
+    }
+
+    // The machine-independent symmetry gate: n identical contenders must
+    // quotient by at least 2x (the canonical shape reduces by ~n!/e in
+    // practice; the floor is deliberately conservative).
+    let sym_shape = identical_contenders(4, 3);
+    let sym_full = explore_dpor_configured(&sym_shape, MODEL, 1, false);
+    let sym_quot = explore_dpor_configured(&sym_shape, MODEL, 1, true);
+    assert_eq!(sym_full.outcomes, sym_quot.outcomes);
+
+    // Engine-vs-oracle wall on the largest shape the oracle can still
+    // handle (66 instructions) — the crossover the multi-word engine
+    // exists to win.
+    let crossover = mcs_handoff_unrolled(
+        4,
+        3,
+        3,
+        armbar_barriers::Barrier::DmbFull,
+        armbar_barriers::Barrier::DmbFull,
+    );
+    let cross_t0 = Instant::now();
+    let cross_oracle = explore_oracle(&crossover, MODEL);
+    let cross_oracle_ns = u64::try_from(cross_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let cross_engine = explore_dpor_uncached(&crossover, MODEL, 1);
+    assert_eq!(cross_engine.outcomes, cross_oracle.outcomes);
+    let cross_engine_ns = time_ns(LARGE_REPS, || {
+        std::hint::black_box(explore_dpor_uncached(&crossover, MODEL, 1));
+    });
+
     let per_sec = |states: usize, ns: u64| states as f64 / (ns as f64 / 1e9);
     let ratio = |num: usize, den: usize| num as f64 / den.max(1) as f64;
 
@@ -174,6 +262,59 @@ pub fn bench_explore_json() -> String {
         lint_oracle_ns as f64 / lint_engine_ns as f64
     );
     let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"large_programs\": {{");
+    let _ = writeln!(j, "    \"no_enumerative_fallback\": true,");
+    let _ = writeln!(
+        j,
+        "    \"identical_contender_sym_reduction\": {:.3},",
+        ratio(sym_full.states_visited, sym_quot.states_visited)
+    );
+    let _ = writeln!(j, "    \"sym_shape_states\": {{");
+    let _ = writeln!(j, "      \"full\": {},", sym_full.states_visited);
+    let _ = writeln!(j, "      \"quotient\": {}", sym_quot.states_visited);
+    let _ = writeln!(j, "    }},");
+    let _ = writeln!(j, "    \"oracle_crossover\": {{");
+    let _ = writeln!(j, "      \"shape\": \"mcs-handoff-unrolled(4,3,3)\",");
+    let _ = writeln!(j, "      \"total_instrs\": {},", total_instrs(&crossover));
+    let _ = writeln!(
+        j,
+        "      \"oracle_states\": {},",
+        cross_oracle.states_visited
+    );
+    let _ = writeln!(j, "      \"oracle_wall_ms\": {:.3},", ms(cross_oracle_ns));
+    let _ = writeln!(
+        j,
+        "      \"engine_states\": {},",
+        cross_engine.states_visited
+    );
+    let _ = writeln!(j, "      \"engine_wall_ms\": {:.3},", ms(cross_engine_ns));
+    let _ = writeln!(
+        j,
+        "      \"engine_speedup\": {:.3}",
+        cross_oracle_ns as f64 / cross_engine_ns as f64
+    );
+    let _ = writeln!(j, "    }},");
+    let _ = writeln!(j, "    \"cases\": [");
+    for (i, r) in large_rows.iter().enumerate() {
+        let comma = if i + 1 == large_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "      {{\"name\": \"{}\", \"total_instrs\": {}, \"engine_states\": {}, \
+             \"engine_full_states\": {}, \"engine_pruned\": {}, \"wall_ms_1\": {:.3}, \
+             \"wall_ms_4\": {:.3}, \"states_per_sec\": {:.0}, \"lint_wall_ms\": {:.3}}}{comma}",
+            r.name.replace('"', "\\\""),
+            r.total_instrs,
+            r.engine_states,
+            r.engine_full_states,
+            r.engine_pruned,
+            ms(r.wall_1_ns),
+            ms(r.wall_4_ns),
+            per_sec(r.engine_states, r.wall_1_ns),
+            ms(r.lint_ns)
+        );
+    }
+    let _ = writeln!(j, "    ]");
+    let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"cases\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -208,6 +349,10 @@ mod tests {
             "\"mp_family\"",
             "\"corpus_sweep\"",
             "\"lint_e2e_cold\"",
+            "\"large_programs\"",
+            "\"no_enumerative_fallback\"",
+            "\"identical_contender_sym_reduction\"",
+            "\"oracle_crossover\"",
             "\"cases\"",
         ] {
             assert!(j.contains(key), "missing {key} in:\n{j}");

@@ -2,17 +2,23 @@
 //!
 //! This module is the fast path behind [`explore`](crate::explore::explore):
 //! a depth-first search over the same state graph as the enumerative oracle
-//! (`explore_oracle`), with three layered optimizations that together cut
+//! (`explore_oracle`), with four layered optimizations that together cut
 //! `states_visited` by ~5-10x on the lint corpus while provably preserving
 //! the exact outcome set:
 //!
 //! 1. **Compact incremental state.** A pre-pass ([`Layout`]) assigns every
 //!    load-destination register and every touched memory location a fixed
-//!    word slot, so a search state is a flat `Vec<u64>`: word 0 is a global
-//!    performed-bitmask (one bit per instruction across all threads), the
-//!    rest are slot values. Transitions apply and undo in place on a single
-//!    mutable vector — no per-transition clone of `Vec<BTreeMap>` — and the
-//!    visited-set hashes the packed words directly.
+//!    word slot, so a search state is a flat `Vec<u64>`: the first
+//!    `mask_words` words are a global performed-bitmask (one bit per
+//!    instruction across all threads), the rest are slot values.
+//!    Transitions apply and undo in place on a single mutable vector — no
+//!    per-transition clone of `Vec<BTreeMap>` — and the visited-set hashes
+//!    the packed words directly. The engine is generic over the bitmask
+//!    width ([`Mask`]): `u64` for programs of at most 64 instructions (the
+//!    whole litmus corpus — monomorphized to the original single-word
+//!    code) and [`WideMask`] beyond, so implementation-sized programs
+//!    (unrolled lock handoffs, 100+ instructions) run through the same
+//!    engine instead of falling back to the oracle.
 //!
 //!    *Why packing is lossless:* in the oracle's sparse state, whether a
 //!    register or location is present in a map is a pure function of the
@@ -47,20 +53,32 @@
 //!    performed) are exactly the deadlocks here, so the outcome set is
 //!    preserved exactly, not approximately.
 //!
-//! 3. **Parallel frontier.** [`run`] with `workers > 1` expands the search
+//! 3. **Thread-symmetry reduction** ([`crate::symmetry`]). Groups of
+//!    threads identical up to private-location renaming (N lock
+//!    contenders) induce program automorphisms; the engine canonicalizes
+//!    every `(state, sleep)` visited key under per-group thread
+//!    permutation, so only one representative per orbit is expanded, and
+//!    closes terminal outcomes back over the group at the end. The
+//!    reported outcome set is exactly the full-graph one; `states_visited`
+//!    counts quotient branch states (still schedule-independent, because
+//!    canonicalization commutes with the automorphisms). Witness search
+//!    runs *without* symmetry — a canonical-key skip would return a
+//!    permuted path whose step list names the wrong threads.
+//!
+//! 4. **Parallel frontier.** [`run`] with `workers > 1` expands the search
 //!    tree breadth-first until it holds enough independent `(state, sleep)`
 //!    subtree roots, then drains them on a crossbeam work-stealing pool
 //!    (shared injector + per-worker deques, the same shape as the sweep
 //!    engine's pool) against a sharded mutex-protected visited-set. The
-//!    visited-set stores exact `(packed state, sleep mask)` pairs, and a
-//!    pair's subtree is a pure function of the pair — so the set of
-//!    *expanded* pairs is the same closure regardless of schedule, making
-//!    `states_visited`/`states_pruned` and the canonical outcome set
-//!    byte-identical at any worker count.
-//!
-//! The engine requires the program to have at most 64 total instructions
-//! (the global bitmask/sleep-mask bound); [`layout`] returns `None` above
-//! that and callers fall back to the oracle.
+//!    visited-set stores exact canonical `(packed state, sleep mask)`
+//!    pairs, and a pair's subtree is a pure function of the pair — so the
+//!    set of *expanded* canonical pairs is the same closure regardless of
+//!    schedule, making `states_visited`/`states_pruned` and the canonical
+//!    outcome set byte-identical at any worker count. Programs below
+//!    [`PARALLEL_MIN_INSTRS`] total instructions always run the serial
+//!    walk — litmus-sized state spaces are microsecond-scale and pool
+//!    setup would dominate — and large programs get more shards and more,
+//!    finer frontier tasks so they actually scale with `ARMBAR_JOBS`.
 
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
@@ -71,18 +89,16 @@ use armbar_fxhash::{FxHashSet, FxHasher};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
 use crate::explore::{Outcome, OutcomeSet};
+use crate::mask::{word_count, Mask, WideMask};
 use crate::model::{Instr, MemoryModel, Program, Src};
+use crate::symmetry::{self, factorial, SlotGroup, Symmetry, MAX_ORBIT};
 use crate::witness::{Witness, WitnessStep};
 
-/// Total-instruction bound of the packed engine (global `u64` bitmasks).
-pub(crate) const MAX_ENGINE_INSTRS: usize = 64;
-
-/// Number of visited-set shards (power of two; selected by hash top bits).
-const SEEN_SHARDS: usize = 16;
-
-/// How many subtree roots the parallel frontier accumulates per worker
-/// before handing the frontier to the pool.
-const TASKS_PER_WORKER: usize = 4;
+/// Below this many total instructions, [`run`] ignores `workers` and runs
+/// the serial walk: litmus-sized explorations finish in microseconds and
+/// pool/shard setup would cost more than the whole search (the result is
+/// byte-identical either way; only wall time changes).
+pub(crate) const PARALLEL_MIN_INSTRS: usize = 32;
 
 /// The effect one transition has on the packed state, pre-resolved to
 /// word slots.
@@ -105,22 +121,25 @@ enum Val {
 }
 
 /// Static per-(program, model) tables: packing scheme, enabledness masks,
-/// and the conflict relation. Built once per exploration by [`layout`].
-pub(crate) struct Layout {
+/// and the conflict relation. Built once per exploration by [`layout`],
+/// generic over the bitmask width `M`.
+pub(crate) struct Layout<M: Mask> {
     /// Global transition index -> owning thread.
     tid: Vec<usize>,
     /// Global transition index -> index within its thread.
     idx: Vec<usize>,
+    /// Words of the done bitmask at the front of every packed state.
+    mask_words: usize,
     /// Bitmask with one bit per instruction.
-    all_mask: u64,
+    all_mask: M,
     /// `pred[g]`: global done-bits that must be set before `g` is enabled
     /// (its `MemoryModel::ordered` predecessors).
-    pred: Vec<u64>,
+    pred: Vec<M>,
     /// `conflict[g]`: transitions *dependent* on `g` (may not commute).
-    conflict: Vec<u64>,
+    conflict: Vec<M>,
     /// `ordered_after[g]`: same-thread transitions ordered after `g`
     /// (they can never fire while `g` is unperformed).
-    ordered_after: Vec<u64>,
+    ordered_after: Vec<M>,
     /// Per-transition packed effect.
     effect: Vec<Effect>,
     /// The initial packed state.
@@ -131,15 +150,65 @@ pub(crate) struct Layout {
     /// Sorted `(loc, slot)` of locations present in a terminal outcome's
     /// memory image (`init` locations plus stored locations).
     out_mem: Vec<(u8, usize)>,
+    /// Thread-symmetry tables, when enabled and the program has identical
+    /// thread groups (orbit capped at [`MAX_ORBIT`]).
+    sym: Option<Symmetry>,
 }
 
-/// Build the [`Layout`] for `program` under `model`, or `None` when the
-/// program exceeds [`MAX_ENGINE_INSTRS`] total instructions.
-pub(crate) fn layout(program: &Program, model: MemoryModel) -> Option<Layout> {
+/// The width dispatch: programs of at most 64 instructions monomorphize
+/// on `u64` (the zero-overhead fast path), larger ones on [`WideMask`].
+/// Every program gets a layout — there is no size ceiling and no oracle
+/// fallback anymore.
+pub(crate) enum EngineLayout {
+    /// Single-word masks (≤ 64 total instructions).
+    Narrow(Layout<u64>),
+    /// Boxed multi-word masks.
+    Wide(Layout<WideMask>),
+}
+
+/// Build the width-dispatched [`Layout`] for `program` under `model`.
+/// `symmetry` enables thread-symmetry reduction (exploration wants it;
+/// witness search must not — see the module docs).
+pub(crate) fn layout(program: &Program, model: MemoryModel, symmetry: bool) -> EngineLayout {
     let total: usize = program.threads.iter().map(|t| t.instrs.len()).sum();
-    if total > MAX_ENGINE_INSTRS {
-        return None;
+    if total <= 64 {
+        EngineLayout::Narrow(build(program, model, symmetry))
+    } else {
+        EngineLayout::Wide(build(program, model, symmetry))
     }
+}
+
+/// Explore `program` end to end: layout, width dispatch, run.
+pub(crate) fn run_program(
+    program: &Program,
+    model: MemoryModel,
+    workers: usize,
+    symmetry: bool,
+) -> OutcomeSet {
+    match layout(program, model, symmetry) {
+        EngineLayout::Narrow(lay) => run(&lay, workers),
+        EngineLayout::Wide(lay) => run(&lay, workers),
+    }
+}
+
+/// Witness search for `program` at any size (symmetry disabled: the step
+/// list must name the concrete threads of the found execution).
+pub(crate) fn witness_program(
+    program: &Program,
+    model: MemoryModel,
+    pred: &dyn Fn(&Outcome) -> bool,
+) -> Option<Witness> {
+    match layout(program, model, false) {
+        EngineLayout::Narrow(lay) => find_witness_dpor(&lay, pred),
+        EngineLayout::Wide(lay) => find_witness_dpor(&lay, pred),
+    }
+}
+
+/// Build one [`Layout`] instantiation. `M` must be wide enough for the
+/// program (callers go through [`layout`]).
+fn build<M: Mask>(program: &Program, model: MemoryModel, symmetry: bool) -> Layout<M> {
+    let total: usize = program.threads.iter().map(|t| t.instrs.len()).sum();
+    let mask_words = word_count(total);
     let n_threads = program.threads.len();
     let mut tid = Vec::with_capacity(total);
     let mut idx = Vec::with_capacity(total);
@@ -151,16 +220,13 @@ pub(crate) fn layout(program: &Program, model: MemoryModel) -> Option<Layout> {
             idx.push(i);
         }
     }
-    let all_mask = if total == 64 {
-        u64::MAX
-    } else {
-        (1u64 << total) - 1
-    };
+    let all_mask = M::ones(total);
 
     // Slot discovery: load-destination registers per thread, then every
-    // location any access or `init` entry mentions.
+    // location any access or `init` entry mentions. Slots follow the done
+    // words in the packed state.
     let mut reg_slots: Vec<Vec<(u8, usize)>> = Vec::with_capacity(n_threads);
-    let mut next_word = 1usize; // word 0 is the done mask
+    let mut next_word = mask_words;
     for thread in &program.threads {
         let dests: BTreeSet<u8> = thread.instrs.iter().filter_map(Instr::writes_reg).collect();
         let slots: Vec<(u8, usize)> = dests
@@ -230,15 +296,15 @@ pub(crate) fn layout(program: &Program, model: MemoryModel) -> Option<Layout> {
     }
 
     // Enabledness and same-thread ordering masks from the model relation.
-    let mut pred = vec![0u64; total];
-    let mut ordered_after = vec![0u64; total];
+    let mut pred = vec![M::zeros(total); total];
+    let mut ordered_after = vec![M::zeros(total); total];
     for (t, thread) in program.threads.iter().enumerate() {
         let n = thread.instrs.len();
         for j in 0..n {
             for i in 0..j {
                 if model.ordered(thread, i, j) {
-                    pred[base[t] + j] |= 1 << (base[t] + i);
-                    ordered_after[base[t] + i] |= 1 << (base[t] + j);
+                    pred[base[t] + j].set(base[t] + i);
+                    ordered_after[base[t] + i].set(base[t] + j);
                 }
             }
         }
@@ -247,11 +313,7 @@ pub(crate) fn layout(program: &Program, model: MemoryModel) -> Option<Layout> {
     // The static conflict (dependence) relation. Sound over-approximation:
     // a pair left out of `conflict` must commute in *every* state where
     // both are enabled, and neither may disable the other.
-    let mut conflict = vec![0u64; total];
-    let mut mark = |a: usize, b: usize| {
-        conflict[a] |= 1 << b;
-        conflict[b] |= 1 << a;
-    };
+    let mut conflict = vec![M::zeros(total); total];
     for g in 0..total {
         let ig = &program.threads[tid[g]].instrs[idx[g]];
         for h in (g + 1)..total {
@@ -287,10 +349,17 @@ pub(crate) fn layout(program: &Program, model: MemoryModel) -> Option<Layout> {
                 loc_conflict
             };
             if dependent {
-                mark(g, h);
+                conflict[g].set(h);
+                conflict[h].set(g);
             }
         }
     }
+
+    let sym = if symmetry {
+        build_symmetry(program, &base, &reg_slots, &mem_slot)
+    } else {
+        None
+    };
 
     let out_regs = reg_slots;
     let stored: BTreeSet<u8> = program
@@ -305,9 +374,10 @@ pub(crate) fn layout(program: &Program, model: MemoryModel) -> Option<Layout> {
         .collect();
     let out_mem: Vec<(u8, usize)> = stored.into_iter().map(|l| (l, mem_slot(l))).collect();
 
-    Some(Layout {
+    Layout {
         tid,
         idx,
+        mask_words,
         all_mask,
         pred,
         conflict,
@@ -316,15 +386,61 @@ pub(crate) fn layout(program: &Program, model: MemoryModel) -> Option<Layout> {
         init,
         out_regs,
         out_mem,
-    })
+        sym,
+    }
 }
 
-impl Layout {
+/// Resolve the program-level identical-thread groups to layout slots.
+/// Groups whose members are empty or longer than 64 instructions are
+/// dropped (one done block must fit a `u64`); if the combined orbit would
+/// exceed [`MAX_ORBIT`], symmetry is disabled for the program.
+fn build_symmetry(
+    program: &Program,
+    base: &[usize],
+    reg_slots: &[Vec<(u8, usize)>],
+    mem_slot: &impl Fn(u8) -> usize,
+) -> Option<Symmetry> {
+    let mut groups = Vec::new();
+    let mut orbit = 1usize;
+    for pg in symmetry::identical_groups(program) {
+        let len = program.threads[pg.members[0]].instrs.len();
+        if len == 0 || len > 64 {
+            continue;
+        }
+        orbit = orbit.saturating_mul(factorial(pg.members.len()));
+        groups.push(SlotGroup {
+            bases: pg.members.iter().map(|&t| base[t]).collect(),
+            len,
+            reg_slots: pg
+                .members
+                .iter()
+                .map(|&t| reg_slots[t].iter().map(|&(_, s)| s).collect())
+                .collect(),
+            mem_slots: pg
+                .private_locs
+                .iter()
+                .map(|locs| locs.iter().map(|&l| mem_slot(l)).collect())
+                .collect(),
+        });
+    }
+    if groups.is_empty() || orbit > MAX_ORBIT {
+        None
+    } else {
+        Some(Symmetry { groups, orbit })
+    }
+}
+
+impl<M: Mask> Layout<M> {
+    /// Total instruction count.
+    fn total(&self) -> usize {
+        self.tid.len()
+    }
+
     /// The [`Outcome`] a terminal packed state denotes. Every load and
     /// store has performed at a terminal, so every register slot and every
     /// `out_mem` location carries its final value.
     fn outcome_of(&self, st: &[u64]) -> Outcome {
-        debug_assert_eq!(st[0], self.all_mask);
+        debug_assert_eq!(&st[..self.mask_words], self.all_mask.words());
         Outcome {
             regs: self
                 .out_regs
@@ -339,8 +455,8 @@ impl Layout {
 /// Perform transition `g`, returning the undo record `(slot, old value)`
 /// (`usize::MAX` when no slot changed).
 #[inline]
-fn apply(lay: &Layout, st: &mut [u64], g: usize) -> (usize, u64) {
-    st[0] |= 1 << g;
+fn apply<M: Mask>(lay: &Layout<M>, st: &mut [u64], g: usize) -> (usize, u64) {
+    st[g / 64] |= 1 << (g % 64);
     match lay.effect[g] {
         Effect::Fence => (usize::MAX, 0),
         Effect::Load { dst, mem } => {
@@ -363,7 +479,7 @@ fn apply(lay: &Layout, st: &mut [u64], g: usize) -> (usize, u64) {
 /// Undo [`apply`].
 #[inline]
 fn revert(st: &mut [u64], g: usize, undo: (usize, u64)) {
-    st[0] &= !(1 << g);
+    st[g / 64] &= !(1 << (g % 64));
     if undo.0 != usize::MAX {
         st[undo.0] = undo.1;
     }
@@ -379,25 +495,29 @@ fn hash_words(words: &[u64]) -> u64 {
 }
 
 /// The sharded `(packed state, sleep mask)` visited-set shared between
-/// workers. Keys are exact pairs, so skipping a hit is trivially sound:
-/// the identical continuation was (or is being) explored by the first
+/// workers, sized per program: 16 shards for litmus-sized programs, 64
+/// beyond 64 instructions (large state spaces see real shard contention).
+/// Keys are exact canonical pairs, so skipping a hit is sound: an
+/// orbit-equivalent continuation was (or is being) explored by the first
 /// inserter.
 struct SharedSeen {
     shards: Vec<Mutex<FxHashSet<Box<[u64]>>>>,
+    /// Hash bits above this select the shard.
+    shift: u32,
 }
 
 impl SharedSeen {
-    fn new() -> Self {
+    fn new(total_instrs: usize) -> Self {
+        let n: usize = if total_instrs > 64 { 64 } else { 16 };
         SharedSeen {
-            shards: (0..SEEN_SHARDS)
-                .map(|_| Mutex::new(FxHashSet::default()))
-                .collect(),
+            shards: (0..n).map(|_| Mutex::new(FxHashSet::default())).collect(),
+            shift: 64 - n.trailing_zeros(),
         }
     }
 
     /// Insert the pair; `false` when it was already present.
     fn insert(&self, key: &[u64]) -> bool {
-        let shard = (hash_words(key) >> 60) as usize & (SEEN_SHARDS - 1);
+        let shard = (hash_words(key) >> self.shift) as usize;
         let mut set = self.shards[shard].lock().expect("seen shard poisoned");
         if set.contains(key) {
             false
@@ -408,15 +528,44 @@ impl SharedSeen {
     }
 }
 
+/// The visited key of a branch state: packed state words followed by the
+/// sleep mask, canonicalized under thread symmetry when enabled.
+fn branch_key<M: Mask>(lay: &Layout<M>, st: &[u64], sleep: &M) -> Vec<u64> {
+    let mut key = Vec::with_capacity(st.len() + lay.mask_words);
+    key.extend_from_slice(st);
+    key.extend_from_slice(sleep.words());
+    if let Some(sym) = &lay.sym {
+        sym.canonicalize(&mut key, st.len());
+    }
+    key
+}
+
+/// Reused per-walk scratch masks, so the wide path does not allocate two
+/// bitsets per [`advance`] iteration (for `u64` these are two plain
+/// words on the stack).
+struct Scratch<M> {
+    undone: M,
+    enabled: M,
+}
+
+impl<M: Mask> Scratch<M> {
+    fn new(total: usize) -> Self {
+        Scratch {
+            undone: M::zeros(total),
+            enabled: M::zeros(total),
+        }
+    }
+}
+
 /// What [`advance`] found after consuming the forced macro-step chain.
-enum Advanced {
+enum Advanced<M> {
     /// All instructions performed — the state denotes an outcome.
     Terminal,
     /// The single persistent transition is asleep: the whole continuation
     /// was already explored from a sibling. Prune.
     SleepBlocked,
     /// No forced transition; the enabled set must be enumerated.
-    Branch { enabled: u64 },
+    Branch { enabled: M },
 }
 
 /// Run the forced macro-step chain in place: while some enabled transition
@@ -424,62 +573,66 @@ enum Advanced {
 /// it, execute it alone (singleton persistent set) and filter the sleep
 /// set. Applied transitions are recorded in `undo` (and `path` when the
 /// caller wants a witness trace).
-fn advance(
-    lay: &Layout,
+fn advance<M: Mask>(
+    lay: &Layout<M>,
     st: &mut [u64],
-    sleep: &mut u64,
+    sleep: &mut M,
     undo: &mut Vec<(usize, (usize, u64))>,
-) -> Advanced {
+    scr: &mut Scratch<M>,
+) -> Advanced<M> {
     loop {
-        let done = st[0];
-        if done == lay.all_mask {
-            return Advanced::Terminal;
-        }
-        let undone = lay.all_mask & !done;
-        let mut enabled = 0u64;
-        let mut u = undone;
-        while u != 0 {
-            let g = u.trailing_zeros() as usize;
-            u &= u - 1;
-            if done & lay.pred[g] == lay.pred[g] {
-                enabled |= 1 << g;
+        let forced = {
+            let done = &st[..lay.mask_words];
+            if done == lay.all_mask.words() {
+                return Advanced::Terminal;
             }
-        }
-        debug_assert!(enabled != 0, "well-formed programs never deadlock");
-
-        let mut forced = None;
-        let mut e = enabled;
-        while e != 0 {
-            let g = e.trailing_zeros() as usize;
-            e &= e - 1;
-            // Transitions that could fire while `g` stays unperformed:
-            // everything unperformed except `g` itself and same-thread
-            // instructions ordered after `g`.
-            let rivals = undone & !(1 << g) & !lay.ordered_after[g];
-            if lay.conflict[g] & rivals == 0 {
-                forced = Some(g);
-                break;
+            let Scratch { undone, enabled } = scr;
+            undone.assign_and_not(&lay.all_mask, done);
+            enabled.clear_all();
+            for g in undone.bits() {
+                if lay.pred[g].subset_of_words(done) {
+                    enabled.set(g);
+                }
             }
-        }
-        let Some(g) = forced else {
-            return Advanced::Branch { enabled };
+            debug_assert!(
+                enabled.words().iter().any(|&w| w != 0),
+                "well-formed programs never deadlock"
+            );
+            let mut forced = None;
+            for g in enabled.bits() {
+                // Transitions that could fire while `g` stays unperformed:
+                // everything unperformed except same-thread instructions
+                // ordered after `g` (`conflict[g]` never contains `g`).
+                if !lay.conflict[g].meets_and_not(undone, &lay.ordered_after[g]) {
+                    forced = Some(g);
+                    break;
+                }
+            }
+            match forced {
+                None => {
+                    return Advanced::Branch {
+                        enabled: enabled.clone(),
+                    }
+                }
+                Some(g) => g,
+            }
         };
-        if *sleep >> g & 1 == 1 {
+        if sleep.get(forced) {
             return Advanced::SleepBlocked;
         }
-        undo.push((g, apply(lay, st, g)));
-        *sleep &= !lay.conflict[g];
+        undo.push((forced, apply(lay, st, forced)));
+        sleep.and_not_assign(&lay.conflict[forced]);
     }
 }
 
 /// One subtree root of the parallel frontier.
-struct Task {
+struct Task<M> {
     state: Box<[u64]>,
-    sleep: u64,
+    sleep: M,
 }
 
-/// Exploration counters. All three are schedule-independent (see module
-/// docs), hence byte-identical across `workers` settings.
+/// Exploration counters. Both are schedule-independent (see module docs),
+/// hence byte-identical across `workers` settings.
 #[derive(Default)]
 struct Stats {
     /// Branch states inserted into the visited-set.
@@ -491,20 +644,21 @@ struct Stats {
 
 /// One worker's walk over a set of subtrees: local outcome accumulation,
 /// shared visited-set.
-struct Walker<'a> {
-    lay: &'a Layout,
+struct Walker<'a, M: Mask> {
+    lay: &'a Layout<M>,
     seen: &'a SharedSeen,
+    scratch: Scratch<M>,
     terminals: FxHashSet<Box<[u64]>>,
     stats: Stats,
 }
 
-impl Walker<'_> {
+impl<M: Mask> Walker<'_, M> {
     /// Depth-first exploration of the subtree rooted at `(st, sleep)`.
     /// `st` is restored before returning.
-    fn walk(&mut self, st: &mut Vec<u64>, sleep: u64) {
+    fn walk(&mut self, st: &mut Vec<u64>, sleep: M) {
         let mut sleep = sleep;
         let mut undo = Vec::new();
-        match advance(self.lay, st, &mut sleep, &mut undo) {
+        match advance(self.lay, st, &mut sleep, &mut undo, &mut self.scratch) {
             Advanced::Terminal => {
                 self.terminals.insert(st[..].into());
             }
@@ -512,24 +666,20 @@ impl Walker<'_> {
                 self.stats.pruned += 1;
             }
             Advanced::Branch { enabled } => {
-                let mut key = Vec::with_capacity(st.len() + 1);
-                key.extend_from_slice(st);
-                key.push(sleep);
-                if self.seen.insert(&key) {
+                if self.seen.insert(&branch_key(self.lay, st, &sleep)) {
                     self.stats.visited += 1;
                     let mut local_sleep = sleep;
-                    let mut e = enabled;
-                    while e != 0 {
-                        let g = e.trailing_zeros() as usize;
-                        e &= e - 1;
-                        if local_sleep >> g & 1 == 1 {
+                    for g in enabled.bits() {
+                        if local_sleep.get(g) {
                             self.stats.pruned += 1;
                             continue;
                         }
                         let u = apply(self.lay, st, g);
-                        self.walk(st, local_sleep & !self.lay.conflict[g]);
+                        let mut child_sleep = local_sleep.clone();
+                        child_sleep.and_not_assign(&self.lay.conflict[g]);
+                        self.walk(st, child_sleep);
                         revert(st, g, u);
-                        local_sleep |= 1 << g;
+                        local_sleep.set(g);
                     }
                 } else {
                     self.stats.pruned += 1;
@@ -542,23 +692,38 @@ impl Walker<'_> {
     }
 }
 
+/// How many subtree roots the parallel frontier accumulates per worker
+/// before handing the frontier to the pool. Large programs get more,
+/// finer chunks: their subtrees are deep and uneven, and a fatter
+/// frontier is what lets work stealing balance them.
+fn tasks_per_worker(total_instrs: usize) -> usize {
+    if total_instrs > 64 {
+        32
+    } else {
+        4
+    }
+}
+
 /// Explore `program` (whose [`Layout`] this is) and return the canonical
-/// [`OutcomeSet`]. `workers <= 1` runs a plain serial DFS; otherwise the
-/// frontier is expanded breadth-first and drained on a work-stealing pool.
-pub(crate) fn run(lay: &Layout, workers: usize) -> OutcomeSet {
-    let seen = SharedSeen::new();
+/// [`OutcomeSet`]. Serial DFS when `workers <= 1` or the program is below
+/// [`PARALLEL_MIN_INSTRS`]; otherwise the frontier is expanded
+/// breadth-first and drained on a work-stealing pool.
+pub(crate) fn run<M: Mask>(lay: &Layout<M>, workers: usize) -> OutcomeSet {
+    let total = lay.total();
+    let seen = SharedSeen::new(total);
     let mut terminals: FxHashSet<Box<[u64]>> = FxHashSet::default();
     let mut stats = Stats::default();
 
-    if workers <= 1 {
+    if workers <= 1 || total < PARALLEL_MIN_INSTRS {
         let mut w = Walker {
             lay,
             seen: &seen,
+            scratch: Scratch::new(total),
             terminals: FxHashSet::default(),
             stats: Stats::default(),
         };
         let mut st = lay.init.clone();
-        w.walk(&mut st, 0);
+        w.walk(&mut st, M::zeros(total));
         terminals = w.terminals;
         stats = w.stats;
     } else {
@@ -566,18 +731,19 @@ pub(crate) fn run(lay: &Layout, workers: usize) -> OutcomeSet {
         // forced chain, and either record the terminal or expand the
         // branch's children as new roots — exactly the serial walk, with
         // scheduling (not search order) changed.
-        let target = workers * TASKS_PER_WORKER;
-        let mut queue: VecDeque<Task> = VecDeque::new();
+        let target = workers * tasks_per_worker(total);
+        let mut scratch = Scratch::new(total);
+        let mut queue: VecDeque<Task<M>> = VecDeque::new();
         queue.push_back(Task {
             state: lay.init.clone().into(),
-            sleep: 0,
+            sleep: M::zeros(total),
         });
         while queue.len() < target {
             let Some(task) = queue.pop_front() else { break };
             let mut st: Vec<u64> = task.state.into_vec();
             let mut sleep = task.sleep;
             let mut undo = Vec::new();
-            match advance(lay, &mut st, &mut sleep, &mut undo) {
+            match advance(lay, &mut st, &mut sleep, &mut undo, &mut scratch) {
                 Advanced::Terminal => {
                     terminals.insert(st[..].into());
                 }
@@ -585,27 +751,23 @@ pub(crate) fn run(lay: &Layout, workers: usize) -> OutcomeSet {
                     stats.pruned += 1;
                 }
                 Advanced::Branch { enabled } => {
-                    let mut key = Vec::with_capacity(st.len() + 1);
-                    key.extend_from_slice(&st);
-                    key.push(sleep);
-                    if seen.insert(&key) {
+                    if seen.insert(&branch_key(lay, &st, &sleep)) {
                         stats.visited += 1;
                         let mut local_sleep = sleep;
-                        let mut e = enabled;
-                        while e != 0 {
-                            let g = e.trailing_zeros() as usize;
-                            e &= e - 1;
-                            if local_sleep >> g & 1 == 1 {
+                        for g in enabled.bits() {
+                            if local_sleep.get(g) {
                                 stats.pruned += 1;
                                 continue;
                             }
                             let u = apply(lay, &mut st, g);
+                            let mut child_sleep = local_sleep.clone();
+                            child_sleep.and_not_assign(&lay.conflict[g]);
                             queue.push_back(Task {
                                 state: st[..].into(),
-                                sleep: local_sleep & !lay.conflict[g],
+                                sleep: child_sleep,
                             });
                             revert(&mut st, g, u);
-                            local_sleep |= 1 << g;
+                            local_sleep.set(g);
                         }
                     } else {
                         stats.pruned += 1;
@@ -614,46 +776,67 @@ pub(crate) fn run(lay: &Layout, workers: usize) -> OutcomeSet {
             }
         }
 
-        // Drain the frontier on the work-stealing pool.
-        let worker_n = workers.min(queue.len().max(1));
-        let injector: Injector<Task> = Injector::new();
-        for task in queue {
-            injector.push(task);
-        }
-        let locals: Vec<Worker<Task>> = (0..worker_n).map(|_| Worker::new_fifo()).collect();
-        let stealers: Vec<Stealer<Task>> = locals.iter().map(Worker::stealer).collect();
-        type WorkerResult = Option<(FxHashSet<Box<[u64]>>, Stats)>;
-        let results: Vec<Mutex<WorkerResult>> = (0..worker_n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for (me, local) in locals.iter().enumerate() {
-                let (injector, stealers, results, seen) = (&injector, &stealers, &results, &seen);
-                scope.spawn(move || {
-                    let mut w = Walker {
-                        lay,
-                        seen,
-                        terminals: FxHashSet::default(),
-                        stats: Stats::default(),
-                    };
-                    while let Some(task) = find_task(local, injector, stealers, me) {
-                        let mut st = task.state.into_vec();
-                        w.walk(&mut st, task.sleep);
-                    }
-                    *results[me].lock().expect("worker slot poisoned") =
-                        Some((w.terminals, w.stats));
-                });
+        // Drain the frontier on the work-stealing pool — unless the
+        // expansion already finished the whole search, in which case
+        // spinning up threads would be pure overhead.
+        if !queue.is_empty() {
+            let worker_n = workers.min(queue.len());
+            let injector: Injector<Task<M>> = Injector::new();
+            for task in queue {
+                injector.push(task);
             }
-        });
-        for slot in results {
-            if let Some((t, s)) = slot.into_inner().expect("worker slot poisoned") {
-                terminals.extend(t);
-                stats.visited += s.visited;
-                stats.pruned += s.pruned;
+            let locals: Vec<Worker<Task<M>>> = (0..worker_n).map(|_| Worker::new_fifo()).collect();
+            let stealers: Vec<Stealer<Task<M>>> = locals.iter().map(Worker::stealer).collect();
+            type WorkerResult = Option<(FxHashSet<Box<[u64]>>, Stats)>;
+            let results: Vec<Mutex<WorkerResult>> =
+                (0..worker_n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for (me, local) in locals.iter().enumerate() {
+                    let (injector, stealers, results, seen) =
+                        (&injector, &stealers, &results, &seen);
+                    scope.spawn(move || {
+                        let mut w = Walker {
+                            lay,
+                            seen,
+                            scratch: Scratch::new(total),
+                            terminals: FxHashSet::default(),
+                            stats: Stats::default(),
+                        };
+                        while let Some(task) = find_task(local, injector, stealers, me) {
+                            let mut st = task.state.into_vec();
+                            w.walk(&mut st, task.sleep);
+                        }
+                        *results[me].lock().expect("worker slot poisoned") =
+                            Some((w.terminals, w.stats));
+                    });
+                }
+            });
+            for slot in results {
+                if let Some((t, s)) = slot.into_inner().expect("worker slot poisoned") {
+                    terminals.extend(t);
+                    stats.visited += s.visited;
+                    stats.pruned += s.pruned;
+                }
             }
         }
     }
 
+    // Terminal outcomes, closed over the symmetry group: a quotient
+    // terminal stands for its whole orbit, and every orbit member's
+    // outcome is reachable in the full graph.
+    let outcomes = match &lay.sym {
+        Some(sym) => {
+            let mut out = Vec::with_capacity(terminals.len() * sym.orbit);
+            for t in &terminals {
+                sym.expand_terminal(t, |img| out.push(lay.outcome_of(img)));
+            }
+            out
+        }
+        None => terminals.iter().map(|t| lay.outcome_of(t)).collect(),
+    };
+
     let mut set = OutcomeSet {
-        outcomes: terminals.iter().map(|t| lay.outcome_of(t)).collect(),
+        outcomes,
         // Forced macro-states and terminals are never materialized; the
         // count is branch states only, floored at 1 for the root.
         states_visited: stats.visited.max(1),
@@ -702,28 +885,45 @@ fn find_task<T>(
 /// satisfies `pred`. Sound because persistent+sleep search reaches every
 /// terminal state: if any execution reaches a matching outcome, some
 /// explored path reaches its terminal state. Deterministic: transitions
-/// are always tried in `(thread, index)` order.
-pub(crate) fn find_witness_dpor(lay: &Layout, pred: &dyn Fn(&Outcome) -> bool) -> Option<Witness> {
-    let seen = SharedSeen::new();
+/// are always tried in `(thread, index)` order. The layout must have been
+/// built without symmetry — a canonical-key skip could otherwise suppress
+/// the only path whose step list matches the requested outcome's threads.
+pub(crate) fn find_witness_dpor<M: Mask>(
+    lay: &Layout<M>,
+    pred: &dyn Fn(&Outcome) -> bool,
+) -> Option<Witness> {
+    debug_assert!(lay.sym.is_none(), "witness search must not quotient");
+    let seen = SharedSeen::new(lay.total());
     let mut st = lay.init.clone();
     let mut path: Vec<WitnessStep> = Vec::new();
-    search(lay, &seen, &mut st, 0, &mut path, pred)
+    let mut scratch = Scratch::new(lay.total());
+    search(
+        lay,
+        &seen,
+        &mut st,
+        M::zeros(lay.total()),
+        &mut path,
+        pred,
+        &mut scratch,
+    )
 }
 
 /// Recursive step of [`find_witness_dpor`]; `st` and `path` are restored
 /// before returning `None`.
-fn search(
-    lay: &Layout,
+#[allow(clippy::too_many_arguments)]
+fn search<M: Mask>(
+    lay: &Layout<M>,
     seen: &SharedSeen,
     st: &mut Vec<u64>,
-    sleep: u64,
+    sleep: M,
     path: &mut Vec<WitnessStep>,
     pred: &dyn Fn(&Outcome) -> bool,
+    scratch: &mut Scratch<M>,
 ) -> Option<Witness> {
     let mut sleep = sleep;
     let mut undo = Vec::new();
     let found = 'walk: {
-        match advance(lay, st, &mut sleep, &mut undo) {
+        match advance(lay, st, &mut sleep, &mut undo, scratch) {
             Advanced::Terminal => {
                 let outcome = lay.outcome_of(st);
                 if pred(&outcome) {
@@ -738,10 +938,7 @@ fn search(
             }
             Advanced::SleepBlocked => None,
             Advanced::Branch { enabled } => {
-                let mut key = Vec::with_capacity(st.len() + 1);
-                key.extend_from_slice(st);
-                key.push(sleep);
-                if !seen.insert(&key) {
+                if !seen.insert(&branch_key(lay, st, &sleep)) {
                     break 'walk None;
                 }
                 path.extend(undo.iter().map(|&(g, _)| WitnessStep {
@@ -750,11 +947,8 @@ fn search(
                 }));
                 let pushed = undo.len();
                 let mut local_sleep = sleep;
-                let mut e = enabled;
-                while e != 0 {
-                    let g = e.trailing_zeros() as usize;
-                    e &= e - 1;
-                    if local_sleep >> g & 1 == 1 {
+                for g in enabled.bits() {
+                    if local_sleep.get(g) {
                         continue;
                     }
                     let u = apply(lay, st, g);
@@ -762,14 +956,14 @@ fn search(
                         tid: lay.tid[g],
                         idx: lay.idx[g],
                     });
-                    if let Some(w) =
-                        search(lay, seen, st, local_sleep & !lay.conflict[g], path, pred)
-                    {
+                    let mut child_sleep = local_sleep.clone();
+                    child_sleep.and_not_assign(&lay.conflict[g]);
+                    if let Some(w) = search(lay, seen, st, child_sleep, path, pred, scratch) {
                         break 'walk Some(w);
                     }
                     path.pop();
                     revert(st, g, u);
-                    local_sleep |= 1 << g;
+                    local_sleep.set(g);
                 }
                 path.truncate(path.len() - pushed);
                 None
@@ -788,6 +982,7 @@ fn search(
 mod tests {
     use super::*;
     use crate::model::Thread;
+    use armbar_barriers::Barrier;
 
     fn prog(threads: Vec<Vec<Instr>>) -> Program {
         Program {
@@ -799,18 +994,33 @@ mod tests {
         }
     }
 
+    fn explore(p: &Program, model: MemoryModel, workers: usize) -> OutcomeSet {
+        run_program(p, model, workers, true)
+    }
+
     #[test]
-    fn layout_rejects_oversized_programs() {
-        let p = prog(vec![
-            vec![Instr::store(0, 1); 33],
-            vec![Instr::store(1, 1); 32],
-        ]);
-        assert!(layout(&p, MemoryModel::ArmWmm).is_none());
-        let ok = prog(vec![
+    fn width_dispatch_straddles_the_64_instruction_boundary() {
+        let at = prog(vec![
             vec![Instr::store(0, 1); 32],
             vec![Instr::store(1, 1); 32],
         ]);
-        assert!(layout(&ok, MemoryModel::ArmWmm).is_some());
+        assert!(matches!(
+            layout(&at, MemoryModel::ArmWmm, true),
+            EngineLayout::Narrow(_)
+        ));
+        let over = prog(vec![
+            vec![Instr::store(0, 1); 33],
+            vec![Instr::store(1, 1); 32],
+        ]);
+        assert!(matches!(
+            layout(&over, MemoryModel::ArmWmm, true),
+            EngineLayout::Wide(_)
+        ));
+        // Same-location store chains are totally ordered: one outcome,
+        // reached without any oracle fallback.
+        let set = explore(&over, MemoryModel::ArmWmm, 1);
+        assert_eq!(set.outcomes.len(), 1);
+        assert_eq!(set.outcomes[0].mem(0), 1);
     }
 
     #[test]
@@ -828,8 +1038,7 @@ mod tests {
             ],
             init: vec![(1, 5)],
         };
-        let lay = layout(&p, MemoryModel::Sc).expect("fits");
-        let set = run(&lay, 1);
+        let set = explore(&p, MemoryModel::Sc, 1);
         assert_eq!(set.outcomes.len(), 1);
         let o = &set.outcomes[0];
         assert_eq!(o.reg(0, 0), 7);
@@ -845,8 +1054,7 @@ mod tests {
     #[test]
     fn forced_only_programs_report_one_state() {
         let p = prog(vec![vec![Instr::store(0, 1), Instr::store(1, 2)]]);
-        let lay = layout(&p, MemoryModel::ArmWmm).unwrap();
-        let set = run(&lay, 1);
+        let set = explore(&p, MemoryModel::ArmWmm, 1);
         assert_eq!(set.states_visited, 1, "single-thread runs are all forced");
         assert_eq!(set.outcomes.len(), 1);
     }
@@ -857,10 +1065,9 @@ mod tests {
             vec![Instr::store(0, 1), Instr::store(1, 2), Instr::load(0, 2)],
             vec![Instr::store(2, 3), Instr::load(1, 0), Instr::load(2, 1)],
         ]);
-        let lay = layout(&p, MemoryModel::ArmWmm).unwrap();
-        let serial = run(&lay, 1);
+        let serial = explore(&p, MemoryModel::ArmWmm, 1);
         for workers in [2, 4, 8] {
-            let par = run(&lay, workers);
+            let par = explore(&p, MemoryModel::ArmWmm, workers);
             assert_eq!(serial.outcomes, par.outcomes, "workers={workers}");
             assert_eq!(
                 serial.states_visited, par.states_visited,
@@ -868,5 +1075,75 @@ mod tests {
             );
             assert_eq!(serial.states_pruned, par.states_pruned, "workers={workers}");
         }
+    }
+
+    /// A writer plus three exactly-identical readers: the quotient must
+    /// visit strictly fewer branch states while reporting exactly the
+    /// full outcome set, serial or parallel.
+    #[test]
+    fn symmetry_quotient_preserves_outcomes_and_cuts_states() {
+        let reader = vec![
+            Instr::load(0, 1),
+            Instr::Fence(Barrier::DmbLd),
+            Instr::load(1, 0),
+        ];
+        let p = prog(vec![
+            vec![
+                Instr::store(0, 23),
+                Instr::Fence(Barrier::DmbSt),
+                Instr::store(1, 1),
+            ],
+            reader.clone(),
+            reader.clone(),
+            reader,
+        ]);
+        let full = run_program(&p, MemoryModel::ArmWmm, 1, false);
+        let quotient = run_program(&p, MemoryModel::ArmWmm, 1, true);
+        assert_eq!(full.outcomes, quotient.outcomes, "orbit closure is exact");
+        assert!(
+            quotient.states_visited < full.states_visited,
+            "quotient {} vs full {}",
+            quotient.states_visited,
+            full.states_visited
+        );
+        let par = run_program(&p, MemoryModel::ArmWmm, 4, true);
+        assert_eq!(quotient, par, "canonical keys stay schedule-independent");
+    }
+
+    /// Symmetry with private spin locations: contenders that are
+    /// identical only up to renaming their own queue node.
+    #[test]
+    fn symmetry_handles_private_location_renaming() {
+        let contender = |node: u8| {
+            vec![
+                Instr::store(node, 1),
+                Instr::load(0, 9),
+                Instr::load(1, node),
+            ]
+        };
+        let p = prog(vec![
+            vec![Instr::store(9, 7)],
+            contender(10),
+            contender(11),
+            contender(12),
+        ]);
+        let full = run_program(&p, MemoryModel::ArmWmm, 1, false);
+        let quotient = run_program(&p, MemoryModel::ArmWmm, 1, true);
+        assert_eq!(full.outcomes, quotient.outcomes);
+        assert!(quotient.states_visited <= full.states_visited);
+    }
+
+    /// Mirror-symmetric litmus shapes (SB) rename *shared* locations, so
+    /// they must not be quotiented: state counts match the
+    /// symmetry-disabled engine exactly.
+    #[test]
+    fn shared_location_mirrors_are_not_quotiented() {
+        let p = prog(vec![
+            vec![Instr::store(0, 1), Instr::load(0, 1)],
+            vec![Instr::store(1, 1), Instr::load(0, 0)],
+        ]);
+        let with = run_program(&p, MemoryModel::ArmWmm, 1, true);
+        let without = run_program(&p, MemoryModel::ArmWmm, 1, false);
+        assert_eq!(with, without);
     }
 }

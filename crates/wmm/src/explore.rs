@@ -18,9 +18,11 @@
 //!   batteries revisit the same litmus shapes. `ARMBAR_EXPLORE_MEMO=0`
 //!   disables the cache; [`explore_memo_stats`] reports hits/misses.
 //! * [`explore_oracle`] (and [`explore_with_sip_hasher`]) enumerate every
-//!   interleaving by naive cloning DFS. They are the differential
-//!   reference the engine is tested against, and the fallback for programs
-//!   larger than the engine's 64-total-instruction bound.
+//!   interleaving by naive cloning DFS. They survive purely as the
+//!   differential reference the engine is tested against — the engine
+//!   itself has no size ceiling anymore (multi-word packed states kick in
+//!   past 64 total instructions), so nothing in the production path falls
+//!   back here.
 
 use std::collections::{BTreeMap, HashSet};
 use std::hash::BuildHasher;
@@ -261,15 +263,11 @@ fn memoized(
 
 /// Exhaustively explore `program` under `model`.
 ///
-/// Runs the packed-state DPOR engine (serial) behind the process-wide memo
-/// cache; programs beyond the engine's 64-total-instruction bound fall
-/// back to the enumerative oracle. The returned set is canonical and
+/// Runs the packed-state DPOR engine (serial, thread-symmetry reduction
+/// on) behind the process-wide memo cache, at any program size: programs
+/// up to 64 total instructions take the single-word fast path, larger
+/// ones the multi-word layout. The returned set is canonical and
 /// byte-identical across hashers, worker counts, and reruns.
-///
-/// # Panics
-///
-/// Panics if any thread has more than 64 instructions (bitmask bound) —
-/// litmus tests are tiny by construction.
 #[must_use]
 pub fn explore(program: &Program, model: MemoryModel) -> OutcomeSet {
     memoized(program, model, || explore_dpor_uncached(program, model, 1))
@@ -278,8 +276,10 @@ pub fn explore(program: &Program, model: MemoryModel) -> OutcomeSet {
 /// [`explore`] with the engine's parallel frontier on `workers` threads
 /// (also memoized). The result — outcomes *and* the `states_*` counters —
 /// is byte-identical to the serial run at any worker count; only wall
-/// time changes. Callers that are already parallel at a coarser grain
-/// (the experiment sweeps) should keep calling [`explore`].
+/// time changes. Programs below the engine's parallel threshold run the
+/// serial walk regardless of `workers` (pool setup costs more than a
+/// litmus-sized search). Callers that are already parallel at a coarser
+/// grain (the experiment sweeps) should keep calling [`explore`].
 #[must_use]
 pub fn explore_parallel(program: &Program, model: MemoryModel, workers: usize) -> OutcomeSet {
     memoized(program, model, || {
@@ -288,14 +288,25 @@ pub fn explore_parallel(program: &Program, model: MemoryModel, workers: usize) -
 }
 
 /// The DPOR engine without the memo cache (benchmarks and differential
-/// tests measure cold explorations through this). Falls back to the
-/// oracle above 64 total instructions.
+/// tests measure cold explorations through this). Thread-symmetry
+/// reduction on, no size ceiling, no oracle fallback.
 #[must_use]
 pub fn explore_dpor_uncached(program: &Program, model: MemoryModel, workers: usize) -> OutcomeSet {
-    match engine::layout(program, model) {
-        Some(lay) => engine::run(&lay, workers),
-        None => explore_oracle(program, model),
-    }
+    explore_dpor_configured(program, model, workers, true)
+}
+
+/// The DPOR engine with thread-symmetry reduction explicitly switched:
+/// benchmarks measure the quotient's state cut through this, and
+/// differential tests check that `symmetry` never changes the outcome
+/// set. Production callers want [`explore`] / [`explore_parallel`].
+#[must_use]
+pub fn explore_dpor_configured(
+    program: &Program,
+    model: MemoryModel,
+    workers: usize,
+    symmetry: bool,
+) -> OutcomeSet {
+    engine::run_program(program, model, workers, symmetry)
 }
 
 /// The enumerative oracle: clone-per-transition DFS over every

@@ -1,7 +1,8 @@
 //! Exhaustive operational weak-memory-model explorer.
 //!
-//! Decides, for litmus-sized programs, exactly which final outcomes are
-//! reachable under three memory models:
+//! Decides, for litmus-sized and bounded-unrolled implementation-sized
+//! programs, exactly which final outcomes are reachable under three memory
+//! models:
 //!
 //! * **ARM WMM** — multi-copy-atomic out-of-order execution: any two
 //!   program-order memory accesses may perform out of order unless an
@@ -45,13 +46,17 @@ pub mod battery;
 mod engine;
 pub mod explore;
 pub mod litmus;
+mod mask;
 pub mod model;
 pub mod mutate;
+mod symmetry;
+pub mod unroll;
 pub mod witness;
 
 pub use explore::{
-    explore, explore_dpor_uncached, explore_memo_clear, explore_memo_stats, explore_oracle,
-    explore_parallel, explore_with_sip_hasher, Outcome, OutcomeDiff, OutcomeSet,
+    explore, explore_dpor_configured, explore_dpor_uncached, explore_memo_clear,
+    explore_memo_stats, explore_oracle, explore_parallel, explore_with_sip_hasher, Outcome,
+    OutcomeDiff, OutcomeSet,
 };
 pub use litmus::LitmusTest;
 pub use model::{Instr, MemoryModel, Program, Src, Thread};

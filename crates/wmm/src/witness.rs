@@ -12,8 +12,6 @@
 
 use std::collections::BTreeMap;
 
-use armbar_fxhash::FxHashSet;
-
 use crate::engine;
 use crate::explore::Outcome;
 use crate::model::{Instr, MemoryModel, Program, Src};
@@ -105,20 +103,23 @@ impl Witness {
         if self.steps.len() != total {
             return None;
         }
-        let mut done = vec![0u64; program.threads.len()];
+        let mut done: Vec<Vec<bool>> = program
+            .threads
+            .iter()
+            .map(|t| vec![false; t.instrs.len()])
+            .collect();
         let mut regs: Vec<BTreeMap<u8, u64>> = vec![BTreeMap::new(); program.threads.len()];
         let mut memory: BTreeMap<u8, u64> = program.init.iter().copied().collect();
         for s in &self.steps {
             let thread = program.threads.get(s.tid)?;
-            if s.idx >= thread.instrs.len() || done[s.tid] & (1 << s.idx) != 0 {
+            if s.idx >= thread.instrs.len() || done[s.tid][s.idx] {
                 return None;
             }
-            let enabled =
-                (0..s.idx).all(|i| done[s.tid] & (1 << i) != 0 || !model.ordered(thread, i, s.idx));
+            let enabled = (0..s.idx).all(|i| done[s.tid][i] || !model.ordered(thread, i, s.idx));
             if !enabled {
                 return None;
             }
-            done[s.tid] |= 1 << s.idx;
+            done[s.tid][s.idx] = true;
             match &thread.instrs[s.idx] {
                 Instr::Load { reg, loc, .. } => {
                     let v = *memory.get(loc).unwrap_or(&0);
@@ -144,108 +145,21 @@ impl Witness {
     }
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct State {
-    done: Vec<u64>,
-    regs: Vec<BTreeMap<u8, u64>>,
-    memory: BTreeMap<u8, u64>,
-}
-
 /// Find a complete execution under `model` whose final outcome satisfies
 /// `pred`, or `None` when no such execution exists (the outcome is
 /// forbidden).
 ///
-/// Runs on the DPOR engine (deterministic `(thread, index)` search order,
-/// so the returned witness is byte-stable across reruns and worker
-/// counts); programs beyond the engine's 64-total-instruction bound fall
-/// back to the enumerative path search.
+/// Runs on the DPOR engine at every program size (deterministic
+/// `(thread, index)` search order, so the returned witness is byte-stable
+/// across reruns), with thread-symmetry reduction disabled: the step list
+/// must name the concrete threads of the found execution.
 #[must_use]
 pub fn find_witness(
     program: &Program,
     model: MemoryModel,
     pred: impl Fn(&Outcome) -> bool,
 ) -> Option<Witness> {
-    if let Some(lay) = engine::layout(program, model) {
-        return engine::find_witness_dpor(&lay, &pred);
-    }
-    find_witness_enumerative(program, model, pred)
-}
-
-/// The pre-engine witness search: naive cloning DFS carrying the path.
-/// Kept as the oversized-program fallback.
-fn find_witness_enumerative(
-    program: &Program,
-    model: MemoryModel,
-    pred: impl Fn(&Outcome) -> bool,
-) -> Option<Witness> {
-    for t in &program.threads {
-        assert!(
-            t.instrs.len() <= 64,
-            "litmus threads are limited to 64 instructions"
-        );
-    }
-    let start = State {
-        done: vec![0; program.threads.len()],
-        regs: vec![BTreeMap::new(); program.threads.len()],
-        memory: program.init.iter().copied().collect(),
-    };
-    let mut seen: FxHashSet<State> = FxHashSet::default();
-    let mut stack: Vec<(State, Vec<WitnessStep>)> = vec![(start, Vec::new())];
-    while let Some((state, path)) = stack.pop() {
-        if !seen.insert(state.clone()) {
-            continue;
-        }
-        let mut terminal = true;
-        for (tid, thread) in program.threads.iter().enumerate() {
-            for idx in 0..thread.instrs.len() {
-                if state.done[tid] & (1 << idx) != 0 {
-                    continue;
-                }
-                let enabled = (0..idx)
-                    .all(|i| state.done[tid] & (1 << i) != 0 || !model.ordered(thread, i, idx));
-                if !enabled {
-                    continue;
-                }
-                terminal = false;
-                let mut next = state.clone();
-                next.done[tid] |= 1 << idx;
-                match &thread.instrs[idx] {
-                    Instr::Load { reg, loc, .. } => {
-                        let v = *next.memory.get(loc).unwrap_or(&0);
-                        next.regs[tid].insert(*reg, v);
-                    }
-                    Instr::Store { loc, src, .. } => {
-                        let v = match src {
-                            Src::Const(v) | Src::DepConst { value: v, .. } => *v,
-                            Src::Reg(r) => *next.regs[tid].get(r).unwrap_or(&0),
-                        };
-                        next.memory.insert(*loc, v);
-                    }
-                    Instr::Fence(_) => {}
-                }
-                let mut next_path = path.clone();
-                next_path.push(WitnessStep { tid, idx });
-                stack.push((next, next_path));
-            }
-        }
-        if terminal {
-            let outcome = Outcome {
-                regs: state
-                    .regs
-                    .iter()
-                    .map(|m| m.iter().map(|(&r, &v)| (r, v)).collect())
-                    .collect(),
-                memory: state.memory.iter().map(|(&l, &v)| (l, v)).collect(),
-            };
-            if pred(&outcome) {
-                return Some(Witness {
-                    steps: path,
-                    outcome,
-                });
-            }
-        }
-    }
-    None
+    engine::witness_program(program, model, &pred)
 }
 
 /// Convenience: a witness for a [`LitmusTest`](crate::litmus::LitmusTest)'s
@@ -326,17 +240,18 @@ mod tests {
     }
 
     #[test]
-    fn engine_and_enumerative_witness_search_agree_on_existence() {
+    fn witness_existence_matches_the_oracle_outcome_set() {
         for (pub_barrier, con_barrier, exists) in [
             (Barrier::None, Barrier::None, true),
             (Barrier::DmbSt, Barrier::DmbLd, false),
         ] {
             let t = message_passing(pub_barrier, con_barrier);
             let fast = witness_for(&t, MemoryModel::ArmWmm);
-            let slow =
-                find_witness_enumerative(&t.program, MemoryModel::ArmWmm, |o| (t.relaxed)(o));
             assert_eq!(fast.is_some(), exists);
-            assert_eq!(slow.is_some(), exists);
+            // The independent enumerative oracle must agree: an outcome
+            // has a witness iff it is in the reachable set.
+            let oracle = crate::explore::explore_oracle(&t.program, MemoryModel::ArmWmm);
+            assert_eq!(oracle.outcomes.iter().any(|o| (t.relaxed)(o)), exists);
         }
     }
 

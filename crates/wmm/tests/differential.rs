@@ -11,7 +11,9 @@ use proptest::prelude::*;
 
 use armbar_barriers::Barrier;
 use armbar_wmm::battery::battery;
-use armbar_wmm::explore::{explore_dpor_uncached, explore_with_sip_hasher};
+use armbar_wmm::explore::{
+    explore_dpor_configured, explore_dpor_uncached, explore_with_sip_hasher,
+};
 use armbar_wmm::model::{Instr, MemoryModel, Program, Thread};
 use armbar_wmm::witness::find_witness;
 
@@ -112,6 +114,30 @@ proptest! {
     fn random_programs_differential(p in gen_program()) {
         for model in MemoryModel::ALL {
             check(&p, model);
+        }
+    }
+
+    /// Duplicated-thread programs: clone one random thread three times so
+    /// the symmetry detector always finds a group, then require the
+    /// quotiented engine to agree with the oracle (orbit closure is exact)
+    /// while never visiting more states than the full engine.
+    #[test]
+    fn duplicated_thread_quotient_differential(
+        instrs in prop::collection::vec(gen_instr(), 1..5),
+    ) {
+        let t = Thread { instrs };
+        let p = Program {
+            threads: vec![t.clone(), t.clone(), t],
+            init: vec![],
+        };
+        for model in MemoryModel::ALL {
+            let oracle = explore_with_sip_hasher(&p, model);
+            let quotient = explore_dpor_configured(&p, model, 1, true);
+            let full = explore_dpor_configured(&p, model, 1, false);
+            prop_assert_eq!(&quotient.outcomes, &oracle.outcomes,
+                "quotient diverged from oracle under {:?} on {:?}", model, &p);
+            prop_assert!(quotient.states_visited <= full.states_visited,
+                "quotient grew the state count under {:?} on {:?}", model, &p);
         }
     }
 
