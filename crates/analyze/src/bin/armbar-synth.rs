@@ -1,0 +1,88 @@
+//! `armbar-synth` — whole-program barrier-placement synthesis over the
+//! built-in corpus: branch-and-bound the joint rewrite space of every
+//! case for the cheapest outcome-preserving placement, then price the
+//! per-barrier-count frontier on all four platform profiles.
+//!
+//! ```text
+//! armbar-synth [FILTER]
+//! ```
+//!
+//! With a `FILTER` argument only cases whose name contains the substring
+//! are synthesized. Exit status is 1 when any case admits a placement
+//! strictly cheaper than its seed (there is work for the optimizer to
+//! do), so the binary doubles as a CI gate like `armbar-lint`.
+
+use armbar_analyze::corpus::corpus;
+use armbar_analyze::synth::{chosen_point, pareto_fronts, synthesize};
+use armbar_sim::PlatformKind;
+
+/// Iterations used when pricing a placement on the simulator.
+const REPLAY_ITERS: u64 = 200;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let cases: Vec<_> = corpus()
+        .into_iter()
+        .filter(|c| filter.as_ref().is_none_or(|f| c.name.contains(f)))
+        .collect();
+    if cases.is_empty() {
+        eprintln!("no corpus case matches filter {filter:?}");
+        std::process::exit(2);
+    }
+
+    let mut improvable = 0usize;
+    for case in &cases {
+        let r = synthesize(case);
+        println!(
+            "== {} ({} sites, space {}, {} leaves checked, {} subtrees pruned{})",
+            case.name,
+            r.sites.len(),
+            r.space,
+            r.leaves_checked,
+            r.nodes_pruned,
+            if r.complete { "" } else { ", budget hit" },
+        );
+        println!(
+            "   seed: score {} with {} barrier(s)",
+            r.seed.score, r.seed.barrier_count
+        );
+        println!(
+            "   best: score {} with {} barrier(s) — {} [{}]",
+            r.best.score,
+            r.best.barrier_count,
+            r.best.label(),
+            r.best.proof_label(),
+        );
+        if r.best.score < r.seed.score {
+            improvable += 1;
+        }
+        let front = pareto_fronts(&r, REPLAY_ITERS);
+        for kind in PlatformKind::ALL {
+            let points: Vec<String> = front
+                .iter()
+                .filter(|p| p.platform == kind)
+                .map(|p| {
+                    format!(
+                        "({} barrier(s), {} cyc, {:+} vs seed, {})",
+                        p.barrier_count, p.cycles, p.saved_vs_seed, p.removed
+                    )
+                })
+                .collect();
+            let chosen = chosen_point(&front, kind).expect("front never empty");
+            println!(
+                "   {:<12} front: {} -> deploy {}",
+                kind.name(),
+                points.join(" "),
+                chosen.label
+            );
+        }
+    }
+    println!(
+        "\n{} case(s), {} with cheaper placements",
+        cases.len(),
+        improvable
+    );
+    if improvable > 0 {
+        std::process::exit(1);
+    }
+}

@@ -35,7 +35,9 @@
 pub mod corpus;
 pub mod lint;
 pub mod replay;
+pub mod synth;
 
 pub use corpus::{corpus, LintCase};
 pub use lint::{analyze_case, analyze_corpus, Finding, FindingKind, Proof};
 pub use replay::{replay_cycles, saved_cycles};
+pub use synth::{chosen_point, pareto_fronts, synthesize, FrontPoint, Placement, SynthResult};

@@ -7,7 +7,10 @@ use proptest::prelude::*;
 
 use armbar_analyze::corpus::LintCase;
 use armbar_analyze::lint::{analyze_case, FindingKind};
+use armbar_analyze::replay::replay_cycles;
+use armbar_analyze::synth::{chosen_point, pareto_fronts, synthesize};
 use armbar_barriers::Barrier;
+use armbar_sim::{Platform, PlatformKind};
 use armbar_wmm::explore::explore;
 use armbar_wmm::{Instr, MemoryModel, Program, Thread};
 
@@ -120,6 +123,67 @@ proptest! {
                 }
                 FindingKind::Missing => prop_assert!(false, "no intent given"),
             }
+        }
+    }
+
+    /// The synthesizer's headline soundness property: every placement it
+    /// emits — the best one and every per-count incumbent — is re-checked
+    /// here against a fresh exploration and must never widen the outcome
+    /// set; its `removed` proof field must match the real diff; and the
+    /// joint search must never land above the seed's cost-rank score.
+    #[test]
+    fn synthesized_placements_never_widen_or_exceed_seed(p in gen_program()) {
+        let base = explore(&p, MemoryModel::ArmWmm);
+        let case = LintCase { name: "fuzz".to_string(), program: p, forbidden: None };
+        let r = synthesize(&case);
+        prop_assert!(
+            r.best.score <= r.seed.score,
+            "best placement ({}) scores above the seed",
+            r.best.label()
+        );
+        for placement in r.by_count.iter().chain([&r.best]) {
+            let got = explore(&placement.program, MemoryModel::ArmWmm);
+            let diff = base.diff(&got);
+            prop_assert!(
+                diff.added.is_empty(),
+                "placement {} widened the outcome set",
+                placement.label()
+            );
+            prop_assert_eq!(
+                diff.removed.len(),
+                placement.removed,
+                "placement {} carries a stale proof",
+                placement.label()
+            );
+        }
+    }
+
+    /// The pricing contract behind `results/synth.csv`: on each of the
+    /// four platform profiles the deployment choice simulates in no more
+    /// cycles than the seed placement — the synthesizer may fail to
+    /// improve a program, but it must never recommend a regression.
+    #[test]
+    fn chosen_placements_never_cost_more_than_seed(p in gen_program()) {
+        let case = LintCase { name: "fuzz".to_string(), program: p, forbidden: None };
+        let r = synthesize(&case);
+        let front = pareto_fronts(&r, 10);
+        for kind in PlatformKind::ALL {
+            let seed_cycles = replay_cycles(&r.seed.program, Platform::of(kind), 10);
+            let chosen = chosen_point(&front, kind).expect("front covers every platform");
+            prop_assert!(
+                chosen.cycles <= seed_cycles,
+                "{}: chosen placement {} costs {} cycles vs seed {}",
+                kind.name(),
+                chosen.label,
+                chosen.cycles,
+                seed_cycles
+            );
+            prop_assert_eq!(
+                chosen.saved_vs_seed,
+                seed_cycles as i64 - chosen.cycles as i64,
+                "{}: saved_vs_seed bookkeeping drifted",
+                kind.name()
+            );
         }
     }
 }

@@ -1,0 +1,9 @@
+//! Run barrier-placement synthesis over the whole corpus through the
+//! sweep engine and run cache, writing every Pareto-front point (with
+//! its outcome-set proof and per-platform cycle savings) to
+//! `results/synth.csv` plus per-case search statistics to
+//! `results/synth_summary.csv`.
+
+fn main() {
+    assert!(armbar_experiments::run_experiment("synth"));
+}

@@ -24,6 +24,7 @@ pub mod lint;
 pub mod rcpc;
 pub mod report;
 pub mod sweep;
+pub mod synth;
 
 pub use cache::RunCache;
 pub use report::Table;
@@ -62,6 +63,7 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
         "battery" => figures::battery(ctx),
         "lint" => lint::lint(ctx),
         "rcpc" => rcpc::rcpc(ctx),
+        "synth" => synth::synth(ctx),
         _ => return false,
     };
     for t in &tables {
@@ -74,12 +76,12 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
 }
 
 /// Every experiment id, in paper order (plus the stall-attribution
-/// decomposition, the litmus battery report, the barrier lint sweep, and
-/// the RCsc/RCpc acquire comparison).
-pub const ALL_EXPERIMENTS: [&str; 23] = [
+/// decomposition, the litmus battery report, the barrier lint sweep, the
+/// RCsc/RCpc acquire comparison, and the placement synthesizer).
+pub const ALL_EXPERIMENTS: [&str; 24] = [
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig6a", "fig6b", "fig6c",
     "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca", "attrib",
-    "battery", "lint", "rcpc",
+    "battery", "lint", "rcpc", "synth",
 ];
 
 /// When `ARMBAR_TRACE=<path>` is set, rerun the attribution message-passing

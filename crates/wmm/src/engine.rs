@@ -1023,6 +1023,62 @@ mod tests {
         assert_eq!(set.outcomes[0].mem(0), 1);
     }
 
+    /// MP (fenced, 6 instrs) plus a coherence-ordered same-location store
+    /// chain padding the program to exactly `total` instructions. The pad
+    /// thread's stores are totally ordered, so the oracle stays tractable
+    /// at any size near the width boundary.
+    fn boundary_program(total: usize) -> Program {
+        assert!(total > 6);
+        let pad: Vec<Instr> = (0..total - 6)
+            .map(|i| Instr::store(9, i as u64 + 1))
+            .collect();
+        prog(vec![
+            vec![
+                Instr::store(0, 1),
+                Instr::Fence(Barrier::DmbSt),
+                Instr::store(1, 1),
+            ],
+            vec![
+                Instr::load(0, 1),
+                Instr::Fence(Barrier::DmbLd),
+                Instr::load(1, 0),
+            ],
+            pad,
+        ])
+    }
+
+    /// The `debug_assert!(bits <= 64)` in `mask.rs` vanishes in release
+    /// builds, so layout selection at exactly 63/64/65 instructions is the
+    /// only thing standing between a narrow layout and silent shift
+    /// overflow. Pin the selection *and* engine==oracle equality at each
+    /// boundary size.
+    #[test]
+    fn layout_boundary_63_64_65_matches_oracle() {
+        for (total, narrow) in [(63, true), (64, true), (65, false)] {
+            let p = boundary_program(total);
+            assert_eq!(
+                p.threads.iter().map(|t| t.instrs.len()).sum::<usize>(),
+                total
+            );
+            let lay = layout(&p, MemoryModel::ArmWmm, true);
+            assert_eq!(
+                matches!(lay, EngineLayout::Narrow(_)),
+                narrow,
+                "wrong layout at {total} instructions"
+            );
+            let oracle = crate::explore::explore_oracle(&p, MemoryModel::ArmWmm);
+            let serial = explore(&p, MemoryModel::ArmWmm, 1);
+            let parallel = explore(&p, MemoryModel::ArmWmm, 4);
+            assert_eq!(
+                serial.outcomes, oracle.outcomes,
+                "engine diverged from oracle at {total} instructions"
+            );
+            assert_eq!(serial, parallel, "worker count changed {total}-instr run");
+            // The fences still forbid MP's r0=1 ∧ r1=0 at every size.
+            assert!(serial.all(|o| o.reg(1, 0) != 1 || o.reg(1, 1) == 1));
+        }
+    }
+
     #[test]
     fn packed_outcome_matches_oracle_shape() {
         // T0 stores then loads; T1 loads a never-stored location (reads 0,

@@ -193,9 +193,17 @@ struct State {
 }
 
 /// The shared memo cache: canonical outcome sets keyed by the full
-/// `(program, model)` pair (hashed with FxHash — exact keys, so a hash
-/// collision can never alias two programs).
-type MemoMap = FxHashMap<(Program, MemoryModel), OutcomeSet>;
+/// `(program, model)` pair. The outer map is keyed by a 64-bit FxHash
+/// *prehash* of that pair so a lookup never has to clone the program just
+/// to build a key (synthesis probes this cache thousands of times per
+/// case); each bucket stores the exact programs for an `Eq` check, so a
+/// hash collision can never alias two programs — it only shares a bucket.
+type MemoMap = FxHashMap<(u64, MemoryModel), Vec<(Program, OutcomeSet)>>;
+
+/// FxHash prehash of a memo key, computed from borrowed data.
+fn memo_prehash(program: &Program, model: MemoryModel) -> u64 {
+    armbar_fxhash::hash64(&(program, model))
+}
 
 static MEMO: OnceLock<Mutex<MemoMap>> = OnceLock::new();
 static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
@@ -245,18 +253,25 @@ fn memoized(
         return compute();
     }
     let memo = MEMO.get_or_init(|| Mutex::new(FxHashMap::default()));
+    let key = (memo_prehash(program, model), model);
     {
         let map = memo.lock().expect("explore memo poisoned");
-        if let Some(hit) = map.get(&(program.clone(), model)) {
+        let hit = map
+            .get(&key)
+            .and_then(|bucket| bucket.iter().find(|(p, _)| p == program));
+        if let Some((_, set)) = hit {
             MEMO_HITS.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            return set.clone();
         }
     }
     MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
     let set = compute();
     let mut map = memo.lock().expect("explore memo poisoned");
     if map.len() < MEMO_CAP {
-        map.insert((program.clone(), model), set.clone());
+        let bucket = map.entry(key).or_default();
+        if !bucket.iter().any(|(p, _)| p == program) {
+            bucket.push((program.clone(), set.clone()));
+        }
     }
     set
 }

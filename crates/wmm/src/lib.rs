@@ -61,5 +61,6 @@ pub use explore::{
 pub use litmus::LitmusTest;
 pub use model::{Instr, MemoryModel, Program, Src, Thread};
 pub use mutate::{
-    barrier_sites, remove_site, replace_fence, rewrite_acquire, BarrierSite, SiteKind,
+    barrier_sites, remove_site, replace_fence, rewrite_acquire, BarrierSite, Rewrite, RewritePlan,
+    SiteKind,
 };

@@ -328,6 +328,156 @@ pub fn rewrite_acquire(program: &Program, site: BarrierSite, to: Acquire) -> Opt
     Some(p)
 }
 
+/// One site-directed rewrite, the unit a [`RewritePlan`] composes.
+///
+/// Each variant wraps one of the site-level entry points ([`remove_site`],
+/// [`replace_fence`], [`rewrite_acquire`]) with the site it targets, so a
+/// plan can order its applications soundly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rewrite {
+    /// Delete the construct at the site ([`remove_site`]).
+    Remove(BarrierSite),
+    /// Swap the fence at the site for a different approach
+    /// ([`replace_fence`]); [`Barrier::None`] behaves like a removal.
+    ReplaceFence(BarrierSite, Barrier),
+    /// Re-dial the acquire annotation at the site ([`rewrite_acquire`]).
+    RewriteAcquire(BarrierSite, Acquire),
+}
+
+impl Rewrite {
+    /// The site this rewrite targets (in the coordinates of the program the
+    /// sites were enumerated from).
+    #[must_use]
+    pub fn site(&self) -> BarrierSite {
+        match *self {
+            Rewrite::Remove(s) | Rewrite::ReplaceFence(s, _) | Rewrite::RewriteAcquire(s, _) => s,
+        }
+    }
+
+    /// The approach left standing at the site after this rewrite — what the
+    /// cost ranking should charge for it. [`Barrier::None`] means the site
+    /// is gone entirely.
+    #[must_use]
+    pub fn approach(&self) -> Barrier {
+        match *self {
+            Rewrite::Remove(_) => Barrier::None,
+            Rewrite::ReplaceFence(_, b) => b,
+            Rewrite::RewriteAcquire(_, to) => to.barrier().unwrap_or(Barrier::None),
+        }
+    }
+
+    /// Apply this rewrite alone to `program`. `None` when the rewrite is
+    /// not constructible (see [`replace_fence`]) or is a no-op
+    /// ([`rewrite_acquire`] to the annotation already present).
+    #[must_use]
+    pub fn apply(&self, program: &Program) -> Option<Program> {
+        match *self {
+            Rewrite::Remove(site) => Some(remove_site(program, site)),
+            Rewrite::ReplaceFence(site, approach) => replace_fence(program, site, approach),
+            Rewrite::RewriteAcquire(site, to) => rewrite_acquire(program, site, to),
+        }
+    }
+}
+
+/// A *composable* set of rewrites against one program.
+///
+/// The site-level entry points each take sites enumerated from the program
+/// they are applied to. Chaining them naively — `remove_site` then
+/// `replace_fence` with sites both computed from the *original* program —
+/// is unsound: a fence removal shifts every later index in its thread, so
+/// the second call silently rewrites the wrong instruction (or trips an
+/// assertion if the shifted slot holds a different construct). `RewritePlan`
+/// fixes the composition by applying rewrites in **descending**
+/// `(tid, idx)` order: a removal at index `i` only renumbers indices
+/// strictly greater than `i` in the same thread, and those have all been
+/// applied already. Neighbour edits made by [`replace_fence`] (acquire
+/// flags on preceding loads, release flags / constructed dependencies on
+/// following accesses) change instruction *fields*, never indices, and the
+/// forward scans skip fences, so the neighbour resolved mid-plan is the
+/// same instruction the rewrite would target on the original program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewritePlan {
+    rewrites: Vec<Rewrite>,
+}
+
+impl RewritePlan {
+    /// An empty plan (applies as the identity).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan over the given rewrites.
+    #[must_use]
+    pub fn from_rewrites(rewrites: Vec<Rewrite>) -> Self {
+        Self { rewrites }
+    }
+
+    /// Add one rewrite. Order of insertion is irrelevant: application order
+    /// is decided by [`RewritePlan::apply`].
+    pub fn push(&mut self, rewrite: Rewrite) {
+        self.rewrites.push(rewrite);
+    }
+
+    /// The rewrites in insertion order.
+    #[must_use]
+    pub fn rewrites(&self) -> &[Rewrite] {
+        &self.rewrites
+    }
+
+    /// Number of rewrites in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rewrites.len()
+    }
+
+    /// `true` when the plan is the identity.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rewrites.is_empty()
+    }
+
+    /// Apply every rewrite to `program`, highest `(tid, idx)` first so no
+    /// site index ever goes stale. All sites must come from
+    /// [`barrier_sites`] on `program` itself.
+    ///
+    /// Returns `None` when any constituent rewrite is unconstructible or a
+    /// no-op (see [`Rewrite::apply`]) — a partial application is never
+    /// returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two rewrites target the same site, or when a site does
+    /// not name a construct of `program`.
+    #[must_use]
+    pub fn apply(&self, program: &Program) -> Option<Program> {
+        let mut ordered: Vec<&Rewrite> = self.rewrites.iter().collect();
+        // Descending (tid, idx); same-index sites (distinct constructs on
+        // one access) are field edits and cannot interfere, but order them
+        // by kind anyway so application is deterministic.
+        ordered.sort_by_key(|r| {
+            let s = r.site();
+            (
+                core::cmp::Reverse(s.tid),
+                core::cmp::Reverse(s.idx),
+                s.kind.as_barrier() as usize,
+            )
+        });
+        for pair in ordered.windows(2) {
+            assert!(
+                pair[0].site() != pair[1].site(),
+                "two rewrites target the same site {}",
+                pair[0].site().describe()
+            );
+        }
+        let mut p = program.clone();
+        for rewrite in ordered {
+            p = rewrite.apply(&p)?;
+        }
+        Some(p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +650,140 @@ mod tests {
         assert_eq!(up, p);
         // Rewriting to the annotation already present is a no-op.
         assert!(rewrite_acquire(&p, site, Acquire::Sc).is_none());
+    }
+
+    /// Three same-kind fences in a row: composing "remove #1, upgrade #2"
+    /// with stale original-program sites silently upgrades #3 instead.
+    fn triple_fence() -> Program {
+        let t0 = Thread {
+            instrs: vec![
+                Instr::store(0, 1),
+                Instr::Fence(Barrier::DmbSt),
+                Instr::Fence(Barrier::DmbSt),
+                Instr::Fence(Barrier::DmbSt),
+                Instr::store(1, 1),
+            ],
+        };
+        Program {
+            threads: vec![t0],
+            init: vec![],
+        }
+    }
+
+    #[test]
+    fn naive_sequential_rewrites_hit_the_wrong_instruction() {
+        let p = triple_fence();
+        let sites = barrier_sites(&p);
+        assert_eq!(sites.len(), 3);
+        let (first, second) = (sites[0], sites[1]);
+
+        // Intended composition: delete fence #1, upgrade fence #2 to DMB full.
+        let plan = RewritePlan::from_rewrites(vec![
+            Rewrite::Remove(first),
+            Rewrite::ReplaceFence(second, Barrier::DmbFull),
+        ]);
+        let composed = plan.apply(&p).expect("both rewrites constructible");
+        let fences: Vec<_> = composed.threads[0]
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Fence(b) => Some(*b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fences, vec![Barrier::DmbFull, Barrier::DmbSt]);
+
+        // The naive chain applies `second` to a program whose indices have
+        // shifted: slot #2 now holds what used to be fence #3, and because
+        // the kinds coincide the mis-rewrite is *silent*.
+        let cut = remove_site(&p, first);
+        let naive = replace_fence(&cut, second, Barrier::DmbFull).expect("silently applies");
+        let naive_fences: Vec<_> = naive.threads[0]
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Fence(b) => Some(*b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            naive_fences,
+            vec![Barrier::DmbSt, Barrier::DmbFull],
+            "the naive chain upgrades fence #3, not fence #2"
+        );
+        assert_ne!(naive, composed);
+    }
+
+    #[test]
+    fn plan_composes_two_rewrites_on_the_same_thread() {
+        // MP consumer with a redundant leading fence: delete it and swap the
+        // real fence for a constructed address dependency, in one plan.
+        let mut p = message_passing(Barrier::DmbSt, Barrier::DmbFull).program;
+        p.threads[1]
+            .instrs
+            .insert(1, Instr::Fence(Barrier::DmbFull));
+        let sites = barrier_sites(&p);
+        let consumer: Vec<_> = sites.iter().filter(|s| s.tid == 1).copied().collect();
+        assert_eq!(consumer.len(), 2);
+        let plan = RewritePlan::from_rewrites(vec![
+            Rewrite::Remove(consumer[0]),
+            Rewrite::ReplaceFence(consumer[1], Barrier::AddrDep),
+        ]);
+        let q = plan.apply(&p).expect("both rewrites constructible");
+        assert_eq!(q.threads[1].instrs.len(), 2);
+        assert!(matches!(
+            q.threads[1].instrs[1],
+            Instr::Load {
+                addr_dep: Some(0),
+                ..
+            }
+        ));
+        // The dependency still pins MP's forbidden outcome.
+        let base = explore(&p, MemoryModel::ArmWmm);
+        let got = explore(&q, MemoryModel::ArmWmm);
+        assert!(base.diff(&got).added.is_empty(), "plan must not widen");
+    }
+
+    #[test]
+    fn plan_applies_across_threads_and_detects_noops() {
+        let p = message_passing(Barrier::DmbSt, Barrier::DmbLd).program;
+        let sites = barrier_sites(&p);
+        let plan = RewritePlan::from_rewrites(vec![
+            Rewrite::ReplaceFence(sites[0], Barrier::Stlr),
+            Rewrite::ReplaceFence(sites[1], Barrier::Ldapr),
+        ]);
+        let q = plan.apply(&p).expect("both attachable");
+        assert!(matches!(
+            q.threads[0].instrs[1],
+            Instr::Store { release: true, .. }
+        ));
+        assert!(matches!(
+            q.threads[1].instrs[0],
+            Instr::Load {
+                acquire: Acquire::Pc,
+                ..
+            }
+        ));
+        // Any unconstructible member poisons the whole plan.
+        let bad = RewritePlan::from_rewrites(vec![
+            Rewrite::Remove(sites[1]),
+            Rewrite::ReplaceFence(sites[0], Barrier::AddrDep),
+        ]);
+        assert!(bad.apply(&p).is_none(), "producer has no preceding load");
+        // An empty plan is the identity.
+        assert_eq!(RewritePlan::new().apply(&p), Some(p));
+    }
+
+    #[test]
+    #[should_panic(expected = "same site")]
+    fn plan_rejects_duplicate_sites() {
+        let p = mp_fixed();
+        let site = barrier_sites(&p)[0];
+        let plan = RewritePlan::from_rewrites(vec![
+            Rewrite::Remove(site),
+            Rewrite::ReplaceFence(site, Barrier::DmbFull),
+        ]);
+        let _ = plan.apply(&p);
     }
 
     #[test]

@@ -318,6 +318,48 @@ mod tests {
         }
     }
 
+    /// A >`MAX_ORBIT` contender set must make symmetry self-disable: the
+    /// quotient run is then *bit-identical* to the full-graph run — same
+    /// outcomes and same `states_*` counters — instead of crashing or
+    /// silently exploring a bogus quotient. Contrast with an in-range
+    /// orbit, where the quotient genuinely visits fewer states.
+    #[test]
+    fn oversized_orbit_self_disables_to_the_full_graph() {
+        use crate::explore::explore_dpor_configured;
+        use crate::model::MemoryModel;
+        use crate::unroll::identical_contenders;
+
+        // 7 identical readers: orbit 7! = 5040 > MAX_ORBIT = 1024.
+        let p = identical_contenders(7, 1);
+        let groups = identical_groups(&p);
+        let orbit: usize = groups.iter().map(|g| factorial(g.members.len())).product();
+        assert!(
+            orbit > MAX_ORBIT,
+            "shape must overflow the orbit cap ({orbit} <= {MAX_ORBIT})"
+        );
+
+        let full = explore_dpor_configured(&p, MemoryModel::ArmWmm, 1, false);
+        let quotient = explore_dpor_configured(&p, MemoryModel::ArmWmm, 1, true);
+        assert_eq!(
+            quotient, full,
+            "self-disabled symmetry must reproduce the full graph exactly"
+        );
+        let parallel = explore_dpor_configured(&p, MemoryModel::ArmWmm, 4, true);
+        assert_eq!(quotient, parallel, "worker count changed the result");
+
+        // 4 readers stay under the cap: the quotient really engages.
+        let p4 = identical_contenders(4, 1);
+        let full4 = explore_dpor_configured(&p4, MemoryModel::ArmWmm, 1, false);
+        let quot4 = explore_dpor_configured(&p4, MemoryModel::ArmWmm, 1, true);
+        assert_eq!(quot4.outcomes, full4.outcomes);
+        assert!(
+            quot4.states_visited < full4.states_visited,
+            "in-range orbit must reduce ({} vs {})",
+            quot4.states_visited,
+            full4.states_visited
+        );
+    }
+
     #[test]
     fn exactly_identical_readers_group() {
         let reader = vec![
