@@ -1,0 +1,14 @@
+// Rejected at lift time: the counted loop is bounded but unrolls to far
+// more than the per-thread emitted-instruction budget.
+// armbar: thread t0
+// armbar: shared word @ 0
+t0:
+    ldr x0, =word
+    mov x1, #0
+    mov x9, #4096
+Lround:
+    str x1, [x0]
+    add x1, x1, #1
+    sub x9, x9, #1
+    cbnz x9, Lround
+    ret

@@ -1,0 +1,14 @@
+// Rejected at lift time: `node` is declared private to T0, but T1
+// dereferences it.
+// armbar: thread t0
+// armbar: thread t1
+// armbar: private node @ 7 for T0
+t0:
+    ldr x0, =node
+    mov x1, #1
+    str x1, [x0]
+    ret
+t1:
+    ldr x0, =node
+    ldr x1, [x0]
+    ret

@@ -1,0 +1,9 @@
+// Rejected at lift time: an unconditional backward branch never
+// terminates, so no bounded unrolling can make the thread finite.
+// armbar: thread t0
+// armbar: shared word @ 0
+t0:
+    ldr x0, =word
+Lforever:
+    ldr x1, [x0]
+    b Lforever

@@ -1,0 +1,9 @@
+// Rejected at lift time: `ghost` has no `// armbar: shared`/`private`
+// declaration, so the write cannot be mapped to a model location.
+// armbar: thread t0
+// armbar: shared word @ 0
+t0:
+    ldr x0, =ghost
+    mov x1, #1
+    str x1, [x0]
+    ret

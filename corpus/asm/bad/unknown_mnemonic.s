@@ -1,0 +1,8 @@
+// Rejected at parse time: `casal` is outside the lifted subset.
+// armbar: thread t0
+// armbar: shared lock @ 0
+t0:
+    ldr x0, =lock
+    mov x1, #1
+    casal x2, x1, [x0]
+    ret

@@ -1,0 +1,282 @@
+// Bounded-unrolled MCS lock handoff between an owner (T0) and its queue
+// successor (T1), as seeded in the lint corpus: the prologue publish
+// fence is deliberately over-strong (`dsb ish` where `dmb ish` suffices)
+// and T1 carries a stray trailing `dmb ishst` -- both are findings the
+// lint is expected to produce. Spin loops are genuine back-edges,
+// bounded by the unroll pragma (default 1: each spin lifts to one load).
+//
+// armbar: thread owner
+// armbar: thread successor
+// armbar: shared data0 @ 1
+// armbar: shared data1 @ 2
+// armbar: shared data2 @ 3
+// armbar: shared data3 @ 4
+// armbar: shared flag_a0 @ 100
+// armbar: shared flag_a1 @ 101
+// armbar: shared flag_a2 @ 102
+// armbar: shared flag_a3 @ 103
+// armbar: shared flag_a4 @ 104
+// armbar: shared flag_a5 @ 105
+// armbar: shared flag_b0 @ 150
+// armbar: shared flag_b1 @ 151
+// armbar: shared flag_b2 @ 152
+// armbar: shared flag_b3 @ 153
+// armbar: shared flag_b4 @ 154
+// armbar: private work_a @ 60 for T0
+// armbar: private work_b @ 61 for T1
+
+owner:
+    ldr x10, =data0
+    mov x11, #20
+    str x11, [x10]
+    ldr x10, =data1
+    mov x11, #21
+    str x11, [x10]
+    ldr x10, =data2
+    mov x11, #22
+    str x11, [x10]
+    ldr x10, =data3
+    mov x11, #23
+    str x11, [x10]
+    dsb ish                      // seeded over-strong publish fence
+    ldr x10, =flag_a0
+    mov x11, #1
+    str x11, [x10]
+    ldr x10, =flag_b0
+Lspin_a1:
+    ldr x12, [x10]
+    cbz x12, Lspin_a1
+    dmb ish
+    ldr x10, =work_a
+    mov x11, #16
+    str x11, [x10]
+    mov x11, #17
+    str x11, [x10]
+    mov x11, #18
+    str x11, [x10]
+    mov x11, #19
+    str x11, [x10]
+    mov x11, #20
+    str x11, [x10]
+    mov x11, #21
+    str x11, [x10]
+    dmb ish
+    ldr x10, =flag_a1
+    mov x11, #1
+    str x11, [x10]
+    ldr x10, =flag_b1
+Lspin_a2:
+    ldr x12, [x10]
+    cbz x12, Lspin_a2
+    dmb ish
+    ldr x10, =work_a
+    mov x11, #32
+    str x11, [x10]
+    mov x11, #33
+    str x11, [x10]
+    mov x11, #34
+    str x11, [x10]
+    mov x11, #35
+    str x11, [x10]
+    mov x11, #36
+    str x11, [x10]
+    mov x11, #37
+    str x11, [x10]
+    dmb ish
+    ldr x10, =flag_a2
+    mov x11, #1
+    str x11, [x10]
+    ldr x10, =flag_b2
+Lspin_a3:
+    ldr x12, [x10]
+    cbz x12, Lspin_a3
+    dmb ish
+    ldr x10, =work_a
+    mov x11, #48
+    str x11, [x10]
+    mov x11, #49
+    str x11, [x10]
+    mov x11, #50
+    str x11, [x10]
+    mov x11, #51
+    str x11, [x10]
+    mov x11, #52
+    str x11, [x10]
+    mov x11, #53
+    str x11, [x10]
+    dmb ish
+    ldr x10, =flag_a3
+    mov x11, #1
+    str x11, [x10]
+    ldr x10, =flag_b3
+Lspin_a4:
+    ldr x12, [x10]
+    cbz x12, Lspin_a4
+    dmb ish
+    ldr x10, =work_a
+    mov x11, #64
+    str x11, [x10]
+    mov x11, #65
+    str x11, [x10]
+    mov x11, #66
+    str x11, [x10]
+    mov x11, #67
+    str x11, [x10]
+    mov x11, #68
+    str x11, [x10]
+    mov x11, #69
+    str x11, [x10]
+    dmb ish
+    ldr x10, =flag_a4
+    mov x11, #1
+    str x11, [x10]
+    ldr x10, =flag_b4
+Lspin_a5:
+    ldr x12, [x10]
+    cbz x12, Lspin_a5
+    dmb ish
+    ldr x10, =work_a
+    mov x11, #80
+    str x11, [x10]
+    mov x11, #81
+    str x11, [x10]
+    mov x11, #82
+    str x11, [x10]
+    mov x11, #83
+    str x11, [x10]
+    mov x11, #84
+    str x11, [x10]
+    mov x11, #85
+    str x11, [x10]
+    dmb ish
+    ldr x10, =flag_a5
+    mov x11, #1
+    str x11, [x10]
+    ret
+
+successor:
+    ldr x10, =flag_a0
+Lspin_b0:
+    ldr x12, [x10]
+    cbz x12, Lspin_b0
+    dmb ish
+    ldr x10, =work_b
+    mov x11, #0
+    str x11, [x10]
+    mov x11, #1
+    str x11, [x10]
+    mov x11, #2
+    str x11, [x10]
+    mov x11, #3
+    str x11, [x10]
+    mov x11, #4
+    str x11, [x10]
+    mov x11, #5
+    str x11, [x10]
+    dmb ish
+    ldr x10, =flag_b0
+    mov x11, #1
+    str x11, [x10]
+    ldr x10, =flag_a1
+Lspin_b1:
+    ldr x12, [x10]
+    cbz x12, Lspin_b1
+    dmb ish
+    ldr x10, =work_b
+    mov x11, #16
+    str x11, [x10]
+    mov x11, #17
+    str x11, [x10]
+    mov x11, #18
+    str x11, [x10]
+    mov x11, #19
+    str x11, [x10]
+    mov x11, #20
+    str x11, [x10]
+    mov x11, #21
+    str x11, [x10]
+    dmb ish
+    ldr x10, =flag_b1
+    mov x11, #1
+    str x11, [x10]
+    ldr x10, =flag_a2
+Lspin_b2:
+    ldr x12, [x10]
+    cbz x12, Lspin_b2
+    dmb ish
+    ldr x10, =work_b
+    mov x11, #32
+    str x11, [x10]
+    mov x11, #33
+    str x11, [x10]
+    mov x11, #34
+    str x11, [x10]
+    mov x11, #35
+    str x11, [x10]
+    mov x11, #36
+    str x11, [x10]
+    mov x11, #37
+    str x11, [x10]
+    dmb ish
+    ldr x10, =flag_b2
+    mov x11, #1
+    str x11, [x10]
+    ldr x10, =flag_a3
+Lspin_b3:
+    ldr x12, [x10]
+    cbz x12, Lspin_b3
+    dmb ish
+    ldr x10, =work_b
+    mov x11, #48
+    str x11, [x10]
+    mov x11, #49
+    str x11, [x10]
+    mov x11, #50
+    str x11, [x10]
+    mov x11, #51
+    str x11, [x10]
+    mov x11, #52
+    str x11, [x10]
+    mov x11, #53
+    str x11, [x10]
+    dmb ish
+    ldr x10, =flag_b3
+    mov x11, #1
+    str x11, [x10]
+    ldr x10, =flag_a4
+Lspin_b4:
+    ldr x12, [x10]
+    cbz x12, Lspin_b4
+    dmb ish
+    ldr x10, =work_b
+    mov x11, #64
+    str x11, [x10]
+    mov x11, #65
+    str x11, [x10]
+    mov x11, #66
+    str x11, [x10]
+    mov x11, #67
+    str x11, [x10]
+    mov x11, #68
+    str x11, [x10]
+    mov x11, #69
+    str x11, [x10]
+    dmb ish
+    ldr x10, =flag_b4
+    mov x11, #1
+    str x11, [x10]
+    ldr x10, =flag_a5
+Lspin_b5:
+    ldr x12, [x10]
+    cbz x12, Lspin_b5
+    dmb ish
+    ldr x10, =data0
+    ldr x2, [x10]
+    ldr x10, =data1
+    ldr x3, [x10]
+    ldr x10, =data2
+    ldr x4, [x10]
+    ldr x10, =data3
+    ldr x5, [x10]
+    dmb ishst                    // seeded stray trailing fence
+    ret

@@ -1,16 +1,28 @@
 //! `armbar-lint` — run the witness-backed barrier analyzer over the
-//! built-in corpus and print every finding with its proof artifact.
+//! built-in corpus, or over a real AArch64 assembly file, and print every
+//! finding with its proof artifact.
 //!
 //! ```text
 //! armbar-lint [FILTER]
+//! armbar-lint <file.s>
 //! ```
 //!
-//! With a `FILTER` argument only cases whose name contains the substring
-//! are analyzed (e.g. `armbar-lint MP`). Exit status is 1 when any
+//! An argument naming an existing file (or ending in `.s`) is lifted with
+//! the `armbar-extract` front-end — spin loops bounded-unrolled, counted
+//! loops constant-folded, dependency idioms recovered — and analyzed like
+//! a corpus case (without an intent predicate: the file does not say
+//! which outcomes its author forbids, so only redundant/over-strong/
+//! necessary verdicts are produced, not missing-barrier ones). Any other
+//! argument filters the built-in corpus by substring (e.g.
+//! `armbar-lint MP`).
+//!
+//! Exit status: 0 when nothing actionable was found, 1 when any
 //! redundant, over-strong, or missing finding is reported (necessary
-//! verdicts are informational), so the binary doubles as a CI gate.
+//! verdicts are informational) — so the binary doubles as a CI gate — 2
+//! when a corpus filter matches nothing, and 3 when an assembly file
+//! cannot be read or lifted (the diagnostic carries `line:col`).
 
-use armbar_analyze::corpus::corpus;
+use armbar_analyze::corpus::{corpus, LintCase};
 use armbar_analyze::lint::{analyze_case, FindingKind, Proof};
 use armbar_analyze::replay::saved_cycles;
 use armbar_sim::PlatformKind;
@@ -18,8 +30,129 @@ use armbar_sim::PlatformKind;
 /// Iterations used when pricing a rewrite on the simulator.
 const REPLAY_ITERS: u64 = 200;
 
+/// Exit status for unreadable or unliftable assembly input.
+const EXIT_PARSE: i32 = 3;
+
+/// Analyze one case, print its report, and count its actionable findings.
+fn report_case(case: &LintCase) -> usize {
+    let mut actionable = 0usize;
+    let findings = analyze_case(case);
+    println!("== {} ({} findings)", case.name, findings.len());
+    for f in &findings {
+        let suggestion = match (f.kind, f.suggestion) {
+            (FindingKind::Redundant, _) => "delete".to_string(),
+            (_, Some(s)) => format!("use {s}"),
+            (FindingKind::Missing, None) => "add ordering".to_string(),
+            (_, None) => "keep".to_string(),
+        };
+        println!(
+            "  [{:<11}] {:<6} {:<10} -> {}{}",
+            f.kind.label(),
+            f.site_label(),
+            f.original.to_string(),
+            suggestion,
+            if f.caveat { "  (measure first)" } else { "" },
+        );
+        match &f.proof {
+            Proof::OutcomesEqual {
+                states_base,
+                states_mutated,
+            } => println!(
+                "      proof: outcome sets equal ({} outcomes; {} vs {} states)",
+                f.outcomes_base, states_base, states_mutated
+            ),
+            Proof::OutcomesPreserved { removed } => println!(
+                "      proof: no outcome added, {removed} removed ({} -> {} outcomes)",
+                f.outcomes_base, f.outcomes_after
+            ),
+            Proof::CounterExample(w) => {
+                let label = if f.kind == FindingKind::Missing {
+                    "forbidden outcome reachable"
+                } else {
+                    "removal admits new outcome"
+                };
+                println!("      witness ({label}):");
+                for line in w.render(&case.program).lines() {
+                    println!("      {line}");
+                }
+            }
+        }
+        if matches!(f.kind, FindingKind::Redundant | FindingKind::OverStrong) {
+            actionable += 1;
+            if let Some(rewritten) = &f.rewritten {
+                let saved = saved_cycles(&case.program, rewritten, REPLAY_ITERS);
+                let per: Vec<String> = PlatformKind::ALL
+                    .iter()
+                    .zip(saved)
+                    .map(|(k, s)| format!("{}: {s:+}", k.name()))
+                    .collect();
+                println!(
+                    "      simulated cycles saved over {REPLAY_ITERS} iterations — {}",
+                    per.join(", ")
+                );
+            }
+        }
+    }
+    actionable
+        + findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::Missing)
+            .count()
+}
+
+/// Lift an assembly file into a lint case, reporting failures on stderr
+/// with the `path:line:col: message` shape editors understand.
+fn load_asm_case(path: &str) -> Result<LintCase, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    let lifted = armbar_extract::lift(&src).map_err(|e| format!("{path}:{e}"))?;
+    println!(
+        "lifted {path}: {} thread(s), {} instruction(s), {} symbol(s)",
+        lifted.program.threads.len(),
+        lifted.total_instrs(),
+        lifted.symbols.len()
+    );
+    for sym in &lifted.symbols {
+        let vis = match sym.owner {
+            Some(t) => format!("private to T{t}"),
+            None => "shared".to_string(),
+        };
+        let init = sym.init.map(|v| format!(" = {v}")).unwrap_or_default();
+        println!("  symbol {} @ m{}{} ({vis})", sym.name, sym.loc, init);
+    }
+    Ok(LintCase {
+        name: path.to_string(),
+        program: lifted.program,
+        forbidden: None,
+    })
+}
+
 fn main() {
-    let filter = std::env::args().nth(1);
+    let arg = std::env::args().nth(1);
+
+    // A real file (or a `.s` path, so typos still get the file-mode
+    // diagnostic instead of an empty corpus filter) is lifted.
+    if let Some(path) = arg
+        .as_ref()
+        .filter(|a| a.ends_with(".s") || std::path::Path::new(a).is_file())
+    {
+        match load_asm_case(path) {
+            Ok(case) => {
+                let actionable = report_case(&case);
+                println!("\n1 case(s), {actionable} actionable finding(s)");
+                if actionable > 0 {
+                    std::process::exit(1);
+                }
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(EXIT_PARSE);
+            }
+        }
+        return;
+    }
+
+    let filter = arg;
     let cases: Vec<_> = corpus()
         .into_iter()
         .filter(|c| filter.as_ref().is_none_or(|f| c.name.contains(f)))
@@ -31,68 +164,7 @@ fn main() {
 
     let mut actionable = 0usize;
     for case in &cases {
-        let findings = analyze_case(case);
-        println!("== {} ({} findings)", case.name, findings.len());
-        for f in &findings {
-            let suggestion = match (f.kind, f.suggestion) {
-                (FindingKind::Redundant, _) => "delete".to_string(),
-                (_, Some(s)) => format!("use {s}"),
-                (FindingKind::Missing, None) => "add ordering".to_string(),
-                (_, None) => "keep".to_string(),
-            };
-            println!(
-                "  [{:<11}] {:<6} {:<10} -> {}{}",
-                f.kind.label(),
-                f.site_label(),
-                f.original.to_string(),
-                suggestion,
-                if f.caveat { "  (measure first)" } else { "" },
-            );
-            match &f.proof {
-                Proof::OutcomesEqual {
-                    states_base,
-                    states_mutated,
-                } => println!(
-                    "      proof: outcome sets equal ({} outcomes; {} vs {} states)",
-                    f.outcomes_base, states_base, states_mutated
-                ),
-                Proof::OutcomesPreserved { removed } => println!(
-                    "      proof: no outcome added, {removed} removed ({} -> {} outcomes)",
-                    f.outcomes_base, f.outcomes_after
-                ),
-                Proof::CounterExample(w) => {
-                    let label = if f.kind == FindingKind::Missing {
-                        "forbidden outcome reachable"
-                    } else {
-                        "removal admits new outcome"
-                    };
-                    println!("      witness ({label}):");
-                    for line in w.render(&case.program).lines() {
-                        println!("      {line}");
-                    }
-                }
-            }
-            if matches!(f.kind, FindingKind::Redundant | FindingKind::OverStrong) {
-                actionable += 1;
-                if let Some(rewritten) = &f.rewritten {
-                    let saved = saved_cycles(&case.program, rewritten, REPLAY_ITERS);
-                    let per: Vec<String> = PlatformKind::ALL
-                        .iter()
-                        .zip(saved)
-                        .map(|(k, s)| format!("{}: {s:+}", k.name()))
-                        .collect();
-                    println!(
-                        "      simulated cycles saved over {REPLAY_ITERS} iterations — {}",
-                        per.join(", ")
-                    );
-                }
-            }
-        }
-        for f in &findings {
-            if f.kind == FindingKind::Missing {
-                actionable += 1;
-            }
-        }
+        actionable += report_case(case);
     }
     println!(
         "\n{} case(s), {} actionable finding(s)",

@@ -15,17 +15,22 @@
 //!
 //! The kernel family comes in two sizes: the litmus-sized ordering
 //! skeletons above, and bounded-unrolled **implementation-sized** cases
-//! (100+ instructions, from [`armbar_wmm::unroll`]) that the multi-word
-//! packed engine explores directly — no enumerative fallback anywhere in
-//! the corpus. New cases are appended at the end so existing `lint.csv`
-//! rows keep their byte-identical order.
+//! (100+ instructions) that the multi-word packed engine explores
+//! directly — no enumerative fallback anywhere in the corpus. The
+//! implementation-sized programs are *lifted from real AArch64 text*: the
+//! checked-in `.s` fixtures under `corpus/asm/`, via
+//! [`armbar_extract::fixtures`]. The `armbar_wmm::unroll` builders that
+//! used to construct them by hand survive only as differential fixtures
+//! (`armbar-extract`'s equivalence tests prove the lifted programs'
+//! outcome sets equal the hand-built twins'). New cases are appended at
+//! the end so existing `lint.csv` rows keep their byte-identical order.
 
 use armbar_barriers::Barrier;
+use armbar_extract::fixtures::lift_fixture;
 use armbar_wmm::battery::battery;
 use armbar_wmm::litmus::{load_buffering, message_passing, pilot_message_passing, store_buffering};
 use armbar_wmm::unroll::{
-    mcs_handoff_unrolled, mcs_payload_regs, mcs_prologue_fence_index, pilot_roundtrip_unrolled,
-    MCS_PAYLOAD_BASE,
+    mcs_payload_regs, ticket_last_grant_reg, ticket_payload_regs, MCS_PAYLOAD_BASE,
 };
 use armbar_wmm::{Instr, Outcome, Program, Thread};
 
@@ -235,22 +240,22 @@ pub fn corpus() -> Vec<LintCase> {
     });
 
     // -- Implementation-sized kernels (appended; see module docs). -------
+    // Lifted from the checked-in `.s` fixtures; the fixtures carry the
+    // seeded findings (over-strong DSBs, stray DMB STs) in their source
+    // text, where a reader can see them next to real instructions.
 
-    // Bounded-unrolled MCS handoff at the acceptance shape (112
-    // instructions before seeding): 5 lock bounces, each with a fenced
-    // 6-store critical section. Seeded the way real code ships: the
-    // prologue publish fence as a DSB (over-strong — a DMB discharges the
-    // same store ordering) and a stray trailing DMB st on the successor
-    // with nothing left to order (redundant). The intent conditions on
-    // T1's *first* handoff observation — the read the prologue fence
-    // protects; the later flags are insulated by the per-round fences.
+    // MCS handoff at the acceptance shape (113 instructions as seeded):
+    // 5 lock bounces, each with a fenced 6-store critical section; the
+    // prologue publish fence is a DSB (over-strong — a DMB discharges the
+    // same store ordering) and the successor ends on a stray DMB st with
+    // nothing left to order (redundant). The intent conditions on T1's
+    // *first* handoff observation — the read the prologue fence protects;
+    // the later flags are insulated by the per-round fences.
     {
-        let (handoffs, payload, work) = (5, 4, 6);
-        let mut program =
-            mcs_handoff_unrolled(handoffs, payload, work, Barrier::DmbFull, Barrier::DmbFull);
-        program.threads[0].instrs[mcs_prologue_fence_index(payload)] =
-            Instr::Fence(Barrier::DsbFull);
-        program.threads[1].instrs.push(Instr::Fence(Barrier::DmbSt));
+        let (handoffs, payload) = (5, 4);
+        let program = lift_fixture("mcs_handoff")
+            .expect("checked-in mcs_handoff.s lifts")
+            .program;
         let regs = mcs_payload_regs(handoffs, payload);
         cases.push(LintCase {
             name: "mcs-unrolled+dsb.full+stray-st".to_string(),
@@ -265,23 +270,44 @@ pub fn corpus() -> Vec<LintCase> {
         });
     }
 
-    // Bounded-unrolled Pilot round-trip (70 instructions): three phases
-    // of same-word request stores answered over a same-word response
-    // word, no barrier load-bearing anywhere — plus one stray DMB st
-    // dropped into the store chain, which single-copy atomicity and
-    // coherence make redundant (the paper's Pilot point at function
-    // size). The intent is coherence itself: each thread's same-word
-    // read sequence must be non-decreasing.
+    // Pilot round-trip (70 instructions): three phases of same-word
+    // request stores answered over a same-word response word, no barrier
+    // load-bearing anywhere — plus one stray DMB st dropped into the
+    // store chain, which single-copy atomicity and coherence make
+    // redundant (the paper's Pilot point at function size). The intent is
+    // coherence itself: each thread's same-word read sequence must be
+    // non-decreasing.
+    cases.push(LintCase {
+        name: "pilot-unrolled+stray-st".to_string(),
+        program: lift_fixture("pilot_roundtrip")
+            .expect("checked-in pilot_roundtrip.s lifts")
+            .program,
+        forbidden: Some(Box::new(|o| {
+            (0..4).any(|k| o.reg(0, k) > o.reg(0, k + 1) || o.reg(1, k) > o.reg(1, k + 1))
+        })),
+    });
+
+    // Ticket-lock handoff lifted from `ticket_lock.s` (18 instructions —
+    // the counted-loop fixture): over-strong `dsb ishst` publish, sound
+    // `dmb ishld` acquire. The intent: the last grant poll reading the
+    // final `now_serving` value implies the payload reads see the
+    // published values.
     {
-        let mut program = pilot_roundtrip_unrolled(19, 5);
-        program.threads[0]
-            .instrs
-            .insert(10, Instr::Fence(Barrier::DmbSt));
+        let (rounds, payload) = (3, 2);
+        let program = lift_fixture("ticket_lock")
+            .expect("checked-in ticket_lock.s lifts")
+            .program;
+        let last = ticket_last_grant_reg(rounds);
+        let regs = ticket_payload_regs(rounds, payload);
         cases.push(LintCase {
-            name: "pilot-unrolled+stray-st".to_string(),
+            name: "ticket-lifted+dsb.st+dmb.ld".to_string(),
             program,
-            forbidden: Some(Box::new(|o| {
-                (0..4).any(|k| o.reg(0, k) > o.reg(0, k + 1) || o.reg(1, k) > o.reg(1, k + 1))
+            forbidden: Some(Box::new(move |o| {
+                o.reg(1, last) == rounds as u64
+                    && regs
+                        .iter()
+                        .enumerate()
+                        .any(|(i, &r)| o.reg(1, r) != MCS_PAYLOAD_BASE + i as u64)
             })),
         });
     }

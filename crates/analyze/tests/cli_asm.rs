@@ -1,0 +1,76 @@
+//! End-to-end CLI tests for `armbar-lint <file.s>`: real process, real
+//! files, the exact exit codes the docs promise (0 clean, 1 actionable,
+//! 2 empty filter, 3 parse/IO failure).
+
+use std::path::Path;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_armbar-lint");
+
+fn repo_path(rel: &str) -> String {
+    // Tests run with the crate directory as cwd; fixtures live at the
+    // workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn lifting_the_ticket_fixture_finds_the_seeded_overstrong_fence() {
+    let out = Command::new(BIN)
+        .arg(repo_path("corpus/asm/ticket_lock.s"))
+        .output()
+        .expect("armbar-lint runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "seeded fixture must yield an actionable finding; stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("lifted"), "missing lift banner:\n{stdout}");
+    assert!(
+        stdout.contains("DSB st") && stdout.contains("use DMB st"),
+        "expected the over-strong DSB st downgrade:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("symbol grant @ m62"),
+        "expected the symbol map in the report:\n{stdout}"
+    );
+}
+
+#[test]
+fn malformed_asm_exits_3_with_line_and_col() {
+    let out = Command::new(BIN)
+        .arg(repo_path("corpus/asm/bad/unbounded_loop.s"))
+        .output()
+        .expect("armbar-lint runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unbounded_loop.s:9:5:"),
+        "expected path:line:col diagnostic, got:\n{stderr}"
+    );
+    assert!(stderr.contains("unbounded loop"), "{stderr}");
+}
+
+#[test]
+fn missing_file_exits_3() {
+    let out = Command::new(BIN)
+        .arg("definitely_missing_file.s")
+        .output()
+        .expect("armbar-lint runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read file"), "{stderr}");
+}
+
+#[test]
+fn empty_corpus_filter_still_exits_2() {
+    let out = Command::new(BIN)
+        .arg("no-such-corpus-case-substring")
+        .output()
+        .expect("armbar-lint runs");
+    assert_eq!(out.status.code(), Some(2));
+}

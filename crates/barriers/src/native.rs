@@ -220,6 +220,26 @@ pub const fn is_native() -> bool {
     cfg!(target_arch = "aarch64")
 }
 
+/// The instruction each `asm!` wrapper in this module promises to emit.
+///
+/// This is the contract the `armbar-extract` drift lint checks: it scrapes
+/// the `asm!` template strings out of this file's source, lifts them with
+/// the real parser, and fails if any wrapper stops emitting the barrier its
+/// name claims (e.g. `dmb_st` drifting away from `dmb ishst`). Keep this
+/// table in sync when adding wrappers — an unlisted `asm!` function is
+/// itself reported by the lint.
+pub const ASM_CONTRACT: [(&str, Barrier); 9] = [
+    ("dmb_full", Barrier::DmbFull),
+    ("dmb_st", Barrier::DmbSt),
+    ("dmb_ld", Barrier::DmbLd),
+    ("dsb_full", Barrier::DsbFull),
+    ("dsb_st", Barrier::DsbSt),
+    ("dsb_ld", Barrier::DsbLd),
+    ("isb", Barrier::Isb),
+    ("load_acquire_u64", Barrier::Ldar),
+    ("store_release_u64", Barrier::Stlr),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,9 @@
+//! Lift the checked-in `.s` corpus through the assembly front-end, prove
+//! the lifted programs against the retired hand-built twins with the
+//! explorer, drift-check every `asm!` wrapper in `armbar-barriers`'
+//! native backend against its contract, and write `results/extract.csv`
+//! plus `results/extract_summary.csv`.
+
+fn main() {
+    assert!(armbar_experiments::run_experiment("extract"));
+}

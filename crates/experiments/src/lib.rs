@@ -18,6 +18,7 @@
 pub mod bench_explore;
 pub mod cache;
 pub mod extension;
+pub mod extract;
 pub mod figures;
 pub mod jobs;
 pub mod lint;
@@ -64,6 +65,7 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
         "lint" => lint::lint(ctx),
         "rcpc" => rcpc::rcpc(ctx),
         "synth" => synth::synth(ctx),
+        "extract" => extract::extract(ctx),
         _ => return false,
     };
     for t in &tables {
@@ -77,11 +79,12 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
 
 /// Every experiment id, in paper order (plus the stall-attribution
 /// decomposition, the litmus battery report, the barrier lint sweep, the
-/// RCsc/RCpc acquire comparison, and the placement synthesizer).
-pub const ALL_EXPERIMENTS: [&str; 24] = [
+/// RCsc/RCpc acquire comparison, the placement synthesizer, and the
+/// assembly front-end gate).
+pub const ALL_EXPERIMENTS: [&str; 25] = [
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig6a", "fig6b", "fig6c",
     "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca", "attrib",
-    "battery", "lint", "rcpc", "synth",
+    "battery", "lint", "rcpc", "synth", "extract",
 ];
 
 /// When `ARMBAR_TRACE=<path>` is set, rerun the attribution message-passing

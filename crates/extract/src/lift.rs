@@ -1,0 +1,1046 @@
+//! The lifter: parsed AArch64 text → a loop-free [`Program`] by
+//! per-thread symbolic execution with bounded back-edge unrolling.
+//!
+//! # Semantics
+//!
+//! Each declared thread is executed from its entry label with an
+//! abstract register file. Values are tracked as:
+//!
+//! * **constants** — `mov`/`add`/`sub`/`eor` over known values fold, so
+//!   counted loops (`mov x9, #N … sub x9, x9, #1; cbnz x9, L`) unroll
+//!   *exactly*, emitting one model instruction per dynamic access;
+//! * **symbol addresses** — `ldr xN, =symbol` binds the literal-pool
+//!   address; adding a load-derived zero to an address marks the next
+//!   dereference with an address dependency;
+//! * **loaded values** — each `ldr`/`ldar`/`ldapr`/`ldxr` of a symbol
+//!   emits a model [`Load`](Instr::Load) into a *fresh* dense `wmm`
+//!   register (allocation order = emission order, which keeps lifted
+//!   register numbering aligned with the retired `wmm::unroll`
+//!   builders), and the architectural register remembers which model
+//!   register holds the value — `eor x, v, v` / `add` then fold it into
+//!   the `DepZero`/`DepConst` bogus-dependency values of the paper.
+//!
+//! Branches on *known* values resolve concretely. Branches on
+//! load-derived values cannot be decided statically:
+//!
+//! * a **backward** conditional branch is a spin: the back-edge is taken
+//!   `unroll - 1` extra times (default bound 1: fall straight through),
+//!   the standard bounded-unrolling reduction also used by the retired
+//!   hand builders. The spin-exit control dependency is deliberately
+//!   dropped — under-approximating dependencies over-approximates the
+//!   outcome set, which is the sound direction for the lint's
+//!   redundancy/over-strength verdicts;
+//! * a **forward** conditional branch is lifted as the fall-through path
+//!   with a control dependency: every later store in the thread carries
+//!   `ctrl_dep` on the branch condition's model register (the
+//!   architectural rule — once an unresolved branch is in flight, no
+//!   younger store may retire; loads may still speculate);
+//! * an **unconditional backward** branch never terminates and is
+//!   rejected as an unbounded loop.
+//!
+//! `stxr` is lifted as its store with the status register set to 0
+//! (success on the first attempt — the LL/SC retry loop's bounded
+//! unrolling), so the customary `cbnz status, retry` resolves concretely.
+//!
+//! # Symbol map
+//!
+//! Every memory access must dereference a declared symbol's address:
+//! `shared` symbols are visible to all threads, `private` symbols only
+//! to their owner, and an access through anything but a symbol address
+//! (or to an undeclared name) is an error. Symbols pin their `wmm`
+//! location explicitly, so intent predicates and lint reports keep
+//! stable location numbering.
+
+use std::collections::HashMap;
+
+use armbar_barriers::{Acquire, Barrier};
+use armbar_wmm::model::{Instr, Program, Src, Thread};
+
+use crate::parse::{parse, AsmError, AsmFile, AsmInstr, Operand, SrcPos, SymbolDecl, ZR};
+
+/// Per-thread budget of *emitted* model instructions.
+pub const MAX_THREAD_INSTRS: usize = 512;
+
+/// Per-thread budget of *fetched* (symbolically executed) instructions —
+/// the backstop that turns a runaway counted loop into a diagnostic.
+pub const MAX_FETCH_STEPS: usize = 65_536;
+
+/// One entry of the lifted symbol map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name from the declaration pragma.
+    pub name: String,
+    /// The `wmm` location it pins.
+    pub loc: u8,
+    /// Initial value, when declared non-zero.
+    pub init: Option<u64>,
+    /// `Some(tid)` when thread-private.
+    pub owner: Option<usize>,
+}
+
+/// The result of lifting one `.s` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lifted {
+    /// The loop-free model program, threads in declaration order.
+    pub program: Program,
+    /// The symbol map (shared and private locations).
+    pub symbols: Vec<Symbol>,
+    /// Per-thread count of fetched source instructions (unrolling makes
+    /// this exceed the emitted count).
+    pub fetched: Vec<usize>,
+}
+
+impl Lifted {
+    /// Total emitted model instructions across all threads.
+    #[must_use]
+    pub fn total_instrs(&self) -> usize {
+        self.program.threads.iter().map(|t| t.instrs.len()).sum()
+    }
+}
+
+/// Abstract value of an architectural register during lifting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// Never written.
+    Undef,
+    /// A known constant.
+    Const(u64),
+    /// The address of symbol `sym` (index into the symbol table), with an
+    /// optional address dependency picked up from register arithmetic.
+    Addr { sym: usize, dep: Option<u8> },
+    /// The (unknown) value loaded into model register `reg`.
+    Loaded(u8),
+    /// Known-zero computed from a loaded value (`eor v, v`): the bogus
+    /// dependency seed.
+    DepZero(u8),
+    /// Known constant computed through a loaded value (`DepZero + k`).
+    DepConst { reg: u8, value: u64 },
+}
+
+impl AbsVal {
+    /// The model register this value syntactically depends on, if any.
+    fn dep_reg(self) -> Option<u8> {
+        match self {
+            AbsVal::Loaded(r) | AbsVal::DepZero(r) | AbsVal::DepConst { reg: r, .. } => Some(r),
+            _ => None,
+        }
+    }
+}
+
+struct ThreadLifter<'a> {
+    file: &'a AsmFile,
+    tid: usize,
+    /// Entry indices of *other* threads (falling into one is an error).
+    foreign_entries: HashMap<usize, String>,
+    regs: [AbsVal; 32],
+    emitted: Vec<Instr>,
+    next_reg: u16,
+    /// Remaining extra back-edge takes per branch site.
+    spin_budget: HashMap<usize, usize>,
+    /// Active control dependency for emitted stores.
+    ctrl: Option<u8>,
+    fetched: usize,
+}
+
+impl ThreadLifter<'_> {
+    fn read(&self, reg: u8, pos: SrcPos) -> Result<AbsVal, AsmError> {
+        if reg == ZR {
+            return Ok(AbsVal::Const(0));
+        }
+        match self.regs[reg as usize] {
+            AbsVal::Undef => Err(AsmError::new(
+                pos,
+                format!("x{reg} read before any value is assigned"),
+            )),
+            v => Ok(v),
+        }
+    }
+
+    fn write(&mut self, reg: u8, val: AbsVal) {
+        if reg != ZR {
+            self.regs[reg as usize] = val;
+        }
+    }
+
+    fn fresh_reg(&mut self, pos: SrcPos) -> Result<u8, AsmError> {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        u8::try_from(r).map_err(|_| AsmError::new(pos, "thread performs more than 256 loads"))
+    }
+
+    fn symbol(&self, idx: usize) -> &SymbolDecl {
+        &self.file.symbols[idx]
+    }
+
+    /// Resolve a `[xN]` base to its symbol, enforcing ownership.
+    fn resolve_base(&self, base: u8, pos: SrcPos) -> Result<(usize, Option<u8>), AsmError> {
+        match self.read(base, pos)? {
+            AbsVal::Addr { sym, dep } => {
+                let decl = self.symbol(sym);
+                if let Some(owner) = decl.owner {
+                    if owner != self.tid {
+                        return Err(AsmError::new(
+                            pos,
+                            format!(
+                                "T{} accesses `{}`, which is private to T{owner}",
+                                self.tid, decl.name
+                            ),
+                        ));
+                    }
+                }
+                Ok((sym, dep))
+            }
+            _ => Err(AsmError::new(
+                pos,
+                format!("x{base} does not hold a declared symbol address at this point"),
+            )),
+        }
+    }
+
+    fn emit(&mut self, instr: Instr, pos: SrcPos) -> Result<(), AsmError> {
+        if self.emitted.len() >= MAX_THREAD_INSTRS {
+            return Err(AsmError::new(
+                pos,
+                format!("lifted thread exceeds the {MAX_THREAD_INSTRS}-instruction budget"),
+            ));
+        }
+        self.emitted.push(instr);
+        Ok(())
+    }
+
+    fn emit_load(&mut self, base: u8, acquire: Acquire, pos: SrcPos) -> Result<AbsVal, AsmError> {
+        let (sym, dep) = self.resolve_base(base, pos)?;
+        let reg = self.fresh_reg(pos)?;
+        self.emit(
+            Instr::Load {
+                reg,
+                loc: self.symbol(sym).loc,
+                acquire,
+                addr_dep: dep,
+            },
+            pos,
+        )?;
+        Ok(AbsVal::Loaded(reg))
+    }
+
+    fn emit_store(
+        &mut self,
+        value: AbsVal,
+        base: u8,
+        release: bool,
+        pos: SrcPos,
+    ) -> Result<(), AsmError> {
+        let (sym, dep) = self.resolve_base(base, pos)?;
+        let src = match value {
+            AbsVal::Const(v) => Src::Const(v),
+            AbsVal::Loaded(r) => Src::Reg(r),
+            AbsVal::DepZero(r) => Src::DepConst { reg: r, value: 0 },
+            AbsVal::DepConst { reg, value } => Src::DepConst { reg, value },
+            AbsVal::Addr { .. } => {
+                return Err(AsmError::new(
+                    pos,
+                    "storing a symbol address is not supported",
+                ))
+            }
+            AbsVal::Undef => unreachable!("read() rejects Undef"),
+        };
+        self.emit(
+            Instr::Store {
+                loc: self.symbol(sym).loc,
+                src,
+                release,
+                addr_dep: dep,
+                ctrl_dep: self.ctrl,
+            },
+            pos,
+        )
+    }
+
+    fn abs_add(&self, a: AbsVal, b: AbsVal, pos: SrcPos) -> Result<AbsVal, AsmError> {
+        match (a, b) {
+            (AbsVal::Const(x), AbsVal::Const(y)) => Ok(AbsVal::Const(x.wrapping_add(y))),
+            (AbsVal::DepZero(r), AbsVal::Const(k)) | (AbsVal::Const(k), AbsVal::DepZero(r)) => {
+                Ok(AbsVal::DepConst { reg: r, value: k })
+            }
+            (AbsVal::DepConst { reg, value }, AbsVal::Const(k))
+            | (AbsVal::Const(k), AbsVal::DepConst { reg, value }) => Ok(AbsVal::DepConst {
+                reg,
+                value: value.wrapping_add(k),
+            }),
+            // Folding a load-derived zero into an address: the next
+            // dereference carries an address dependency (the paper's
+            // `ADDR DEP` idiom).
+            (AbsVal::Addr { sym, dep: None }, z) | (z, AbsVal::Addr { sym, dep: None })
+                if matches!(z, AbsVal::DepZero(_)) =>
+            {
+                Ok(AbsVal::Addr {
+                    sym,
+                    dep: z.dep_reg(),
+                })
+            }
+            (AbsVal::Addr { sym, dep }, AbsVal::Const(0))
+            | (AbsVal::Const(0), AbsVal::Addr { sym, dep }) => Ok(AbsVal::Addr { sym, dep }),
+            _ => Err(AsmError::new(
+                pos,
+                "unsupported arithmetic on runtime values (only constants, load-derived zeros, and symbol addresses fold)",
+            )),
+        }
+    }
+
+    fn abs_sub(&self, a: AbsVal, b: AbsVal, pos: SrcPos) -> Result<AbsVal, AsmError> {
+        match (a, b) {
+            (AbsVal::Const(x), AbsVal::Const(y)) => Ok(AbsVal::Const(x.wrapping_sub(y))),
+            (AbsVal::DepConst { reg, value }, AbsVal::Const(k)) => Ok(AbsVal::DepConst {
+                reg,
+                value: value.wrapping_sub(k),
+            }),
+            _ => Err(AsmError::new(
+                pos,
+                "unsupported arithmetic on runtime values (only constants fold under `sub`)",
+            )),
+        }
+    }
+
+    fn operand_value(&self, op: &Operand, pos: SrcPos) -> Result<AbsVal, AsmError> {
+        match op {
+            Operand::Imm(v) => Ok(AbsVal::Const(*v)),
+            Operand::Reg(r) => self.read(*r, pos),
+            _ => Err(AsmError::new(
+                pos,
+                "expected a register or immediate operand",
+            )),
+        }
+    }
+
+    fn run(&mut self, entry: usize) -> Result<(), AsmError> {
+        let mut pc = entry;
+        let last_pos = self
+            .file
+            .instrs
+            .last()
+            .map_or(SrcPos { line: 1, col: 1 }, |i| i.pos);
+        loop {
+            if pc >= self.file.instrs.len() {
+                return Err(AsmError::new(
+                    last_pos,
+                    format!(
+                        "T{} runs past the end of the file (missing `ret`?)",
+                        self.tid
+                    ),
+                ));
+            }
+            if let Some(label) = self.foreign_entries.get(&pc) {
+                return Err(AsmError::new(
+                    self.file.instrs[pc].pos,
+                    format!(
+                        "T{} falls through into thread entry `{label}` (missing `ret`?)",
+                        self.tid
+                    ),
+                ));
+            }
+            self.fetched += 1;
+            if self.fetched > MAX_FETCH_STEPS {
+                return Err(AsmError::new(
+                    self.file.instrs[pc].pos,
+                    format!(
+                        "T{} exceeds the {MAX_FETCH_STEPS}-step execution budget (unbounded loop?)",
+                        self.tid
+                    ),
+                ));
+            }
+            match self.step(pc)? {
+                Flow::Next => pc += 1,
+                Flow::Jump(target) => pc = target,
+                Flow::Done => return Ok(()),
+            }
+        }
+    }
+
+    fn branch_target(&self, instr: &AsmInstr, op: &Operand) -> Result<usize, AsmError> {
+        let Operand::Label(name) = op else {
+            return Err(AsmError::new(instr.pos, "expected a branch target label"));
+        };
+        self.file
+            .labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError::new(instr.pos, format!("undefined label `{name}`")))
+    }
+
+    fn step(&mut self, pc: usize) -> Result<Flow, AsmError> {
+        let instr = &self.file.instrs[pc];
+        let pos = instr.pos;
+        let ops = &instr.operands;
+        let arity = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError::new(
+                    pos,
+                    format!(
+                        "`{}` expects {n} operand(s), found {}",
+                        instr.mnemonic,
+                        ops.len()
+                    ),
+                ))
+            }
+        };
+        match instr.mnemonic.as_str() {
+            "nop" => {
+                arity(0)?;
+                Ok(Flow::Next)
+            }
+            "ret" => {
+                arity(0)?;
+                Ok(Flow::Done)
+            }
+            "isb" => {
+                if !ops.is_empty() {
+                    return Err(AsmError::new(pos, "`isb` takes no operands here"));
+                }
+                self.emit(Instr::Fence(Barrier::Isb), pos)?;
+                Ok(Flow::Next)
+            }
+            "dmb" | "dsb" => {
+                arity(1)?;
+                let Operand::Label(domain) = &ops[0] else {
+                    return Err(AsmError::new(
+                        pos,
+                        "expected a barrier domain (`ish`/`ishst`/`ishld`)",
+                    ));
+                };
+                let dsb = instr.mnemonic == "dsb";
+                let kind = match domain.as_str() {
+                    "ish" | "sy" => {
+                        if dsb {
+                            Barrier::DsbFull
+                        } else {
+                            Barrier::DmbFull
+                        }
+                    }
+                    "ishst" | "st" => {
+                        if dsb {
+                            Barrier::DsbSt
+                        } else {
+                            Barrier::DmbSt
+                        }
+                    }
+                    "ishld" | "ld" => {
+                        if dsb {
+                            Barrier::DsbLd
+                        } else {
+                            Barrier::DmbLd
+                        }
+                    }
+                    other => {
+                        return Err(AsmError::new(
+                            pos,
+                            format!("unsupported barrier domain `{other}`"),
+                        ))
+                    }
+                };
+                self.emit(Instr::Fence(kind), pos)?;
+                Ok(Flow::Next)
+            }
+            "mov" => {
+                arity(2)?;
+                let Operand::Reg(dst) = ops[0] else {
+                    return Err(AsmError::new(pos, "`mov` destination must be a register"));
+                };
+                let v = self.operand_value(&ops[1], pos)?;
+                self.write(dst, v);
+                Ok(Flow::Next)
+            }
+            "add" | "sub" => {
+                arity(3)?;
+                let Operand::Reg(dst) = ops[0] else {
+                    return Err(AsmError::new(pos, "destination must be a register"));
+                };
+                let a = self.operand_value(&ops[1], pos)?;
+                let b = self.operand_value(&ops[2], pos)?;
+                let v = if instr.mnemonic == "add" {
+                    self.abs_add(a, b, pos)?
+                } else {
+                    self.abs_sub(a, b, pos)?
+                };
+                self.write(dst, v);
+                Ok(Flow::Next)
+            }
+            "eor" => {
+                arity(3)?;
+                let (Operand::Reg(dst), Operand::Reg(n), Operand::Reg(m)) =
+                    (&ops[0], &ops[1], &ops[2])
+                else {
+                    return Err(AsmError::new(pos, "`eor` operands must be registers"));
+                };
+                let v = if n == m {
+                    // `eor v, x, x`: zero, carrying x's dependency if any.
+                    match self.read(*n, pos)? {
+                        v @ (AbsVal::Loaded(_) | AbsVal::DepZero(_) | AbsVal::DepConst { .. }) => {
+                            AbsVal::DepZero(v.dep_reg().expect("load-derived"))
+                        }
+                        AbsVal::Const(_) => AbsVal::Const(0),
+                        _ => {
+                            return Err(AsmError::new(pos, "unsupported `eor` on a symbol address"))
+                        }
+                    }
+                } else {
+                    match (self.read(*n, pos)?, self.read(*m, pos)?) {
+                        (AbsVal::Const(x), AbsVal::Const(y)) => AbsVal::Const(x ^ y),
+                        _ => {
+                            return Err(AsmError::new(
+                                pos,
+                                "unsupported `eor` on runtime values (use `eor v, x, x` for a bogus dependency)",
+                            ))
+                        }
+                    }
+                };
+                self.write(*dst, v);
+                Ok(Flow::Next)
+            }
+            "ldr" | "ldar" | "ldapr" | "ldxr" => {
+                arity(2)?;
+                let Operand::Reg(dst) = ops[0] else {
+                    return Err(AsmError::new(pos, "load destination must be a register"));
+                };
+                match &ops[1] {
+                    Operand::SymAddr(name) => {
+                        if instr.mnemonic != "ldr" {
+                            return Err(AsmError::new(
+                                pos,
+                                "literal-pool loads (`=symbol`) are only supported with `ldr`",
+                            ));
+                        }
+                        let Some(sym) = self.file.symbols.iter().position(|s| s.name == *name)
+                        else {
+                            return Err(AsmError::new(pos, format!("undeclared symbol `{name}`")));
+                        };
+                        self.write(dst, AbsVal::Addr { sym, dep: None });
+                        Ok(Flow::Next)
+                    }
+                    Operand::Mem(base) => {
+                        let acquire = match instr.mnemonic.as_str() {
+                            "ldar" => Acquire::Sc,
+                            "ldapr" => Acquire::Pc,
+                            _ => Acquire::No,
+                        };
+                        let v = self.emit_load(*base, acquire, pos)?;
+                        self.write(dst, v);
+                        Ok(Flow::Next)
+                    }
+                    _ => Err(AsmError::new(
+                        pos,
+                        "load source must be `[xN]` or `=symbol`",
+                    )),
+                }
+            }
+            "str" | "stlr" => {
+                arity(2)?;
+                let Operand::Reg(src) = ops[0] else {
+                    return Err(AsmError::new(pos, "store source must be a register"));
+                };
+                let Operand::Mem(base) = ops[1] else {
+                    return Err(AsmError::new(pos, "store destination must be `[xN]`"));
+                };
+                let v = self.read(src, pos)?;
+                self.emit_store(v, base, instr.mnemonic == "stlr", pos)?;
+                Ok(Flow::Next)
+            }
+            "stxr" => {
+                arity(3)?;
+                let (Operand::Reg(status), Operand::Reg(src), Operand::Mem(base)) =
+                    (&ops[0], &ops[1], &ops[2])
+                else {
+                    return Err(AsmError::new(pos, "`stxr` operands are `wS, xT, [xN]`"));
+                };
+                let v = self.read(*src, pos)?;
+                self.emit_store(v, *base, false, pos)?;
+                // Bounded unrolling of the LL/SC retry loop: the exclusive
+                // store succeeds on the first attempt.
+                self.write(*status, AbsVal::Const(0));
+                Ok(Flow::Next)
+            }
+            "b" => {
+                arity(1)?;
+                let target = self.branch_target(instr, &ops[0])?;
+                if target <= pc {
+                    return Err(AsmError::new(
+                        pos,
+                        "unbounded loop: unconditional backward branch never terminates",
+                    ));
+                }
+                Ok(Flow::Jump(target))
+            }
+            "cbz" | "cbnz" => {
+                arity(2)?;
+                let Operand::Reg(cond) = ops[0] else {
+                    return Err(AsmError::new(pos, "branch condition must be a register"));
+                };
+                let target = self.branch_target(instr, &ops[1])?;
+                let v = self.read(cond, pos)?;
+                let want_zero = instr.mnemonic == "cbz";
+                match v {
+                    AbsVal::Const(c) => {
+                        // Known condition: the counted-loop path.
+                        if (c == 0) == want_zero {
+                            Ok(Flow::Jump(target))
+                        } else {
+                            Ok(Flow::Next)
+                        }
+                    }
+                    AbsVal::Loaded(r) | AbsVal::DepZero(r) | AbsVal::DepConst { reg: r, .. } => {
+                        if target <= pc {
+                            // A spin: take the back-edge while the budget
+                            // lasts, then fall through (see module docs on
+                            // the dropped spin-exit dependency).
+                            let unroll = self.file.unroll;
+                            let budget = self.spin_budget.entry(pc).or_insert(unroll - 1);
+                            if *budget > 0 {
+                                *budget -= 1;
+                                Ok(Flow::Jump(target))
+                            } else {
+                                *budget = unroll - 1;
+                                Ok(Flow::Next)
+                            }
+                        } else {
+                            // Undetermined forward branch: lift the
+                            // fall-through path under a control dependency.
+                            self.ctrl = Some(r);
+                            Ok(Flow::Next)
+                        }
+                    }
+                    _ => Err(AsmError::new(
+                        pos,
+                        "branch on a symbol address or undefined value",
+                    )),
+                }
+            }
+            other => Err(AsmError::new(pos, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+}
+
+enum Flow {
+    Next,
+    Jump(usize),
+    Done,
+}
+
+/// Lift parsed assembly into a model program.
+///
+/// # Errors
+///
+/// Position-carrying [`AsmError`]s for every rejection class the module
+/// docs list: missing/undeclared symbols, private-symbol violations,
+/// unbounded loops, budget exhaustion, unsupported value arithmetic.
+pub fn lift_file(file: &AsmFile) -> Result<Lifted, AsmError> {
+    if file.threads.is_empty() {
+        return Err(AsmError::new(
+            SrcPos { line: 1, col: 1 },
+            "no `// armbar: thread <entry>` pragma found",
+        ));
+    }
+    for decl in &file.threads {
+        if !file.labels.contains_key(&decl.entry) {
+            return Err(AsmError::new(
+                decl.pos,
+                format!("entry label `{}` is not defined", decl.entry),
+            ));
+        }
+    }
+    for sym in &file.symbols {
+        if let Some(owner) = sym.owner {
+            if owner >= file.threads.len() {
+                return Err(AsmError::new(
+                    sym.pos,
+                    format!(
+                        "`{}` is private to T{owner}, but only {} thread(s) are declared",
+                        sym.name,
+                        file.threads.len()
+                    ),
+                ));
+            }
+        }
+    }
+    let entries: Vec<usize> = file.threads.iter().map(|t| file.labels[&t.entry]).collect();
+    let mut threads = Vec::new();
+    let mut fetched = Vec::new();
+    for (tid, &entry) in entries.iter().enumerate() {
+        let foreign_entries: HashMap<usize, String> = entries
+            .iter()
+            .zip(&file.threads)
+            .filter(|&(&e, _)| e != entry)
+            .map(|(&e, d)| (e, d.entry.clone()))
+            .collect();
+        let mut lifter = ThreadLifter {
+            file,
+            tid,
+            foreign_entries,
+            regs: [AbsVal::Undef; 32],
+            emitted: Vec::new(),
+            next_reg: 0,
+            spin_budget: HashMap::new(),
+            ctrl: None,
+            fetched: 0,
+        };
+        lifter.run(entry)?;
+        threads.push(Thread {
+            instrs: lifter.emitted,
+        });
+        fetched.push(lifter.fetched);
+    }
+    let init: Vec<(u8, u64)> = file
+        .symbols
+        .iter()
+        .filter_map(|s| s.init.map(|v| (s.loc, v)))
+        .collect();
+    Ok(Lifted {
+        program: Program { threads, init },
+        symbols: file
+            .symbols
+            .iter()
+            .map(|s| Symbol {
+                name: s.name.clone(),
+                loc: s.loc,
+                init: s.init,
+                owner: s.owner,
+            })
+            .collect(),
+        fetched,
+    })
+}
+
+/// Parse and lift AArch64 source text in one call.
+///
+/// # Errors
+///
+/// As [`parse`] and [`lift_file`].
+pub fn lift(src: &str) -> Result<Lifted, AsmError> {
+    lift_file(&parse(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MP: &str = "\
+// armbar: thread producer
+// armbar: thread consumer
+// armbar: shared data @ 0
+// armbar: shared flag @ 1
+
+producer:
+    ldr x0, =data
+    ldr x1, =flag
+    mov x2, #23
+    str x2, [x0]
+    dmb ishst
+    mov x2, #1
+    str x2, [x1]
+    ret
+
+consumer:
+    ldr x0, =data
+    ldr x1, =flag
+Lspin:
+    ldr x2, [x1]
+    cbz x2, Lspin
+    dmb ishld
+    ldr x3, [x0]
+    ret
+";
+
+    #[test]
+    fn lifts_message_passing() {
+        let lifted = lift(MP).expect("MP lifts");
+        assert_eq!(lifted.program.threads.len(), 2);
+        assert_eq!(
+            lifted.program.threads[0].instrs,
+            vec![
+                Instr::store(0, 23),
+                Instr::Fence(Barrier::DmbSt),
+                Instr::store(1, 1),
+            ]
+        );
+        assert_eq!(
+            lifted.program.threads[1].instrs,
+            vec![
+                Instr::load(0, 1),
+                Instr::Fence(Barrier::DmbLd),
+                Instr::load(1, 0),
+            ]
+        );
+        assert_eq!(lifted.symbols.len(), 2);
+    }
+
+    #[test]
+    fn counted_loops_unroll_exactly() {
+        let src = "\
+// armbar: thread t0
+// armbar: shared word @ 5
+t0:
+    ldr x0, =word
+    mov x1, #0
+    mov x9, #4
+Loop:
+    str x1, [x0]
+    add x1, x1, #1
+    sub x9, x9, #1
+    cbnz x9, Loop
+    ret
+";
+        let lifted = lift(src).expect("counted loop lifts");
+        let stores: Vec<u64> = lifted.program.threads[0]
+            .instrs
+            .iter()
+            .map(|i| match i {
+                Instr::Store {
+                    src: Src::Const(v), ..
+                } => *v,
+                other => panic!("expected const store, got {other}"),
+            })
+            .collect();
+        assert_eq!(stores, vec![0, 1, 2, 3]);
+        assert_eq!(lifted.fetched[0], 3 + 4 * 4 + 1);
+    }
+
+    #[test]
+    fn spin_unroll_bound_is_respected() {
+        let src = "\
+// armbar: unroll 3
+// armbar: thread t0
+// armbar: shared flag @ 0
+t0:
+    ldr x0, =flag
+Lspin:
+    ldr x1, [x0]
+    cbz x1, Lspin
+    ret
+";
+        let lifted = lift(src).expect("spin lifts");
+        // unroll 3: the spin load is emitted three times.
+        assert_eq!(lifted.program.threads[0].instrs.len(), 3);
+        assert_eq!(
+            lifted.program.threads[0].instrs[2],
+            Instr::load(2, 0),
+            "fresh registers per unrolled iteration"
+        );
+    }
+
+    #[test]
+    fn bogus_data_dep_idiom_lifts_to_depconst() {
+        let src = "\
+// armbar: thread t0
+// armbar: shared a @ 0
+// armbar: shared b @ 1
+t0:
+    ldr x0, =a
+    ldr x1, =b
+    ldr x2, [x0]
+    eor x3, x2, x2
+    add x3, x3, #9
+    str x3, [x1]
+    ret
+";
+        let lifted = lift(src).expect("data-dep idiom lifts");
+        assert_eq!(
+            lifted.program.threads[0].instrs,
+            vec![Instr::load(0, 0), Instr::store_data_dep(1, 9, 0)]
+        );
+    }
+
+    #[test]
+    fn addr_dep_idiom_lifts() {
+        let src = "\
+// armbar: thread t0
+// armbar: shared a @ 0
+// armbar: shared b @ 1
+t0:
+    ldr x0, =a
+    ldr x1, =b
+    ldr x2, [x0]
+    eor x3, x2, x2
+    add x4, x1, x3
+    ldr x5, [x4]
+    ret
+";
+        let lifted = lift(src).expect("addr-dep idiom lifts");
+        assert_eq!(
+            lifted.program.threads[0].instrs,
+            vec![Instr::load(0, 0), Instr::load_addr_dep(1, 1, 0)]
+        );
+    }
+
+    #[test]
+    fn ctrl_dep_applies_to_later_stores() {
+        let src = "\
+// armbar: thread t0
+// armbar: shared flag @ 0
+// armbar: shared data @ 1
+t0:
+    ldr x0, =flag
+    ldr x1, =data
+    ldr x2, [x0]
+    cbnz x2, Lgo
+Lgo:
+    mov x3, #9
+    str x3, [x1]
+    ret
+";
+        let lifted = lift(src).expect("ctrl idiom lifts");
+        assert_eq!(
+            lifted.program.threads[0].instrs,
+            vec![Instr::load(0, 0), Instr::store_ctrl_dep(1, 9, 0)]
+        );
+    }
+
+    #[test]
+    fn stxr_succeeds_and_resolves_the_retry_loop() {
+        let src = "\
+// armbar: thread t0
+// armbar: shared lock @ 0
+t0:
+    ldr x0, =lock
+Lretry:
+    ldxr x1, [x0]
+    mov x2, #1
+    stxr w3, x2, [x0]
+    cbnz x3, Lretry
+    ret
+";
+        let lifted = lift(src).expect("LL/SC lifts");
+        assert_eq!(
+            lifted.program.threads[0].instrs,
+            vec![Instr::load(0, 0), Instr::store(0, 1)]
+        );
+    }
+
+    #[test]
+    fn acquire_release_mnemonics_lift_to_annotations() {
+        let src = "\
+// armbar: thread t0
+// armbar: shared a @ 0
+t0:
+    ldr x0, =a
+    ldar x1, [x0]
+    ldapr x2, [x0]
+    mov x3, #1
+    stlr x3, [x0]
+    ret
+";
+        let lifted = lift(src).expect("acquire/release lifts");
+        assert_eq!(
+            lifted.program.threads[0].instrs,
+            vec![
+                Instr::load_acq(0, 0),
+                Instr::load_acq_pc(1, 0),
+                Instr::store_rel(0, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn unbounded_loop_is_rejected() {
+        let src = "\
+// armbar: thread t0
+t0:
+Lforever:
+    nop
+    b Lforever
+";
+        let e = lift(src).unwrap_err();
+        assert!(e.msg.contains("unbounded loop"), "{e}");
+        assert_eq!(e.pos.line, 5);
+    }
+
+    #[test]
+    fn undeclared_symbol_is_rejected() {
+        let src = "\
+// armbar: thread t0
+t0:
+    ldr x0, =ghost
+    mov x1, #1
+    str x1, [x0]
+    ret
+";
+        let e = lift(src).unwrap_err();
+        assert!(e.msg.contains("undeclared symbol `ghost`"), "{e}");
+        assert_eq!(e.pos.line, 3);
+    }
+
+    #[test]
+    fn private_symbol_cross_access_is_rejected() {
+        let src = "\
+// armbar: thread t0
+// armbar: thread t1
+// armbar: private node @ 7 for T0
+t0:
+    ldr x0, =node
+    mov x1, #1
+    str x1, [x0]
+    ret
+t1:
+    ldr x0, =node
+    ldr x1, [x0]
+    ret
+";
+        let e = lift(src).unwrap_err();
+        assert!(e.msg.contains("private to T0"), "{e}");
+        assert_eq!(e.pos.line, 11);
+    }
+
+    #[test]
+    fn fetch_budget_catches_runaway_counted_loops() {
+        let src = "\
+// armbar: thread t0
+t0:
+    mov x9, #100000000
+Loop:
+    sub x9, x9, #1
+    cbnz x9, Loop
+    ret
+";
+        let e = lift(src).unwrap_err();
+        assert!(e.msg.contains("execution budget"), "{e}");
+    }
+
+    #[test]
+    fn emitted_budget_catches_oversized_threads() {
+        let src = "\
+// armbar: thread t0
+// armbar: shared word @ 0
+t0:
+    ldr x0, =word
+    mov x1, #0
+    mov x9, #600
+Loop:
+    str x1, [x0]
+    sub x9, x9, #1
+    cbnz x9, Loop
+    ret
+";
+        let e = lift(src).unwrap_err();
+        assert!(e.msg.contains("instruction budget"), "{e}");
+    }
+
+    #[test]
+    fn missing_ret_is_rejected() {
+        let src = "// armbar: thread t0\nt0:\n    nop\n";
+        let e = lift(src).unwrap_err();
+        assert!(e.msg.contains("missing `ret`"), "{e}");
+    }
+
+    #[test]
+    fn init_values_flow_into_the_program() {
+        let src = "\
+// armbar: thread t0
+// armbar: shared word @ 9 = 41
+t0:
+    ldr x0, =word
+    ldr x1, [x0]
+    ret
+";
+        let lifted = lift(src).expect("lifts");
+        assert_eq!(lifted.program.init, vec![(9, 41)]);
+    }
+}

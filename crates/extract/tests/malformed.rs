@@ -1,0 +1,59 @@
+//! Every malformed fixture under `corpus/asm/bad/` must be rejected with
+//! a located diagnostic — never a panic, never a silent mis-lift.
+
+use armbar_extract::fixtures::all_bad;
+use armbar_extract::lift;
+
+fn err_for(name: &str) -> armbar_extract::AsmError {
+    let (_, src) = all_bad()
+        .into_iter()
+        .find(|&(n, _)| n == name)
+        .unwrap_or_else(|| panic!("unknown bad fixture `{name}`"));
+    lift(src).expect_err(name)
+}
+
+#[test]
+fn unknown_mnemonic_is_rejected_at_its_position() {
+    let e = err_for("unknown_mnemonic");
+    assert!(e.msg.contains("unknown mnemonic `casal`"), "{e}");
+    assert_eq!((e.pos.line, e.pos.col), (7, 5), "{e}");
+}
+
+#[test]
+fn unbounded_loop_is_rejected() {
+    let e = err_for("unbounded_loop");
+    assert!(e.msg.contains("unbounded loop"), "{e}");
+    assert_eq!(e.pos.line, 9, "{e}");
+}
+
+#[test]
+fn undeclared_symbol_is_rejected() {
+    let e = err_for("undeclared_symbol");
+    assert!(e.msg.contains("undeclared symbol `ghost`"), "{e}");
+    assert_eq!(e.pos.line, 6, "{e}");
+}
+
+#[test]
+fn budget_exceeded_is_rejected() {
+    let e = err_for("budget_exceeded");
+    assert!(
+        e.msg
+            .contains(&armbar_extract::MAX_THREAD_INSTRS.to_string()),
+        "{e}"
+    );
+    assert!(e.msg.contains("budget"), "{e}");
+}
+
+#[test]
+fn private_violation_is_rejected() {
+    let e = err_for("private_violation");
+    assert!(e.msg.contains("private to T0"), "{e}");
+    assert_eq!(e.pos.line, 13, "{e}");
+}
+
+#[test]
+fn no_bad_fixture_lifts() {
+    for (name, src) in all_bad() {
+        assert!(lift(src).is_err(), "{name} unexpectedly lifted");
+    }
+}

@@ -50,6 +50,7 @@ mod mask;
 pub mod model;
 pub mod mutate;
 mod symmetry;
+pub mod text;
 pub mod unroll;
 pub mod witness;
 
@@ -64,3 +65,4 @@ pub use mutate::{
     barrier_sites, remove_site, replace_fence, rewrite_acquire, BarrierSite, Rewrite, RewritePlan,
     SiteKind,
 };
+pub use text::TextError;

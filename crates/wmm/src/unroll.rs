@@ -19,12 +19,17 @@
 //! fenced segments), exactly like the real implementations: the critical
 //! section's work is ordered; only the handoff points race.
 //!
-//! These builders feed three consumers: the lint corpus
-//! (implementation-sized cases in `analyze::corpus`), the differential
-//! tests beyond 64 instructions, and `exp-explore-bench`'s
-//! `large_programs` section. Location and register numbering is part of
-//! each builder's documented contract so intent predicates can be
-//! written against it.
+//! These builders are **retired from the production corpus path**: the
+//! lint corpus (`analyze::corpus`) now lifts the checked-in AArch64
+//! fixtures under `corpus/asm/` through `armbar-extract`, and the
+//! builders survive as *differential fixtures* — `extract`'s fixture
+//! and equivalence suites pin each lifted program structurally
+//! identical and outcome-set-equal to its hand-built twin here, so the
+//! two constructions check each other. They still feed the differential
+//! tests beyond 64 instructions and `exp-explore-bench`'s
+//! `large_programs` section directly. Location and register numbering
+//! is part of each builder's documented contract so intent predicates
+//! (and the `.s` fixtures) can be written against it.
 
 use armbar_barriers::Barrier;
 

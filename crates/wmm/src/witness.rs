@@ -35,36 +35,15 @@ pub struct Witness {
 }
 
 impl Witness {
-    /// Render the execution with per-step annotations.
+    /// Render the execution with per-step annotations, one instruction per
+    /// line in the textual syntax of [`crate::text`].
     #[must_use]
     pub fn render(&self, program: &Program) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (n, s) in self.steps.iter().enumerate() {
             let instr = &program.threads[s.tid].instrs[s.idx];
-            let desc = match instr {
-                Instr::Load {
-                    reg, loc, acquire, ..
-                } => format!(
-                    "r{reg} = [{loc}]{}",
-                    match acquire {
-                        armbar_barriers::Acquire::No => "",
-                        armbar_barriers::Acquire::Pc => " (acquire-pc)",
-                        armbar_barriers::Acquire::Sc => " (acquire)",
-                    }
-                ),
-                Instr::Store {
-                    loc, src, release, ..
-                } => {
-                    let v = match src {
-                        Src::Const(v) | Src::DepConst { value: v, .. } => format!("{v}"),
-                        Src::Reg(r) => format!("r{r}"),
-                    };
-                    format!("[{loc}] = {v}{}", if *release { " (release)" } else { "" })
-                }
-                Instr::Fence(f) => format!("fence {f}"),
-            };
-            let _ = writeln!(out, "{n:>3}. T{} #{:<2} {desc}", s.tid, s.idx);
+            let _ = writeln!(out, "{n:>3}. T{} #{:<2} {instr}", s.tid, s.idx);
         }
         out
     }

@@ -1,0 +1,97 @@
+//! Property tests for the textual `Instr`/`Program` round-trip: every
+//! representable value must satisfy `parse(display(x)) == x`.
+
+use proptest::prelude::*;
+
+use armbar_barriers::Barrier;
+use armbar_wmm::model::{Instr, Program, Src, Thread};
+
+fn gen_reg() -> impl Strategy<Value = u8> {
+    0u8..32
+}
+
+fn gen_loc() -> impl Strategy<Value = u8> {
+    0u8..=255
+}
+
+fn gen_src() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        (0u64..1000).prop_map(Src::Const),
+        gen_reg().prop_map(Src::Reg),
+        (gen_reg(), 0u64..1000).prop_map(|(reg, value)| Src::DepConst { reg, value }),
+    ]
+}
+
+fn gen_fence() -> impl Strategy<Value = Instr> {
+    (0usize..Barrier::ALL.len()).prop_map(|i| Instr::Fence(Barrier::ALL[i]))
+}
+
+fn gen_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (
+            gen_reg(),
+            gen_loc(),
+            0u8..3,
+            prop_oneof![Just(None), gen_reg().prop_map(Some)]
+        )
+            .prop_map(|(reg, loc, acq, addr_dep)| {
+                let acquire = armbar_barriers::Acquire::ALL[acq as usize];
+                Instr::Load {
+                    reg,
+                    loc,
+                    acquire,
+                    addr_dep,
+                }
+            }),
+        (
+            (gen_loc(), gen_src(), any::<bool>()),
+            (
+                prop_oneof![Just(None), gen_reg().prop_map(Some)],
+                prop_oneof![Just(None), gen_reg().prop_map(Some)],
+            ),
+        )
+            .prop_map(|((loc, src, release), (addr_dep, ctrl_dep))| Instr::Store {
+                loc,
+                src,
+                release,
+                addr_dep,
+                ctrl_dep,
+            }),
+        gen_fence(),
+    ]
+}
+
+fn gen_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(prop::collection::vec(gen_instr(), 0..8), 1..4),
+        prop::collection::vec((gen_loc(), 0u64..100), 0..4),
+    )
+        .prop_map(|(ts, init)| Program {
+            threads: ts.into_iter().map(|instrs| Thread { instrs }).collect(),
+            init,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Single instructions round-trip exactly.
+    #[test]
+    fn instr_round_trips(i in gen_instr()) {
+        let text = i.to_string();
+        let back: Instr = text
+            .parse()
+            .map_err(|e| format!("`{text}` failed to parse: {e}"))?;
+        prop_assert_eq!(back, i, "round-trip changed `{}` into `{}`", text, back);
+    }
+
+    /// Whole programs (threads + init) round-trip exactly.
+    #[test]
+    fn program_round_trips(p in gen_program()) {
+        let text = p.to_string();
+        let back: Program = text
+            .parse()
+            .map_err(|e| format!("program text failed to parse: {e}\n{text}"))?;
+        prop_assert_eq!(back, p, "round-trip changed the program; text was:\n{}", text);
+    }
+}
