@@ -1,0 +1,6 @@
+//! Regenerate the many-core barrier scale-out sweep (DESIGN.md §10 /
+//! EXPERIMENTS.md): `results/manycore.csv` + `results/manycore_summary.csv`.
+
+fn main() {
+    assert!(armbar_experiments::run_experiment("manycore"));
+}

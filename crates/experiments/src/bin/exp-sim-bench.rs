@@ -1,0 +1,9 @@
+//! Benchmark the event-driven simulator engine against the lockstep
+//! oracle on the parked-spinner workload and write `BENCH_sim.json`.
+
+fn main() {
+    let json = armbar_experiments::bench_sim::bench_sim_json();
+    print!("{json}");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    eprintln!("wrote BENCH_sim.json");
+}

@@ -1151,11 +1151,15 @@ pub fn attrib(ctx: &SweepCtx) -> Vec<Table> {
 /// producer track shows the densest stall timeline (the consumer orders
 /// through address dependencies and never stalls on a barrier).
 ///
+/// `ARMBAR_TRACE_CORES=<n|id,id,…>` restricts the exported JSON to the
+/// first `n` cores (or the listed core ids) — the escape hatch that keeps
+/// traces of many-core runs small enough to open.
+///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn export_trace(path: &std::path::Path) -> std::io::Result<()> {
-    let trace = if std::env::var("ARMBAR_TRACE_WORKLOAD").as_deref() == Ok("mp") {
+    let mut trace = if std::env::var("ARMBAR_TRACE_WORKLOAD").as_deref() == Ok("mp") {
         let combo = PcBarriers {
             avail: Barrier::DmbFull,
             publish: Barrier::DmbSt,
@@ -1177,6 +1181,9 @@ pub fn export_trace(path: &std::path::Path) -> std::io::Result<()> {
         };
         run_ticket_traced(&Platform::kunpeng916(), cfg, 1 << 16).1
     };
+    let cores =
+        armbar_sim::Trace::parse_core_filter(std::env::var("ARMBAR_TRACE_CORES").ok().as_deref());
+    trace.retain_cores(cores.as_deref());
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir)?;
     }

@@ -16,12 +16,14 @@
 #![forbid(unsafe_code)]
 
 pub mod bench_explore;
+pub mod bench_sim;
 pub mod cache;
 pub mod extension;
 pub mod extract;
 pub mod figures;
 pub mod jobs;
 pub mod lint;
+pub mod manycore;
 pub mod rcpc;
 pub mod report;
 pub mod sweep;
@@ -66,6 +68,7 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
         "rcpc" => rcpc::rcpc(ctx),
         "synth" => synth::synth(ctx),
         "extract" => extract::extract(ctx),
+        "manycore" => manycore::manycore(ctx),
         _ => return false,
     };
     for t in &tables {
@@ -79,12 +82,12 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
 
 /// Every experiment id, in paper order (plus the stall-attribution
 /// decomposition, the litmus battery report, the barrier lint sweep, the
-/// RCsc/RCpc acquire comparison, the placement synthesizer, and the
-/// assembly front-end gate).
-pub const ALL_EXPERIMENTS: [&str; 25] = [
+/// RCsc/RCpc acquire comparison, the placement synthesizer, the assembly
+/// front-end gate, and the many-core barrier scale-out).
+pub const ALL_EXPERIMENTS: [&str; 26] = [
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig6a", "fig6b", "fig6c",
     "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca", "attrib",
-    "battery", "lint", "rcpc", "synth", "extract",
+    "battery", "lint", "rcpc", "synth", "extract", "manycore",
 ];
 
 /// When `ARMBAR_TRACE=<path>` is set, rerun the attribution message-passing

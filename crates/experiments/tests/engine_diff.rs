@@ -1,0 +1,122 @@
+//! Differential guarantees of the event-driven scheduler: on every workload
+//! family the experiments sweep — message passing across all five
+//! placements, the ticket lock on four platforms, and the three many-core
+//! barrier families — the event engine must be *observationally equivalent*
+//! to the lockstep oracle (`Machine::step_all` every cycle): same final
+//! memory, same throughput, same stall attribution. A last test runs the
+//! equivalence grid itself through the sweep worker pool at one and four
+//! workers, mirroring the `ARMBAR_JOBS` smoke configurations.
+
+use armbar_barriers::Barrier;
+use armbar_experiments::sweep::{SweepCtx, SweepSpec};
+use armbar_experiments::RunCache;
+use armbar_sim::{Engine, Platform};
+use armbar_simapps::barrier_sim::{run_barrier_with_engine, BarrierConfig, BarrierFamily};
+use armbar_simapps::prodcons::{run_prodcons_with_engine, PcBarriers, PcVariant};
+use armbar_simapps::ticket_sim::{run_ticket_with_engine, TicketConfig};
+use armbar_simapps::BindConfig;
+
+const COMBO: PcBarriers = PcBarriers {
+    avail: Barrier::DmbFull,
+    publish: Barrier::DmbSt,
+};
+
+#[test]
+fn event_engine_matches_oracle_on_message_passing() {
+    for bind in BindConfig::ALL {
+        for variant in [
+            PcVariant::Baseline(COMBO),
+            PcVariant::Pilot {
+                avail: Barrier::DmbFull,
+            },
+        ] {
+            let ev = run_prodcons_with_engine(bind, variant, 40, 1, 30, Engine::EventDriven);
+            let or = run_prodcons_with_engine(bind, variant, 40, 1, 30, Engine::LockstepOracle);
+            assert_eq!(ev, or, "{bind:?} / {variant:?}");
+        }
+    }
+}
+
+#[test]
+fn event_engine_matches_oracle_on_the_ticket_lock() {
+    let platforms = [
+        ("kunpeng916", Platform::kunpeng916()),
+        ("kirin960", Platform::kirin960()),
+        ("kirin970", Platform::kirin970()),
+        ("raspberry_pi4", Platform::raspberry_pi4()),
+    ];
+    let cfg = TicketConfig {
+        threads: 4,
+        per_thread: 20,
+        ..Default::default()
+    };
+    for (name, p) in &platforms {
+        let ev = run_ticket_with_engine(p, cfg, Engine::EventDriven);
+        let or = run_ticket_with_engine(p, cfg, Engine::LockstepOracle);
+        assert_eq!(ev, or, "{name}");
+    }
+}
+
+#[test]
+fn event_engine_matches_oracle_on_barrier_families() {
+    for family in BarrierFamily::ALL {
+        for (label, platform, threads) in [
+            ("kunpeng916", Platform::kunpeng916(), 9usize),
+            ("manycore64", Platform::manycore(64), 64),
+        ] {
+            let cfg = BarrierConfig {
+                family,
+                threads,
+                rounds: 5,
+                work_nops: 15,
+            };
+            let ev = run_barrier_with_engine(&platform, cfg, Engine::EventDriven);
+            let or = run_barrier_with_engine(&platform, cfg, Engine::LockstepOracle);
+            assert_eq!(ev, or, "{family:?} × {threads} on {label}");
+        }
+    }
+}
+
+/// Each cell runs one workload under both engines and reports both cycle
+/// counts; the grid must be value-identical at any worker count, and the
+/// two columns must agree within every cell.
+fn diff_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new("engine-diff");
+    for (i, family) in BarrierFamily::ALL.into_iter().enumerate() {
+        spec.cell(format!("engine-diff|barrier|{i}"), move || {
+            let cfg = BarrierConfig {
+                family,
+                threads: 8,
+                rounds: 4,
+                work_nops: 10,
+            };
+            let p = Platform::kunpeng916();
+            let ev = run_barrier_with_engine(&p, cfg, Engine::EventDriven);
+            let or = run_barrier_with_engine(&p, cfg, Engine::LockstepOracle);
+            vec![ev.cycles as f64, or.cycles as f64]
+        });
+    }
+    for (i, bind) in BindConfig::ALL.into_iter().enumerate() {
+        spec.cell(format!("engine-diff|mp|{i}"), move || {
+            let v = PcVariant::Baseline(COMBO);
+            let ev = run_prodcons_with_engine(bind, v, 25, 1, 20, Engine::EventDriven);
+            let or = run_prodcons_with_engine(bind, v, 25, 1, 20, Engine::LockstepOracle);
+            vec![ev.cycles as f64, or.cycles as f64]
+        });
+    }
+    spec
+}
+
+#[test]
+fn engine_diff_grid_is_worker_count_independent() {
+    let serial = diff_spec()
+        .run(&SweepCtx::new(1, RunCache::disabled()))
+        .into_values();
+    let four = diff_spec()
+        .run(&SweepCtx::new(4, RunCache::disabled()))
+        .into_values();
+    assert_eq!(serial, four, "grid values must not depend on worker count");
+    for (i, vals) in serial.iter().enumerate() {
+        assert_eq!(vals[0], vals[1], "engines disagree in cell {i}");
+    }
+}

@@ -42,6 +42,11 @@ pub struct SharedState {
     /// Globally visible memory (committed store values). FxHash-keyed:
     /// addresses are workload-chosen constants, never adversarial.
     pub memory: FxHashMap<Addr, u64>,
+    /// Cores whose watched line just received a committed store; the
+    /// machine drains this after each step batch and wakes them one cycle
+    /// after the commit (uniform in both engines, so wake order never
+    /// depends on writer/waiter id order within a cycle).
+    pub pending_wakes: Vec<CoreId>,
 }
 
 impl SharedState {
@@ -51,9 +56,11 @@ impl SharedState {
         *self.memory.get(&addr).unwrap_or(&0)
     }
 
-    /// Commit a value to a cell.
+    /// Commit a value to a cell, collecting any cores parked on its line.
     pub fn write(&mut self, addr: Addr, value: u64) {
         self.memory.insert(addr, value);
+        self.directory
+            .take_waiters_into(Line::containing(addr), &mut self.pending_wakes);
     }
 }
 
@@ -142,6 +149,8 @@ enum Stall {
     /// Plain resource limit with no barrier behind it (uncharged).
     Resource,
     Suspended,
+    /// Parked on a [`Op::WaitChange`] line: idle workload wait, uncharged.
+    Parked,
 }
 
 /// An open run of consecutive fully stalled cycles with one (cause, kind).
@@ -181,6 +190,10 @@ pub struct Core {
     pending_barrier: Option<PendingBarrier>,
     /// LDAR in flight: memory ops may not issue until this load completes.
     acquire_gate: Option<u64>,
+    /// Parked on a [`Op::WaitChange`] whose condition still held: the core
+    /// issues nothing until the machine delivers a line-change wake (the op
+    /// itself sits in `pending_op` and re-checks on wake-up).
+    parked: bool,
     /// Most recent load: `(id, done_at)` for dependency modelling.
     last_load: Option<(u64, Cycle)>,
     /// Completion times of loads, by seq, still needed by release stores.
@@ -229,6 +242,7 @@ impl Core {
             next_load_id: 0,
             pending_barrier: None,
             acquire_gate: None,
+            parked: false,
             last_load: None,
             load_seq_done: Vec::new(),
             ctx: ThreadCtx {
@@ -275,8 +289,16 @@ impl Core {
         &self.stats
     }
 
-    /// Earliest cycle at which this core's state can change, `None` if it
-    /// never will (quiesced).
+    /// Earliest cycle at which this core can make progress on its own,
+    /// `None` if it never will without outside help.
+    ///
+    /// The contract the event-driven engine is built on: between `now` and
+    /// the returned cycle, stepping this core is a no-op — nothing
+    /// completes, drains, retires, or issues, and its stall classification
+    /// is constant. `None` means the core has no self-scheduled transition
+    /// at all: it is quiesced, or parked on a [`Op::WaitChange`] line (in
+    /// which case the machine wakes it through the directory waiter list
+    /// when the line changes).
     #[must_use]
     pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
         if self.quiesced() {
@@ -298,7 +320,7 @@ impl Core {
                 .pending_barrier
                 .as_ref()
                 .is_some_and(|b| b.blocks_all());
-        if !blocked_all && !self.halted && self.suspended_on.is_none() {
+        if !blocked_all && !self.parked && !self.halted && self.suspended_on.is_none() {
             consider(now + 1);
         }
         if self.issue_blocked_until > now {
@@ -315,14 +337,33 @@ impl Core {
                 consider(t);
             }
         }
-        // A non-quiesced core with no scheduled event can still make
-        // progress on the very next step (e.g. a just-issued barrier whose
-        // wait conditions are checked per step, or a ready store starting
-        // its drain). Report a one-cycle heartbeat rather than dormancy:
-        // `None` is reserved for quiesced cores, and the machine's run loop
-        // treats it as "this core never runs again" and skips to its cycle
-        // limit.
+        if self.parked {
+            // A parked core only self-schedules for the in-flight work it
+            // still has (drains, outstanding loads, barrier responses);
+            // once that runs dry it sleeps until a line-change wake. This
+            // is the whole scaling win: a thousand parked spinners cost
+            // nothing per cycle.
+            return wake;
+        }
+        // A non-parked, non-quiesced core with no scheduled event can still
+        // make progress on the very next step (e.g. a just-issued barrier
+        // whose wait conditions are checked per step, or a ready store
+        // starting its drain). Report a one-cycle heartbeat rather than
+        // dormancy: the machine's run loops treat `None` as "this core
+        // never runs again by itself".
         Some(wake.unwrap_or(now + 1))
+    }
+
+    /// Whether the core is parked on a [`Op::WaitChange`] line.
+    #[must_use]
+    pub fn parked(&self) -> bool {
+        self.parked
+    }
+
+    /// Deliver a line-change wake: the core re-checks its parked
+    /// [`Op::WaitChange`] condition at its next step.
+    pub(crate) fn unpark(&mut self) {
+        self.parked = false;
     }
 
     fn loads_done_before(&self, seq: Seq, now: Cycle) -> bool {
@@ -663,9 +704,10 @@ impl Core {
                 let e = &self.sb.entries()[i];
                 (e.addr, e.release)
             };
-            let out = shared
-                .directory
-                .access(topo, lat, self.id, Line::containing(addr), true);
+            let out =
+                shared
+                    .directory
+                    .access(topo, lat, self.id, Line::containing(addr), true, now);
             let extra = if release { self.params_cache.t_stlr } else { 0 };
             self.sb
                 .start_drain_with_meta(i, now + out.latency + extra, out.distance);
@@ -694,6 +736,12 @@ impl Core {
         self.ctx.now = now;
         self.ctx.iterations = self.stats.iterations;
         while budget > 0 {
+            if self.parked {
+                // Parked on a WaitChange line: issues nothing until the
+                // machine delivers a line-change wake. Uncharged idle.
+                stall = Stall::Parked;
+                break;
+            }
             if self.issue_blocked_until > now {
                 stall = Stall::Barrier(StallCause::ResponseWindow, self.issue_block_kind);
                 break;
@@ -814,6 +862,7 @@ impl Core {
                             self.id,
                             Line::containing(addr),
                             false,
+                            now,
                         );
                         if out.is_rmr {
                             self.stats.load_rmrs += 1;
@@ -919,10 +968,14 @@ impl Core {
                     }
                     let seq = self.next_seq;
                     self.next_seq += 1;
-                    let out =
-                        shared
-                            .directory
-                            .access(topo, lat, self.id, Line::containing(addr), true);
+                    let out = shared.directory.access(
+                        topo,
+                        lat,
+                        self.id,
+                        Line::containing(addr),
+                        true,
+                        now,
+                    );
                     if out.is_rmr {
                         self.stats.store_rmrs += 1;
                     }
@@ -950,6 +1003,28 @@ impl Core {
                     self.stats.rmws += 1;
                     self.stats.issued += 1;
                     budget -= 1;
+                }
+                Op::WaitChange { addr, expect } => {
+                    if shared.read(addr) == expect {
+                        // Condition still holds against committed memory
+                        // (deliberately ignoring own store-buffer forwarding:
+                        // a WFE-style wait watches the coherent image). Park
+                        // on the line's waiter list; the op stays pending and
+                        // re-checks when a committed store wakes us, so a
+                        // spurious wake simply re-parks.
+                        shared
+                            .directory
+                            .park_waiter(Line::containing(addr), self.id);
+                        self.pending_op = Some(op);
+                        self.parked = true;
+                        stall = Stall::Parked;
+                        break;
+                    }
+                    // Value already moved on: observe it as a real load so
+                    // the access pays coherence latency, takes the acquire-
+                    // free suspension, and delivers the value to the thread.
+                    self.pending_op = Some(Op::load_use(addr));
+                    continue;
                 }
                 Op::Fence(Barrier::None) => {}
                 Op::Fence(Barrier::DmbSt) => {
@@ -1080,9 +1155,18 @@ impl Core {
         }
     }
 
-    /// Close the open stall run, if any, emitting its trace slice.
+    /// Close the open stall run, if any: charge the still-unaccounted tail
+    /// up to the cycle *before* `now` (cycle `now` itself was observed to
+    /// make progress or to stall for a different reason) and emit its trace
+    /// slice. The tail charge makes the total charged to a run exactly
+    /// `t_end - t_start` no matter how sparsely the run was observed, which
+    /// is what lets the event-driven engine skip the intermediate cycles.
     fn end_stall_run(&mut self, now: Cycle, trace: &mut Trace) {
         if let Some(run) = self.stall_run.take() {
+            let tail = now.saturating_sub(1).saturating_sub(run.charged_to);
+            if tail > 0 {
+                self.stats.stall.charge(run.cause, run.kind, tail);
+            }
             if trace.enabled {
                 trace.record(
                     now,
@@ -1097,6 +1181,30 @@ impl Core {
         }
     }
 
+    /// Charge any open stall run up to `last`, the final cycle this core
+    /// was (or could have been) stalled in the run that just ended. Called
+    /// by the machine when a run loop exits, so stall totals do not depend
+    /// on how far past the stall the loop happened to observe the core.
+    pub(crate) fn settle_stall_run(&mut self, last: Cycle) {
+        if let Some(run) = &mut self.stall_run {
+            let gap = last.saturating_sub(run.charged_to);
+            if gap > 0 {
+                self.stats.stall.charge(run.cause, run.kind, gap);
+                run.charged_to = last;
+            }
+        }
+    }
+
+    /// Stamp the core's cycle count at run exit: a core that is still live
+    /// (or halted with work in flight) at the run's last simulated cycle
+    /// `last` was occupied through it, whether or not the engine happened
+    /// to step it there.
+    pub(crate) fn finalize_cycles(&mut self, last: Cycle) {
+        if !(self.quiesced() && self.stats.halted_at.is_some()) {
+            self.stats.cycles = self.stats.cycles.max(last + 1);
+        }
+    }
+
     /// Advance this core to (the end of) cycle `now`.
     pub fn step(
         &mut self,
@@ -1106,6 +1214,11 @@ impl Core {
         shared: &mut SharedState,
         trace: &mut Trace,
     ) {
+        // Sample quiescence *before* the step: the step that performs the
+        // quiesce transition still counts as an occupied cycle, and the
+        // transition can only happen at a cycle where the core acts — so
+        // both engines record the same final cycle count.
+        let was_quiesced = self.quiesced();
         self.complete_phase(now, topo, lat, shared, trace);
         self.drain_phase(now, topo, lat, shared);
         self.retire_phase(now);
@@ -1113,7 +1226,7 @@ impl Core {
         // A second drain attempt lets stores issued this cycle begin
         // draining immediately (store latency starts at issue).
         self.drain_phase(now, topo, lat, shared);
-        if !self.quiesced() || self.stats.halted_at.is_none() {
+        if !(was_quiesced && self.stats.halted_at.is_some()) {
             self.stats.cycles = now + 1;
         }
     }

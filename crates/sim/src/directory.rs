@@ -1,12 +1,36 @@
 //! Directory-based coherence model.
 //!
-//! A single global directory tracks, per cache line, an owner (the last
-//! writer, holding the line exclusively) and a sharer set (readers since the
-//! last write). The cost of an access is the transfer latency from the
-//! nearest current holder; a write additionally invalidates all other
-//! copies. This is a deliberately simple MESI-flavoured model: the paper's
-//! experiments only need "was this access a remote memory reference, and how
-//! far did the snoop travel" — both of which the directory answers exactly.
+//! The directory tracks, per cache line, an owner (the last writer, holding
+//! the line exclusively) and a sharer set (readers since the last write). The
+//! cost of an access is the transfer latency from the nearest current holder;
+//! a write additionally invalidates all other copies. This is a deliberately
+//! simple MESI-flavoured model: the paper's experiments only need "was this
+//! access a remote memory reference, and how far did the snoop travel" — both
+//! of which the directory answers exactly.
+//!
+//! Exclusive accesses to one line — stores draining and RMWs — additionally
+//! **serialize**: the directory services one ownership transfer at a time per
+//! line, so a queued writer waits for the in-flight transfer before paying its
+//! own distance cost. This is the mechanism behind every "contended RMW"
+//! result in the paper: n cores fetch-adding one counter cost Θ(n), not Θ(1),
+//! which is why centralized barriers collapse at high core counts while
+//! hierarchical ones spread arrivals over per-cluster lines. Reads stay
+//! concurrent — a valid line serves any number of sharers at once.
+//!
+//! Two scale-out features serve the many-core topologies:
+//!
+//! * **Sharding.** Line state lives in one hash map per shard (one shard per
+//!   NUMA node on big machines), with lines interleaved across shards by
+//!   index. Sharding is a pure partition of the key space — every lookup
+//!   lands in exactly one shard — so results are identical at any shard
+//!   count; it exists so a 1024-core machine does not funnel every access
+//!   through one ever-growing map (and so future parallel directories have a
+//!   natural split).
+//! * **Waiter lists.** A core executing [`Op::WaitChange`]
+//!   (crate::op::Op::WaitChange) on a line whose value has not changed yet
+//!   parks on the line's waiter list; the machine wakes exactly those cores
+//!   when a store commits to the line, instead of polling every parked core
+//!   every cycle.
 
 use armbar_fxhash::FxHashMap;
 
@@ -21,6 +45,21 @@ struct LineState {
     owner: Option<CoreId>,
     /// Cores holding a shared copy (including a reading owner).
     sharers: Vec<CoreId>,
+    /// Cycle until which the line's exclusive-service port is occupied by an
+    /// in-flight ownership transfer. Writes arriving earlier queue behind it.
+    busy_until: Cycle,
+}
+
+/// One shard of the line map: line indices congruent to the shard's position
+/// modulo the shard count.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// Keyed with the unkeyed FxHash scheme: line numbers are small,
+    /// sequential, and never attacker-controlled, and this map sits on the
+    /// critical path of every simulated memory access.
+    lines: FxHashMap<Line, LineState>,
+    /// Cores parked on a line, waiting for a committed store to it.
+    waiters: FxHashMap<Line, Vec<CoreId>>,
 }
 
 /// Result of consulting the directory for one access.
@@ -34,13 +73,10 @@ pub struct AccessOutcome {
     pub is_rmr: bool,
 }
 
-/// The global coherence directory.
+/// The coherence directory.
 #[derive(Debug, Clone)]
 pub struct Directory {
-    /// Keyed with the unkeyed FxHash scheme: line numbers are small,
-    /// sequential, and never attacker-controlled, and this map sits on the
-    /// critical path of every simulated memory access.
-    lines: FxHashMap<Line, LineState>,
+    shards: Vec<Shard>,
     /// Optional "home" core for otherwise-untouched regions: lets workloads
     /// model buffers whose lines were last touched by a phantom peer (the
     /// paper's alternating-thread construction in §3.2) without simulating
@@ -49,13 +85,31 @@ pub struct Directory {
 }
 
 impl Directory {
-    /// An empty directory (all lines in memory).
+    /// An empty single-shard directory (all lines in memory).
     #[must_use]
     pub fn new() -> Directory {
+        Directory::with_shards(1)
+    }
+
+    /// An empty directory split into `shards` line-interleaved shards
+    /// (clamped to at least one). Shard count never affects results — only
+    /// which map a line's state lives in.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Directory {
         Directory {
-            lines: FxHashMap::default(),
+            shards: vec![Shard::default(); shards.max(1)],
             region_homes: Vec::new(),
         }
+    }
+
+    /// Number of shards the line space is split across.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, line: Line) -> usize {
+        (line.0 % self.shards.len() as u64) as usize
     }
 
     /// Declare that untouched lines in `[start, end)` (byte addresses
@@ -74,6 +128,7 @@ impl Directory {
                 return LineState {
                     owner: Some(home),
                     sharers: vec![home],
+                    busy_until: 0,
                 };
             }
         }
@@ -132,8 +187,11 @@ impl Directory {
             .unwrap_or(DistanceClass::Memory)
     }
 
-    /// Perform an access: returns its cost classification and updates the
-    /// directory (ownership transfer / sharer insertion / invalidation).
+    /// Perform an access at cycle `now`: returns its cost classification and
+    /// updates the directory (ownership transfer / sharer insertion /
+    /// invalidation). Exclusive accesses queue behind the line's in-flight
+    /// transfer, so the returned latency includes any wait for the line's
+    /// service port; reads are served concurrently.
     pub fn access(
         &mut self,
         topo: &Topology,
@@ -141,27 +199,32 @@ impl Directory {
         requester: CoreId,
         line: Line,
         write: bool,
+        now: Cycle,
     ) -> AccessOutcome {
-        let state = match self.lines.get(&line) {
+        let shard = self.shard_of(line);
+        let state = match self.shards[shard].lines.get(&line) {
             Some(s) => s.clone(),
             None => self.default_state(line),
         };
         let distance = Self::classify(topo, requester, &state, write);
-        let latency = lat.transfer_latency(distance);
-        let new_state = if write {
+        let transfer = lat.transfer_latency(distance);
+        let (latency, new_state) = if write {
+            let latency = state.busy_until.saturating_sub(now) + transfer;
             // Writer takes exclusive ownership; all other copies invalidated.
-            LineState {
+            let s = LineState {
                 owner: Some(requester),
                 sharers: vec![requester],
-            }
+                busy_until: now + latency,
+            };
+            (latency, s)
         } else {
             let mut s = state;
             if !s.sharers.contains(&requester) {
                 s.sharers.push(requester);
             }
-            s
+            (transfer, s)
         };
-        self.lines.insert(line, new_state);
+        self.shards[shard].lines.insert(line, new_state);
         AccessOutcome {
             distance,
             latency,
@@ -169,7 +232,8 @@ impl Directory {
         }
     }
 
-    /// Peek at the cost of an access without mutating directory state.
+    /// Peek at the cost of an access at cycle `now` without mutating
+    /// directory state.
     #[must_use]
     pub fn peek(
         &self,
@@ -178,15 +242,22 @@ impl Directory {
         requester: CoreId,
         line: Line,
         write: bool,
+        now: Cycle,
     ) -> AccessOutcome {
-        let state = match self.lines.get(&line) {
+        let state = match self.shards[self.shard_of(line)].lines.get(&line) {
             Some(s) => s.clone(),
             None => self.default_state(line),
         };
         let distance = Self::classify(topo, requester, &state, write);
+        let transfer = lat.transfer_latency(distance);
+        let latency = if write {
+            state.busy_until.saturating_sub(now) + transfer
+        } else {
+            transfer
+        };
         AccessOutcome {
             distance,
-            latency: lat.transfer_latency(distance),
+            latency,
             is_rmr: distance.is_rmr(),
         }
     }
@@ -194,7 +265,40 @@ impl Directory {
     /// Current exclusive owner of a line, if any (for tests/diagnostics).
     #[must_use]
     pub fn owner(&self, line: Line) -> Option<CoreId> {
-        self.lines.get(&line).and_then(|s| s.owner)
+        self.shards[self.shard_of(line)]
+            .lines
+            .get(&line)
+            .and_then(|s| s.owner)
+    }
+
+    /// Park `core` on `line`: it will be reported by
+    /// [`Directory::take_waiters_into`] when a store commits to the line.
+    /// Idempotent per (line, core).
+    pub fn park_waiter(&mut self, line: Line, core: CoreId) {
+        let shard = self.shard_of(line);
+        let list = self.shards[shard].waiters.entry(line).or_default();
+        if !list.contains(&core) {
+            list.push(core);
+        }
+    }
+
+    /// Drain the waiter list of `line` into `out` (called on every committed
+    /// store to the line). Waiters re-park themselves if their condition
+    /// still holds.
+    pub fn take_waiters_into(&mut self, line: Line, out: &mut Vec<CoreId>) {
+        let shard = self.shard_of(line);
+        if let Some(mut list) = self.shards[shard].waiters.remove(&line) {
+            out.append(&mut list);
+        }
+    }
+
+    /// Total number of parked (line, core) registrations (diagnostics).
+    #[must_use]
+    pub fn waiter_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.waiters.values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 }
 
@@ -214,10 +318,13 @@ mod tests {
         (p.topology, p.latency, Directory::new())
     }
 
+    /// Accesses far enough apart in time that queuing never applies.
+    const APART: Cycle = 1_000_000;
+
     #[test]
     fn cold_line_comes_from_memory() {
         let (t, l, mut d) = setup();
-        let out = d.access(&t, &l, 0, Line(7), false);
+        let out = d.access(&t, &l, 0, Line(7), false, 0);
         assert_eq!(out.distance, DistanceClass::Memory);
         assert_eq!(out.latency, l.t_memory);
         assert!(out.is_rmr);
@@ -226,8 +333,8 @@ mod tests {
     #[test]
     fn read_after_own_read_is_local() {
         let (t, l, mut d) = setup();
-        d.access(&t, &l, 0, Line(7), false);
-        let out = d.access(&t, &l, 0, Line(7), false);
+        d.access(&t, &l, 0, Line(7), false, 0);
+        let out = d.access(&t, &l, 0, Line(7), false, 0);
         assert_eq!(out.distance, DistanceClass::Local);
         assert!(!out.is_rmr);
     }
@@ -235,17 +342,18 @@ mod tests {
     #[test]
     fn write_after_own_write_is_local() {
         let (t, l, mut d) = setup();
-        d.access(&t, &l, 0, Line(7), true);
-        let out = d.access(&t, &l, 0, Line(7), true);
+        d.access(&t, &l, 0, Line(7), true, 0);
+        let out = d.access(&t, &l, 0, Line(7), true, APART);
         assert_eq!(out.distance, DistanceClass::Local);
+        assert_eq!(out.latency, l.t_l1_hit);
     }
 
     #[test]
     fn ping_pong_between_nodes_is_cross_node() {
         let (t, l, mut d) = setup();
         let far = 40; // node 1 on kunpeng
-        d.access(&t, &l, far, Line(3), true);
-        let out = d.access(&t, &l, 0, Line(3), true);
+        d.access(&t, &l, far, Line(3), true, 0);
+        let out = d.access(&t, &l, 0, Line(3), true, APART);
         assert_eq!(out.distance, DistanceClass::CrossNode);
         assert_eq!(out.latency, l.t_cross_node);
         // Ownership transferred.
@@ -255,9 +363,9 @@ mod tests {
     #[test]
     fn write_invalidates_sharers_and_pays_worst_distance() {
         let (t, l, mut d) = setup();
-        d.access(&t, &l, 1, Line(5), false); // same cluster as 0
-        d.access(&t, &l, 40, Line(5), false); // other node
-        let out = d.access(&t, &l, 0, Line(5), true);
+        d.access(&t, &l, 1, Line(5), false, 0); // same cluster as 0
+        d.access(&t, &l, 40, Line(5), false, 0); // other node
+        let out = d.access(&t, &l, 0, Line(5), true, APART);
         // Must invalidate the cross-node sharer.
         assert_eq!(out.distance, DistanceClass::CrossNode);
     }
@@ -265,8 +373,8 @@ mod tests {
     #[test]
     fn read_of_written_line_transfers_from_owner() {
         let (t, l, mut d) = setup();
-        d.access(&t, &l, 5, Line(9), true); // cluster 1, node 0
-        let out = d.access(&t, &l, 0, Line(9), false);
+        d.access(&t, &l, 5, Line(9), true, 0); // cluster 1, node 0
+        let out = d.access(&t, &l, 0, Line(9), false, APART);
         assert_eq!(out.distance, DistanceClass::CrossCluster);
     }
 
@@ -274,19 +382,19 @@ mod tests {
     fn region_home_makes_fresh_lines_remote() {
         let (t, l, mut d) = setup();
         d.set_region_home(0x10000, 0x20000, 40); // phantom in node 1
-        let out = d.access(&t, &l, 0, Line::containing(0x10040), true);
+        let out = d.access(&t, &l, 0, Line::containing(0x10040), true, 0);
         assert_eq!(out.distance, DistanceClass::CrossNode);
         // Lines outside the region stay cold.
-        let out2 = d.access(&t, &l, 0, Line::containing(0x3000), true);
+        let out2 = d.access(&t, &l, 0, Line::containing(0x3000), true, 0);
         assert_eq!(out2.distance, DistanceClass::Memory);
     }
 
     #[test]
     fn peek_does_not_mutate() {
         let (t, l, mut d) = setup();
-        d.access(&t, &l, 40, Line(3), true);
-        let before = d.peek(&t, &l, 0, Line(3), true);
-        let again = d.peek(&t, &l, 0, Line(3), true);
+        d.access(&t, &l, 40, Line(3), true, 0);
+        let before = d.peek(&t, &l, 0, Line(3), true, APART);
+        let again = d.peek(&t, &l, 0, Line(3), true, APART);
         assert_eq!(before, again);
         assert_eq!(d.owner(Line(3)), Some(40));
     }
@@ -296,9 +404,86 @@ mod tests {
         let (t, l, mut d) = setup();
         // Two sharers, no owner change: core 1 (near) and 40 (far) read a
         // memory line; then core 0 reads.
-        d.access(&t, &l, 1, Line(11), false);
-        d.access(&t, &l, 40, Line(11), false);
-        let out = d.access(&t, &l, 0, Line(11), false);
+        d.access(&t, &l, 1, Line(11), false, 0);
+        d.access(&t, &l, 40, Line(11), false, 0);
+        let out = d.access(&t, &l, 0, Line(11), false, 0);
         assert_eq!(out.distance, DistanceClass::SameCluster);
+    }
+
+    #[test]
+    fn exclusive_accesses_serialize_per_line() {
+        // n same-cycle writers to one line queue behind each other: writer i
+        // pays the sum of the service times ahead of it, so total cost grows
+        // linearly with n — the mechanism that makes a centralized barrier
+        // counter collapse at scale. Reads and other lines are unaffected.
+        let (t, l, mut d) = setup();
+        let first = d.access(&t, &l, 0, Line(20), true, 0);
+        let second = d.access(&t, &l, 1, Line(20), true, 0);
+        let third = d.access(&t, &l, 2, Line(20), true, 0);
+        // Cores 0..3 sit in one cluster, so each queued transfer costs one
+        // same-cluster hop on top of everything queued ahead of it.
+        assert_eq!(second.latency, first.latency + l.t_same_cluster);
+        assert_eq!(third.latency, second.latency + l.t_same_cluster);
+        // A concurrent read is served immediately (from the current owner)…
+        let read = d.access(&t, &l, 3, Line(20), false, 0);
+        assert_eq!(read.latency, l.t_same_cluster);
+        // …as is a write to a different line.
+        let other = d.access(&t, &l, 4, Line(21), true, 0);
+        assert_eq!(other.latency, l.t_memory);
+        // Once the port frees up, queuing stops.
+        let late = d.access(&t, &l, 1, Line(20), true, third.latency);
+        assert_eq!(late.latency, l.t_same_cluster);
+    }
+
+    #[test]
+    fn sharding_is_behaviour_invariant() {
+        // The same access trace against 1-, 2-, and 7-shard directories must
+        // produce identical outcomes and owners: sharding is pure partition.
+        let p = Platform::kunpeng916();
+        let (t, l) = (&p.topology, &p.latency);
+        let trace: &[(CoreId, u64, bool)] = &[
+            (0, 3, true),
+            (40, 3, true),
+            (1, 5, false),
+            (40, 5, false),
+            (0, 5, true),
+            (5, 9, true),
+            (0, 9, false),
+            (0, 3, false),
+        ];
+        let run = |shards: usize| {
+            let mut d = Directory::with_shards(shards);
+            d.set_region_home(0x10000, 0x20000, 40);
+            let outs: Vec<AccessOutcome> = trace
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, line, w))| d.access(t, l, c, Line(line), w, i as Cycle * APART))
+                .collect();
+            let owners: Vec<Option<CoreId>> = (0..12u64).map(|i| d.owner(Line(i))).collect();
+            (outs, owners)
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(7));
+    }
+
+    #[test]
+    fn waiter_lists_park_and_drain_per_line() {
+        let mut d = Directory::with_shards(4);
+        d.park_waiter(Line(1), 3);
+        d.park_waiter(Line(1), 9);
+        d.park_waiter(Line(1), 3); // idempotent
+        d.park_waiter(Line(2), 7);
+        assert_eq!(d.waiter_count(), 3);
+        let mut woken = Vec::new();
+        d.take_waiters_into(Line(1), &mut woken);
+        assert_eq!(woken, vec![3, 9]);
+        assert_eq!(d.waiter_count(), 1);
+        // Draining again is a no-op; line 2's waiter is untouched.
+        d.take_waiters_into(Line(1), &mut woken);
+        assert_eq!(woken.len(), 2);
+        d.take_waiters_into(Line(2), &mut woken);
+        assert_eq!(woken, vec![3, 9, 7]);
+        assert_eq!(d.waiter_count(), 0);
     }
 }

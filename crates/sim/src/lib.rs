@@ -66,7 +66,7 @@ pub mod topology;
 pub mod trace;
 pub mod types;
 
-pub use machine::{Machine, RunStats};
+pub use machine::{Engine, Machine, RunStats};
 pub use op::{Op, RmwKind, SimThread, ThreadCtx};
 pub use platform::{LatencyParams, Platform, PlatformKind};
 pub use stats::{CoreStats, StallBreakdown, StallCause};

@@ -1,12 +1,30 @@
-//! The machine: cores + shared coherence state + the run loop.
+//! The machine: cores + shared coherence state + the run loops.
 //!
-//! The run loop is cycle-accurate but event-accelerated: when no core can
-//! make progress at the current cycle, time jumps straight to the earliest
-//! pending event (load completion, drain landing, gate opening, barrier
-//! response). Within a cycle, cores step in id order — that order is the
-//! deterministic tie-break for same-cycle coherence races.
+//! Two scheduling engines drive the same cores:
+//!
+//! * [`Engine::EventDriven`] (the default) keeps a lazy-deletion min-heap of
+//!   `(wake cycle, core id)` events fed by each core's
+//!   [`Core::next_wake`] contract, and steps **only** the cores whose wake
+//!   cycle arrived. Cores parked on a [`WaitChange`](crate::op::Op::WaitChange)
+//!   line report no wake at all and are woken through the directory's
+//!   per-line waiter lists when another core commits a store to the line —
+//!   so a thousand parked spinners cost nothing per simulated cycle.
+//! * [`Engine::LockstepOracle`] is the original loop: every active core is
+//!   stepped at every observed cycle, with time jumping over dead cycles.
+//!   It survives as the differential oracle the event engine is validated
+//!   against ([`Machine::run_lockstep_oracle`]).
+//!
+//! Both engines are cycle-accurate and byte-deterministic: within a cycle,
+//! cores step in id order — that order is the deterministic tie-break for
+//! same-cycle coherence races (the heap yields equal-cycle events in
+//! ascending core id). The soundness argument for why the two engines are
+//! equivalent lives in `DESIGN.md` §10.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::core_model::{Core, SharedState};
+use crate::directory::Directory;
 use crate::op::SimThread;
 use crate::platform::Platform;
 use crate::stats::CoreStats;
@@ -22,6 +40,19 @@ pub struct RunStats {
     pub halted: bool,
 }
 
+/// Which scheduling engine drives the run loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Step only cores whose wake event arrived (the default).
+    EventDriven,
+    /// Step every active core at every observed cycle (the reference
+    /// implementation the event engine is differentially tested against).
+    LockstepOracle,
+}
+
+/// Sentinel for "no event scheduled" in the lazy-deletion bookkeeping.
+const NEVER: Cycle = Cycle::MAX;
+
 /// A simulated machine.
 pub struct Machine {
     platform: Platform,
@@ -33,30 +64,79 @@ pub struct Machine {
     /// Machine-wide event trace (disabled unless
     /// [`Machine::enable_trace`] is called).
     trace: Trace,
+    engine: Engine,
+    /// Pending wake events, min-ordered by `(cycle, core id)`. Lazy
+    /// deletion: an entry is live iff it matches `scheduled[core]`.
+    heap: BinaryHeap<Reverse<(Cycle, CoreId)>>,
+    /// The single live wake cycle per core (`NEVER` = none). Superseded
+    /// heap entries are dropped when popped.
+    scheduled: Vec<Cycle>,
+    /// Total `Core::step` invocations across all runs — the engine-quality
+    /// metric (cycles simulated per core actually stepped) benchmarks gate.
+    steps_executed: u64,
 }
 
 impl Machine {
     /// A machine with all of the platform's cores, none running anything.
+    ///
+    /// The coherence directory is sharded per NUMA node: a pure partition
+    /// of the line space, invisible to behaviour but sized for many-core
+    /// topologies.
     #[must_use]
     pub fn new(platform: Platform) -> Machine {
-        let cores = (0..platform.topology.core_count())
+        let core_count = platform.topology.core_count();
+        let cores = (0..core_count)
             .map(|id| Core::new(id, &platform.latency))
             .collect();
+        let shards = platform.topology.node_count();
         Machine {
             platform,
             cores,
             active: Vec::new(),
-            shared: SharedState::default(),
+            shared: SharedState {
+                directory: Directory::with_shards(shards),
+                ..SharedState::default()
+            },
             now: 0,
             trace: Trace::default(),
+            engine: Engine::EventDriven,
+            heap: BinaryHeap::new(),
+            scheduled: vec![NEVER; core_count],
+            steps_executed: 0,
         }
     }
 
+    /// Select the scheduling engine for subsequent runs.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected scheduling engine.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Total number of `Core::step` invocations so far (all runs).
+    #[must_use]
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
     /// Switch on event tracing with a ring of `capacity` events; all cores
-    /// record into one trace (the exporter keys tracks by core id).
+    /// record into one trace (the exporter keys tracks by core id, and
+    /// tracks are allocated lazily — only cores that actually record
+    /// appear).
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Trace::new(capacity);
         self.trace.enabled = true;
+    }
+
+    /// Restrict the trace to `cores` (see [`Trace::set_core_filter`]);
+    /// `None` records every core. On a many-core machine the filter is what
+    /// keeps traces small: un-filtered, a thousand cores share one ring.
+    pub fn set_trace_core_filter(&mut self, cores: Option<Vec<CoreId>>) {
+        self.trace.set_core_filter(cores);
     }
 
     /// The machine's event trace (empty unless enabled).
@@ -128,10 +208,63 @@ impl Machine {
         for &id in &self.active {
             self.cores[id].step(self.now, topo, lat, &mut self.shared, &mut self.trace);
         }
+        self.steps_executed += self.active.len() as u64;
     }
 
     fn all_quiesced(&self) -> bool {
         self.active.iter().all(|&id| self.cores[id].quiesced())
+    }
+
+    /// Unpark every core whose watched line received a committed store this
+    /// cycle and (in the event engine) schedule it one cycle later. The
+    /// uniform wake-at-`t + 1` rule keeps both engines identical no matter
+    /// how writer and waiter ids are ordered within the cycle.
+    fn drain_wakes(&mut self, now: Cycle, reschedule: bool) {
+        if self.shared.pending_wakes.is_empty() {
+            return;
+        }
+        let mut wakes = std::mem::take(&mut self.shared.pending_wakes);
+        for &c in &wakes {
+            self.cores[c].unpark();
+            if reschedule {
+                self.schedule(c, now + 1);
+            }
+        }
+        wakes.clear();
+        self.shared.pending_wakes = wakes;
+    }
+
+    /// Register (or tighten) core `c`'s wake event. Later-than-scheduled
+    /// requests are ignored — the earlier step re-computes its wake anyway —
+    /// so each core has exactly one live heap entry and superseded ones are
+    /// dropped lazily when popped.
+    fn schedule(&mut self, c: CoreId, at: Cycle) {
+        if at < self.scheduled[c] {
+            self.scheduled[c] = at;
+            self.heap.push(Reverse((at, c)));
+        }
+    }
+
+    /// The oracle's time jump: advance to the earliest wake, clamped so a
+    /// stale wake (`<= now`) still moves time forward by a full cycle, and
+    /// an empty candidate set jumps straight to the limit so the loop exits
+    /// in O(1) steps instead of crawling one cycle at a time to the bound.
+    fn resolve_jump(min_wake: Option<Cycle>, now: Cycle, limit: Cycle) -> Cycle {
+        min_wake.map_or(limit, |t| t.max(now + 1))
+    }
+
+    /// Settle sparse observations at run exit: charge open stall runs up to
+    /// `last` (the final simulated cycle any core stepped in) and stamp
+    /// per-core cycle counts, so totals do not depend on which cycles the
+    /// engine happened to observe. Harmless no-ops for cores observed at
+    /// every cycle.
+    fn finalize(&mut self, last: Option<Cycle>) {
+        let Some(last) = last else { return };
+        for i in 0..self.active.len() {
+            let id = self.active[i];
+            self.cores[id].settle_stall_run(last);
+            self.cores[id].finalize_cycles(last);
+        }
     }
 
     /// Run until every workload halts and quiesces, or `max_cycles` elapse.
@@ -152,12 +285,42 @@ impl Machine {
         })
     }
 
+    /// Run under the lockstep oracle regardless of the selected engine
+    /// (restores the selection afterwards). Differential harnesses use this
+    /// to validate the event engine against the reference loop on the same
+    /// machine type without re-plumbing engine selection everywhere.
+    pub fn run_lockstep_oracle(&mut self, max_cycles: Cycle) -> RunStats {
+        let prev = self.engine;
+        self.engine = Engine::LockstepOracle;
+        let out = self.run(max_cycles);
+        self.engine = prev;
+        out
+    }
+
     fn run_while(&mut self, max_cycles: Cycle, keep_going: impl Fn(&Machine) -> bool) -> RunStats {
+        match self.engine {
+            Engine::EventDriven => self.run_event(max_cycles, keep_going),
+            Engine::LockstepOracle => self.run_lockstep(max_cycles, keep_going),
+        }
+    }
+
+    /// The reference loop: step every active core at every observed cycle,
+    /// jumping over cycles where no core has anything to do.
+    fn run_lockstep(
+        &mut self,
+        max_cycles: Cycle,
+        keep_going: impl Fn(&Machine) -> bool,
+    ) -> RunStats {
         let limit = self.now.saturating_add(max_cycles);
+        let mut last: Option<Cycle> = None;
         while self.now < limit {
+            let t = self.now;
             self.step_all();
+            last = Some(t);
+            self.drain_wakes(t, false);
             if self.all_quiesced() {
                 self.now += 1;
+                self.finalize(last);
                 return RunStats {
                     cycles: self.now,
                     halted: true,
@@ -165,26 +328,146 @@ impl Machine {
             }
             if !keep_going(self) {
                 self.now += 1;
+                self.finalize(last);
                 return RunStats {
                     cycles: self.now,
                     halted: false,
                 };
             }
-            // Event acceleration: jump to the earliest possible activity.
-            // `Core::next_wake` contractually returns `None` only for
-            // quiesced cores (all handled above) and never a cycle <= now,
-            // but both are clamped defensively here: a stale wake must
-            // still advance time by a full cycle, and an empty candidate
-            // set jumps straight to the limit so the loop exits in O(1)
-            // steps instead of crawling one cycle at a time to the bound.
             let next = self
                 .active
                 .iter()
                 .filter_map(|&id| self.cores[id].next_wake(self.now))
-                .min()
-                .map_or(limit, |t| t.max(self.now + 1));
-            self.now = next;
+                .min();
+            self.now = Self::resolve_jump(next, self.now, limit);
         }
+        self.finalize(last);
+        RunStats {
+            cycles: self.now,
+            halted: self.all_quiesced(),
+        }
+    }
+
+    /// The event-driven loop: pop the earliest wake events and step exactly
+    /// those cores. Relies on the [`Core::next_wake`] contract — between a
+    /// core's own wake events its state cannot change (stepping it would be
+    /// a no-op), and the only cross-core influence on a core with no wake
+    /// (parked on a line) arrives through the directory waiter lists.
+    fn run_event(&mut self, max_cycles: Cycle, keep_going: impl Fn(&Machine) -> bool) -> RunStats {
+        let limit = self.now.saturating_add(max_cycles);
+        if self.active.is_empty() {
+            // Mirror the oracle: an empty machine quiesces in one tick.
+            if self.now < limit {
+                self.now += 1;
+            }
+            return RunStats {
+                cycles: self.now,
+                halted: true,
+            };
+        }
+        // Seed: every active core is observed at the entry cycle, exactly
+        // like the oracle's first `step_all` (stale heap entries from an
+        // earlier run are superseded and dropped lazily).
+        for i in 0..self.active.len() {
+            let id = self.active[i];
+            self.schedule(id, self.now);
+        }
+        let mut quiesced = self
+            .active
+            .iter()
+            .filter(|&&id| self.cores[id].quiesced())
+            .count();
+        let mut last: Option<Cycle> = None;
+        let mut batch: Vec<CoreId> = Vec::new();
+        while self.now < limit {
+            // Earliest live event, discarding superseded entries. A stale
+            // wake in the past must never rewind time: re-aim it at the
+            // current cycle instead (defensive — `schedule` clamps at the
+            // call sites, but the invariant is cheap to enforce here).
+            let t = loop {
+                match self.heap.peek() {
+                    None => break None,
+                    Some(&Reverse((at, c))) => {
+                        if self.scheduled[c] != at {
+                            self.heap.pop();
+                        } else if at < self.now {
+                            self.heap.pop();
+                            self.scheduled[c] = NEVER;
+                            self.schedule(c, self.now);
+                        } else {
+                            break Some(at);
+                        }
+                    }
+                }
+            };
+            let Some(t) = t else {
+                // No core will ever self-wake again (all quiesced or parked
+                // with nobody to wake them): jump straight to the bound,
+                // mirroring the oracle's empty-candidate jump.
+                self.now = limit;
+                break;
+            };
+            if t >= limit {
+                // The next event sits at/past the bound. Advance to it and
+                // exit — the oracle's jump exposes the same overshoot.
+                self.now = t;
+                break;
+            }
+            self.now = t;
+            last = Some(t);
+            // Collect every core woken at `t`; the heap yields equal-cycle
+            // entries in ascending core id — the deterministic tie-break.
+            batch.clear();
+            while let Some(&Reverse((at, c))) = self.heap.peek() {
+                if at != t {
+                    break;
+                }
+                self.heap.pop();
+                if self.scheduled[c] == t {
+                    self.scheduled[c] = NEVER;
+                    batch.push(c);
+                }
+            }
+            for &id in &batch {
+                let was_quiesced = self.cores[id].quiesced();
+                self.cores[id].step(
+                    t,
+                    &self.platform.topology,
+                    &self.platform.latency,
+                    &mut self.shared,
+                    &mut self.trace,
+                );
+                self.steps_executed += 1;
+                match (was_quiesced, self.cores[id].quiesced()) {
+                    (false, true) => quiesced += 1,
+                    (true, false) => quiesced -= 1,
+                    _ => {}
+                }
+                if let Some(w) = self.cores[id].next_wake(t) {
+                    self.schedule(id, w.max(t + 1));
+                }
+            }
+            // Stores committed this cycle wake their line's parked waiters
+            // one cycle later.
+            self.drain_wakes(t, true);
+            if quiesced == self.active.len() {
+                self.now = t + 1;
+                self.finalize(last);
+                return RunStats {
+                    cycles: self.now,
+                    halted: true,
+                };
+            }
+            if !keep_going(self) {
+                self.now = t + 1;
+                self.finalize(last);
+                return RunStats {
+                    cycles: self.now,
+                    halted: false,
+                };
+            }
+        }
+        self.finalize(last);
         RunStats {
             cycles: self.now,
             halted: self.all_quiesced(),
@@ -568,6 +851,286 @@ mod tests {
         assert_send::<Machine>();
         assert_send::<Platform>();
         assert_send::<RunStats>();
+    }
+
+    /// Same program, both engines: the full per-core statistics (stalls,
+    /// cycle counts, issue counts), final memory and run outcome must match
+    /// exactly. The grid-scale differential harness lives in the
+    /// experiments crate; this is the in-crate smoke version.
+    fn assert_engines_agree(mk: impl Fn() -> Machine, addrs: &[Addr]) {
+        let mut ev = mk();
+        ev.set_engine(Engine::EventDriven);
+        let ev_stats = ev.run(10_000_000);
+        let mut or = mk();
+        or.set_engine(Engine::LockstepOracle);
+        let or_stats = or.run(10_000_000);
+        assert_eq!(ev_stats, or_stats, "run outcome must match");
+        for id in 0..ev.platform().topology.core_count() {
+            assert_eq!(
+                ev.core_stats(id),
+                or.core_stats(id),
+                "core {id} stats must match"
+            );
+        }
+        for &a in addrs {
+            assert_eq!(ev.read_memory(a), or.read_memory(a), "memory at {a:#x}");
+        }
+        assert!(
+            ev.steps_executed() <= or.steps_executed(),
+            "event engine must never step more than the oracle: {} vs {}",
+            ev.steps_executed(),
+            or.steps_executed()
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_a_mixed_barrier_program() {
+        let mk = || {
+            let ops = vec![
+                Op::store(0x100, 1),
+                Op::Fence(Barrier::DmbFull),
+                Op::load_use(0x100),
+                Op::Fence(Barrier::DsbFull),
+                Op::Nops(3),
+                Op::store(0x140, 2),
+                Op::Fence(Barrier::DmbSt),
+                Op::store(0x180, 3),
+                Op::Fence(Barrier::Isb),
+                Op::fetch_add_acq_rel(0x1c0, 1),
+                Op::load_acquire(0x100),
+                Op::store(0x200, 4),
+            ];
+            let mut m = Machine::new(Platform::kunpeng916());
+            m.set_region_home(0x100, 0x240, 32);
+            m.add_thread_on(0, Box::new(Script::new(ops)));
+            m
+        };
+        assert_engines_agree(mk, &[0x100, 0x140, 0x180, 0x1c0, 0x200]);
+    }
+
+    #[test]
+    fn engines_agree_on_contended_rmws() {
+        struct Adder {
+            n: u32,
+        }
+        impl crate::op::SimThread for Adder {
+            fn next(&mut self, _ctx: &mut ThreadCtx) -> Op {
+                if self.n == 0 {
+                    return Op::Halt;
+                }
+                self.n -= 1;
+                Op::fetch_add_acq_rel(0x3000, 1)
+            }
+        }
+        let mk = || {
+            let mut m = Machine::new(Platform::kunpeng916());
+            m.add_thread_on(0, Box::new(Adder { n: 20 }));
+            m.add_thread_on(4, Box::new(Adder { n: 20 }));
+            m.add_thread_on(40, Box::new(Adder { n: 20 }));
+            m
+        };
+        assert_engines_agree(mk, &[0x3000]);
+    }
+
+    /// A one-shot waiter/committer pair for the parking tests: the waiter
+    /// parks on `0x5000 != expect`, then publishes what it observed.
+    struct Waiter {
+        expect: u64,
+        phase: usize,
+    }
+    impl crate::op::SimThread for Waiter {
+        fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+            self.phase += 1;
+            match self.phase {
+                1 => Op::wait_change(0x5000, self.expect),
+                2 => Op::store(0x5100, ctx.last_value()),
+                _ => Op::Halt,
+            }
+        }
+    }
+
+    #[test]
+    fn wait_change_parks_until_the_line_changes() {
+        let mk = || {
+            let mut m = Machine::new(Platform::kunpeng916());
+            m.add_thread_on(
+                1,
+                Box::new(Waiter {
+                    expect: 0,
+                    phase: 0,
+                }),
+            );
+            // Writer dawdles, then redundantly re-commits the expected value
+            // (a spurious wake: the waiter must re-park), then publishes.
+            m.add_thread_on(
+                40,
+                Box::new(Script::new(vec![
+                    Op::Nops(400),
+                    Op::store(0x5000, 0),
+                    Op::Fence(Barrier::DsbFull),
+                    Op::store(0x5000, 9),
+                ])),
+            );
+            m
+        };
+        let mut m = mk();
+        let stats = m.run(10_000_000);
+        assert!(stats.halted, "waiter must wake and halt");
+        assert_eq!(m.read_memory(0x5100), 9, "waiter observes the new value");
+        // Parked time is idle, not a barrier stall.
+        assert_eq!(m.core_stats(1).stall.total, 0, "{:?}", m.core_stats(1));
+        assert_engines_agree(mk, &[0x5000, 0x5100]);
+    }
+
+    #[test]
+    fn wait_change_on_an_already_changed_value_is_a_plain_load() {
+        let mk = || {
+            let mut m = Machine::new(Platform::kunpeng916());
+            m.preset_memory(0x5000, 7);
+            m.add_thread_on(
+                1,
+                Box::new(Waiter {
+                    expect: 0,
+                    phase: 0,
+                }),
+            );
+            m
+        };
+        let mut m = mk();
+        assert!(m.run(1_000_000).halted);
+        assert_eq!(m.read_memory(0x5100), 7);
+        assert_engines_agree(mk, &[0x5000, 0x5100]);
+    }
+
+    #[test]
+    fn parked_machine_with_no_writer_exits_in_constant_steps() {
+        // A waiter nobody ever wakes: both engines must reach the (huge)
+        // cycle bound without crawling — the run returning at all is the
+        // proof, as in `quiesced_machine_exits_in_constant_steps`.
+        for engine in [Engine::EventDriven, Engine::LockstepOracle] {
+            let mut m = Machine::new(Platform::kunpeng916());
+            m.set_engine(engine);
+            m.add_thread_on(
+                0,
+                Box::new(Waiter {
+                    expect: 0,
+                    phase: 0,
+                }),
+            );
+            let stats = m.run(1 << 50);
+            assert!(!stats.halted, "{engine:?}: a parked core is not quiesced");
+            assert_eq!(stats.cycles, 1 << 50, "{engine:?}: ran to the bound");
+        }
+    }
+
+    #[test]
+    fn stale_wakes_never_stall_or_rewind_the_machine() {
+        // The oracle's clamp, pinned: a wake at/before `now` still advances
+        // time by a full cycle, and no wake at all jumps to the limit.
+        assert_eq!(Machine::resolve_jump(Some(3), 10, 1000), 11);
+        assert_eq!(Machine::resolve_jump(Some(10), 10, 1000), 11);
+        assert_eq!(Machine::resolve_jump(Some(42), 10, 1000), 42);
+        assert_eq!(Machine::resolve_jump(None, 10, 1000), 1000);
+
+        // The event engine's equivalent: heap entries pointing into the
+        // past (here injected directly; in the wild a defect in a core's
+        // `next_wake`) are re-aimed at the current cycle, never rewinding
+        // `now` nor wedging the loop.
+        let mut m = Machine::new(Platform::kunpeng916());
+        m.add_thread_on(
+            0,
+            Box::new(Script::new(vec![
+                Op::store(0x100, 1),
+                Op::Fence(Barrier::DmbFull),
+                Op::load_use(0x100),
+            ])),
+        );
+        let first = m.run(1_000_000);
+        assert!(first.halted);
+        m.heap.push(Reverse((0, 0)));
+        m.scheduled[0] = 0;
+        let again = m.run(1 << 50);
+        assert!(again.halted);
+        assert_eq!(
+            again.cycles,
+            first.cycles + 1,
+            "polluted heap must not stall the quiesce tick"
+        );
+        assert_eq!(m.read_memory(0x100), 1);
+    }
+
+    #[test]
+    fn thousand_core_parked_spinners_cost_nothing() {
+        // 1023 cores park on a line; core 0 works alone for a while, then
+        // commits the wake-up store. The event engine must spend its steps
+        // on core 0 and the single wake burst — not on re-polling spinners.
+        let plat = Platform::manycore(1024);
+        let mut m = Machine::new(plat);
+        for c in 1..1024 {
+            m.add_thread_on(
+                c,
+                Box::new(Waiter {
+                    expect: 0,
+                    phase: 0,
+                }),
+            );
+        }
+        let mut ops = Vec::new();
+        for _ in 0..50 {
+            ops.push(Op::Nops(100));
+            ops.push(Op::Fence(Barrier::DsbFull));
+        }
+        ops.push(Op::store(0x5000, 1));
+        m.add_thread_on(0, Box::new(Script::new(ops)));
+        let stats = m.run(10_000_000);
+        assert!(stats.halted, "all 1024 cores must finish");
+        assert_eq!(m.read_memory(0x5100), 1, "waiters observed the store");
+        // Budget: every core steps O(1) times (park, wake, publish, halt)
+        // plus core 0's barrier chain — nowhere near cores × cycles.
+        assert!(
+            m.steps_executed() < 40_000,
+            "parked spinners must not burn steps: {}",
+            m.steps_executed()
+        );
+    }
+
+    #[test]
+    fn thousand_core_quiet_run_traces_small() {
+        // Tracing a 1024-core machine where only core 0 is interesting:
+        // the filter plus lazy track allocation keep the export tiny even
+        // though a thousand other cores park, wake, and publish.
+        let mut m = Machine::new(Platform::manycore(1024));
+        m.enable_trace(200_000);
+        m.set_trace_core_filter(Trace::parse_core_filter(Some("1")));
+        for c in 1..1024 {
+            m.add_thread_on(
+                c,
+                Box::new(Waiter {
+                    expect: 0,
+                    phase: 0,
+                }),
+            );
+        }
+        m.add_thread_on(
+            0,
+            Box::new(Script::new(vec![
+                Op::Nops(50),
+                Op::Fence(Barrier::DmbFull),
+                Op::store(0x5000, 1),
+            ])),
+        );
+        assert!(m.run(10_000_000).halted);
+        let json = m.take_trace().to_chrome_json();
+        assert!(
+            json.len() < 16 * 1024,
+            "filtered 1024-core trace stays small: {} bytes",
+            json.len()
+        );
+        assert!(json.contains("\"tid\":0"), "core 0's track is present");
+        assert!(
+            !json.contains("\"tid\":40"),
+            "other cores' tracks are filtered out"
+        );
     }
 
     #[test]

@@ -87,6 +87,22 @@ pub enum Op {
     /// `Barrier::CtrlIsb` to model the CTRL+ISB idiom's ISB; `Barrier::None`
     /// is a no-op).
     Fence(Barrier),
+    /// Wait until the committed value at `addr` differs from `expect`.
+    ///
+    /// If the value already differs when the op issues, this behaves exactly
+    /// like [`Op::load_use`]: a real coherence access whose value reaches the
+    /// thread via [`ThreadCtx::last_value`]. Otherwise the core *parks*: it
+    /// registers on the line's directory waiter list and issues nothing
+    /// until another core commits a store to that line (a WFE/monitor-style
+    /// wait, or an ideal spin whose repeat polls are free local hits). On
+    /// wake-up the condition is re-checked against committed memory, so
+    /// spurious wakes re-park. Parked time is idle, not a barrier stall.
+    WaitChange {
+        /// Watched address.
+        addr: Addr,
+        /// Value the thread wants to stop seeing.
+        expect: u64,
+    },
     /// Zero-cost marker: the thread completed one iteration of the measured
     /// loop (increments [`CoreStats::iterations`]
     /// (crate::stats::CoreStats::iterations)).
@@ -196,10 +212,19 @@ impl Op {
         }
     }
 
+    /// Park until the committed value at `addr` is no longer `expect`.
+    #[must_use]
+    pub fn wait_change(addr: Addr, expect: u64) -> Op {
+        Op::WaitChange { addr, expect }
+    }
+
     /// Does this op touch memory?
     #[must_use]
     pub fn is_memory(&self) -> bool {
-        matches!(self, Op::Load { .. } | Op::Store { .. } | Op::Rmw { .. })
+        matches!(
+            self,
+            Op::Load { .. } | Op::Store { .. } | Op::Rmw { .. } | Op::WaitChange { .. }
+        )
     }
 }
 
@@ -310,6 +335,7 @@ mod tests {
                 ..
             }
         ));
+        assert_eq!(Op::wait_change(8, 3), Op::WaitChange { addr: 8, expect: 3 });
     }
 
     #[test]
@@ -317,6 +343,7 @@ mod tests {
         assert!(Op::store(0, 0).is_memory());
         assert!(Op::load(0).is_memory());
         assert!(Op::fetch_add_acq_rel(0, 1).is_memory());
+        assert!(Op::wait_change(0, 0).is_memory());
         assert!(!Op::Nops(3).is_memory());
         assert!(!Op::Fence(Barrier::DmbFull).is_memory());
         assert!(!Op::Halt.is_memory());

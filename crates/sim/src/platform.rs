@@ -268,6 +268,41 @@ impl Platform {
         p
     }
 
+    /// A scaled-out Kunpeng-class server for the many-core experiments:
+    /// `cores` cores (a multiple of 64, at least 64) as `cores / 64` NUMA
+    /// nodes of 8 clusters × 8 cores, with the Kunpeng 916 latency
+    /// calibration. The `kind` stays [`PlatformKind::Kunpeng916`] — this is
+    /// a hypothetical stretch of that machine, not a fifth paper platform —
+    /// and cache keys stay distinct because they embed the full topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cores` is a positive multiple of 64.
+    #[must_use]
+    pub fn manycore(cores: usize) -> Platform {
+        assert!(
+            cores >= 64 && cores.is_multiple_of(64),
+            "many-core platforms come in multiples of 64 cores, got {cores}"
+        );
+        let mut p = Platform::kunpeng916();
+        p.topology = Topology::uniform(cores / 64, 8, 8);
+        p
+    }
+
+    /// The many-core machine with the multi-copy-atomic interconnect of
+    /// [`Platform::kunpeng916_mca`]: same topology as
+    /// [`Platform::manycore`], barrier transactions terminated internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cores` is a positive multiple of 64.
+    #[must_use]
+    pub fn manycore_mca(cores: usize) -> Platform {
+        let mut p = Platform::kunpeng916_mca();
+        p.topology = Platform::manycore(cores).topology;
+        p
+    }
+
     /// Build a platform by kind.
     #[must_use]
     pub fn of(kind: PlatformKind) -> Platform {
@@ -365,6 +400,31 @@ mod tests {
         // Coherence costs are untouched: the comparison isolates barriers.
         assert_eq!(mca.latency.t_cross_node, base.latency.t_cross_node);
         assert_eq!(mca.topology.core_count(), base.topology.core_count());
+    }
+
+    #[test]
+    fn manycore_platforms_scale_the_kunpeng_shape() {
+        for cores in [64usize, 256, 512, 1024] {
+            let p = Platform::manycore(cores);
+            assert_eq!(p.topology.core_count(), cores);
+            assert_eq!(p.topology.node_count(), cores / 64);
+            assert_eq!(p.kind, PlatformKind::Kunpeng916);
+            assert_eq!(p.latency, Platform::kunpeng916().latency);
+            let mca = Platform::manycore_mca(cores);
+            assert_eq!(mca.topology, p.topology);
+            assert_eq!(mca.latency, Platform::kunpeng916_mca().latency);
+        }
+        // Distinct topologies mean distinct Debug forms (the cache key).
+        assert_ne!(
+            format!("{:?}", Platform::manycore(256)),
+            format!("{:?}", Platform::manycore(512)),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 64")]
+    fn manycore_rejects_odd_sizes() {
+        let _ = Platform::manycore(100);
     }
 
     #[test]

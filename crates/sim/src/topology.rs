@@ -82,6 +82,24 @@ impl Topology {
         Topology { nodes, placements }
     }
 
+    /// A uniform cluster-of-clusters topology: `nodes` NUMA nodes, each of
+    /// `clusters_per_node` clusters of `cores_per_cluster` cores — the shape
+    /// of the 256/512/1024-core many-core descriptors, where spelling the
+    /// nested slice literal out is impossible for run-time sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn uniform(nodes: usize, clusters_per_node: usize, cores_per_cluster: usize) -> Topology {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(clusters_per_node > 0, "nodes need at least one cluster");
+        assert!(cores_per_cluster > 0, "clusters need at least one core");
+        let counts = vec![cores_per_cluster; clusters_per_node];
+        let desc: Vec<&[usize]> = (0..nodes).map(|_| counts.as_slice()).collect();
+        Topology::new(&desc)
+    }
+
     /// Total number of cores.
     #[must_use]
     pub fn core_count(&self) -> usize {
@@ -212,5 +230,31 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_cluster_rejected() {
         let _ = Topology::new(&[&[4, 0]]);
+    }
+
+    #[test]
+    fn uniform_matches_the_explicit_descriptor() {
+        let u = Topology::uniform(2, 8, 4);
+        let e = Topology::new(&[&[4, 4, 4, 4, 4, 4, 4, 4], &[4, 4, 4, 4, 4, 4, 4, 4]]);
+        assert_eq!(u, e);
+        assert_eq!(u.core_count(), 64);
+        // Many-core shapes come out dense and correctly placed.
+        let big = Topology::uniform(16, 8, 8);
+        assert_eq!(big.core_count(), 1024);
+        assert_eq!(big.node_count(), 16);
+        assert_eq!(big.placement(0).node, 0);
+        assert_eq!(big.placement(1023).node, 15);
+        assert_eq!(big.distance(0, 63), DistanceClass::CrossCluster);
+        assert_eq!(big.distance(0, 64), DistanceClass::CrossNode);
+        assert_eq!(
+            big.cores_in_cluster(15, 7),
+            (1016..1024).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn uniform_rejects_zero_dimensions() {
+        let _ = Topology::uniform(2, 0, 4);
     }
 }

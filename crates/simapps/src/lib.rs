@@ -13,6 +13,8 @@
 //!   Figures 7(b), 7(c), 8(a–c).
 //! * [`bind`] — the thread-placement configurations the figures sweep
 //!   (same NUMA node, cross node, mobile big cluster, …).
+//! * [`barrier_sim`] — the many-core barrier-synchronization family
+//!   (centralized / combining-tree / hierarchical) behind `exp-manycore`.
 //!
 //! Calibration tests at the bottom of each module assert the paper's
 //! *observations* hold on the simulator — they are the contract between
@@ -23,10 +25,12 @@
 #![forbid(unsafe_code)]
 
 pub mod abstract_model;
+pub mod barrier_sim;
 pub mod bind;
 pub mod delegation_sim;
 pub mod prodcons;
 pub mod ticket_sim;
 
 pub use abstract_model::{run_model, BarrierLoc, MemOpKind, ModelSpec};
+pub use barrier_sim::{run_barrier, BarrierConfig, BarrierFamily, BarrierResult};
 pub use bind::BindConfig;

@@ -13,7 +13,7 @@
 //! a wrong result but can serve as a reference").
 
 use armbar_barriers::{Acquire, Barrier};
-use armbar_sim::{Machine, Op, SimThread, StallBreakdown, ThreadCtx, Trace};
+use armbar_sim::{Engine, Machine, Op, SimThread, StallBreakdown, ThreadCtx, Trace};
 
 use crate::bind::BindConfig;
 
@@ -455,7 +455,31 @@ pub fn run_prodcons(
     batch: u64,
     produce_nops: u32,
 ) -> PcResult {
-    run_prodcons_inner(bind, variant, messages, batch, produce_nops, None).0
+    run_prodcons_inner(bind, variant, messages, batch, produce_nops, None, None).0
+}
+
+/// [`run_prodcons`] pinned to a specific scheduling [`Engine`] — the hook
+/// the differential harness uses to compare the event-driven engine against
+/// the lockstep oracle on identical workloads.
+#[must_use]
+pub fn run_prodcons_with_engine(
+    bind: BindConfig,
+    variant: PcVariant,
+    messages: u64,
+    batch: u64,
+    produce_nops: u32,
+    engine: Engine,
+) -> PcResult {
+    run_prodcons_inner(
+        bind,
+        variant,
+        messages,
+        batch,
+        produce_nops,
+        None,
+        Some(engine),
+    )
+    .0
 }
 
 /// Like [`run_prodcons`], with machine-wide event tracing enabled (ring of
@@ -477,6 +501,7 @@ pub fn run_prodcons_traced(
         batch,
         produce_nops,
         Some(trace_capacity),
+        None,
     )
 }
 
@@ -487,6 +512,7 @@ fn run_prodcons_inner(
     batch: u64,
     produce_nops: u32,
     trace_capacity: Option<usize>,
+    engine: Option<Engine>,
 ) -> (PcResult, Trace) {
     assert!(
         (1..=BUF_SLOTS / 2).contains(&batch),
@@ -499,6 +525,9 @@ fn run_prodcons_inner(
     );
     let platform = bind.platform();
     let mut m = Machine::new(platform.clone());
+    if let Some(e) = engine {
+        m.set_engine(e);
+    }
     if let Some(capacity) = trace_capacity {
         m.enable_trace(capacity);
     }

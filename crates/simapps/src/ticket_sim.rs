@@ -10,7 +10,7 @@
 //! (Observation 2); with zero global lines it is nearly free.
 
 use armbar_barriers::Barrier;
-use armbar_sim::{Machine, Op, Platform, SimThread, StallBreakdown, ThreadCtx, Trace};
+use armbar_sim::{Engine, Machine, Op, Platform, SimThread, StallBreakdown, ThreadCtx, Trace};
 
 /// Shared-memory layout.
 const NEXT_TICKET: u64 = 0x100;
@@ -191,7 +191,19 @@ fn competitor_cores(platform: &Platform, threads: usize) -> Vec<usize> {
 /// Run the ticket-lock benchmark.
 #[must_use]
 pub fn run_ticket(platform: &Platform, cfg: TicketConfig) -> LockResult {
-    run_ticket_inner(platform, cfg, None).0
+    run_ticket_inner(platform, cfg, None, None).0
+}
+
+/// [`run_ticket`] pinned to a specific scheduling [`Engine`] — the hook the
+/// differential harness uses to compare the event-driven engine against the
+/// lockstep oracle on identical workloads.
+#[must_use]
+pub fn run_ticket_with_engine(
+    platform: &Platform,
+    cfg: TicketConfig,
+    engine: Engine,
+) -> LockResult {
+    run_ticket_inner(platform, cfg, None, Some(engine)).0
 }
 
 /// [`run_ticket`] with event tracing enabled at `trace_capacity` events.
@@ -204,15 +216,19 @@ pub fn run_ticket_traced(
     cfg: TicketConfig,
     trace_capacity: usize,
 ) -> (LockResult, Trace) {
-    run_ticket_inner(platform, cfg, Some(trace_capacity))
+    run_ticket_inner(platform, cfg, Some(trace_capacity), None)
 }
 
 fn run_ticket_inner(
     platform: &Platform,
     cfg: TicketConfig,
     trace_capacity: Option<usize>,
+    engine: Option<Engine>,
 ) -> (LockResult, Trace) {
     let mut m = Machine::new(platform.clone());
+    if let Some(e) = engine {
+        m.set_engine(e);
+    }
     if let Some(capacity) = trace_capacity {
         m.enable_trace(capacity);
     }
