@@ -312,6 +312,38 @@ pub fn corpus() -> Vec<LintCase> {
         });
     }
 
+    // -- Delegation-lock handoffs (exp-dlock ports; appended). -----------
+    // Each new design in `crates/locks` + `delegation_sim` reduces, at its
+    // combiner/server → waiter boundary, to the same publish-then-flag
+    // skeleton — seeded here with the fences the naive ports ship with.
+
+    // Flat-combining publication: the combiner writes the response slot
+    // then clears the request word. The port used a DSB ST where a plain
+    // DMB ST orders the same two stores.
+    cases.push(lock_handoff(
+        "fc-publication+dsb.st+dmb.ld",
+        Barrier::DsbSt,
+        Barrier::DmbLd,
+    ));
+
+    // CC-Synch node handoff as ported: full fences on *both* sides of the
+    // status-word publish — the textbook x86-minded port the module docs
+    // call out. Store-side only needs ST ordering, the spinner LD.
+    cases.push(lock_handoff(
+        "ccsynch-status+dmb.full+dmb.full",
+        Barrier::DmbFull,
+        Barrier::DmbFull,
+    ));
+
+    // RCL request word: the server publishes the return value then clears
+    // the dual-role request word; the client spins on it. Seeded with the
+    // DSB the original server loop carried.
+    cases.push(lock_handoff(
+        "rcl-reqword+dsb.full+dmb.ld",
+        Barrier::DsbFull,
+        Barrier::DmbLd,
+    ));
+
     cases
 }
 

@@ -517,6 +517,44 @@ mod tests {
     }
 
     #[test]
+    fn delegation_handoff_ports_downgrade_with_proofs() {
+        // The exp-dlock corpus cases carry the fences the naive ports
+        // shipped with; each must yield at least one accepted over-strong
+        // rewrite (cheaper rank, rewritten program attached), and every
+        // kept site must carry its witness — the lint never says
+        // "necessary" without a counter-example.
+        let dlock = [
+            "fc-publication+dsb.st+dmb.ld",
+            "ccsynch-status+dmb.full+dmb.full",
+            "rcl-reqword+dsb.full+dmb.ld",
+        ];
+        let cases = corpus();
+        for name in dlock {
+            let case = cases
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from corpus"));
+            let findings = analyze_case(case);
+            let over: Vec<&Finding> = findings
+                .iter()
+                .filter(|f| f.kind == FindingKind::OverStrong)
+                .collect();
+            assert!(!over.is_empty(), "{name}: naive port must downgrade");
+            for f in &over {
+                assert!(f.rank_after < f.rank_before, "{name}: no saving");
+                assert!(f.rewritten.is_some(), "{name}: rewrite missing");
+                assert_eq!(f.added, 0, "{name}: rewrite widened");
+            }
+            for f in findings.iter().filter(|f| f.kind == FindingKind::Necessary) {
+                assert!(
+                    matches!(f.proof, Proof::CounterExample(_)),
+                    "{name}: necessary verdict without witness"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn analysis_is_deterministic() {
         let cases = corpus();
         let a: Vec<String> = analyze_corpus(&cases)

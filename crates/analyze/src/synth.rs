@@ -642,6 +642,40 @@ mod tests {
     }
 
     #[test]
+    fn delegation_handoffs_synthesize_positive_savings() {
+        // The exp-dlock handoff cases (naive-port fences) must admit a
+        // strictly cheaper verified placement, and the chosen Pareto point
+        // must save replay cycles over the seed on every platform.
+        let dlock = [
+            "fc-publication+dsb.st+dmb.ld",
+            "ccsynch-status+dmb.full+dmb.full",
+            "rcl-reqword+dsb.full+dmb.ld",
+        ];
+        let cases = crate::corpus::corpus();
+        for name in dlock {
+            let c = cases
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from corpus"));
+            let lint_case = case(name, c.program.clone());
+            let r = synthesize(&lint_case);
+            assert!(r.complete, "{name}: search truncated");
+            assert!(
+                r.best.score < r.seed.score,
+                "{name}: naive port must admit a cheaper placement"
+            );
+            let front = pareto_fronts(&r, 20);
+            for kind in PlatformKind::ALL {
+                let chosen = chosen_point(&front, kind).expect("non-empty front");
+                assert!(
+                    chosen.saved_vs_seed > 0,
+                    "{name}: no cycle saving on {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn synthesis_is_deterministic() {
         let p = message_passing(Barrier::DsbFull, Barrier::DsbFull).program;
         let a = synthesize(&case("mp", p.clone()));

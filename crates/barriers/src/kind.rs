@@ -315,6 +315,33 @@ impl fmt::Display for Barrier {
     }
 }
 
+/// How a delegation server notifies a client that its request completed —
+/// the choice between the paper's Algorithm 5 and Algorithm 6. Shared by
+/// the real locks (`armbar-locks`) and the simulator workloads
+/// (`armbar-simapps`), which implement the same two protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResponseMode {
+    /// Algorithm 5: store `ret`, response barrier, flip the response flag.
+    Flag,
+    /// Algorithm 6 (Pilot): the (shuffled) `ret` store *is* the
+    /// notification, with a per-client fallback flag for collisions.
+    Pilot,
+}
+
+impl ResponseMode {
+    /// Both modes, Flag first (the classic protocol).
+    pub const ALL: [ResponseMode; 2] = [ResponseMode::Flag, ResponseMode::Pilot];
+
+    /// Stable short label (CSV row names).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ResponseMode::Flag => "flag",
+            ResponseMode::Pilot => "pilot",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

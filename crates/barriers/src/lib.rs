@@ -38,5 +38,5 @@ pub mod native;
 pub mod strength;
 
 pub use advisor::{recommend, Approach, OrderReq, Recommendation};
-pub use kind::{AccessType, Acquire, Barrier, BusTransaction};
+pub use kind::{AccessType, Acquire, Barrier, BusTransaction, ResponseMode};
 pub use strength::{cost_rank, orders, CostRank};

@@ -11,7 +11,7 @@ use armbar_sim::Platform;
 use armbar_simapps::abstract_model::{run_model, tipping_point, BarrierLoc, ModelSpec};
 use armbar_simapps::bind::BindConfig;
 use armbar_simapps::delegation_sim::{
-    run_delegation, CsProfile, DelegationBarriers, DelegationConfig, DelegationKind, RespMode,
+    run_delegation, CsProfile, DelegationBarriers, DelegationConfig, DelegationKind, ResponseMode,
 };
 use armbar_simapps::prodcons::{run_prodcons, PcBarriers, PcVariant};
 use armbar_simapps::ticket_sim::{run_ticket, TicketConfig};
@@ -215,13 +215,21 @@ fn bench_fig7(c: &mut Criterion) {
         resp: Barrier::DmbSt,
     };
     for (name, kind, mode) in [
-        ("fig7b_ffwd_flag", DelegationKind::Ffwd, RespMode::Flag),
-        ("fig7c_ffwd_pilot", DelegationKind::Ffwd, RespMode::Pilot),
-        ("fig7c_dsynch_flag", DelegationKind::DSynch, RespMode::Flag),
+        ("fig7b_ffwd_flag", DelegationKind::Ffwd, ResponseMode::Flag),
+        (
+            "fig7c_ffwd_pilot",
+            DelegationKind::Ffwd,
+            ResponseMode::Pilot,
+        ),
+        (
+            "fig7c_dsynch_flag",
+            DelegationKind::DSynch,
+            ResponseMode::Flag,
+        ),
         (
             "fig7c_dsynch_pilot",
             DelegationKind::DSynch,
-            RespMode::Pilot,
+            ResponseMode::Pilot,
         ),
     ] {
         g.bench_function(name, |b| {
@@ -268,7 +276,7 @@ fn bench_fig8(c: &mut Criterion) {
                             kind: DelegationKind::DSynch,
                             clients: 8,
                             barriers: best,
-                            mode: RespMode::Pilot,
+                            mode: ResponseMode::Pilot,
                             profile,
                             per_client: black_box(15),
                             interval_nops: 0,

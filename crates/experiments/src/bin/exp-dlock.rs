@@ -1,0 +1,6 @@
+//! Regenerate the delegation-lock suite (DESIGN.md §11 / EXPERIMENTS.md):
+//! `results/dlock.csv` + `results/dlock_summary.csv`.
+
+fn main() {
+    assert!(armbar_experiments::run_experiment("dlock"));
+}

@@ -24,7 +24,7 @@ use armbar_sim::Platform;
 
 /// Bump this when a simulator or experiment change invalidates old runs;
 /// every cache key embeds it, so stale entries simply stop being found.
-pub const CODE_SALT: &str = "armbar-sweep-v8";
+pub const CODE_SALT: &str = "armbar-sweep-v9";
 
 /// Where [`RunCache::from_env`] keeps its files.
 pub const DEFAULT_CACHE_DIR: &str = "results/.cache";

@@ -16,7 +16,7 @@ use armbar_simapps::abstract_model::{run_model, BarrierLoc, ModelSpec};
 use armbar_simapps::bind::BindConfig;
 use armbar_simapps::delegation_sim::{
     fig7c_point, run_delegation, CsProfile, DelegationBarriers, DelegationConfig, DelegationKind,
-    RespMode, FIG7B_COMBOS,
+    ResponseMode, FIG7B_COMBOS,
 };
 use armbar_simapps::prodcons::{
     run_prodcons, run_prodcons_traced, PcBarriers, PcVariant, FIG6A_COMBOS,
@@ -779,7 +779,7 @@ pub fn fig7b(ctx: &SweepCtx) -> Vec<Table> {
                 kind: DelegationKind::Ffwd,
                 clients: 16,
                 barriers,
-                mode: RespMode::Flag,
+                mode: ResponseMode::Flag,
                 profile: CsProfile::counter(),
                 per_client: 40,
                 interval_nops: 0,
@@ -873,10 +873,26 @@ fn fig8_variant_cells(
     };
     vec![
         ticket_cell(sweep, platform, ticket),
-        delegation_cell(sweep, platform, mk(DelegationKind::DSynch, RespMode::Flag)),
-        delegation_cell(sweep, platform, mk(DelegationKind::DSynch, RespMode::Pilot)),
-        delegation_cell(sweep, platform, mk(DelegationKind::Ffwd, RespMode::Flag)),
-        delegation_cell(sweep, platform, mk(DelegationKind::Ffwd, RespMode::Pilot)),
+        delegation_cell(
+            sweep,
+            platform,
+            mk(DelegationKind::DSynch, ResponseMode::Flag),
+        ),
+        delegation_cell(
+            sweep,
+            platform,
+            mk(DelegationKind::DSynch, ResponseMode::Pilot),
+        ),
+        delegation_cell(
+            sweep,
+            platform,
+            mk(DelegationKind::Ffwd, ResponseMode::Flag),
+        ),
+        delegation_cell(
+            sweep,
+            platform,
+            mk(DelegationKind::Ffwd, ResponseMode::Pilot),
+        ),
     ]
 }
 

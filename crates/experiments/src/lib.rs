@@ -18,6 +18,7 @@
 pub mod bench_explore;
 pub mod bench_sim;
 pub mod cache;
+pub mod dlock;
 pub mod extension;
 pub mod extract;
 pub mod figures;
@@ -69,6 +70,7 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
         "synth" => synth::synth(ctx),
         "extract" => extract::extract(ctx),
         "manycore" => manycore::manycore(ctx),
+        "dlock" => dlock::dlock(ctx),
         _ => return false,
     };
     for t in &tables {
@@ -83,11 +85,12 @@ pub fn run_experiment_with(id: &str, ctx: &SweepCtx) -> bool {
 /// Every experiment id, in paper order (plus the stall-attribution
 /// decomposition, the litmus battery report, the barrier lint sweep, the
 /// RCsc/RCpc acquire comparison, the placement synthesizer, the assembly
-/// front-end gate, and the many-core barrier scale-out).
-pub const ALL_EXPERIMENTS: [&str; 26] = [
+/// front-end gate, the many-core barrier scale-out, and the
+/// delegation-lock suite).
+pub const ALL_EXPERIMENTS: [&str; 27] = [
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "fig6a", "fig6b", "fig6c",
     "fig6d", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig8d", "ext-mca", "attrib",
-    "battery", "lint", "rcpc", "synth", "extract", "manycore",
+    "battery", "lint", "rcpc", "synth", "extract", "manycore", "dlock",
 ];
 
 /// When `ARMBAR_TRACE=<path>` is set, rerun the attribution message-passing

@@ -1,0 +1,225 @@
+//! End-to-end guarantees of the delegation-lock suite (`exp-dlock`), at
+//! reduced depth:
+//!
+//! 1. **Engine equivalence** — every delegation design (FFWD, DSynch,
+//!    RCL, flat combining, CC-Synch) in both response modes, plus the MCS
+//!    baseline, produces identical cycles, stall attribution, latency
+//!    histograms, fairness, and subversion counters under the
+//!    event-driven engine and the lockstep oracle, at 1 and 4 clients
+//!    across the platform grid.
+//! 2. **Response-time invariants** — on every grid cell the latency
+//!    quantiles are monotone (p50 ≤ p99 ≤ p999 ≤ max), fairness lies in
+//!    (0, 1], and in-place locks never subvert while dedicated servers
+//!    subvert everything.
+//! 3. **Worker-count independence and cache round-trip** — the grid CSV
+//!    is byte-identical at 1 and 4 sweep workers and on a warm cache
+//!    rerun (CI checks the full-depth `results/dlock.csv` the same way).
+//!
+//! Worker counts and cache directories are passed explicitly rather than
+//! through `ARMBAR_JOBS`/`ARMBAR_NO_CACHE`, because tests in one binary
+//! run concurrently and must not race on process-global environment.
+
+use std::fs;
+use std::path::PathBuf;
+
+use armbar_barriers::Barrier;
+use armbar_experiments::dlock::{dlock_grid, DlockDesign, DlockRow};
+use armbar_experiments::report::Table;
+use armbar_experiments::sweep::{SweepCtx, SweepSpec};
+use armbar_experiments::RunCache;
+use armbar_sim::{Engine, Platform};
+use armbar_simapps::delegation_sim::{
+    run_delegation_metrics, CsProfile, DelegationBarriers, DelegationConfig, DelegationKind,
+    ResponseMode,
+};
+use armbar_simapps::mcs_sim::run_mcs_metrics;
+use armbar_simapps::{DlockMetrics, McsConfig};
+
+const PER_CLIENT: u64 = 6;
+
+fn platforms() -> Vec<(&'static str, Platform)> {
+    vec![
+        ("kunpeng916", Platform::kunpeng916()),
+        ("kirin960", Platform::kirin960()),
+        ("kirin970", Platform::kirin970()),
+        ("raspberry_pi4", Platform::raspberry_pi4()),
+        ("manycore64", Platform::manycore(64)),
+    ]
+}
+
+fn assert_metrics_equal(a: &DlockMetrics, b: &DlockMetrics, what: &str) {
+    assert_eq!(a.result, b.result, "{what}: throughput/stall diverged");
+    assert_eq!(a.latency, b.latency, "{what}: latency histogram diverged");
+    assert_eq!(a.subverted, b.subverted, "{what}: subversion diverged");
+    assert!(
+        (a.fairness - b.fairness).abs() < 1e-15,
+        "{what}: fairness diverged"
+    );
+}
+
+#[test]
+fn event_engine_matches_oracle_on_every_delegation_design() {
+    for (name, platform) in platforms() {
+        for kind in DelegationKind::ALL {
+            for mode in ResponseMode::ALL {
+                for clients in [1usize, 4] {
+                    // Stay within the platform's core budget (the Pi has
+                    // four cores; dedicated servers occupy one more).
+                    let occupied = clients + usize::from(kind.has_server_core());
+                    if occupied > platform.topology.core_count() {
+                        continue;
+                    }
+                    let cfg = DelegationConfig {
+                        kind,
+                        clients,
+                        barriers: DelegationBarriers {
+                            req: Barrier::Ldar,
+                            resp: Barrier::DmbSt,
+                        },
+                        mode,
+                        profile: CsProfile::counter(),
+                        per_client: PER_CLIENT,
+                        interval_nops: 0,
+                    };
+                    let ev = run_delegation_metrics(&platform, cfg, Some(Engine::EventDriven));
+                    let or = run_delegation_metrics(&platform, cfg, Some(Engine::LockstepOracle));
+                    let what = format!("{name}/{}-{}/{clients}", kind.label(), mode.label());
+                    assert_metrics_equal(&ev, &or, &what);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn event_engine_matches_oracle_on_mcs() {
+    for (name, platform) in platforms() {
+        for threads in [1usize, 4] {
+            let cfg = McsConfig {
+                threads,
+                per_thread: PER_CLIENT,
+                ..Default::default()
+            };
+            let ev = run_mcs_metrics(&platform, cfg, Some(Engine::EventDriven));
+            let or = run_mcs_metrics(&platform, cfg, Some(Engine::LockstepOracle));
+            assert_metrics_equal(&ev, &or, &format!("{name}/mcs/{threads}"));
+        }
+    }
+}
+
+/// Run the reduced-depth grid under `ctx`, write the table, and return
+/// the CSV bytes plus each row's values.
+fn grid_csv(ctx: &SweepCtx, dir: &PathBuf) -> (Vec<u8>, Vec<(String, Vec<f64>)>) {
+    let mut sweep = SweepSpec::new("dlock-test");
+    let rows: Vec<DlockRow> = dlock_grid(&mut sweep, PER_CLIENT);
+    let r = sweep.run(ctx);
+    let mut t = Table::new(
+        "dlock_test",
+        "determinism fixture",
+        "platform/design/threads",
+        vec![
+            "locks/s".into(),
+            "p50".into(),
+            "p99".into(),
+            "p999".into(),
+            "max".into(),
+            "fairness".into(),
+            "subverted".into(),
+            "stalled".into(),
+        ],
+        "value",
+    );
+    let mut out = Vec::new();
+    for &(flavour, design, threads, cell) in &rows {
+        let vals = r.get(cell);
+        let label = format!("{flavour}/{}/{threads}", design.label());
+        t.push_row(&label, vals.to_vec());
+        out.push((label, vals.to_vec()));
+    }
+    t.write_csv(dir).expect("CSV written");
+    let bytes = fs::read(dir.join("dlock_test.csv")).expect("CSV readable");
+    (bytes, out)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("armbar_dlock_{}_{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn quantiles_fairness_and_subversion_hold_on_every_cell() {
+    let (_, rows) = grid_csv(&SweepCtx::serial_uncached(), &scratch("shape"));
+    assert!(!rows.is_empty());
+    for (label, vals) in &rows {
+        let (locks, p50, p99, p999, max) = (vals[0], vals[1], vals[2], vals[3], vals[4]);
+        let (fairness, subverted) = (vals[5], vals[6]);
+        assert!(locks > 0.0, "{label}: no throughput");
+        assert!(
+            p50 <= p99 && p99 <= p999 && p999 <= max,
+            "{label}: quantiles not monotone: {p50} {p99} {p999} {max}"
+        );
+        assert!(max > 0.0, "{label}: empty latency histogram");
+        assert!(
+            fairness > 0.0 && fairness <= 1.0 + 1e-12,
+            "{label}: fairness {fairness} out of (0,1]"
+        );
+        if label.contains("/ticket/") || label.contains("/mcs/") {
+            assert_eq!(subverted, 0.0, "{label}: in-place lock subverted");
+        }
+        if label.contains("/ffwd-") || label.contains("/rcl-") {
+            assert!(
+                (subverted - 1.0).abs() < 1e-12,
+                "{label}: dedicated server must execute every request"
+            );
+        }
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&subverted),
+            "{label}: subverted share {subverted} out of [0,1]"
+        );
+    }
+}
+
+#[test]
+fn parallel_dlock_csv_is_byte_identical_to_serial() {
+    let (serial, _) = grid_csv(&SweepCtx::new(1, RunCache::disabled()), &scratch("serial"));
+    let (parallel, _) = grid_csv(
+        &SweepCtx::new(4, RunCache::disabled()),
+        &scratch("parallel"),
+    );
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "CSV must not depend on the worker count");
+}
+
+#[test]
+fn warm_cache_rerun_reproduces_the_bytes() {
+    let cache_dir = scratch("cache");
+
+    let cold_ctx = SweepCtx::new(2, RunCache::at(&cache_dir));
+    let (cold, _) = grid_csv(&cold_ctx, &scratch("cold_out"));
+    assert_eq!(cold_ctx.cache.hits(), 0, "cold run cannot hit");
+    let cells = cold_ctx.cache.misses();
+    assert_eq!(
+        cells,
+        12 * (4 + 3 + 3 + 2 + 4),
+        "12 designs over the per-platform thread budgets"
+    );
+    assert_eq!(cold_ctx.cache.stores(), cells, "every miss is stored");
+
+    let warm_ctx = SweepCtx::new(2, RunCache::at(&cache_dir));
+    let (warm, _) = grid_csv(&warm_ctx, &scratch("warm_out"));
+    assert_eq!(warm_ctx.cache.misses(), 0, "warm run recomputes nothing");
+    assert_eq!(
+        warm_ctx.cache.hits(),
+        cells,
+        "every cell answered from disk"
+    );
+    assert_eq!(cold, warm, "cached values reproduce the exact CSV bytes");
+}
+
+#[test]
+fn design_list_covers_both_baselines_and_all_ten_delegation_variants() {
+    let all = DlockDesign::all();
+    assert_eq!(all.len(), 12);
+    assert_eq!(all.iter().filter(|d| d.is_delegation()).count(), 10);
+}

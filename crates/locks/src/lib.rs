@@ -8,15 +8,19 @@
 //!   procedures; Figure 7(a) varies the *unlock* barrier because it is the
 //!   one that ends up strictly after the critical section's remote memory
 //!   references.
-//! * **Delegation locks** — a server executes every critical section:
-//!   [`ffwd::Ffwd`] (dedicated-server, FFWD [42]) and
+//! * **Delegation locks** — a server executes every critical section. Two
+//!   are dedicated-server designs: [`ffwd::Ffwd`] (FFWD [42]) and
+//!   [`rcl::Rcl`] (remote core locking, where the request word doubles as
+//!   the completion channel). Three elect the server among the waiters:
 //!   [`combining::CombiningLock`] (migratory server of the
-//!   CC-Synch/DSM-Synch family [14]; the experiments label it `DSynch`).
+//!   CC-Synch/DSM-Synch family [14]; the experiments label it `DSynch`),
+//!   [`ccsynch::CcSynch`] (textbook CC-Synch with node recycling and a
+//!   packed status word, shipped with deliberately naive full fences), and
+//!   [`flatcombining::FlatCombining`] (publication list + combiner lock).
 //!   Barriers order request/response hand-offs (Algorithm 5, lines 4 and 7);
 //!   the response-side barrier follows the critical section's stores — the
-//!   expensive pattern — and the Pilot variants
-//!   ([`ffwd::Ffwd::new_pilot`], [`combining::CombiningLock::new_pilot`])
-//!   remove it per Algorithm 6.
+//!   expensive pattern — and each design's Pilot variant (`new_pilot`)
+//!   removes it per Algorithm 6.
 //!
 //! Critical sections are registered up front as plain functions
 //! (`fn(&mut T, u64) -> u64`) so delegation servers can run them without
@@ -25,14 +29,20 @@
 
 #![warn(missing_docs)]
 
+pub mod ccsynch;
 pub mod combining;
 pub mod exec;
 pub mod ffwd;
+pub mod flatcombining;
 pub mod mcs;
+pub mod rcl;
 pub mod ticket;
 
+pub use ccsynch::CcSynch;
 pub use combining::CombiningLock;
 pub use exec::{Executor, OpId, OpTable};
 pub use ffwd::Ffwd;
+pub use flatcombining::FlatCombining;
 pub use mcs::McsLock;
+pub use rcl::Rcl;
 pub use ticket::TicketLock;

@@ -1,24 +1,19 @@
-//! FFWD-style dedicated-server delegation lock (Roghanchi et al. [42]),
-//! with the paper's Pilot response path as a variant.
+//! RCL-style remote core locking (Lozi et al.): a dedicated server core
+//! where the *request word itself* is the completion channel.
 //!
-//! A dedicated server thread owns the protected state and executes every
-//! critical section. Each client has a padded request/response slot; the
-//! hand-off is Algorithm 5:
+//! Like FFWD, a server thread owns the protected state and sweeps
+//! per-client slots. The RCL twist is the slot protocol: a client posts
+//! `(op + 1) << 1` (even, non-zero) into its request word and spins on
+//! that same word — one line round-trip per operation instead of two.
 //!
-//! ```text
-//! server:  1-3  detect a flipped request flag
-//!          4    Barrier                  (request barrier)
-//!          6    ret = criticalSection(arg)
-//!          7    Barrier                  (response barrier — after the CS's
-//!                                         stores, i.e. strictly after RMRs)
-//!          8    flip response flag
-//! ```
-//!
-//! The response barrier is the expensive one; Algorithm 6 (Pilot) replaces
-//! lines 7-8 by publishing `ret ^ hash` as the notification itself, with the
-//! flag fallback for collisions. The server also batches: it scans all
-//! client slots per sweep, so one barrier covers several responses — the
-//! store-buffer-friendliness the paper credits for FFWD's resilience.
+//! * **Flag mode** (Algorithm 5 shape): the server stores `ret` to the
+//!   response word, runs the response barrier, then *clears the request
+//!   word*; the cleared word is the completion flag.
+//! * **Pilot mode** (Algorithm 6 shape): the server stores
+//!   `((ret ^ hash) << 1) | 1` — odd — straight into the request word. An
+//!   odd value can never equal the even request the client wrote, so the
+//!   single store is notification and payload at once and no response
+//!   barrier or fallback flag is needed (returns are limited to 63 bits).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -30,26 +25,26 @@ use armbar_barriers::Barrier;
 use armbar_pilot::HashPool;
 
 use crate::exec::{Executor, OpId, OpTable};
+use crate::ffwd::ResponseMode;
 use crate::ticket::run_barrier;
 
-pub use armbar_barriers::ResponseMode;
+/// Pilot responses ride in the request word above the 1-bit tag, so the
+/// payload and the hash it is shuffled with live in 63 bits.
+const PILOT_MASK: u64 = (1 << 63) - 1;
 
-/// One client's communication slot. Request and response live on separate
-/// padded lines so the server's response stores do not fight the client's
-/// request stores.
-struct ClientSlot {
-    /// Request: flag (flip = new request), op id, argument.
-    req_flag: CachePadded<AtomicU64>,
-    op: AtomicU64,
+/// One client's slot: the dual-role request word on its own line, the
+/// argument next to it, and the flag-mode response word on a second line.
+struct RclSlot {
+    /// `(op + 1) << 1` while a request is pending; 0 (flag mode) or an
+    /// odd packed response (pilot mode) once served.
+    req: CachePadded<AtomicU64>,
     arg: AtomicU64,
-    /// Response: payload word and fallback flag share a line (Pilot touches
-    /// only this line on the common path).
+    /// Flag-mode response word (unused in pilot mode).
     ret: CachePadded<AtomicU64>,
-    resp_flag: AtomicU64,
 }
 
 struct Shared<T> {
-    slots: Vec<ClientSlot>,
+    slots: Vec<RclSlot>,
     stop: AtomicBool,
     state: std::cell::UnsafeCell<T>,
 }
@@ -59,39 +54,34 @@ struct Shared<T> {
 unsafe impl<T: Send> Sync for Shared<T> {}
 unsafe impl<T: Send> Send for Shared<T> {}
 
-/// The FFWD delegation lock. Construct with [`Ffwd::new`] (flag responses)
-/// or [`Ffwd::new_pilot`], then [`Ffwd::start_server`].
-pub struct Ffwd<T> {
+/// The RCL lock. Construct with [`Rcl::new`] (flag responses) or
+/// [`Rcl::new_pilot`], then [`Rcl::start_server`].
+pub struct Rcl<T> {
     shared: Arc<Shared<T>>,
     ops: Arc<OpTable<T>>,
     mode: ResponseMode,
-    /// Barrier between detecting a request and reading/executing it
-    /// (Algorithm 5 line 4).
+    /// Barrier between detecting a request and reading/executing it.
     pub req_barrier: Barrier,
-    /// Barrier between the critical section and the response flag
-    /// (Algorithm 5 line 7); unused on the Pilot path.
+    /// Barrier between the critical section and clearing the request word
+    /// (flag mode only).
     pub resp_barrier: Barrier,
     /// Seed schedule shared by server and clients (Pilot mode).
     pool: HashPool,
 }
 
 /// A client handle: everything one thread needs to submit requests.
-pub struct FfwdClient<T> {
+pub struct RclClient<T> {
     shared: Arc<Shared<T>>,
     mode: ResponseMode,
     id: usize,
-    /// Pilot decode state (client side of Algorithm 6).
-    old_ret: u64,
-    old_flag: u64,
     pool: HashPool,
 }
 
-impl<T: Send + 'static> Ffwd<T> {
-    /// Flag-response FFWD with the paper's best barrier pair
-    /// (`LDAR`-strength request barrier, `DMB st` response barrier).
+impl<T: Send + 'static> Rcl<T> {
+    /// Flag-response RCL with the paper's best barrier pair.
     #[must_use]
-    pub fn new(max_clients: usize, state: T, ops: OpTable<T>) -> Ffwd<T> {
-        Ffwd::with_barriers(
+    pub fn new(max_clients: usize, state: T, ops: OpTable<T>) -> Rcl<T> {
+        Rcl::with_barriers(
             max_clients,
             state,
             ops,
@@ -101,10 +91,11 @@ impl<T: Send + 'static> Ffwd<T> {
         )
     }
 
-    /// Pilot-response FFWD (Algorithm 6).
+    /// Pilot-response RCL: the packed store into the request word replaces
+    /// both the response barrier and the completion store.
     #[must_use]
-    pub fn new_pilot(max_clients: usize, state: T, ops: OpTable<T>) -> Ffwd<T> {
-        Ffwd::with_barriers(
+    pub fn new_pilot(max_clients: usize, state: T, ops: OpTable<T>) -> Rcl<T> {
+        Rcl::with_barriers(
             max_clients,
             state,
             ops,
@@ -127,23 +118,20 @@ impl<T: Send + 'static> Ffwd<T> {
         mode: ResponseMode,
         req_barrier: Barrier,
         resp_barrier: Barrier,
-    ) -> Ffwd<T> {
+    ) -> Rcl<T> {
         assert!(max_clients > 0);
-        let shared = Arc::new(Shared {
-            slots: (0..max_clients)
-                .map(|_| ClientSlot {
-                    req_flag: CachePadded::new(AtomicU64::new(0)),
-                    op: AtomicU64::new(0),
-                    arg: AtomicU64::new(0),
-                    ret: CachePadded::new(AtomicU64::new(0)),
-                    resp_flag: AtomicU64::new(0),
-                })
-                .collect(),
-            stop: AtomicBool::new(false),
-            state: std::cell::UnsafeCell::new(state),
-        });
-        Ffwd {
-            shared,
+        Rcl {
+            shared: Arc::new(Shared {
+                slots: (0..max_clients)
+                    .map(|_| RclSlot {
+                        req: CachePadded::new(AtomicU64::new(0)),
+                        arg: AtomicU64::new(0),
+                        ret: CachePadded::new(AtomicU64::new(0)),
+                    })
+                    .collect(),
+                stop: AtomicBool::new(false),
+                state: std::cell::UnsafeCell::new(state),
+            }),
             ops: Arc::new(ops),
             mode,
             req_barrier,
@@ -158,19 +146,17 @@ impl<T: Send + 'static> Ffwd<T> {
     ///
     /// Panics if `id` is out of range.
     #[must_use]
-    pub fn client(&self, id: usize) -> FfwdClient<T> {
+    pub fn client(&self, id: usize) -> RclClient<T> {
         assert!(id < self.shared.slots.len(), "client id out of range");
-        FfwdClient {
+        RclClient {
             shared: Arc::clone(&self.shared),
             mode: self.mode,
             id,
-            old_ret: 0,
-            old_flag: 0,
             pool: self.pool.clone(),
         }
     }
 
-    /// Spawn the dedicated server thread. Stop it with [`Ffwd::shutdown`].
+    /// Spawn the dedicated server thread. Stop it with [`Rcl::shutdown`].
     #[must_use]
     pub fn start_server(&self) -> JoinHandle<()> {
         let shared = Arc::clone(&self.shared);
@@ -180,48 +166,37 @@ impl<T: Send + 'static> Ffwd<T> {
         let resp_barrier = self.resp_barrier;
         let mut pools: Vec<HashPool> = (0..shared.slots.len()).map(|_| self.pool.clone()).collect();
         std::thread::spawn(move || {
-            let n = shared.slots.len();
-            let mut seen_req = vec![0u64; n];
-            let mut old_ret = vec![0u64; n];
-            let mut local_flag = vec![0u64; n];
             let backoff = Backoff::new();
             loop {
                 let mut served = 0u32;
-                for i in 0..n {
-                    let slot = &shared.slots[i];
-                    // Lines 1-3: new request?
-                    let rf = slot.req_flag.load(Ordering::Relaxed);
-                    if rf == seen_req[i] {
+                for (i, slot) in shared.slots.iter().enumerate() {
+                    // A pending request is even and non-zero; anything else
+                    // is an empty slot or our own earlier response.
+                    let req = slot.req.load(Ordering::Relaxed);
+                    if req == 0 || req & 1 == 1 {
                         continue;
                     }
-                    seen_req[i] = rf;
-                    // Line 4.
+                    // Order the request detection before op/arg and the CS.
                     run_barrier(req_barrier);
-                    let op = OpId(slot.op.load(Ordering::Relaxed) as usize);
+                    let op = OpId(((req >> 1) - 1) as usize);
                     let arg = slot.arg.load(Ordering::Relaxed);
-                    // Line 6: the critical section.
                     // SAFETY: only the server thread touches `state`.
                     let raw = (ops.get(op))(unsafe { &mut *shared.state.get() }, arg);
                     match mode {
                         ResponseMode::Flag => {
                             slot.ret.store(raw, Ordering::Relaxed);
-                            // Line 7: the post-RMR barrier.
+                            // Post-RMR barrier, then the completion store:
+                            // clearing the word the client spins on.
                             run_barrier(resp_barrier);
-                            // Line 8.
-                            let f = slot.resp_flag.load(Ordering::Relaxed) ^ 1;
-                            slot.resp_flag.store(f, Ordering::Relaxed);
+                            slot.req.store(0, Ordering::Relaxed);
                         }
                         ResponseMode::Pilot => {
-                            // Algorithm 6, lines 6-13.
-                            let hash = pools[i].next_seed();
-                            let new = raw ^ hash;
-                            if new != old_ret[i] {
-                                slot.ret.store(new, Ordering::Relaxed);
-                            } else {
-                                local_flag[i] ^= 1;
-                                slot.resp_flag.store(local_flag[i], Ordering::Relaxed);
-                            }
-                            old_ret[i] = new;
+                            debug_assert!(
+                                raw <= PILOT_MASK,
+                                "pilot returns are limited to 63 bits"
+                            );
+                            let hash = pools[i].next_seed() & PILOT_MASK;
+                            slot.req.store(((raw ^ hash) << 1) | 1, Ordering::Relaxed);
                         }
                     }
                     served += 1;
@@ -244,64 +219,49 @@ impl<T: Send + 'static> Ffwd<T> {
     }
 }
 
-impl<T> FfwdClient<T> {
+impl<T> RclClient<T> {
     /// Submit one critical section and wait for its result.
     pub fn execute(&mut self, op: OpId, arg: u64) -> u64 {
         let slot = &self.shared.slots[self.id];
-        slot.op.store(op.0 as u64, Ordering::Relaxed);
         slot.arg.store(arg, Ordering::Relaxed);
-        // Publish the request: the flag flip must not overtake op/arg.
+        // Publish the request: the request-word store must not overtake
+        // the argument store.
         run_barrier(Barrier::DmbSt);
-        let rf = slot.req_flag.load(Ordering::Relaxed) ^ 1;
-        slot.req_flag.store(rf, Ordering::Relaxed);
-        // Await the response.
+        let posted = (op.0 as u64 + 1) << 1;
+        slot.req.store(posted, Ordering::Relaxed);
+        // Await completion on the same word.
         let backoff = Backoff::new();
         match self.mode {
             ResponseMode::Flag => {
-                loop {
-                    let f = slot.resp_flag.load(Ordering::Relaxed);
-                    if f != self.old_flag {
-                        self.old_flag = f;
-                        break;
-                    }
+                while slot.req.load(Ordering::Relaxed) != 0 {
                     backoff.snooze();
                 }
-                // Order the flag load before the ret load.
+                // Order the completion load before the ret load.
                 run_barrier(Barrier::DmbLd);
                 slot.ret.load(Ordering::Relaxed)
             }
-            ResponseMode::Pilot => {
-                // Algorithm 4 on the response word.
-                loop {
-                    let data = slot.ret.load(Ordering::Relaxed);
-                    if data != self.old_ret {
-                        self.old_ret = data;
-                        break;
-                    }
-                    let f = slot.resp_flag.load(Ordering::Relaxed);
-                    if f != self.old_flag {
-                        self.old_flag = f;
-                        break;
-                    }
-                    backoff.snooze();
+            ResponseMode::Pilot => loop {
+                let v = slot.req.load(Ordering::Relaxed);
+                if v & 1 == 1 {
+                    return (v >> 1) ^ (self.pool.next_seed() & PILOT_MASK);
                 }
-                self.old_ret ^ self.pool.next_seed()
-            }
+                backoff.snooze();
+            },
         }
     }
 }
 
 /// A sharable pool of client handles implementing [`Executor`], one per
 /// pre-registered thread.
-pub struct FfwdExecutor<T> {
-    clients: Vec<std::sync::Mutex<FfwdClient<T>>>,
+pub struct RclExecutor<T> {
+    clients: Vec<std::sync::Mutex<RclClient<T>>>,
 }
 
-impl<T: Send + 'static> FfwdExecutor<T> {
+impl<T: Send + 'static> RclExecutor<T> {
     /// Wrap `lock`, creating handles `0..max_clients`.
     #[must_use]
-    pub fn new(lock: &Ffwd<T>, max_clients: usize) -> FfwdExecutor<T> {
-        FfwdExecutor {
+    pub fn new(lock: &Rcl<T>, max_clients: usize) -> RclExecutor<T> {
+        RclExecutor {
             clients: (0..max_clients)
                 .map(|i| std::sync::Mutex::new(lock.client(i)))
                 .collect(),
@@ -309,7 +269,7 @@ impl<T: Send + 'static> FfwdExecutor<T> {
     }
 }
 
-impl<T: Send + 'static> Executor<T> for FfwdExecutor<T> {
+impl<T: Send + 'static> Executor<T> for RclExecutor<T> {
     fn execute(&self, handle: usize, id: OpId, arg: u64) -> u64 {
         // Each handle is used by exactly one thread; the Mutex is
         // uncontended and only satisfies the `&self` signature.
@@ -335,13 +295,10 @@ mod tests {
     }
 
     fn exercise(mode: ResponseMode) {
-        // Slot 4 stays untouched by the workers so the checker's fresh
-        // client state matches it (client decode state is per-slot and a
-        // slot must not be re-claimed by a second client).
         let (table, inc, get) = counter_ops();
         let lock = match mode {
-            ResponseMode::Flag => Ffwd::new(5, 0u64, table),
-            ResponseMode::Pilot => Ffwd::new_pilot(5, 0u64, table),
+            ResponseMode::Flag => Rcl::new(5, 0u64, table),
+            ResponseMode::Pilot => Rcl::new_pilot(5, 0u64, table),
         };
         let server = lock.start_server();
         const PER: u64 = 3_000;
@@ -373,12 +330,11 @@ mod tests {
 
     #[test]
     fn pilot_mode_handles_identical_returns() {
-        // An op that always returns the same value maximizes collisions:
-        // the shuffle must avoid most, and the flag fallback must cover the
-        // engineered rest. Correctness = every call returns 7.
+        // Constant returns can't confuse the odd/even protocol: the
+        // response word is always odd, every request always even.
         let mut table = OpTable::new();
         let seven = table.register(|_s: &mut u64, _| 7);
-        let lock = Ffwd::new_pilot(1, 0u64, table);
+        let lock = Rcl::new_pilot(1, 0u64, table);
         let server = lock.start_server();
         let mut client = lock.client(0);
         for _ in 0..500 {
@@ -391,7 +347,7 @@ mod tests {
     #[test]
     fn distinct_clients_get_distinct_answers() {
         let (table, inc, _) = counter_ops();
-        let lock = Ffwd::new(2, 0u64, table);
+        let lock = Rcl::new(2, 0u64, table);
         let server = lock.start_server();
         let mut a = lock.client(0);
         let mut b = lock.client(1);
@@ -405,9 +361,9 @@ mod tests {
     #[test]
     fn executor_wrapper_works() {
         let (table, inc, get) = counter_ops();
-        let lock = Ffwd::new(4, 0u64, table);
+        let lock = Rcl::new(4, 0u64, table);
         let server = lock.start_server();
-        let exec = FfwdExecutor::new(&lock, 3);
+        let exec = RclExecutor::new(&lock, 3);
         std::thread::scope(|s| {
             for h in 0..3 {
                 let exec = &exec;

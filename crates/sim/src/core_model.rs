@@ -196,6 +196,8 @@ pub struct Core {
     parked: bool,
     /// Most recent load: `(id, done_at)` for dependency modelling.
     last_load: Option<(u64, Cycle)>,
+    /// Cycle of the previous `Op::IterationMark` (response-time baseline).
+    last_iteration_at: Cycle,
     /// Completion times of loads, by seq, still needed by release stores.
     load_seq_done: Vec<(Seq, Cycle)>,
     ctx: ThreadCtx,
@@ -244,6 +246,7 @@ impl Core {
             acquire_gate: None,
             parked: false,
             last_load: None,
+            last_iteration_at: 0,
             load_seq_done: Vec::new(),
             ctx: ThreadCtx {
                 now: 0,
@@ -797,6 +800,13 @@ impl Core {
                     }
                     self.stats.iterations += 1;
                     self.ctx.iterations = self.stats.iterations;
+                    // Response time of this iteration: the gap since the
+                    // previous mark (or since cycle 0 for the first). Both
+                    // engines issue the mark at the same cycle, so the
+                    // histogram is engine-identical by the same argument as
+                    // the iteration counter itself.
+                    self.stats.latency.record(now - self.last_iteration_at);
+                    self.last_iteration_at = now;
                     self.stats.issued += 1;
                     budget -= 1;
                     if trace.enabled {

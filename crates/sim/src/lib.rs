@@ -69,7 +69,7 @@ pub mod types;
 pub use machine::{Engine, Machine, RunStats};
 pub use op::{Op, RmwKind, SimThread, ThreadCtx};
 pub use platform::{LatencyParams, Platform, PlatformKind};
-pub use stats::{CoreStats, StallBreakdown, StallCause};
+pub use stats::{CoreStats, LatencyHistogram, StallBreakdown, StallCause};
 pub use topology::{Placement, Topology};
 pub use trace::{Event, Trace};
 pub use types::{Addr, CoreId, Cycle, DistanceClass, Line, LINE_BYTES};

@@ -200,6 +200,123 @@ fn kind_index(kind: Barrier) -> usize {
         .expect("every barrier kind appears in Barrier::ALL")
 }
 
+/// Number of buckets in a [`LatencyHistogram`]: bucket `i` holds samples
+/// whose bit length is `i` (powers of two up to 2^38 cycles — far beyond
+/// any simulated response time), with the last bucket open-ended.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Fixed-boundary response-time histogram with power-of-two buckets.
+///
+/// Samples are cycle deltas between successive `Op::IterationMark`s on one
+/// core — the closed-loop completion-to-completion response time. The
+/// bucket boundaries are compile-time constants (no per-run adaptation),
+/// so two runs that complete iterations at the same cycles produce
+/// *identical* histograms: the struct is `Eq` and sits inside
+/// [`CoreStats`], which the engine-differential suites compare field by
+/// field. Quantile queries return the bucket's inclusive upper bound
+/// clamped to the observed maximum, which makes
+/// `p50 <= p99 <= p999 <= max` hold by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Sample counts per power-of-two bucket.
+    counts: [u64; LATENCY_BUCKETS],
+    /// Total recorded samples (`== counts.iter().sum()`).
+    count: u64,
+    /// Largest recorded sample.
+    max: Cycle,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: [0; LATENCY_BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Bucket index of one sample: its bit length, clamped into range.
+    fn bucket(sample: Cycle) -> usize {
+        let bits = (Cycle::BITS - sample.leading_zeros()) as usize;
+        bits.min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    fn upper_bound(i: usize) -> Cycle {
+        if i >= LATENCY_BUCKETS - 1 {
+            Cycle::MAX
+        } else {
+            (1 << i) - 1
+        }
+    }
+
+    /// Record one response-time sample.
+    pub fn record(&mut self, sample: Cycle) {
+        self.counts[Self::bucket(sample)] += 1;
+        self.count += 1;
+        self.max = self.max.max(sample);
+    }
+
+    /// Fold another histogram into this one (per-core → per-run merge).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> Cycle {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the inclusive upper bound of
+    /// the bucket holding the `ceil(q * count)`-th smallest sample, clamped
+    /// to the observed maximum. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0.0, 1.0]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Cycle {
+        assert!(q > 0.0 && q <= 1.0, "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the (p50, p99, p999, max) tuple the reports use.
+    #[must_use]
+    pub fn summary(&self) -> (Cycle, Cycle, Cycle, Cycle) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+            self.max,
+        )
+    }
+}
+
 /// Counters collected by one core over a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoreStats {
@@ -230,6 +347,9 @@ pub struct CoreStats {
     pub stall: StallBreakdown,
     /// Cycle at which the workload halted, if it did.
     pub halted_at: Option<Cycle>,
+    /// Response-time histogram over the gaps between successive
+    /// `Op::IterationMark`s (first sample measured from cycle 0).
+    pub latency: LatencyHistogram,
 }
 
 impl CoreStats {
@@ -378,6 +498,105 @@ mod tests {
         ];
         for (c, l) in causes.iter().zip(StallBreakdown::CAUSE_LABELS.iter()) {
             assert_eq!(c.label(), *l);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_bounds() {
+        // Bit-length bucketing: 0 → bucket 0, 1 → 1, 2..3 → 2, 4..7 → 3 …
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 1);
+        assert_eq!(LatencyHistogram::bucket(2), 2);
+        assert_eq!(LatencyHistogram::bucket(3), 2);
+        assert_eq!(LatencyHistogram::bucket(4), 3);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), LATENCY_BUCKETS - 1);
+        assert_eq!(LatencyHistogram::upper_bound(0), 0);
+        assert_eq!(LatencyHistogram::upper_bound(3), 7);
+        assert_eq!(LatencyHistogram::upper_bound(LATENCY_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.summary(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile_to_itself() {
+        let mut h = LatencyHistogram::default();
+        h.record(100);
+        // Every quantile is the bucket bound clamped to the observed max.
+        assert_eq!(h.summary(), (100, 100, 100, 100));
+    }
+
+    #[test]
+    fn merge_is_concatenation() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut both = LatencyHistogram::default();
+        for s in [3u64, 9, 1000] {
+            a.record(s);
+            both.record(s);
+        }
+        for s in [70u64, 70_000] {
+            b.record(s);
+            both.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Sum of bucket counts equals total, quantiles are monotone, and
+        /// p999 never exceeds the observed maximum.
+        #[test]
+        fn histogram_invariants(samples in prop::collection::vec(0u64..1 << 50, 1..200)) {
+            let mut h = LatencyHistogram::default();
+            for &s in &samples {
+                h.record(s);
+            }
+            prop_assert_eq!(h.total(), samples.len() as u64);
+            prop_assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+            prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+            let (p50, p99, p999, max) = h.summary();
+            prop_assert!(p50 <= p99);
+            prop_assert!(p99 <= p999);
+            prop_assert!(p999 <= max);
+            // The median's bucket bound is never below the true median.
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let median = sorted[sorted.len().div_ceil(2) - 1];
+            prop_assert!(p50 >= median || p50 == h.max());
+        }
+
+        /// Merging in either order gives the same histogram as recording
+        /// everything into one.
+        #[test]
+        fn histogram_merge_commutes(
+            xs in prop::collection::vec(0u64..1 << 40, 0..100),
+            ys in prop::collection::vec(0u64..1 << 40, 0..100),
+        ) {
+            let mut a = LatencyHistogram::default();
+            let mut b = LatencyHistogram::default();
+            let mut whole = LatencyHistogram::default();
+            for &s in &xs {
+                a.record(s);
+                whole.record(s);
+            }
+            for &s in &ys {
+                b.record(s);
+                whole.record(s);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            prop_assert_eq!(&ab, &whole);
         }
     }
 }

@@ -20,8 +20,9 @@
 //! the dependent pointer-chase is, and how much ALU work it does.
 
 use armbar_barriers::{Acquire, Barrier};
-use armbar_sim::{Machine, Op, Platform, SimThread, ThreadCtx};
+use armbar_sim::{Engine, LatencyHistogram, Machine, Op, Platform, SimThread, ThreadCtx};
 
+use crate::metrics::{jain_index, DlockMetrics};
 use crate::ticket_sim::{run_ticket, LockResult, TicketConfig};
 
 /// Shared layout: per-client slots are fully padded; request and response
@@ -31,12 +32,31 @@ const RESP_BASE: u64 = 0x4_0000;
 const RESP_FLAG_BASE: u64 = 0x6_0000;
 /// The DSynch baton (combiner role).
 const BATON: u64 = 0x8_0000;
+/// The flat-combining combiner lock (test-and-test-and-set word).
+const FC_LOCK: u64 = 0x9_0000;
+/// The CC-Synch queue tail (holds a node id, never 0).
+const CC_TAIL: u64 = 0x9_8000;
 /// Shared data-structure lines the critical sections touch.
 const DATA_BASE: u64 = 0xA_0000;
 /// Per-client served-round markers (shared between migrating combiners).
 const SERVED_ROUND_BASE: u64 = 0xE_0000;
 /// Total served-request counter (server-private line, used for results).
 const SERVED: u64 = 0xC_0000;
+/// CC-Synch node pool: four padded lines per node (request round, return
+/// value, status word, successor pointer). Node ids start at 1.
+const NODE_BASE: u64 = 0x10_0000;
+/// Per-core combiner-subversion counters: critical sections this core
+/// executed *on behalf of other threads*, published before `Halt`.
+const SUBV_BASE: u64 = 0x12_0000;
+
+/// CC-Synch status word values (0 = completed in flag mode; pilot packs
+/// `round * 4 + 3` so the tag never collides with these).
+const CC_WAIT: u64 = 1;
+const CC_COMBINER: u64 = 2;
+/// Requests one CC-Synch combiner serves before handing off.
+const CC_COMBINE_BOUND: u32 = 64;
+/// Publication-list passes one flat-combining tenure performs.
+const FC_SCAN_PASSES: u32 = 2;
 
 fn req_addr(client: usize) -> u64 {
     REQ_BASE + client as u64 * 128
@@ -54,14 +74,27 @@ fn served_round_addr(client: usize) -> u64 {
     SERVED_ROUND_BASE + client as u64 * 128
 }
 
-/// How the server notifies a client (Algorithm 5 vs Algorithm 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum RespMode {
-    /// Store ret; response barrier; flip the flag.
-    Flag,
-    /// Pilot: the (shuffled) ret store is the notification.
-    Pilot,
+fn subv_addr(core: usize) -> u64 {
+    SUBV_BASE + core as u64 * 128
 }
+
+fn node_req(node: u64) -> u64 {
+    NODE_BASE + node * 256
+}
+
+fn node_ret(node: u64) -> u64 {
+    NODE_BASE + node * 256 + 64
+}
+
+fn node_status(node: u64) -> u64 {
+    NODE_BASE + node * 256 + 128
+}
+
+fn node_next(node: u64) -> u64 {
+    NODE_BASE + node * 256 + 192
+}
+
+pub use armbar_barriers::ResponseMode;
 
 /// Shape of the delegated critical section.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -207,7 +240,7 @@ struct Client {
     iterations: u64,
     done: u64,
     interval_nops: u32,
-    mode: RespMode,
+    mode: ResponseMode,
     old_resp: u64,
     old_flag: u64,
     round: u64,
@@ -232,12 +265,12 @@ impl SimThread for Client {
                 2 => {
                     let v = ctx.last_value();
                     match self.mode {
-                        RespMode::Flag => {
+                        ResponseMode::Flag => {
                             // The flag word signals; re-read it.
                             self.state = 3;
                             return Op::load_use(resp_flag_addr(self.id));
                         }
-                        RespMode::Pilot => {
+                        ResponseMode::Pilot => {
                             if v != self.old_resp {
                                 self.old_resp = v;
                                 self.state = 5;
@@ -251,13 +284,13 @@ impl SimThread for Client {
                 3 => {
                     let f = ctx.last_value();
                     match self.mode {
-                        RespMode::Flag => {
+                        ResponseMode::Flag => {
                             if f == self.round {
                                 self.state = 4;
                                 continue;
                             }
                         }
-                        RespMode::Pilot => {
+                        ResponseMode::Pilot => {
                             if f != self.old_flag {
                                 self.old_flag = f;
                                 self.state = 5;
@@ -307,7 +340,7 @@ struct FfwdServer {
     total: u64,
     served: u64,
     barriers: DelegationBarriers,
-    mode: RespMode,
+    mode: ResponseMode,
     profile: CsProfile,
     scan_at: usize,
     cs_step: u32,
@@ -321,7 +354,11 @@ impl SimThread for FfwdServer {
                 // Poll the next client's request line.
                 0 => {
                     if self.served >= self.total {
-                        return Op::Halt;
+                        // Every critical section a dedicated server runs is
+                        // on behalf of someone else: publish the subversion
+                        // counter, then retire.
+                        self.state = 8;
+                        return Op::store(subv_addr(0), self.served);
                     }
                     self.state = 1;
                     return Op::load_use(req_addr(self.scan_at));
@@ -374,11 +411,11 @@ impl SimThread for FfwdServer {
                     let round = self.seen[client];
                     self.served += 1;
                     match self.mode {
-                        RespMode::Flag => {
+                        ResponseMode::Flag => {
                             self.state = 4;
                             return Op::store(resp_addr(client), round.wrapping_mul(3));
                         }
-                        RespMode::Pilot => {
+                        ResponseMode::Pilot => {
                             // The shuffled ret is the notification; hashing
                             // is two local ALU ops.
                             self.state = 6;
@@ -407,10 +444,11 @@ impl SimThread for FfwdServer {
                     // construction (round counter folded in).
                     return Op::store(resp_addr(client), self.seen[client].wrapping_mul(7) | 1);
                 }
-                _ => {
+                7 => {
                     self.state = 0;
                     return Op::store(SERVED, self.served);
                 }
+                _ => return Op::Halt,
             }
         }
     }
@@ -427,12 +465,15 @@ struct CombinerClient {
     done: u64,
     interval_nops: u32,
     barriers: DelegationBarriers,
-    mode: RespMode,
+    mode: ResponseMode,
     profile: CsProfile,
     old_resp: u64,
     old_flag: u64,
     round: u64,
     served_total: u64,
+    /// Critical sections executed on behalf of *other* clients while we
+    /// held the baton (the combiner-subversion counter).
+    for_others: u64,
     scan_at: usize,
     scanned: usize,
     cs_step: u32,
@@ -478,11 +519,11 @@ impl SimThread for CombinerClient {
                 // Spinning is local: the polled lines are ours, so until a
                 // combiner writes them the loads hit in our cache.
                 3 => match self.mode {
-                    RespMode::Flag => {
+                    ResponseMode::Flag => {
                         self.state = 4;
                         return Op::load_use(resp_flag_addr(self.id));
                     }
-                    RespMode::Pilot => {
+                    ResponseMode::Pilot => {
                         self.state = 6;
                         return Op::load_use(resp_addr(self.id));
                     }
@@ -589,6 +630,9 @@ impl SimThread for CombinerClient {
                         None => {
                             self.cs_step = 0;
                             self.served_total += 1;
+                            if self.scan_at != self.id {
+                                self.for_others += 1;
+                            }
                             self.state = 13;
                         }
                     }
@@ -598,11 +642,11 @@ impl SimThread for CombinerClient {
                     let client = self.scan_at;
                     let round = self.serving_round;
                     match self.mode {
-                        RespMode::Flag => {
+                        ResponseMode::Flag => {
                             self.state = 14;
                             return Op::store(resp_addr(client), round.wrapping_mul(3));
                         }
-                        RespMode::Pilot => {
+                        ResponseMode::Pilot => {
                             self.state = 16;
                             return Op::Nops(2);
                         }
@@ -641,12 +685,12 @@ impl SimThread for CombinerClient {
                     // Our own request was served during the sweep (we always
                     // serve ourselves); synchronize decode state.
                     self.old_resp = match self.mode {
-                        RespMode::Flag => self.old_resp,
-                        RespMode::Pilot => self.round.wrapping_mul(7) | 1,
+                        ResponseMode::Flag => self.old_resp,
+                        ResponseMode::Pilot => self.round.wrapping_mul(7) | 1,
                     };
                     self.old_flag = match self.mode {
-                        RespMode::Flag => self.round,
-                        RespMode::Pilot => self.old_flag,
+                        ResponseMode::Flag => self.round,
+                        ResponseMode::Pilot => self.old_flag,
                     };
                     self.state = 30;
                 }
@@ -655,10 +699,688 @@ impl SimThread for CombinerClient {
                     self.state = 0;
                     return Op::Nops(self.interval_nops);
                 }
+                32 => {
+                    self.state = 33;
+                    return Op::store(subv_addr(self.id), self.for_others);
+                }
+                33 => return Op::Halt,
+                _ => {
+                    self.done += 1;
+                    if self.done >= self.iterations {
+                        self.state = 32;
+                        continue;
+                    }
+                    self.state = if self.interval_nops > 0 { 31 } else { 0 };
+                    return Op::IterationMark;
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- RCL pair
+
+/// An RCL client: the request word it spins on is also the completion
+/// channel, so one padded line round-trips per operation.
+struct RclClient {
+    id: usize,
+    iterations: u64,
+    done: u64,
+    interval_nops: u32,
+    mode: ResponseMode,
+    round: u64,
+    state: u8,
+}
+
+impl SimThread for RclClient {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                // Post the request: an even, non-zero word (round * 2).
+                0 => {
+                    self.round += 1;
+                    self.state = 1;
+                    return Op::store(req_addr(self.id), self.round * 2);
+                }
+                // Spin on the same word.
+                1 => {
+                    self.state = 2;
+                    return Op::load_use(req_addr(self.id));
+                }
+                2 => {
+                    let v = ctx.last_value();
+                    match self.mode {
+                        ResponseMode::Flag => {
+                            if v == 0 {
+                                // Served: read ret behind a dependency
+                                // (cheap client-side ordering).
+                                self.state = 5;
+                                return Op::Load {
+                                    addr: resp_addr(self.id),
+                                    use_value: true,
+                                    acquire: Acquire::No,
+                                    dep_on_last_load: true,
+                                };
+                            }
+                        }
+                        ResponseMode::Pilot => {
+                            // Odd = packed response: notification and
+                            // payload in the word we already hold.
+                            if v & 1 == 1 {
+                                self.state = 5;
+                                continue;
+                            }
+                        }
+                    }
+                    self.state = 1;
+                    return Op::Nops(1);
+                }
+                4 => {
+                    self.state = 0;
+                    return Op::Nops(self.interval_nops);
+                }
                 _ => {
                     self.done += 1;
                     if self.done >= self.iterations {
                         return Op::Halt;
+                    }
+                    self.state = if self.interval_nops > 0 { 4 } else { 0 };
+                    return Op::IterationMark;
+                }
+            }
+        }
+    }
+}
+
+/// The dedicated RCL server: like FFWD's sweep, but completion is a store
+/// back into the request word (clear in flag mode, packed odd in pilot).
+struct RclServer {
+    clients: usize,
+    total: u64,
+    served: u64,
+    barriers: DelegationBarriers,
+    mode: ResponseMode,
+    profile: CsProfile,
+    scan_at: usize,
+    cs_step: u32,
+    serving_round: u64,
+    state: u8,
+}
+
+impl SimThread for RclServer {
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                0 => {
+                    if self.served >= self.total {
+                        self.state = 8;
+                        return Op::store(subv_addr(0), self.served);
+                    }
+                    self.state = 1;
+                    return Op::load_use(req_addr(self.scan_at));
+                }
+                1 => {
+                    let v = ctx.last_value();
+                    // Pending requests are even and non-zero; zero or odd
+                    // means empty or our own earlier response.
+                    if v == 0 || v & 1 == 1 {
+                        self.scan_at = (self.scan_at + 1) % self.clients;
+                        self.state = 0;
+                        continue;
+                    }
+                    self.serving_round = v / 2;
+                    // Line 4: the request barrier.
+                    self.state = 2;
+                    match self.barriers.req {
+                        Barrier::None => {}
+                        Barrier::Ldar => {
+                            return Op::Load {
+                                addr: req_addr(self.scan_at),
+                                use_value: false,
+                                acquire: Acquire::Sc,
+                                dep_on_last_load: false,
+                            };
+                        }
+                        Barrier::AddrDep | Barrier::DataDep | Barrier::Ctrl => {}
+                        f => return Op::Fence(f),
+                    }
+                }
+                // Line 6: the critical section.
+                2 => {
+                    match cs_op(
+                        self.profile,
+                        &mut self.cs_step,
+                        ctx.last_value(),
+                        self.served,
+                    ) {
+                        Some(op) => return op,
+                        None => {
+                            self.cs_step = 0;
+                            self.state = 3;
+                        }
+                    }
+                }
+                // Publish the response into the request word.
+                3 => {
+                    self.served += 1;
+                    match self.mode {
+                        ResponseMode::Flag => {
+                            self.state = 4;
+                            return Op::store(
+                                resp_addr(self.scan_at),
+                                self.serving_round.wrapping_mul(3),
+                            );
+                        }
+                        ResponseMode::Pilot => {
+                            // Hashing the return value is two local ALU ops;
+                            // the packed word (odd) is the only store.
+                            self.state = 6;
+                            return Op::Nops(2);
+                        }
+                    }
+                }
+                4 => {
+                    self.state = 5;
+                    match self.barriers.resp {
+                        Barrier::None => {}
+                        f => return Op::Fence(f),
+                    }
+                }
+                5 => {
+                    let client = self.scan_at;
+                    self.scan_at = (self.scan_at + 1) % self.clients;
+                    self.state = 7;
+                    return Op::store(req_addr(client), 0);
+                }
+                6 => {
+                    let client = self.scan_at;
+                    self.scan_at = (self.scan_at + 1) % self.clients;
+                    self.state = 7;
+                    return Op::store(req_addr(client), self.serving_round.wrapping_mul(7) | 1);
+                }
+                7 => {
+                    self.state = 0;
+                    return Op::store(SERVED, self.served);
+                }
+                _ => return Op::Halt,
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- flat combining
+
+/// A flat-combining client: checks its own publication record first, then
+/// tries the combiner lock (test-and-test-and-set) and scans all records.
+struct FcClient {
+    id: usize,
+    clients: usize,
+    iterations: u64,
+    done: u64,
+    interval_nops: u32,
+    barriers: DelegationBarriers,
+    mode: ResponseMode,
+    profile: CsProfile,
+    old_resp: u64,
+    old_flag: u64,
+    round: u64,
+    served_total: u64,
+    for_others: u64,
+    scan_at: usize,
+    pass: u32,
+    pass_served: u32,
+    own_served: bool,
+    cs_step: u32,
+    serving_round: u64,
+    state: u8,
+}
+
+impl SimThread for FcClient {
+    #[allow(clippy::too_many_lines)]
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                // Post own request into the publication record.
+                0 => {
+                    self.round += 1;
+                    self.own_served = false;
+                    self.state = 1;
+                    return Op::store(req_addr(self.id), self.round);
+                }
+                // Check own response before fighting for the lock.
+                1 => match self.mode {
+                    ResponseMode::Flag => {
+                        self.state = 2;
+                        return Op::load_use(resp_flag_addr(self.id));
+                    }
+                    ResponseMode::Pilot => {
+                        self.state = 3;
+                        return Op::load_use(resp_addr(self.id));
+                    }
+                },
+                2 => {
+                    if ctx.last_value() == self.round {
+                        // Served: read ret behind a dependency.
+                        self.state = 30;
+                        return Op::Load {
+                            addr: resp_addr(self.id),
+                            use_value: true,
+                            acquire: Acquire::No,
+                            dep_on_last_load: true,
+                        };
+                    }
+                    self.state = 8;
+                    continue;
+                }
+                3 => {
+                    let v = ctx.last_value();
+                    if v != self.old_resp {
+                        self.old_resp = v;
+                        self.state = 30;
+                        continue;
+                    }
+                    self.state = 4;
+                    return Op::load_use(resp_flag_addr(self.id));
+                }
+                4 => {
+                    if ctx.last_value() != self.old_flag {
+                        self.old_flag = ctx.last_value();
+                        self.state = 30;
+                        continue;
+                    }
+                    self.state = 8;
+                    continue;
+                }
+                // Test-and-test-and-set on the combiner lock.
+                8 => {
+                    self.state = 9;
+                    return Op::load_use(FC_LOCK);
+                }
+                9 => {
+                    if ctx.last_value() != 0 {
+                        self.state = 1;
+                        return Op::Nops(2);
+                    }
+                    self.state = 10;
+                    return Op::Rmw {
+                        addr: FC_LOCK,
+                        kind: armbar_sim::RmwKind::Cas { expected: 0 },
+                        operand: 1,
+                        acquire: true,
+                        release: false,
+                    };
+                }
+                10 => {
+                    if ctx.last_value() == 0 {
+                        self.pass = 0;
+                        self.pass_served = 0;
+                        self.scan_at = 0;
+                        self.state = 11;
+                    } else {
+                        self.state = 1;
+                        return Op::Nops(2);
+                    }
+                }
+                // ---------------- combiner scan ----------------
+                11 => {
+                    if self.scan_at >= self.clients {
+                        // Pass done: go again only if this one served
+                        // anything and passes remain.
+                        if self.pass_served == 0 || self.pass + 1 >= FC_SCAN_PASSES {
+                            self.state = 20;
+                        } else {
+                            self.pass += 1;
+                            self.pass_served = 0;
+                            self.scan_at = 0;
+                        }
+                        continue;
+                    }
+                    self.state = 12;
+                    return Op::load_use(req_addr(self.scan_at));
+                }
+                12 => {
+                    self.serving_round = ctx.last_value();
+                    self.state = 13;
+                    return Op::load_use(served_round_addr(self.scan_at));
+                }
+                13 => {
+                    if self.serving_round == ctx.last_value() {
+                        self.scan_at += 1;
+                        self.state = 11;
+                        continue;
+                    }
+                    self.state = 14;
+                    return Op::store(served_round_addr(self.scan_at), self.serving_round);
+                }
+                14 => {
+                    self.state = 15;
+                    match self.barriers.req {
+                        Barrier::None | Barrier::AddrDep | Barrier::DataDep | Barrier::Ctrl => {}
+                        Barrier::Ldar => {
+                            return Op::Load {
+                                addr: req_addr(self.scan_at),
+                                use_value: false,
+                                acquire: Acquire::Sc,
+                                dep_on_last_load: false,
+                            };
+                        }
+                        f => return Op::Fence(f),
+                    }
+                }
+                15 => {
+                    match cs_op(
+                        self.profile,
+                        &mut self.cs_step,
+                        ctx.last_value(),
+                        self.served_total,
+                    ) {
+                        Some(op) => return op,
+                        None => {
+                            self.cs_step = 0;
+                            self.served_total += 1;
+                            self.pass_served += 1;
+                            if self.scan_at == self.id {
+                                self.own_served = true;
+                            } else {
+                                self.for_others += 1;
+                            }
+                            self.state = 16;
+                        }
+                    }
+                }
+                16 => {
+                    let round = self.serving_round;
+                    match self.mode {
+                        ResponseMode::Flag => {
+                            self.state = 17;
+                            return Op::store(resp_addr(self.scan_at), round.wrapping_mul(3));
+                        }
+                        ResponseMode::Pilot => {
+                            self.state = 19;
+                            return Op::Nops(2);
+                        }
+                    }
+                }
+                17 => {
+                    self.state = 18;
+                    match self.barriers.resp {
+                        Barrier::None => {}
+                        f => return Op::Fence(f),
+                    }
+                }
+                18 => {
+                    let client = self.scan_at;
+                    self.scan_at += 1;
+                    self.state = 11;
+                    return Op::store(resp_flag_addr(client), self.serving_round);
+                }
+                19 => {
+                    let client = self.scan_at;
+                    self.scan_at += 1;
+                    self.state = 11;
+                    return Op::store(resp_addr(client), self.serving_round.wrapping_mul(7) | 1);
+                }
+                // Release the combiner lock.
+                20 => {
+                    self.state = 21;
+                    return Op::store_release(FC_LOCK, 0);
+                }
+                21 => {
+                    if self.own_served {
+                        // We served ourselves: synchronize decode state.
+                        if self.mode == ResponseMode::Pilot {
+                            self.old_resp = self.round.wrapping_mul(7) | 1;
+                        }
+                        self.state = 30;
+                    } else {
+                        // Someone else got to us first (or nobody yet):
+                        // back to watching our record.
+                        self.state = 1;
+                    }
+                    continue;
+                }
+                // ---------------- iteration done ----------------
+                31 => {
+                    self.state = 0;
+                    return Op::Nops(self.interval_nops);
+                }
+                32 => {
+                    self.state = 33;
+                    return Op::store(subv_addr(self.id), self.for_others);
+                }
+                33 => return Op::Halt,
+                _ => {
+                    self.done += 1;
+                    if self.done >= self.iterations {
+                        self.state = 32;
+                        continue;
+                    }
+                    self.state = if self.interval_nops > 0 { 31 } else { 0 };
+                    return Op::IterationMark;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- CC-Synch
+
+/// A CC-Synch client: swaps its spare node into the shared tail, adopts
+/// the old tail as its request node, and spins on that node's status word
+/// alone. The head of the queue combines.
+struct CcClient {
+    id: usize,
+    iterations: u64,
+    done: u64,
+    interval_nops: u32,
+    barriers: DelegationBarriers,
+    mode: ResponseMode,
+    profile: CsProfile,
+    /// Node currently owned (spare before enqueue, request node after).
+    node: u64,
+    /// The node we just pushed as the new tail dummy.
+    enqueued: u64,
+    round: u64,
+    served_total: u64,
+    for_others: u64,
+    walk_at: u64,
+    walk_next: u64,
+    walk_round: u64,
+    bound_served: u32,
+    cs_step: u32,
+    state: u8,
+}
+
+impl SimThread for CcClient {
+    #[allow(clippy::too_many_lines)]
+    fn next(&mut self, ctx: &mut ThreadCtx) -> Op {
+        loop {
+            match self.state {
+                // Reset the spare node before exposing it as the new tail.
+                0 => {
+                    self.round += 1;
+                    self.state = 1;
+                    return Op::store(node_status(self.node), CC_WAIT);
+                }
+                1 => {
+                    self.state = 2;
+                    return Op::store(node_next(self.node), 0);
+                }
+                // Swap it in; the old tail becomes our request node.
+                2 => {
+                    self.state = 3;
+                    return Op::Rmw {
+                        addr: CC_TAIL,
+                        kind: armbar_sim::RmwKind::Swap,
+                        operand: self.node,
+                        acquire: true,
+                        release: true,
+                    };
+                }
+                3 => {
+                    self.enqueued = self.node;
+                    self.node = ctx.last_value();
+                    self.state = 4;
+                    return Op::store(node_req(self.node), self.round);
+                }
+                // Linking publishes the request to the combiner.
+                4 => {
+                    self.state = 5;
+                    return Op::store_release(node_next(self.node), self.enqueued);
+                }
+                // Spin on our node's status word only.
+                5 => {
+                    self.state = 6;
+                    return Op::load_use(node_status(self.node));
+                }
+                6 => {
+                    let s = ctx.last_value();
+                    if s == CC_COMBINER {
+                        self.walk_at = self.node;
+                        self.bound_served = 0;
+                        self.state = 10;
+                        continue;
+                    }
+                    match self.mode {
+                        ResponseMode::Flag => {
+                            if s == 0 {
+                                // Served: read ret behind a dependency.
+                                self.state = 30;
+                                return Op::Load {
+                                    addr: node_ret(self.node),
+                                    use_value: true,
+                                    acquire: Acquire::No,
+                                    dep_on_last_load: true,
+                                };
+                            }
+                        }
+                        ResponseMode::Pilot => {
+                            // Absolute test: the packed response for round r
+                            // is r*4+3, never WAIT (1) or COMBINER (2).
+                            if s == self.round * 4 + 3 {
+                                self.state = 30;
+                                continue;
+                            }
+                        }
+                    }
+                    self.state = 5;
+                    return Op::Nops(2);
+                }
+                // ---------------- combiner walk ----------------
+                10 => {
+                    self.state = 11;
+                    return Op::load_use(node_next(self.walk_at));
+                }
+                11 => {
+                    let nxt = ctx.last_value();
+                    if nxt == 0 || self.bound_served >= CC_COMBINE_BOUND {
+                        // Tail dummy (no request) or bound hit: hand the
+                        // combiner role to this node's owner.
+                        self.state = 12;
+                        continue;
+                    }
+                    self.walk_next = nxt;
+                    // Request barrier: order the link detection before the
+                    // request read and the critical section.
+                    self.state = 13;
+                    match self.barriers.req {
+                        Barrier::None | Barrier::AddrDep | Barrier::DataDep | Barrier::Ctrl => {}
+                        Barrier::Ldar => {
+                            return Op::Load {
+                                addr: node_next(self.walk_at),
+                                use_value: false,
+                                acquire: Acquire::Sc,
+                                dep_on_last_load: false,
+                            };
+                        }
+                        f => return Op::Fence(f),
+                    }
+                }
+                12 => {
+                    // Hand off, then our own request (served first in this
+                    // walk) is complete.
+                    self.state = 30;
+                    return Op::store_release(node_status(self.walk_at), CC_COMBINER);
+                }
+                13 => {
+                    self.state = 14;
+                    return Op::load_use(node_req(self.walk_at));
+                }
+                14 => {
+                    self.walk_round = ctx.last_value();
+                    self.state = 15;
+                }
+                15 => {
+                    match cs_op(
+                        self.profile,
+                        &mut self.cs_step,
+                        ctx.last_value(),
+                        self.served_total,
+                    ) {
+                        Some(op) => return op,
+                        None => {
+                            self.cs_step = 0;
+                            self.served_total += 1;
+                            self.bound_served += 1;
+                            if self.walk_at == self.node {
+                                // Our own request: the result is local, no
+                                // notification needed.
+                                self.state = 22;
+                            } else {
+                                self.for_others += 1;
+                                self.state = 16;
+                            }
+                        }
+                    }
+                }
+                16 => {
+                    let round = self.walk_round;
+                    match self.mode {
+                        ResponseMode::Flag => {
+                            self.state = 17;
+                            return Op::store(node_ret(self.walk_at), round.wrapping_mul(3));
+                        }
+                        ResponseMode::Pilot => {
+                            self.state = 19;
+                            return Op::Nops(2);
+                        }
+                    }
+                }
+                17 => {
+                    self.state = 18;
+                    match self.barriers.resp {
+                        Barrier::None => {}
+                        f => return Op::Fence(f),
+                    }
+                }
+                18 => {
+                    self.state = 22;
+                    return Op::store(node_status(self.walk_at), 0);
+                }
+                19 => {
+                    self.state = 22;
+                    return Op::store(node_status(self.walk_at), self.walk_round * 4 + 3);
+                }
+                22 => {
+                    self.walk_at = self.walk_next;
+                    self.state = 10;
+                    continue;
+                }
+                // ---------------- iteration done ----------------
+                31 => {
+                    self.state = 0;
+                    return Op::Nops(self.interval_nops);
+                }
+                32 => {
+                    self.state = 33;
+                    return Op::store(subv_addr(self.id), self.for_others);
+                }
+                33 => return Op::Halt,
+                _ => {
+                    self.done += 1;
+                    if self.done >= self.iterations {
+                        self.state = 32;
+                        continue;
                     }
                     self.state = if self.interval_nops > 0 { 31 } else { 0 };
                     return Op::IterationMark;
@@ -677,6 +1399,44 @@ pub enum DelegationKind {
     Ffwd,
     /// Migratory combiner (CC-Synch/DSM-Synch family).
     DSynch,
+    /// Remote core locking: a dedicated server whose request word doubles
+    /// as the completion channel (one line round-trip per operation).
+    Rcl,
+    /// Flat combining: publication list + elected combiner
+    /// (test-and-test-and-set lock, bounded scan passes).
+    FlatCombining,
+    /// Textbook CC-Synch: swap-based FIFO of recycled nodes, each waiter
+    /// spinning on a single packed status word.
+    CcSynch,
+}
+
+impl DelegationKind {
+    /// All delegation designs, in the order the experiments sweep them.
+    pub const ALL: [DelegationKind; 5] = [
+        DelegationKind::Ffwd,
+        DelegationKind::DSynch,
+        DelegationKind::Rcl,
+        DelegationKind::FlatCombining,
+        DelegationKind::CcSynch,
+    ];
+
+    /// Short label used in CSV rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DelegationKind::Ffwd => "ffwd",
+            DelegationKind::DSynch => "dsynch",
+            DelegationKind::Rcl => "rcl",
+            DelegationKind::FlatCombining => "flatcomb",
+            DelegationKind::CcSynch => "ccsynch",
+        }
+    }
+
+    /// Does this design dedicate a server core on top of the clients?
+    #[must_use]
+    pub fn has_server_core(self) -> bool {
+        matches!(self, DelegationKind::Ffwd | DelegationKind::Rcl)
+    }
 }
 
 /// Configuration of one delegation run.
@@ -689,7 +1449,7 @@ pub struct DelegationConfig {
     /// Barrier pair.
     pub barriers: DelegationBarriers,
     /// Flag or Pilot responses.
-    pub mode: RespMode,
+    pub mode: ResponseMode,
     /// Critical-section shape.
     pub profile: CsProfile,
     /// Requests per client.
@@ -709,7 +1469,7 @@ impl DelegationConfig {
                 req: Barrier::Ldar,
                 resp: Barrier::DmbSt,
             },
-            mode: RespMode::Flag,
+            mode: ResponseMode::Flag,
             profile: CsProfile::counter(),
             per_client: 40,
             interval_nops: 0,
@@ -720,7 +1480,34 @@ impl DelegationConfig {
 /// Run a delegation benchmark; returns total served requests / second.
 #[must_use]
 pub fn run_delegation(platform: &Platform, cfg: DelegationConfig) -> LockResult {
+    run_delegation_metrics(platform, cfg, None).result
+}
+
+/// [`run_delegation`] pinned to a specific scheduling [`Engine`] — the hook
+/// the differential harness uses to compare the event-driven engine against
+/// the lockstep oracle on identical workloads.
+#[must_use]
+pub fn run_delegation_with_engine(
+    platform: &Platform,
+    cfg: DelegationConfig,
+    engine: Engine,
+) -> LockResult {
+    run_delegation_metrics(platform, cfg, Some(engine)).result
+}
+
+/// Run a delegation benchmark and collect the full response-time science:
+/// per-operation latency histogram (merged over clients), Jain's fairness
+/// index over per-client throughput, and the combiner-subversion counter.
+#[must_use]
+pub fn run_delegation_metrics(
+    platform: &Platform,
+    cfg: DelegationConfig,
+    engine: Option<Engine>,
+) -> DlockMetrics {
     let mut m = Machine::new(platform.clone());
+    if let Some(e) = engine {
+        m.set_engine(e);
+    }
     let total = cfg.per_client * cfg.clients as u64;
     match cfg.kind {
         DelegationKind::Ffwd => {
@@ -757,6 +1544,37 @@ pub fn run_delegation(platform: &Platform, cfg: DelegationConfig) -> LockResult 
                 );
             }
         }
+        DelegationKind::Rcl => {
+            m.add_thread_on(
+                0,
+                Box::new(RclServer {
+                    clients: cfg.clients,
+                    total,
+                    served: 0,
+                    barriers: cfg.barriers,
+                    mode: cfg.mode,
+                    profile: cfg.profile,
+                    scan_at: 0,
+                    cs_step: 0,
+                    serving_round: 0,
+                    state: 0,
+                }),
+            );
+            for c in 0..cfg.clients {
+                m.add_thread_on(
+                    c + 1,
+                    Box::new(RclClient {
+                        id: c,
+                        iterations: cfg.per_client,
+                        done: 0,
+                        interval_nops: cfg.interval_nops,
+                        mode: cfg.mode,
+                        round: 0,
+                        state: 0,
+                    }),
+                );
+            }
+        }
         DelegationKind::DSynch => {
             for c in 0..cfg.clients {
                 m.add_thread_on(
@@ -774,6 +1592,7 @@ pub fn run_delegation(platform: &Platform, cfg: DelegationConfig) -> LockResult 
                         old_flag: 0,
                         round: 0,
                         served_total: 0,
+                        for_others: 0,
                         scan_at: 0,
                         scanned: 0,
                         cs_step: 0,
@@ -784,26 +1603,112 @@ pub fn run_delegation(platform: &Platform, cfg: DelegationConfig) -> LockResult 
                 );
             }
         }
+        DelegationKind::FlatCombining => {
+            for c in 0..cfg.clients {
+                m.add_thread_on(
+                    c,
+                    Box::new(FcClient {
+                        id: c,
+                        clients: cfg.clients,
+                        iterations: cfg.per_client,
+                        done: 0,
+                        interval_nops: cfg.interval_nops,
+                        barriers: cfg.barriers,
+                        mode: cfg.mode,
+                        profile: cfg.profile,
+                        old_resp: 0,
+                        old_flag: 0,
+                        round: 0,
+                        served_total: 0,
+                        for_others: 0,
+                        scan_at: 0,
+                        pass: 0,
+                        pass_served: 0,
+                        own_served: false,
+                        cs_step: 0,
+                        serving_round: 0,
+                        state: 0,
+                    }),
+                );
+            }
+        }
+        DelegationKind::CcSynch => {
+            // Node ids 1..=clients are the clients' initial spares; node
+            // clients+1 is the initial tail dummy holding the combiner role.
+            let dummy = cfg.clients as u64 + 1;
+            m.preset_memory(CC_TAIL, dummy);
+            m.preset_memory(node_status(dummy), CC_COMBINER);
+            for c in 0..cfg.clients {
+                m.add_thread_on(
+                    c,
+                    Box::new(CcClient {
+                        id: c,
+                        iterations: cfg.per_client,
+                        done: 0,
+                        interval_nops: cfg.interval_nops,
+                        barriers: cfg.barriers,
+                        mode: cfg.mode,
+                        profile: cfg.profile,
+                        node: c as u64 + 1,
+                        enqueued: 0,
+                        round: 0,
+                        served_total: 0,
+                        for_others: 0,
+                        walk_at: 0,
+                        walk_next: 0,
+                        walk_round: 0,
+                        bound_served: 0,
+                        cs_step: 0,
+                        state: 0,
+                    }),
+                );
+            }
+        }
     }
     let max_cycles = total * 400_000 + 2_000_000;
     let stats = m.run(max_cycles);
     assert!(stats.halted, "delegation benchmark must finish");
-    // Sum the stall decomposition over every core that participated: the
-    // FFWD layout uses core 0 for the server plus one core per client,
-    // DSynch places the combining clients on cores 0..clients.
-    let active_cores = match cfg.kind {
-        DelegationKind::Ffwd => cfg.clients + 1,
-        DelegationKind::DSynch => cfg.clients,
+    // Sum the stall decomposition over every core that participated:
+    // dedicated-server layouts use core 0 for the server plus one core per
+    // client, combiner layouts place the clients on cores 0..clients.
+    let active_cores = if cfg.kind.has_server_core() {
+        cfg.clients + 1
+    } else {
+        cfg.clients
+    };
+    let client_cores: Vec<usize> = if cfg.kind.has_server_core() {
+        (1..=cfg.clients).collect()
+    } else {
+        (0..cfg.clients).collect()
     };
     let mut stall = armbar_sim::StallBreakdown::default();
+    let mut latency = LatencyHistogram::default();
+    let mut throughputs = Vec::with_capacity(client_cores.len());
     for c in 0..active_cores {
         stall.merge(&m.core_stats(c).stall);
     }
-    LockResult {
+    for &c in &client_cores {
+        let cs = m.core_stats(c);
+        latency.merge(&cs.latency);
+        let halted_at = cs
+            .halted_at
+            .expect("halted run must stamp every client core");
+        #[allow(clippy::cast_precision_loss)]
+        throughputs.push(cs.iterations as f64 / halted_at.max(1) as f64);
+    }
+    let subverted = (0..active_cores).map(|c| m.read_memory(subv_addr(c))).sum();
+    let result = LockResult {
         acquisitions: total,
         cycles: stats.cycles,
         locks_per_sec: platform.iterations_per_second(total, stats.cycles),
         stall,
+    };
+    DlockMetrics {
+        result,
+        latency,
+        fairness: jain_index(&throughputs),
+        subverted,
+        total_ops: total,
     }
 }
 
@@ -844,19 +1749,19 @@ pub fn fig7c_point(
         ("Ticket".into(), ticket.locks_per_sec),
         (
             "DSynch".into(),
-            run_delegation(platform, mk(DelegationKind::DSynch, RespMode::Flag)).locks_per_sec,
+            run_delegation(platform, mk(DelegationKind::DSynch, ResponseMode::Flag)).locks_per_sec,
         ),
         (
             "DSynch-P".into(),
-            run_delegation(platform, mk(DelegationKind::DSynch, RespMode::Pilot)).locks_per_sec,
+            run_delegation(platform, mk(DelegationKind::DSynch, ResponseMode::Pilot)).locks_per_sec,
         ),
         (
             "FFWD".into(),
-            run_delegation(platform, mk(DelegationKind::Ffwd, RespMode::Flag)).locks_per_sec,
+            run_delegation(platform, mk(DelegationKind::Ffwd, ResponseMode::Flag)).locks_per_sec,
         ),
         (
             "FFWD-P".into(),
-            run_delegation(platform, mk(DelegationKind::Ffwd, RespMode::Pilot)).locks_per_sec,
+            run_delegation(platform, mk(DelegationKind::Ffwd, ResponseMode::Pilot)).locks_per_sec,
         ),
     ]
 }
@@ -879,7 +1784,7 @@ mod tests {
     #[test]
     fn ffwd_pilot_serves_every_request() {
         let cfg = DelegationConfig {
-            mode: RespMode::Pilot,
+            mode: ResponseMode::Pilot,
             ..DelegationConfig::default_ffwd()
         };
         let r = run_delegation(&kunpeng(), cfg);
@@ -888,7 +1793,7 @@ mod tests {
 
     #[test]
     fn dsynch_serves_every_request() {
-        for mode in [RespMode::Flag, RespMode::Pilot] {
+        for mode in [ResponseMode::Flag, ResponseMode::Pilot] {
             let cfg = DelegationConfig {
                 kind: DelegationKind::DSynch,
                 clients: 6,
@@ -1012,5 +1917,132 @@ mod tests {
         let a = run_delegation(&kunpeng(), cfg);
         let b = run_delegation(&kunpeng(), cfg);
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn rcl_serves_every_request() {
+        for mode in [ResponseMode::Flag, ResponseMode::Pilot] {
+            let cfg = DelegationConfig {
+                kind: DelegationKind::Rcl,
+                clients: 6,
+                per_client: 30,
+                mode,
+                ..DelegationConfig::default_ffwd()
+            };
+            let r = run_delegation(&kunpeng(), cfg);
+            assert_eq!(r.acquisitions, 180, "{mode:?}");
+            assert!(r.locks_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn flat_combining_serves_every_request() {
+        for mode in [ResponseMode::Flag, ResponseMode::Pilot] {
+            let cfg = DelegationConfig {
+                kind: DelegationKind::FlatCombining,
+                clients: 6,
+                per_client: 30,
+                mode,
+                ..DelegationConfig::default_ffwd()
+            };
+            let r = run_delegation(&kunpeng(), cfg);
+            assert_eq!(r.acquisitions, 180, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn ccsynch_serves_every_request() {
+        for mode in [ResponseMode::Flag, ResponseMode::Pilot] {
+            let cfg = DelegationConfig {
+                kind: DelegationKind::CcSynch,
+                clients: 6,
+                per_client: 30,
+                mode,
+                ..DelegationConfig::default_ffwd()
+            };
+            let r = run_delegation(&kunpeng(), cfg);
+            assert_eq!(r.acquisitions, 180, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn dedicated_servers_subvert_everything() {
+        // FFWD and RCL run every critical section on the server core.
+        for kind in [DelegationKind::Ffwd, DelegationKind::Rcl] {
+            let cfg = DelegationConfig {
+                kind,
+                clients: 4,
+                per_client: 20,
+                ..DelegationConfig::default_ffwd()
+            };
+            let m = run_delegation_metrics(&kunpeng(), cfg, None);
+            assert_eq!(m.subverted, m.total_ops, "{kind:?}");
+            assert!((m.subverted_share() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn combiners_subvert_some_but_not_all() {
+        // A migratory combiner serves its own request too, so subversion
+        // sits strictly between 0 and the total.
+        for kind in [
+            DelegationKind::DSynch,
+            DelegationKind::FlatCombining,
+            DelegationKind::CcSynch,
+        ] {
+            let cfg = DelegationConfig {
+                kind,
+                clients: 6,
+                per_client: 30,
+                ..DelegationConfig::default_ffwd()
+            };
+            let m = run_delegation_metrics(&kunpeng(), cfg, None);
+            assert!(m.subverted > 0, "{kind:?}: combining must serve others");
+            assert!(
+                m.subverted < m.total_ops,
+                "{kind:?}: every client serves itself at least once"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_are_coherent_for_every_kind() {
+        for kind in DelegationKind::ALL {
+            let cfg = DelegationConfig {
+                kind,
+                clients: 4,
+                per_client: 20,
+                ..DelegationConfig::default_ffwd()
+            };
+            let m = run_delegation_metrics(&kunpeng(), cfg, None);
+            // One latency sample per IterationMark: each client marks all
+            // but its final completion (the final one halts instead).
+            assert_eq!(m.latency.total(), 4 * (20 - 1), "{kind:?}");
+            let (p50, p99, p999, max) = m.latency.summary();
+            assert!(p50 <= p99 && p99 <= p999 && p999 <= max, "{kind:?}");
+            assert!(max > 0, "{kind:?}: operations take time");
+            assert!(
+                m.fairness > 0.0 && m.fairness <= 1.0,
+                "{kind:?}: Jain in (0,1], got {}",
+                m.fairness
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_every_kind() {
+        for kind in DelegationKind::ALL {
+            let cfg = DelegationConfig {
+                kind,
+                clients: 3,
+                per_client: 15,
+                ..DelegationConfig::default_ffwd()
+            };
+            let a = run_delegation_metrics(&kunpeng(), cfg, Some(Engine::EventDriven));
+            let b = run_delegation_metrics(&kunpeng(), cfg, Some(Engine::LockstepOracle));
+            assert_eq!(a.result.cycles, b.result.cycles, "{kind:?}");
+            assert_eq!(a.latency, b.latency, "{kind:?}");
+            assert_eq!(a.subverted, b.subverted, "{kind:?}");
+        }
     }
 }

@@ -8,9 +8,13 @@
 //!   behind Figures 2, 3, 4, 5.
 //! * [`prodcons`] — Algorithm 2 + Pilot (§4): Figures 6(a), 6(b), 6(c).
 //! * [`ticket_sim`] — the in-place ticket lock benchmark: Figure 7(a).
+//! * [`mcs_sim`] — the MCS queue lock, the second in-place baseline for
+//!   the delegation-lock suite.
 //! * [`delegation_sim`] — delegation lock server/clients (Algorithms 5 & 6)
-//!   in dedicated (FFWD) and migratory (DSynch-family) flavours:
-//!   Figures 7(b), 7(c), 8(a–c).
+//!   in dedicated (FFWD, RCL) and migratory (DSynch, flat-combining,
+//!   CC-Synch) flavours: Figures 7(b), 7(c), 8(a–c) and `exp-dlock`.
+//! * [`metrics`] — response-time science shared by the lock benchmarks:
+//!   latency histograms, Jain's fairness index, combiner subversion.
 //! * [`bind`] — the thread-placement configurations the figures sweep
 //!   (same NUMA node, cross node, mobile big cluster, …).
 //! * [`barrier_sim`] — the many-core barrier-synchronization family
@@ -28,9 +32,13 @@ pub mod abstract_model;
 pub mod barrier_sim;
 pub mod bind;
 pub mod delegation_sim;
+pub mod mcs_sim;
+pub mod metrics;
 pub mod prodcons;
 pub mod ticket_sim;
 
 pub use abstract_model::{run_model, BarrierLoc, MemOpKind, ModelSpec};
 pub use barrier_sim::{run_barrier, BarrierConfig, BarrierFamily, BarrierResult};
 pub use bind::BindConfig;
+pub use mcs_sim::{run_mcs, run_mcs_metrics, McsConfig};
+pub use metrics::{jain_index, DlockMetrics};

@@ -1,0 +1,145 @@
+//! Response-time science shared by the lock benchmarks.
+//!
+//! Throughput alone hides what delegation does to *individual* threads: a
+//! combiner pays with its own latency for everyone else's progress, and a
+//! dedicated server can starve distant clients. The experiment suite
+//! therefore reports, per run:
+//!
+//! * a per-operation completion-latency histogram (p50/p99/p999/max),
+//!   merged over the client cores' [`LatencyHistogram`]s;
+//! * **Jain's fairness index** over per-client throughput — 1 when every
+//!   client progresses at the same rate, approaching `1/n` when a single
+//!   client monopolizes the lock;
+//! * the **combiner-subversion counter** — critical sections a thread
+//!   executed on behalf of *others*. Zero by construction for in-place
+//!   locks (ticket, MCS); equal to the total for dedicated-server designs
+//!   (FFWD, RCL); in between for migratory combiners.
+//!
+//! Everything here is computed from deterministic simulator state, so the
+//! numbers are byte-identical across runs and scheduling engines.
+
+use armbar_sim::LatencyHistogram;
+
+use crate::ticket_sim::LockResult;
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`.
+///
+/// Ranges over `(0, 1]` for non-degenerate inputs; exactly 1 when all
+/// shares are equal. Returns 1.0 for empty or all-zero input (a run with
+/// no clients starves nobody).
+#[must_use]
+pub fn jain_index(shares: &[f64]) -> f64 {
+    let n = shares.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sq_sum: f64 = shares.iter().map(|x| x * x).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        (sum * sum) / (n as f64 * sq_sum)
+    }
+}
+
+/// Full measurement of one lock benchmark run: throughput plus the
+/// response-time distribution, fairness, and subversion counters.
+#[derive(Debug, Clone)]
+pub struct DlockMetrics {
+    /// Throughput and stall decomposition (the classic figures' view).
+    pub result: LockResult,
+    /// Completion-latency histogram merged over all client cores, one
+    /// sample per operation (cycles between iteration marks).
+    pub latency: LatencyHistogram,
+    /// Jain's fairness index over per-client throughput.
+    pub fairness: f64,
+    /// Critical sections executed by a thread on behalf of another.
+    pub subverted: u64,
+    /// Total operations completed (denominator for `subverted`).
+    pub total_ops: u64,
+}
+
+impl DlockMetrics {
+    /// The share of operations executed by a thread other than the one
+    /// that requested them, in `[0, 1]`.
+    #[must_use]
+    pub fn subverted_share(&self) -> f64 {
+        if self.total_ops == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.subverted as f64 / self.total_ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn jain_is_one_for_equal_shares() {
+        assert!((jain_index(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[7.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_degenerate_inputs() {
+        assert!((jain_index(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_monopoly_approaches_one_over_n() {
+        let j = jain_index(&[100.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12, "monopoly over 4 gives 1/4, {j}");
+    }
+
+    #[test]
+    fn jain_orders_by_imbalance() {
+        let even = jain_index(&[5.0, 5.0, 5.0]);
+        let mild = jain_index(&[6.0, 5.0, 4.0]);
+        let harsh = jain_index(&[12.0, 2.0, 1.0]);
+        assert!(even > mild && mild > harsh, "{even} {mild} {harsh}");
+    }
+
+    // The vendored proptest shim only generates integer ranges; shares are
+    // drawn as u64 and cast (exact for this magnitude).
+    proptest! {
+        #[test]
+        fn jain_stays_in_unit_interval(
+            raw in prop::collection::vec(0u64..1_000_000_000, 1..32),
+        ) {
+            #[allow(clippy::cast_precision_loss)]
+            let shares: Vec<f64> = raw.iter().map(|&x| x as f64).collect();
+            let j = jain_index(&shares);
+            prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "index {} out of (0,1]", j);
+        }
+
+        #[test]
+        fn jain_is_scale_invariant(
+            raw in prop::collection::vec(1u64..1_000_000, 1..16),
+            scale_millis in 1u64..1_000_000,
+        ) {
+            #[allow(clippy::cast_precision_loss)]
+            let shares: Vec<f64> = raw.iter().map(|&x| x as f64).collect();
+            #[allow(clippy::cast_precision_loss)]
+            let scale = scale_millis as f64 / 1000.0;
+            let scaled: Vec<f64> = shares.iter().map(|x| x * scale).collect();
+            let a = jain_index(&shares);
+            let b = jain_index(&scaled);
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+
+        #[test]
+        fn jain_single_share_is_one(x in 1u64..1_000_000_000) {
+            #[allow(clippy::cast_precision_loss)]
+            let j = jain_index(&[x as f64]);
+            prop_assert!((j - 1.0).abs() < 1e-12);
+        }
+    }
+}

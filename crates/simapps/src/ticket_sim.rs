@@ -10,7 +10,11 @@
 //! (Observation 2); with zero global lines it is nearly free.
 
 use armbar_barriers::Barrier;
-use armbar_sim::{Engine, Machine, Op, Platform, SimThread, StallBreakdown, ThreadCtx, Trace};
+use armbar_sim::{
+    Engine, LatencyHistogram, Machine, Op, Platform, SimThread, StallBreakdown, ThreadCtx, Trace,
+};
+
+use crate::metrics::{jain_index, DlockMetrics};
 
 /// Shared-memory layout.
 const NEXT_TICKET: u64 = 0x100;
@@ -216,7 +220,21 @@ pub fn run_ticket_traced(
     cfg: TicketConfig,
     trace_capacity: usize,
 ) -> (LockResult, Trace) {
-    run_ticket_inner(platform, cfg, Some(trace_capacity), None)
+    let (result, trace, _) = run_ticket_inner(platform, cfg, Some(trace_capacity), None);
+    (result, trace)
+}
+
+/// Run the ticket benchmark with full response-time metrics (latency
+/// histogram, Jain's fairness), optionally pinned to an [`Engine`]. The
+/// subversion counter is zero by construction: in-place locks never
+/// execute another thread's critical section.
+#[must_use]
+pub fn run_ticket_metrics(
+    platform: &Platform,
+    cfg: TicketConfig,
+    engine: Option<Engine>,
+) -> DlockMetrics {
+    run_ticket_inner(platform, cfg, None, engine).2
 }
 
 fn run_ticket_inner(
@@ -224,7 +242,7 @@ fn run_ticket_inner(
     cfg: TicketConfig,
     trace_capacity: Option<usize>,
     engine: Option<Engine>,
-) -> (LockResult, Trace) {
+) -> (LockResult, Trace, DlockMetrics) {
     let mut m = Machine::new(platform.clone());
     if let Some(e) = engine {
         m.set_engine(e);
@@ -262,8 +280,15 @@ fn run_ticket_inner(
     assert_eq!(m.read_memory(OWNER), total);
     let cycles = stats.cycles;
     let mut stall = StallBreakdown::default();
+    let mut latency = LatencyHistogram::default();
+    let mut throughputs = Vec::with_capacity(cores.len());
     for &c in &cores {
-        stall.merge(&m.core_stats(c).stall);
+        let cs = m.core_stats(c);
+        stall.merge(&cs.stall);
+        latency.merge(&cs.latency);
+        let halted_at = cs.halted_at.expect("halted run must stamp every core");
+        #[allow(clippy::cast_precision_loss)]
+        throughputs.push(cs.iterations as f64 / halted_at.max(1) as f64);
     }
     let result = LockResult {
         acquisitions: total,
@@ -271,7 +296,14 @@ fn run_ticket_inner(
         locks_per_sec: platform.iterations_per_second(total, cycles),
         stall,
     };
-    (result, m.take_trace())
+    let metrics = DlockMetrics {
+        result,
+        latency,
+        fairness: jain_index(&throughputs),
+        subverted: 0,
+        total_ops: total,
+    };
+    (result, m.take_trace(), metrics)
 }
 
 #[cfg(test)]
